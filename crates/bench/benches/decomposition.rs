@@ -1,0 +1,50 @@
+//! Figure 7 in micro form: hierarchical decomposition + W₂ formation cost
+//! as |P| grows, and the effect of the travel-speed knob.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trajshare_bench::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_core::{MechanismConfig, NGramMechanism};
+
+fn bench_by_pois(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess_by_pois");
+    group.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        let cfg = ScenarioConfig {
+            num_pois: n,
+            num_trajectories: 1,
+            speed_kmh: None,
+            traj_len: None,
+            seed: 7,
+        };
+        let (dataset, _) = build_scenario(Scenario::TaxiFoursquare, &cfg);
+        let mc = MechanismConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dataset, |b, ds| {
+            b.iter(|| std::hint::black_box(NGramMechanism::build(ds, &mc)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess_by_speed");
+    group.sample_size(10);
+    for &s in &[4.0f64, 16.0, f64::INFINITY] {
+        let cfg = ScenarioConfig {
+            num_pois: 200,
+            num_trajectories: 1,
+            speed_kmh: Some(s),
+            traj_len: None,
+            seed: 7,
+        };
+        let (dataset, _) = build_scenario(Scenario::Safegraph, &cfg);
+        let mc = MechanismConfig::default();
+        let label = if s.is_infinite() { "Inf".to_string() } else { format!("{s}") };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &dataset, |b, ds| {
+            b.iter(|| std::hint::black_box(NGramMechanism::build(ds, &mc)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_pois, bench_by_speed);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! §5.1 ablation: the global solution's EM vs subsampled EM vs
+//! Permute-and-Flip on a toy world where |S| is enumerable, plus the
+//! n-gram mechanism on the same world for comparison — demonstrating why
+//! the paper abandons the global formulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajshare_core::baselines::{GlobalMechanism, GlobalVariant};
+use trajshare_core::{Mechanism, MechanismConfig, NGramMechanism};
+use trajshare_geo::{DistanceMetric, GeoPoint};
+use trajshare_hierarchy::builders::campus;
+use trajshare_model::{Dataset, Poi, PoiId, TimeDomain, Trajectory};
+
+/// Tiny world: 6 POIs, 2-hour timesteps, so |S| stays enumerable.
+fn toy() -> Dataset {
+    let h = campus();
+    let leaves = h.leaves();
+    let origin = GeoPoint::new(40.7, -74.0);
+    let pois: Vec<Poi> = (0..6)
+        .map(|i| {
+            Poi::new(
+                PoiId(i),
+                format!("p{i}"),
+                origin.offset_m(i as f64 * 500.0, 0.0),
+                leaves[i as usize % leaves.len()],
+            )
+        })
+        .collect();
+    Dataset::new(pois, h, TimeDomain::new(120), Some(8.0), DistanceMetric::Haversine)
+}
+
+fn bench_global_variants(c: &mut Criterion) {
+    let ds = toy();
+    let traj = Trajectory::from_pairs(&[(0, 2), (1, 4), (2, 6)]);
+    let mut group = c.benchmark_group("global_variants");
+    group.sample_size(10);
+    for (label, variant) in [
+        ("em", GlobalVariant::Em),
+        ("subsampled_em_256", GlobalVariant::SubsampledEm(256)),
+        ("permute_and_flip", GlobalVariant::PermuteAndFlip),
+    ] {
+        let mech = GlobalMechanism::build(&ds, 5.0, variant, 10_000_000);
+        group.bench_function(label, |b| {
+            let mut rng = StdRng::seed_from_u64(42);
+            b.iter(|| std::hint::black_box(mech.perturb(&traj, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ngram_on_same_world(c: &mut Criterion) {
+    let ds = toy();
+    let traj = Trajectory::from_pairs(&[(0, 2), (1, 4), (2, 6)]);
+    let mech = NGramMechanism::build(&ds, &MechanismConfig::default());
+    c.bench_function("ngram_on_toy_world", |b| {
+        let mut rng = StdRng::seed_from_u64(42);
+        b.iter(|| std::hint::black_box(mech.perturb(&traj, &mut rng)));
+    });
+}
+
+criterion_group!(benches, bench_global_variants, bench_ngram_on_same_world);
+criterion_main!(benches);

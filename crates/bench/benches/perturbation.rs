@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks: per-trajectory perturbation cost of every
+//! method (the Table 3 / Figure 9 microscopic view).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajshare_bench::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_bench::runner::build_methods;
+use trajshare_core::MechanismConfig;
+
+fn bench_methods(c: &mut Criterion) {
+    let cfg = ScenarioConfig {
+        num_pois: 200,
+        num_trajectories: 10,
+        speed_kmh: None,
+        traj_len: Some(5),
+        seed: 7,
+    };
+    let (dataset, set) = build_scenario(Scenario::TaxiFoursquare, &cfg);
+    assert!(!set.is_empty());
+    let traj = set.all()[0].clone();
+    let methods = build_methods(&dataset, &MechanismConfig::default());
+
+    let mut group = c.benchmark_group("perturb_one_trajectory");
+    group.sample_size(10);
+    for mech in &methods {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mech.name()),
+            &traj,
+            |b, traj| {
+                let mut rng = StdRng::seed_from_u64(42);
+                b.iter(|| std::hint::black_box(mech.perturb(traj, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_trajectory_length(c: &mut Criterion) {
+    // Figure 9a in micro form: NGram perturbation cost vs |τ|.
+    let mut group = c.benchmark_group("ngram_by_traj_len");
+    group.sample_size(10);
+    for len in [4u32, 6, 8] {
+        let cfg = ScenarioConfig {
+            num_pois: 200,
+            num_trajectories: 30,
+            speed_kmh: None,
+            traj_len: Some(len),
+            seed: 7,
+        };
+        let (dataset, set) = build_scenario(Scenario::TaxiFoursquare, &cfg);
+        if set.is_empty() {
+            continue;
+        }
+        let mech = trajshare_core::NGramMechanism::build(&dataset, &MechanismConfig::default());
+        let traj = set.all()[0].clone();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &traj, |b, traj| {
+            let mut rng = StdRng::seed_from_u64(42);
+            b.iter(|| std::hint::black_box(trajshare_core::Mechanism::perturb(&mech, traj, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_trajectory_length);
+criterion_main!(benches);

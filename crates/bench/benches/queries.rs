@@ -1,0 +1,56 @@
+//! Utility-measure costs: NE, PRQ and hotspot extraction over a trajectory
+//! set (the analytics side of §6.3 — cheap compared to perturbation, which
+//! this bench verifies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trajshare_bench::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_query::{
+    extract_hotspots, normalized_error, preservation_range, HotspotScope, PrqDimension,
+};
+
+fn setup() -> (trajshare_model::Dataset, trajshare_model::TrajectorySet) {
+    let cfg = ScenarioConfig {
+        num_pois: 300,
+        num_trajectories: 150,
+        speed_kmh: None,
+        traj_len: None,
+        seed: 7,
+    };
+    build_scenario(Scenario::TaxiFoursquare, &cfg)
+}
+
+fn bench_ne_and_prq(c: &mut Criterion) {
+    let (ds, set) = setup();
+    let real = set.all();
+    c.bench_function("normalized_error", |b| {
+        b.iter(|| std::hint::black_box(normalized_error(&ds, real, real)))
+    });
+    c.bench_function("prq_space_500m", |b| {
+        b.iter(|| {
+            std::hint::black_box(preservation_range(
+                &ds,
+                real,
+                real,
+                PrqDimension::Space(500.0),
+            ))
+        })
+    });
+}
+
+fn bench_hotspots(c: &mut Criterion) {
+    let (ds, set) = setup();
+    let mut group = c.benchmark_group("hotspot_extraction");
+    for (label, scope) in [
+        ("poi", HotspotScope::Poi),
+        ("grid4", HotspotScope::Grid(4)),
+        ("category1", HotspotScope::Category(1)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &scope, |b, &scope| {
+            b.iter(|| std::hint::black_box(extract_hotspots(&ds, &set, scope, 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ne_and_prq, bench_hotspots);
+criterion_main!(benches);

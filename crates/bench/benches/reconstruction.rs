@@ -1,0 +1,64 @@
+//! Viterbi vs paper-faithful ILP on the reconstruction lattice (§5.5, §5.8
+//! — the ablation DESIGN.md §3 calls out). Both must return equal-cost
+//! solutions; the bench shows the runtime gap that justifies defaulting to
+//! Viterbi.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trajshare_lp::LatticeProblem;
+
+/// Builds a random dense lattice with `n` nodes and `len` positions.
+fn random_lattice(n: usize, len: usize, seed: u64) -> LatticeProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arcs = Vec::new();
+    for u in 0..n {
+        for v in 0..n {
+            arcs.push((u, v));
+        }
+    }
+    let costs = (0..len)
+        .map(|_| arcs.iter().map(|_| rng.random::<f64>() * 10.0).collect())
+        .collect();
+    LatticeProblem { num_nodes: n, arcs, costs }
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconstruction_solver");
+    group.sample_size(10);
+    for &(n, len) in &[(4usize, 4usize), (6, 5), (8, 6)] {
+        let p = random_lattice(n, len, 99);
+        // Sanity: both agree before we time them.
+        let v = p.solve_viterbi().expect("feasible");
+        let i = p.solve_ilp(200_000).expect("feasible");
+        assert!((v.cost - i.cost).abs() < 1e-6, "solver disagreement");
+
+        group.bench_with_input(
+            BenchmarkId::new("viterbi", format!("{n}nodes_{len}pos")),
+            &p,
+            |b, p| b.iter(|| std::hint::black_box(p.solve_viterbi())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ilp_simplex_bb", format!("{n}nodes_{len}pos")),
+            &p,
+            |b, p| b.iter(|| std::hint::black_box(p.solve_ilp(200_000))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_viterbi_scaling(c: &mut Criterion) {
+    // Viterbi alone scales to realistic lattice sizes (hundreds of nodes).
+    let mut group = c.benchmark_group("viterbi_scaling");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let p = random_lattice(n, 7, 123);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| std::hint::black_box(p.solve_viterbi()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_viterbi_scaling);
+criterion_main!(benches);

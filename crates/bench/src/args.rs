@@ -1,0 +1,84 @@
+//! Minimal `--key value` argument parsing for the harness binaries (no
+//! external CLI crate; DESIGN.md §5 keeps the dependency set tight).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: `--key value` pairs plus bare flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let val = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                values.insert(key.to_string(), val);
+            }
+        }
+        Self { values }
+    }
+
+    /// String value for a key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// Typed value with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Bare-flag check (`--quick`).
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = args(&["--pois", "500", "--epsilon", "2.5"]);
+        assert_eq!(a.get_or("pois", 0usize), 500);
+        assert_eq!(a.get_or("epsilon", 0.0f64), 2.5);
+    }
+
+    #[test]
+    fn missing_keys_fall_back_to_defaults() {
+        let a = args(&[]);
+        assert_eq!(a.get_or("pois", 42usize), 42);
+        assert!(!a.flag("quick"));
+    }
+
+    #[test]
+    fn bare_flags_are_true() {
+        let a = args(&["--quick", "--pois", "100"]);
+        assert!(a.flag("quick"));
+        assert_eq!(a.get_or("pois", 0usize), 100);
+    }
+
+    #[test]
+    fn malformed_values_use_default() {
+        let a = args(&["--pois", "banana"]);
+        assert_eq!(a.get_or("pois", 7usize), 7);
+    }
+}

@@ -1,0 +1,10 @@
+//! Ablation of the §5.3 merging policy (κ, dimension order) and the §5.5
+//! reconstruction solver — the analyses the paper mentions but omits for
+//! space.
+
+use trajshare_bench::experiments::{ablation, emit, ExpParams};
+
+fn main() {
+    let params = ExpParams::from_args(&trajshare_bench::Args::from_env());
+    emit(&[ablation::run_merging(&params), ablation::run_solver(&params)]);
+}

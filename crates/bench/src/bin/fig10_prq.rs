@@ -1,0 +1,8 @@
+//! Regenerates Figure 10 (preservation range queries in all dimensions).
+
+use trajshare_bench::experiments::{emit, fig10, ExpParams};
+
+fn main() {
+    let params = ExpParams::from_args(&trajshare_bench::Args::from_env());
+    emit(&fig10::run(&params));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7 (pre-processing runtime vs |P| and travel speed).
+
+use trajshare_bench::experiments::{emit, fig7, ExpParams};
+
+fn main() {
+    let params = ExpParams::from_args(&trajshare_bench::Args::from_env());
+    emit(&fig7::run(&params));
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 8 (normalized error under parameter sweeps).
+//!
+//! `--param traj-len|epsilon|pois|speed|ngram` selects one panel family;
+//! omit it to run all five.
+
+use trajshare_bench::experiments::fig89::SweepParam;
+use trajshare_bench::experiments::{emit, fig89, ExpParams};
+
+fn main() {
+    let args = trajshare_bench::Args::from_env();
+    let params = ExpParams::from_args(&args);
+    let sweeps: Vec<SweepParam> = match args.get("param") {
+        Some(p) => vec![SweepParam::parse(p).expect("unknown --param")],
+        None => SweepParam::all().to_vec(),
+    };
+    for sweep in sweeps {
+        let (ne, _runtime) = fig89::run_sweep(sweep, &params);
+        emit(&[ne]);
+    }
+}

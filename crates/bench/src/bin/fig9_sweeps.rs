@@ -1,0 +1,19 @@
+//! Regenerates Figure 9 (average runtime under parameter sweeps).
+//!
+//! Same sweeps as Figure 8; this binary reports the runtime tables.
+
+use trajshare_bench::experiments::fig89::SweepParam;
+use trajshare_bench::experiments::{emit, fig89, ExpParams};
+
+fn main() {
+    let args = trajshare_bench::Args::from_env();
+    let params = ExpParams::from_args(&args);
+    let sweeps: Vec<SweepParam> = match args.get("param") {
+        Some(p) => vec![SweepParam::parse(p).expect("unknown --param")],
+        None => SweepParam::all().to_vec(),
+    };
+    for sweep in sweeps {
+        let (_ne, runtime) = fig89::run_sweep(sweep, &params);
+        emit(&[runtime]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Runs every table/figure experiment and writes `results/*.json` plus a
+//! combined `results/EXPERIMENTS_GENERATED.md` — the measured side of
+//! EXPERIMENTS.md.
+//!
+//! `--quick` shrinks sizes for a smoke run.
+
+use trajshare_bench::experiments::fig89::SweepParam;
+use trajshare_bench::experiments::{
+    ablation, emit, fig10, fig7, fig89, table2, table3, table4, ExpParams,
+};
+use trajshare_bench::Reported;
+
+fn main() {
+    let args = trajshare_bench::Args::from_env();
+    let mut params = ExpParams::from_args(&args);
+    if args.flag("quick") {
+        params.num_pois = 150;
+        params.num_trajectories = 20;
+    }
+    let mut all: Vec<Reported> = Vec::new();
+
+    eprintln!("=== Table 2 ===");
+    all.push(table2::run(&params));
+    eprintln!("=== Table 3 ===");
+    all.push(table3::run(&params));
+    eprintln!("=== Table 4 ===");
+    all.push(table4::run(&params));
+    eprintln!("=== Figure 7 ===");
+    all.extend(fig7::run(&params));
+    eprintln!("=== Figures 8 & 9 ===");
+    for sweep in SweepParam::all() {
+        let (ne, rt) = fig89::run_sweep(sweep, &params);
+        all.push(ne);
+        all.push(rt);
+    }
+    eprintln!("=== Figure 10 ===");
+    all.extend(fig10::run(&params));
+    eprintln!("=== Ablations ===");
+    all.push(ablation::run_merging(&params));
+    all.push(ablation::run_solver(&params));
+
+    emit(&all);
+    // Combined markdown for EXPERIMENTS.md consumption.
+    let mut md = String::from("# Generated experiment results\n\n");
+    for r in &all {
+        md.push_str(&r.to_markdown());
+        md.push('\n');
+    }
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/EXPERIMENTS_GENERATED.md", md).expect("write combined markdown");
+    eprintln!("wrote results/EXPERIMENTS_GENERATED.md");
+}

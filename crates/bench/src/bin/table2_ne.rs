@@ -1,0 +1,11 @@
+//! Regenerates Table 2 (mean normalized error). See DESIGN.md §3.
+//!
+//! Usage: `cargo run --release -p trajshare-bench --bin table2_ne -- \
+//!   [--pois N] [--trajectories N] [--epsilon E] [--workers W] [--seed S]`
+
+use trajshare_bench::experiments::{emit, table2, ExpParams};
+
+fn main() {
+    let params = ExpParams::from_args(&trajshare_bench::Args::from_env());
+    emit(&[table2::run(&params)]);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 3 (runtime breakdown by mechanism stage).
+
+use trajshare_bench::experiments::{emit, table3, ExpParams};
+
+fn main() {
+    let params = ExpParams::from_args(&trajshare_bench::Args::from_env());
+    emit(&[table3::run(&params)]);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 4 (hotspot AHD/ACD).
+
+use trajshare_bench::experiments::{emit, table4, ExpParams};
+
+fn main() {
+    let params = ExpParams::from_args(&trajshare_bench::Args::from_env());
+    emit(&[table4::run(&params)]);
+}

@@ -1,0 +1,71 @@
+//! Figure 10: preservation range queries — PR_χ as δ varies in each
+//! dimension, for all five methods (Taxi-Foursquare data, as in §7.3).
+
+use super::ExpParams;
+use crate::report::Reported;
+use crate::runner::{build_methods, run_method};
+use crate::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_core::MechanismConfig;
+use trajshare_query::{prq_curve, PrqDimension};
+
+/// Runs the Figure 10 experiment (three panels).
+pub fn run(params: &ExpParams) -> Vec<Reported> {
+    let config = MechanismConfig::default().with_epsilon(params.epsilon);
+    let cfg = ScenarioConfig {
+        num_pois: params.num_pois,
+        num_trajectories: params.num_trajectories,
+        speed_kmh: None,
+        traj_len: None,
+        seed: params.seed,
+    };
+    let (dataset, set) = build_scenario(Scenario::TaxiFoursquare, &cfg);
+    let methods = build_methods(&dataset, &config);
+
+    // Perturb once per method, evaluate all three panels on the result.
+    let runs: Vec<_> = methods
+        .iter()
+        .map(|m| {
+            eprintln!("fig10: perturbing with {}", m.name());
+            run_method(m.as_ref(), &set, params.seed, params.workers)
+        })
+        .collect();
+
+    let space_deltas: Vec<f64> = (0..=10).map(|k| k as f64 * 100.0).collect(); // 0..1 km
+    let time_deltas: Vec<f64> = (0..=10).map(|k| k as f64 * 10.0).collect(); // 0..100 min
+    let cat_deltas: Vec<f64> = vec![0.0, 2.0, 3.5, 5.0, 6.5, 8.0, 10.0];
+
+    let panel = |id: &str,
+                 deltas: &[f64],
+                 unit: &str,
+                 make: &dyn Fn(f64) -> PrqDimension|
+     -> Reported {
+        let mut headers = vec!["Method".to_string()];
+        headers.extend(deltas.iter().map(|d| format!("δ={d}{unit}")));
+        let rows = runs
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.name.to_string()];
+                let curve = prq_curve(&dataset, set.all(), &r.perturbed, deltas, make);
+                row.extend(curve.iter().map(|(_, pr)| format!("{pr:.1}")));
+                row
+            })
+            .collect();
+        Reported {
+            id: id.into(),
+            settings: format!(
+                "PR_χ (%) on Taxi-Foursquare; |P|={} |T|={} eps={}",
+                params.num_pois,
+                set.len(),
+                params.epsilon
+            ),
+            headers,
+            rows,
+        }
+    };
+
+    vec![
+        panel("fig10_space", &space_deltas, "m", &PrqDimension::Space),
+        panel("fig10_time", &time_deltas, "min", &PrqDimension::Time),
+        panel("fig10_category", &cat_deltas, "", &PrqDimension::Category),
+    ]
+}

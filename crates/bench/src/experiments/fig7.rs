@@ -1,0 +1,97 @@
+//! Figure 7: pre-processing runtime (POI processing, hierarchical
+//! decomposition, region specification, W_n formation) as |P| and the
+//! assumed travel speed vary.
+
+use super::ExpParams;
+use crate::report::Reported;
+use crate::scenario::{build_scenario, Scenario, ScenarioConfig};
+use std::time::Instant;
+use trajshare_core::{MechanismConfig, NGramMechanism};
+
+/// Runs the Figure 7 experiment (both panels).
+pub fn run(params: &ExpParams) -> Vec<Reported> {
+    let config = MechanismConfig::default().with_epsilon(params.epsilon);
+
+    // Panel 1: runtime vs |P| for the two city scenarios.
+    let poi_sizes: Vec<usize> = [1usize, 2, 3, 4]
+        .iter()
+        .map(|&k| params.num_pois * k)
+        .collect();
+    let mut rows = Vec::new();
+    for &n in &poi_sizes {
+        let mut row = vec![format!("{n}")];
+        for scenario in [Scenario::TaxiFoursquare, Scenario::Safegraph] {
+            let cfg = ScenarioConfig {
+                num_pois: n,
+                num_trajectories: 1, // trajectories are irrelevant here
+                speed_kmh: None,
+                traj_len: None,
+                seed: params.seed,
+            };
+            let (dataset, _) = build_scenario(scenario, &cfg);
+            let t0 = Instant::now();
+            let mech = NGramMechanism::build(&dataset, &config);
+            let dt = t0.elapsed();
+            row.push(format!("{:.2}", dt.as_secs_f64()));
+            eprintln!(
+                "fig7: {} |P|={n}: {:.2}s ({} regions, {} bigrams)",
+                scenario.name(),
+                dt.as_secs_f64(),
+                mech.regions().len(),
+                mech.graph().num_bigrams()
+            );
+        }
+        rows.push(row);
+    }
+    let by_pois = Reported {
+        id: "fig7_pois".into(),
+        settings: format!("pre-processing wall time; base |P|={}", params.num_pois),
+        headers: vec![
+            "|P|".into(),
+            "Taxi-Foursquare (s)".into(),
+            "Safegraph (s)".into(),
+        ],
+        rows,
+    };
+
+    // Panel 2: runtime vs travel speed (fixed |P|).
+    let speeds = [4.0, 8.0, 12.0, 16.0, f64::INFINITY];
+    let mut rows = Vec::new();
+    for &s in &speeds {
+        let mut row = vec![if s.is_infinite() { "Inf".into() } else { format!("{s}") }];
+        for scenario in [Scenario::TaxiFoursquare, Scenario::Safegraph] {
+            let cfg = ScenarioConfig {
+                num_pois: params.num_pois,
+                num_trajectories: 1,
+                speed_kmh: Some(s),
+                traj_len: None,
+                seed: params.seed,
+            };
+            let (dataset, _) = build_scenario(scenario, &cfg);
+            let t0 = Instant::now();
+            let _mech = NGramMechanism::build(&dataset, &config);
+            row.push(format!("{:.2}", t0.elapsed().as_secs_f64()));
+        }
+        rows.push(row);
+        eprintln!("fig7: speed {} done", row_label(s));
+    }
+    let by_speed = Reported {
+        id: "fig7_speed".into(),
+        settings: format!("pre-processing wall time at |P|={}", params.num_pois),
+        headers: vec![
+            "Speed (km/h)".into(),
+            "Taxi-Foursquare (s)".into(),
+            "Safegraph (s)".into(),
+        ],
+        rows,
+    };
+    vec![by_pois, by_speed]
+}
+
+fn row_label(s: f64) -> String {
+    if s.is_infinite() {
+        "Inf".into()
+    } else {
+        format!("{s}")
+    }
+}

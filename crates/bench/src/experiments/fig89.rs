@@ -1,0 +1,223 @@
+//! Figures 8 and 9: normalized error and average runtime as experimental
+//! settings vary. One sweep produces both figures' data: every cell runs
+//! all five methods and records the combined NE (Figure 8) and the mean
+//! per-trajectory runtime (Figure 9).
+//!
+//! Panels:
+//! * (a/e) trajectory length ∈ {4, 6, 8} — Taxi-Foursquare, Safegraph,
+//! * (b/f) privacy budget ∈ {0.01, 0.1, 1, 10},
+//! * (c/g) |P| ∈ {1×, 2×, 3×, 4×} the base size,
+//! * (d/h) travel speed ∈ {4, 8, 12, 16, ∞} km/h,
+//! * (i)   n-gram length ∈ {1, 2, 3} — Campus.
+
+use super::ExpParams;
+use crate::report::Reported;
+use crate::runner::{build_methods, run_method};
+use crate::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_core::distances::point_distance;
+use trajshare_core::MechanismConfig;
+use trajshare_model::{Dataset, Trajectory};
+
+/// Which parameter a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepParam {
+    TrajLen,
+    Epsilon,
+    Pois,
+    Speed,
+    NgramLen,
+}
+
+impl SweepParam {
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "traj-len" => Some(Self::TrajLen),
+            "epsilon" => Some(Self::Epsilon),
+            "pois" => Some(Self::Pois),
+            "speed" => Some(Self::Speed),
+            "ngram" => Some(Self::NgramLen),
+            _ => None,
+        }
+    }
+
+    pub fn all() -> [SweepParam; 5] {
+        [Self::TrajLen, Self::Epsilon, Self::Pois, Self::Speed, Self::NgramLen]
+    }
+
+    fn id(&self) -> &'static str {
+        match self {
+            Self::TrajLen => "traj_len",
+            Self::Epsilon => "epsilon",
+            Self::Pois => "pois",
+            Self::Speed => "speed",
+            Self::NgramLen => "ngram",
+        }
+    }
+
+    fn scenarios(&self) -> Vec<Scenario> {
+        match self {
+            // Figure 8i/9i use the campus data; the rest use the two cities.
+            Self::NgramLen => vec![Scenario::Campus],
+            _ => vec![Scenario::TaxiFoursquare, Scenario::Safegraph],
+        }
+    }
+}
+
+/// Combined (Eq. 15) point distance averaged per point — the single NE
+/// number plotted in Figure 8.
+fn combined_ne(dataset: &Dataset, real: &[Trajectory], perturbed: &[Trajectory]) -> f64 {
+    let mut total = 0.0;
+    for (r, p) in real.iter().zip(perturbed) {
+        let per: f64 = r
+            .points()
+            .iter()
+            .zip(p.points())
+            .map(|(a, b)| point_distance(dataset, (a.poi, a.t), (b.poi, b.t)))
+            .sum();
+        total += per / r.len() as f64;
+    }
+    total / real.len() as f64
+}
+
+/// One sweep; returns (fig8 NE table, fig9 runtime table).
+pub fn run_sweep(param: SweepParam, params: &ExpParams) -> (Reported, Reported) {
+    let settings: Vec<(String, ScenarioConfig, MechanismConfig)> = match param {
+        SweepParam::TrajLen => [4u32, 6, 8]
+            .iter()
+            .map(|&l| {
+                (
+                    format!("|τ|={l}"),
+                    ScenarioConfig {
+                        num_pois: params.num_pois,
+                        num_trajectories: params.num_trajectories * 3, // exact-length filter attrition
+                        traj_len: Some(l),
+                        speed_kmh: None,
+                        seed: params.seed,
+                    },
+                    MechanismConfig::default().with_epsilon(params.epsilon),
+                )
+            })
+            .collect(),
+        SweepParam::Epsilon => [0.01, 0.1, 1.0, 10.0]
+            .iter()
+            .map(|&e| {
+                (
+                    format!("ε={e}"),
+                    ScenarioConfig {
+                        num_pois: params.num_pois,
+                        num_trajectories: params.num_trajectories,
+                        traj_len: None,
+                        speed_kmh: None,
+                        seed: params.seed,
+                    },
+                    MechanismConfig::default().with_epsilon(e),
+                )
+            })
+            .collect(),
+        SweepParam::Pois => [1usize, 2, 3, 4]
+            .iter()
+            .map(|&k| {
+                (
+                    format!("|P|={}", params.num_pois * k),
+                    ScenarioConfig {
+                        num_pois: params.num_pois * k,
+                        num_trajectories: params.num_trajectories,
+                        traj_len: None,
+                        speed_kmh: None,
+                        seed: params.seed,
+                    },
+                    MechanismConfig::default().with_epsilon(params.epsilon),
+                )
+            })
+            .collect(),
+        SweepParam::Speed => [4.0, 8.0, 12.0, 16.0, f64::INFINITY]
+            .iter()
+            .map(|&s| {
+                let label =
+                    if s.is_infinite() { "speed=Inf".to_string() } else { format!("speed={s}") };
+                (
+                    label,
+                    ScenarioConfig {
+                        num_pois: params.num_pois,
+                        num_trajectories: params.num_trajectories,
+                        traj_len: None,
+                        speed_kmh: Some(s),
+                        seed: params.seed,
+                    },
+                    MechanismConfig::default().with_epsilon(params.epsilon),
+                )
+            })
+            .collect(),
+        SweepParam::NgramLen => [1usize, 2, 3]
+            .iter()
+            .map(|&n| {
+                (
+                    format!("n={n}"),
+                    ScenarioConfig {
+                        num_pois: params.num_pois,
+                        num_trajectories: params.num_trajectories,
+                        traj_len: None,
+                        speed_kmh: None,
+                        seed: params.seed,
+                    },
+                    MechanismConfig::default().with_epsilon(params.epsilon).with_n(n),
+                )
+            })
+            .collect(),
+    };
+
+    let mut headers = vec!["Method".to_string()];
+    let mut ne_rows: Vec<Vec<String>> = Vec::new();
+    let mut rt_rows: Vec<Vec<String>> = Vec::new();
+    for scenario in param.scenarios() {
+        for (label, scen_cfg, mech_cfg) in &settings {
+            headers.push(format!("{} {label}", scenario.name()));
+            let (dataset, set) = build_scenario(scenario, scen_cfg);
+            if set.is_empty() {
+                for rows in [&mut ne_rows, &mut rt_rows] {
+                    for row in rows.iter_mut() {
+                        row.push("—".into());
+                    }
+                }
+                continue;
+            }
+            let methods = build_methods(&dataset, mech_cfg);
+            for (mi, mech) in methods.iter().enumerate() {
+                if ne_rows.len() <= mi {
+                    ne_rows.push(vec![mech.name().to_string()]);
+                    rt_rows.push(vec![mech.name().to_string()]);
+                }
+                let run = run_method(mech.as_ref(), &set, params.seed, params.workers);
+                let ne = combined_ne(&dataset, set.all(), &run.perturbed);
+                ne_rows[mi].push(format!("{ne:.2}"));
+                rt_rows[mi].push(format!("{:.3}", run.mean_timings.total().as_secs_f64()));
+                eprintln!(
+                    "fig8/9 [{}]: {} {} {} -> NE {ne:.2}, {:.3}s",
+                    param.id(),
+                    scenario.name(),
+                    label,
+                    mech.name(),
+                    run.mean_timings.total().as_secs_f64()
+                );
+            }
+        }
+    }
+    let common = format!(
+        "|P|base={} |T|={} eps-base={}",
+        params.num_pois, params.num_trajectories, params.epsilon
+    );
+    (
+        Reported {
+            id: format!("fig8_{}", param.id()),
+            settings: format!("combined NE; {common}"),
+            headers: headers.clone(),
+            rows: ne_rows,
+        },
+        Reported {
+            id: format!("fig9_{}", param.id()),
+            settings: format!("mean seconds/trajectory; {common}"),
+            headers,
+            rows: rt_rows,
+        },
+    )
+}

@@ -1,0 +1,65 @@
+//! One function per paper table/figure, shared by the thin binaries in
+//! `src/bin/` and by `run_all`.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig7;
+pub mod fig89;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use crate::report::Reported;
+
+/// Common experiment knobs (scaled-down defaults; see DESIGN.md §3).
+#[derive(Debug, Clone)]
+pub struct ExpParams {
+    /// `|P|` for city scenarios.
+    pub num_pois: usize,
+    /// Trajectories per scenario.
+    pub num_trajectories: usize,
+    /// Privacy budget ε (paper default 5).
+    pub epsilon: f64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ExpParams {
+    fn default() -> Self {
+        Self {
+            num_pois: 400,
+            num_trajectories: 60,
+            epsilon: 5.0,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            seed: 7,
+        }
+    }
+}
+
+impl ExpParams {
+    /// Builds params from CLI args (`--pois`, `--trajectories`,
+    /// `--epsilon`, `--workers`, `--seed`).
+    pub fn from_args(args: &crate::Args) -> Self {
+        let d = Self::default();
+        Self {
+            num_pois: args.get_or("pois", d.num_pois),
+            num_trajectories: args.get_or("trajectories", d.num_trajectories),
+            epsilon: args.get_or("epsilon", d.epsilon),
+            workers: args.get_or("workers", d.workers),
+            seed: args.get_or("seed", d.seed),
+        }
+    }
+}
+
+/// Prints and persists a batch of reports.
+pub fn emit(reports: &[Reported]) {
+    let dir = std::path::Path::new("results");
+    for r in reports {
+        r.print();
+        if let Err(e) = crate::report::write_json(r, dir) {
+            eprintln!("warning: could not write results JSON: {e}");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Table 2: mean normalized error between real and perturbed trajectory
+//! sets, per dimension, for all five methods on all three datasets.
+
+use super::ExpParams;
+use crate::report::Reported;
+use crate::runner::{build_methods, run_method};
+use crate::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_core::MechanismConfig;
+use trajshare_query::normalized_error;
+
+/// Runs the Table 2 experiment.
+pub fn run(params: &ExpParams) -> Reported {
+    let config = MechanismConfig::default().with_epsilon(params.epsilon);
+    let mut headers = vec!["Method".to_string()];
+    for s in Scenario::all() {
+        for dim in ["d_t (h)", "d_c", "d_s (km)"] {
+            headers.push(format!("{} {dim}", s.name()));
+        }
+    }
+    // rows[method][scenario * 3 + dim]
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (si, scenario) in Scenario::all().into_iter().enumerate() {
+        let cfg = ScenarioConfig {
+            num_pois: params.num_pois,
+            num_trajectories: params.num_trajectories,
+            speed_kmh: None,
+            traj_len: None,
+            seed: params.seed,
+        };
+        let (dataset, set) = build_scenario(scenario, &cfg);
+        let methods = build_methods(&dataset, &config);
+        for (mi, mech) in methods.iter().enumerate() {
+            if rows.len() <= mi {
+                rows.push(vec![mech.name().to_string()]);
+            }
+            let run = run_method(mech.as_ref(), &set, params.seed, params.workers);
+            let ne = normalized_error(&dataset, set.all(), &run.perturbed);
+            rows[mi].push(format!("{:.2}", ne.dt));
+            rows[mi].push(format!("{:.2}", ne.dc));
+            rows[mi].push(format!("{:.2}", ne.ds));
+            eprintln!(
+                "table2: {} / {} done (dt={:.2} dc={:.2} ds={:.2})",
+                scenario.name(),
+                mech.name(),
+                ne.dt,
+                ne.dc,
+                ne.ds
+            );
+        }
+        let _ = si;
+    }
+    Reported {
+        id: "table2".into(),
+        settings: format!(
+            "|P|={} |T|={} eps={} (paper: |P|=2000, |T|=5-10k, eps=5)",
+            params.num_pois, params.num_trajectories, params.epsilon
+        ),
+        headers,
+        rows,
+    }
+}

@@ -1,0 +1,64 @@
+//! Table 3: average per-trajectory runtime, broken down by mechanism stage,
+//! for the Taxi-Foursquare and Safegraph datasets.
+
+use super::ExpParams;
+use crate::report::Reported;
+use crate::runner::{build_methods, run_method};
+use crate::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_core::MechanismConfig;
+
+fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Runs the Table 3 experiment.
+pub fn run(params: &ExpParams) -> Reported {
+    let config = MechanismConfig::default().with_epsilon(params.epsilon);
+    let scenarios = [Scenario::TaxiFoursquare, Scenario::Safegraph];
+    let mut headers = vec!["Method".to_string()];
+    for s in scenarios {
+        for col in ["Perturb", "Reconst. Prep", "Optimal Reconst.", "Other", "Total"] {
+            headers.push(format!("{} {col} (s)", s.name()));
+        }
+    }
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for scenario in scenarios {
+        let cfg = ScenarioConfig {
+            num_pois: params.num_pois,
+            num_trajectories: params.num_trajectories,
+            speed_kmh: None,
+            traj_len: None,
+            seed: params.seed,
+        };
+        let (dataset, set) = build_scenario(scenario, &cfg);
+        let methods = build_methods(&dataset, &config);
+        for (mi, mech) in methods.iter().enumerate() {
+            if rows.len() <= mi {
+                rows.push(vec![mech.name().to_string()]);
+            }
+            let run = run_method(mech.as_ref(), &set, params.seed, params.workers);
+            let t = run.mean_timings;
+            rows[mi].push(secs(t.perturb));
+            rows[mi].push(secs(t.reconstruct_prep));
+            rows[mi].push(secs(t.optimal_reconstruct));
+            rows[mi].push(secs(t.other));
+            rows[mi].push(secs(t.total()));
+            eprintln!(
+                "table3: {} / {}: total {:.3}s/trajectory",
+                scenario.name(),
+                mech.name(),
+                t.total().as_secs_f64()
+            );
+        }
+    }
+    Reported {
+        id: "table3".into(),
+        settings: format!(
+            "|P|={} |T|={} eps={}; mean seconds per trajectory (paper used a commercial \
+             ILP solver; our Viterbi solve is the Optimal Reconst. column)",
+            params.num_pois, params.num_trajectories, params.epsilon
+        ),
+        headers,
+        rows,
+    }
+}

@@ -1,0 +1,94 @@
+//! Table 4: hotspot preservation — average hotspot distance (AHD, hours)
+//! and average count difference (ACD) for all methods on all datasets.
+//!
+//! §6.3.2: POI-level plus 4×4 and 2×2 grids with η = {20, 20, 50}; three
+//! category levels with η = {50, 30, 20}. Thresholds scale with the set
+//! size (the paper uses 5–10 k trajectories; we default to fewer).
+
+use super::ExpParams;
+use crate::report::Reported;
+use crate::runner::{build_methods, run_method};
+use crate::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_core::MechanismConfig;
+use trajshare_model::{Dataset, TrajectorySet};
+use trajshare_query::{acd, ahd, extract_hotspots, HotspotScope};
+
+/// η thresholds scaled from the paper's 5000-trajectory baseline.
+fn scopes_and_etas(num_trajectories: usize) -> Vec<(HotspotScope, usize)> {
+    let scale = (num_trajectories as f64 / 5000.0).max(0.002);
+    let eta = |base: usize| ((base as f64 * scale).round() as usize).max(2);
+    vec![
+        (HotspotScope::Poi, eta(20)),
+        (HotspotScope::Grid(4), eta(20)),
+        (HotspotScope::Grid(2), eta(50)),
+        (HotspotScope::Category(1), eta(50)),
+        (HotspotScope::Category(2), eta(30)),
+        (HotspotScope::Category(3), eta(20)),
+    ]
+}
+
+/// Mean AHD/ACD over all scopes that yield comparable hotspot sets.
+fn hotspot_scores(
+    dataset: &Dataset,
+    real: &TrajectorySet,
+    perturbed: &TrajectorySet,
+    num_trajectories: usize,
+) -> (Option<f64>, Option<f64>) {
+    let mut ahds = Vec::new();
+    let mut acds = Vec::new();
+    for (scope, eta) in scopes_and_etas(num_trajectories) {
+        let h_real = extract_hotspots(dataset, real, scope, eta);
+        let h_pert = extract_hotspots(dataset, perturbed, scope, eta);
+        if let Some(a) = ahd(&h_real, &h_pert) {
+            ahds.push(a);
+        }
+        if let Some(c) = acd(&h_real, &h_pert) {
+            acds.push(c);
+        }
+    }
+    let mean = |v: &[f64]| (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64);
+    (mean(&ahds), mean(&acds))
+}
+
+/// Runs the Table 4 experiment.
+pub fn run(params: &ExpParams) -> Reported {
+    let config = MechanismConfig::default().with_epsilon(params.epsilon);
+    let mut headers = vec!["Method".to_string()];
+    for s in Scenario::all() {
+        headers.push(format!("{} AHD (h)", s.name()));
+        headers.push(format!("{} ACD", s.name()));
+    }
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for scenario in Scenario::all() {
+        let cfg = ScenarioConfig {
+            num_pois: params.num_pois,
+            num_trajectories: params.num_trajectories,
+            speed_kmh: None,
+            traj_len: None,
+            seed: params.seed,
+        };
+        let (dataset, set) = build_scenario(scenario, &cfg);
+        let methods = build_methods(&dataset, &config);
+        for (mi, mech) in methods.iter().enumerate() {
+            if rows.len() <= mi {
+                rows.push(vec![mech.name().to_string()]);
+            }
+            let run = run_method(mech.as_ref(), &set, params.seed, params.workers);
+            let pert_set = TrajectorySet::new(run.perturbed);
+            let (a, c) = hotspot_scores(&dataset, &set, &pert_set, set.len());
+            let fmt = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.2}"));
+            rows[mi].push(fmt(a));
+            rows[mi].push(fmt(c));
+            eprintln!("table4: {} / {} done", scenario.name(), mech.name());
+        }
+    }
+    Reported {
+        id: "table4".into(),
+        settings: format!(
+            "|P|={} |T|={} eps={}; η scaled by |T|/5000; '—' = no comparable hotspots",
+            params.num_pois, params.num_trajectories, params.epsilon
+        ),
+        headers,
+        rows,
+    }
+}

@@ -1,0 +1,183 @@
+//! The three §6.1 evaluation scenarios.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajshare_datagen::{
+    generate_campus, generate_safegraph, generate_taxi_foursquare, CampusConfig, CityConfig,
+    SafegraphConfig, SyntheticCity, TaxiFoursquareConfig,
+};
+use trajshare_hierarchy::builders::{foursquare, naics};
+use trajshare_model::{Dataset, TrajectorySet};
+
+/// Which dataset family to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Foursquare-hierarchy city with check-in walks ("Taxi-Foursquare").
+    TaxiFoursquare,
+    /// NAICS-hierarchy city with the §6.1.2 dwell-time process.
+    Safegraph,
+    /// UBC-like campus with the three induced events.
+    Campus,
+}
+
+impl Scenario {
+    /// Display name matching the paper's table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::TaxiFoursquare => "Taxi-Foursquare",
+            Scenario::Safegraph => "Safegraph",
+            Scenario::Campus => "Campus",
+        }
+    }
+
+    /// All three scenarios.
+    pub fn all() -> [Scenario; 3] {
+        [Scenario::TaxiFoursquare, Scenario::Safegraph, Scenario::Campus]
+    }
+}
+
+/// Size knobs shared by the binaries.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// `|P|` for the city scenarios (campus is fixed at 262 buildings).
+    pub num_pois: usize,
+    /// Trajectories to generate (pre-filtering).
+    pub num_trajectories: usize,
+    /// Travel speed override, km/h; `None` = paper defaults (8 city / 4
+    /// campus); `Some(f64::INFINITY)` disables reachability.
+    pub speed_kmh: Option<f64>,
+    /// Fix every trajectory's length to exactly this value (Figure 8a/9a
+    /// sweeps); `None` uses the scenario's natural 3–8 range.
+    pub traj_len: Option<u32>,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self { num_pois: 600, num_trajectories: 120, speed_kmh: None, traj_len: None, seed: 7 }
+    }
+}
+
+fn len_bounds(cfg: &ScenarioConfig, default: (u32, u32)) -> (u32, u32) {
+    match cfg.traj_len {
+        Some(l) => (l, l),
+        None => default,
+    }
+}
+
+/// Builds the dataset and trajectory set of a scenario. When
+/// `cfg.traj_len` is set, only trajectories of exactly that length are
+/// kept.
+pub fn build_scenario(scenario: Scenario, cfg: &ScenarioConfig) -> (Dataset, TrajectorySet) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let speed = |default: f64| -> Option<f64> {
+        match cfg.speed_kmh {
+            Some(s) if s.is_infinite() => None,
+            Some(s) => Some(s),
+            None => Some(default),
+        }
+    };
+    match scenario {
+        Scenario::TaxiFoursquare => {
+            let city = SyntheticCity::generate(
+                &CityConfig { num_pois: cfg.num_pois, speed_kmh: speed(8.0), ..Default::default() },
+                foursquare(),
+                &mut rng,
+            );
+            let set = generate_taxi_foursquare(
+                &city.dataset,
+                &TaxiFoursquareConfig {
+                    num_trajectories: cfg.num_trajectories,
+                    len_bounds: len_bounds(cfg, (3, 8)),
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            (city.dataset, exact_len(set, cfg))
+        }
+        Scenario::Safegraph => {
+            let city = SyntheticCity::generate(
+                &CityConfig { num_pois: cfg.num_pois, speed_kmh: speed(8.0), ..Default::default() },
+                naics(),
+                &mut rng,
+            );
+            let set = generate_safegraph(
+                &city.dataset,
+                &SafegraphConfig {
+                    num_trajectories: cfg.num_trajectories,
+                    len_bounds: len_bounds(cfg, (3, 8)),
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            (city.dataset, exact_len(set, cfg))
+        }
+        Scenario::Campus => {
+            let data = generate_campus(
+                &CampusConfig {
+                    num_trajectories: cfg.num_trajectories,
+                    speed_kmh: speed(4.0),
+                    len_bounds: len_bounds(cfg, (3, 8)),
+                    ..Default::default()
+                },
+                &mut rng,
+            );
+            let set = exact_len(data.trajectories, cfg);
+            (data.dataset, set)
+        }
+    }
+}
+
+/// Keeps only exact-length trajectories when `traj_len` is pinned.
+fn exact_len(set: TrajectorySet, cfg: &ScenarioConfig) -> TrajectorySet {
+    match cfg.traj_len {
+        Some(l) => set
+            .all()
+            .iter()
+            .filter(|t| t.len() == l as usize)
+            .cloned()
+            .collect(),
+        None => set,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_build_nonempty_sets() {
+        let cfg = ScenarioConfig { num_pois: 200, num_trajectories: 40, ..Default::default() };
+        for s in Scenario::all() {
+            let (ds, set) = build_scenario(s, &cfg);
+            assert!(!set.is_empty(), "{} produced no trajectories", s.name());
+            for t in set.all() {
+                assert!(t.validate(&ds).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let cfg = ScenarioConfig { num_pois: 150, num_trajectories: 25, ..Default::default() };
+        let (_, a) = build_scenario(Scenario::TaxiFoursquare, &cfg);
+        let (_, b) = build_scenario(Scenario::TaxiFoursquare, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.all().iter().zip(b.all()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn infinite_speed_disables_reachability() {
+        let cfg = ScenarioConfig {
+            num_pois: 150,
+            num_trajectories: 20,
+            speed_kmh: Some(f64::INFINITY),
+            ..Default::default()
+        };
+        let (ds, _) = build_scenario(Scenario::Safegraph, &cfg);
+        assert_eq!(ds.speed_kmh, None);
+    }
+}

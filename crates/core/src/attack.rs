@@ -1,0 +1,218 @@
+//! Adversarial inference analysis (§5.7).
+//!
+//! The paper argues an adversary with full public knowledge "cannot use
+//! this information to learn meaningful information with high probability".
+//! This module makes that claim checkable: a Bayesian adversary who knows
+//! the mechanism, the candidate universe and a prior over inputs computes
+//! the exact posterior over true bigrams given an observed perturbed
+//! bigram. ε-LDP bounds the posterior-to-prior odds update by `e^ε'` per
+//! window — which the tests verify — and the empirical recovery rate of the
+//! MAP attacker quantifies residual leakage.
+
+use crate::region::RegionId;
+use crate::regiongraph::RegionGraph;
+use rand::Rng;
+
+/// A window-level Bayesian adversary against the n-gram EM (bigrams).
+#[derive(Debug, Clone, Copy)]
+pub struct WindowAdversary<'a> {
+    graph: &'a RegionGraph,
+    eps_prime: f64,
+}
+
+impl<'a> WindowAdversary<'a> {
+    /// Creates the adversary for a given per-window budget.
+    pub fn new(graph: &'a RegionGraph, eps_prime: f64) -> Self {
+        assert!(eps_prime > 0.0 && eps_prime.is_finite());
+        Self { graph, eps_prime }
+    }
+
+    /// Exact likelihood `P(z | x)` of observing output bigram `z` when the
+    /// true bigram is `x`, under the §5.4 EM over `W₂`.
+    pub fn likelihood(&self, z: (RegionId, RegionId), x: (RegionId, RegionId)) -> f64 {
+        let sens = self.graph.distance.ngram_sensitivity(2);
+        let scale = self.eps_prime / (2.0 * sens);
+        let weight = |out: (u32, u32)| -> f64 {
+            let d = self.graph.distance.get(x.0, RegionId(out.0))
+                + self.graph.distance.get(x.1, RegionId(out.1));
+            (-scale * d).exp()
+        };
+        let total: f64 = self.graph.bigrams.iter().map(|&e| weight(e)).sum();
+        weight((z.0 .0, z.1 .0)) / total
+    }
+
+    /// Posterior over all candidate true bigrams in `W₂` given observation
+    /// `z` and a prior (same length/order as `graph.bigrams`). Returns a
+    /// normalized distribution.
+    pub fn posterior(&self, z: (RegionId, RegionId), prior: &[f64]) -> Vec<f64> {
+        assert_eq!(prior.len(), self.graph.bigrams.len(), "prior must cover W₂");
+        let mut post: Vec<f64> = self
+            .graph
+            .bigrams
+            .iter()
+            .zip(prior)
+            .map(|(&(a, b), &p)| p * self.likelihood(z, (RegionId(a), RegionId(b))))
+            .collect();
+        let total: f64 = post.iter().sum();
+        assert!(total > 0.0, "degenerate posterior");
+        for v in &mut post {
+            *v /= total;
+        }
+        post
+    }
+
+    /// MAP estimate: the most likely true bigram under the posterior.
+    pub fn map_estimate(&self, z: (RegionId, RegionId), prior: &[f64]) -> (RegionId, RegionId) {
+        let post = self.posterior(z, prior);
+        let best = post
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .expect("non-empty W₂");
+        let (a, b) = self.graph.bigrams[best];
+        (RegionId(a), RegionId(b))
+    }
+
+    /// Empirical recovery rate: how often the MAP attacker (uniform prior)
+    /// exactly recovers the true bigram over `trials` mechanism runs.
+    pub fn empirical_recovery_rate<R: Rng + ?Sized>(
+        &self,
+        truth: (RegionId, RegionId),
+        trials: usize,
+        rng: &mut R,
+    ) -> f64 {
+        let prior = vec![1.0 / self.graph.bigrams.len() as f64; self.graph.bigrams.len()];
+        let mut hits = 0usize;
+        for _ in 0..trials {
+            let z = crate::perturb::sample_window(
+                self.graph,
+                &[truth.0, truth.1],
+                self.eps_prime,
+                rng,
+            );
+            if self.map_estimate((z[0], z[1]), &prior) == truth {
+                hits += 1;
+            }
+        }
+        hits as f64 / trials as f64
+    }
+
+    /// The maximum posterior-to-prior odds-ratio update over all pairs of
+    /// candidate inputs for observation `z` — bounded by `e^{ε'}` under
+    /// ε'-LDP (Definition 4.2 rearranged).
+    pub fn max_odds_update(&self, z: (RegionId, RegionId)) -> f64 {
+        let mut max_l: f64 = 0.0;
+        let mut min_l = f64::INFINITY;
+        for &(a, b) in &self.graph.bigrams {
+            let l = self.likelihood(z, (RegionId(a), RegionId(b)));
+            max_l = max_l.max(l);
+            min_l = min_l.min(l);
+        }
+        max_l / min_l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MechanismConfig;
+    use crate::decomposition::decompose;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trajshare_geo::{DistanceMetric, GeoPoint};
+    use trajshare_hierarchy::builders::campus;
+    use trajshare_model::{Dataset, Poi, PoiId, TimeDomain};
+
+    fn graph() -> (Dataset, crate::region::RegionSet, RegionGraph) {
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..36)
+            .map(|i| {
+                Poi::new(
+                    PoiId(i),
+                    format!("p{i}"),
+                    origin.offset_m((i % 6) as f64 * 400.0, (i / 6) as f64 * 400.0),
+                    leaves[i as usize % leaves.len()],
+                )
+            })
+            .collect();
+        let ds = Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine);
+        let mut cfg = MechanismConfig::default();
+        cfg.time_interval_min = 240; // coarse: keep W₂ small for exact sums
+        let rs = decompose(&ds, &cfg);
+        let g = RegionGraph::build(&ds, &rs);
+        (ds, rs, g)
+    }
+
+    #[test]
+    fn likelihoods_normalize_over_outputs() {
+        let (_, _, g) = graph();
+        let adv = WindowAdversary::new(&g, 1.0);
+        let x = (RegionId(g.bigrams[0].0), RegionId(g.bigrams[0].1));
+        let total: f64 = g
+            .bigrams
+            .iter()
+            .map(|&(a, b)| adv.likelihood((RegionId(a), RegionId(b)), x))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "likelihoods sum to {total}");
+    }
+
+    #[test]
+    fn odds_update_bounded_by_exp_eps_prime() {
+        let (_, _, g) = graph();
+        for eps in [0.5, 1.0, 2.0] {
+            let adv = WindowAdversary::new(&g, eps);
+            let &(a, b) = &g.bigrams[g.bigrams.len() / 2];
+            let update = adv.max_odds_update((RegionId(a), RegionId(b)));
+            assert!(
+                update <= eps.exp() + 1e-6,
+                "ε'={eps}: odds update {update} exceeds e^ε' = {}",
+                eps.exp()
+            );
+        }
+    }
+
+    #[test]
+    fn posterior_is_proper_and_prior_sensitive() {
+        let (_, _, g) = graph();
+        let adv = WindowAdversary::new(&g, 1.0);
+        let z = (RegionId(g.bigrams[1].0), RegionId(g.bigrams[1].1));
+        let n = g.bigrams.len();
+        let uniform = vec![1.0 / n as f64; n];
+        let post = adv.posterior(z, &uniform);
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // A spiked prior dominates a weak likelihood at small ε'.
+        let weak = WindowAdversary::new(&g, 1e-6);
+        let mut spiked = vec![1e-9; n];
+        spiked[7] = 1.0;
+        let post = weak.posterior(z, &spiked);
+        let best = post.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(best, 7, "with no signal the prior decides");
+    }
+
+    #[test]
+    fn tiny_epsilon_recovery_is_near_chance() {
+        let (_, _, g) = graph();
+        let adv = WindowAdversary::new(&g, 0.01);
+        let truth = (RegionId(g.bigrams[0].0), RegionId(g.bigrams[0].1));
+        let mut rng = StdRng::seed_from_u64(1);
+        let rate = adv.empirical_recovery_rate(truth, 150, &mut rng);
+        let chance = 1.0 / g.bigrams.len() as f64;
+        assert!(
+            rate < chance * 20.0 + 0.05,
+            "ε'=0.01 recovery {rate} too far above chance {chance}"
+        );
+    }
+
+    #[test]
+    fn huge_epsilon_recovery_is_near_certain() {
+        let (_, _, g) = graph();
+        let adv = WindowAdversary::new(&g, 500.0);
+        let truth = (RegionId(g.bigrams[0].0), RegionId(g.bigrams[0].1));
+        let mut rng = StdRng::seed_from_u64(2);
+        let rate = adv.empirical_recovery_rate(truth, 50, &mut rng);
+        assert!(rate > 0.9, "ε'=500 recovery only {rate}");
+    }
+}

@@ -1,0 +1,261 @@
+//! The global solution (§5.1): model whole trajectories as points in
+//! high-dimensional space and run one EM draw over *all* feasible
+//! trajectories.
+//!
+//! The paper shows |S| ≈ 9.78 × 10¹⁹ even for a small scenario, so this is
+//! only usable for toy worlds; we implement it (with an explicit candidate
+//! cap) as a correctness oracle for the n-gram solution, together with the
+//! two §5.1 variants — the subsampled EM and Permute-and-Flip — for the
+//! ablation benchmarks.
+
+use crate::distances::point_distance;
+use crate::mechanism::{Mechanism, MechanismOutput, StageTimings};
+use std::time::Instant;
+use trajshare_mech::{permute_and_flip, subsampled_em, ExponentialMechanism};
+use trajshare_model::{
+    Dataset, ReachabilityOracle, Timestep, Trajectory, TrajectoryPoint,
+};
+
+/// Which sampling strategy to run over the enumerated trajectory space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalVariant {
+    /// The plain exponential mechanism (Eq. 4).
+    Em,
+    /// Subsampled EM (Lantz et al.) with the given sample size.
+    SubsampledEm(usize),
+    /// Permute-and-Flip (McKenna & Sheldon).
+    PermuteAndFlip,
+}
+
+/// The global solution over an explicitly enumerated trajectory space `S`.
+#[derive(Debug, Clone)]
+pub struct GlobalMechanism {
+    dataset: Dataset,
+    epsilon: f64,
+    variant: GlobalVariant,
+    /// Hard cap on |S|; enumeration aborts (panics) beyond it, because
+    /// proceeding would silently take forever — the very point of §5.1.
+    max_candidates: usize,
+}
+
+impl GlobalMechanism {
+    pub fn build(
+        dataset: &Dataset,
+        epsilon: f64,
+        variant: GlobalVariant,
+        max_candidates: usize,
+    ) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite());
+        assert!(max_candidates > 0);
+        Self { dataset: dataset.clone(), epsilon, variant, max_candidates }
+    }
+
+    /// Enumerates every feasible trajectory of length `len` (strictly
+    /// increasing timesteps, opening hours, reachability).
+    ///
+    /// Returns `None` when the candidate count exceeds the configured cap.
+    pub fn enumerate_space(&self, len: usize) -> Option<Vec<Vec<TrajectoryPoint>>> {
+        let oracle = ReachabilityOracle::new(&self.dataset);
+        let num_steps = self.dataset.time.num_timesteps() as u16;
+        let mut out: Vec<Vec<TrajectoryPoint>> = Vec::new();
+        let mut stack: Vec<TrajectoryPoint> = Vec::with_capacity(len);
+
+        fn recurse(
+            ds: &Dataset,
+            oracle: &ReachabilityOracle,
+            num_steps: u16,
+            len: usize,
+            cap: usize,
+            stack: &mut Vec<TrajectoryPoint>,
+            out: &mut Vec<Vec<TrajectoryPoint>>,
+        ) -> bool {
+            if stack.len() == len {
+                if out.len() >= cap {
+                    return false;
+                }
+                out.push(stack.clone());
+                return true;
+            }
+            let t_from = stack.last().map_or(0, |p| p.t.0 + 1);
+            for t in t_from..num_steps {
+                for p in ds.pois.ids() {
+                    if !ds.pois.get(p).opening.is_open_at(&ds.time, Timestep(t)) {
+                        continue;
+                    }
+                    if let Some(prev) = stack.last() {
+                        if !oracle.is_reachable((prev.poi, prev.t), (p, Timestep(t))) {
+                            continue;
+                        }
+                    }
+                    stack.push(TrajectoryPoint { poi: p, t: Timestep(t) });
+                    let ok = recurse(ds, oracle, num_steps, len, cap, stack, out);
+                    stack.pop();
+                    if !ok {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+
+        if recurse(
+            &self.dataset,
+            &oracle,
+            num_steps,
+            len,
+            self.max_candidates,
+            &mut stack,
+            &mut out,
+        ) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// The trajectory distance d_τ: element-wise sum of combined point
+    /// distances (the natural lift of Eq. 16 to whole trajectories).
+    pub fn trajectory_distance(&self, a: &Trajectory, b: &[TrajectoryPoint]) -> f64 {
+        a.points()
+            .iter()
+            .zip(b)
+            .map(|(x, y)| point_distance(&self.dataset, (x.poi, x.t), (y.poi, y.t)))
+            .sum()
+    }
+
+    /// Sensitivity of d_τ for length-`len` trajectories.
+    pub fn sensitivity(&self, len: usize) -> f64 {
+        let diam_km = self.dataset.pois.bbox().diagonal_m() / 1000.0;
+        let dc_max = self.dataset.category_distance.max_distance();
+        let per_point = (diam_km * diam_km
+            + crate::distances::TIME_CAP_H * crate::distances::TIME_CAP_H
+            + dc_max * dc_max)
+            .sqrt();
+        per_point * len as f64
+    }
+}
+
+impl Mechanism for GlobalMechanism {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            GlobalVariant::Em => "Global-EM",
+            GlobalVariant::SubsampledEm(_) => "Global-SubsampledEM",
+            GlobalVariant::PermuteAndFlip => "Global-PF",
+        }
+    }
+
+    fn perturb(&self, trajectory: &Trajectory, rng: &mut dyn rand::RngCore) -> MechanismOutput {
+        assert!(!trajectory.is_empty());
+        let t0 = Instant::now();
+        let space = self
+            .enumerate_space(trajectory.len())
+            .expect("trajectory space exceeds the max_candidates cap (see §5.1)");
+        assert!(!space.is_empty(), "no feasible trajectory of this length exists");
+        let qualities: Vec<f64> =
+            space.iter().map(|s| -self.trajectory_distance(trajectory, s)).collect();
+        let sens = self.sensitivity(trajectory.len());
+
+        let idx = match self.variant {
+            GlobalVariant::Em => ExponentialMechanism::new(self.epsilon, sens)
+                .sample(&qualities, rng)
+                .expect("non-empty S"),
+            GlobalVariant::SubsampledEm(k) => {
+                subsampled_em(&qualities, self.epsilon, sens, k, rng).expect("non-empty S")
+            }
+            GlobalVariant::PermuteAndFlip => {
+                permute_and_flip(&qualities, self.epsilon, sens, rng).expect("non-empty S")
+            }
+        };
+        MechanismOutput {
+            trajectory: Trajectory::new(space[idx].clone()),
+            timings: StageTimings { perturb: t0.elapsed(), ..Default::default() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trajshare_geo::{DistanceMetric, GeoPoint};
+    use trajshare_hierarchy::builders::campus;
+    use trajshare_model::{Poi, PoiId, TimeDomain};
+
+    /// A toy world: 4 POIs, 12 timesteps (2-hour granularity).
+    fn toy() -> Dataset {
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..4)
+            .map(|i| {
+                Poi::new(
+                    PoiId(i),
+                    format!("p{i}"),
+                    origin.offset_m(i as f64 * 400.0, 0.0),
+                    leaves[i as usize % leaves.len()],
+                )
+            })
+            .collect();
+        Dataset::new(pois, h, TimeDomain::new(120), Some(8.0), DistanceMetric::Haversine)
+    }
+
+    #[test]
+    fn enumeration_counts_feasible_space() {
+        let ds = toy();
+        let g = GlobalMechanism::build(&ds, 1.0, GlobalVariant::Em, 1_000_000);
+        let s1 = g.enumerate_space(1).unwrap();
+        // 4 POIs × 12 timesteps, all open.
+        assert_eq!(s1.len(), 48);
+        let s2 = g.enumerate_space(2).unwrap();
+        // All pairs with t2 > t1 and reachability (2h at 8km/h = 16 km ≫
+        // max spacing, so everything is reachable): 4*4 * C(12,2) = 1056.
+        assert_eq!(s2.len(), 16 * 66);
+    }
+
+    #[test]
+    fn cap_aborts_enumeration() {
+        let ds = toy();
+        let g = GlobalMechanism::build(&ds, 1.0, GlobalVariant::Em, 10);
+        assert!(g.enumerate_space(2).is_none());
+    }
+
+    #[test]
+    fn em_variant_prefers_truth_at_high_epsilon() {
+        let ds = toy();
+        let g = GlobalMechanism::build(&ds, 400.0, GlobalVariant::Em, 1_000_000);
+        let traj = Trajectory::from_pairs(&[(1, 3), (2, 5)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = g.perturb(&traj, &mut rng);
+        assert_eq!(out.trajectory, traj, "huge ε must recover the input");
+    }
+
+    #[test]
+    fn all_variants_emit_feasible_outputs() {
+        let ds = toy();
+        let traj = Trajectory::from_pairs(&[(0, 2), (1, 4)]);
+        let oracle = ReachabilityOracle::new(&ds);
+        let mut rng = StdRng::seed_from_u64(2);
+        for variant in [
+            GlobalVariant::Em,
+            GlobalVariant::SubsampledEm(64),
+            GlobalVariant::PermuteAndFlip,
+        ] {
+            let g = GlobalMechanism::build(&ds, 2.0, variant, 1_000_000);
+            for _ in 0..5 {
+                let out = g.perturb(&traj, &mut rng);
+                assert_eq!(out.trajectory.len(), 2);
+                let pts = out.trajectory.points();
+                assert!(pts[1].t > pts[0].t);
+                assert!(oracle.is_reachable((pts[0].poi, pts[0].t), (pts[1].poi, pts[1].t)));
+            }
+        }
+    }
+
+    #[test]
+    fn sensitivity_scales_with_length() {
+        let ds = toy();
+        let g = GlobalMechanism::build(&ds, 1.0, GlobalVariant::Em, 100);
+        assert!((g.sensitivity(4) - 2.0 * g.sensitivity(2)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,280 @@
+//! Independent per-point perturbation: `IndReach` and `IndNoReach` (§5.9).
+//!
+//! Each of the `|τ|` points receives budget ε/|τ|, split evenly between its
+//! timestep draw and its POI draw. `IndReach` conditions each point's
+//! candidate set on the *previously released* output point (legal — outputs
+//! are public), so its trajectories satisfy reachability by construction.
+//! `IndNoReach` samples unconditionally and repairs the output by
+//! post-processing: sorting/strictifying timesteps and shifting them until
+//! reachability holds ("we use post-processing to shift the perturbed
+//! timesteps to ensure a realistic output").
+
+use crate::distances::TIME_CAP_H;
+use crate::mechanism::{Mechanism, MechanismOutput, StageTimings};
+use rand::Rng;
+use std::time::Instant;
+use trajshare_mech::ExponentialMechanism;
+use trajshare_model::{
+    Dataset, PoiId, ReachabilityOracle, Timestep, Trajectory, TrajectoryPoint,
+};
+
+/// `IndReach` / `IndNoReach`, selected by `use_reachability`.
+#[derive(Debug, Clone)]
+pub struct IndependentMechanism {
+    dataset: Dataset,
+    epsilon: f64,
+    use_reachability: bool,
+    /// Per-POI-draw sensitivity: combined space+category point distance cap.
+    poi_sensitivity: f64,
+}
+
+impl IndependentMechanism {
+    /// Creates the mechanism. `use_reachability = true` gives `IndReach`.
+    pub fn build(dataset: &Dataset, epsilon: f64, use_reachability: bool) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite());
+        let diam_km = dataset.pois.bbox().diagonal_m() / 1000.0;
+        let dc_max = dataset.category_distance.max_distance();
+        let poi_sensitivity = (diam_km * diam_km + dc_max * dc_max).sqrt().max(1e-9);
+        Self { dataset: dataset.clone(), epsilon, use_reachability, poi_sensitivity }
+    }
+
+    /// Space+category distance between two POIs (no time component — time
+    /// is perturbed separately).
+    fn poi_distance(&self, a: PoiId, b: PoiId) -> f64 {
+        let ds_km = self.dataset.poi_distance_m(a, b) / 1000.0;
+        let dc = self.dataset.category_distance.get(
+            self.dataset.pois.get(a).category,
+            self.dataset.pois.get(b).category,
+        );
+        (ds_km * ds_km + dc * dc).sqrt()
+    }
+
+    /// EM draw of a timestep from `[min_t, max_t]` with quality −|gap|
+    /// (hours, capped). The bounds keep IndReach outputs strictly
+    /// increasing with room for the remaining points.
+    fn sample_time<R: Rng + ?Sized>(
+        &self,
+        truth: Timestep,
+        min_t: u16,
+        max_t: u16,
+        eps: f64,
+        rng: &mut R,
+    ) -> Timestep {
+        let em = ExponentialMechanism::new(eps, TIME_CAP_H);
+        let hi = max_t.max(min_t);
+        let qualities: Vec<f64> = (min_t..=hi)
+            .map(|t| {
+                let gap_h =
+                    self.dataset.time.gap_minutes(truth, Timestep(t)) as f64 / 60.0;
+                -gap_h.min(TIME_CAP_H)
+            })
+            .collect();
+        let idx = em.sample(&qualities, rng).expect("non-empty timestep set");
+        Timestep(min_t + idx as u16)
+    }
+
+    /// EM draw of a POI from `candidates` with quality −d(truth, ·).
+    fn sample_poi<R: Rng + ?Sized>(
+        &self,
+        truth: PoiId,
+        candidates: &[PoiId],
+        eps: f64,
+        rng: &mut R,
+    ) -> PoiId {
+        let em = ExponentialMechanism::new(eps, self.poi_sensitivity);
+        let qualities: Vec<f64> =
+            candidates.iter().map(|&c| -self.poi_distance(truth, c)).collect();
+        let idx = em.sample(&qualities, rng).expect("non-empty candidate set");
+        candidates[idx]
+    }
+}
+
+impl Mechanism for IndependentMechanism {
+    fn name(&self) -> &'static str {
+        if self.use_reachability {
+            "IndReach"
+        } else {
+            "IndNoReach"
+        }
+    }
+
+    fn perturb(&self, trajectory: &Trajectory, rng: &mut dyn rand::RngCore) -> MechanismOutput {
+        assert!(!trajectory.is_empty());
+        let len = trajectory.len();
+        // ε/|τ| per point, halved between the time and POI draws.
+        let eps_each = self.epsilon / (2.0 * len as f64);
+        let oracle = ReachabilityOracle::new(&self.dataset);
+        let num_steps = self.dataset.time.num_timesteps() as u16;
+
+        let t0 = Instant::now();
+        let mut out: Vec<TrajectoryPoint> = Vec::with_capacity(len);
+        for (i, pt) in trajectory.points().iter().enumerate() {
+            // Leave room for the points after this one (IndReach only).
+            let remaining = (len - 1 - i) as u16;
+            let (min_t, max_t, prev_poi) = if self.use_reachability {
+                let hi = num_steps - 1 - remaining;
+                match out.last() {
+                    Some(p) => (((p.t.0 + 1).min(hi)), hi, Some(p.poi)),
+                    None => (0, hi, None),
+                }
+            } else {
+                (0, num_steps - 1, None)
+            };
+            let t_hat = self.sample_time(pt.t, min_t, max_t, eps_each, rng);
+
+            // Candidate POIs: open at the drawn time; IndReach additionally
+            // requires reachability from the previous *output* point.
+            let mut candidates: Vec<PoiId> = self
+                .dataset
+                .pois
+                .ids()
+                .filter(|&p| {
+                    self.dataset.pois.get(p).opening.is_open_at(&self.dataset.time, t_hat)
+                })
+                .collect();
+            if let Some(prev) = prev_poi {
+                let gap = self.dataset.time.gap_minutes(out.last().unwrap().t, t_hat) as f64;
+                let theta = oracle.threshold_m(gap);
+                candidates.retain(|&p| self.dataset.poi_distance_m(prev, p) <= theta);
+            }
+            if candidates.is_empty() {
+                // Degenerate corner (nothing open / nothing reachable):
+                // relax to the full POI set so the draw is always defined.
+                candidates = self.dataset.pois.ids().collect();
+            }
+            let p_hat = self.sample_poi(pt.poi, &candidates, eps_each, rng);
+            let _ = i;
+            out.push(TrajectoryPoint { poi: p_hat, t: t_hat });
+        }
+        let perturb = t0.elapsed();
+
+        // Post-processing for IndNoReach: sort + strictify + shift times
+        // until reachability holds.
+        let t1 = Instant::now();
+        if !self.use_reachability {
+            let mut times: Vec<u16> = out.iter().map(|p| p.t.0).collect();
+            times.sort_unstable();
+            for i in 1..times.len() {
+                if times[i] <= times[i - 1] {
+                    times[i] = (times[i - 1] + 1).min(num_steps - 1);
+                }
+            }
+            for (p, t) in out.iter_mut().zip(&times) {
+                p.t = Timestep(*t);
+            }
+            // Shift forward until each hop is reachable.
+            let gt = self.dataset.time.gt_minutes() as f64;
+            for i in 1..out.len() {
+                let d = self.dataset.poi_distance_m(out[i - 1].poi, out[i].poi);
+                // Earlier shifts may have pushed the previous point past
+                // this one; saturate and let the loop/backward pass repair.
+                let mut steps = (out[i].t.0.saturating_sub(out[i - 1].t.0)).max(1);
+                while oracle.threshold_m(steps as f64 * gt) < d && steps < num_steps {
+                    steps += 1;
+                }
+                let target = (out[i - 1].t.0 + steps).min(num_steps - 1);
+                if out[i].t.0 < target {
+                    out[i].t = Timestep(target);
+                }
+            }
+            // Day-end collisions: walk back preserving strict monotonicity.
+            for i in (0..out.len() - 1).rev() {
+                if out[i].t.0 >= out[i + 1].t.0 {
+                    out[i].t = Timestep(out[i + 1].t.0.saturating_sub(1));
+                }
+            }
+        }
+        let other = t1.elapsed();
+
+        MechanismOutput {
+            trajectory: Trajectory::new(out),
+            timings: StageTimings { perturb, other, ..Default::default() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trajshare_geo::{DistanceMetric, GeoPoint};
+    use trajshare_hierarchy::builders::campus;
+    use trajshare_model::{Poi, TimeDomain};
+
+    fn dataset() -> Dataset {
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..50)
+            .map(|i| {
+                let loc = origin.offset_m((i % 10) as f64 * 300.0, (i / 10) as f64 * 300.0);
+                Poi::new(PoiId(i as u32), format!("p{i}"), loc, leaves[i as usize % leaves.len()])
+            })
+            .collect();
+        Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine)
+    }
+
+    #[test]
+    fn names_reflect_variant() {
+        let ds = dataset();
+        assert_eq!(IndependentMechanism::build(&ds, 1.0, true).name(), "IndReach");
+        assert_eq!(IndependentMechanism::build(&ds, 1.0, false).name(), "IndNoReach");
+    }
+
+    #[test]
+    fn ind_reach_outputs_satisfy_reachability_by_construction() {
+        let ds = dataset();
+        let mech = IndependentMechanism::build(&ds, 2.0, true);
+        let traj = Trajectory::from_pairs(&[(0, 60), (11, 63), (22, 66)]);
+        let oracle = ReachabilityOracle::new(&ds);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..25 {
+            let out = mech.perturb(&traj, &mut rng);
+            for w in out.trajectory.points().windows(2) {
+                assert!(w[1].t > w[0].t);
+                assert!(oracle.is_reachable((w[0].poi, w[0].t), (w[1].poi, w[1].t)));
+            }
+        }
+    }
+
+    #[test]
+    fn ind_noreach_post_processing_repairs_output() {
+        let ds = dataset();
+        let mech = IndependentMechanism::build(&ds, 0.5, false);
+        let traj = Trajectory::from_pairs(&[(0, 60), (11, 63), (22, 66), (33, 70)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..25 {
+            let out = mech.perturb(&traj, &mut rng);
+            assert_eq!(out.trajectory.len(), 4);
+            for w in out.trajectory.points().windows(2) {
+                assert!(w[1].t > w[0].t, "times must strictly increase after repair");
+            }
+        }
+    }
+
+    #[test]
+    fn high_epsilon_recovers_truth() {
+        let ds = dataset();
+        let mech = IndependentMechanism::build(&ds, 500.0, true);
+        let traj = Trajectory::from_pairs(&[(0, 60), (11, 63), (22, 66)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = mech.perturb(&traj, &mut rng);
+        let matches = traj
+            .points()
+            .iter()
+            .zip(out.trajectory.points())
+            .filter(|(a, b)| a.poi == b.poi)
+            .count();
+        assert!(matches >= 2, "with huge ε most POIs should be exact, got {matches}/3");
+    }
+
+    #[test]
+    fn timings_report_perturb_dominant() {
+        let ds = dataset();
+        let mech = IndependentMechanism::build(&ds, 1.0, true);
+        let traj = Trajectory::from_pairs(&[(0, 60), (11, 63)]);
+        let out = mech.perturb(&traj, &mut StdRng::seed_from_u64(4));
+        assert_eq!(out.timings.optimal_reconstruct, std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,18 @@
+//! Alternative approaches the paper compares against (§5.9) and the global
+//! solution (§5.1).
+//!
+//! * [`IndependentMechanism`] — `IndReach` / `IndNoReach`: each
+//!   (POI, timestep) pair perturbed independently,
+//! * [`PoiNgramMechanism`] — `NGramNoH` (POI-level n-grams, no hierarchy)
+//!   and `PhysDist` (physical distance only, no external knowledge),
+//! * [`GlobalMechanism`] — exhaustive EM over the full trajectory space,
+//!   feasible only for toy worlds; includes the subsampled-EM and
+//!   Permute-and-Flip variants discussed in §5.1.
+
+mod global;
+mod independent;
+mod poi_ngram;
+
+pub use global::{GlobalMechanism, GlobalVariant};
+pub use independent::IndependentMechanism;
+pub use poi_ngram::PoiNgramMechanism;

@@ -1,0 +1,200 @@
+//! Continuous single-point sharing (§8 future work: "our solution can be
+//! adapted ... to consider the setting where single location points are
+//! shared continuously").
+//!
+//! Each report perturbs one (POI, timestep) visit as a 1-gram over the STC
+//! region universe, spending a fixed ε per report from a total budget. The
+//! accountant hard-stops further reports once the budget is gone — the
+//! sequential-composition guarantee of §5.7 ("assuming each of k
+//! trajectories is assigned a privacy budget of ε, the resultant release
+//! provides (kε)-LDP") enforced mechanically.
+
+use crate::config::MechanismConfig;
+use crate::decomposition::decompose;
+use crate::region::{RegionId, RegionSet};
+use crate::regiongraph::RegionGraph;
+use rand::Rng;
+use trajshare_mech::{BudgetError, PrivacyBudget};
+use trajshare_model::{Dataset, PoiId, Timestep, TrajectoryPoint};
+
+/// A stateful per-user sharer for streaming location reports.
+#[derive(Debug, Clone)]
+pub struct ContinuousSharer {
+    dataset: Dataset,
+    regions: RegionSet,
+    graph: RegionGraph,
+    eps_per_report: f64,
+    budget: PrivacyBudget,
+}
+
+impl ContinuousSharer {
+    /// Builds the sharer: `total_epsilon` is the user's lifetime budget,
+    /// `eps_per_report` the cost of each shared point.
+    pub fn build(
+        dataset: &Dataset,
+        config: &MechanismConfig,
+        total_epsilon: f64,
+        eps_per_report: f64,
+    ) -> Self {
+        assert!(eps_per_report > 0.0 && eps_per_report <= total_epsilon);
+        let regions = decompose(dataset, config);
+        let graph = RegionGraph::build(dataset, &regions);
+        Self {
+            dataset: dataset.clone(),
+            regions,
+            graph,
+            eps_per_report,
+            budget: PrivacyBudget::new(total_epsilon),
+        }
+    }
+
+    /// Budget still available.
+    pub fn remaining_epsilon(&self) -> f64 {
+        self.budget.remaining()
+    }
+
+    /// Number of reports still affordable.
+    pub fn remaining_reports(&self) -> usize {
+        (self.budget.remaining() / self.eps_per_report + 1e-9) as usize
+    }
+
+    /// Shares one visit under `eps_per_report`-LDP, or fails when the
+    /// lifetime budget is exhausted (no partial spend on failure).
+    pub fn share<R: Rng + ?Sized>(
+        &mut self,
+        poi: PoiId,
+        t: Timestep,
+        rng: &mut R,
+    ) -> Result<TrajectoryPoint, BudgetError> {
+        self.budget.consume(self.eps_per_report)?;
+        let truth = self
+            .regions
+            .nearest_region_for(&self.dataset, poi, t)
+            .expect("every POI with open hours has a region");
+        // 1-gram EM draw over the region universe (§5.4 with n = 1).
+        let sampled =
+            crate::perturb::sample_window(&self.graph, &[truth], self.eps_per_report, rng);
+        let region = sampled[0];
+        Ok(self.sample_point(region, t, rng))
+    }
+
+    /// Post-processing: concretize a region into a (POI, timestep) pair;
+    /// keeps the report's time inside the region's interval.
+    fn sample_point<R: Rng + ?Sized>(
+        &self,
+        region: RegionId,
+        _true_t: Timestep,
+        rng: &mut R,
+    ) -> TrajectoryPoint {
+        let r = self.regions.get(region);
+        let gt = self.dataset.time.gt_minutes();
+        let lo = r.time.start_min / gt;
+        let hi = (r.time.end_min / gt).max(lo + 1);
+        // Prefer members open at the drawn timestep; fall back to any member.
+        for _ in 0..64 {
+            let t = Timestep(rng.random_range(lo..hi) as u16);
+            let open: Vec<PoiId> = r
+                .members
+                .iter()
+                .copied()
+                .filter(|&p| self.dataset.pois.get(p).opening.is_open_at(&self.dataset.time, t))
+                .collect();
+            if let Some(&poi) = open.get(rng.random_range(0..open.len().max(1)).min(open.len().saturating_sub(1))) {
+                return TrajectoryPoint { poi, t };
+            }
+        }
+        let poi = r.members[rng.random_range(0..r.members.len())];
+        let t = Timestep(lo as u16);
+        TrajectoryPoint { poi, t }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trajshare_geo::{DistanceMetric, GeoPoint};
+    use trajshare_hierarchy::builders::campus;
+    use trajshare_model::{Poi, TimeDomain};
+
+    fn dataset() -> Dataset {
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..40)
+            .map(|i| {
+                Poi::new(
+                    PoiId(i),
+                    format!("p{i}"),
+                    origin.offset_m((i % 8) as f64 * 400.0, (i / 8) as f64 * 400.0),
+                    leaves[i as usize % leaves.len()],
+                )
+            })
+            .collect();
+        Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine)
+    }
+
+    #[test]
+    fn budget_limits_report_count() {
+        let ds = dataset();
+        let mut sharer =
+            ContinuousSharer::build(&ds, &MechanismConfig::default(), 5.0, 1.0);
+        assert_eq!(sharer.remaining_reports(), 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..5 {
+            sharer
+                .share(PoiId(3), Timestep(60 + i), &mut rng)
+                .unwrap_or_else(|e| panic!("report {i}: {e}"));
+        }
+        assert_eq!(sharer.remaining_reports(), 0);
+        let err = sharer.share(PoiId(3), Timestep(70), &mut rng);
+        assert!(err.is_err(), "sixth report must be refused");
+    }
+
+    #[test]
+    fn failed_share_does_not_consume_budget() {
+        let ds = dataset();
+        let mut sharer =
+            ContinuousSharer::build(&ds, &MechanismConfig::default(), 1.0, 0.6);
+        let mut rng = StdRng::seed_from_u64(2);
+        sharer.share(PoiId(0), Timestep(60), &mut rng).unwrap();
+        let before = sharer.remaining_epsilon();
+        assert!(sharer.share(PoiId(0), Timestep(61), &mut rng).is_err());
+        assert_eq!(sharer.remaining_epsilon(), before);
+    }
+
+    #[test]
+    fn shared_points_are_valid_dataset_members() {
+        let ds = dataset();
+        let mut sharer =
+            ContinuousSharer::build(&ds, &MechanismConfig::default(), 100.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..20u16 {
+            let pt = sharer.share(PoiId(i as u32 % 40), Timestep(40 + i), &mut rng).unwrap();
+            assert!(pt.poi.index() < ds.pois.len());
+            assert!(pt.t.index() < ds.time.num_timesteps());
+        }
+    }
+
+    #[test]
+    fn high_epsilon_reports_stay_near_truth() {
+        let ds = dataset();
+        let mut near =
+            ContinuousSharer::build(&ds, &MechanismConfig::default(), 10_000.0, 100.0);
+        let mut far = ContinuousSharer::build(&ds, &MechanismConfig::default(), 10.0, 0.01);
+        let mut rng = StdRng::seed_from_u64(4);
+        let truth = (PoiId(20), Timestep(72));
+        let mean_dist = |s: &mut ContinuousSharer, rng: &mut StdRng| -> f64 {
+            let mut total = 0.0;
+            for _ in 0..30 {
+                let pt = s.share(truth.0, truth.1, rng).unwrap();
+                total += crate::distances::point_distance(&ds, truth, (pt.poi, pt.t));
+            }
+            total / 30.0
+        };
+        let d_near = mean_dist(&mut near, &mut rng);
+        let d_far = mean_dist(&mut far, &mut rng);
+        assert!(d_near < d_far, "ε=100/report ({d_near}) must beat ε=0.01 ({d_far})");
+    }
+}

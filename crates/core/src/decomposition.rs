@@ -1,0 +1,388 @@
+//! Hierarchical decomposition and STC region merging (§5.3).
+//!
+//! POIs are assigned to base regions — (finest grid cell, time tile, leaf
+//! category) triples — for every tile during which they are open. Empty
+//! regions never materialize. Merging then repeatedly coarsens
+//! under-populated regions (fewer than κ members) along the configured
+//! dimension order:
+//!
+//! * **Space** — one grid level (4×4 → 2×2 → 1×1),
+//! * **Time** — doubling the interval width with aligned windows,
+//! * **Category** — lifting to the parent hierarchy node.
+//!
+//! A popularity guard (Figure 2c) freezes regions containing a top-quantile
+//! POI so that large hotspots are not diluted by merging.
+//!
+//! Everything here uses only public knowledge; no privacy budget is spent.
+
+use crate::config::{MechanismConfig, MergeDimension};
+use crate::region::{BaseKey, RegionId, RegionSet, StcRegion};
+use std::collections::HashMap;
+use trajshare_geo::{GeoPoint, UniformGrid};
+use trajshare_hierarchy::CategoryId;
+use trajshare_model::time::MINUTES_PER_DAY;
+use trajshare_model::{Dataset, PoiId, TimeInterval};
+
+/// Key of a (possibly merged) draft region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct DraftKey {
+    /// Index into the grid-level vector (0 = finest).
+    space_level: u8,
+    space_cell: u32,
+    /// Tile range `[tile_start, tile_end)` in base tiles.
+    tile_start: u32,
+    tile_end: u32,
+    category: CategoryId,
+}
+
+#[derive(Debug, Clone)]
+struct Draft {
+    key: DraftKey,
+    members: Vec<PoiId>,
+    base_keys: Vec<BaseKey>,
+    frozen: bool,
+}
+
+/// Runs hierarchical decomposition + merging and returns the region set.
+pub fn decompose(dataset: &Dataset, config: &MechanismConfig) -> RegionSet {
+    config.validate().expect("invalid mechanism config");
+    let tile_min = config.time_interval_min;
+    let tiles = MINUTES_PER_DAY / tile_min;
+
+    // Grid pyramid: finest first, halving down to 1×1.
+    let mut grids = vec![UniformGrid::new(*dataset.pois.bbox(), config.gs)];
+    let mut gs = config.gs;
+    while gs > 1 {
+        gs = (gs / 2).max(1);
+        grids.push(UniformGrid::new(*dataset.pois.bbox(), gs));
+    }
+
+    // Popularity guard threshold.
+    let guard = config.popularity_guard_quantile.map(|q| {
+        let mut pops: Vec<f64> =
+            dataset.pois.all().iter().map(|p| p.popularity).collect();
+        pops.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((pops.len() as f64 - 1.0) * q).floor() as usize;
+        pops[idx.min(pops.len() - 1)]
+    });
+
+    // --- Base regions: only non-empty triples materialize. ---
+    let mut map: HashMap<DraftKey, Draft> = HashMap::new();
+    for poi in dataset.pois.all() {
+        let cell = grids[0].cell_of(poi.location).0;
+        for tile in 0..tiles {
+            if !poi.opening.overlaps_interval(tile * tile_min, (tile + 1) * tile_min) {
+                continue;
+            }
+            let key = DraftKey {
+                space_level: 0,
+                space_cell: cell,
+                tile_start: tile,
+                tile_end: tile + 1,
+                category: poi.category,
+            };
+            // Strictly above the quantile value: ties at the threshold do
+            // not freeze (otherwise discrete popularity scales freeze far
+            // more than the intended top fraction).
+            let frozen = guard.is_some_and(|g| poi.popularity > g);
+            let d = map.entry(key).or_insert_with(|| Draft {
+                key,
+                members: Vec::new(),
+                base_keys: vec![(cell, tile, poi.category.0)],
+                frozen: false,
+            });
+            d.members.push(poi.id);
+            d.frozen |= frozen;
+            if !d.base_keys.contains(&(cell, tile, poi.category.0)) {
+                d.base_keys.push((cell, tile, poi.category.0));
+            }
+        }
+    }
+
+    // --- Merge passes. ---
+    for &dim in &config.merge_order {
+        if map.values().all(|d| d.members.len() >= config.kappa || d.frozen) {
+            break;
+        }
+        let mut next: HashMap<DraftKey, Draft> = HashMap::with_capacity(map.len());
+        for (_, mut d) in map.drain() {
+            let coarsen = d.members.len() < config.kappa && !d.frozen;
+            if coarsen {
+                d.key = coarsen_key(&d.key, dim, &grids, dataset, tiles);
+            }
+            match next.entry(d.key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let tgt = e.get_mut();
+                    tgt.members.extend(d.members);
+                    // Dedupe immediately: time merges re-contribute the same
+                    // POIs from adjacent tiles, and κ must count *distinct*
+                    // members or coarsening stops too early.
+                    tgt.members.sort_unstable();
+                    tgt.members.dedup();
+                    tgt.base_keys.extend(d.base_keys);
+                    tgt.frozen |= d.frozen;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(d);
+                }
+            }
+        }
+        map = next;
+    }
+
+    // --- Finalize (deterministic order). ---
+    let mut drafts: Vec<Draft> = map.into_values().collect();
+    drafts.sort_by_key(|d| d.key);
+    let mut regions = Vec::with_capacity(drafts.len());
+    let mut lookup: HashMap<BaseKey, RegionId> = HashMap::new();
+    for (i, mut d) in drafts.into_iter().enumerate() {
+        d.members.sort_unstable();
+        d.members.dedup();
+        let id = RegionId(i as u32);
+        for bk in &d.base_keys {
+            lookup.insert(*bk, id);
+        }
+        let locs: Vec<GeoPoint> =
+            d.members.iter().map(|&p| dataset.pois.get(p).location).collect();
+        let centroid = GeoPoint::centroid(&locs).expect("regions are non-empty");
+        let radius_m = locs
+            .iter()
+            .map(|l| l.distance_m(&centroid, dataset.metric))
+            .fold(0.0, f64::max);
+        let popularity = d.members.iter().map(|&p| dataset.pois.get(p).popularity).sum();
+        regions.push(StcRegion {
+            members: d.members,
+            centroid,
+            radius_m,
+            time: TimeInterval::new(d.key.tile_start * tile_min, d.key.tile_end * tile_min),
+            category: d.key.category,
+            popularity,
+        });
+    }
+    RegionSet::new(regions, lookup, tile_min, grids[0].clone())
+}
+
+/// One coarsening step of a draft key along `dim`.
+fn coarsen_key(
+    key: &DraftKey,
+    dim: MergeDimension,
+    grids: &[UniformGrid],
+    dataset: &Dataset,
+    tiles: u32,
+) -> DraftKey {
+    let mut k = *key;
+    match dim {
+        MergeDimension::Space => {
+            let level = key.space_level as usize;
+            if level + 1 < grids.len() {
+                let cell = grids[level]
+                    .coarsen(trajshare_geo::CellId(key.space_cell), &grids[level + 1]);
+                k.space_level += 1;
+                k.space_cell = cell.0;
+            }
+        }
+        MergeDimension::Time => {
+            let width = key.tile_end - key.tile_start;
+            let new_width = (width * 2).min(tiles);
+            let start = key.tile_start / new_width * new_width;
+            k.tile_start = start;
+            k.tile_end = (start + new_width).min(tiles);
+        }
+        MergeDimension::Category => {
+            if let Some(parent) = dataset.hierarchy.parent(key.category) {
+                k.category = parent;
+            }
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MechanismConfig;
+    use trajshare_geo::DistanceMetric;
+    use trajshare_hierarchy::builders::foursquare;
+    use trajshare_model::{OpeningHours, Poi, TimeDomain, Timestep};
+
+    /// A grid of POIs across categories; some always open, some 9-17.
+    fn dataset(n: usize) -> Dataset {
+        let h = foursquare();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..n)
+            .map(|i| {
+                let loc = origin.offset_m(
+                    (i % 20) as f64 * 250.0,
+                    ((i / 20) % 20) as f64 * 250.0,
+                );
+                let opening = if i % 3 == 0 {
+                    OpeningHours::always()
+                } else {
+                    OpeningHours::between(9, 17)
+                };
+                Poi::new(PoiId(i as u32), format!("p{i}"), loc, leaves[i % leaves.len()])
+                    .with_popularity(1.0 + (i % 7) as f64)
+                    .with_opening(opening)
+            })
+            .collect();
+        Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine)
+    }
+
+    #[test]
+    fn no_empty_regions_materialize() {
+        let ds = dataset(200);
+        let rs = decompose(&ds, &MechanismConfig::default());
+        assert!(!rs.is_empty());
+        for r in rs.all() {
+            assert!(!r.is_empty(), "empty STC region leaked through");
+        }
+    }
+
+    #[test]
+    fn merging_reduces_region_count() {
+        let ds = dataset(200);
+        let mut no_merge = MechanismConfig::default();
+        no_merge.merge_order.clear();
+        no_merge.kappa = 1;
+        let base = decompose(&ds, &no_merge);
+        let merged = decompose(&ds, &MechanismConfig::default());
+        assert!(
+            merged.len() < base.len(),
+            "merged {} should be fewer than base {}",
+            merged.len(),
+            base.len()
+        );
+    }
+
+    #[test]
+    fn most_regions_meet_kappa_after_merging() {
+        let ds = dataset(400);
+        let cfg = MechanismConfig::default();
+        let rs = decompose(&ds, &cfg);
+        let under: usize = rs.all().iter().filter(|r| r.len() < cfg.kappa).count();
+        // Some under-κ regions can survive when all merge passes are
+        // exhausted (§5.3: "or cannot merge further"), but they should be a
+        // small minority.
+        assert!(
+            (under as f64) < 0.5 * rs.len() as f64,
+            "{under} of {} regions below kappa",
+            rs.len()
+        );
+    }
+
+    #[test]
+    fn every_open_poi_timestep_resolves_to_a_region() {
+        let ds = dataset(150);
+        let rs = decompose(&ds, &MechanismConfig::default());
+        for poi in ds.pois.all() {
+            for t in ds.time.timesteps() {
+                if poi.opening.is_open_at(&ds.time, t) {
+                    let r = rs.region_of(&ds, poi.id, t);
+                    assert!(r.is_some(), "poi {:?} at {:?} has no region", poi.id, t);
+                    let region = rs.get(r.unwrap());
+                    assert!(region.members.contains(&poi.id));
+                    assert!(region.time.contains(&ds.time, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_time_falls_back_to_nearest_open_tile() {
+        let ds = dataset(150);
+        let rs = decompose(&ds, &MechanismConfig::default());
+        // POI 1 is open 9-17 only; query at 3am.
+        let poi = PoiId(1);
+        assert!(!ds.pois.get(poi).opening.is_open_at(&ds.time, Timestep(18)));
+        let r = rs.nearest_region_for(&ds, poi, Timestep(18));
+        assert!(r.is_some());
+        assert!(rs.get(r.unwrap()).members.contains(&poi));
+    }
+
+    #[test]
+    fn region_time_intervals_and_members_consistent() {
+        let ds = dataset(300);
+        let rs = decompose(&ds, &MechanismConfig::default());
+        for r in rs.all() {
+            assert!(r.time.width_min() >= 60);
+            assert!(r.radius_m >= 0.0);
+            assert!(r.popularity > 0.0);
+            // Every member is open at some point in the region's interval.
+            for &m in &r.members {
+                assert!(ds
+                    .pois
+                    .get(m)
+                    .opening
+                    .overlaps_interval(r.time.start_min, r.time.end_min));
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_guard_freezes_hot_regions() {
+        let mut ds = dataset(300);
+        // Make one POI overwhelmingly popular.
+        // (Rebuild the dataset with the modified popularity.)
+        let h = ds.hierarchy.clone();
+        let mut pois = ds.pois.all().to_vec();
+        pois[42].popularity = 1e6;
+        ds = Dataset::new(pois, h, ds.time, ds.speed_kmh, ds.metric);
+
+        let mut cfg = MechanismConfig::default();
+        cfg.popularity_guard_quantile = Some(0.999);
+        let rs = decompose(&ds, &cfg);
+        // The hot POI's regions should be tiny (unmerged base regions),
+        // despite kappa = 10.
+        let hot_regions: Vec<&StcRegion> =
+            rs.all().iter().filter(|r| r.members.contains(&PoiId(42))).collect();
+        assert!(!hot_regions.is_empty());
+        for r in hot_regions {
+            assert!(
+                r.len() < 10,
+                "hot region should stay unmerged, has {} members",
+                r.len()
+            );
+        }
+    }
+
+    #[test]
+    fn encode_trajectory_produces_matching_regions() {
+        let ds = dataset(200);
+        let rs = decompose(&ds, &MechanismConfig::default());
+        let traj =
+            trajshare_model::Trajectory::from_pairs(&[(0, 60), (3, 62), (6, 66)]);
+        let regions = rs.encode(&ds, &traj).unwrap();
+        assert_eq!(regions.len(), 3);
+        for (i, &rid) in regions.iter().enumerate() {
+            let r = rs.get(rid);
+            assert!(r.members.contains(&traj.point(i).poi));
+        }
+    }
+
+    #[test]
+    fn deterministic_region_ids_across_runs() {
+        let ds = dataset(250);
+        let a = decompose(&ds, &MechanismConfig::default());
+        let b = decompose(&ds, &MechanismConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.all().iter().zip(b.all()) {
+            assert_eq!(ra.members, rb.members);
+            assert_eq!(ra.time, rb.time);
+            assert_eq!(ra.category, rb.category);
+        }
+    }
+
+    #[test]
+    fn category_merge_lifts_to_parent_nodes() {
+        let ds = dataset(60); // sparse -> heavy merging
+        let mut cfg = MechanismConfig::default();
+        cfg.merge_order = vec![MergeDimension::Category, MergeDimension::Category];
+        cfg.kappa = 50;
+        let rs = decompose(&ds, &cfg);
+        // After two category lifts, some regions should sit at level 1.
+        let has_internal =
+            rs.all().iter().any(|r| ds.hierarchy.level(r.category) < ds.hierarchy.max_level());
+        assert!(has_internal, "expected lifted category nodes");
+    }
+}

@@ -1,0 +1,85 @@
+//! The common mechanism interface and per-stage timing (Table 3).
+
+use std::time::Duration;
+use trajshare_model::Trajectory;
+
+/// Wall-clock breakdown matching Table 3's columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// n-gram (or per-point) perturbation.
+    pub perturb: Duration,
+    /// Reconstruction preparation (MBR restriction, error tables, lattice
+    /// assembly).
+    pub reconstruct_prep: Duration,
+    /// Solving the optimal-reconstruction problem.
+    pub optimal_reconstruct: Duration,
+    /// Everything else (time smoothing, POI-level reconstruction, ...).
+    pub other: Duration,
+}
+
+impl StageTimings {
+    /// Total across stages.
+    pub fn total(&self) -> Duration {
+        self.perturb + self.reconstruct_prep + self.optimal_reconstruct + self.other
+    }
+
+    /// Element-wise sum (for averaging over a trajectory set).
+    pub fn add(&mut self, other: &StageTimings) {
+        self.perturb += other.perturb;
+        self.reconstruct_prep += other.reconstruct_prep;
+        self.optimal_reconstruct += other.optimal_reconstruct;
+        self.other += other.other;
+    }
+
+    /// Scales all stages by `1/n` (averaging helper).
+    pub fn div(&self, n: u32) -> StageTimings {
+        let n = n.max(1);
+        StageTimings {
+            perturb: self.perturb / n,
+            reconstruct_prep: self.reconstruct_prep / n,
+            optimal_reconstruct: self.optimal_reconstruct / n,
+            other: self.other / n,
+        }
+    }
+}
+
+/// Output of one perturbation: the shared trajectory plus stage timings.
+#[derive(Debug, Clone)]
+pub struct MechanismOutput {
+    pub trajectory: Trajectory,
+    pub timings: StageTimings,
+}
+
+/// A trajectory-perturbation mechanism (the main n-gram mechanism or any
+/// §5.9 baseline). Implementations must satisfy ε-LDP for the ε they were
+/// configured with.
+pub trait Mechanism: Send + Sync {
+    /// Short display name (matches the paper's method names).
+    fn name(&self) -> &'static str;
+
+    /// Perturbs one trajectory. The output has the same length as the
+    /// input, strictly increasing timesteps, and satisfies the mechanism's
+    /// feasibility guarantees.
+    fn perturb(&self, trajectory: &Trajectory, rng: &mut dyn rand::RngCore) -> MechanismOutput;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_total_and_average() {
+        let mut t = StageTimings {
+            perturb: Duration::from_millis(10),
+            reconstruct_prep: Duration::from_millis(20),
+            optimal_reconstruct: Duration::from_millis(30),
+            other: Duration::from_millis(40),
+        };
+        assert_eq!(t.total(), Duration::from_millis(100));
+        let u = t;
+        t.add(&u);
+        assert_eq!(t.total(), Duration::from_millis(200));
+        assert_eq!(t.div(2).total(), Duration::from_millis(100));
+        assert_eq!(t.div(0).total(), t.total(), "div by zero clamps to 1");
+    }
+}

@@ -1,0 +1,232 @@
+//! The full NGram mechanism (Figure 1): decomposition → n-gram perturbation
+//! → optimal region reconstruction → POI-level reconstruction.
+
+use crate::config::MechanismConfig;
+use crate::decomposition::decompose;
+use crate::mechanism::{Mechanism, MechanismOutput, StageTimings};
+use crate::perturb::perturb_region_sequence;
+use crate::poi_level::reconstruct_poi_level;
+use crate::reconstruct::reconstruct_regions;
+use crate::region::RegionSet;
+use crate::regiongraph::RegionGraph;
+use std::time::Instant;
+use trajshare_mech::PrivacyBudget;
+use trajshare_model::{Dataset, Trajectory};
+
+/// The paper's main mechanism ("NGram" in Tables 2–4).
+///
+/// Construction runs the public pre-processing (hierarchical decomposition,
+/// merging, `W_n` formation — the Figure 7 cost); [`Mechanism::perturb`]
+/// then handles one trajectory per call, spending exactly ε.
+#[derive(Debug, Clone)]
+pub struct NGramMechanism {
+    dataset: Dataset,
+    regions: RegionSet,
+    graph: RegionGraph,
+    config: MechanismConfig,
+}
+
+impl NGramMechanism {
+    /// Runs pre-processing and returns the ready mechanism.
+    ///
+    /// Panics on an invalid configuration.
+    pub fn build(dataset: &Dataset, config: &MechanismConfig) -> Self {
+        config.validate().expect("invalid mechanism config");
+        let regions = decompose(dataset, config);
+        let graph = RegionGraph::build(dataset, &regions);
+        Self { dataset: dataset.clone(), regions, graph, config: config.clone() }
+    }
+
+    /// The decomposed STC region set.
+    #[inline]
+    pub fn regions(&self) -> &RegionSet {
+        &self.regions
+    }
+
+    /// The feasible n-gram universe.
+    #[inline]
+    pub fn graph(&self) -> &RegionGraph {
+        &self.graph
+    }
+
+    /// The configuration in force.
+    #[inline]
+    pub fn config(&self) -> &MechanismConfig {
+        &self.config
+    }
+
+    /// The per-window budget ε′ = ε/(|τ|+n−1) for a trajectory length.
+    pub fn eps_prime(&self, traj_len: usize) -> f64 {
+        let n = self.config.n.min(traj_len);
+        self.config.epsilon / (traj_len + n - 1) as f64
+    }
+}
+
+impl Mechanism for NGramMechanism {
+    fn name(&self) -> &'static str {
+        "NGram"
+    }
+
+    fn perturb(&self, trajectory: &Trajectory, rng: &mut dyn rand::RngCore) -> MechanismOutput {
+        assert!(!trajectory.is_empty(), "cannot perturb an empty trajectory");
+        let len = trajectory.len();
+        let n = self.config.n.min(len);
+        let eps_prime = self.eps_prime(len);
+
+        // Budget accounting: (|τ| + n − 1) windows at ε′ compose to ε
+        // (Theorem 5.3). The accountant enforces it at runtime.
+        let mut budget = PrivacyBudget::new(self.config.epsilon);
+
+        // Stage 1: encode + perturb.
+        let t0 = Instant::now();
+        let seq = self
+            .regions
+            .encode(&self.dataset, trajectory)
+            .expect("every POI with open hours has a region");
+        let z = perturb_region_sequence(&self.graph, &seq, n, eps_prime, rng);
+        for _ in 0..z.len() {
+            budget.consume(eps_prime).expect("window budget exceeds ε — composition bug");
+        }
+        debug_assert!(budget.is_exhausted(), "all of ε must be spent");
+        let perturb_time = t0.elapsed();
+
+        // Stages 2-3: optimal region-level reconstruction (post-processing).
+        let rec = reconstruct_regions(
+            &self.dataset,
+            &self.regions,
+            &self.graph,
+            &z,
+            len,
+            self.config.solver,
+        );
+
+        // Stage 4: POI-level reconstruction (post-processing).
+        let t3 = Instant::now();
+        let poi_rec = reconstruct_poi_level(
+            &self.dataset,
+            &self.regions,
+            &rec.regions,
+            self.config.gamma,
+            rng,
+        );
+        let other = t3.elapsed();
+
+        MechanismOutput {
+            trajectory: poi_rec.trajectory,
+            timings: StageTimings {
+                perturb: perturb_time,
+                reconstruct_prep: rec.prep,
+                optimal_reconstruct: rec.solve,
+                other,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trajshare_geo::{DistanceMetric, GeoPoint};
+    use trajshare_hierarchy::builders::campus;
+    use trajshare_model::{Poi, PoiId, TimeDomain};
+
+    fn dataset() -> Dataset {
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..80)
+            .map(|i| {
+                let loc = origin.offset_m((i % 8) as f64 * 300.0, (i / 8) as f64 * 300.0);
+                Poi::new(PoiId(i as u32), format!("p{i}"), loc, leaves[i as usize % leaves.len()])
+            })
+            .collect();
+        Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine)
+    }
+
+    #[test]
+    fn output_preserves_length_and_monotone_time() {
+        let ds = dataset();
+        let mech = NGramMechanism::build(&ds, &MechanismConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        for pairs in [
+            vec![(0u32, 60u16), (9, 62), (18, 65)],
+            vec![(5, 80), (14, 84), (23, 88), (32, 92), (41, 96)],
+        ] {
+            let traj = Trajectory::from_pairs(&pairs);
+            let out = mech.perturb(&traj, &mut rng);
+            assert_eq!(out.trajectory.len(), traj.len());
+            for w in out.trajectory.points().windows(2) {
+                assert!(w[1].t > w[0].t);
+            }
+        }
+    }
+
+    #[test]
+    fn eps_prime_matches_theorem() {
+        let ds = dataset();
+        let cfg = MechanismConfig::default().with_epsilon(5.0).with_n(2);
+        let mech = NGramMechanism::build(&ds, &cfg);
+        // |τ| = 5, n = 2 -> ε' = 5/6.
+        assert!((mech.eps_prime(5) - 5.0 / 6.0).abs() < 1e-12);
+        // |τ| = 4, n = 2 -> 5 windows.
+        assert!((mech.eps_prime(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_epsilon_stays_close_to_truth() {
+        let ds = dataset();
+        let hi = NGramMechanism::build(&ds, &MechanismConfig::default().with_epsilon(200.0));
+        let lo = NGramMechanism::build(&ds, &MechanismConfig::default().with_epsilon(0.01));
+        let traj = Trajectory::from_pairs(&[(0, 60), (9, 62), (18, 65)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let err = |mech: &NGramMechanism, rng: &mut StdRng| -> f64 {
+            let mut total = 0.0;
+            for _ in 0..15 {
+                let out = mech.perturb(&traj, rng);
+                for (a, b) in traj.points().iter().zip(out.trajectory.points()) {
+                    total += crate::distances::point_distance(&ds, (a.poi, a.t), (b.poi, b.t));
+                }
+            }
+            total
+        };
+        let e_hi = err(&hi, &mut rng);
+        let e_lo = err(&lo, &mut rng);
+        assert!(
+            e_hi < e_lo,
+            "high-ε error {e_hi} should be below low-ε error {e_lo}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset();
+        let mech = NGramMechanism::build(&ds, &MechanismConfig::default());
+        let traj = Trajectory::from_pairs(&[(0, 60), (9, 62), (18, 65)]);
+        let out1 = mech.perturb(&traj, &mut StdRng::seed_from_u64(42));
+        let out2 = mech.perturb(&traj, &mut StdRng::seed_from_u64(42));
+        assert_eq!(out1.trajectory, out2.trajectory);
+    }
+
+    #[test]
+    fn n1_and_n3_also_work() {
+        let ds = dataset();
+        let traj = Trajectory::from_pairs(&[(0, 60), (9, 62), (18, 65), (27, 68)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1usize, 3] {
+            let mech = NGramMechanism::build(&ds, &MechanismConfig::default().with_n(n));
+            let out = mech.perturb(&traj, &mut rng);
+            assert_eq!(out.trajectory.len(), 4, "n={n}");
+        }
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let ds = dataset();
+        let mech = NGramMechanism::build(&ds, &MechanismConfig::default());
+        let traj = Trajectory::from_pairs(&[(0, 60), (9, 62), (18, 65)]);
+        let out = mech.perturb(&traj, &mut StdRng::seed_from_u64(4));
+        assert!(out.timings.total() > std::time::Duration::ZERO);
+    }
+}

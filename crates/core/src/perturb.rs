@@ -1,0 +1,357 @@
+//! Overlapping n-gram perturbation (§5.4).
+//!
+//! The trajectory's region sequence is perturbed window by window: main
+//! windows of length `n` (Eq. 6) plus supplementary windows of lengths
+//! `1..n` at both ends so every position is covered exactly `n` times
+//! (Figure 3). Each window is one Exponential Mechanism draw with budget
+//! ε′ = ε/(|τ|+n−1); sequential composition gives ε-LDP (Theorem 5.3).
+//!
+//! Sampling exploits the separability of the n-gram weight
+//! `exp(−ε′ d_w / 2Δ) = Π_k exp(−ε′ d(τ_k, w_k) / 2Δ)`: bigrams are drawn
+//! in two exact stages (tail by marginal, head conditionally) in
+//! `O(|W₂| adjacency)` instead of `O(|R|²)`, and trigrams via the middle-
+//! element marginal.
+
+use crate::region::RegionId;
+use crate::regiongraph::RegionGraph;
+use rand::Rng;
+use trajshare_mech::sample_from_weights;
+
+/// An inclusive index window `τ(a, b)` into the trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    pub a: usize,
+    pub b: usize,
+}
+
+impl Window {
+    /// Window length `b - a + 1`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.b - self.a + 1
+    }
+
+    /// Windows are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the window covers trajectory position `i`.
+    #[inline]
+    pub fn covers(&self, i: usize) -> bool {
+        (self.a..=self.b).contains(&i)
+    }
+}
+
+/// One perturbed n-gram `z(a, b) ∈ Z`.
+#[derive(Debug, Clone)]
+pub struct PerturbedWindow {
+    pub window: Window,
+    pub regions: Vec<RegionId>,
+}
+
+/// Generates the main + supplementary window schedule for a trajectory of
+/// length `len` and n-gram size `n` (clamped to `len`).
+///
+/// Main windows: `(a, a+n-1)` for `a ∈ 0..=len-n`. Supplementary windows
+/// (when `n ≥ 2`): `(0, k-1)` and `(len-k, len-1)` for `k ∈ 1..n`. Total:
+/// `len + n - 1` windows, and every position is covered exactly `n` times.
+pub fn window_schedule(len: usize, n: usize) -> Vec<Window> {
+    assert!(len >= 1 && n >= 1);
+    let n = n.min(len);
+    let mut out = Vec::with_capacity(len + n - 1);
+    for a in 0..=(len - n) {
+        out.push(Window { a, b: a + n - 1 });
+    }
+    for k in 1..n {
+        out.push(Window { a: 0, b: k - 1 });
+        out.push(Window { a: len - k, b: len - 1 });
+    }
+    out
+}
+
+/// Samples the perturbed n-gram for one window via the EM.
+///
+/// `truth` is the true region fragment for the window (`window.len()`
+/// entries); `eps_prime` the per-window budget. The sensitivity is
+/// `window.len() × Δd` per Eq. 16.
+pub fn sample_window<R: Rng + ?Sized>(
+    graph: &RegionGraph,
+    truth: &[RegionId],
+    eps_prime: f64,
+    rng: &mut R,
+) -> Vec<RegionId> {
+    debug_assert!(!truth.is_empty() && truth.len() <= 3);
+    let k = truth.len();
+    let sens = graph.distance.ngram_sensitivity(k);
+    let scale = eps_prime / (2.0 * sens);
+    let nr = graph.num_regions();
+
+    // Per-element weights exp(-scale * d(truth_i, r)); exponents are in
+    // [-eps'/2k, 0], so plain exp is safe.
+    let elem_weights = |t: RegionId| -> Vec<f64> {
+        (0..nr as u32)
+            .map(|r| (-scale * graph.distance.get(t, RegionId(r))).exp())
+            .collect()
+    };
+
+    match k {
+        1 => {
+            let w = elem_weights(truth[0]);
+            let idx = sample_from_weights(&w, rng).expect("W1 is never empty");
+            vec![RegionId(idx as u32)]
+        }
+        2 => {
+            let wa = elem_weights(truth[0]);
+            let wb = elem_weights(truth[1]);
+            // Marginal over tails: A[u] * sum_{v in succ(u)} B[v].
+            let marginal: Vec<f64> = (0..nr)
+                .map(|u| {
+                    let s: f64 = graph
+                        .successors(RegionId(u as u32))
+                        .iter()
+                        .map(|&v| wb[v as usize])
+                        .sum();
+                    wa[u] * s
+                })
+                .collect();
+            match sample_from_weights(&marginal, rng) {
+                Some(u) => {
+                    let succ = graph.successors(RegionId(u as u32));
+                    let cond: Vec<f64> = succ.iter().map(|&v| wb[v as usize]).collect();
+                    let vi = sample_from_weights(&cond, rng).expect("non-empty successor set");
+                    vec![RegionId(u as u32), RegionId(succ[vi])]
+                }
+                // No feasible bigram at all: fall back to the product space
+                // W1 × W1 (still an exact EM over that space — §5.4's
+                // mechanism with an unconstrained candidate set).
+                None => truth
+                    .iter()
+                    .map(|&t| {
+                        let w = elem_weights(t);
+                        RegionId(sample_from_weights(&w, rng).expect("W1 non-empty") as u32)
+                    })
+                    .collect(),
+            }
+        }
+        3 => {
+            let wa = elem_weights(truth[0]);
+            let wb = elem_weights(truth[1]);
+            let wc = elem_weights(truth[2]);
+            // Marginal over middles: B[y] * sum_pred A * sum_succ C.
+            let pred_sum: Vec<f64> = (0..nr)
+                .map(|y| {
+                    graph
+                        .predecessors(RegionId(y as u32))
+                        .iter()
+                        .map(|&x| wa[x as usize])
+                        .sum()
+                })
+                .collect();
+            let succ_sum: Vec<f64> = (0..nr)
+                .map(|y| {
+                    graph
+                        .successors(RegionId(y as u32))
+                        .iter()
+                        .map(|&z| wc[z as usize])
+                        .sum()
+                })
+                .collect();
+            let marginal: Vec<f64> =
+                (0..nr).map(|y| wb[y] * pred_sum[y] * succ_sum[y]).collect();
+            match sample_from_weights(&marginal, rng) {
+                Some(y) => {
+                    let preds = graph.predecessors(RegionId(y as u32));
+                    let succs = graph.successors(RegionId(y as u32));
+                    let wx: Vec<f64> = preds.iter().map(|&x| wa[x as usize]).collect();
+                    let wz: Vec<f64> = succs.iter().map(|&z| wc[z as usize]).collect();
+                    let xi = sample_from_weights(&wx, rng).expect("non-empty preds");
+                    let zi = sample_from_weights(&wz, rng).expect("non-empty succs");
+                    vec![RegionId(preds[xi]), RegionId(y as u32), RegionId(succs[zi])]
+                }
+                None => truth
+                    .iter()
+                    .map(|&t| {
+                        let w = elem_weights(t);
+                        RegionId(sample_from_weights(&w, rng).expect("W1 non-empty") as u32)
+                    })
+                    .collect(),
+            }
+        }
+        _ => unreachable!("n is validated to be 1..=3"),
+    }
+}
+
+/// Runs the full §5.4 perturbation: every scheduled window is perturbed
+/// with budget `eps_prime`, producing the multiset `Z`.
+pub fn perturb_region_sequence<R: Rng + ?Sized>(
+    graph: &RegionGraph,
+    region_seq: &[RegionId],
+    n: usize,
+    eps_prime: f64,
+    rng: &mut R,
+) -> Vec<PerturbedWindow> {
+    window_schedule(region_seq.len(), n)
+        .into_iter()
+        .map(|w| {
+            let truth = &region_seq[w.a..=w.b];
+            let regions = sample_window(graph, truth, eps_prime, rng);
+            PerturbedWindow { window: w, regions }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MechanismConfig;
+    use crate::decomposition::decompose;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trajshare_geo::{DistanceMetric, GeoPoint};
+    use trajshare_hierarchy::builders::campus;
+    use trajshare_model::{Dataset, Poi, PoiId, TimeDomain};
+
+    fn graph() -> (Dataset, crate::region::RegionSet, RegionGraph) {
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..60)
+            .map(|i| {
+                let loc = origin.offset_m((i % 6) as f64 * 400.0, (i / 6) as f64 * 400.0);
+                Poi::new(PoiId(i as u32), format!("p{i}"), loc, leaves[i as usize % leaves.len()])
+            })
+            .collect();
+        let ds = Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine);
+        let rs = decompose(&ds, &MechanismConfig::default());
+        let g = RegionGraph::build(&ds, &rs);
+        (ds, rs, g)
+    }
+
+    #[test]
+    fn schedule_counts_match_theorem_53() {
+        // |τ| + n - 1 windows for any (len, n).
+        for len in 2..8 {
+            for n in 1..=3.min(len) {
+                let ws = window_schedule(len, n);
+                assert_eq!(ws.len(), len + n - 1, "len={len} n={n}");
+                // Each position covered exactly n times.
+                for i in 0..len {
+                    let c = ws.iter().filter(|w| w.covers(i)).count();
+                    assert_eq!(c, n, "len={len} n={n} position {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_example_from_figure_3() {
+        // |τ| = 4, n = 2: main z(1,2), z(2,3), z(3,4); supplementary z(1,1),
+        // z(4,4) — in 0-based indexing.
+        let ws = window_schedule(4, 2);
+        assert_eq!(ws.len(), 5);
+        assert!(ws.contains(&Window { a: 0, b: 1 }));
+        assert!(ws.contains(&Window { a: 1, b: 2 }));
+        assert!(ws.contains(&Window { a: 2, b: 3 }));
+        assert!(ws.contains(&Window { a: 0, b: 0 }));
+        assert!(ws.contains(&Window { a: 3, b: 3 }));
+    }
+
+    #[test]
+    fn unigram_sampling_prefers_truth_at_high_epsilon() {
+        let (_, rs, g) = graph();
+        let truth = RegionId(rs.len() as u32 / 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hits = 0;
+        for _ in 0..300 {
+            let s = sample_window(&g, &[truth], 80.0, &mut rng);
+            if s[0] == truth {
+                hits += 1;
+            }
+        }
+        assert!(hits > 250, "high-ε unigram should usually return truth, got {hits}");
+    }
+
+    #[test]
+    fn bigram_sampling_returns_feasible_bigrams() {
+        let (_, _, g) = graph();
+        let &(a, b) = g.bigrams.first().expect("bigrams exist");
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = sample_window(&g, &[RegionId(a), RegionId(b)], 5.0, &mut rng);
+            assert_eq!(s.len(), 2);
+            assert!(g.is_feasible(s[0], s[1]), "sampled infeasible bigram {s:?}");
+        }
+    }
+
+    #[test]
+    fn trigram_sampling_returns_chained_bigrams() {
+        let (_, _, g) = graph();
+        // Find a feasible trigram seed.
+        let &(a, b) = g.bigrams.iter().find(|&&(_, b)| !g.successors(RegionId(b)).is_empty()).unwrap();
+        let c = g.successors(RegionId(b))[0];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s =
+                sample_window(&g, &[RegionId(a), RegionId(b), RegionId(c)], 5.0, &mut rng);
+            assert_eq!(s.len(), 3);
+            assert!(g.is_feasible(s[0], s[1]));
+            assert!(g.is_feasible(s[1], s[2]));
+        }
+    }
+
+    #[test]
+    fn bigram_distribution_matches_exponential_mechanism() {
+        // Brute-force the EM distribution over W2 and compare frequencies.
+        let (_, _, g) = graph();
+        let &(ta, tb) = &g.bigrams[g.bigrams.len() / 3];
+        let truth = [RegionId(ta), RegionId(tb)];
+        let eps = 2.0;
+        let sens = g.distance.ngram_sensitivity(2);
+        let weights: Vec<f64> = g
+            .bigrams
+            .iter()
+            .map(|&(u, v)| {
+                let d = g.distance.get(truth[0], RegionId(u))
+                    + g.distance.get(truth[1], RegionId(v));
+                (-eps * d / (2.0 * sens)).exp()
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 30_000;
+        let mut counts = vec![0usize; g.bigrams.len()];
+        use std::collections::HashMap;
+        let index: HashMap<(u32, u32), usize> =
+            g.bigrams.iter().copied().enumerate().map(|(i, e)| (e, i)).collect();
+        for _ in 0..trials {
+            let s = sample_window(&g, &truth, eps, &mut rng);
+            counts[index[&(s[0].0, s[1].0)]] += 1;
+        }
+        // Check the 5 most likely bigrams within tolerance.
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by(|&i, &j| weights[j].partial_cmp(&weights[i]).unwrap());
+        for &i in order.iter().take(5) {
+            let expect = weights[i] / total;
+            let got = counts[i] as f64 / trials as f64;
+            assert!(
+                (got - expect).abs() < 0.02,
+                "bigram {i}: got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn perturb_sequence_produces_full_z() {
+        let (ds, rs, g) = graph();
+        let traj = trajshare_model::Trajectory::from_pairs(&[(0, 60), (7, 62), (14, 65), (21, 68)]);
+        let seq = rs.encode(&ds, &traj).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let z = perturb_region_sequence(&g, &seq, 2, 1.0, &mut rng);
+        assert_eq!(z.len(), seq.len() + 1); // |τ| + n - 1
+        for pw in &z {
+            assert_eq!(pw.regions.len(), pw.window.len());
+        }
+    }
+}

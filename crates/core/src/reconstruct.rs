@@ -1,0 +1,273 @@
+//! Optimal region-level trajectory reconstruction (§5.5).
+//!
+//! Given the perturbed n-gram multiset `Z`, we pick one region per
+//! trajectory position by minimizing the total bigram error (Eq. 10) under
+//! continuity (Eq. 11–12), restricted to the minimum bounding rectangle of
+//! the regions observed in `Z` (the `R_mbr` pruning of §5.5). The problem
+//! is a layered shortest path; we solve it with Viterbi by default or the
+//! paper-faithful ILP on request. This is pure post-processing: no privacy
+//! budget is consumed.
+
+use crate::config::ReconstructionSolver;
+use crate::perturb::PerturbedWindow;
+use crate::region::{RegionId, RegionSet};
+use crate::regiongraph::RegionGraph;
+use std::time::{Duration, Instant};
+use trajshare_geo::BoundingBox;
+use trajshare_model::Dataset;
+use trajshare_lp::LatticeProblem;
+
+/// Result of region-level reconstruction with stage timings.
+#[derive(Debug, Clone)]
+pub struct RegionReconstruction {
+    pub regions: Vec<RegionId>,
+    pub prep: Duration,
+    pub solve: Duration,
+}
+
+/// Reconstructs the region sequence of length `traj_len` from `Z`.
+pub fn reconstruct_regions(
+    dataset: &Dataset,
+    regions: &RegionSet,
+    graph: &RegionGraph,
+    z: &[PerturbedWindow],
+    traj_len: usize,
+    solver: ReconstructionSolver,
+) -> RegionReconstruction {
+    assert!(traj_len >= 1);
+    let t0 = Instant::now();
+
+    // --- R_mbr restriction. ---
+    let mut mbr: Option<BoundingBox> = None;
+    for pw in z {
+        for &r in &pw.regions {
+            for &m in &regions.get(r).members {
+                let loc = dataset.pois.get(m).location;
+                match &mut mbr {
+                    Some(bb) => bb.expand(loc),
+                    None => mbr = Some(BoundingBox::from_point(loc)),
+                }
+            }
+        }
+    }
+    let mbr = mbr.expect("Z is never empty").inflate(1e-6);
+    let mut in_mbr: Vec<u32> = Vec::new();
+    for rid in regions.ids() {
+        let r = regions.get(rid);
+        if r.members.iter().any(|&m| mbr.contains(dataset.pois.get(m).location)) {
+            in_mbr.push(rid.0);
+        }
+    }
+    // Local dense index for the restricted region set.
+    let mut local_of = vec![u32::MAX; regions.len()];
+    for (li, &g) in in_mbr.iter().enumerate() {
+        local_of[g as usize] = li as u32;
+    }
+
+    // --- Node errors e(r, i) (Eq. 8). ---
+    let nl = in_mbr.len();
+    let mut node_err = vec![vec![0.0f64; nl]; traj_len];
+    for pw in z {
+        for (k, &zr) in pw.regions.iter().enumerate() {
+            let i = pw.window.a + k;
+            debug_assert!(i < traj_len);
+            for (li, &g) in in_mbr.iter().enumerate() {
+                node_err[i][li] += graph.distance.get(RegionId(g), zr);
+            }
+        }
+    }
+
+    // --- Degenerate single-point trajectory: argmin node error. ---
+    if traj_len == 1 {
+        let prep = t0.elapsed();
+        let t1 = Instant::now();
+        let best = (0..nl)
+            .min_by(|&a, &b| node_err[0][a].partial_cmp(&node_err[0][b]).unwrap())
+            .unwrap_or(0);
+        return RegionReconstruction {
+            regions: vec![RegionId(in_mbr[best])],
+            prep,
+            solve: t1.elapsed(),
+        };
+    }
+
+    // --- W2_mbr arcs and per-position bigram costs (Eq. 9). ---
+    let mut arcs: Vec<(usize, usize)> = Vec::new();
+    for &(u, v) in &graph.bigrams {
+        let (lu, lv) = (local_of[u as usize], local_of[v as usize]);
+        if lu != u32::MAX && lv != u32::MAX {
+            arcs.push((lu as usize, lv as usize));
+        }
+    }
+    let fallback = |prep: Duration| {
+        // No usable lattice (empty W2 inside the MBR): return the
+        // position-wise argmin — the best unconstrained post-processing.
+        let t1 = Instant::now();
+        let regions_out = (0..traj_len)
+            .map(|i| {
+                let best = (0..nl)
+                    .min_by(|&a, &b| node_err[i][a].partial_cmp(&node_err[i][b]).unwrap())
+                    .unwrap_or(0);
+                RegionId(in_mbr[best])
+            })
+            .collect();
+        RegionReconstruction { regions: regions_out, prep, solve: t1.elapsed() }
+    };
+    if arcs.is_empty() {
+        return fallback(t0.elapsed());
+    }
+    let costs: Vec<Vec<f64>> = (0..traj_len - 1)
+        .map(|i| arcs.iter().map(|&(u, v)| node_err[i][u] + node_err[i + 1][v]).collect())
+        .collect();
+    let lattice = LatticeProblem { num_nodes: nl, arcs, costs };
+    let prep = t0.elapsed();
+
+    // --- Solve. ---
+    let t1 = Instant::now();
+    let solution = match solver {
+        ReconstructionSolver::Viterbi => lattice.solve_viterbi(),
+        ReconstructionSolver::Ilp => lattice.solve_ilp(200_000),
+    };
+    let solve = t1.elapsed();
+    match solution {
+        Some(s) => RegionReconstruction {
+            regions: s.nodes.into_iter().map(|li| RegionId(in_mbr[li])).collect(),
+            prep,
+            solve,
+        },
+        None => fallback(prep),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MechanismConfig;
+    use crate::decomposition::decompose;
+    use crate::perturb::{perturb_region_sequence, PerturbedWindow, Window};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trajshare_geo::{DistanceMetric, GeoPoint};
+    use trajshare_hierarchy::builders::campus;
+    use trajshare_model::{Poi, PoiId, TimeDomain, Trajectory};
+
+    fn setup() -> (Dataset, RegionSet, RegionGraph) {
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..60)
+            .map(|i| {
+                let loc = origin.offset_m((i % 6) as f64 * 400.0, (i / 6) as f64 * 400.0);
+                Poi::new(PoiId(i as u32), format!("p{i}"), loc, leaves[i as usize % leaves.len()])
+            })
+            .collect();
+        let ds = Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine);
+        let rs = decompose(&ds, &MechanismConfig::default());
+        let g = RegionGraph::build(&ds, &rs);
+        (ds, rs, g)
+    }
+
+    /// Z consisting of exact (unperturbed) windows for a region sequence.
+    fn exact_z(seq: &[RegionId]) -> Vec<PerturbedWindow> {
+        let mut z = Vec::new();
+        for a in 0..seq.len() - 1 {
+            z.push(PerturbedWindow {
+                window: Window { a, b: a + 1 },
+                regions: vec![seq[a], seq[a + 1]],
+            });
+        }
+        z.push(PerturbedWindow { window: Window { a: 0, b: 0 }, regions: vec![seq[0]] });
+        z.push(PerturbedWindow {
+            window: Window { a: seq.len() - 1, b: seq.len() - 1 },
+            regions: vec![seq[seq.len() - 1]],
+        });
+        z
+    }
+
+    #[test]
+    fn exact_windows_reconstruct_the_true_sequence() {
+        let (ds, rs, g) = setup();
+        let traj = Trajectory::from_pairs(&[(0, 60), (7, 62), (14, 65)]);
+        let seq = rs.encode(&ds, &traj).unwrap();
+        // The true sequence must itself be feasible for this test.
+        for w in seq.windows(2) {
+            assert!(g.is_feasible(w[0], w[1]), "test fixture produced infeasible truth");
+        }
+        let z = exact_z(&seq);
+        let rec = reconstruct_regions(&ds, &rs, &g, &z, seq.len(), ReconstructionSolver::Viterbi);
+        assert_eq!(rec.regions, seq, "zero-error Z must reconstruct exactly");
+    }
+
+    #[test]
+    fn viterbi_and_ilp_agree() {
+        let (ds, rs, g) = setup();
+        let traj = Trajectory::from_pairs(&[(0, 60), (7, 62), (14, 65), (20, 70)]);
+        let seq = rs.encode(&ds, &traj).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let z = perturb_region_sequence(&g, &seq, 2, 1.0, &mut rng);
+        let v = reconstruct_regions(&ds, &rs, &g, &z, seq.len(), ReconstructionSolver::Viterbi);
+        let i = reconstruct_regions(&ds, &rs, &g, &z, seq.len(), ReconstructionSolver::Ilp);
+        // Costs must agree (paths may tie); compare total bigram error.
+        let cost = |rec: &RegionReconstruction| -> f64 {
+            let mut node_err = |i: usize, r: RegionId| -> f64 {
+                z.iter()
+                    .filter(|pw| pw.window.covers(i))
+                    .map(|pw| g.distance.get(r, pw.regions[i - pw.window.a]))
+                    .sum()
+            };
+            (0..rec.regions.len() - 1)
+                .map(|i| node_err(i, rec.regions[i]) + node_err(i + 1, rec.regions[i + 1]))
+                .sum()
+        };
+        assert!(
+            (cost(&v) - cost(&i)).abs() < 1e-6,
+            "viterbi {} vs ilp {}",
+            cost(&v),
+            cost(&i)
+        );
+    }
+
+    #[test]
+    fn output_respects_bigram_feasibility() {
+        let (ds, rs, g) = setup();
+        let traj = Trajectory::from_pairs(&[(0, 60), (7, 63), (14, 66), (20, 69), (25, 72)]);
+        let seq = rs.encode(&ds, &traj).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..10 {
+            let z = perturb_region_sequence(&g, &seq, 2, 2.0, &mut rng);
+            let rec =
+                reconstruct_regions(&ds, &rs, &g, &z, seq.len(), ReconstructionSolver::Viterbi);
+            assert_eq!(rec.regions.len(), seq.len());
+            for w in rec.regions.windows(2) {
+                assert!(g.is_feasible(w[0], w[1]), "trial {trial}: infeasible output bigram");
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_trajectory_uses_argmin() {
+        let (ds, rs, g) = setup();
+        let r = RegionId(3);
+        let z = vec![PerturbedWindow { window: Window { a: 0, b: 0 }, regions: vec![r] }];
+        let rec = reconstruct_regions(&ds, &rs, &g, &z, 1, ReconstructionSolver::Viterbi);
+        assert_eq!(rec.regions.len(), 1);
+        // The argmin of d(r, ·) is r itself.
+        assert_eq!(rec.regions[0], r);
+    }
+
+    #[test]
+    fn mbr_restriction_still_allows_observed_regions() {
+        // Every region appearing in Z must survive the MBR restriction, so
+        // reconstruction of exact Z can always return it (§5.5: "does not
+        // prevent the optimal reconstructed trajectory from being found").
+        let (ds, rs, g) = setup();
+        let traj = Trajectory::from_pairs(&[(3, 60), (10, 64)]);
+        let seq = rs.encode(&ds, &traj).unwrap();
+        if g.is_feasible(seq[0], seq[1]) {
+            let z = exact_z(&seq);
+            let rec =
+                reconstruct_regions(&ds, &rs, &g, &z, seq.len(), ReconstructionSolver::Viterbi);
+            assert_eq!(rec.regions, seq);
+        }
+    }
+}

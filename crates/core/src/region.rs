@@ -1,0 +1,181 @@
+//! STC regions and the region set produced by hierarchical decomposition.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use trajshare_geo::GeoPoint;
+use trajshare_hierarchy::CategoryId;
+use trajshare_model::{PoiId, TimeInterval, Timestep, Trajectory};
+
+/// Index of an STC region within its [`RegionSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A space-time-category region `r_stc` (§4, §5.3).
+#[derive(Debug, Clone)]
+pub struct StcRegion {
+    /// Member POIs (unique).
+    pub members: Vec<PoiId>,
+    /// Centroid of the member POI locations (§5.10).
+    pub centroid: GeoPoint,
+    /// Maximum member distance from the centroid, in meters. Together with
+    /// centroids this gives a cheap bound on min/max inter-region POI
+    /// distances.
+    pub radius_m: f64,
+    /// The region's time interval (merged intervals are widened).
+    pub time: TimeInterval,
+    /// Category node — a leaf before category merging, possibly an internal
+    /// node after.
+    pub category: CategoryId,
+    /// Sum of member popularities (used for merge decisions and reporting).
+    pub popularity: f64,
+}
+
+impl StcRegion {
+    /// Number of member POIs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the region has no members (never true after decomposition —
+    /// empty regions are pruned per §5.3).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Key of a *base* (pre-merge) region: finest grid cell, time tile index,
+/// and leaf category.
+pub(crate) type BaseKey = (u32, u32, u32);
+
+/// The decomposed region set with the base-key → region lookup needed to
+/// convert trajectories to the region level.
+#[derive(Debug, Clone)]
+pub struct RegionSet {
+    regions: Vec<StcRegion>,
+    /// Maps the base key of every non-empty fine region to its final
+    /// (possibly merged) region.
+    lookup: HashMap<BaseKey, RegionId>,
+    /// Width of a base time tile, in minutes.
+    tile_min: u32,
+    /// Finest grid used for the spatial component of base keys.
+    pub(crate) grid: trajshare_geo::UniformGrid,
+}
+
+impl RegionSet {
+    pub(crate) fn new(
+        regions: Vec<StcRegion>,
+        lookup: HashMap<BaseKey, RegionId>,
+        tile_min: u32,
+        grid: trajshare_geo::UniformGrid,
+    ) -> Self {
+        Self { regions, lookup, tile_min, grid }
+    }
+
+    /// Number of regions `|R|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The region for an id.
+    #[inline]
+    pub fn get(&self, id: RegionId) -> &StcRegion {
+        &self.regions[id.index()]
+    }
+
+    /// All regions.
+    #[inline]
+    pub fn all(&self) -> &[StcRegion] {
+        &self.regions
+    }
+
+    /// Iterator over region ids.
+    pub fn ids(&self) -> impl Iterator<Item = RegionId> {
+        (0..self.regions.len() as u32).map(RegionId)
+    }
+
+    /// Base time-tile width in minutes.
+    #[inline]
+    pub fn tile_min(&self) -> u32 {
+        self.tile_min
+    }
+
+    /// Resolves a (POI, timestep) pair to its region, given the POI's
+    /// location cell and leaf category.
+    ///
+    /// Returns `None` when the POI has no region for the tile containing
+    /// `t` (i.e. the POI is closed then) — callers fall back to
+    /// [`RegionSet::nearest_region_for`].
+    pub fn region_of(
+        &self,
+        dataset: &trajshare_model::Dataset,
+        poi: PoiId,
+        t: Timestep,
+    ) -> Option<RegionId> {
+        let p = dataset.pois.get(poi);
+        let cell = self.grid.cell_of(p.location).0;
+        let tile = dataset.time.minute_of(t) / self.tile_min;
+        self.lookup.get(&(cell, tile, p.category.0)).copied()
+    }
+
+    /// Like [`RegionSet::region_of`] but falls back to the tile (same cell
+    /// and category) closest in time when the exact tile has no region.
+    pub fn nearest_region_for(
+        &self,
+        dataset: &trajshare_model::Dataset,
+        poi: PoiId,
+        t: Timestep,
+    ) -> Option<RegionId> {
+        if let Some(r) = self.region_of(dataset, poi, t) {
+            return Some(r);
+        }
+        let p = dataset.pois.get(poi);
+        let cell = self.grid.cell_of(p.location).0;
+        let tile = (dataset.time.minute_of(t) / self.tile_min) as i64;
+        let tiles_per_day = (trajshare_model::time::MINUTES_PER_DAY / self.tile_min) as i64;
+        for delta in 1..tiles_per_day {
+            for cand in [tile - delta, tile + delta] {
+                if (0..tiles_per_day).contains(&cand) {
+                    if let Some(&r) = self.lookup.get(&(cell, cand as u32, p.category.0)) {
+                        return Some(r);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Converts a trajectory to its region-level representation (§5.4,
+    /// "convert each trajectory from a sequence of POI-timestep pairs to a
+    /// sequence of STC regions").
+    ///
+    /// Returns `None` if any point cannot be assigned to a region (POI
+    /// missing from every tile — cannot happen for POIs with at least one
+    /// open hour).
+    pub fn encode(
+        &self,
+        dataset: &trajshare_model::Dataset,
+        trajectory: &Trajectory,
+    ) -> Option<Vec<RegionId>> {
+        trajectory
+            .points()
+            .iter()
+            .map(|pt| self.nearest_region_for(dataset, pt.poi, pt.t))
+            .collect()
+    }
+}

@@ -1,0 +1,336 @@
+//! UBC-campus-like data (§6.1.3 stand-in).
+//!
+//! 262 campus buildings act as POIs across nine categories. Trajectory
+//! length and start time are drawn as for the Safegraph data; successive
+//! gaps ~ Uniform(g_t, 120) minutes; each subsequent POI is drawn uniformly
+//! from the reachable, open set. Three popular events are induced:
+//!
+//! * 500 people at **Residence A**, 8–10 pm,
+//! * 1 000 people at **Stadium A**, 2–4 pm,
+//! * 2 000 people in **academic buildings**, 9–11 am.
+//!
+//! Event counts scale proportionally when fewer trajectories are requested.
+
+use crate::distributions::uniform_incl;
+use rand::Rng;
+use trajshare_geo::{DistanceMetric, GeoPoint};
+use trajshare_hierarchy::builders::campus as campus_hierarchy;
+use trajshare_model::{
+    Dataset, OpeningHours, Poi, PoiId, ReachabilityOracle, Timestep, Trajectory,
+    TrajectoryPoint, TrajectorySet,
+};
+
+/// Configuration for the campus generator.
+#[derive(Debug, Clone)]
+pub struct CampusConfig {
+    /// Number of buildings (paper: 262).
+    pub num_buildings: usize,
+    /// Campus side length, meters (UBC's core is roughly 2 km square).
+    pub extent_m: f64,
+    /// Number of trajectories (pre-filtering). The paper uses 5–10 k; event
+    /// sizes scale with `num_trajectories / 5000`.
+    pub num_trajectories: usize,
+    /// Trajectory length bounds.
+    pub len_bounds: (u32, u32),
+    /// Gap bounds in minutes (paper: (g_t, 120)).
+    pub gap_minutes_max: u32,
+    /// Time granularity g_t, minutes.
+    pub gt_minutes: u32,
+    /// Travel speed (paper: 4 km/h on campus).
+    pub speed_kmh: Option<f64>,
+}
+
+impl Default for CampusConfig {
+    fn default() -> Self {
+        Self {
+            num_buildings: 262,
+            extent_m: 2000.0,
+            num_trajectories: 500,
+            len_bounds: (3, 8),
+            gap_minutes_max: 120,
+            gt_minutes: 10,
+            speed_kmh: Some(4.0),
+        }
+    }
+}
+
+/// The generated campus: dataset, trajectories, and the event anchors (for
+/// hotspot-query ground truth).
+#[derive(Debug, Clone)]
+pub struct CampusData {
+    pub dataset: Dataset,
+    pub trajectories: TrajectorySet,
+    /// "Residence A" — the 8–10 pm event venue.
+    pub residence_a: PoiId,
+    /// "Stadium A" — the 2–4 pm event venue.
+    pub stadium_a: PoiId,
+    /// Academic buildings hosting the 9–11 am event.
+    pub academic: Vec<PoiId>,
+}
+
+/// Generates the campus dataset and trajectory set.
+pub fn generate_campus<R: Rng + ?Sized>(config: &CampusConfig, rng: &mut R) -> CampusData {
+    assert!(config.num_buildings >= 20, "campus needs a reasonable building count");
+    let hierarchy = campus_hierarchy();
+    let leaves = hierarchy.leaves();
+    let origin = GeoPoint::new(49.2606, -123.2460); // UBC-ish anchor
+
+    // Buildings on a jittered grid covering the campus quad.
+    let side = (config.num_buildings as f64).sqrt().ceil() as usize;
+    let spacing = config.extent_m / side as f64;
+    let pois: Vec<Poi> = (0..config.num_buildings)
+        .map(|i| {
+            let gx = (i % side) as f64 * spacing + rng.random::<f64>() * spacing * 0.5;
+            let gy = (i / side) as f64 * spacing + rng.random::<f64>() * spacing * 0.5;
+            let leaf = leaves[i % leaves.len()];
+            let name = hierarchy.node(leaf).name.clone();
+            let opening = if name.contains("Residence") {
+                OpeningHours::always()
+            } else if name.contains("Stadium") {
+                OpeningHours::between(8, 23)
+            } else {
+                OpeningHours::between(7, 23)
+            };
+            Poi::new(PoiId(i as u32), format!("{name} {i}"), origin.offset_m(gx, gy), leaf)
+                .with_opening(opening)
+        })
+        .collect();
+
+    // Event anchors.
+    let find_leaf = |needle: &str| -> Vec<PoiId> {
+        pois.iter()
+            .filter(|p| hierarchy.node(p.category).name.contains(needle))
+            .map(|p| p.id)
+            .collect()
+    };
+    let residence_a = find_leaf("Residence")[0];
+    let stadium_a = find_leaf("Stadium")[0];
+    let academic = find_leaf("Academic");
+
+    let dataset = Dataset::new(
+        pois,
+        hierarchy,
+        trajshare_model::TimeDomain::new(config.gt_minutes),
+        config.speed_kmh,
+        DistanceMetric::Haversine,
+    );
+    let oracle = ReachabilityOracle::new(&dataset);
+
+    // Event sizes scale with the requested set size (paper baseline 5000).
+    let scale = config.num_trajectories as f64 / 5000.0;
+    let events: Vec<(PoiId, u32, u32, usize)> = {
+        let mut ev: Vec<(PoiId, u32, u32, usize)> = vec![
+            (residence_a, 20, 22, (500.0 * scale).round() as usize),
+            (stadium_a, 14, 16, (1000.0 * scale).round() as usize),
+        ];
+        // Spread the 2000-person academic event over the academic buildings.
+        let per = ((2000.0 * scale) / academic.len() as f64).round() as usize;
+        for &a in &academic {
+            ev.push((a, 9, 11, per));
+        }
+        ev
+    };
+
+    let mut set = TrajectorySet::default();
+    let mut event_cursor: Vec<usize> = events.iter().map(|e| e.3).collect();
+    for i in 0..config.num_trajectories {
+        // Does this trajectory participate in an event?
+        let event = events
+            .iter()
+            .enumerate()
+            .find(|(k, _)| event_cursor[*k] > 0)
+            .filter(|_| i < events.iter().map(|e| e.3).sum::<usize>())
+            .map(|(k, e)| {
+                event_cursor[k] -= 1;
+                *e
+            });
+        if let Some(t) = one_trajectory(&dataset, &oracle, config, event, rng) {
+            set.push(t);
+        }
+    }
+    let trajectories = set.filter_valid(&dataset);
+    CampusData { dataset, trajectories, residence_a, stadium_a, academic }
+}
+
+/// Generates one trajectory, optionally pinning one point to an event
+/// `(poi, start_hour, end_hour, _)` as §6.1.3 prescribes ("picking a point
+/// in the trajectory, and controlling the time, POI, and category").
+fn one_trajectory<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    oracle: &ReachabilityOracle,
+    config: &CampusConfig,
+    event: Option<(PoiId, u32, u32, usize)>,
+    rng: &mut R,
+) -> Option<Trajectory> {
+    let num_steps = dataset.time.num_timesteps() as u32;
+    let gt = dataset.time.gt_minutes();
+    let len = uniform_incl(config.len_bounds.0, config.len_bounds.1, rng) as usize;
+
+    // Anchor: either the event point or a random open start.
+    let (anchor_poi, anchor_t) = match event {
+        Some((poi, h_start, h_end, _)) => {
+            let m = uniform_incl(h_start * 60, h_end * 60 - gt, rng);
+            (poi, dataset.time.timestep_at(m))
+        }
+        None => {
+            let m = uniform_incl(6 * 60, 22 * 60 - 1, rng);
+            let t = dataset.time.timestep_at(m);
+            let open: Vec<PoiId> = dataset
+                .pois
+                .ids()
+                .filter(|&p| dataset.pois.get(p).opening.is_open_at(&dataset.time, t))
+                .collect();
+            if open.is_empty() {
+                return None;
+            }
+            (open[rng.random_range(0..open.len())], t)
+        }
+    };
+
+    // Build forward from the anchor; the anchor occupies a random slot.
+    let slot = rng.random_range(0..len);
+    let mut points = vec![TrajectoryPoint { poi: anchor_poi, t: anchor_t }];
+    // Backward fill.
+    for _ in 0..slot {
+        let first = points[0];
+        let gap = uniform_incl(gt, config.gap_minutes_max, rng);
+        let steps = gap.div_ceil(gt);
+        if (first.t.0 as u32) < steps {
+            break;
+        }
+        let t = Timestep(first.t.0 - steps as u16);
+        let cands: Vec<PoiId> = oracle
+            .reachable_set(first.poi, dataset.time.gap_minutes(t, first.t) as f64)
+            .into_iter()
+            .filter(|&p| dataset.pois.get(p).opening.is_open_at(&dataset.time, t))
+            .collect();
+        if cands.is_empty() {
+            break;
+        }
+        points.insert(
+            0,
+            TrajectoryPoint { poi: cands[rng.random_range(0..cands.len())], t },
+        );
+    }
+    // Forward fill.
+    while points.len() < len {
+        let last = *points.last().unwrap();
+        let gap = uniform_incl(gt, config.gap_minutes_max, rng);
+        let next = last.t.0 as u32 + gap.div_ceil(gt);
+        if next >= num_steps {
+            break;
+        }
+        let t = Timestep(next as u16);
+        let cands: Vec<PoiId> = oracle
+            .reachable_set(last.poi, dataset.time.gap_minutes(last.t, t) as f64)
+            .into_iter()
+            .filter(|&p| dataset.pois.get(p).opening.is_open_at(&dataset.time, t))
+            .collect();
+        if cands.is_empty() {
+            break;
+        }
+        points.push(TrajectoryPoint { poi: cands[rng.random_range(0..cands.len())], t });
+    }
+    (points.len() >= 2).then(|| Trajectory::new(points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data() -> CampusData {
+        let mut rng = StdRng::seed_from_u64(21);
+        generate_campus(
+            &CampusConfig { num_trajectories: 400, ..Default::default() },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn builds_262_buildings_and_nine_categories() {
+        let d = data();
+        assert_eq!(d.dataset.pois.len(), 262);
+        let mut cats: Vec<_> =
+            d.dataset.pois.all().iter().map(|p| p.category).collect();
+        cats.sort();
+        cats.dedup();
+        assert_eq!(cats.len(), 9);
+    }
+
+    #[test]
+    fn trajectories_are_valid() {
+        let d = data();
+        assert!(d.trajectories.len() >= 300, "only {} valid", d.trajectories.len());
+        for t in d.trajectories.all() {
+            assert!(t.validate(&d.dataset).is_ok());
+        }
+    }
+
+    #[test]
+    fn residence_event_creates_evening_hotspot() {
+        let d = data();
+        // Count visitors at Residence A during 8-10pm vs a quiet window.
+        let count = |poi: PoiId, h0: u32, h1: u32| -> usize {
+            d.trajectories
+                .all()
+                .iter()
+                .filter(|t| {
+                    t.points().iter().any(|p| {
+                        p.poi == poi
+                            && (h0 * 60..h1 * 60)
+                                .contains(&d.dataset.time.minute_of(p.t))
+                    })
+                })
+                .count()
+        };
+        let evening = count(d.residence_a, 20, 22);
+        let morning = count(d.residence_a, 8, 10);
+        assert!(
+            evening >= morning + 10,
+            "evening {evening} vs morning {morning}: induced event missing"
+        );
+    }
+
+    #[test]
+    fn stadium_event_creates_afternoon_hotspot() {
+        let d = data();
+        let afternoon = d
+            .trajectories
+            .all()
+            .iter()
+            .filter(|t| {
+                t.points().iter().any(|p| {
+                    p.poi == d.stadium_a
+                        && (14 * 60..16 * 60).contains(&d.dataset.time.minute_of(p.t))
+                })
+            })
+            .count();
+        // 1000 scaled by 400/5000 = 80 seeded; filtering loses some.
+        assert!(afternoon >= 40, "stadium event too small: {afternoon}");
+    }
+
+    #[test]
+    fn campus_is_small_enough_for_walking() {
+        let d = data();
+        assert!(d.dataset.pois.bbox().diagonal_m() < 4000.0);
+        assert_eq!(d.dataset.speed_kmh, Some(4.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_campus(
+            &CampusConfig { num_trajectories: 50, ..Default::default() },
+            &mut StdRng::seed_from_u64(3),
+        );
+        let b = generate_campus(
+            &CampusConfig { num_trajectories: 50, ..Default::default() },
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_eq!(a.trajectories.len(), b.trajectories.len());
+        for (x, y) in a.trajectories.all().iter().zip(b.trajectories.all()) {
+            assert_eq!(x, y);
+        }
+    }
+}

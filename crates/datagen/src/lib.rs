@@ -1,0 +1,28 @@
+//! Synthetic data substrate (§6.1).
+//!
+//! The paper evaluates on Foursquare+taxi data, Safegraph Patterns, and UBC
+//! campus buildings — none redistributable. This crate builds statistically
+//! matching stand-ins (DESIGN.md §4):
+//!
+//! * [`city`] — a synthetic city: clustered POIs, Zipf popularity, category
+//!   hierarchy, per-category opening hours,
+//! * [`taxi_foursquare`] — check-in-style trajectories over the city
+//!   (popularity- and reachability-biased walks),
+//! * [`safegraph`] — the §6.1.2 semi-synthetic recipe (uniform |τ| ∈ [3,8],
+//!   start ∈ [6am, 10pm], dwell-time sampling, popularity-weighted hops),
+//! * [`campus`] — the §6.1.3 campus generator with 262 buildings, nine
+//!   categories, and the three induced popular events,
+//! * [`distributions`] — Zipf and categorical samplers (no external crates).
+//!
+//! All generators are deterministic given an RNG seed.
+
+pub mod campus;
+pub mod city;
+pub mod distributions;
+pub mod safegraph;
+pub mod taxi_foursquare;
+
+pub use campus::{generate_campus, CampusConfig, CampusData};
+pub use city::{CityConfig, SyntheticCity};
+pub use safegraph::{generate_safegraph, SafegraphConfig};
+pub use taxi_foursquare::{generate_taxi_foursquare, TaxiFoursquareConfig};

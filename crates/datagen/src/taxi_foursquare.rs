@@ -1,0 +1,189 @@
+//! Taxi-Foursquare-like trajectory generation (§6.1.1 stand-in).
+//!
+//! The paper concatenates taxi pick-up/drop-off points snapped to the most
+//! popular Foursquare venues. Our stand-in generates check-in walks over
+//! the synthetic city: start at a popularity-weighted open POI during the
+//! day, then repeatedly hop to a popularity-weighted *reachable, open* POI
+//! after a 10–60 minute gap — producing the skewed, hotspot-heavy visit
+//! distribution the real data exhibits.
+
+use crate::distributions::{uniform_incl, weighted_index};
+use rand::Rng;
+use trajshare_model::{
+    Dataset, PoiId, ReachabilityOracle, Timestep, Trajectory, TrajectoryPoint, TrajectorySet,
+};
+
+/// Configuration for the Taxi-Foursquare-like generator.
+#[derive(Debug, Clone)]
+pub struct TaxiFoursquareConfig {
+    /// Number of trajectories to generate (pre-filtering).
+    pub num_trajectories: usize,
+    /// Trajectory length bounds (inclusive).
+    pub len_bounds: (u32, u32),
+    /// Start-time bounds in hours (inclusive start, exclusive end).
+    pub start_hours: (u32, u32),
+    /// Gap bounds between consecutive points, minutes.
+    pub gap_minutes: (u32, u32),
+}
+
+impl Default for TaxiFoursquareConfig {
+    fn default() -> Self {
+        Self {
+            num_trajectories: 500,
+            len_bounds: (3, 8),
+            start_hours: (6, 22),
+            gap_minutes: (10, 60),
+        }
+    }
+}
+
+/// Generates the trajectory set; the output is filtered to valid
+/// trajectories (§6.2) so some attrition from `num_trajectories` is normal.
+pub fn generate_taxi_foursquare<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    config: &TaxiFoursquareConfig,
+    rng: &mut R,
+) -> TrajectorySet {
+    let oracle = ReachabilityOracle::new(dataset);
+    let num_steps = dataset.time.num_timesteps() as u32;
+    let gt = dataset.time.gt_minutes();
+
+    let mut set = TrajectorySet::default();
+    for _ in 0..config.num_trajectories {
+        if let Some(t) = one_walk(dataset, &oracle, config, num_steps, gt, rng) {
+            set.push(t);
+        }
+    }
+    set.filter_valid(dataset)
+}
+
+fn one_walk<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    oracle: &ReachabilityOracle,
+    config: &TaxiFoursquareConfig,
+    num_steps: u32,
+    gt: u32,
+    rng: &mut R,
+) -> Option<Trajectory> {
+    let len = uniform_incl(config.len_bounds.0, config.len_bounds.1, rng) as usize;
+    let start_min =
+        uniform_incl(config.start_hours.0 * 60, config.start_hours.1 * 60 - 1, rng);
+    let mut t = dataset.time.timestep_at(start_min);
+
+    // Start POI: popularity-weighted among open.
+    let open: Vec<PoiId> = dataset
+        .pois
+        .ids()
+        .filter(|&p| dataset.pois.get(p).opening.is_open_at(&dataset.time, t))
+        .collect();
+    if open.is_empty() {
+        return None;
+    }
+    let w: Vec<f64> = open.iter().map(|&p| dataset.pois.get(p).popularity).collect();
+    let mut poi = open[weighted_index(&w, rng)];
+    let mut points = vec![TrajectoryPoint { poi, t }];
+
+    for _ in 1..len {
+        let gap = uniform_incl(config.gap_minutes.0.max(gt), config.gap_minutes.1, rng);
+        let next_step = t.0 as u32 + gap.div_ceil(gt);
+        if next_step >= num_steps {
+            break;
+        }
+        let next_t = Timestep(next_step as u16);
+        let gap_min = dataset.time.gap_minutes(t, next_t) as f64;
+        let candidates: Vec<PoiId> = oracle
+            .reachable_set(poi, gap_min)
+            .into_iter()
+            .filter(|&p| {
+                p != poi && dataset.pois.get(p).opening.is_open_at(&dataset.time, next_t)
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let w: Vec<f64> =
+            candidates.iter().map(|&p| dataset.pois.get(p).popularity).collect();
+        poi = candidates[weighted_index(&w, rng)];
+        t = next_t;
+        points.push(TrajectoryPoint { poi, t });
+    }
+    (points.len() >= 2).then(|| Trajectory::new(points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{CityConfig, SyntheticCity};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trajshare_hierarchy::builders::foursquare;
+
+    fn dataset() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = CityConfig { num_pois: 400, ..Default::default() };
+        SyntheticCity::generate(&cfg, foursquare(), &mut rng).dataset
+    }
+
+    #[test]
+    fn generates_valid_trajectories() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = TaxiFoursquareConfig { num_trajectories: 100, ..Default::default() };
+        let set = generate_taxi_foursquare(&ds, &cfg, &mut rng);
+        assert!(set.len() >= 80, "only {} of 100 valid", set.len());
+        for t in set.all() {
+            assert!(t.validate(&ds).is_ok());
+        }
+    }
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = TaxiFoursquareConfig { num_trajectories: 100, ..Default::default() };
+        let set = generate_taxi_foursquare(&ds, &cfg, &mut rng);
+        for t in set.all() {
+            assert!((2..=8).contains(&t.len()), "len {}", t.len());
+        }
+    }
+
+    #[test]
+    fn popular_pois_are_visited_more() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = TaxiFoursquareConfig { num_trajectories: 400, ..Default::default() };
+        let set = generate_taxi_foursquare(&ds, &cfg, &mut rng);
+        let mut visits = vec![0usize; ds.pois.len()];
+        for t in set.all() {
+            for p in t.points() {
+                visits[p.poi.index()] += 1;
+            }
+        }
+        // Correlation check via mean popularity of visited vs all POIs.
+        let total_visits: usize = visits.iter().sum();
+        let visit_weighted_pop: f64 = visits
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v as f64 * ds.pois.get(PoiId(i as u32)).popularity)
+            .sum::<f64>()
+            / total_visits as f64;
+        let mean_pop: f64 =
+            ds.pois.all().iter().map(|p| p.popularity).sum::<f64>() / ds.pois.len() as f64;
+        assert!(
+            visit_weighted_pop > mean_pop,
+            "visited popularity {visit_weighted_pop} not above mean {mean_pop}"
+        );
+    }
+
+    #[test]
+    fn starts_fall_in_configured_window() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = TaxiFoursquareConfig { num_trajectories: 120, ..Default::default() };
+        let set = generate_taxi_foursquare(&ds, &cfg, &mut rng);
+        for t in set.all() {
+            let m = ds.time.minute_of(t.point(0).t);
+            assert!((6 * 60..22 * 60).contains(&m), "start at minute {m}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! k-means clustering as an alternative spatial decomposition.
+//!
+//! §5.3: "R_s can be formed using any spatial decomposition technique, such
+//! as uniform grids or clustering". The experiments use grids; we also
+//! provide Lloyd's k-means so the robustness claim can be exercised.
+//!
+//! The implementation is deterministic given the caller-supplied initial
+//! seeds (k-means++ style initialisation is left to the caller via an RNG-
+//! free interface: pass the indices of the initial centers).
+
+use crate::point::GeoPoint;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final cluster centers, length `k`.
+    pub centers: Vec<GeoPoint>,
+    /// `assignment[i]` is the cluster index of input point `i`.
+    pub assignment: Vec<usize>,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+    /// Sum of squared (equirectangular) distances to assigned centers.
+    pub inertia: f64,
+}
+
+/// Runs Lloyd's algorithm on `points` with initial centers taken from
+/// `initial_center_indices` (must be valid, distinct indices into `points`).
+///
+/// Distances use the equirectangular Euclidean metric, which is adequate at
+/// city scale and keeps centroid updates exact in coordinate space.
+///
+/// Returns `None` if `points` is empty or no initial centers are given.
+pub fn kmeans(
+    points: &[GeoPoint],
+    initial_center_indices: &[usize],
+    max_iters: usize,
+) -> Option<KMeansResult> {
+    if points.is_empty() || initial_center_indices.is_empty() {
+        return None;
+    }
+    let k = initial_center_indices.len();
+    let mut centers: Vec<GeoPoint> = initial_center_indices.iter().map(|&i| points[i]).collect();
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    for _ in 0..max_iters.max(1) {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let d = p.euclidean_m(center);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update step: move each center to the centroid of its members.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
+        for (i, p) in points.iter().enumerate() {
+            let s = &mut sums[assignment[i]];
+            s.0 += p.lat;
+            s.1 += p.lon;
+            s.2 += 1;
+        }
+        for (c, (slat, slon, n)) in sums.into_iter().enumerate() {
+            if n > 0 {
+                centers[c] = GeoPoint { lat: slat / n as f64, lon: slon / n as f64 };
+            }
+            // Empty clusters keep their previous center.
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignment)
+        .map(|(p, &a)| {
+            let d = p.euclidean_m(&centers[a]);
+            d * d
+        })
+        .sum();
+
+    Some(KMeansResult { centers, assignment, iterations, inertia })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<GeoPoint> {
+        let a = GeoPoint::new(40.70, -74.00);
+        let b = GeoPoint::new(40.80, -73.90);
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            let off = i as f64 * 10.0;
+            pts.push(a.offset_m(off, off));
+            pts.push(b.offset_m(-off, off));
+        }
+        pts
+    }
+
+    #[test]
+    fn empty_inputs_return_none() {
+        assert!(kmeans(&[], &[0], 10).is_none());
+        assert!(kmeans(&[GeoPoint::new(40.0, -74.0)], &[], 10).is_none());
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, &[0, 1], 50).unwrap();
+        // All even indices (blob A) share a cluster, all odd (blob B) the other.
+        let a_cluster = res.assignment[0];
+        let b_cluster = res.assignment[1];
+        assert_ne!(a_cluster, b_cluster);
+        for (i, &c) in res.assignment.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(c, a_cluster, "point {i}");
+            } else {
+                assert_eq!(c, b_cluster, "point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_center_is_centroid() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, &[0], 10).unwrap();
+        let centroid = GeoPoint::centroid(&pts).unwrap();
+        assert!((res.centers[0].lat - centroid.lat).abs() < 1e-9);
+        assert!((res.centers[0].lon - centroid.lon).abs() < 1e-9);
+        assert!(res.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let pts = two_blobs();
+        let one = kmeans(&pts, &[0], 50).unwrap();
+        let two = kmeans(&pts, &[0, 1], 50).unwrap();
+        assert!(two.inertia < one.inertia);
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let pts = two_blobs();
+        let res = kmeans(&pts, &[0, 1], 100).unwrap();
+        assert!(res.iterations < 100, "should converge early, took {}", res.iterations);
+    }
+}

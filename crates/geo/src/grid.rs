@@ -1,0 +1,232 @@
+//! Uniform spatial grids.
+//!
+//! The paper divides the city into a `g_s × g_s` uniform grid (§6.2, finest
+//! granularity `g_s = 4`, with coarser `{2, 1}` grids used during spatial
+//! merging). [`UniformGrid`] assigns points to cells and supports mapping a
+//! fine cell to its enclosing coarse cell, which is exactly what region
+//! merging in the spatial dimension needs.
+
+use crate::mbr::BoundingBox;
+use crate::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a grid cell: row-major index `row * g_s + col`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+/// A `g_s × g_s` uniform grid over a bounding box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniformGrid {
+    bbox: BoundingBox,
+    gs: u32,
+}
+
+impl UniformGrid {
+    /// Creates a grid with `gs × gs` cells over `bbox`. Panics if `gs == 0`
+    /// or the box is degenerate (zero extent in either dimension).
+    pub fn new(bbox: BoundingBox, gs: u32) -> Self {
+        assert!(gs > 0, "grid granularity must be positive");
+        let (w, h) = bbox.extent_deg();
+        assert!(w > 0.0 && h > 0.0, "degenerate bounding box for grid");
+        Self { bbox, gs }
+    }
+
+    /// Grid granularity (cells per side).
+    #[inline]
+    pub fn gs(&self) -> u32 {
+        self.gs
+    }
+
+    /// Total number of cells (`gs * gs`).
+    #[inline]
+    pub fn num_cells(&self) -> u32 {
+        self.gs * self.gs
+    }
+
+    /// The grid's bounding box.
+    #[inline]
+    pub fn bbox(&self) -> &BoundingBox {
+        &self.bbox
+    }
+
+    /// Cell containing `p`. Points outside the box are clamped to the
+    /// nearest boundary cell, so every point maps to a valid cell — POIs on
+    /// the exact max edge belong to the last row/column.
+    pub fn cell_of(&self, p: GeoPoint) -> CellId {
+        let (w, h) = self.bbox.extent_deg();
+        let fx = ((p.lon - self.bbox.min_lon) / w).clamp(0.0, 1.0);
+        let fy = ((p.lat - self.bbox.min_lat) / h).clamp(0.0, 1.0);
+        let col = ((fx * self.gs as f64) as u32).min(self.gs - 1);
+        let row = ((fy * self.gs as f64) as u32).min(self.gs - 1);
+        CellId(row * self.gs + col)
+    }
+
+    /// `(row, col)` of a cell id.
+    #[inline]
+    pub fn row_col(&self, cell: CellId) -> (u32, u32) {
+        (cell.0 / self.gs, cell.0 % self.gs)
+    }
+
+    /// Center point of a cell.
+    pub fn cell_center(&self, cell: CellId) -> GeoPoint {
+        let (row, col) = self.row_col(cell);
+        let (w, h) = self.bbox.extent_deg();
+        GeoPoint {
+            lat: self.bbox.min_lat + (row as f64 + 0.5) * h / self.gs as f64,
+            lon: self.bbox.min_lon + (col as f64 + 0.5) * w / self.gs as f64,
+        }
+    }
+
+    /// Bounding box of a cell.
+    pub fn cell_bbox(&self, cell: CellId) -> BoundingBox {
+        let (row, col) = self.row_col(cell);
+        let (w, h) = self.bbox.extent_deg();
+        let cw = w / self.gs as f64;
+        let ch = h / self.gs as f64;
+        BoundingBox {
+            min_lat: self.bbox.min_lat + row as f64 * ch,
+            min_lon: self.bbox.min_lon + col as f64 * cw,
+            max_lat: self.bbox.min_lat + (row as f64 + 1.0) * ch,
+            max_lon: self.bbox.min_lon + (col as f64 + 1.0) * cw,
+        }
+    }
+
+    /// Maps a cell of this (fine) grid to the cell of a coarser grid over
+    /// the same bounding box. Used by spatial region merging (fine 4×4 cells
+    /// collapse into 2×2, then 1×1).
+    ///
+    /// Panics if the grids do not share a bounding box.
+    pub fn coarsen(&self, cell: CellId, coarse: &UniformGrid) -> CellId {
+        assert_eq!(self.bbox, coarse.bbox, "coarsen requires matching bounding boxes");
+        coarse.cell_of(self.cell_center(cell))
+    }
+
+    /// The 4-neighborhood (up/down/left/right) of a cell, clipped at edges.
+    pub fn neighbors(&self, cell: CellId) -> Vec<CellId> {
+        let (row, col) = self.row_col(cell);
+        let mut out = Vec::with_capacity(4);
+        if row > 0 {
+            out.push(CellId(cell.0 - self.gs));
+        }
+        if row + 1 < self.gs {
+            out.push(CellId(cell.0 + self.gs));
+        }
+        if col > 0 {
+            out.push(CellId(cell.0 - 1));
+        }
+        if col + 1 < self.gs {
+            out.push(CellId(cell.0 + 1));
+        }
+        out
+    }
+
+    /// Iterator over all cell ids.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> {
+        (0..self.num_cells()).map(CellId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn city_box() -> BoundingBox {
+        BoundingBox::new(40.0, -74.0, 41.0, -73.0)
+    }
+
+    #[test]
+    fn cell_assignment_corners() {
+        let g = UniformGrid::new(city_box(), 4);
+        // Bottom-left corner -> row 0, col 0.
+        assert_eq!(g.cell_of(GeoPoint::new(40.0, -74.0)), CellId(0));
+        // Top-right corner clamps to the last cell.
+        assert_eq!(g.cell_of(GeoPoint::new(41.0, -73.0)), CellId(15));
+    }
+
+    #[test]
+    fn outside_points_clamp() {
+        let g = UniformGrid::new(city_box(), 4);
+        assert_eq!(g.cell_of(GeoPoint::new(39.0, -75.0)), CellId(0));
+        assert_eq!(g.cell_of(GeoPoint::new(42.0, -72.5)), CellId(15));
+    }
+
+    #[test]
+    fn cell_center_is_inside_cell_bbox() {
+        let g = UniformGrid::new(city_box(), 4);
+        for c in g.cells() {
+            let bb = g.cell_bbox(c);
+            assert!(bb.contains(g.cell_center(c)));
+            assert_eq!(g.cell_of(g.cell_center(c)), c);
+        }
+    }
+
+    #[test]
+    fn coarsen_4_to_2() {
+        let fine = UniformGrid::new(city_box(), 4);
+        let coarse = UniformGrid::new(city_box(), 2);
+        // Fine cell (0,0) is in coarse cell (0,0); fine (3,3) in coarse (1,1).
+        assert_eq!(fine.coarsen(CellId(0), &coarse), CellId(0));
+        assert_eq!(fine.coarsen(CellId(15), &coarse), CellId(3));
+        // Fine cell (row 1, col 2) = id 6 -> coarse (0, 1) = id 1.
+        assert_eq!(fine.coarsen(CellId(6), &coarse), CellId(1));
+    }
+
+    #[test]
+    fn coarsen_to_1x1_is_always_cell_zero() {
+        let fine = UniformGrid::new(city_box(), 4);
+        let one = UniformGrid::new(city_box(), 1);
+        for c in fine.cells() {
+            assert_eq!(fine.coarsen(c, &one), CellId(0));
+        }
+    }
+
+    #[test]
+    fn neighbors_interior_has_four_corner_has_two() {
+        let g = UniformGrid::new(city_box(), 4);
+        assert_eq!(g.neighbors(CellId(5)).len(), 4); // (1,1)
+        assert_eq!(g.neighbors(CellId(0)).len(), 2); // (0,0)
+        assert_eq!(g.neighbors(CellId(15)).len(), 2); // (3,3)
+        assert_eq!(g.neighbors(CellId(1)).len(), 3); // (0,1) edge
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_granularity_rejected() {
+        let _ = UniformGrid::new(city_box(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_point_maps_to_valid_cell(
+            lat in 39.0f64..42.0, lon in -75.0f64..-72.0, gs in 1u32..16
+        ) {
+            let g = UniformGrid::new(city_box(), gs);
+            let c = g.cell_of(GeoPoint::new(lat, lon));
+            prop_assert!(c.0 < g.num_cells());
+        }
+
+        #[test]
+        fn prop_inside_point_lands_in_its_cell_bbox(
+            lat in 40.0f64..41.0, lon in -74.0f64..-73.0, gs in 1u32..16
+        ) {
+            let g = UniformGrid::new(city_box(), gs);
+            let p = GeoPoint::new(lat, lon);
+            let bb = g.cell_bbox(g.cell_of(p));
+            // Inclusive bounds + clamping at edges means containment holds.
+            prop_assert!(bb.contains(p));
+        }
+
+        #[test]
+        fn prop_coarsen_preserves_containment(
+            lat in 40.0f64..41.0, lon in -74.0f64..-73.0
+        ) {
+            let fine = UniformGrid::new(city_box(), 4);
+            let coarse = UniformGrid::new(city_box(), 2);
+            let p = GeoPoint::new(lat, lon);
+            let via_fine = fine.coarsen(fine.cell_of(p), &coarse);
+            let direct = coarse.cell_of(p);
+            prop_assert_eq!(via_fine, direct);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Axis-aligned bounding boxes (minimum bounding rectangles).
+//!
+//! The reconstruction stage of the paper (§5.5) restricts the optimization to
+//! the MBR spanned by all perturbed STC regions; this module provides that
+//! primitive.
+
+use crate::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned latitude/longitude box. `min_*` are inclusive lower
+/// bounds, `max_*` inclusive upper bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    pub min_lat: f64,
+    pub min_lon: f64,
+    pub max_lat: f64,
+    pub max_lon: f64,
+}
+
+impl BoundingBox {
+    /// A box spanning exactly one point.
+    #[inline]
+    pub fn from_point(p: GeoPoint) -> Self {
+        Self { min_lat: p.lat, min_lon: p.lon, max_lat: p.lat, max_lon: p.lon }
+    }
+
+    /// Creates the box from explicit corners; panics if inverted.
+    pub fn new(min_lat: f64, min_lon: f64, max_lat: f64, max_lon: f64) -> Self {
+        assert!(min_lat <= max_lat && min_lon <= max_lon, "inverted bounding box");
+        Self { min_lat, min_lon, max_lat, max_lon }
+    }
+
+    /// The tightest box covering a non-empty point set; `None` when empty.
+    pub fn covering(points: &[GeoPoint]) -> Option<Self> {
+        let mut it = points.iter();
+        let first = it.next()?;
+        let mut bb = Self::from_point(*first);
+        for p in it {
+            bb.expand(*p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the box (in place) to include `p`.
+    #[inline]
+    pub fn expand(&mut self, p: GeoPoint) {
+        self.min_lat = self.min_lat.min(p.lat);
+        self.max_lat = self.max_lat.max(p.lat);
+        self.min_lon = self.min_lon.min(p.lon);
+        self.max_lon = self.max_lon.max(p.lon);
+    }
+
+    /// Grows the box (in place) to include another box.
+    pub fn union(&mut self, other: &BoundingBox) {
+        self.min_lat = self.min_lat.min(other.min_lat);
+        self.max_lat = self.max_lat.max(other.max_lat);
+        self.min_lon = self.min_lon.min(other.min_lon);
+        self.max_lon = self.max_lon.max(other.max_lon);
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    #[inline]
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+    }
+
+    /// Whether the two boxes overlap (inclusive of edges).
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        self.min_lat <= other.max_lat
+            && other.min_lat <= self.max_lat
+            && self.min_lon <= other.max_lon
+            && other.min_lon <= self.max_lon
+    }
+
+    /// Center of the box in coordinate space.
+    #[inline]
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint { lat: (self.min_lat + self.max_lat) / 2.0, lon: (self.min_lon + self.max_lon) / 2.0 }
+    }
+
+    /// Diagonal length in meters (Haversine). An upper bound on the distance
+    /// between any two contained points; used to bound sensitivity.
+    pub fn diagonal_m(&self) -> f64 {
+        GeoPoint::new(self.min_lat, self.min_lon)
+            .haversine_m(&GeoPoint::new(self.max_lat, self.max_lon))
+    }
+
+    /// Returns a copy expanded by `margin_deg` degrees on every side.
+    pub fn inflate(&self, margin_deg: f64) -> BoundingBox {
+        BoundingBox {
+            min_lat: self.min_lat - margin_deg,
+            min_lon: self.min_lon - margin_deg,
+            max_lat: self.max_lat + margin_deg,
+            max_lon: self.max_lon + margin_deg,
+        }
+    }
+
+    /// Width (lon extent) and height (lat extent) in degrees.
+    #[inline]
+    pub fn extent_deg(&self) -> (f64, f64) {
+        (self.max_lon - self.min_lon, self.max_lat - self.min_lat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pt(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon)
+    }
+
+    #[test]
+    fn covering_of_empty_is_none() {
+        assert!(BoundingBox::covering(&[]).is_none());
+    }
+
+    #[test]
+    fn covering_spans_all_points() {
+        let pts = [pt(40.0, -74.0), pt(41.0, -73.0), pt(40.5, -74.5)];
+        let bb = BoundingBox::covering(&pts).unwrap();
+        assert_eq!(bb.min_lat, 40.0);
+        assert_eq!(bb.max_lat, 41.0);
+        assert_eq!(bb.min_lon, -74.5);
+        assert_eq!(bb.max_lon, -73.0);
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn new_rejects_inverted_box() {
+        let _ = BoundingBox::new(41.0, -74.0, 40.0, -73.0);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let mut a = BoundingBox::new(40.0, -74.0, 40.5, -73.5);
+        let b = BoundingBox::new(40.6, -73.4, 41.0, -73.0);
+        assert!(!a.intersects(&b));
+        a.union(&b);
+        assert!(a.contains(pt(40.0, -74.0)));
+        assert!(a.contains(pt(41.0, -73.0)));
+    }
+
+    #[test]
+    fn intersects_shared_edge() {
+        let a = BoundingBox::new(40.0, -74.0, 40.5, -73.5);
+        let b = BoundingBox::new(40.5, -73.5, 41.0, -73.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let bb = BoundingBox::new(40.0, -74.0, 41.0, -73.0);
+        let c = bb.center();
+        assert_eq!(c.lat, 40.5);
+        assert_eq!(c.lon, -73.5);
+    }
+
+    #[test]
+    fn inflate_grows_every_side() {
+        let bb = BoundingBox::new(40.0, -74.0, 41.0, -73.0).inflate(0.1);
+        assert!(bb.contains(pt(39.95, -74.05)));
+        assert!(bb.contains(pt(41.05, -72.95)));
+    }
+
+    #[test]
+    fn diagonal_positive_for_nondegenerate() {
+        let bb = BoundingBox::new(40.0, -74.0, 41.0, -73.0);
+        assert!(bb.diagonal_m() > 100_000.0);
+        assert_eq!(BoundingBox::from_point(pt(40.0, -74.0)).diagonal_m(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_covering_contains_all(
+            pts in proptest::collection::vec((40.0f64..41.0, -74.0f64..-73.0), 1..50)
+        ) {
+            let pts: Vec<GeoPoint> = pts.into_iter().map(|(a, b)| pt(a, b)).collect();
+            let bb = BoundingBox::covering(&pts).unwrap();
+            for p in &pts {
+                prop_assert!(bb.contains(*p));
+            }
+        }
+
+        #[test]
+        fn prop_union_is_commutative_cover(
+            a in (40.0f64..41.0, -74.0f64..-73.0),
+            b in (40.0f64..41.0, -74.0f64..-73.0)
+        ) {
+            let (pa, pb) = (pt(a.0, a.1), pt(b.0, b.1));
+            let mut u1 = BoundingBox::from_point(pa);
+            u1.union(&BoundingBox::from_point(pb));
+            let mut u2 = BoundingBox::from_point(pb);
+            u2.union(&BoundingBox::from_point(pa));
+            prop_assert_eq!(u1, u2);
+            prop_assert!(u1.contains(pa) && u1.contains(pb));
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Density-adaptive quadtree spatial decomposition.
+//!
+//! §5.3: "R_s can be formed using any spatial decomposition technique, such
+//! as uniform grids or clustering ... We find that our mechanism is robust
+//! to the choice of spatial decomposition technique." The quadtree splits
+//! any cell holding more than `capacity` points, yielding small cells
+//! downtown and large cells in sparse areas — the natural third option next
+//! to uniform grids and k-means.
+
+use crate::mbr::BoundingBox;
+use crate::point::GeoPoint;
+
+/// A quadtree over a fixed point set; leaves are the spatial regions.
+#[derive(Debug, Clone)]
+pub struct Quadtree {
+    nodes: Vec<Node>,
+    max_depth: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    bbox: BoundingBox,
+    /// Indices into the original point set (leaves only).
+    points: Vec<u32>,
+    /// Child node indices (NW, NE, SW, SE) or None for leaves.
+    children: Option<[u32; 4]>,
+}
+
+impl Quadtree {
+    /// Builds the tree: leaves hold at most `capacity` points unless
+    /// `max_depth` is reached. Panics on empty input or zero capacity.
+    pub fn build(points: &[GeoPoint], capacity: usize, max_depth: u32) -> Self {
+        assert!(!points.is_empty(), "quadtree needs points");
+        assert!(capacity > 0, "capacity must be positive");
+        let bbox = BoundingBox::covering(points).expect("non-empty").inflate(1e-9);
+        let mut tree = Self {
+            nodes: vec![Node {
+                bbox,
+                points: (0..points.len() as u32).collect(),
+                children: None,
+            }],
+            max_depth,
+        };
+        tree.split_recursive(0, points, capacity, 0);
+        tree
+    }
+
+    fn split_recursive(&mut self, node: u32, points: &[GeoPoint], capacity: usize, depth: u32) {
+        let n = node as usize;
+        if self.nodes[n].points.len() <= capacity || depth >= self.max_depth {
+            return;
+        }
+        let bb = self.nodes[n].bbox;
+        let cx = (bb.min_lon + bb.max_lon) / 2.0;
+        let cy = (bb.min_lat + bb.max_lat) / 2.0;
+        let quads = [
+            BoundingBox::new(cy, bb.min_lon, bb.max_lat, cx), // NW
+            BoundingBox::new(cy, cx, bb.max_lat, bb.max_lon), // NE
+            BoundingBox::new(bb.min_lat, bb.min_lon, cy, cx), // SW
+            BoundingBox::new(bb.min_lat, cx, cy, bb.max_lon), // SE
+        ];
+        let mut buckets: [Vec<u32>; 4] = Default::default();
+        for &pi in &self.nodes[n].points {
+            let p = points[pi as usize];
+            // Assign by center comparison (bbox edges are ambiguous).
+            let east = p.lon >= cx;
+            let north = p.lat >= cy;
+            let q = match (north, east) {
+                (true, false) => 0,
+                (true, true) => 1,
+                (false, false) => 2,
+                (false, true) => 3,
+            };
+            buckets[q].push(pi);
+        }
+        let mut child_ids = [0u32; 4];
+        for (q, bucket) in buckets.into_iter().enumerate() {
+            let id = self.nodes.len() as u32;
+            self.nodes.push(Node { bbox: quads[q], points: bucket, children: None });
+            child_ids[q] = id;
+        }
+        self.nodes[n].points = Vec::new();
+        self.nodes[n].children = Some(child_ids);
+        for &c in &child_ids {
+            self.split_recursive(c, points, capacity, depth + 1);
+        }
+    }
+
+    /// Leaf regions as `(bbox, member point indices)`, skipping empty
+    /// leaves (mirrors the paper's empty-region pruning).
+    pub fn leaves(&self) -> Vec<(BoundingBox, &[u32])> {
+        self.nodes
+            .iter()
+            .filter(|n| n.children.is_none() && !n.points.is_empty())
+            .map(|n| (n.bbox, n.points.as_slice()))
+            .collect()
+    }
+
+    /// The leaf index containing `p` (by descent), if `p` is inside the
+    /// root bounding box.
+    pub fn leaf_of(&self, p: GeoPoint) -> Option<usize> {
+        if !self.nodes[0].bbox.contains(p) {
+            return None;
+        }
+        let mut cur = 0usize;
+        while let Some(children) = self.nodes[cur].children {
+            let bb = self.nodes[cur].bbox;
+            let cx = (bb.min_lon + bb.max_lon) / 2.0;
+            let cy = (bb.min_lat + bb.max_lat) / 2.0;
+            let east = p.lon >= cx;
+            let north = p.lat >= cy;
+            let q = match (north, east) {
+                (true, false) => 0,
+                (true, true) => 1,
+                (false, false) => 2,
+                (false, true) => 3,
+            };
+            cur = children[q] as usize;
+        }
+        Some(cur)
+    }
+
+    /// Total node count (diagnostics).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn clustered_points() -> Vec<GeoPoint> {
+        let a = GeoPoint::new(40.70, -74.00);
+        let b = GeoPoint::new(40.80, -73.90);
+        let mut pts = Vec::new();
+        for i in 0..40 {
+            pts.push(a.offset_m((i % 7) as f64 * 15.0, (i / 7) as f64 * 15.0));
+        }
+        for i in 0..8 {
+            pts.push(b.offset_m(i as f64 * 500.0, 0.0));
+        }
+        pts
+    }
+
+    #[test]
+    fn leaves_respect_capacity_or_depth() {
+        let pts = clustered_points();
+        let qt = Quadtree::build(&pts, 10, 16);
+        for (_, members) in qt.leaves() {
+            assert!(members.len() <= 10, "leaf holds {}", members.len());
+        }
+    }
+
+    #[test]
+    fn every_point_is_in_exactly_one_leaf() {
+        let pts = clustered_points();
+        let qt = Quadtree::build(&pts, 10, 16);
+        let mut seen = vec![0usize; pts.len()];
+        for (_, members) in qt.leaves() {
+            for &m in members {
+                seen[m as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn dense_areas_get_smaller_cells() {
+        let pts = clustered_points();
+        let qt = Quadtree::build(&pts, 10, 16);
+        let leaves = qt.leaves();
+        // The dense cluster (first 40 points) should end up in smaller
+        // boxes than the sparse line.
+        let area = |bb: &BoundingBox| {
+            let (w, h) = bb.extent_deg();
+            w * h
+        };
+        let dense_area: f64 = leaves
+            .iter()
+            .filter(|(_, m)| m.iter().any(|&i| i < 40))
+            .map(|(bb, _)| area(bb))
+            .sum::<f64>();
+        let sparse_area: f64 = leaves
+            .iter()
+            .filter(|(_, m)| m.iter().all(|&i| i >= 40))
+            .map(|(bb, _)| area(bb))
+            .sum::<f64>();
+        assert!(dense_area < sparse_area, "dense {dense_area} vs sparse {sparse_area}");
+    }
+
+    #[test]
+    fn leaf_of_agrees_with_membership() {
+        let pts = clustered_points();
+        let qt = Quadtree::build(&pts, 5, 16);
+        for (i, p) in pts.iter().enumerate() {
+            let leaf = qt.leaf_of(*p).expect("inside root");
+            // The node's member list must contain i.
+            let leaves = qt.leaves();
+            let found = leaves.iter().any(|(bb, members)| {
+                members.contains(&(i as u32)) && bb.contains(*p) && {
+                    // and leaf_of must name that same region
+                    qt.leaf_of(*p) == Some(leaf)
+                }
+            });
+            assert!(found, "point {i} lost");
+        }
+    }
+
+    #[test]
+    fn outside_point_has_no_leaf() {
+        let pts = clustered_points();
+        let qt = Quadtree::build(&pts, 10, 16);
+        assert!(qt.leaf_of(GeoPoint::new(10.0, 10.0)).is_none());
+    }
+
+    #[test]
+    fn max_depth_caps_splitting() {
+        // 100 identical points can never be split apart: depth cap must
+        // stop recursion.
+        let pts = vec![GeoPoint::new(40.7, -74.0); 100];
+        let qt = Quadtree::build(&pts, 3, 5);
+        assert!(qt.num_nodes() < 10_000, "runaway splitting");
+        let leaves = qt.leaves();
+        assert_eq!(leaves.iter().map(|(_, m)| m.len()).sum::<usize>(), 100);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_is_complete(
+            pts in proptest::collection::vec((40.0f64..41.0, -74.0f64..-73.0), 1..80),
+            cap in 1usize..12
+        ) {
+            let pts: Vec<GeoPoint> =
+                pts.into_iter().map(|(a, b)| GeoPoint::new(a, b)).collect();
+            let qt = Quadtree::build(&pts, cap, 12);
+            let total: usize = qt.leaves().iter().map(|(_, m)| m.len()).sum();
+            prop_assert_eq!(total, pts.len());
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The semantic category distance `d_c` of §5.10 / Figure 5.
+//!
+//! Anchor values from Figure 5, measured relative to a reference leaf in a
+//! three-level hierarchy:
+//!
+//! | pair | `d_c` |
+//! |------|-------|
+//! | same node | 0 |
+//! | sibling leaf (same level-2 parent) | 2 |
+//! | leaf → its level-2 parent | 3.5 |
+//! | cousin leaf (same level-1 root, different level-2) | 5 |
+//! | leaf → its level-1 ancestor | 6.5 |
+//! | leaf → "uncle" level-2 node (same level-1 root) | 8 |
+//! | different level-1 roots ("unrelated") | 10 |
+//!
+//! Generalization rule (documented in DESIGN.md §6): let `ℓ` be the level of
+//! the lowest common ancestor. The base distance is `sibling_base(ℓ)`
+//! (2 for ℓ=2, 5 for ℓ=1, 10 when there is no common root). If one node is
+//! an ancestor of the other, the dedicated ancestor values apply (3.5 per
+//! single level up, 6.5 for two levels). Otherwise every *internal* (non-
+//! leaf-level) endpoint adds `+3` per level above leaf depth. All distances
+//! are capped at [`CategoryDistance::UNRELATED`] (= 10) and symmetric.
+
+use crate::tree::{CategoryHierarchy, CategoryId};
+
+/// Precomputed pairwise category distances for one hierarchy.
+///
+/// The matrix is `O(|nodes|²)` `f32`s — for the paper's three-level
+/// hierarchies (a few hundred nodes) this is a handful of megabytes at most,
+/// and lookups in the perturbation hot loop are a single indexed load.
+#[derive(Debug, Clone)]
+pub struct CategoryDistance {
+    n: usize,
+    matrix: Vec<f32>,
+}
+
+impl CategoryDistance {
+    /// `d_c` for nodes in different level-1 subtrees; also the global cap.
+    pub const UNRELATED: f64 = 10.0;
+
+    /// Builds the full distance matrix for `hierarchy`.
+    pub fn build(hierarchy: &CategoryHierarchy) -> Self {
+        let n = hierarchy.len();
+        let mut matrix = vec![0.0f32; n * n];
+        for a in hierarchy.ids() {
+            for b in hierarchy.ids() {
+                if b.0 < a.0 {
+                    continue;
+                }
+                let d = Self::pair_distance(hierarchy, a, b) as f32;
+                matrix[a.index() * n + b.index()] = d;
+                matrix[b.index() * n + a.index()] = d;
+            }
+        }
+        Self { n, matrix }
+    }
+
+    /// Distance between two category nodes (symmetric, `O(1)` lookup).
+    #[inline]
+    pub fn get(&self, a: CategoryId, b: CategoryId) -> f64 {
+        self.matrix[a.index() * self.n + b.index()] as f64
+    }
+
+    /// Number of nodes covered by the matrix.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Maximum pairwise distance (the cap, when any two unrelated roots
+    /// exist; used in sensitivity computations).
+    pub fn max_distance(&self) -> f64 {
+        self.matrix.iter().copied().fold(0.0f32, f32::max) as f64
+    }
+
+    /// The Figure-5 distance for a single pair, computed from tree shape.
+    fn pair_distance(h: &CategoryHierarchy, a: CategoryId, b: CategoryId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let Some(lca) = h.lca(a, b) else {
+            return Self::UNRELATED;
+        };
+        let max_level = h.max_level() as f64;
+        let (la, lb) = (h.level(a) as f64, h.level(b) as f64);
+        let lca_level = h.level(lca) as f64;
+
+        // Ancestor relationship: one endpoint *is* the LCA.
+        if lca == a || lca == b {
+            let levels_up = (la - lb).abs();
+            // 1 level up -> 3.5, 2 levels -> 6.5 (Figure 5); +3 per extra level.
+            let d = 3.5 + 3.0 * (levels_up - 1.0);
+            return d.min(Self::UNRELATED);
+        }
+
+        // Sibling base by LCA level: level max-1 (parents) -> 2,
+        // level max-2 -> 5; each further level towards the root adds 3
+        // before the cap, mirroring the 2/5/10 leaf anchors.
+        let depth_gap = max_level - 1.0 - lca_level; // 0 => share a parent level
+        let base = 2.0 + 3.0 * depth_gap;
+        // Internal endpoints (above leaf level) add +3 per level of
+        // "internality" (leaf→uncle = 5 + 3 = 8 in Figure 5).
+        let internal = (max_level - la) + (max_level - lb);
+        (base + 3.0 * internal).min(Self::UNRELATED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::CategoryHierarchy;
+
+    /// Builds the Figure-5 style hierarchy: 2 roots; root0 has 2 mids; the
+    /// first mid has 3 leaves. Returns (h, ids) with ids laid out as:
+    /// [root0, mid00, leaf0, leaf1, leaf2, mid01, leafX, root1, mid10, leafY]
+    fn fig5() -> (CategoryHierarchy, Vec<CategoryId>) {
+        let mut h = CategoryHierarchy::new();
+        let root0 = h.add_root("root0");
+        let mid00 = h.add_child(root0, "mid00");
+        let leaf0 = h.add_child(mid00, "leaf0");
+        let leaf1 = h.add_child(mid00, "leaf1");
+        let leaf2 = h.add_child(mid00, "leaf2");
+        let mid01 = h.add_child(root0, "mid01");
+        let leafx = h.add_child(mid01, "leafX");
+        let root1 = h.add_root("root1");
+        let mid10 = h.add_child(root1, "mid10");
+        let leafy = h.add_child(mid10, "leafY");
+        (h, vec![root0, mid00, leaf0, leaf1, leaf2, mid01, leafx, root1, mid10, leafy])
+    }
+
+    #[test]
+    fn figure5_anchor_values() {
+        let (h, ids) = fig5();
+        let d = CategoryDistance::build(&h);
+        let (root0, mid00, leaf0, leaf1, _leaf2, mid01, leafx, _root1, _mid10, leafy) = (
+            ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7], ids[8], ids[9],
+        );
+        assert_eq!(d.get(leaf0, leaf0), 0.0, "same node");
+        assert_eq!(d.get(leaf0, leaf1), 2.0, "sibling leaves");
+        assert_eq!(d.get(leaf0, mid00), 3.5, "leaf to parent");
+        assert_eq!(d.get(leaf0, leafx), 5.0, "cousin leaves");
+        assert_eq!(d.get(leaf0, root0), 6.5, "leaf to grandparent");
+        assert_eq!(d.get(leaf0, mid01), 8.0, "leaf to uncle");
+        assert_eq!(d.get(leaf0, leafy), 10.0, "different roots");
+    }
+
+    #[test]
+    fn symmetry_holds_for_all_pairs() {
+        let (h, _) = fig5();
+        let d = CategoryDistance::build(&h);
+        for a in h.ids() {
+            for b in h.ids() {
+                assert_eq!(d.get(a, b), d.get(b, a), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn distances_bounded_by_cap() {
+        let (h, _) = fig5();
+        let d = CategoryDistance::build(&h);
+        for a in h.ids() {
+            for b in h.ids() {
+                let v = d.get(a, b);
+                assert!((0.0..=CategoryDistance::UNRELATED).contains(&v));
+            }
+        }
+        assert_eq!(d.max_distance(), CategoryDistance::UNRELATED);
+    }
+
+    #[test]
+    fn zero_only_on_diagonal() {
+        let (h, _) = fig5();
+        let d = CategoryDistance::build(&h);
+        for a in h.ids() {
+            for b in h.ids() {
+                if a != b {
+                    assert!(d.get(a, b) > 0.0, "{a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_closer_than_cousin_closer_than_unrelated() {
+        let (h, ids) = fig5();
+        let d = CategoryDistance::build(&h);
+        let (leaf0, leaf1, leafx, leafy) = (ids[2], ids[3], ids[6], ids[9]);
+        assert!(d.get(leaf0, leaf1) < d.get(leaf0, leafx));
+        assert!(d.get(leaf0, leafx) < d.get(leaf0, leafy));
+    }
+
+    #[test]
+    fn roots_of_distinct_subtrees_are_unrelated() {
+        let (h, ids) = fig5();
+        let d = CategoryDistance::build(&h);
+        assert_eq!(d.get(ids[0], ids[7]), CategoryDistance::UNRELATED);
+    }
+
+    #[test]
+    fn two_mid_siblings_distance() {
+        let (h, ids) = fig5();
+        let d = CategoryDistance::build(&h);
+        // mid00 vs mid01: LCA root0 (level 1), both internal by one level:
+        // base 5 + 3 + 3 = 11 -> capped at 10.
+        assert_eq!(d.get(ids[1], ids[5]), 10.0);
+        // mid00 vs root0: ancestor, one level -> 3.5.
+        assert_eq!(d.get(ids[1], ids[0]), 3.5);
+    }
+}

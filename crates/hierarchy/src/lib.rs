@@ -1,0 +1,18 @@
+//! Category hierarchies and the semantic category distance of the paper.
+//!
+//! POIs carry categories drawn from a multi-level classification hierarchy
+//! (Foursquare's venue categories, NAICS, or a campus building taxonomy).
+//! The paper's semantic distance `d_c` (§5.10, Figure 5) is defined over a
+//! three-level hierarchy with fixed anchor values; [`CategoryDistance`]
+//! reproduces those anchors exactly and generalizes to arbitrary node pairs.
+//!
+//! Synthetic stand-ins for the proprietary classification files are provided
+//! in [`builders`] (see DESIGN.md §4).
+
+pub mod builders;
+pub mod distance;
+pub mod tree;
+
+pub use builders::{campus, foursquare, naics};
+pub use distance::CategoryDistance;
+pub use tree::{CategoryHierarchy, CategoryId, CategoryNode};

@@ -1,0 +1,26 @@
+//! Optimization substrate for `trajshare`.
+//!
+//! The region-level reconstruction of §5.5 is an integer linear program
+//! (Eq. 10–14). The paper hands it to an unnamed LP solver; we build our own
+//! so the reproduction is self-contained:
+//!
+//! * [`problem`] — an LP/ILP model builder,
+//! * [`simplex`] — a dense two-phase primal simplex with Bland's rule,
+//! * [`branch_bound`] — branch & bound for integer variables on top of the
+//!   simplex,
+//! * [`lattice`] — the trajectory-reconstruction problem in its natural
+//!   combinatorial form (a layered shortest path), with both a Viterbi
+//!   solver and a translation to the exact ILP of Eq. 10–14.
+//!
+//! The LP relaxation of the lattice ILP is a shortest-path polytope and
+//! hence integral; tests assert Viterbi ≡ ILP on random instances.
+
+pub mod branch_bound;
+pub mod lattice;
+pub mod problem;
+pub mod simplex;
+
+pub use branch_bound::solve_ilp;
+pub use lattice::{LatticeProblem, LatticeSolution};
+pub use problem::{Constraint, LinearProgram, Relation, SolveStatus, Solution};
+pub use simplex::solve_lp;

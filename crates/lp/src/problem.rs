@@ -1,0 +1,224 @@
+//! LP/ILP model representation.
+
+use serde::{Deserialize, Serialize};
+
+/// Relation of a linear constraint to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x ≥ b`
+    Ge,
+}
+
+/// A single linear constraint in sparse form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; indices must be unique.
+    pub coeffs: Vec<(usize, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// A minimization problem `min c·x  s.t.  A x {≤,=,≥} b,  lb ≤ x ≤ ub`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    integer: Vec<bool>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a continuous variable with objective coefficient `cost` and
+    /// bounds `[lb, ub]` (use `f64::INFINITY` for unbounded above).
+    /// Returns the variable index.
+    pub fn add_var(&mut self, cost: f64, lb: f64, ub: f64) -> usize {
+        assert!(lb.is_finite(), "lower bounds must be finite (got {lb})");
+        assert!(ub >= lb, "upper bound {ub} below lower bound {lb}");
+        self.objective.push(cost);
+        self.lower.push(lb);
+        self.upper.push(ub);
+        self.integer.push(false);
+        self.objective.len() - 1
+    }
+
+    /// Adds an integer variable (for branch & bound).
+    pub fn add_int_var(&mut self, cost: f64, lb: f64, ub: f64) -> usize {
+        let idx = self.add_var(cost, lb, ub);
+        self.integer[idx] = true;
+        idx
+    }
+
+    /// Adds a binary 0/1 variable.
+    pub fn add_binary_var(&mut self, cost: f64) -> usize {
+        self.add_int_var(cost, 0.0, 1.0)
+    }
+
+    /// Adds a constraint. Panics on out-of-range variable indices.
+    pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, relation: Relation, rhs: f64) {
+        for &(i, _) in &coeffs {
+            assert!(i < self.objective.len(), "constraint references unknown variable {i}");
+        }
+        self.constraints.push(Constraint { coeffs, relation, rhs });
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    #[inline]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Objective coefficients.
+    #[inline]
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Lower bounds.
+    #[inline]
+    pub fn lower_bounds(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bounds.
+    #[inline]
+    pub fn upper_bounds(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Integrality flags.
+    #[inline]
+    pub fn integrality(&self) -> &[bool] {
+        &self.integer
+    }
+
+    /// Constraint rows.
+    #[inline]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Tightens the bounds of a variable (used by branch & bound).
+    pub fn set_bounds(&mut self, var: usize, lb: f64, ub: f64) {
+        assert!(ub >= lb - 1e-12, "invalid bounds [{lb}, {ub}] for var {var}");
+        self.lower[var] = lb;
+        self.upper[var] = ub.max(lb);
+    }
+
+    /// Evaluates the objective at `x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, xi)| c * xi).sum()
+    }
+
+    /// Checks primal feasibility of `x` within tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        for i in 0..self.num_vars() {
+            if x[i] < self.lower[i] - tol || x[i] > self.upper[i] + tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.coeffs.iter().map(|&(i, a)| a * x[i]).sum();
+            let ok = match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveStatus {
+    Optimal,
+    Infeasible,
+    Unbounded,
+    /// Branch & bound hit its node limit before proving optimality.
+    NodeLimit,
+}
+
+/// A solution: status, variable values, and objective.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Solution {
+    pub status: SolveStatus,
+    pub x: Vec<f64>,
+    pub objective: f64,
+}
+
+impl Solution {
+    pub fn infeasible() -> Self {
+        Self { status: SolveStatus::Infeasible, x: Vec::new(), objective: f64::INFINITY }
+    }
+
+    pub fn unbounded() -> Self {
+        Self { status: SolveStatus::Unbounded, x: Vec::new(), objective: f64::NEG_INFINITY }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_vars_and_constraints() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 0.0, 10.0);
+        let y = lp.add_binary_var(-2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 5.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 1);
+        assert!(!lp.integrality()[x]);
+        assert!(lp.integrality()[y]);
+        assert_eq!(lp.upper_bounds()[y], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn constraint_with_bad_index_panics() {
+        let mut lp = LinearProgram::new();
+        lp.add_constraint(vec![(3, 1.0)], Relation::Le, 1.0);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 0.0, 4.0);
+        let y = lp.add_var(1.0, 0.0, 4.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 4.0);
+        assert!(lp.is_feasible(&[2.0, 2.0], 1e-9));
+        assert!(!lp.is_feasible(&[2.0, 3.0], 1e-9));
+        assert!(!lp.is_feasible(&[5.0, -1.0], 1e-9));
+        assert!(!lp.is_feasible(&[2.0], 1e-9));
+    }
+
+    #[test]
+    fn objective_value_dot_product() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(2.0, 0.0, 1.0);
+        lp.add_var(-1.0, 0.0, 1.0);
+        assert_eq!(lp.objective_value(&[1.0, 0.5]), 1.5);
+    }
+}

@@ -1,0 +1,212 @@
+//! The Exponential Mechanism (Definition 4.3).
+//!
+//! For input `x` and candidate outputs `y ∈ Y` with quality `q(x, y)`, the EM
+//! samples `y` with probability proportional to `exp(ε·q(x,y) / 2Δq)`.
+//! Choosing the quality function as a *negated distance* (`q = -d`) yields
+//! Eq. 4 / Eq. 6 of the paper, and because the probability ratio between any
+//! two inputs is bounded by `e^ε`, the result satisfies strict ε-LDP — not a
+//! metric-LDP relaxation (§4.2).
+
+use crate::sampling::gumbel_argmax;
+use rand::Rng;
+
+/// A configured exponential mechanism: privacy parameter ε and the
+/// sensitivity Δq of the quality function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialMechanism {
+    epsilon: f64,
+    sensitivity: f64,
+}
+
+impl ExponentialMechanism {
+    /// Creates a mechanism. Panics on non-positive ε or sensitivity — both
+    /// indicate a configuration bug, not a runtime condition.
+    pub fn new(epsilon: f64, sensitivity: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive, got {epsilon}");
+        assert!(
+            sensitivity > 0.0 && sensitivity.is_finite(),
+            "sensitivity must be positive, got {sensitivity}"
+        );
+        Self { epsilon, sensitivity }
+    }
+
+    /// The privacy parameter ε.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The sensitivity Δq.
+    #[inline]
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// The exponent multiplier `ε / 2Δq` applied to each quality score.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.epsilon / (2.0 * self.sensitivity)
+    }
+
+    /// Samples an index from `qualities` (higher quality = more likely).
+    ///
+    /// Uses the Gumbel-max trick in log space, so arbitrarily large quality
+    /// magnitudes are safe. Returns `None` for an empty candidate list.
+    pub fn sample<R: Rng + ?Sized>(&self, qualities: &[f64], rng: &mut R) -> Option<usize> {
+        let s = self.scale();
+        // Log-weights are just scaled qualities; Gumbel-max handles the rest.
+        let log_w: Vec<f64> = qualities.iter().map(|&q| q * s).collect();
+        gumbel_argmax(&log_w, rng)
+    }
+
+    /// Samples using *distances* instead of qualities (`q = -d`), matching
+    /// the paper's Eq. 4 / Eq. 6 formulation directly.
+    pub fn sample_by_distance<R: Rng + ?Sized>(&self, distances: &[f64], rng: &mut R) -> Option<usize> {
+        let s = self.scale();
+        let log_w: Vec<f64> = distances.iter().map(|&d| -d * s).collect();
+        gumbel_argmax(&log_w, rng)
+    }
+
+    /// Exact output probabilities for the given qualities (for tests and
+    /// privacy audits). Numerically stabilized by subtracting the max.
+    pub fn probabilities(&self, qualities: &[f64]) -> Vec<f64> {
+        if qualities.is_empty() {
+            return Vec::new();
+        }
+        let s = self.scale();
+        let m = qualities.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = qualities.iter().map(|&q| ((q - m) * s).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / total).collect()
+    }
+
+    /// The utility bound of Eq. 3/7: with probability at least `1 - e^{-ζ}`,
+    /// the sampled quality is within `2Δq/ε · (ln(|Y|/|Y_OPT|) + ζ)` of the
+    /// optimum. Returns that additive gap for given `|Y|`, `|Y_OPT|`, `ζ`.
+    pub fn utility_gap(&self, num_outputs: usize, num_optimal: usize, zeta: f64) -> f64 {
+        assert!(num_optimal >= 1 && num_outputs >= num_optimal);
+        2.0 * self.sensitivity / self.epsilon
+            * ((num_outputs as f64 / num_optimal as f64).ln() + zeta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn zero_epsilon_rejected() {
+        let _ = ExponentialMechanism::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sensitivity")]
+    fn zero_sensitivity_rejected() {
+        let _ = ExponentialMechanism::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let em = ExponentialMechanism::new(1.0, 2.0);
+        let p = em.probabilities(&[-1.0, -2.0, -3.0, 0.0]);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_quality_is_more_likely() {
+        let em = ExponentialMechanism::new(2.0, 1.0);
+        let p = em.probabilities(&[0.0, -1.0, -5.0]);
+        assert!(p[0] > p[1] && p[1] > p[2]);
+    }
+
+    #[test]
+    fn probability_ratio_bounded_by_exp_eps() {
+        // ε-LDP check (Definition 4.2): for two *inputs* x, x' the ratio of
+        // probabilities of any output y is bounded by e^ε. With q = -d and
+        // Δq = max distance, the exponent difference per output is at most
+        // ε/2 + ε/2 = ε across the numerator and normalizer.
+        let eps = 1.5;
+        let dmax: f64 = 10.0;
+        let em = ExponentialMechanism::new(eps, dmax);
+        // Distances from two different inputs to 5 candidate outputs.
+        let d_x = [0.0, 3.0, 7.0, 10.0, 2.0];
+        let d_x2 = [10.0, 6.0, 0.0, 1.0, 9.0];
+        let q_x: Vec<f64> = d_x.iter().map(|d| -d).collect();
+        let q_x2: Vec<f64> = d_x2.iter().map(|d| -d).collect();
+        let p1 = em.probabilities(&q_x);
+        let p2 = em.probabilities(&q_x2);
+        for i in 0..p1.len() {
+            let ratio = p1[i] / p2[i];
+            assert!(ratio <= (eps).exp() + 1e-9, "ratio {ratio} at {i}");
+            assert!(ratio >= (-eps).exp() - 1e-9, "ratio {ratio} at {i}");
+        }
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let em = ExponentialMechanism::new(1.0, 5.0);
+        let q = [0.0, -2.0, -4.0, -8.0];
+        let p = em.probabilities(&q);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[em.sample(&q, &mut rng).unwrap()] += 1;
+        }
+        for i in 0..4 {
+            let got = counts[i] as f64 / n as f64;
+            assert!((got - p[i]).abs() < 0.015, "idx {i}: got {got}, expect {}", p[i]);
+        }
+    }
+
+    #[test]
+    fn sample_by_distance_prefers_near() {
+        let em = ExponentialMechanism::new(5.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = [0.0, 10.0, 20.0];
+        let mut zero = 0;
+        for _ in 0..1000 {
+            if em.sample_by_distance(&d, &mut rng).unwrap() == 0 {
+                zero += 1;
+            }
+        }
+        assert!(zero > 990, "got {zero}");
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let em = ExponentialMechanism::new(1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(em.sample(&[], &mut rng), None);
+    }
+
+    #[test]
+    fn extreme_scores_do_not_overflow() {
+        let em = ExponentialMechanism::new(100.0, 0.001);
+        let p = em.probabilities(&[-1e6, 0.0, -1e6]);
+        assert!((p[1] - 1.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(em.sample(&[-1e6, 0.0, -1e6], &mut rng), Some(1));
+    }
+
+    #[test]
+    fn utility_gap_monotone_in_outputs() {
+        let em = ExponentialMechanism::new(1.0, 1.0);
+        let g1 = em.utility_gap(10, 1, 1.0);
+        let g2 = em.utility_gap(1000, 1, 1.0);
+        assert!(g2 > g1);
+    }
+
+    #[test]
+    fn uniform_when_epsilon_tiny() {
+        let em = ExponentialMechanism::new(1e-9, 1.0);
+        let p = em.probabilities(&[0.0, -5.0, -10.0]);
+        for &pi in &p {
+            assert!((pi - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+}

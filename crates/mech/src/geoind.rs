@@ -1,0 +1,147 @@
+//! Geo-indistinguishability (Andrés et al., CCS 2013) — the *relaxed*
+//! location-privacy notion the paper contrasts itself against (§2, §5.9:
+//! "although these approaches possess their own theoretical guarantees,
+//! they do not satisfy ε-LDP, which makes them incomparable with our
+//! mechanism").
+//!
+//! We implement the planar Laplace mechanism so the comparison can be run:
+//! a point is displaced by a polar-Laplace noise vector, guaranteeing
+//! ε·d-privacy (the indistinguishability of two locations degrades with
+//! their distance) — **not** ε-LDP. The API name makes the relaxation
+//! explicit.
+
+use rand::Rng;
+
+/// A planar (polar) Laplace draw: returns `(east_m, north_m)` displacement
+/// such that the mechanism satisfies ε-geo-indistinguishability, where
+/// `epsilon_per_meter` is the privacy level per meter (often written ε/r).
+///
+/// Radius sampling uses the standard inverse-CDF via the Lambert-W branch
+/// `W₋₁`, computed with Halley iterations.
+pub fn planar_laplace_displacement<R: Rng + ?Sized>(
+    epsilon_per_meter: f64,
+    rng: &mut R,
+) -> (f64, f64) {
+    assert!(
+        epsilon_per_meter > 0.0 && epsilon_per_meter.is_finite(),
+        "epsilon_per_meter must be positive"
+    );
+    let theta = rng.random::<f64>() * 2.0 * std::f64::consts::PI;
+    // r = -(1/ε)(W₋₁((p−1)/e) + 1) for p ~ U(0,1).
+    let p: f64 = rng.random::<f64>().clamp(1e-12, 1.0 - 1e-12);
+    let w = lambert_w_minus1((p - 1.0) / std::f64::consts::E);
+    let r = -(w + 1.0) / epsilon_per_meter;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// The W₋₁ branch of the Lambert W function on `[-1/e, 0)`.
+///
+/// Accuracy ~1e-12 via a log-based seed plus Halley iterations; this is the
+/// standard approach for planar-Laplace sampling.
+pub fn lambert_w_minus1(x: f64) -> f64 {
+    assert!(
+        (-1.0 / std::f64::consts::E..0.0).contains(&x),
+        "W₋₁ domain is [-1/e, 0), got {x}"
+    );
+    // Seed: for x -> 0⁻, W₋₁(x) ≈ ln(-x) - ln(-ln(-x)); near -1/e use the
+    // series around the branch point.
+    let mut w = if x > -0.25 {
+        let l1 = (-x).ln();
+        let l2 = (-l1).ln();
+        l1 - l2
+    } else {
+        // Branch-point series: W ≈ -1 - p - p²/3 with p = -sqrt(2(1+ex)).
+        let p = -(2.0 * (1.0 + std::f64::consts::E * x)).max(0.0).sqrt();
+        -1.0 + p - p * p / 3.0
+    };
+    for _ in 0..64 {
+        let ew = w.exp();
+        let f = w * ew - x;
+        if f.abs() < 1e-14 * x.abs().max(1e-300) {
+            break;
+        }
+        // Halley's method.
+        let denom = ew * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0);
+        let step = f / denom;
+        w -= step;
+        if step.abs() < 1e-15 * (1.0 + w.abs()) {
+            break;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lambert_w_satisfies_defining_equation() {
+        for &x in &[-0.3678, -0.25, -0.1, -0.01, -1e-6] {
+            let w = lambert_w_minus1(x);
+            assert!(w <= -1.0, "W₋₁ must be ≤ -1, got {w} at {x}");
+            let back = w * w.exp();
+            assert!((back - x).abs() < 1e-9, "W({x}) = {w}: w e^w = {back}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn lambert_w_rejects_out_of_domain() {
+        let _ = lambert_w_minus1(0.5);
+    }
+
+    #[test]
+    fn displacement_radius_has_gamma_2_mean() {
+        // Polar Laplace radius ~ Gamma(2, 1/ε): mean 2/ε.
+        let eps = 0.01; // per meter -> mean radius 200 m
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let mean_r: f64 = (0..n)
+            .map(|_| {
+                let (dx, dy) = planar_laplace_displacement(eps, &mut rng);
+                (dx * dx + dy * dy).sqrt()
+            })
+            .sum::<f64>()
+            / n as f64;
+        let expect = 2.0 / eps;
+        assert!(
+            (mean_r - expect).abs() / expect < 0.03,
+            "mean radius {mean_r}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn displacement_is_isotropic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 40_000;
+        let (mut sx, mut sy) = (0.0, 0.0);
+        for _ in 0..n {
+            let (dx, dy) = planar_laplace_displacement(0.01, &mut rng);
+            sx += dx;
+            sy += dy;
+        }
+        let mean_mag = 200.0; // mean radius for eps 0.01
+        assert!((sx / n as f64).abs() < mean_mag * 0.05, "x bias {}", sx / n as f64);
+        assert!((sy / n as f64).abs() < mean_mag * 0.05, "y bias {}", sy / n as f64);
+    }
+
+    #[test]
+    fn higher_epsilon_means_smaller_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean = |eps: f64, rng: &mut StdRng| -> f64 {
+            (0..5000)
+                .map(|_| {
+                    let (dx, dy) = planar_laplace_displacement(eps, rng);
+                    (dx * dx + dy * dy).sqrt()
+                })
+                .sum::<f64>()
+                / 5000.0
+        };
+        let loose = mean(0.001, &mut rng);
+        let tight = mean(0.1, &mut rng);
+        assert!(loose > tight * 10.0, "loose {loose}, tight {tight}");
+    }
+}

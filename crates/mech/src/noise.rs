@@ -1,0 +1,66 @@
+//! Laplace noise for numeric post-analyses.
+//!
+//! The trajectory mechanism itself is EM-based, but downstream consumers of
+//! the perturbed sets (hotspot counting, histograms) sometimes want a
+//! calibrated additive-noise primitive; we provide the classic Laplace
+//! mechanism via inverse-CDF sampling.
+
+use rand::Rng;
+
+/// Samples Laplace(0, `sensitivity`/`epsilon`) noise.
+///
+/// Inverse-CDF method: for `u ~ U(-1/2, 1/2)`,
+/// `X = -b · sgn(u) · ln(1 - 2|u|)` is Laplace(0, b).
+pub fn laplace_noise<R: Rng + ?Sized>(sensitivity: f64, epsilon: f64, rng: &mut R) -> f64 {
+    assert!(sensitivity > 0.0 && epsilon > 0.0, "sensitivity and epsilon must be positive");
+    let b = sensitivity / epsilon;
+    let u: f64 = rng.random::<f64>() - 0.5;
+    let mag = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE);
+    -b * u.signum() * mag.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_is_near_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| laplace_noise(1.0, 1.0, &mut rng)).sum();
+        assert!((sum / n as f64).abs() < 0.02);
+    }
+
+    #[test]
+    fn variance_matches_2b_squared() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let b: f64 = 2.0; // sensitivity 2, epsilon 1
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| laplace_noise(2.0, 1.0, &mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let expect = 2.0 * b * b;
+        assert!((var - expect).abs() / expect < 0.05, "var {var}, expect {expect}");
+    }
+
+    #[test]
+    fn scale_shrinks_with_epsilon() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let spread = |eps: f64, rng: &mut StdRng| -> f64 {
+            (0..n).map(|_| laplace_noise(1.0, eps, rng).abs()).sum::<f64>() / n as f64
+        };
+        let wide = spread(0.5, &mut rng);
+        let tight = spread(5.0, &mut rng);
+        assert!(wide > tight * 5.0, "wide {wide}, tight {tight}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_params() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = laplace_noise(0.0, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,115 @@
+//! k-ary randomized response.
+//!
+//! The oldest LDP primitive: report the truth with probability
+//! `e^ε / (e^ε + k - 1)`, otherwise a uniformly random *other* value.
+//! Equivalent to the EM with a 0/1 quality function; used in tests as an
+//! independent reference implementation and available to downstream users
+//! for categorical attributes.
+
+use rand::Rng;
+
+/// Perturbs `truth ∈ [0, k)` under ε-LDP randomized response over `k`
+/// categories. Panics if `k < 2` or `truth >= k`.
+pub fn k_randomized_response<R: Rng + ?Sized>(
+    truth: usize,
+    k: usize,
+    epsilon: f64,
+    rng: &mut R,
+) -> usize {
+    assert!(k >= 2, "randomized response needs at least two categories");
+    assert!(truth < k, "truth index {truth} out of range 0..{k}");
+    assert!(epsilon > 0.0 && epsilon.is_finite());
+    let e = epsilon.exp();
+    let p_truth = e / (e + k as f64 - 1.0);
+    if rng.random::<f64>() < p_truth {
+        truth
+    } else {
+        // Uniform over the k-1 other values.
+        let mut v = rng.random_range(0..k - 1);
+        if v >= truth {
+            v += 1;
+        }
+        v
+    }
+}
+
+/// The probability that randomized response reports the truth.
+pub fn rr_truth_probability(k: usize, epsilon: f64) -> f64 {
+    let e = epsilon.exp();
+    e / (e + k as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn outputs_always_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = k_randomized_response(3, 10, 0.5, &mut rng);
+            assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn truth_rate_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (k, eps) = (5usize, 1.0);
+        let expect = rr_truth_probability(k, eps);
+        let n = 50_000;
+        let mut hits = 0;
+        for _ in 0..n {
+            if k_randomized_response(2, k, eps, &mut rng) == 2 {
+                hits += 1;
+            }
+        }
+        let got = hits as f64 / n as f64;
+        assert!((got - expect).abs() < 0.01, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn epsilon_ldp_ratio_holds() {
+        // P[out=y | truth=y] / P[out=y | truth=x≠y] = e^ε exactly.
+        let (k, eps) = (4usize, 2.0);
+        let p_true = rr_truth_probability(k, eps);
+        let p_lie = (1.0 - p_true) / (k as f64 - 1.0);
+        let ratio = p_true / p_lie;
+        assert!((ratio - eps.exp()).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn large_epsilon_reports_truth() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(k_randomized_response(7, 10, 30.0, &mut rng), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn truth_out_of_range_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = k_randomized_response(10, 10, 1.0, &mut rng);
+    }
+
+    #[test]
+    fn non_truth_outputs_are_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (k, eps, truth) = (4usize, 0.1, 1usize);
+        let mut counts = vec![0usize; k];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[k_randomized_response(truth, k, eps, &mut rng)] += 1;
+        }
+        let p_true = rr_truth_probability(k, eps);
+        let p_other = (1.0 - p_true) / 3.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let got = c as f64 / n as f64;
+            let expect = if i == truth { p_true } else { p_other };
+            assert!((got - expect).abs() < 0.01, "idx {i}: got {got}, expect {expect}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Subsampled Exponential Mechanism (Lantz, Boyd & Page, AISec 2015).
+//!
+//! §5.1 notes that applying the EM to a uniform sample of the output space
+//! makes the global solution tractable but loses utility when the quality
+//! distribution is highly skewed — the sample rarely contains the few good
+//! outputs. We implement it to reproduce that comparison.
+
+use crate::em::ExponentialMechanism;
+use rand::Rng;
+
+/// Runs the EM over a uniform subsample of the candidate set.
+///
+/// `sample_size` candidates are drawn *with replacement* (matching the
+/// analysis in the original paper, and cheap for huge candidate sets);
+/// returns the index **into the original slice** of the winner, or `None`
+/// when inputs are empty / `sample_size == 0`.
+pub fn subsampled_em<R: Rng + ?Sized>(
+    qualities: &[f64],
+    epsilon: f64,
+    sensitivity: f64,
+    sample_size: usize,
+    rng: &mut R,
+) -> Option<usize> {
+    if qualities.is_empty() || sample_size == 0 {
+        return None;
+    }
+    let em = ExponentialMechanism::new(epsilon, sensitivity);
+    let indices: Vec<usize> =
+        (0..sample_size).map(|_| rng.random_range(0..qualities.len())).collect();
+    let sampled: Vec<f64> = indices.iter().map(|&i| qualities[i]).collect();
+    em.sample(&sampled, rng).map(|k| indices[k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_or_zero_sample_yields_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(subsampled_em(&[], 1.0, 1.0, 10, &mut rng), None);
+        assert_eq!(subsampled_em(&[0.0], 1.0, 1.0, 0, &mut rng), None);
+    }
+
+    #[test]
+    fn returns_valid_indices() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = [-1.0, -2.0, -3.0];
+        for _ in 0..100 {
+            let i = subsampled_em(&q, 1.0, 1.0, 2, &mut rng).unwrap();
+            assert!(i < q.len());
+        }
+    }
+
+    #[test]
+    fn full_sample_behaves_like_em() {
+        // With a large sample and strong ε the best candidate dominates.
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = [-10.0, 0.0, -10.0, -10.0];
+        let mut hits = 0;
+        for _ in 0..500 {
+            if subsampled_em(&q, 50.0, 1.0, 64, &mut rng) == Some(1) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 490, "got {hits}");
+    }
+
+    #[test]
+    fn skewed_quality_with_tiny_sample_misses_the_optimum() {
+        // The §5.1 failure mode: one excellent output among many poor ones;
+        // a sample of 1 selects uniformly, so the optimum is found with
+        // probability ~1/n regardless of ε.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut q = vec![-100.0; 1000];
+        q[123] = 0.0;
+        let mut hits = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            if subsampled_em(&q, 10.0, 100.0, 1, &mut rng) == Some(123) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!(rate < 0.01, "tiny subsample should almost never find the optimum, rate {rate}");
+    }
+}

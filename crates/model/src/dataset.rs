@@ -1,0 +1,247 @@
+//! POI tables and the dataset bundle.
+
+use crate::poi::{Poi, PoiId};
+use crate::time::TimeDomain;
+use trajshare_geo::{BoundingBox, DistanceMetric, GeoPoint, UniformGrid};
+use trajshare_hierarchy::{CategoryDistance, CategoryHierarchy};
+
+/// Side length (cells) of the internal bucket grid used for radius queries.
+const BUCKET_GRID: u32 = 32;
+
+/// An immutable POI table with a bucket-grid spatial index.
+#[derive(Debug, Clone)]
+pub struct PoiTable {
+    pois: Vec<Poi>,
+    bbox: BoundingBox,
+    grid: UniformGrid,
+    /// `buckets[cell]` = POI indices in that cell.
+    buckets: Vec<Vec<u32>>,
+}
+
+impl PoiTable {
+    /// Builds the table and index. Panics on an empty POI list or ids that
+    /// do not match their positions (ids must be dense `0..n`).
+    pub fn new(pois: Vec<Poi>) -> Self {
+        assert!(!pois.is_empty(), "a POI table cannot be empty");
+        for (i, p) in pois.iter().enumerate() {
+            assert_eq!(p.id.index(), i, "POI ids must be dense and in order");
+        }
+        let points: Vec<GeoPoint> = pois.iter().map(|p| p.location).collect();
+        // Inflate slightly so boundary POIs are interior to the grid.
+        let bbox = BoundingBox::covering(&points).expect("non-empty").inflate(1e-4);
+        let grid = UniformGrid::new(bbox, BUCKET_GRID);
+        let mut buckets = vec![Vec::new(); grid.num_cells() as usize];
+        for (i, p) in pois.iter().enumerate() {
+            buckets[grid.cell_of(p.location).0 as usize].push(i as u32);
+        }
+        Self { pois, bbox, grid, buckets }
+    }
+
+    /// Number of POIs (`|P|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// Whether the table is empty (never true after construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pois.is_empty()
+    }
+
+    /// The POI for an id. Panics if out of range.
+    #[inline]
+    pub fn get(&self, id: PoiId) -> &Poi {
+        &self.pois[id.index()]
+    }
+
+    /// All POIs in id order.
+    #[inline]
+    pub fn all(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// Iterator over ids.
+    pub fn ids(&self) -> impl Iterator<Item = PoiId> {
+        (0..self.pois.len() as u32).map(PoiId)
+    }
+
+    /// Covering bounding box (slightly inflated).
+    #[inline]
+    pub fn bbox(&self) -> &BoundingBox {
+        &self.bbox
+    }
+
+    /// POIs within `radius_m` of `center` under `metric`.
+    ///
+    /// Scans only the bucket cells whose boxes can intersect the radius.
+    pub fn within_radius(
+        &self,
+        center: GeoPoint,
+        radius_m: f64,
+        metric: DistanceMetric,
+    ) -> Vec<PoiId> {
+        let mut out = Vec::new();
+        if radius_m < 0.0 {
+            return out;
+        }
+        // Conservative degree margin: 1 deg lat ~ 111 km; lon shrinks with
+        // latitude, so use the cos at the box center and guard small values.
+        let lat_margin = radius_m / 111_000.0;
+        let cosl = self.bbox.center().lat.to_radians().cos().max(0.1);
+        let lon_margin = radius_m / (111_000.0 * cosl);
+        let query = BoundingBox {
+            min_lat: center.lat - lat_margin,
+            max_lat: center.lat + lat_margin,
+            min_lon: center.lon - lon_margin,
+            max_lon: center.lon + lon_margin,
+        };
+        for cell in self.grid.cells() {
+            if !self.grid.cell_bbox(cell).intersects(&query) {
+                continue;
+            }
+            for &i in &self.buckets[cell.0 as usize] {
+                let p = &self.pois[i as usize];
+                if p.location.distance_m(&center, metric) <= radius_m {
+                    out.push(PoiId(i));
+                }
+            }
+        }
+        out
+    }
+
+    /// The POI nearest to `point`, with its distance in meters.
+    pub fn nearest(&self, point: GeoPoint, metric: DistanceMetric) -> (PoiId, f64) {
+        let mut best = (PoiId(0), f64::INFINITY);
+        for (i, p) in self.pois.iter().enumerate() {
+            let d = p.location.distance_m(&point, metric);
+            if d < best.1 {
+                best = (PoiId(i as u32), d);
+            }
+        }
+        best
+    }
+}
+
+/// Everything public that the mechanism consumes: POIs, category knowledge,
+/// the time domain, the assumed travel speed, and the distance metric.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub pois: PoiTable,
+    pub hierarchy: CategoryHierarchy,
+    pub category_distance: CategoryDistance,
+    pub time: TimeDomain,
+    /// Assumed travel speed (§6.2: 8 km/h for city data, 4 km/h campus);
+    /// `None` disables the reachability constraint (θ = ∞).
+    pub speed_kmh: Option<f64>,
+    pub metric: DistanceMetric,
+}
+
+impl Dataset {
+    /// Bundles the parts; builds the category-distance matrix.
+    pub fn new(
+        pois: Vec<Poi>,
+        hierarchy: CategoryHierarchy,
+        time: TimeDomain,
+        speed_kmh: Option<f64>,
+        metric: DistanceMetric,
+    ) -> Self {
+        if let Some(s) = speed_kmh {
+            assert!(s > 0.0, "travel speed must be positive");
+        }
+        let category_distance = CategoryDistance::build(&hierarchy);
+        Self { pois: PoiTable::new(pois), hierarchy, category_distance, time, speed_kmh, metric }
+    }
+
+    /// Physical distance between two POIs in meters.
+    #[inline]
+    pub fn poi_distance_m(&self, a: PoiId, b: PoiId) -> f64 {
+        self.pois.get(a).location.distance_m(&self.pois.get(b).location, self.metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opening::OpeningHours;
+    use trajshare_hierarchy::builders::campus;
+
+    fn sample_pois(n: usize) -> Vec<Poi> {
+        let origin = GeoPoint::new(40.7, -74.0);
+        (0..n)
+            .map(|i| {
+                let p = origin.offset_m((i % 10) as f64 * 300.0, (i / 10) as f64 * 300.0);
+                Poi::new(PoiId(i as u32), format!("poi{i}"), p, trajshare_hierarchy::CategoryId(2))
+            })
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_table_rejected() {
+        let _ = PoiTable::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn out_of_order_ids_rejected() {
+        let mut pois = sample_pois(3);
+        pois.swap(0, 2);
+        let _ = PoiTable::new(pois);
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let table = PoiTable::new(sample_pois(100));
+        let center = table.get(PoiId(34)).location;
+        let r = 650.0;
+        let mut fast = table.within_radius(center, r, DistanceMetric::Haversine);
+        fast.sort();
+        let mut slow: Vec<PoiId> = table
+            .ids()
+            .filter(|&id| table.get(id).location.haversine_m(&center) <= r)
+            .collect();
+        slow.sort();
+        assert_eq!(fast, slow);
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn radius_zero_returns_only_colocated() {
+        let table = PoiTable::new(sample_pois(20));
+        let center = table.get(PoiId(5)).location;
+        let hits = table.within_radius(center, 0.5, DistanceMetric::Haversine);
+        assert_eq!(hits, vec![PoiId(5)]);
+    }
+
+    #[test]
+    fn negative_radius_is_empty() {
+        let table = PoiTable::new(sample_pois(5));
+        assert!(table
+            .within_radius(table.get(PoiId(0)).location, -1.0, DistanceMetric::Haversine)
+            .is_empty());
+    }
+
+    #[test]
+    fn nearest_finds_self() {
+        let table = PoiTable::new(sample_pois(30));
+        let (id, d) = table.nearest(table.get(PoiId(17)).location, DistanceMetric::Haversine);
+        assert_eq!(id, PoiId(17));
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn dataset_distance_and_category_matrix() {
+        let h = campus();
+        let leaves = h.leaves();
+        let mut pois = sample_pois(4);
+        for (i, p) in pois.iter_mut().enumerate() {
+            p.category = leaves[i % leaves.len()];
+            p.opening = OpeningHours::always();
+        }
+        let ds = Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine);
+        assert!(ds.poi_distance_m(PoiId(0), PoiId(1)) > 0.0);
+        assert_eq!(ds.poi_distance_m(PoiId(2), PoiId(2)), 0.0);
+        assert_eq!(ds.category_distance.max_distance(), 10.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Plain-text import/export so real POI tables and trajectory logs can be
+//! loaded without extra dependencies.
+//!
+//! Formats (header line required, `#` comments ignored):
+//!
+//! * POIs: `id,name,lat,lon,category,popularity,open_start_h,open_end_h`
+//!   (`open_start_h == open_end_h == 0` means always open),
+//! * Trajectories: `user,poi_id,timestep` rows, grouped by `user` in file
+//!   order; timesteps are indices into the dataset's [`TimeDomain`].
+
+use crate::opening::OpeningHours;
+use crate::poi::{Poi, PoiId};
+use crate::time::Timestep;
+use crate::trajectory::{Trajectory, TrajectoryPoint, TrajectorySet};
+use std::fmt;
+use trajshare_geo::GeoPoint;
+use trajshare_hierarchy::CategoryId;
+
+/// Errors from parsing the text formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses a POI table from CSV text. Ids must be dense `0..n` (any order in
+/// the file).
+pub fn parse_pois(text: &str) -> Result<Vec<Poi>, ParseError> {
+    let mut rows = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || (lineno == 0 && line.starts_with("id,")) {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').map(str::trim).collect();
+        if f.len() != 8 {
+            return Err(err(lineno + 1, format!("expected 8 fields, got {}", f.len())));
+        }
+        let parse_f64 = |s: &str, what: &str| -> Result<f64, ParseError> {
+            s.parse().map_err(|_| err(lineno + 1, format!("bad {what}: {s:?}")))
+        };
+        let id: u32 =
+            f[0].parse().map_err(|_| err(lineno + 1, format!("bad id: {:?}", f[0])))?;
+        let lat = parse_f64(f[2], "lat")?;
+        let lon = parse_f64(f[3], "lon")?;
+        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+            return Err(err(lineno + 1, format!("coordinates out of range: {lat},{lon}")));
+        }
+        let category: u32 =
+            f[4].parse().map_err(|_| err(lineno + 1, format!("bad category: {:?}", f[4])))?;
+        let popularity = parse_f64(f[5], "popularity")?;
+        if popularity <= 0.0 {
+            return Err(err(lineno + 1, "popularity must be positive"));
+        }
+        let (o_start, o_end): (u32, u32) = (
+            f[6].parse().map_err(|_| err(lineno + 1, "bad open_start_h"))?,
+            f[7].parse().map_err(|_| err(lineno + 1, "bad open_end_h"))?,
+        );
+        if o_start > 24 || o_end > 24 {
+            return Err(err(lineno + 1, "opening hours must be within 0..=24"));
+        }
+        let opening = if o_start == 0 && o_end == 0 {
+            OpeningHours::always()
+        } else {
+            OpeningHours::between(o_start, o_end)
+        };
+        rows.push(
+            Poi::new(PoiId(id), f[1].to_string(), GeoPoint::new(lat, lon), CategoryId(category))
+                .with_popularity(popularity)
+                .with_opening(opening),
+        );
+    }
+    rows.sort_by_key(|p| p.id);
+    for (i, p) in rows.iter().enumerate() {
+        if p.id.index() != i {
+            return Err(err(0, format!("POI ids must be dense 0..n; missing or duplicate id {i}")));
+        }
+    }
+    Ok(rows)
+}
+
+/// Serializes a POI table to the CSV format accepted by [`parse_pois`].
+pub fn format_pois(pois: &[Poi]) -> String {
+    let mut out = String::from("id,name,lat,lon,category,popularity,open_start_h,open_end_h\n");
+    for p in pois {
+        // Reconstruct an hour range when the mask is contiguous; fall back
+        // to always-open encoding otherwise.
+        let (s, e) = hour_range(&p.opening);
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            p.id.0,
+            p.name.replace(',', ";"),
+            p.location.lat,
+            p.location.lon,
+            p.category.0,
+            p.popularity,
+            s,
+            e
+        ));
+    }
+    out
+}
+
+/// Best-effort (start, end) hours for a mask; (0, 0) = always open.
+fn hour_range(o: &OpeningHours) -> (u32, u32) {
+    if o.open_hours_count() == 24 {
+        return (0, 0);
+    }
+    let open: Vec<u32> = (0..24).filter(|&h| o.is_open_hour(h)).collect();
+    if open.is_empty() {
+        return (0, 0);
+    }
+    // Detect a contiguous (possibly wrapping) run.
+    let start = *open
+        .iter()
+        .find(|&&h| !o.is_open_hour((h + 23) % 24))
+        .unwrap_or(&open[0]);
+    let end = (start + open.len() as u32) % 24;
+    (start, if end == 0 { 24 } else { end })
+}
+
+/// Parses trajectories from `user,poi_id,timestep` CSV.
+pub fn parse_trajectories(text: &str) -> Result<TrajectorySet, ParseError> {
+    let mut current_user: Option<&str> = None;
+    let mut current: Vec<TrajectoryPoint> = Vec::new();
+    let mut set = TrajectorySet::default();
+    let mut flush = |points: &mut Vec<TrajectoryPoint>| {
+        if !points.is_empty() {
+            set.push(Trajectory::new(std::mem::take(points)));
+        }
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || (lineno == 0 && line.starts_with("user,"))
+        {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').map(str::trim).collect();
+        if f.len() != 3 {
+            return Err(err(lineno + 1, format!("expected 3 fields, got {}", f.len())));
+        }
+        let poi: u32 =
+            f[1].parse().map_err(|_| err(lineno + 1, format!("bad poi_id: {:?}", f[1])))?;
+        let t: u16 =
+            f[2].parse().map_err(|_| err(lineno + 1, format!("bad timestep: {:?}", f[2])))?;
+        if current_user != Some(f[0]) {
+            flush(&mut current);
+            current_user = Some(f[0]);
+        }
+        current.push(TrajectoryPoint { poi: PoiId(poi), t: Timestep(t) });
+    }
+    flush(&mut current);
+    Ok(set)
+}
+
+/// Serializes a trajectory set to the CSV format accepted by
+/// [`parse_trajectories`]. Users are numbered by position.
+pub fn format_trajectories(set: &TrajectorySet) -> String {
+    let mut out = String::from("user,poi_id,timestep\n");
+    for (u, t) in set.all().iter().enumerate() {
+        for pt in t.points() {
+            out.push_str(&format!("{u},{},{}\n", pt.poi.0, pt.t.0));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POI_CSV: &str = "\
+id,name,lat,lon,category,popularity,open_start_h,open_end_h
+0,Central Park,40.78,-73.96,2,5.0,0,0
+# a comment
+2,Late Bar,40.73,-73.99,4,1.5,18,2
+1,Cafe Uno,40.74,-74.00,3,2.0,7,19
+";
+
+    #[test]
+    fn parse_pois_roundtrip() {
+        let pois = parse_pois(POI_CSV).unwrap();
+        assert_eq!(pois.len(), 3);
+        assert_eq!(pois[0].name, "Central Park");
+        assert!(pois[0].opening.is_open_hour(3), "0,0 means always open");
+        assert!(pois[2].opening.is_open_hour(1), "bar wraps midnight");
+        assert!(!pois[2].opening.is_open_hour(12));
+        let text = format_pois(&pois);
+        let again = parse_pois(&text).unwrap();
+        for (a, b) in pois.iter().zip(&again) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.opening, b.opening, "{}", a.name);
+            assert_eq!(a.category, b.category);
+        }
+    }
+
+    #[test]
+    fn parse_pois_rejects_gaps_and_bad_rows() {
+        let missing = "id,name,lat,lon,category,popularity,open_start_h,open_end_h\n0,a,40,-74,0,1,0,0\n2,b,40,-74,0,1,0,0\n";
+        assert!(parse_pois(missing).unwrap_err().message.contains("dense"));
+        let short = "0,a,40,-74,0,1,0\n";
+        assert!(parse_pois(short).unwrap_err().message.contains("8 fields"));
+        let bad_lat = "0,a,95,-74,0,1,0,0\n";
+        assert!(parse_pois(bad_lat).unwrap_err().message.contains("out of range"));
+        let bad_pop = "0,a,40,-74,0,0,0,0\n";
+        assert!(parse_pois(bad_pop).unwrap_err().message.contains("positive"));
+    }
+
+    #[test]
+    fn parse_trajectories_groups_by_user() {
+        let csv = "user,poi_id,timestep\nu1,0,10\nu1,3,20\nu2,5,15\nu2,6,25\nu2,7,35\n";
+        let set = parse_trajectories(csv).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.all()[0].len(), 2);
+        assert_eq!(set.all()[1].len(), 3);
+        assert_eq!(set.all()[1].point(2).t, Timestep(35));
+    }
+
+    #[test]
+    fn trajectories_roundtrip() {
+        let set = TrajectorySet::new(vec![
+            Trajectory::from_pairs(&[(0, 10), (3, 20)]),
+            Trajectory::from_pairs(&[(5, 15), (6, 25)]),
+        ]);
+        let text = format_trajectories(&set);
+        let again = parse_trajectories(&text).unwrap();
+        assert_eq!(set.all(), again.all());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let csv = "user,poi_id,timestep\nu1,0,10\nu1,banana,20\n";
+        let e = parse_trajectories(csv).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn interleaved_users_start_new_trajectories() {
+        // File order defines grouping; a user reappearing later is a new
+        // trajectory (documented behaviour for sorted-by-time logs).
+        let csv = "u1,0,10\nu2,1,11\nu1,2,12\n";
+        let set = parse_trajectories(csv).unwrap();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Opening hours as public external knowledge.
+//!
+//! The paper assigns opening hours per broad category ("we manually specify
+//! opening hours for each broad category... However, the mechanism is
+//! designed to allow POI-specific opening hours", §6.1.1). We model hours as
+//! a 24-bit mask over the day's hours, which supports both styles and
+//! wrap-past-midnight venues (bars, clubs).
+
+use crate::time::{TimeDomain, Timestep};
+use serde::{Deserialize, Serialize};
+
+/// A set of open hours within the generic day (bit `h` = open during hour
+/// `h`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpeningHours {
+    mask: u32,
+}
+
+impl OpeningHours {
+    /// Open around the clock.
+    pub const fn always() -> Self {
+        Self { mask: (1 << 24) - 1 }
+    }
+
+    /// Never open (useful for tests; real POIs should not use this).
+    pub const fn never() -> Self {
+        Self { mask: 0 }
+    }
+
+    /// Open from `start_hour` (inclusive) to `end_hour` (exclusive), both in
+    /// `0..=24`. If `start_hour >= end_hour`, the range wraps past midnight
+    /// (e.g. `between(18, 2)` = 6pm–2am).
+    pub fn between(start_hour: u32, end_hour: u32) -> Self {
+        assert!(start_hour <= 24 && end_hour <= 24, "hours must be within 0..=24");
+        let mut mask = 0u32;
+        if start_hour < end_hour {
+            for h in start_hour..end_hour {
+                mask |= 1 << h;
+            }
+        } else {
+            for h in start_hour..24 {
+                mask |= 1 << h;
+            }
+            for h in 0..end_hour {
+                mask |= 1 << h;
+            }
+        }
+        Self { mask }
+    }
+
+    /// Builds from an explicit list of open hours.
+    pub fn from_hours(hours: &[u32]) -> Self {
+        let mut mask = 0u32;
+        for &h in hours {
+            assert!(h < 24, "hour {h} out of range");
+            mask |= 1 << h;
+        }
+        Self { mask }
+    }
+
+    /// Whether the venue is open during hour `h`.
+    #[inline]
+    pub fn is_open_hour(&self, h: u32) -> bool {
+        debug_assert!(h < 24);
+        self.mask & (1 << h) != 0
+    }
+
+    /// Whether the venue is open at minute-of-day `m`.
+    #[inline]
+    pub fn is_open_minute(&self, m: u32) -> bool {
+        self.is_open_hour((m / 60).min(23))
+    }
+
+    /// Whether the venue is open at a timestep.
+    #[inline]
+    pub fn is_open_at(&self, domain: &TimeDomain, t: Timestep) -> bool {
+        self.is_open_minute(domain.minute_of(t))
+    }
+
+    /// Whether the venue is open at any point within `[start_min, end_min)`.
+    pub fn overlaps_interval(&self, start_min: u32, end_min: u32) -> bool {
+        let first = start_min / 60;
+        let last = (end_min.saturating_sub(1)) / 60;
+        (first..=last.min(23)).any(|h| self.is_open_hour(h))
+    }
+
+    /// Number of open hours.
+    pub fn open_hours_count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
+impl Default for OpeningHours {
+    fn default() -> Self {
+        Self::always()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_open_everywhere() {
+        let o = OpeningHours::always();
+        for h in 0..24 {
+            assert!(o.is_open_hour(h));
+        }
+        assert_eq!(o.open_hours_count(), 24);
+    }
+
+    #[test]
+    fn simple_range() {
+        let o = OpeningHours::between(9, 17);
+        assert!(!o.is_open_hour(8));
+        assert!(o.is_open_hour(9));
+        assert!(o.is_open_hour(16));
+        assert!(!o.is_open_hour(17));
+        assert_eq!(o.open_hours_count(), 8);
+    }
+
+    #[test]
+    fn wrapping_range_covers_midnight() {
+        let o = OpeningHours::between(18, 2); // nightlife
+        assert!(o.is_open_hour(18));
+        assert!(o.is_open_hour(23));
+        assert!(o.is_open_hour(0));
+        assert!(o.is_open_hour(1));
+        assert!(!o.is_open_hour(2));
+        assert!(!o.is_open_hour(12));
+    }
+
+    #[test]
+    fn minute_and_timestep_queries() {
+        let d = TimeDomain::new(10);
+        let o = OpeningHours::between(10, 11);
+        assert!(o.is_open_minute(10 * 60));
+        assert!(o.is_open_minute(10 * 60 + 59));
+        assert!(!o.is_open_minute(11 * 60));
+        assert!(o.is_open_at(&d, d.timestep_at(10 * 60 + 30)));
+        assert!(!o.is_open_at(&d, d.timestep_at(9 * 60 + 50)));
+    }
+
+    #[test]
+    fn interval_overlap() {
+        let o = OpeningHours::between(10, 12);
+        assert!(o.overlaps_interval(11 * 60, 13 * 60));
+        assert!(o.overlaps_interval(9 * 60, 10 * 60 + 1));
+        assert!(!o.overlaps_interval(12 * 60, 14 * 60));
+        assert!(!o.overlaps_interval(0, 10 * 60));
+    }
+
+    #[test]
+    fn from_hours_list() {
+        let o = OpeningHours::from_hours(&[0, 23, 12]);
+        assert!(o.is_open_hour(0) && o.is_open_hour(12) && o.is_open_hour(23));
+        assert_eq!(o.open_hours_count(), 3);
+    }
+
+    #[test]
+    fn never_is_closed() {
+        let o = OpeningHours::never();
+        assert_eq!(o.open_hours_count(), 0);
+        assert!(!o.overlaps_interval(0, 24 * 60));
+    }
+}

@@ -1,0 +1,82 @@
+//! Points of interest.
+
+use crate::opening::OpeningHours;
+use serde::{Deserialize, Serialize};
+use trajshare_geo::GeoPoint;
+use trajshare_hierarchy::CategoryId;
+
+/// Index of a POI within its [`crate::PoiTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PoiId(pub u32);
+
+impl PoiId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A point of interest with its public attributes (§4: location, category,
+/// popularity, opening hours — all user-independent external knowledge).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Poi {
+    pub id: PoiId,
+    pub name: String,
+    pub location: GeoPoint,
+    /// Leaf category in the dataset's hierarchy.
+    pub category: CategoryId,
+    /// Relative popularity weight (> 0); drives merging decisions and the
+    /// synthetic generators. Not consumed by the privacy mechanism itself.
+    pub popularity: f64,
+    pub opening: OpeningHours,
+}
+
+impl Poi {
+    /// Convenience constructor with always-open hours and unit popularity.
+    pub fn new(id: PoiId, name: impl Into<String>, location: GeoPoint, category: CategoryId) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            location,
+            category,
+            popularity: 1.0,
+            opening: OpeningHours::always(),
+        }
+    }
+
+    /// Builder-style popularity setter.
+    pub fn with_popularity(mut self, popularity: f64) -> Self {
+        assert!(popularity > 0.0, "popularity must be positive");
+        self.popularity = popularity;
+        self
+    }
+
+    /// Builder-style opening-hours setter.
+    pub fn with_opening(mut self, opening: OpeningHours) -> Self {
+        self.opening = opening;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let p = Poi::new(PoiId(3), "Central Park", GeoPoint::new(40.78, -73.96), CategoryId(2))
+            .with_popularity(7.5)
+            .with_opening(OpeningHours::between(6, 22));
+        assert_eq!(p.id, PoiId(3));
+        assert_eq!(p.popularity, 7.5);
+        assert!(p.opening.is_open_hour(6));
+        assert!(!p.opening.is_open_hour(23));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_popularity_rejected() {
+        let _ = Poi::new(PoiId(0), "x", GeoPoint::new(40.0, -74.0), CategoryId(0))
+            .with_popularity(0.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Trajectories and trajectory sets.
+//!
+//! §4: a trajectory is a time-ordered sequence of (POI, timestep) pairs with
+//! strictly increasing timesteps. §6.2 filters input sets so that every
+//! trajectory satisfies reachability and visits POIs only while they are
+//! open; [`Trajectory::validate`] implements those checks and
+//! [`TrajectorySet::filter_valid`] the filtering.
+
+use crate::dataset::Dataset;
+use crate::poi::PoiId;
+use crate::reachability::ReachabilityOracle;
+use crate::time::Timestep;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One visit: a POI at a timestep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    pub poi: PoiId,
+    pub t: Timestep,
+}
+
+/// A user's trajectory for the day.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<TrajectoryPoint>,
+}
+
+/// Why a trajectory failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Fewer than two points.
+    TooShort,
+    /// `t_{i+1} > t_i` violated at index `i`.
+    NonIncreasingTime { index: usize },
+    /// Reachability (Definition 4.1) violated between `index` and `index+1`.
+    Unreachable { index: usize },
+    /// The POI at `index` is closed at its visit time.
+    Closed { index: usize },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooShort => write!(f, "trajectory has fewer than two points"),
+            Self::NonIncreasingTime { index } => {
+                write!(f, "timesteps not strictly increasing at index {index}")
+            }
+            Self::Unreachable { index } => {
+                write!(f, "reachability violated between indices {index} and {}", index + 1)
+            }
+            Self::Closed { index } => write!(f, "POI at index {index} visited while closed"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Trajectory {
+    /// Creates a trajectory from points (no validation; see [`validate`]).
+    ///
+    /// [`validate`]: Trajectory::validate
+    pub fn new(points: Vec<TrajectoryPoint>) -> Self {
+        Self { points }
+    }
+
+    /// Builds from `(poi_index, timestep_index)` pairs — test convenience.
+    pub fn from_pairs(pairs: &[(u32, u16)]) -> Self {
+        Self {
+            points: pairs
+                .iter()
+                .map(|&(p, t)| TrajectoryPoint { poi: PoiId(p), t: Timestep(t) })
+                .collect(),
+        }
+    }
+
+    /// `|τ|` — number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trajectory has no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points in order.
+    #[inline]
+    pub fn points(&self) -> &[TrajectoryPoint] {
+        &self.points
+    }
+
+    /// The `i`-th point. Panics if out of range.
+    #[inline]
+    pub fn point(&self, i: usize) -> TrajectoryPoint {
+        self.points[i]
+    }
+
+    /// The fragment `τ(a, b)` (0-based, inclusive), per §4 notation.
+    pub fn fragment(&self, a: usize, b: usize) -> &[TrajectoryPoint] {
+        &self.points[a..=b]
+    }
+
+    /// Checks monotone time, reachability and opening hours against a
+    /// dataset. Returns the first violation found.
+    pub fn validate(&self, dataset: &Dataset) -> Result<(), ValidationError> {
+        if self.points.len() < 2 {
+            return Err(ValidationError::TooShort);
+        }
+        let oracle = ReachabilityOracle::new(dataset);
+        for (i, pt) in self.points.iter().enumerate() {
+            if !dataset.pois.get(pt.poi).opening.is_open_at(&dataset.time, pt.t) {
+                return Err(ValidationError::Closed { index: i });
+            }
+        }
+        for i in 0..self.points.len() - 1 {
+            let (a, b) = (self.points[i], self.points[i + 1]);
+            if b.t <= a.t {
+                return Err(ValidationError::NonIncreasingTime { index: i });
+            }
+            if !oracle.is_reachable((a.poi, a.t), (b.poi, b.t)) {
+                return Err(ValidationError::Unreachable { index: i });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A collection of trajectories (`T` in the paper).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrajectorySet {
+    trajectories: Vec<Trajectory>,
+}
+
+impl TrajectorySet {
+    pub fn new(trajectories: Vec<Trajectory>) -> Self {
+        Self { trajectories }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    #[inline]
+    pub fn all(&self) -> &[Trajectory] {
+        &self.trajectories
+    }
+
+    pub fn push(&mut self, t: Trajectory) {
+        self.trajectories.push(t);
+    }
+
+    /// §6.2 filtering: keeps only trajectories that validate.
+    pub fn filter_valid(&self, dataset: &Dataset) -> TrajectorySet {
+        TrajectorySet {
+            trajectories: self
+                .trajectories
+                .iter()
+                .filter(|t| t.validate(dataset).is_ok())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Mean trajectory length.
+    pub fn mean_len(&self) -> f64 {
+        if self.trajectories.is_empty() {
+            return 0.0;
+        }
+        self.trajectories.iter().map(|t| t.len()).sum::<usize>() as f64
+            / self.trajectories.len() as f64
+    }
+}
+
+impl FromIterator<Trajectory> for TrajectorySet {
+    fn from_iter<I: IntoIterator<Item = Trajectory>>(iter: I) -> Self {
+        Self { trajectories: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opening::OpeningHours;
+    use crate::poi::Poi;
+    use crate::time::TimeDomain;
+    use trajshare_geo::{DistanceMetric, GeoPoint};
+    use trajshare_hierarchy::builders::campus;
+
+    /// 10 POIs 500 m apart; POI 9 is only open 9-10am.
+    fn dataset() -> Dataset {
+        let origin = GeoPoint::new(40.7, -74.0);
+        let h = campus();
+        let leaf = h.leaves()[0];
+        let mut pois: Vec<Poi> = (0..10)
+            .map(|i| {
+                Poi::new(PoiId(i), format!("p{i}"), origin.offset_m(i as f64 * 500.0, 0.0), leaf)
+            })
+            .collect();
+        pois[9].opening = OpeningHours::between(9, 10);
+        Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine)
+    }
+
+    #[test]
+    fn valid_trajectory_passes() {
+        let ds = dataset();
+        // 500 m hops with 10-min gaps (1333 m budget) — fine.
+        let t = Trajectory::from_pairs(&[(0, 60), (1, 61), (2, 62)]);
+        assert_eq!(t.validate(&ds), Ok(()));
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let ds = dataset();
+        assert_eq!(
+            Trajectory::from_pairs(&[(0, 60)]).validate(&ds),
+            Err(ValidationError::TooShort)
+        );
+    }
+
+    #[test]
+    fn non_increasing_time_rejected() {
+        let ds = dataset();
+        let t = Trajectory::from_pairs(&[(0, 60), (1, 60)]);
+        assert_eq!(t.validate(&ds), Err(ValidationError::NonIncreasingTime { index: 0 }));
+        let t = Trajectory::from_pairs(&[(0, 60), (1, 59)]);
+        assert_eq!(t.validate(&ds), Err(ValidationError::NonIncreasingTime { index: 0 }));
+    }
+
+    #[test]
+    fn unreachable_hop_rejected() {
+        let ds = dataset();
+        // POI 0 -> POI 8 is 4 km in 10 minutes at 8 km/h (1333 m): illegal.
+        let t = Trajectory::from_pairs(&[(0, 60), (8, 61)]);
+        assert_eq!(t.validate(&ds), Err(ValidationError::Unreachable { index: 0 }));
+    }
+
+    #[test]
+    fn closed_poi_rejected() {
+        let ds = dataset();
+        // POI 9 closed at 20:00 (timestep 120).
+        let t = Trajectory::from_pairs(&[(8, 119), (9, 120)]);
+        assert_eq!(t.validate(&ds), Err(ValidationError::Closed { index: 1 }));
+        // But fine at 09:30 (timestep 57) coming from POI 8.
+        let t = Trajectory::from_pairs(&[(8, 56), (9, 57)]);
+        assert_eq!(t.validate(&ds), Ok(()));
+    }
+
+    #[test]
+    fn fragment_slices_inclusive() {
+        let t = Trajectory::from_pairs(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let f = t.fragment(1, 2);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].poi, PoiId(1));
+        assert_eq!(f[1].poi, PoiId(2));
+    }
+
+    #[test]
+    fn filter_valid_drops_bad_trajectories() {
+        let ds = dataset();
+        let set = TrajectorySet::new(vec![
+            Trajectory::from_pairs(&[(0, 60), (1, 61)]),
+            Trajectory::from_pairs(&[(0, 60), (8, 61)]), // unreachable
+            Trajectory::from_pairs(&[(2, 70), (3, 72)]),
+        ]);
+        let kept = set.filter_valid(&ds);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn mean_len_computation() {
+        let set = TrajectorySet::new(vec![
+            Trajectory::from_pairs(&[(0, 1), (1, 2)]),
+            Trajectory::from_pairs(&[(0, 1), (1, 2), (2, 3), (3, 4)]),
+        ]);
+        assert_eq!(set.mean_len(), 3.0);
+        assert_eq!(TrajectorySet::default().mean_len(), 0.0);
+    }
+
+    #[test]
+    fn display_of_validation_errors() {
+        let e = ValidationError::Unreachable { index: 2 };
+        assert!(e.to_string().contains("2 and 3"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Co-location analysis — the §3 contact-tracing primitive at the pair
+//! level: which pairs of users were at the same place in the same time
+//! window?
+//!
+//! The aggregate version (hotspots) drives policy; the pair-count version
+//! here measures how well perturbation preserves *meeting structure*
+//! without identifying individuals (counts only, never pair identities in
+//! the output metrics).
+
+use std::collections::{HashMap, HashSet};
+use trajshare_model::{Dataset, Trajectory};
+
+/// A co-location event: two distinct users at the same POI during the same
+/// hour bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Colocation {
+    /// Lower user index.
+    pub user_a: u32,
+    /// Higher user index.
+    pub user_b: u32,
+    pub poi: u32,
+    pub hour: u32,
+}
+
+/// Finds all pairwise co-locations in a trajectory set.
+pub fn colocations(dataset: &Dataset, trajectories: &[Trajectory]) -> Vec<Colocation> {
+    // (poi, hour) -> users present.
+    let mut present: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+    for (uid, t) in trajectories.iter().enumerate() {
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        for pt in t.points() {
+            let hour = dataset.time.minute_of(pt.t) / 60;
+            if seen.insert((pt.poi.0, hour)) {
+                present.entry((pt.poi.0, hour)).or_default().push(uid as u32);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for ((poi, hour), users) in present {
+        for i in 0..users.len() {
+            for j in i + 1..users.len() {
+                out.push(Colocation {
+                    user_a: users[i].min(users[j]),
+                    user_b: users[i].max(users[j]),
+                    poi,
+                    hour,
+                });
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Number of co-location events (a scalar utility signal).
+pub fn colocation_count(dataset: &Dataset, trajectories: &[Trajectory]) -> usize {
+    colocations(dataset, trajectories).len()
+}
+
+/// Jaccard similarity of the (poi, hour) *meeting places* of two sets —
+/// how well the perturbed data preserves where/when meetings happen,
+/// ignoring who met whom (which LDP intentionally scrambles).
+pub fn meeting_place_jaccard(
+    dataset: &Dataset,
+    real: &[Trajectory],
+    perturbed: &[Trajectory],
+) -> f64 {
+    let places = |ts: &[Trajectory]| -> HashSet<(u32, u32)> {
+        colocations(dataset, ts).into_iter().map(|c| (c.poi, c.hour)).collect()
+    };
+    let a = places(real);
+    let b = places(perturbed);
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(&b).count() as f64;
+    let union = a.union(&b).count() as f64;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajshare_geo::{DistanceMetric, GeoPoint};
+    use trajshare_hierarchy::builders::campus;
+    use trajshare_model::{Poi, PoiId, TimeDomain};
+
+    fn dataset() -> Dataset {
+        let h = campus();
+        let leaf = h.leaves()[0];
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..5)
+            .map(|i| {
+                Poi::new(PoiId(i), format!("p{i}"), origin.offset_m(i as f64 * 300.0, 0.0), leaf)
+            })
+            .collect();
+        Dataset::new(pois, h, TimeDomain::new(10), None, DistanceMetric::Haversine)
+    }
+
+    #[test]
+    fn detects_same_poi_same_hour() {
+        let ds = dataset();
+        // Users 0 and 1 both at POI 2 during hour 10 (timesteps 60..65).
+        let ts = vec![
+            Trajectory::from_pairs(&[(2, 61), (3, 80)]),
+            Trajectory::from_pairs(&[(2, 64), (4, 90)]),
+        ];
+        let c = colocations(&ds, &ts);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0], Colocation { user_a: 0, user_b: 1, poi: 2, hour: 10 });
+    }
+
+    #[test]
+    fn different_hours_do_not_colocate() {
+        let ds = dataset();
+        let ts = vec![
+            Trajectory::from_pairs(&[(2, 60), (3, 80)]),
+            Trajectory::from_pairs(&[(2, 66), (4, 90)]), // hour 11
+        ];
+        assert!(colocations(&ds, &ts).is_empty());
+    }
+
+    #[test]
+    fn repeat_visits_within_hour_count_once_per_pair() {
+        let ds = dataset();
+        let ts = vec![
+            Trajectory::from_pairs(&[(2, 60), (2, 62), (2, 64)]),
+            Trajectory::from_pairs(&[(2, 61), (2, 63)]),
+        ];
+        assert_eq!(colocation_count(&ds, &ts), 1);
+    }
+
+    #[test]
+    fn three_users_make_three_pairs() {
+        let ds = dataset();
+        let ts = vec![
+            Trajectory::from_pairs(&[(2, 60), (3, 80)]),
+            Trajectory::from_pairs(&[(2, 61), (4, 90)]),
+            Trajectory::from_pairs(&[(2, 62), (0, 95)]),
+        ];
+        assert_eq!(colocation_count(&ds, &ts), 3);
+    }
+
+    #[test]
+    fn jaccard_bounds_and_identity() {
+        let ds = dataset();
+        let ts = vec![
+            Trajectory::from_pairs(&[(2, 60), (3, 80)]),
+            Trajectory::from_pairs(&[(2, 61), (3, 82)]),
+        ];
+        assert_eq!(meeting_place_jaccard(&ds, &ts, &ts), 1.0);
+        let other = vec![
+            Trajectory::from_pairs(&[(4, 100), (0, 120)]),
+            Trajectory::from_pairs(&[(4, 101), (1, 125)]),
+        ];
+        let j = meeting_place_jaccard(&ds, &ts, &other);
+        assert_eq!(j, 0.0);
+    }
+
+    #[test]
+    fn empty_sets_are_perfectly_similar() {
+        let ds = dataset();
+        assert_eq!(meeting_place_jaccard(&ds, &[], &[]), 1.0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Spatio-temporal hotspots (§6.3.2).
+//!
+//! A hotspot `h = {t_s, t_e, key, c}` is a maximal run of hour-buckets in
+//! which the number of *unique visitors* of a key (POI, grid cell, or
+//! category subtree) stays at or above a threshold η; `c` is the peak count
+//! in the run. The measures:
+//!
+//! * **AHD** (Eq. 18): for each perturbed hotspot, the minimum
+//!   `|t_s − t̂_s| + |t_e − t̂_e|` over all real hotspots of the same
+//!   granularity, averaged (hours),
+//! * **ACD**: the matched pairs' absolute count difference, averaged.
+
+use std::collections::HashSet;
+use trajshare_geo::UniformGrid;
+use trajshare_model::{Dataset, TrajectorySet};
+
+/// Spatial/category granularity of hotspot extraction (§6.3.2 uses POI
+/// level, 4×4 and 2×2 grids, and the three category levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotspotScope {
+    /// Individual POIs.
+    Poi,
+    /// Cells of a `g × g` grid over the city.
+    Grid(u32),
+    /// Category hierarchy nodes at the given level (1 = roots).
+    Category(u8),
+}
+
+/// One extracted hotspot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hotspot {
+    /// Key identity within the scope (POI index / cell index / category
+    /// node index).
+    pub key: u32,
+    /// Start hour (inclusive, 0..24).
+    pub start_hour: u32,
+    /// End hour (exclusive).
+    pub end_hour: u32,
+    /// Peak unique-visitor count within the run.
+    pub peak: usize,
+}
+
+/// Extracts all hotspots of `scope` with threshold `eta`.
+pub fn extract_hotspots(
+    dataset: &Dataset,
+    set: &TrajectorySet,
+    scope: HotspotScope,
+    eta: usize,
+) -> Vec<Hotspot> {
+    assert!(eta > 0, "a zero threshold makes everything a hotspot");
+    let grid = match scope {
+        HotspotScope::Grid(g) => Some(UniformGrid::new(*dataset.pois.bbox(), g)),
+        _ => None,
+    };
+    // Unique (user, key, hour) visits.
+    let mut seen: HashSet<(u32, u32, u32)> = HashSet::new();
+    let mut counts: std::collections::HashMap<(u32, u32), usize> =
+        std::collections::HashMap::new();
+    for (uid, traj) in set.all().iter().enumerate() {
+        for pt in traj.points() {
+            let hour = dataset.time.minute_of(pt.t) / 60;
+            let key = match scope {
+                HotspotScope::Poi => pt.poi.0,
+                HotspotScope::Grid(_) => {
+                    grid.as_ref().unwrap().cell_of(dataset.pois.get(pt.poi).location).0
+                }
+                HotspotScope::Category(level) => {
+                    let cat = dataset.pois.get(pt.poi).category;
+                    match dataset.hierarchy.ancestor_at(cat, level) {
+                        Some(a) => a.0,
+                        None => cat.0, // node already above the level
+                    }
+                }
+            };
+            if seen.insert((uid as u32, key, hour)) {
+                *counts.entry((key, hour)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    // Collapse per-key hourly series into maximal ≥η runs.
+    let mut keys: Vec<u32> = counts.keys().map(|&(k, _)| k).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut out = Vec::new();
+    for key in keys {
+        let series: Vec<usize> =
+            (0..24).map(|h| counts.get(&(key, h)).copied().unwrap_or(0)).collect();
+        let mut h = 0usize;
+        while h < 24 {
+            if series[h] >= eta {
+                let start = h;
+                let mut peak = 0usize;
+                while h < 24 && series[h] >= eta {
+                    peak = peak.max(series[h]);
+                    h += 1;
+                }
+                out.push(Hotspot {
+                    key,
+                    start_hour: start as u32,
+                    end_hour: h as u32,
+                    peak,
+                });
+            } else {
+                h += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Average hotspot distance (Eq. 18), in hours. For each perturbed hotspot
+/// the nearest real hotspot (same granularity) is used; returns `None` when
+/// either set is empty (no meaningful comparison, per the paper's
+/// exclusion rule).
+pub fn ahd(real: &[Hotspot], perturbed: &[Hotspot]) -> Option<f64> {
+    if real.is_empty() || perturbed.is_empty() {
+        return None;
+    }
+    let total: f64 = perturbed
+        .iter()
+        .map(|p| {
+            real.iter()
+                .map(|r| {
+                    (r.start_hour as f64 - p.start_hour as f64).abs()
+                        + (r.end_hour as f64 - p.end_hour as f64).abs()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    Some(total / perturbed.len() as f64)
+}
+
+/// Average count difference: |c − ĉ| over each perturbed hotspot and its
+/// nearest (by AHD distance) real hotspot.
+pub fn acd(real: &[Hotspot], perturbed: &[Hotspot]) -> Option<f64> {
+    if real.is_empty() || perturbed.is_empty() {
+        return None;
+    }
+    let total: f64 = perturbed
+        .iter()
+        .map(|p| {
+            let nearest = real
+                .iter()
+                .min_by(|a, b| {
+                    let da = (a.start_hour as f64 - p.start_hour as f64).abs()
+                        + (a.end_hour as f64 - p.end_hour as f64).abs();
+                    let db = (b.start_hour as f64 - p.start_hour as f64).abs()
+                        + (b.end_hour as f64 - p.end_hour as f64).abs();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .expect("real non-empty");
+            (nearest.peak as f64 - p.peak as f64).abs()
+        })
+        .sum();
+    Some(total / perturbed.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajshare_geo::{DistanceMetric, GeoPoint};
+    use trajshare_hierarchy::builders::campus;
+    use trajshare_model::{Poi, PoiId, TimeDomain, Trajectory, TrajectorySet};
+
+    fn dataset() -> Dataset {
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..10)
+            .map(|i| {
+                Poi::new(
+                    PoiId(i),
+                    format!("p{i}"),
+                    origin.offset_m(i as f64 * 500.0, 0.0),
+                    leaves[i as usize % leaves.len()],
+                )
+            })
+            .collect();
+        Dataset::new(pois, h, TimeDomain::new(10), None, DistanceMetric::Haversine)
+    }
+
+    /// `n` distinct users visiting POI 3 during hour 14.
+    fn crowd(n: usize) -> TrajectorySet {
+        TrajectorySet::new(
+            (0..n)
+                .map(|i| {
+                    // Two points so trajectories are realistic; the second
+                    // point is at a quiet POI, staggered to avoid a second
+                    // hotspot.
+                    let quiet = (i % 5) as u32 + 4;
+                    Trajectory::from_pairs(&[(3, 86), (quiet, (90 + i % 20) as u16)])
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn dense_visits_form_one_hotspot() {
+        let ds = dataset();
+        let set = crowd(30);
+        let hs = extract_hotspots(&ds, &set, HotspotScope::Poi, 20);
+        assert_eq!(hs.len(), 1, "{hs:?}");
+        let h = &hs[0];
+        assert_eq!(h.key, 3);
+        assert_eq!(h.start_hour, 14);
+        assert_eq!(h.end_hour, 15);
+        assert_eq!(h.peak, 30);
+    }
+
+    #[test]
+    fn threshold_filters_small_crowds() {
+        let ds = dataset();
+        let set = crowd(10);
+        assert!(extract_hotspots(&ds, &set, HotspotScope::Poi, 20).is_empty());
+        assert_eq!(extract_hotspots(&ds, &set, HotspotScope::Poi, 10).len(), 1);
+    }
+
+    #[test]
+    fn repeat_visits_by_one_user_count_once() {
+        let ds = dataset();
+        // One user visiting POI 3 at three timesteps within hour 14.
+        let set = TrajectorySet::new(vec![Trajectory::from_pairs(&[
+            (3, 84),
+            (3, 86),
+            (3, 88),
+        ])]);
+        let hs = extract_hotspots(&ds, &set, HotspotScope::Poi, 1);
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].peak, 1, "unique visitors, not visits");
+    }
+
+    #[test]
+    fn consecutive_hours_merge_into_one_run() {
+        let ds = dataset();
+        // 25 users at hour 14 and 25 (same users) at hour 15.
+        let set = TrajectorySet::new(
+            (0..25)
+                .map(|_| Trajectory::from_pairs(&[(3, 86), (3, 92)]))
+                .collect(),
+        );
+        let hs = extract_hotspots(&ds, &set, HotspotScope::Poi, 20);
+        assert_eq!(hs.len(), 1);
+        assert_eq!((hs[0].start_hour, hs[0].end_hour), (14, 16));
+    }
+
+    #[test]
+    fn grid_scope_aggregates_nearby_pois() {
+        let ds = dataset();
+        // 15 users at POI 0 plus 15 at POI 1 in the same hour: individually
+        // below η=20, together above when the cell covers both.
+        let mut trajs = Vec::new();
+        for i in 0..15 {
+            trajs.push(Trajectory::from_pairs(&[(0, 86), ((i % 3 + 5) as u32, 100 + i)]));
+            trajs.push(Trajectory::from_pairs(&[(1, 86), ((i % 3 + 5) as u32, 100 + i)]));
+        }
+        let set = TrajectorySet::new(trajs);
+        assert!(extract_hotspots(&ds, &set, HotspotScope::Poi, 20).is_empty());
+        let hs = extract_hotspots(&ds, &set, HotspotScope::Grid(2), 20);
+        assert!(!hs.is_empty(), "grid cell should aggregate the two POIs");
+    }
+
+    #[test]
+    fn category_scope_lifts_to_ancestors() {
+        let ds = dataset();
+        // POIs 0 and 9 share a leaf category (9 leaves cycle).
+        let set = TrajectorySet::new(
+            (0..12)
+                .flat_map(|i: u16| {
+                    [
+                        Trajectory::from_pairs(&[(0, 86), ((i % 3 + 4) as u32, 100 + i)]),
+                        Trajectory::from_pairs(&[(9, 86), ((i % 3 + 4) as u32, 100 + i)]),
+                    ]
+                })
+                .collect(),
+        );
+        let hs = extract_hotspots(&ds, &set, HotspotScope::Category(3), 20);
+        assert!(!hs.is_empty(), "leaf-level category hotspot expected");
+        let hs1 = extract_hotspots(&ds, &set, HotspotScope::Category(1), 20);
+        assert!(!hs1.is_empty(), "root-level category hotspot expected");
+    }
+
+    #[test]
+    fn ahd_zero_for_identical_sets() {
+        let ds = dataset();
+        let set = crowd(30);
+        let hs = extract_hotspots(&ds, &set, HotspotScope::Poi, 20);
+        assert_eq!(ahd(&hs, &hs), Some(0.0));
+        assert_eq!(acd(&hs, &hs), Some(0.0));
+    }
+
+    #[test]
+    fn ahd_measures_time_shift() {
+        let a = vec![Hotspot { key: 1, start_hour: 14, end_hour: 16, peak: 30 }];
+        let b = vec![Hotspot { key: 1, start_hour: 15, end_hour: 18, peak: 25 }];
+        assert_eq!(ahd(&a, &b), Some(3.0)); // |14-15| + |16-18|
+        assert_eq!(acd(&a, &b), Some(5.0));
+    }
+
+    #[test]
+    fn ahd_takes_minimum_over_real_hotspots() {
+        let real = vec![
+            Hotspot { key: 1, start_hour: 2, end_hour: 4, peak: 40 },
+            Hotspot { key: 2, start_hour: 14, end_hour: 16, peak: 30 },
+        ];
+        let pert = vec![Hotspot { key: 9, start_hour: 15, end_hour: 16, peak: 20 }];
+        assert_eq!(ahd(&real, &pert), Some(1.0), "matches the nearer real hotspot");
+    }
+
+    #[test]
+    fn empty_sets_yield_none() {
+        let h = vec![Hotspot { key: 0, start_hour: 0, end_hour: 1, peak: 1 }];
+        assert_eq!(ahd(&[], &h), None);
+        assert_eq!(ahd(&h, &[]), None);
+        assert_eq!(acd(&[], &h), None);
+    }
+}

@@ -1,0 +1,138 @@
+//! Normalized error (§6.3): the per-dimension distance between real and
+//! perturbed trajectory sets, "normalized by |τ|", using the §5.10 distance
+//! definitions (d_s in km, d_t in hours capped at 12, d_c on the Figure-5
+//! scale).
+
+use trajshare_core::distances::TIME_CAP_H;
+use trajshare_model::{Dataset, Trajectory};
+
+/// Mean per-point error in each dimension (Table 2's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NormalizedError {
+    /// Time dimension, hours.
+    pub dt: f64,
+    /// Category dimension, Figure-5 units.
+    pub dc: f64,
+    /// Space dimension, kilometers.
+    pub ds: f64,
+}
+
+/// Computes the mean NE over paired (real, perturbed) trajectories.
+///
+/// Panics if the slices have different lengths or any pair has mismatched
+/// point counts — both indicate harness bugs, not data conditions.
+pub fn normalized_error(
+    dataset: &Dataset,
+    real: &[Trajectory],
+    perturbed: &[Trajectory],
+) -> NormalizedError {
+    assert_eq!(real.len(), perturbed.len(), "trajectory sets must pair up");
+    assert!(!real.is_empty(), "cannot average over an empty set");
+    let mut acc = NormalizedError::default();
+    for (r, p) in real.iter().zip(perturbed) {
+        assert_eq!(r.len(), p.len(), "perturbation must preserve |τ|");
+        let mut t = NormalizedError::default();
+        for (a, b) in r.points().iter().zip(p.points()) {
+            t.dt += (dataset.time.gap_minutes(a.t, b.t) as f64 / 60.0).min(TIME_CAP_H);
+            t.dc += dataset.category_distance.get(
+                dataset.pois.get(a.poi).category,
+                dataset.pois.get(b.poi).category,
+            );
+            t.ds += dataset.poi_distance_m(a.poi, b.poi) / 1000.0;
+        }
+        let n = r.len() as f64;
+        acc.dt += t.dt / n;
+        acc.dc += t.dc / n;
+        acc.ds += t.ds / n;
+    }
+    let m = real.len() as f64;
+    NormalizedError { dt: acc.dt / m, dc: acc.dc / m, ds: acc.ds / m }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajshare_geo::{DistanceMetric, GeoPoint};
+    use trajshare_hierarchy::builders::campus;
+    use trajshare_model::{Poi, PoiId, TimeDomain};
+
+    fn dataset() -> Dataset {
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..10)
+            .map(|i| {
+                Poi::new(
+                    PoiId(i),
+                    format!("p{i}"),
+                    origin.offset_m(i as f64 * 1000.0, 0.0),
+                    leaves[i as usize % leaves.len()],
+                )
+            })
+            .collect();
+        Dataset::new(pois, h, TimeDomain::new(10), None, DistanceMetric::Haversine)
+    }
+
+    #[test]
+    fn identical_sets_have_zero_error() {
+        let ds = dataset();
+        let t = vec![Trajectory::from_pairs(&[(0, 10), (1, 20)])];
+        let ne = normalized_error(&ds, &t, &t);
+        assert_eq!(ne, NormalizedError::default());
+    }
+
+    #[test]
+    fn pure_time_shift_only_moves_dt() {
+        let ds = dataset();
+        let real = vec![Trajectory::from_pairs(&[(0, 10), (1, 20)])];
+        // Shift both points by 6 timesteps = 1 hour.
+        let pert = vec![Trajectory::from_pairs(&[(0, 16), (1, 26)])];
+        let ne = normalized_error(&ds, &real, &pert);
+        assert!((ne.dt - 1.0).abs() < 1e-9);
+        assert_eq!(ne.dc, 0.0);
+        assert_eq!(ne.ds, 0.0);
+    }
+
+    #[test]
+    fn pure_space_shift_moves_ds_by_km() {
+        let ds = dataset();
+        let real = vec![Trajectory::from_pairs(&[(0, 10), (0, 20)])];
+        let pert = vec![Trajectory::from_pairs(&[(1, 10), (1, 20)])]; // 1 km away, same category path? p0,p1 categories differ
+        let ne = normalized_error(&ds, &real, &pert);
+        assert!((ne.ds - 1.0).abs() < 0.01, "ds = {}", ne.ds);
+        assert_eq!(ne.dt, 0.0);
+    }
+
+    #[test]
+    fn time_error_capped_at_12_hours() {
+        let ds = dataset();
+        let real = vec![Trajectory::from_pairs(&[(0, 0), (0, 1)])];
+        let pert = vec![Trajectory::from_pairs(&[(0, 142), (0, 143)])];
+        let ne = normalized_error(&ds, &real, &pert);
+        assert!((ne.dt - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn averaging_over_set_and_length() {
+        let ds = dataset();
+        let real = vec![
+            Trajectory::from_pairs(&[(0, 10), (0, 20)]),
+            Trajectory::from_pairs(&[(0, 10), (0, 20)]),
+        ];
+        // One exact, one shifted by 2 hours on both points.
+        let pert = vec![
+            Trajectory::from_pairs(&[(0, 10), (0, 20)]),
+            Trajectory::from_pairs(&[(0, 22), (0, 32)]),
+        ];
+        let ne = normalized_error(&ds, &real, &pert);
+        assert!((ne.dt - 1.0).abs() < 1e-9, "mean of 0 and 2 hours");
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_set_sizes_panic() {
+        let ds = dataset();
+        let real = vec![Trajectory::from_pairs(&[(0, 10), (1, 20)])];
+        let _ = normalized_error(&ds, &real, &[]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Preservation range queries (§6.3.1, Eq. 17).
+//!
+//! For each point of each trajectory, check whether the perturbed point is
+//! within δ of the true point in one dimension; report the percentage.
+
+use trajshare_model::{Dataset, Trajectory};
+
+/// The dimension a PRQ operates in, with its threshold δ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrqDimension {
+    /// δ in meters.
+    Space(f64),
+    /// δ in minutes.
+    Time(f64),
+    /// δ on the Figure-5 category scale.
+    Category(f64),
+}
+
+/// `PR_χ` (Eq. 17): percentage of points preserved within δ.
+pub fn preservation_range(
+    dataset: &Dataset,
+    real: &[Trajectory],
+    perturbed: &[Trajectory],
+    dim: PrqDimension,
+) -> f64 {
+    assert_eq!(real.len(), perturbed.len(), "trajectory sets must pair up");
+    assert!(!real.is_empty());
+    let mut total = 0.0;
+    for (r, p) in real.iter().zip(perturbed) {
+        assert_eq!(r.len(), p.len());
+        let hits = r
+            .points()
+            .iter()
+            .zip(p.points())
+            .filter(|(a, b)| match dim {
+                PrqDimension::Space(d) => dataset.poi_distance_m(a.poi, b.poi) <= d,
+                PrqDimension::Time(d) => {
+                    dataset.time.gap_minutes(a.t, b.t) as f64 <= d
+                }
+                PrqDimension::Category(d) => {
+                    dataset.category_distance.get(
+                        dataset.pois.get(a.poi).category,
+                        dataset.pois.get(b.poi).category,
+                    ) <= d
+                }
+            })
+            .count();
+        total += hits as f64 / r.len() as f64;
+    }
+    total / real.len() as f64 * 100.0
+}
+
+/// Sweeps δ values and returns `(δ, PR)` pairs — one Figure-10 curve.
+pub fn prq_curve(
+    dataset: &Dataset,
+    real: &[Trajectory],
+    perturbed: &[Trajectory],
+    deltas: &[f64],
+    make_dim: impl Fn(f64) -> PrqDimension,
+) -> Vec<(f64, f64)> {
+    deltas
+        .iter()
+        .map(|&d| (d, preservation_range(dataset, real, perturbed, make_dim(d))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajshare_geo::{DistanceMetric, GeoPoint};
+    use trajshare_hierarchy::builders::campus;
+    use trajshare_model::{Poi, PoiId, TimeDomain};
+
+    fn dataset() -> Dataset {
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..10)
+            .map(|i| {
+                Poi::new(
+                    PoiId(i),
+                    format!("p{i}"),
+                    origin.offset_m(i as f64 * 500.0, 0.0),
+                    leaves[i as usize % leaves.len()],
+                )
+            })
+            .collect();
+        Dataset::new(pois, h, TimeDomain::new(10), None, DistanceMetric::Haversine)
+    }
+
+    #[test]
+    fn exact_copy_scores_100_everywhere() {
+        let ds = dataset();
+        let t = vec![Trajectory::from_pairs(&[(0, 10), (1, 20)])];
+        for dim in [
+            PrqDimension::Space(0.1),
+            PrqDimension::Time(0.0),
+            PrqDimension::Category(0.0),
+        ] {
+            assert_eq!(preservation_range(&ds, &t, &t, dim), 100.0);
+        }
+    }
+
+    #[test]
+    fn space_threshold_separates_hits_and_misses() {
+        let ds = dataset();
+        let real = vec![Trajectory::from_pairs(&[(0, 10), (0, 20)])];
+        // One point moved 500 m, one exact.
+        let pert = vec![Trajectory::from_pairs(&[(1, 10), (0, 20)])];
+        assert_eq!(
+            preservation_range(&ds, &real, &pert, PrqDimension::Space(100.0)),
+            50.0
+        );
+        assert_eq!(
+            preservation_range(&ds, &real, &pert, PrqDimension::Space(600.0)),
+            100.0
+        );
+    }
+
+    #[test]
+    fn time_threshold_in_minutes() {
+        let ds = dataset();
+        let real = vec![Trajectory::from_pairs(&[(0, 10), (0, 20)])];
+        let pert = vec![Trajectory::from_pairs(&[(0, 13), (0, 20)])]; // +30 min on point 0
+        assert_eq!(preservation_range(&ds, &real, &pert, PrqDimension::Time(20.0)), 50.0);
+        assert_eq!(preservation_range(&ds, &real, &pert, PrqDimension::Time(30.0)), 100.0);
+    }
+
+    #[test]
+    fn category_threshold_uses_figure5_scale() {
+        let ds = dataset();
+        // POIs 0 and 9 share leaf-category cycle (9 leaves): 0 and 9 have
+        // the same category; 0 and 1 differ.
+        let real = vec![Trajectory::from_pairs(&[(0, 10), (0, 20)])];
+        let pert = vec![Trajectory::from_pairs(&[(9, 10), (1, 20)])];
+        let pr0 = preservation_range(&ds, &real, &pert, PrqDimension::Category(0.0));
+        assert_eq!(pr0, 50.0, "same-category hit + different-category miss");
+        let pr10 = preservation_range(&ds, &real, &pert, PrqDimension::Category(10.0));
+        assert_eq!(pr10, 100.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_in_delta() {
+        let ds = dataset();
+        let real = vec![Trajectory::from_pairs(&[(0, 10), (3, 20), (5, 30)])];
+        let pert = vec![Trajectory::from_pairs(&[(1, 12), (3, 26), (8, 30)])];
+        let curve = prq_curve(
+            &ds,
+            &real,
+            &pert,
+            &[0.0, 250.0, 600.0, 1500.0, 5000.0],
+            PrqDimension::Space,
+        );
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "PRQ must be monotone in δ: {curve:?}");
+        }
+        assert_eq!(curve.last().unwrap().1, 100.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build a small city, perturb one user's trajectory under
+//! ε-LDP, and inspect the result.
+//!
+//! Run with: `cargo run --release -p trajshare-bench --example quickstart`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajshare_core::{Mechanism, MechanismConfig, NGramMechanism};
+use trajshare_datagen::{CityConfig, SyntheticCity};
+use trajshare_hierarchy::builders::foursquare;
+use trajshare_model::Trajectory;
+
+fn main() {
+    // 1. Public knowledge: a city of 300 POIs with categories, opening
+    //    hours and popularity (in production this comes from map data).
+    let mut rng = StdRng::seed_from_u64(42);
+    let city = SyntheticCity::generate(
+        &CityConfig { num_pois: 300, ..Default::default() },
+        foursquare(),
+        &mut rng,
+    );
+    let dataset = &city.dataset;
+    println!("city: {} POIs, {} categories", dataset.pois.len(), dataset.hierarchy.len());
+
+    // 2. One-time public pre-processing: STC decomposition + W₂ formation.
+    let config = MechanismConfig::default(); // ε = 5, n = 2, paper defaults
+    let mech = NGramMechanism::build(dataset, &config);
+    println!(
+        "decomposition: {} STC regions, {} feasible bigrams",
+        mech.regions().len(),
+        mech.graph().num_bigrams()
+    );
+
+    // 3. A user's real day: café → office → restaurant → park.
+    let real = Trajectory::from_pairs(&[(12, 50), (47, 55), (103, 74), (200, 80)]);
+    println!("\nreal trajectory:");
+    print_trajectory(dataset, &real);
+
+    // 4. Perturb under ε-LDP. All randomness is caller-controlled.
+    let out = mech.perturb(&real, &mut rng);
+    println!("\nperturbed trajectory (ε = {}):", config.epsilon);
+    print_trajectory(dataset, &out.trajectory);
+
+    println!(
+        "\nstage timings: perturb {:?}, reconstruction {:?} (+{:?} prep), poi-level {:?}",
+        out.timings.perturb,
+        out.timings.optimal_reconstruct,
+        out.timings.reconstruct_prep,
+        out.timings.other
+    );
+}
+
+fn print_trajectory(dataset: &trajshare_model::Dataset, t: &Trajectory) {
+    for pt in t.points() {
+        let poi = dataset.pois.get(pt.poi);
+        println!(
+            "  {} @ {}  [{}]",
+            poi.name,
+            dataset.time.format(pt.t),
+            dataset.hierarchy.path_name(poi.category)
+        );
+    }
+}

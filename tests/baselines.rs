@@ -1,0 +1,130 @@
+//! Cross-method behavioural contracts from §5.9 / §7: the qualitative
+//! relationships the paper's tables rest on.
+
+use trajshare_bench::runner::{build_methods, run_method};
+use trajshare_bench::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_core::baselines::{GlobalMechanism, GlobalVariant};
+use trajshare_core::{Mechanism, MechanismConfig};
+use trajshare_geo::{DistanceMetric, GeoPoint};
+use trajshare_hierarchy::builders::campus;
+use trajshare_model::{Dataset, Poi, PoiId, TimeDomain, Trajectory};
+use trajshare_query::normalized_error;
+
+fn cfg() -> ScenarioConfig {
+    ScenarioConfig {
+        num_pois: 200,
+        num_trajectories: 30,
+        speed_kmh: None,
+        traj_len: None,
+        seed: 21,
+    }
+}
+
+#[test]
+fn independent_methods_are_fastest() {
+    // Table 3 shape: Ind* are "exceptionally quick" next to the n-gram
+    // pipelines.
+    let (dataset, set) = build_scenario(Scenario::TaxiFoursquare, &cfg());
+    let methods = build_methods(&dataset, &MechanismConfig::default());
+    let mut totals = std::collections::HashMap::new();
+    for mech in &methods {
+        let run = run_method(mech.as_ref(), &set, 5, 4);
+        totals.insert(mech.name(), run.mean_timings.total());
+    }
+    assert!(
+        totals["IndReach"] < totals["NGramNoH"],
+        "IndReach {:?} should beat NGramNoH {:?}",
+        totals["IndReach"],
+        totals["NGramNoH"]
+    );
+    assert!(totals["IndNoReach"] < totals["PhysDist"]);
+}
+
+#[test]
+fn physdist_has_worst_category_preservation() {
+    // Table 2 shape: PhysDist ignores category knowledge so its d_c is the
+    // worst of the n-gram family (at high ε where signal exists).
+    let (dataset, set) = build_scenario(Scenario::TaxiFoursquare, &cfg());
+    let config = MechanismConfig::default().with_epsilon(50.0);
+    let methods = build_methods(&dataset, &config);
+    let mut dc = std::collections::HashMap::new();
+    for mech in &methods {
+        let run = run_method(mech.as_ref(), &set, 5, 4);
+        let ne = normalized_error(&dataset, set.all(), &run.perturbed);
+        dc.insert(mech.name(), ne.dc);
+    }
+    assert!(
+        dc["PhysDist"] > dc["NGramNoH"],
+        "PhysDist dc {} should exceed NGramNoH dc {}",
+        dc["PhysDist"],
+        dc["NGramNoH"]
+    );
+    assert!(
+        dc["PhysDist"] > dc["NGram"],
+        "PhysDist dc {} should exceed NGram dc {}",
+        dc["PhysDist"],
+        dc["NGram"]
+    );
+}
+
+#[test]
+fn global_em_beats_subsampled_em_on_skewed_space() {
+    // §5.1: subsampling rarely finds the low-distance trajectories.
+    let h = campus();
+    let leaves = h.leaves();
+    let origin = GeoPoint::new(40.7, -74.0);
+    let pois: Vec<Poi> = (0..5)
+        .map(|i| {
+            Poi::new(
+                PoiId(i),
+                format!("p{i}"),
+                origin.offset_m(i as f64 * 500.0, 0.0),
+                leaves[i as usize % leaves.len()],
+            )
+        })
+        .collect();
+    let ds = Dataset::new(pois, h, TimeDomain::new(120), Some(8.0), DistanceMetric::Haversine);
+    let traj = Trajectory::from_pairs(&[(2, 3), (3, 5)]);
+
+    let em = GlobalMechanism::build(&ds, 60.0, GlobalVariant::Em, 1_000_000);
+    let ssem = GlobalMechanism::build(&ds, 60.0, GlobalVariant::SubsampledEm(2), 1_000_000);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    use rand::SeedableRng;
+    let dist = |mech: &GlobalMechanism, rng: &mut rand::rngs::StdRng| -> f64 {
+        let mut total = 0.0;
+        for _ in 0..40 {
+            let out = mech.perturb(&traj, rng);
+            total += mech.trajectory_distance(&traj, out.trajectory.points());
+        }
+        total
+    };
+    let d_em = dist(&em, &mut rng);
+    let d_ssem = dist(&ssem, &mut rng);
+    assert!(
+        d_em < d_ssem,
+        "EM distance {d_em} should beat 2-sample subsampled EM {d_ssem}"
+    );
+}
+
+#[test]
+fn reachability_constraint_improves_ngram_utility() {
+    // Figure 8d/8h shape: removing the reachability constraint (speed=∞)
+    // increases error because W₂ floods with implausible candidates.
+    let base = cfg();
+    let constrained = ScenarioConfig { speed_kmh: Some(8.0), ..base.clone() };
+    let unconstrained = ScenarioConfig { speed_kmh: Some(f64::INFINITY), ..base };
+    let config = MechanismConfig::default().with_epsilon(20.0);
+    let err = |sc: &ScenarioConfig| {
+        let (dataset, set) = build_scenario(Scenario::TaxiFoursquare, sc);
+        let mech = trajshare_core::NGramMechanism::build(&dataset, &config);
+        let run = run_method(&mech, &set, 5, 4);
+        let ne = normalized_error(&dataset, set.all(), &run.perturbed);
+        ne.ds + ne.dt + ne.dc
+    };
+    let e_con = err(&constrained);
+    let e_unc = err(&unconstrained);
+    assert!(
+        e_con < e_unc * 1.05,
+        "constrained error {e_con} should not exceed unconstrained {e_unc}"
+    );
+}

@@ -1,0 +1,113 @@
+//! Dataset-level integration: the §6.1 generators produce data with the
+//! statistical properties the evaluation relies on, and the §6.2 filters
+//! hold across the stack.
+
+use trajshare_bench::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_datagen::{generate_campus, CampusConfig};
+use trajshare_model::ReachabilityOracle;
+use trajshare_query::{extract_hotspots, HotspotScope};
+
+#[test]
+fn filtered_sets_validate_under_their_own_dataset() {
+    for scenario in Scenario::all() {
+        let cfg = ScenarioConfig {
+            num_pois: 250,
+            num_trajectories: 60,
+            speed_kmh: None,
+            traj_len: None,
+            seed: 5,
+        };
+        let (ds, set) = build_scenario(scenario, &cfg);
+        for t in set.all() {
+            t.validate(&ds)
+                .unwrap_or_else(|e| panic!("{}: invalid trajectory: {e}", scenario.name()));
+        }
+    }
+}
+
+#[test]
+fn campus_events_are_detectable_as_hotspots() {
+    // The three induced events of §6.1.3 must surface through the §6.3.2
+    // hotspot machinery — this is the ground truth Table 4 compares
+    // against.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    use rand::SeedableRng;
+    let data = generate_campus(
+        &CampusConfig { num_trajectories: 600, ..Default::default() },
+        &mut rng,
+    );
+    let eta = 15; // scaled for 600 trajectories
+    let hotspots = extract_hotspots(&data.dataset, &data.trajectories, HotspotScope::Poi, eta);
+    let stadium = hotspots.iter().find(|h| h.key == data.stadium_a.0);
+    assert!(stadium.is_some(), "stadium event missing from {hotspots:?}");
+    let s = stadium.unwrap();
+    assert!(
+        (13..=16).contains(&s.start_hour),
+        "stadium hotspot at wrong time: {s:?}"
+    );
+    let residence = hotspots.iter().find(|h| h.key == data.residence_a.0);
+    assert!(residence.is_some(), "residence event missing");
+    let r = residence.unwrap();
+    assert!((19..=22).contains(&r.start_hour), "residence hotspot at {r:?}");
+}
+
+#[test]
+fn trajectory_gaps_respect_reachability_budget() {
+    let cfg = ScenarioConfig {
+        num_pois: 250,
+        num_trajectories: 50,
+        speed_kmh: None,
+        traj_len: None,
+        seed: 6,
+    };
+    let (ds, set) = build_scenario(Scenario::Safegraph, &cfg);
+    let oracle = ReachabilityOracle::new(&ds);
+    for t in set.all() {
+        for w in t.points().windows(2) {
+            assert!(oracle.is_reachable((w[0].poi, w[0].t), (w[1].poi, w[1].t)));
+        }
+    }
+}
+
+#[test]
+fn scenario_popularity_skew_shows_up_in_visits() {
+    let cfg = ScenarioConfig {
+        num_pois: 300,
+        num_trajectories: 150,
+        speed_kmh: None,
+        traj_len: None,
+        seed: 8,
+    };
+    let (ds, set) = build_scenario(Scenario::TaxiFoursquare, &cfg);
+    let mut visits = vec![0usize; ds.pois.len()];
+    for t in set.all() {
+        for p in t.points() {
+            visits[p.poi.index()] += 1;
+        }
+    }
+    let total: usize = visits.iter().sum();
+    let mut sorted = visits.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let top10pct: usize = sorted[..ds.pois.len() / 10].iter().sum();
+    assert!(
+        top10pct as f64 > total as f64 * 0.2,
+        "visits not skewed: top decile holds {top10pct}/{total}"
+    );
+}
+
+#[test]
+fn different_seeds_give_different_data() {
+    let mk = |seed| {
+        let cfg = ScenarioConfig {
+            num_pois: 150,
+            num_trajectories: 20,
+            speed_kmh: None,
+            traj_len: None,
+            seed,
+        };
+        build_scenario(Scenario::TaxiFoursquare, &cfg).1
+    };
+    let a = mk(1);
+    let b = mk(2);
+    assert_ne!(a.all(), b.all(), "seeds must matter");
+}

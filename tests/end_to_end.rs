@@ -1,0 +1,105 @@
+//! End-to-end integration: datagen → decomposition → perturbation →
+//! reconstruction → utility measurement, across all scenarios and methods.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajshare_bench::runner::{build_methods, run_method};
+use trajshare_bench::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_core::{Mechanism, MechanismConfig, NGramMechanism};
+use trajshare_model::ReachabilityOracle;
+use trajshare_query::{normalized_error, preservation_range, PrqDimension};
+
+fn small_cfg() -> ScenarioConfig {
+    ScenarioConfig {
+        num_pois: 150,
+        num_trajectories: 15,
+        speed_kmh: None,
+        traj_len: None,
+        seed: 11,
+    }
+}
+
+#[test]
+fn every_method_round_trips_every_scenario() {
+    for scenario in Scenario::all() {
+        let (dataset, set) = build_scenario(scenario, &small_cfg());
+        assert!(!set.is_empty());
+        let methods = build_methods(&dataset, &MechanismConfig::default());
+        for mech in &methods {
+            let run = run_method(mech.as_ref(), &set, 5, 2);
+            assert_eq!(run.perturbed.len(), set.len());
+            for (real, pert) in set.all().iter().zip(&run.perturbed) {
+                assert_eq!(real.len(), pert.len(), "{}", mech.name());
+                // Strictly increasing times, always.
+                for w in pert.points().windows(2) {
+                    assert!(w[1].t > w[0].t, "{}: non-monotone output", mech.name());
+                }
+                // POIs must exist in the dataset.
+                for pt in pert.points() {
+                    assert!(pt.poi.index() < dataset.pois.len());
+                }
+            }
+            // Utility measures accept the output.
+            let ne = normalized_error(&dataset, set.all(), &run.perturbed);
+            assert!(ne.dt.is_finite() && ne.dc.is_finite() && ne.ds.is_finite());
+            let pr =
+                preservation_range(&dataset, set.all(), &run.perturbed, PrqDimension::Space(1e9));
+            assert_eq!(pr, 100.0, "infinite δ must preserve everything");
+        }
+    }
+}
+
+#[test]
+fn ngram_outputs_satisfy_reachability_unless_smoothed() {
+    // §5.6: rejection sampling enforces reachability; smoothing (rare)
+    // is best-effort. We check the overwhelming majority comply.
+    let (dataset, set) = build_scenario(Scenario::Campus, &small_cfg());
+    let mech = NGramMechanism::build(&dataset, &MechanismConfig::default());
+    let oracle = ReachabilityOracle::new(&dataset);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut compliant = 0;
+    let mut total = 0;
+    for traj in set.all() {
+        let out = mech.perturb(traj, &mut rng);
+        total += 1;
+        if out
+            .trajectory
+            .points()
+            .windows(2)
+            .all(|w| oracle.is_reachable((w[0].poi, w[0].t), (w[1].poi, w[1].t)))
+        {
+            compliant += 1;
+        }
+    }
+    assert!(
+        compliant * 10 >= total * 9,
+        "only {compliant}/{total} outputs satisfy reachability"
+    );
+}
+
+#[test]
+fn epsilon_controls_utility_end_to_end() {
+    let (dataset, set) = build_scenario(Scenario::TaxiFoursquare, &small_cfg());
+    let ne_at = |eps: f64| {
+        let mech =
+            NGramMechanism::build(&dataset, &MechanismConfig::default().with_epsilon(eps));
+        let run = run_method(&mech, &set, 5, 2);
+        let ne = normalized_error(&dataset, set.all(), &run.perturbed);
+        ne.dc + ne.dt + ne.ds
+    };
+    let strong_privacy = ne_at(0.05);
+    let weak_privacy = ne_at(500.0);
+    assert!(
+        weak_privacy < strong_privacy,
+        "ε=500 error {weak_privacy} must beat ε=0.05 error {strong_privacy}"
+    );
+}
+
+#[test]
+fn perturbation_is_reproducible_across_runs() {
+    let (dataset, set) = build_scenario(Scenario::Safegraph, &small_cfg());
+    let mech = NGramMechanism::build(&dataset, &MechanismConfig::default());
+    let a = run_method(&mech, &set, 99, 4);
+    let b = run_method(&mech, &set, 99, 1);
+    assert_eq!(a.perturbed, b.perturbed, "same seeds must give same outputs");
+}

@@ -1,0 +1,141 @@
+//! The §5.5 reconstruction claim: our Viterbi solver and the
+//! paper-faithful ILP (Eq. 10–14 via simplex + branch & bound) are
+//! interchangeable — the LP relaxation is integral (a path polytope), so
+//! both find optima of equal cost on real mechanism outputs, not just
+//! synthetic lattices.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajshare_core::perturb::perturb_region_sequence;
+use trajshare_core::reconstruct::reconstruct_regions;
+use trajshare_core::{
+    decompose, MechanismConfig, ReconstructionSolver, RegionGraph, RegionId, RegionSet,
+};
+use trajshare_geo::{DistanceMetric, GeoPoint};
+use trajshare_hierarchy::builders::campus;
+use trajshare_lp::{solve_ilp, solve_lp, LinearProgram, Relation, SolveStatus};
+use trajshare_model::{Dataset, Poi, PoiId, TimeDomain, Trajectory};
+
+fn setup() -> (Dataset, RegionSet, RegionGraph) {
+    let h = campus();
+    let leaves = h.leaves();
+    let origin = GeoPoint::new(40.7, -74.0);
+    let pois: Vec<Poi> = (0..50)
+        .map(|i| {
+            Poi::new(
+                PoiId(i),
+                format!("p{i}"),
+                origin.offset_m((i % 5) as f64 * 350.0, (i / 5) as f64 * 350.0),
+                leaves[i as usize % leaves.len()],
+            )
+        })
+        .collect();
+    let ds = Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine);
+    let rs = decompose(&ds, &MechanismConfig::default());
+    let g = RegionGraph::build(&ds, &rs);
+    (ds, rs, g)
+}
+
+/// Total bigram error of a reconstructed sequence against Z.
+fn cost(
+    g: &RegionGraph,
+    z: &[trajshare_core::perturb::PerturbedWindow],
+    seq: &[RegionId],
+) -> f64 {
+    let node_err = |i: usize, r: RegionId| -> f64 {
+        z.iter()
+            .filter(|pw| pw.window.covers(i))
+            .map(|pw| g.distance.get(r, pw.regions[i - pw.window.a]))
+            .sum()
+    };
+    (0..seq.len() - 1)
+        .map(|i| node_err(i, seq[i]) + node_err(i + 1, seq[i + 1]))
+        .sum()
+}
+
+#[test]
+fn solvers_agree_on_mechanism_outputs_across_seeds() {
+    let (ds, rs, g) = setup();
+    let traj = Trajectory::from_pairs(&[(0, 60), (6, 63), (12, 66), (18, 70)]);
+    let seq = rs.encode(&ds, &traj).unwrap();
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let z = perturb_region_sequence(&g, &seq, 2, 1.0, &mut rng);
+        let v = reconstruct_regions(&ds, &rs, &g, &z, seq.len(), ReconstructionSolver::Viterbi);
+        let i = reconstruct_regions(&ds, &rs, &g, &z, seq.len(), ReconstructionSolver::Ilp);
+        let cv = cost(&g, &z, &v.regions);
+        let ci = cost(&g, &z, &i.regions);
+        assert!(
+            (cv - ci).abs() < 1e-6,
+            "seed {seed}: viterbi cost {cv} vs ilp cost {ci}"
+        );
+    }
+}
+
+#[test]
+fn lp_relaxation_of_lattice_is_integral() {
+    // Build the ILP for a small lattice and solve only the LP relaxation:
+    // the vertex must already be 0/1 (total unimodularity of path
+    // polytopes), which is why Viterbi is safe.
+    use trajshare_lp::LatticeProblem;
+    let mut arcs = Vec::new();
+    for u in 0..4usize {
+        for v in 0..4usize {
+            arcs.push((u, v));
+        }
+    }
+    let costs: Vec<Vec<f64>> = (0..3)
+        .map(|pos| arcs.iter().map(|&(u, v)| ((u * 7 + v * 3 + pos) % 11) as f64).collect())
+        .collect();
+    let p = LatticeProblem { num_nodes: 4, arcs, costs };
+    let lp = p.to_ilp();
+    let relaxed = solve_lp(&lp);
+    assert_eq!(relaxed.status, SolveStatus::Optimal);
+    for (i, &x) in relaxed.x.iter().enumerate() {
+        assert!(
+            x < 1e-6 || (x - 1.0).abs() < 1e-6,
+            "fractional vertex component x[{i}] = {x}"
+        );
+    }
+    // And its objective equals the ILP / Viterbi optimum.
+    let vit = p.solve_viterbi().unwrap();
+    assert!((relaxed.objective - vit.cost).abs() < 1e-6);
+}
+
+#[test]
+fn simplex_agrees_with_branch_and_bound_on_integral_instances() {
+    // A transportation-style LP with integral data: simplex optimum is
+    // integral, so B&B should terminate at the root with the same value.
+    let mut lp = LinearProgram::new();
+    let x: Vec<usize> = (0..4).map(|i| lp.add_int_var([3.0, 5.0, 4.0, 2.0][i], 0.0, 10.0)).collect();
+    lp.add_constraint(vec![(x[0], 1.0), (x[1], 1.0)], Relation::Eq, 6.0);
+    lp.add_constraint(vec![(x[2], 1.0), (x[3], 1.0)], Relation::Eq, 4.0);
+    lp.add_constraint(vec![(x[0], 1.0), (x[2], 1.0)], Relation::Le, 7.0);
+    let relaxed = solve_lp(&lp);
+    let integral = solve_ilp(&lp, 10_000);
+    assert_eq!(relaxed.status, SolveStatus::Optimal);
+    assert_eq!(integral.status, SolveStatus::Optimal);
+    assert!((relaxed.objective - integral.objective).abs() < 1e-6);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn prop_viterbi_never_worse_than_any_feasible_chain(seed in 0u64..500) {
+        let (ds, rs, g) = setup();
+        let traj = Trajectory::from_pairs(&[(0, 60), (6, 63), (12, 66)]);
+        let seq = rs.encode(&ds, &traj).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let z = perturb_region_sequence(&g, &seq, 2, 1.0, &mut rng);
+        let v = reconstruct_regions(&ds, &rs, &g, &z, seq.len(), ReconstructionSolver::Viterbi);
+        let cv = cost(&g, &z, &v.regions);
+        // The true (encoded) sequence is one feasible chain when its
+        // bigrams are feasible; the optimum cannot cost more.
+        let truth_feasible = seq.windows(2).all(|w| g.is_feasible(w[0], w[1]));
+        if truth_feasible {
+            let ct = cost(&g, &z, &seq);
+            prop_assert!(cv <= ct + 1e-9, "viterbi {cv} worse than truth chain {ct}");
+        }
+    }
+}
