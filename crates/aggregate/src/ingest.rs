@@ -1,0 +1,431 @@
+//! Sharded, parallel report ingestion.
+//!
+//! [`Aggregator`] folds millions of [`Report`]s into dense counters:
+//! per-region occupancy, per-(region, hour-tile) occupancy, start/end
+//! distributions, per-transition counts over the region universe, and the
+//! (public) trajectory-length histogram. Batch ingestion shards the input
+//! across rayon workers — each shard accumulates a private
+//! [`AggregateCounts`] and the shards are merged with element-wise `u64`
+//! sums, so the result is independent of worker count and scheduling.
+//!
+//! Memory is `O(|R|² + |R|·24)`; the decomposition keeps `|R|` in the
+//! hundreds even for city-scale datasets, so the transition matrix is a few
+//! MB — far cheaper than anything per-user.
+
+use crate::report::Report;
+use rayon::prelude::*;
+use trajshare_core::RegionSet;
+
+/// Hour tiles per day for the (region, timestep) view.
+pub const TILES_PER_DAY: usize = 24;
+
+/// Dense population counters. All fields are plain sums, so two counter
+/// sets over disjoint report batches merge by addition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregateCounts {
+    /// `|R|` at ingestion time.
+    pub num_regions: usize,
+    /// Unigram observations per region.
+    pub occupancy: Vec<u64>,
+    /// Unigram observations per `(region, hour tile)`, row-major
+    /// `region * TILES_PER_DAY + tile`. The tile is derived from the
+    /// *perturbed* region's own time interval (its midpoint hour), never
+    /// from true client timestamps.
+    pub tile_occupancy: Vec<u64>,
+    /// Position-0 observations per region from *exact* 1-gram windows
+    /// (start-distribution channel, unigram-EM exact).
+    pub starts: Vec<u64>,
+    /// Last-position observations per region from exact 1-gram windows.
+    pub ends: Vec<u64>,
+    /// All exact-channel observations per region (the occupancy channel
+    /// the estimator can debias without approximation).
+    pub occupancy_exact: Vec<u64>,
+    /// Transition observations, row-major `tail * |R| + head`.
+    pub transitions: Vec<u64>,
+    /// Histogram of reported trajectory lengths (index = |τ|).
+    pub length_hist: Vec<u64>,
+    /// Reports folded in.
+    pub num_reports: u64,
+    /// Total unigram observations folded in.
+    pub num_unigrams: u64,
+    /// Observations dropped because their region id was out of range
+    /// (malformed or hostile client).
+    pub rejected: u64,
+    /// Σ ε′ over reports, in nano-ε units (integer so that parallel merge
+    /// order cannot perturb the value).
+    pub eps_nano_sum: u64,
+}
+
+impl AggregateCounts {
+    /// Zeroed counters for a universe of `num_regions` regions.
+    pub fn new(num_regions: usize) -> Self {
+        AggregateCounts {
+            num_regions,
+            occupancy: vec![0; num_regions],
+            tile_occupancy: vec![0; num_regions * TILES_PER_DAY],
+            starts: vec![0; num_regions],
+            ends: vec![0; num_regions],
+            occupancy_exact: vec![0; num_regions],
+            transitions: vec![0; num_regions * num_regions],
+            length_hist: Vec::new(),
+            num_reports: 0,
+            num_unigrams: 0,
+            rejected: 0,
+            eps_nano_sum: 0,
+        }
+    }
+
+    /// Element-wise merge of counters over a disjoint report batch.
+    pub fn merge(&mut self, other: &AggregateCounts) {
+        assert_eq!(self.num_regions, other.num_regions, "universe mismatch");
+        for (a, b) in self.occupancy.iter_mut().zip(&other.occupancy) {
+            *a += b;
+        }
+        for (a, b) in self.tile_occupancy.iter_mut().zip(&other.tile_occupancy) {
+            *a += b;
+        }
+        for (a, b) in self.starts.iter_mut().zip(&other.starts) {
+            *a += b;
+        }
+        for (a, b) in self.ends.iter_mut().zip(&other.ends) {
+            *a += b;
+        }
+        for (a, b) in self.occupancy_exact.iter_mut().zip(&other.occupancy_exact) {
+            *a += b;
+        }
+        for (a, b) in self.transitions.iter_mut().zip(&other.transitions) {
+            *a += b;
+        }
+        if self.length_hist.len() < other.length_hist.len() {
+            self.length_hist.resize(other.length_hist.len(), 0);
+        }
+        for (i, b) in other.length_hist.iter().enumerate() {
+            self.length_hist[i] += b;
+        }
+        self.num_reports += other.num_reports;
+        self.num_unigrams += other.num_unigrams;
+        self.rejected += other.rejected;
+        self.eps_nano_sum = self.eps_nano_sum.saturating_add(other.eps_nano_sum);
+    }
+
+    /// Mean ε′ across ingested reports — the debiasing channel parameter.
+    ///
+    /// The channel is *exact* only when every report shares one ε′ (i.e.
+    /// one trajectory length); for mixed-length populations this is a
+    /// mixture-channel approximation, and a deployment should run one
+    /// aggregator per length bucket instead (tracked as a ROADMAP open
+    /// item). Use [`AggregateCounts::mixed_lengths`] to detect the case.
+    pub fn mean_eps_prime(&self) -> f64 {
+        if self.num_reports == 0 {
+            return 0.0;
+        }
+        self.eps_nano_sum as f64 * 1e-9 / self.num_reports as f64
+    }
+
+    /// Whether reports with more than one trajectory length were ingested
+    /// (in which case [`AggregateCounts::mean_eps_prime`] is approximate).
+    pub fn mixed_lengths(&self) -> bool {
+        self.length_hist.iter().filter(|&&c| c > 0).count() > 1
+    }
+
+    /// Mean reported trajectory length.
+    pub fn mean_len(&self) -> f64 {
+        if self.num_reports == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .length_hist
+            .iter()
+            .enumerate()
+            .map(|(l, &c)| l as u64 * c)
+            .sum();
+        total as f64 / self.num_reports as f64
+    }
+}
+
+/// Sharded ingestion front-end bound to one region universe.
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    counts: AggregateCounts,
+    /// Midpoint hour tile per region, precomputed from the region set.
+    region_tile: Vec<u16>,
+    /// Reports per rayon shard in [`Aggregator::ingest_batch`].
+    shard_size: usize,
+}
+
+impl Aggregator {
+    /// Default reports-per-shard for batch ingestion.
+    pub const DEFAULT_SHARD_SIZE: usize = 4096;
+
+    /// Builds an aggregator for the given decomposed region universe.
+    pub fn new(regions: &RegionSet) -> Self {
+        let region_tile = regions
+            .all()
+            .iter()
+            .map(|r| {
+                let mid_min = (r.time.start_min + r.time.end_min) / 2;
+                ((mid_min / 60) as usize).min(TILES_PER_DAY - 1) as u16
+            })
+            .collect();
+        Aggregator {
+            counts: AggregateCounts::new(regions.len()),
+            region_tile,
+            shard_size: Self::DEFAULT_SHARD_SIZE,
+        }
+    }
+
+    /// Overrides the batch shard size (mainly for benchmarks).
+    pub fn with_shard_size(mut self, shard_size: usize) -> Self {
+        assert!(shard_size > 0);
+        self.shard_size = shard_size;
+        self
+    }
+
+    /// The counters accumulated so far.
+    #[inline]
+    pub fn counts(&self) -> &AggregateCounts {
+        &self.counts
+    }
+
+    /// Consumes the aggregator, yielding its counters.
+    pub fn into_counts(self) -> AggregateCounts {
+        self.counts
+    }
+
+    /// Folds one report into the counters.
+    pub fn ingest(&mut self, report: &Report) {
+        accumulate(&mut self.counts, &self.region_tile, report);
+    }
+
+    /// Folds a batch of reports, sharded across rayon workers. Exactly
+    /// equivalent to `for r in reports { self.ingest(r) }` — counters are
+    /// `u64` sums, so the parallel merge is order-insensitive.
+    pub fn ingest_batch(&mut self, reports: &[Report]) {
+        let tiles = &self.region_tile;
+        let num_regions = self.counts.num_regions;
+        let batch = reports
+            .par_chunks(self.shard_size)
+            .map(|shard| {
+                let mut local = AggregateCounts::new(num_regions);
+                for report in shard {
+                    accumulate(&mut local, tiles, report);
+                }
+                local
+            })
+            .reduce(
+                || AggregateCounts::new(num_regions),
+                |mut a, b| {
+                    a.merge(&b);
+                    a
+                },
+            );
+        self.counts.merge(&batch);
+    }
+}
+
+/// Largest per-window ε′ a report may claim. Anything above this is not a
+/// plausible LDP deployment and is treated as hostile input: admitting an
+/// arbitrary f64 here would let one client poison the channel mean every
+/// estimate is debiased with.
+pub const MAX_EPS_PRIME: f64 = 64.0;
+
+/// The single-report accumulation kernel shared by serial and sharded
+/// ingestion.
+fn accumulate(counts: &mut AggregateCounts, region_tile: &[u16], report: &Report) {
+    // Reject reports with an implausible channel parameter outright
+    // (NaN/∞/non-positive/huge): every observation they carry would be
+    // debiased through a corrupted channel.
+    if !report.eps_prime.is_finite() || report.eps_prime <= 0.0 || report.eps_prime > MAX_EPS_PRIME
+    {
+        counts.rejected += 1
+            + report.unigrams.len() as u64
+            + report.exact.len() as u64
+            + report.transitions.len() as u64;
+        return;
+    }
+    let nr = counts.num_regions;
+    let last_pos = report.len.saturating_sub(1);
+    for &(pos, region) in &report.unigrams {
+        let r = region as usize;
+        if r >= nr || pos >= report.len {
+            counts.rejected += 1;
+            continue;
+        }
+        counts.occupancy[r] += 1;
+        counts.tile_occupancy[r * TILES_PER_DAY + region_tile[r] as usize] += 1;
+        counts.num_unigrams += 1;
+    }
+    for &(pos, region) in &report.exact {
+        let r = region as usize;
+        if r >= nr || pos >= report.len {
+            counts.rejected += 1;
+            continue;
+        }
+        counts.occupancy_exact[r] += 1;
+        if pos == 0 {
+            counts.starts[r] += 1;
+        }
+        if pos == last_pos {
+            counts.ends[r] += 1;
+        }
+    }
+    for &(tail, head) in &report.transitions {
+        let (t, h) = (tail as usize, head as usize);
+        if t >= nr || h >= nr {
+            counts.rejected += 1;
+            continue;
+        }
+        counts.transitions[t * nr + h] += 1;
+    }
+    let len = report.len as usize;
+    if counts.length_hist.len() <= len {
+        counts.length_hist.resize(len + 1, 0);
+    }
+    counts.length_hist[len] += 1;
+    counts.num_reports += 1;
+    // ε′ ≤ MAX_EPS_PRIME, so the nano-units sum saturates only after
+    // ~2.9×10⁸ maximal reports; saturating keeps even that case sane.
+    counts.eps_nano_sum = counts
+        .eps_nano_sum
+        .saturating_add((report.eps_prime * 1e9).round() as u64);
+}
+
+/// A convenience: builds the aggregator and ingests in one call.
+pub fn aggregate_reports(regions: &RegionSet, reports: &[Report]) -> AggregateCounts {
+    let mut agg = Aggregator::new(regions);
+    agg.ingest_batch(reports);
+    agg.into_counts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_report(regions: &[u32], eps: f64) -> Report {
+        let unigrams: Vec<(u16, u32)> = regions
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (i as u16, r))
+            .collect();
+        let exact = unigrams.clone();
+        let transitions = regions.windows(2).map(|w| (w[0], w[1])).collect();
+        Report {
+            eps_prime: eps,
+            len: regions.len() as u16,
+            unigrams,
+            exact,
+            transitions,
+        }
+    }
+
+    /// A fabricated counter universe without needing a full dataset.
+    fn ingest_all(num_regions: usize, reports: &[Report]) -> AggregateCounts {
+        // Region tiles are irrelevant for these tests; use tile 0.
+        let region_tile = vec![0u16; num_regions];
+        let mut counts = AggregateCounts::new(num_regions);
+        for r in reports {
+            accumulate(&mut counts, &region_tile, r);
+        }
+        counts
+    }
+
+    #[test]
+    fn serial_accumulation_counts_everything() {
+        let reports = vec![toy_report(&[0, 1, 2], 1.0), toy_report(&[2, 2], 0.5)];
+        let c = ingest_all(4, &reports);
+        assert_eq!(c.num_reports, 2);
+        assert_eq!(c.num_unigrams, 5);
+        assert_eq!(c.occupancy, vec![1, 1, 3, 0]);
+        assert_eq!(c.starts, vec![1, 0, 1, 0]);
+        assert_eq!(c.ends, vec![0, 0, 2, 0]);
+        assert_eq!(c.transitions[4 + 2], 1);
+        assert_eq!(c.transitions[2 * 4 + 2], 1);
+        assert_eq!(c.length_hist, vec![0, 0, 1, 1]);
+        assert!((c.mean_eps_prime() - 0.75).abs() < 1e-9);
+        assert!((c.mean_len() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_regions_are_rejected_not_counted() {
+        let c = ingest_all(2, &[toy_report(&[0, 9], 1.0)]);
+        assert_eq!(c.rejected, 3, "bad unigram + bad exact + bad transition");
+        assert_eq!(c.occupancy, vec![1, 0]);
+        assert_eq!(c.transitions, vec![0; 4]);
+    }
+
+    #[test]
+    fn tile_occupancy_lands_on_each_regions_midpoint_hour() {
+        use trajshare_core::{decompose, MechanismConfig};
+        use trajshare_geo::{DistanceMetric, GeoPoint};
+        use trajshare_hierarchy::builders::campus;
+        use trajshare_model::{Dataset, Poi, PoiId, TimeDomain};
+
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..30)
+            .map(|i| {
+                Poi::new(
+                    PoiId(i),
+                    format!("p{i}"),
+                    origin.offset_m((i % 5) as f64 * 400.0, (i / 5) as f64 * 400.0),
+                    leaves[i as usize % leaves.len()],
+                )
+            })
+            .collect();
+        let ds = Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        );
+        let regions = decompose(&ds, &MechanismConfig::default());
+
+        let mut agg = Aggregator::new(&regions);
+        for r in 0..regions.len() as u32 {
+            agg.ingest(&toy_report(&[r, r], 1.0));
+        }
+        let counts = agg.counts();
+        assert_eq!(
+            counts.occupancy.iter().sum::<u64>(),
+            counts.tile_occupancy.iter().sum::<u64>()
+        );
+        for (r, region) in regions.all().iter().enumerate() {
+            let expected_tile = ((region.time.start_min + region.time.end_min) / 2 / 60)
+                .min(TILES_PER_DAY as u32 - 1) as usize;
+            let row = &counts.tile_occupancy[r * TILES_PER_DAY..(r + 1) * TILES_PER_DAY];
+            assert_eq!(row[expected_tile], counts.occupancy[r], "region {r}");
+            assert_eq!(
+                row.iter().sum::<u64>(),
+                counts.occupancy[r],
+                "region {r} has off-tile mass"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_eps_prime_reports_are_rejected_wholesale() {
+        for bad in [f64::NAN, f64::INFINITY, -1.0, 0.0, MAX_EPS_PRIME * 2.0] {
+            let c = ingest_all(4, &[toy_report(&[0, 1], bad)]);
+            assert_eq!(c.num_reports, 0, "eps={bad}");
+            assert_eq!(c.occupancy, vec![0; 4], "eps={bad}");
+            assert!(c.rejected > 0, "eps={bad}");
+            assert_eq!(c.mean_eps_prime(), 0.0, "eps={bad}");
+        }
+        // Sane values still pass.
+        let c = ingest_all(4, &[toy_report(&[0, 1], 1.25)]);
+        assert_eq!(c.num_reports, 1);
+        assert!(!c.mixed_lengths());
+    }
+
+    #[test]
+    fn merge_is_addition() {
+        let a = ingest_all(3, &[toy_report(&[0, 1], 1.0)]);
+        let b = ingest_all(3, &[toy_report(&[1, 2, 2], 2.0)]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let direct = ingest_all(3, &[toy_report(&[0, 1], 1.0), toy_report(&[1, 2, 2], 2.0)]);
+        assert_eq!(merged, direct);
+    }
+}

@@ -1,0 +1,51 @@
+//! Population-scale LDP aggregation and trajectory synthesis.
+//!
+//! The per-user NGram mechanism (`trajshare_core`) answers *"how does one
+//! device share one trajectory?"*. This crate answers the server side:
+//! *"given millions of such ε-LDP reports, how does an untrusted
+//! aggregator publish useful population statistics and a synthetic
+//! trajectory dataset?"* — the aggregation → estimation → synthesis
+//! architecture of LDPTrace (Du et al., VLDB 2023) and RetraSyn (Hu et
+//! al., 2024), built over this repository's STC region universe.
+//!
+//! Pipeline:
+//!
+//! 1. [`report`] — a compact, serializable per-user [`Report`] extracted
+//!    from `NGramMechanism::perturb_raw` (window multiset `Z`) or
+//!    `ContinuousSharer::share_region`,
+//! 2. [`ingest`] — sharded, rayon-parallel accumulation into dense
+//!    per-(region, hour-tile) and per-transition counters
+//!    ([`Aggregator`]),
+//! 3. [`estimate`] — unbiased frequency estimation by inverting the
+//!    Exponential-Mechanism channel ([`EmChannel`]), plus [`norm_sub`]
+//!    consistency post-processing,
+//! 4. [`markov`] — the debiased [`MobilityModel`] (start/end/occupancy
+//!    distributions, `W₂`-restricted transition matrix, length model),
+//! 5. [`synthesize`] — Markov walks over the feasible bigram universe,
+//!    concretized through the mechanism's own POI-level machinery
+//!    ([`Synthesizer`]),
+//! 6. [`eval`] / [`pipeline`] — utility scoring against ground truth and
+//!    the end-to-end client→server convenience driver.
+//!
+//! Everything downstream of the reports is post-processing of ε-LDP
+//! outputs, so the published synthetic set inherits each user's ε
+//! guarantee unchanged.
+
+pub mod estimate;
+pub mod eval;
+pub mod ingest;
+pub mod markov;
+pub mod pipeline;
+pub mod report;
+pub mod synthesize;
+
+pub use estimate::{ibu_frequencies, ibu_joint, norm_sub, ChannelInverse, EmChannel};
+pub use eval::{score_paired, EvalConfig, UtilityScores};
+pub use ingest::{aggregate_reports, AggregateCounts, Aggregator, TILES_PER_DAY};
+pub use markov::{FrequencyEstimator, MobilityModel};
+pub use pipeline::{
+    aggregate_and_synthesize, aggregate_and_synthesize_matching, collect_reports, user_seed,
+    SynthesisOutcome,
+};
+pub use report::{DecodeError, Report};
+pub use synthesize::Synthesizer;

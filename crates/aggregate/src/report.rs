@@ -1,0 +1,289 @@
+//! The client→server message of the aggregation pipeline.
+//!
+//! A [`Report`] is the compact, serializable form of one user's perturbed
+//! output: the region-level observations extracted from the NGram
+//! mechanism's window multiset `Z` ([`Report::from_perturbed`]) or from a
+//! single continuous-sharing draw ([`Report::from_region_point`]). It
+//! carries *only* ε-LDP-protected data plus public mechanism parameters
+//! (ε′ and |τ| — the mechanism preserves trajectory length, so |τ| is part
+//! of the released message in the paper's setting too).
+
+use serde::Serialize;
+use trajshare_core::{PerturbedTrajectory, RegionId};
+
+/// One user's region-level upload.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Report {
+    /// Per-window EM budget ε′ the client used (public parameter; the
+    /// server needs it to build the debiasing channel matrix).
+    pub eps_prime: f64,
+    /// Trajectory length |τ| (1 for continuous single-point reports).
+    pub len: u16,
+    /// `(position, region)` observations — one per window element, so each
+    /// position appears `n` times for an n-gram client.
+    pub unigrams: Vec<(u16, u32)>,
+    /// The subset of observations coming from *1-gram* windows (the
+    /// supplementary windows of Figure 3). These are draws from the exact
+    /// unigram EM channel — the only observations the debiasing matrix
+    /// models without approximation — so start/end/occupancy estimation
+    /// uses them exclusively.
+    pub exact: Vec<(u16, u32)>,
+    /// Within-window consecutive region transitions `(tail, head)`.
+    pub transitions: Vec<(u32, u32)>,
+}
+
+/// Why decoding a serialized report failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer shorter than the fixed header.
+    Truncated,
+    /// Magic bytes do not match [`Report::MAGIC`].
+    BadMagic,
+    /// Declared observation counts disagree with the buffer length.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "report buffer truncated"),
+            DecodeError::BadMagic => write!(f, "report magic bytes invalid"),
+            DecodeError::LengthMismatch => write!(f, "report length fields inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Report {
+    /// Wire-format magic ("TrajShare Report v1").
+    pub const MAGIC: [u8; 4] = *b"TSR1";
+
+    /// Extracts the aggregation observations from a stage-1 mechanism
+    /// output (see `NGramMechanism::perturb_raw`).
+    pub fn from_perturbed(p: &PerturbedTrajectory) -> Self {
+        let mut unigrams = Vec::new();
+        let mut exact = Vec::new();
+        let mut transitions = Vec::new();
+        for w in &p.windows {
+            for (off, &r) in w.regions.iter().enumerate() {
+                unigrams.push(((w.window.a + off) as u16, r.0));
+            }
+            if w.regions.len() == 1 {
+                exact.push((w.window.a as u16, w.regions[0].0));
+            }
+            for pair in w.regions.windows(2) {
+                transitions.push((pair[0].0, pair[1].0));
+            }
+        }
+        Report {
+            eps_prime: p.eps_prime,
+            len: p.len as u16,
+            unigrams,
+            exact,
+            transitions,
+        }
+    }
+
+    /// Wraps a continuous single-point region draw (see
+    /// `ContinuousSharer::share_region`).
+    pub fn from_region_point(region: RegionId, eps: f64) -> Self {
+        Report {
+            eps_prime: eps,
+            len: 1,
+            unigrams: vec![(0, region.0)],
+            exact: vec![(0, region.0)],
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Number of unigram observations.
+    #[inline]
+    pub fn num_observations(&self) -> usize {
+        self.unigrams.len()
+    }
+
+    /// Serialized size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        4 + 8
+            + 2
+            + 4
+            + 4
+            + 4
+            + self.unigrams.len() * 6
+            + self.exact.len() * 6
+            + self.transitions.len() * 8
+    }
+
+    /// Compact little-endian binary encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&Self::MAGIC);
+        out.extend_from_slice(&self.eps_prime.to_le_bytes());
+        out.extend_from_slice(&self.len.to_le_bytes());
+        out.extend_from_slice(&(self.unigrams.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.exact.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.transitions.len() as u32).to_le_bytes());
+        for &(pos, region) in self.unigrams.iter().chain(&self.exact) {
+            out.extend_from_slice(&pos.to_le_bytes());
+            out.extend_from_slice(&region.to_le_bytes());
+        }
+        for &(a, b) in &self.transitions {
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes [`Report::encode`] output.
+    pub fn decode(buf: &[u8]) -> Result<Report, DecodeError> {
+        if buf.len() < 26 {
+            return Err(DecodeError::Truncated);
+        }
+        if buf[0..4] != Self::MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let eps_prime = f64::from_le_bytes(buf[4..12].try_into().unwrap());
+        let len = u16::from_le_bytes(buf[12..14].try_into().unwrap());
+        let n_uni = u32::from_le_bytes(buf[14..18].try_into().unwrap()) as usize;
+        let n_exact = u32::from_le_bytes(buf[18..22].try_into().unwrap()) as usize;
+        let n_trans = u32::from_le_bytes(buf[22..26].try_into().unwrap()) as usize;
+        let expect = 26 + (n_uni + n_exact) * 6 + n_trans * 8;
+        if buf.len() != expect {
+            return Err(DecodeError::LengthMismatch);
+        }
+        let mut off = 26;
+        let read_pairs = |count: usize, off: &mut usize| {
+            let mut v = Vec::with_capacity(count);
+            for _ in 0..count {
+                let pos = u16::from_le_bytes(buf[*off..*off + 2].try_into().unwrap());
+                let region = u32::from_le_bytes(buf[*off + 2..*off + 6].try_into().unwrap());
+                v.push((pos, region));
+                *off += 6;
+            }
+            v
+        };
+        let unigrams = read_pairs(n_uni, &mut off);
+        let exact = read_pairs(n_exact, &mut off);
+        let mut transitions = Vec::with_capacity(n_trans);
+        for _ in 0..n_trans {
+            let a = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+            let b = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap());
+            transitions.push((a, b));
+            off += 8;
+        }
+        Ok(Report {
+            eps_prime,
+            len,
+            unigrams,
+            exact,
+            transitions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trajshare_core::{MechanismConfig, NGramMechanism};
+    use trajshare_geo::{DistanceMetric, GeoPoint};
+    use trajshare_hierarchy::builders::campus;
+    use trajshare_model::{Dataset, Poi, PoiId, TimeDomain, Trajectory};
+
+    fn dataset() -> Dataset {
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..60)
+            .map(|i| {
+                let loc = origin.offset_m((i % 6) as f64 * 400.0, (i / 6) as f64 * 400.0);
+                Poi::new(
+                    PoiId(i as u32),
+                    format!("p{i}"),
+                    loc,
+                    leaves[i as usize % leaves.len()],
+                )
+            })
+            .collect();
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        )
+    }
+
+    #[test]
+    fn extraction_counts_match_window_schedule() {
+        let ds = dataset();
+        let mech = NGramMechanism::build(&ds, &MechanismConfig::default());
+        let traj = Trajectory::from_pairs(&[(0, 60), (7, 62), (14, 65), (21, 68)]);
+        let raw = mech.perturb_raw(&traj, &mut StdRng::seed_from_u64(1));
+        let report = Report::from_perturbed(&raw);
+        // n = 2, |τ| = 4: 5 windows — 3 bigrams + 2 unigrams = 8 elements,
+        // and one transition per bigram window.
+        assert_eq!(report.len, 4);
+        assert_eq!(report.unigrams.len(), 8);
+        assert_eq!(report.transitions.len(), 3);
+        // Every position in range, covered exactly n = 2 times.
+        let mut cover = [0usize; 4];
+        for &(pos, _) in &report.unigrams {
+            cover[pos as usize] += 1;
+        }
+        assert_eq!(cover, [2, 2, 2, 2]);
+        // Exactly the two supplementary 1-gram windows: positions 0 and 3.
+        let mut exact_pos: Vec<u16> = report.exact.iter().map(|&(p, _)| p).collect();
+        exact_pos.sort_unstable();
+        assert_eq!(exact_pos, vec![0, 3]);
+        assert!((report.eps_prime - mech.eps_prime(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perturb_raw_is_deterministic_and_matches_budget() {
+        let ds = dataset();
+        let mech = NGramMechanism::build(&ds, &MechanismConfig::default());
+        let traj = Trajectory::from_pairs(&[(0, 60), (7, 62), (14, 65)]);
+        let a = Report::from_perturbed(&mech.perturb_raw(&traj, &mut StdRng::seed_from_u64(9)));
+        let b = Report::from_perturbed(&mech.perturb_raw(&traj, &mut StdRng::seed_from_u64(9)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let r = Report {
+            eps_prime: 0.625,
+            len: 3,
+            unigrams: vec![(0, 5), (1, 2), (2, 9)],
+            exact: vec![(0, 5), (2, 9)],
+            transitions: vec![(5, 2), (2, 9)],
+        };
+        let buf = r.encode();
+        assert_eq!(buf.len(), r.encoded_len());
+        assert_eq!(Report::decode(&buf).unwrap(), r);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let r = Report::from_region_point(RegionId(3), 1.0);
+        let buf = r.encode();
+        assert_eq!(Report::decode(&buf[..10]), Err(DecodeError::Truncated));
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(Report::decode(&bad_magic), Err(DecodeError::BadMagic));
+        let mut short = buf.clone();
+        short.pop();
+        assert_eq!(Report::decode(&short), Err(DecodeError::LengthMismatch));
+    }
+
+    #[test]
+    fn continuous_report_shape() {
+        let r = Report::from_region_point(RegionId(7), 0.5);
+        assert_eq!(r.len, 1);
+        assert_eq!(r.unigrams, vec![(0, 7)]);
+        assert_eq!(r.exact, vec![(0, 7)]);
+        assert!(r.transitions.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Aggregation-subsystem benchmarks: report-ingestion throughput as the
+//! user count scales 10k → 1M, and end-to-end model-fit + synthesis
+//! latency. Emits a JSON record through the existing report machinery so
+//! future PRs can track the trajectory (`results/bench_aggregation.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use trajshare_aggregate::{collect_reports, Aggregator, MobilityModel, Report, Synthesizer};
+use trajshare_bench::report::{write_json, Reported};
+use trajshare_bench::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_core::{MechanismConfig, NGramMechanism};
+
+/// Tiles a base pool of genuine reports to the requested population size
+/// (ingestion cost is identical for repeated and fresh reports; what
+/// matters is volume).
+fn report_population(base: &[Report], users: usize) -> Vec<Report> {
+    (0..users).map(|i| base[i % base.len()].clone()).collect()
+}
+
+fn bench_ingestion_scale(c: &mut Criterion) {
+    let cfg = ScenarioConfig {
+        num_pois: 150,
+        num_trajectories: 2_000,
+        traj_len: Some(3),
+        ..Default::default()
+    };
+    let (dataset, set) = build_scenario(Scenario::TaxiFoursquare, &cfg);
+    let mech = NGramMechanism::build(&dataset, &MechanismConfig::default());
+    let base = collect_reports(&mech, &set, 7);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut group = c.benchmark_group("ingest_reports");
+    group.sample_size(10);
+    for &users in &[10_000usize, 100_000, 1_000_000] {
+        let reports = report_population(&base, users);
+        group.throughput(Throughput::Elements(users as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(users),
+            &reports,
+            |b, reports| {
+                b.iter(|| {
+                    let mut agg = Aggregator::new(mech.regions());
+                    agg.ingest_batch(reports);
+                    std::hint::black_box(agg.counts().num_reports)
+                });
+            },
+        );
+        // One timed pass for the JSON record.
+        let t0 = Instant::now();
+        let mut agg = Aggregator::new(mech.regions());
+        agg.ingest_batch(&reports);
+        let secs = t0.elapsed().as_secs_f64();
+        rows.push(vec![
+            users.to_string(),
+            format!("{:.3}", secs),
+            format!("{:.0}", users as f64 / secs.max(1e-9)),
+        ]);
+    }
+    group.finish();
+
+    let report = Reported {
+        id: "bench_aggregation".into(),
+        settings: format!(
+            "|R|={}, |W2|={}, shard={}",
+            mech.regions().len(),
+            mech.graph().num_bigrams(),
+            Aggregator::DEFAULT_SHARD_SIZE
+        ),
+        headers: vec!["users".into(), "ingest_s".into(), "reports_per_s".into()],
+        rows,
+    };
+    let _ = write_json(&report, std::path::Path::new("results"));
+}
+
+fn bench_model_and_synthesis(c: &mut Criterion) {
+    let cfg = ScenarioConfig {
+        num_pois: 150,
+        num_trajectories: 2_000,
+        traj_len: Some(3),
+        ..Default::default()
+    };
+    let (dataset, set) = build_scenario(Scenario::TaxiFoursquare, &cfg);
+    let mech = NGramMechanism::build(&dataset, &MechanismConfig::default());
+    let reports = collect_reports(&mech, &set, 7);
+    let mut agg = Aggregator::new(mech.regions());
+    agg.ingest_batch(&reports);
+
+    let mut group = c.benchmark_group("population_model");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("estimate"), |b| {
+        b.iter(|| std::hint::black_box(MobilityModel::estimate(agg.counts(), mech.graph())));
+    });
+    let model = MobilityModel::estimate(agg.counts(), mech.graph());
+    let synthesizer = Synthesizer::new(&dataset, mech.regions(), mech.graph(), &model);
+    group.bench_function(BenchmarkId::from_parameter("synthesize_1k"), |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| std::hint::black_box(synthesizer.synthesize(1_000, &mut rng).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestion_scale, bench_model_and_synthesis);
+criterion_main!(benches);

@@ -38,7 +38,11 @@ fn bench_by_speed(c: &mut Criterion) {
         };
         let (dataset, _) = build_scenario(Scenario::Safegraph, &cfg);
         let mc = MechanismConfig::default();
-        let label = if s.is_infinite() { "Inf".to_string() } else { format!("{s}") };
+        let label = if s.is_infinite() {
+            "Inf".to_string()
+        } else {
+            format!("{s}")
+        };
         group.bench_with_input(BenchmarkId::from_parameter(label), &dataset, |b, ds| {
             b.iter(|| std::hint::black_box(NGramMechanism::build(ds, &mc)))
         });

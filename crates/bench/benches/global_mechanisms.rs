@@ -27,7 +27,13 @@ fn toy() -> Dataset {
             )
         })
         .collect();
-    Dataset::new(pois, h, TimeDomain::new(120), Some(8.0), DistanceMetric::Haversine)
+    Dataset::new(
+        pois,
+        h,
+        TimeDomain::new(120),
+        Some(8.0),
+        DistanceMetric::Haversine,
+    )
 }
 
 fn bench_global_variants(c: &mut Criterion) {

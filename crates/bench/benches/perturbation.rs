@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use trajshare_bench::scenario::{build_scenario, Scenario, ScenarioConfig};
 use trajshare_bench::runner::build_methods;
+use trajshare_bench::scenario::{build_scenario, Scenario, ScenarioConfig};
 use trajshare_core::MechanismConfig;
 
 fn bench_methods(c: &mut Criterion) {
@@ -56,7 +56,9 @@ fn bench_trajectory_length(c: &mut Criterion) {
         let traj = set.all()[0].clone();
         group.bench_with_input(BenchmarkId::from_parameter(len), &traj, |b, traj| {
             let mut rng = StdRng::seed_from_u64(42);
-            b.iter(|| std::hint::black_box(trajshare_core::Mechanism::perturb(&mech, traj, &mut rng)));
+            b.iter(|| {
+                std::hint::black_box(trajshare_core::Mechanism::perturb(&mech, traj, &mut rng))
+            });
         });
     }
     group.finish();

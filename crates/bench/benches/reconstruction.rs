@@ -20,7 +20,11 @@ fn random_lattice(n: usize, len: usize, seed: u64) -> LatticeProblem {
     let costs = (0..len)
         .map(|_| arcs.iter().map(|_| rng.random::<f64>() * 10.0).collect())
         .collect();
-    LatticeProblem { num_nodes: n, arcs, costs }
+    LatticeProblem {
+        num_nodes: n,
+        arcs,
+        costs,
+    }
 }
 
 fn bench_solvers(c: &mut Criterion) {

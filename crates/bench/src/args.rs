@@ -38,7 +38,9 @@ impl Args {
 
     /// Typed value with default.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Bare-flag check (`--quick`).

@@ -6,5 +6,8 @@ use trajshare_bench::experiments::{ablation, emit, ExpParams};
 
 fn main() {
     let params = ExpParams::from_args(&trajshare_bench::Args::from_env());
-    emit(&[ablation::run_merging(&params), ablation::run_solver(&params)]);
+    emit(&[
+        ablation::run_merging(&params),
+        ablation::run_solver(&params),
+    ]);
 }

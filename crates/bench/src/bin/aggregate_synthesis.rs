@@ -1,0 +1,13 @@
+//! Runs the population-scale aggregation → synthesis scenario and prints
+//! the utility comparison against the per-user baselines.
+//!
+//! ```text
+//! cargo run --release --bin aggregate_synthesis -- --trajectories 10000 --epsilon 5
+//! ```
+
+use trajshare_bench::experiments::{aggregation, emit, ExpParams};
+
+fn main() {
+    let params = ExpParams::from_args(&trajshare_bench::Args::from_env());
+    emit(&[aggregation::run(&params)]);
+}

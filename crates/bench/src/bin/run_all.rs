@@ -6,7 +6,7 @@
 
 use trajshare_bench::experiments::fig89::SweepParam;
 use trajshare_bench::experiments::{
-    ablation, emit, fig10, fig7, fig89, table2, table3, table4, ExpParams,
+    ablation, aggregation, emit, fig10, fig7, fig89, table2, table3, table4, ExpParams,
 };
 use trajshare_bench::Reported;
 
@@ -38,6 +38,8 @@ fn main() {
     eprintln!("=== Ablations ===");
     all.push(ablation::run_merging(&params));
     all.push(ablation::run_solver(&params));
+    eprintln!("=== Aggregation synthesis ===");
+    all.push(aggregation::run(&params));
 
     emit(&all);
     // Combined markdown for EXPERIMENTS.md consumption.

@@ -12,9 +12,7 @@ use crate::runner::run_method;
 use crate::scenario::{build_scenario, Scenario, ScenarioConfig};
 use std::time::Instant;
 use trajshare_core::distances::point_distance;
-use trajshare_core::{
-    MechanismConfig, MergeDimension, NGramMechanism,
-};
+use trajshare_core::{MechanismConfig, MergeDimension, NGramMechanism};
 
 /// κ and merge-order ablation.
 pub fn run_merging(params: &ExpParams) -> Reported {
@@ -136,7 +134,11 @@ pub fn run_solver(params: &ExpParams) -> Reported {
         let costs: Vec<Vec<f64>> = (0..positions)
             .map(|_| arcs.iter().map(|_| rng.random::<f64>() * 10.0).collect())
             .collect();
-        let p = LatticeProblem { num_nodes: nodes, arcs, costs };
+        let p = LatticeProblem {
+            num_nodes: nodes,
+            arcs,
+            costs,
+        };
 
         let t0 = Instant::now();
         let v = p.solve_viterbi().expect("feasible");
@@ -149,7 +151,10 @@ pub fn run_solver(params: &ExpParams) -> Reported {
             format!("{nodes} regions x {positions} positions"),
             format!("{:.6}", t_vit.as_secs_f64()),
             format!("{:.4}", t_ilp.as_secs_f64()),
-            format!("{:.0}x", t_ilp.as_secs_f64() / t_vit.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.0}x",
+                t_ilp.as_secs_f64() / t_vit.as_secs_f64().max(1e-9)
+            ),
             format!("{:.3} = {:.3}", v.cost, i.cost),
         ]);
         eprintln!("ablation solver: {nodes}x{positions} done");

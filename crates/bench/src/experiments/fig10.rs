@@ -34,34 +34,31 @@ pub fn run(params: &ExpParams) -> Vec<Reported> {
     let time_deltas: Vec<f64> = (0..=10).map(|k| k as f64 * 10.0).collect(); // 0..100 min
     let cat_deltas: Vec<f64> = vec![0.0, 2.0, 3.5, 5.0, 6.5, 8.0, 10.0];
 
-    let panel = |id: &str,
-                 deltas: &[f64],
-                 unit: &str,
-                 make: &dyn Fn(f64) -> PrqDimension|
-     -> Reported {
-        let mut headers = vec!["Method".to_string()];
-        headers.extend(deltas.iter().map(|d| format!("δ={d}{unit}")));
-        let rows = runs
-            .iter()
-            .map(|r| {
-                let mut row = vec![r.name.to_string()];
-                let curve = prq_curve(&dataset, set.all(), &r.perturbed, deltas, make);
-                row.extend(curve.iter().map(|(_, pr)| format!("{pr:.1}")));
-                row
-            })
-            .collect();
-        Reported {
-            id: id.into(),
-            settings: format!(
-                "PR_χ (%) on Taxi-Foursquare; |P|={} |T|={} eps={}",
-                params.num_pois,
-                set.len(),
-                params.epsilon
-            ),
-            headers,
-            rows,
-        }
-    };
+    let panel =
+        |id: &str, deltas: &[f64], unit: &str, make: &dyn Fn(f64) -> PrqDimension| -> Reported {
+            let mut headers = vec!["Method".to_string()];
+            headers.extend(deltas.iter().map(|d| format!("δ={d}{unit}")));
+            let rows = runs
+                .iter()
+                .map(|r| {
+                    let mut row = vec![r.name.to_string()];
+                    let curve = prq_curve(&dataset, set.all(), &r.perturbed, deltas, make);
+                    row.extend(curve.iter().map(|(_, pr)| format!("{pr:.1}")));
+                    row
+                })
+                .collect();
+            Reported {
+                id: id.into(),
+                settings: format!(
+                    "PR_χ (%) on Taxi-Foursquare; |P|={} |T|={} eps={}",
+                    params.num_pois,
+                    set.len(),
+                    params.epsilon
+                ),
+                headers,
+                rows,
+            }
+        };
 
     vec![
         panel("fig10_space", &space_deltas, "m", &PrqDimension::Space),

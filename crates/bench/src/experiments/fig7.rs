@@ -58,7 +58,11 @@ pub fn run(params: &ExpParams) -> Vec<Reported> {
     let speeds = [4.0, 8.0, 12.0, 16.0, f64::INFINITY];
     let mut rows = Vec::new();
     for &s in &speeds {
-        let mut row = vec![if s.is_infinite() { "Inf".into() } else { format!("{s}") }];
+        let mut row = vec![if s.is_infinite() {
+            "Inf".into()
+        } else {
+            format!("{s}")
+        }];
         for scenario in [Scenario::TaxiFoursquare, Scenario::Safegraph] {
             let cfg = ScenarioConfig {
                 num_pois: params.num_pois,

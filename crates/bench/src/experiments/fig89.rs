@@ -41,7 +41,13 @@ impl SweepParam {
     }
 
     pub fn all() -> [SweepParam; 5] {
-        [Self::TrajLen, Self::Epsilon, Self::Pois, Self::Speed, Self::NgramLen]
+        [
+            Self::TrajLen,
+            Self::Epsilon,
+            Self::Pois,
+            Self::Speed,
+            Self::NgramLen,
+        ]
     }
 
     fn id(&self) -> &'static str {
@@ -133,8 +139,11 @@ pub fn run_sweep(param: SweepParam, params: &ExpParams) -> (Reported, Reported) 
         SweepParam::Speed => [4.0, 8.0, 12.0, 16.0, f64::INFINITY]
             .iter()
             .map(|&s| {
-                let label =
-                    if s.is_infinite() { "speed=Inf".to_string() } else { format!("speed={s}") };
+                let label = if s.is_infinite() {
+                    "speed=Inf".to_string()
+                } else {
+                    format!("speed={s}")
+                };
                 (
                     label,
                     ScenarioConfig {
@@ -160,7 +169,9 @@ pub fn run_sweep(param: SweepParam, params: &ExpParams) -> (Reported, Reported) 
                         speed_kmh: None,
                         seed: params.seed,
                     },
-                    MechanismConfig::default().with_epsilon(params.epsilon).with_n(n),
+                    MechanismConfig::default()
+                        .with_epsilon(params.epsilon)
+                        .with_n(n),
                 )
             })
             .collect(),

@@ -2,6 +2,7 @@
 //! `src/bin/` and by `run_all`.
 
 pub mod ablation;
+pub mod aggregation;
 pub mod fig10;
 pub mod fig7;
 pub mod fig89;
@@ -32,7 +33,9 @@ impl Default for ExpParams {
             num_pois: 400,
             num_trajectories: 60,
             epsilon: 5.0,
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             seed: 7,
         }
     }

@@ -17,7 +17,13 @@ pub fn run(params: &ExpParams) -> Reported {
     let scenarios = [Scenario::TaxiFoursquare, Scenario::Safegraph];
     let mut headers = vec!["Method".to_string()];
     for s in scenarios {
-        for col in ["Perturb", "Reconst. Prep", "Optimal Reconst.", "Other", "Total"] {
+        for col in [
+            "Perturb",
+            "Reconst. Prep",
+            "Optimal Reconst.",
+            "Other",
+            "Total",
+        ] {
             headers.push(format!("{} {col} (s)", s.name()));
         }
     }

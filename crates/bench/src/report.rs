@@ -60,8 +60,7 @@ pub fn write_json(report: &Reported, results_dir: &Path) -> std::io::Result<()> 
     std::fs::create_dir_all(results_dir)?;
     let path = results_dir.join(format!("{}.json", report.id));
     let f = std::fs::File::create(path)?;
-    serde_json::to_writer_pretty(std::io::BufWriter::new(f), report)
-        .map_err(std::io::Error::other)
+    serde_json::to_writer_pretty(std::io::BufWriter::new(f), report).map_err(std::io::Error::other)
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
+use trajshare_aggregate::user_seed;
 use trajshare_core::baselines::{IndependentMechanism, PoiNgramMechanism};
 use trajshare_core::{Mechanism, MechanismConfig, NGramMechanism, StageTimings};
 use trajshare_model::{Dataset, Trajectory, TrajectorySet};
@@ -15,8 +16,16 @@ pub fn build_methods(dataset: &Dataset, config: &MechanismConfig) -> Vec<Box<dyn
     vec![
         Box::new(IndependentMechanism::build(dataset, config.epsilon, false)),
         Box::new(IndependentMechanism::build(dataset, config.epsilon, true)),
-        Box::new(PoiNgramMechanism::phys_dist(dataset, config.epsilon, config.n)),
-        Box::new(PoiNgramMechanism::ngram_noh(dataset, config.epsilon, config.n)),
+        Box::new(PoiNgramMechanism::phys_dist(
+            dataset,
+            config.epsilon,
+            config.n,
+        )),
+        Box::new(PoiNgramMechanism::ngram_noh(
+            dataset,
+            config.epsilon,
+            config.n,
+        )),
         Box::new(NGramMechanism::build(dataset, config)),
     ]
 }
@@ -54,7 +63,7 @@ pub fn run_method(
             scope.spawn(move |_| {
                 for (off, slot) in chunk.iter_mut().enumerate() {
                     let i = base + off;
-                    let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let mut rng = StdRng::seed_from_u64(user_seed(seed, i as u64));
                     let out = mech.perturb(&set.all()[i], &mut rng);
                     *slot = Some((out.trajectory, out.timings));
                 }
@@ -71,7 +80,12 @@ pub fn run_method(
         perturbed.push(t);
         total.add(&timings);
     }
-    MethodRun { name: mech.name(), perturbed, mean_timings: total.div(n as u32), wall }
+    MethodRun {
+        name: mech.name(),
+        perturbed,
+        mean_timings: total.div(n as u32),
+        wall,
+    }
 }
 
 #[cfg(test)]
@@ -81,16 +95,27 @@ mod tests {
 
     #[test]
     fn five_methods_in_paper_order() {
-        let cfg = ScenarioConfig { num_pois: 120, num_trajectories: 10, ..Default::default() };
+        let cfg = ScenarioConfig {
+            num_pois: 120,
+            num_trajectories: 10,
+            ..Default::default()
+        };
         let (ds, _) = build_scenario(Scenario::Campus, &cfg);
         let methods = build_methods(&ds, &MechanismConfig::default());
         let names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
-        assert_eq!(names, ["IndNoReach", "IndReach", "PhysDist", "NGramNoH", "NGram"]);
+        assert_eq!(
+            names,
+            ["IndNoReach", "IndReach", "PhysDist", "NGramNoH", "NGram"]
+        );
     }
 
     #[test]
     fn run_method_pairs_outputs_with_inputs() {
-        let cfg = ScenarioConfig { num_pois: 120, num_trajectories: 12, ..Default::default() };
+        let cfg = ScenarioConfig {
+            num_pois: 120,
+            num_trajectories: 12,
+            ..Default::default()
+        };
         let (ds, set) = build_scenario(Scenario::Campus, &cfg);
         let mech = trajshare_core::baselines::IndependentMechanism::build(&ds, 2.0, true);
         let run = run_method(&mech, &set, 3, 4);
@@ -102,11 +127,18 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_agree() {
-        let cfg = ScenarioConfig { num_pois: 120, num_trajectories: 8, ..Default::default() };
+        let cfg = ScenarioConfig {
+            num_pois: 120,
+            num_trajectories: 8,
+            ..Default::default()
+        };
         let (ds, set) = build_scenario(Scenario::Campus, &cfg);
         let mech = trajshare_core::baselines::IndependentMechanism::build(&ds, 2.0, true);
         let serial = run_method(&mech, &set, 11, 1);
         let parallel = run_method(&mech, &set, 11, 4);
-        assert_eq!(serial.perturbed, parallel.perturbed, "scheduling must not change results");
+        assert_eq!(
+            serial.perturbed, parallel.perturbed,
+            "scheduling must not change results"
+        );
     }
 }

@@ -32,7 +32,11 @@ impl Scenario {
 
     /// All three scenarios.
     pub fn all() -> [Scenario; 3] {
-        [Scenario::TaxiFoursquare, Scenario::Safegraph, Scenario::Campus]
+        [
+            Scenario::TaxiFoursquare,
+            Scenario::Safegraph,
+            Scenario::Campus,
+        ]
     }
 }
 
@@ -55,7 +59,13 @@ pub struct ScenarioConfig {
 
 impl Default for ScenarioConfig {
     fn default() -> Self {
-        Self { num_pois: 600, num_trajectories: 120, speed_kmh: None, traj_len: None, seed: 7 }
+        Self {
+            num_pois: 600,
+            num_trajectories: 120,
+            speed_kmh: None,
+            traj_len: None,
+            seed: 7,
+        }
     }
 }
 
@@ -81,7 +91,11 @@ pub fn build_scenario(scenario: Scenario, cfg: &ScenarioConfig) -> (Dataset, Tra
     match scenario {
         Scenario::TaxiFoursquare => {
             let city = SyntheticCity::generate(
-                &CityConfig { num_pois: cfg.num_pois, speed_kmh: speed(8.0), ..Default::default() },
+                &CityConfig {
+                    num_pois: cfg.num_pois,
+                    speed_kmh: speed(8.0),
+                    ..Default::default()
+                },
                 foursquare(),
                 &mut rng,
             );
@@ -98,7 +112,11 @@ pub fn build_scenario(scenario: Scenario, cfg: &ScenarioConfig) -> (Dataset, Tra
         }
         Scenario::Safegraph => {
             let city = SyntheticCity::generate(
-                &CityConfig { num_pois: cfg.num_pois, speed_kmh: speed(8.0), ..Default::default() },
+                &CityConfig {
+                    num_pois: cfg.num_pois,
+                    speed_kmh: speed(8.0),
+                    ..Default::default()
+                },
                 naics(),
                 &mut rng,
             );
@@ -148,7 +166,11 @@ mod tests {
 
     #[test]
     fn all_scenarios_build_nonempty_sets() {
-        let cfg = ScenarioConfig { num_pois: 200, num_trajectories: 40, ..Default::default() };
+        let cfg = ScenarioConfig {
+            num_pois: 200,
+            num_trajectories: 40,
+            ..Default::default()
+        };
         for s in Scenario::all() {
             let (ds, set) = build_scenario(s, &cfg);
             assert!(!set.is_empty(), "{} produced no trajectories", s.name());
@@ -160,7 +182,11 @@ mod tests {
 
     #[test]
     fn seed_determinism() {
-        let cfg = ScenarioConfig { num_pois: 150, num_trajectories: 25, ..Default::default() };
+        let cfg = ScenarioConfig {
+            num_pois: 150,
+            num_trajectories: 25,
+            ..Default::default()
+        };
         let (_, a) = build_scenario(Scenario::TaxiFoursquare, &cfg);
         let (_, b) = build_scenario(Scenario::TaxiFoursquare, &cfg);
         assert_eq!(a.len(), b.len());

@@ -1,0 +1,266 @@
+//! Offline stand-in for the `criterion` API subset this workspace uses.
+//!
+//! It is a real (if minimal) wall-clock harness: each benchmark is warmed
+//! up once, then timed over an adaptive number of iterations, and a
+//! `name/id: mean ± spread` line is printed. Two environment knobs:
+//!
+//! * `QUICK_BENCH=1` — single measured iteration per benchmark (CI smoke),
+//! * `BENCH_MEASURE_MS` — target measurement window (default 300 ms).
+
+use std::time::{Duration, Instant};
+
+/// Top-level driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measure: Duration,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("BENCH_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        let quick = std::env::var("QUICK_BENCH")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        Criterion {
+            measure: Duration::from_millis(ms),
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(self.measure, self.quick, 20, &mut f);
+        stats.report(name);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let stats = run_bench(
+            self.criterion.measure,
+            self.criterion.quick,
+            self.sample_size,
+            &mut f,
+        );
+        stats.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let stats = run_bench(
+            self.criterion.measure,
+            self.criterion.quick,
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        stats.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Units-processed-per-iteration hint (accepted, not reported).
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(f());
+        }
+        self.samples
+            .push(t0.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+struct Stats {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+}
+
+impl Stats {
+    fn report(&self, label: &str) {
+        println!(
+            "bench {label}: mean {:?} (min {:?}, max {:?}, n={})",
+            self.mean, self.min, self.max, self.samples
+        );
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    measure: Duration,
+    quick: bool,
+    samples: usize,
+    f: &mut F,
+) -> Stats {
+    // Warm-up + calibration sample.
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    let per_iter = b.samples.last().copied().unwrap_or(Duration::from_nanos(1));
+
+    let samples = if quick { 1 } else { samples };
+    let budget_per_sample = measure.max(Duration::from_millis(1)) / samples.max(1) as u32;
+    let iters = if quick {
+        1
+    } else {
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: iters,
+    };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let n = b.samples.len().max(1);
+    let total: Duration = b.samples.iter().sum();
+    Stats {
+        mean: total / n as u32,
+        min: b.samples.iter().min().copied().unwrap_or_default(),
+        max: b.samples.iter().max().copied().unwrap_or_default(),
+        samples: n,
+    }
+}
+
+/// Mirrors `criterion::black_box` (re-exported std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Builds a function that runs the given benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Builds `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_benches_run() {
+        std::env::set_var("QUICK_BENCH", "1");
+        let mut c = Criterion::default();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u32, |b, &v| {
+            b.iter(|| v * 2)
+        });
+        g.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| 2 * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline stand-in for the `crossbeam::thread::scope` API on top of
+//! `std::thread::scope` (which did not exist when crossbeam introduced
+//! scoped threads, but does now).
+//!
+//! Semantics difference: if a spawned thread panics, `std::thread::scope`
+//! resumes the panic on the owning thread rather than returning `Err` —
+//! every caller in this workspace immediately `.expect()`s the result, so
+//! the observable behavior (a panic with the worker's payload) is the same.
+
+pub mod thread {
+    /// Mirror of `crossbeam::thread::Scope`; wraps the std scope so spawned
+    /// closures can themselves spawn.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope (as in
+        /// crossbeam), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let child = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&child))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_borrowed_slots() {
+        let mut results: Vec<Option<usize>> = vec![None; 8];
+        super::thread::scope(|scope| {
+            for (i, chunk) in results.chunks_mut(3).enumerate() {
+                scope.spawn(move |_| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(i * 3 + j);
+                    }
+                });
+            }
+        })
+        .expect("workers joined");
+        let filled: Vec<usize> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(filled, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_spawn_via_passed_scope() {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+                total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+}

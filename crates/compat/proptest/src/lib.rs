@@ -1,0 +1,265 @@
+//! Offline stand-in for the `proptest!` macro subset this workspace uses.
+//!
+//! Instead of random sampling with shrinking, strategies are swept
+//! *deterministically*: `cases` evenly spaced values across the range
+//! (always including both endpoints' neighborhood). For the small case
+//! counts used in this repository that is a strictly more reproducible
+//! check than upstream's randomized search.
+
+/// Per-test configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases: cases.max(1),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 16 }
+    }
+}
+
+/// A deterministic value source: the `i`-th of `cases` evenly spaced
+/// values.
+pub trait Strategy {
+    type Value;
+    fn value_at(&self, index: u64, cases: u64) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream's `prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn value_at(&self, index: u64, cases: u64) -> O {
+        (self.f)(self.source.value_at(index, cases))
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt : $salt:literal),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn value_at(&self, index: u64, cases: u64) -> Self::Value {
+                // Decorrelate the components so tuples don't sweep in
+                // lockstep (which would only ever explore the diagonal).
+                ($(self.$idx.value_at(
+                    if $salt == 0 { index } else { mix_index(index, $salt) % cases.max(1) },
+                    cases,
+                ),)+)
+            }
+        }
+    )+};
+}
+impl_strategy_tuple! {
+    (A: 0: 0u64, B: 1: 11u64)
+    (A: 0: 0u64, B: 1: 11u64, C: 2: 23u64)
+    (A: 0: 0u64, B: 1: 11u64, C: 2: 23u64, D: 3: 37u64)
+}
+
+pub mod collection {
+    use super::{mix_index, Strategy};
+
+    /// Strategy for `Vec`s with element strategy `element` and a length
+    /// drawn from `len` (upstream's `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn value_at(&self, index: u64, cases: u64) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (mix_index(index, 5) % span) as usize;
+            (0..n)
+                .map(|i| {
+                    self.element
+                        .value_at(mix_index(index, 100 + i as u64) % cases.max(1), cases)
+                })
+                .collect()
+        }
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn value_at(&self, index: u64, cases: u64) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = if cases <= 1 {
+                    0
+                } else {
+                    span * index as u128 / cases as u128
+                };
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn value_at(&self, index: u64, cases: u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = if cases <= 1 { 0 } else { span * index as u128 / cases as u128 };
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )+};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn value_at(&self, index: u64, cases: u64) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let frac = if cases <= 1 {
+            0.0
+        } else {
+            index as f64 / cases as f64
+        };
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+/// Everything a test file needs in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition fails (the expansion sits
+/// inside the per-case loop, so `continue` moves to the next case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// The `proptest! { ... }` block: supports an optional
+/// `#![proptest_config(..)]` header followed by any number of
+/// `fn name(arg in strategy) { .. }` items (attributes like `#[test]`
+/// pass through).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Deterministic decorrelation of (case index, argument slot) → sweep
+/// index, so multi-argument blocks don't walk all arguments in lockstep.
+#[doc(hidden)]
+pub fn mix_index(index: u64, slot: u64) -> u64 {
+    let mut z = index
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(slot.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __cases = __cfg.cases as u64;
+            for __index in 0..__cases {
+                let mut __slot = 0u64;
+                $(
+                    let $arg = {
+                        __slot += 1;
+                        // First argument sweeps the range evenly; later
+                        // arguments are decorrelated through mix_index.
+                        let __j = if __slot == 1 {
+                            __index
+                        } else {
+                            $crate::mix_index(__index, __slot) % __cases
+                        };
+                        $crate::Strategy::value_at(&$strategy, __j, __cases)
+                    };
+                )+
+                let _ = __slot;
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn sweep_covers_range(seed in 0u64..500) {
+            prop_assert!(seed < 500);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(v in 1u32..=8) {
+            prop_assert!((1..=8).contains(&v));
+            prop_assert_eq!(v, v);
+        }
+    }
+
+    #[test]
+    fn strategy_spacing_touches_start() {
+        let s = 0u64..500;
+        assert_eq!(s.value_at(0, 10), 0);
+        assert!(s.value_at(9, 10) >= 400);
+    }
+}

@@ -1,0 +1,350 @@
+//! Offline stand-in for the subset of the `rand` 0.9 API this workspace
+//! uses: the [`RngCore`]/[`Rng`]/[`SeedableRng`] traits, a seedable
+//! [`rngs::StdRng`], and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through
+//! SplitMix64 — a different stream than upstream's ChaCha12, but the
+//! workspace only relies on *seeded determinism*, which this preserves.
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that [`Rng::random`] can produce uniformly.
+pub trait StandardUniform: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),+ $(,)?) => {$(
+        impl StandardUniform for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )+};
+}
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    u64 => next_u64, i64 => next_u64, usize => next_u64, isize => next_u64,
+    u128 => next_u64, i128 => next_u64);
+
+impl StandardUniform for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform integer in `[0, span)` via the widening-multiply method
+/// (bias ≤ span/2⁶⁴ — negligible for every span in this workspace).
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(span, rng) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + uniform_below(span, rng) as i128) as $t
+            }
+        }
+    )+};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),+ $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let u = <$t as StandardUniform>::sample(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+    )+};
+}
+impl_sample_range_float!(f32, f64);
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] (including unsized trait objects via `&mut R`).
+pub trait Rng: RngCore {
+    /// A uniform value of type `T` (`f64`/`f32` in `[0, 1)`).
+    #[inline]
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range`.
+    #[inline]
+    fn random_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from integer seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ (Blackman & Vigna),
+    /// seeded through SplitMix64 exactly as the reference implementation
+    /// recommends.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling/choosing, as in upstream `rand::seq`.
+    pub trait SliceRandom {
+        type Item;
+
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` when empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                // `&mut R` is `Sized`, so the generic method is callable
+                // even when `R` itself is a trait object.
+                let j = super::uniform_below(i as u64 + 1, &mut *rng) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = super::uniform_below(self.len() as u64, &mut *rng) as usize;
+                self.get(i)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_samples_land_in_unit_interval_and_cover_it() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn range_sampling_respects_bounds_and_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.random_range(0..5usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+        for _ in 0..1000 {
+            let v = rng.random_range(3..=7u32);
+            assert!((3..=7).contains(&v));
+            let f = rng.random_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn trait_object_rng_supports_generic_helpers() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            let via_reborrow: f64 = (*rng).random();
+            via_reborrow
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let v = draw(dyn_rng);
+        assert!((0.0..1.0).contains(&v));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle fixing everything is ~impossible"
+        );
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The repository only ever serializes (to JSON, through `serde_json`), so
+//! [`Serialize`] is a direct JSON writer and [`Deserialize`] a marker trait
+//! the derive implements. Swapping back to real serde is a manifest change.
+
+// Lets the generated `impl ::serde::Serialize` paths resolve when the
+// derive is used inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Direct-to-JSON serialization. The derive macro generates field-by-field
+/// implementations; primitives and containers are implemented here.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn json_write(&self, out: &mut String);
+}
+
+/// Marker trait; derived alongside [`Serialize`]. Nothing in this workspace
+/// deserializes, so it carries no methods.
+pub trait Deserialize {}
+
+/// Escapes and writes a JSON string literal.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_display_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )+};
+}
+impl_serialize_display_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, out: &mut String) {
+                if self.is_finite() {
+                    // `{}` prints the shortest representation that
+                    // round-trips; for finite floats that is valid JSON.
+                    out.push_str(&format!("{}", self));
+                } else {
+                    // JSON has no NaN/Infinity; match serde_json's behavior
+                    // of refusing — here we degrade to null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )+};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn json_write(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for char {
+    fn json_write(&self, out: &mut String) {
+        write_json_string(&self.to_string(), out);
+    }
+}
+
+impl Serialize for str {
+    fn json_write(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn json_write(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_write(&self, out: &mut String) {
+        (**self).json_write(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_write(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_write(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_write(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.json_write(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_write(&self, out: &mut String) {
+        self.as_slice().json_write(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_write(&self, out: &mut String) {
+        self.as_slice().json_write(out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn json_write(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.json_write(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )+};
+}
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn json_write(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&k.to_string(), out);
+            out.push(':');
+            v.json_write(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.json_write(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(to_json(&3u32), "3");
+        assert_eq!(to_json(&-4i64), "-4");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&f64::NAN), "null");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&"a\"b\n"), "\"a\\\"b\\n\"");
+        assert_eq!(to_json(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&Some(7u8)), "7");
+        assert_eq!(to_json(&Option::<u8>::None), "null");
+        assert_eq!(to_json(&(1u8, "x")), "[1,\"x\"]");
+    }
+
+    #[derive(super::Serialize, super::Deserialize)]
+    struct Named {
+        a: u32,
+        b: String,
+        c: Vec<f64>,
+    }
+
+    #[derive(super::Serialize, super::Deserialize)]
+    struct Newtype(u32);
+
+    #[derive(super::Serialize, super::Deserialize)]
+    struct Pair(u32, String);
+
+    #[derive(super::Serialize, super::Deserialize)]
+    enum Mixed {
+        Unit,
+        One(f64),
+        Two(u8, u8),
+    }
+
+    #[test]
+    fn derived_named_struct() {
+        let v = Named {
+            a: 1,
+            b: "x".into(),
+            c: vec![0.5],
+        };
+        assert_eq!(to_json(&v), r#"{"a":1,"b":"x","c":[0.5]}"#);
+    }
+
+    #[test]
+    fn derived_tuple_structs() {
+        assert_eq!(to_json(&Newtype(9)), "9");
+        assert_eq!(to_json(&Pair(9, "y".into())), r#"[9,"y"]"#);
+    }
+
+    #[test]
+    fn derived_enum_variants() {
+        assert_eq!(to_json(&Mixed::Unit), "\"Unit\"");
+        assert_eq!(to_json(&Mixed::One(2.5)), r#"{"One":2.5}"#);
+        assert_eq!(to_json(&Mixed::Two(1, 2)), r#"{"Two":[1,2]}"#);
+    }
+}

@@ -1,0 +1,264 @@
+//! `#[derive(Serialize, Deserialize)]` stand-ins built directly on
+//! `proc_macro` (no `syn`/`quote` — the registry is unreachable in this
+//! build environment).
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! named-field structs, tuple structs (newtype and general), and enums with
+//! unit or tuple variants. Generic types are rejected with a clear error.
+//!
+//! `Serialize` generates a field-by-field JSON writer; `Deserialize`
+//! generates a marker impl (nothing in the workspace deserializes).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<(String, usize)>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(p) => generate_serialize(&p).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(p) => format!("impl ::serde::Deserialize for {} {{}}", p.name)
+            .parse()
+            .unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {:?}", other)),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {:?}", other)),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the offline serde_derive stub does not support generic type `{name}`"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Parsed {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Parsed {
+                name,
+                shape: Shape::Tuple(count_top_level_items(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Parsed {
+                name,
+                shape: Shape::Tuple(0),
+            }),
+            other => Err(format!("unsupported struct body for `{name}`: {:?}", other)),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Parsed {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("unsupported enum body for `{name}`: {:?}", other)),
+        },
+        k => Err(format!("cannot derive for `{k}`")),
+    }
+}
+
+/// Splits a token stream at top-level commas (angle-bracket depth aware,
+/// groups are opaque single tokens so only `<`/`>` need tracking).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                parts.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn count_top_level_items(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Skips leading attributes and visibility within one field/variant item;
+/// returns the index of the first "real" token.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> usize {
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for item in split_top_level(stream) {
+        let i = skip_attrs_and_vis(&item);
+        match item.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => continue, // trailing comma
+            other => return Err(format!("unsupported field item: {:?}", other)),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let mut variants = Vec::new();
+    for item in split_top_level(stream) {
+        let i = skip_attrs_and_vis(&item);
+        let name = match item.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue, // trailing comma
+            other => return Err(format!("unsupported variant item: {:?}", other)),
+        };
+        let arity = match item.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                count_top_level_items(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "the offline serde_derive stub does not support struct variant `{name}`"
+                ));
+            }
+            _ => 0, // unit variant (possibly with `= discriminant`)
+        };
+        variants.push((name, arity));
+    }
+    Ok(variants)
+}
+
+fn generate_serialize(p: &Parsed) -> String {
+    let body = match &p.shape {
+        Shape::Named(fields) => {
+            let mut b = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::json_write(&self.{f}, out);\n"
+                ));
+            }
+            b.push_str("out.push('}');");
+            b
+        }
+        Shape::Tuple(0) => String::from("out.push_str(\"null\");"),
+        Shape::Tuple(1) => String::from("::serde::Serialize::json_write(&self.0, out);"),
+        Shape::Tuple(n) => {
+            let mut b = String::from("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!(
+                    "::serde::Serialize::json_write(&self.{i}, out);\n"
+                ));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (name, arity) in variants {
+                match arity {
+                    0 => arms.push_str(&format!(
+                        "Self::{name} => out.push_str(\"\\\"{name}\\\"\"),\n"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "Self::{name}(f0) => {{ out.push_str(\"{{\\\"{name}\\\":\"); \
+                         ::serde::Serialize::json_write(f0, out); out.push('}}'); }}\n"
+                    )),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let mut inner = String::new();
+                        for (i, b) in binders.iter().enumerate() {
+                            if i > 0 {
+                                inner.push_str("out.push(',');");
+                            }
+                            inner.push_str(&format!("::serde::Serialize::json_write({b}, out);"));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{name}({}) => {{ out.push_str(\"{{\\\"{name}\\\":[\"); \
+                             {inner} out.push_str(\"]}}\"); }}\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn json_write(&self, out: &mut ::std::string::String) {{\n{}\n}}\n}}",
+        p.name, body
+    )
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `serde_json` functions this workspace calls:
+//! [`to_string`], [`to_string_pretty`], [`to_writer_pretty`].
+//!
+//! Pretty-printing re-indents the compact encoding produced by the `serde`
+//! stub's JSON writer; strings are escaped by that writer, so the
+//! re-indenter only needs to track "inside string literal" state.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Serialization error (I/O failures when writing; encoding itself cannot
+/// fail for the types this workspace serializes).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON encoding.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut s = String::new();
+    value.json_write(&mut s);
+    Ok(s)
+}
+
+/// Pretty JSON encoding (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Writes pretty JSON to `writer`.
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let s = to_string_pretty(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error(e.to_string()))?;
+    writer.flush().map_err(|e| Error(e.to_string()))
+}
+
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                if matches!(chars.peek(), Some('}') | Some(']')) {
+                    out.push(chars.next().unwrap());
+                } else {
+                    depth += 1;
+                    newline(&mut out, depth);
+                }
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, depth);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(serde::Serialize)]
+    struct Demo {
+        id: String,
+        rows: Vec<Vec<String>>,
+        n: u32,
+    }
+
+    #[test]
+    fn compact_then_pretty() {
+        let d = Demo {
+            id: "x{y}".into(),
+            rows: vec![vec!["a".into(), "b".into()]],
+            n: 2,
+        };
+        let compact = to_string(&d).unwrap();
+        assert_eq!(compact, r#"{"id":"x{y}","rows":[["a","b"]],"n":2}"#);
+        let pretty = to_string_pretty(&d).unwrap();
+        assert!(pretty.contains("\"id\": \"x{y}\""));
+        assert!(pretty.lines().count() > 3, "{pretty}");
+    }
+
+    #[test]
+    fn writer_roundtrip() {
+        let d = Demo {
+            id: "t".into(),
+            rows: vec![],
+            n: 0,
+        };
+        let mut buf = Vec::new();
+        to_writer_pretty(&mut buf, &d).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("\"rows\": []"));
+    }
+}

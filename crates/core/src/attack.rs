@@ -85,12 +85,8 @@ impl<'a> WindowAdversary<'a> {
         let prior = vec![1.0 / self.graph.bigrams.len() as f64; self.graph.bigrams.len()];
         let mut hits = 0usize;
         for _ in 0..trials {
-            let z = crate::perturb::sample_window(
-                self.graph,
-                &[truth.0, truth.1],
-                self.eps_prime,
-                rng,
-            );
+            let z =
+                crate::perturb::sample_window(self.graph, &[truth.0, truth.1], self.eps_prime, rng);
             if self.map_estimate((z[0], z[1]), &prior) == truth {
                 hits += 1;
             }
@@ -138,7 +134,13 @@ mod tests {
                 )
             })
             .collect();
-        let ds = Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine);
+        let ds = Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        );
         let mut cfg = MechanismConfig::default();
         cfg.time_interval_min = 240; // coarse: keep W₂ small for exact sums
         let rs = decompose(&ds, &cfg);
@@ -188,7 +190,12 @@ mod tests {
         let mut spiked = vec![1e-9; n];
         spiked[7] = 1.0;
         let post = weak.posterior(z, &spiked);
-        let best = post.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = post
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best, 7, "with no signal the prior decides");
     }
 

@@ -12,9 +12,7 @@ use crate::distances::point_distance;
 use crate::mechanism::{Mechanism, MechanismOutput, StageTimings};
 use std::time::Instant;
 use trajshare_mech::{permute_and_flip, subsampled_em, ExponentialMechanism};
-use trajshare_model::{
-    Dataset, ReachabilityOracle, Timestep, Trajectory, TrajectoryPoint,
-};
+use trajshare_model::{Dataset, ReachabilityOracle, Timestep, Trajectory, TrajectoryPoint};
 
 /// Which sampling strategy to run over the enumerated trajectory space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +45,12 @@ impl GlobalMechanism {
     ) -> Self {
         assert!(epsilon > 0.0 && epsilon.is_finite());
         assert!(max_candidates > 0);
-        Self { dataset: dataset.clone(), epsilon, variant, max_candidates }
+        Self {
+            dataset: dataset.clone(),
+            epsilon,
+            variant,
+            max_candidates,
+        }
     }
 
     /// Enumerates every feasible trajectory of length `len` (strictly
@@ -87,7 +90,10 @@ impl GlobalMechanism {
                             continue;
                         }
                     }
-                    stack.push(TrajectoryPoint { poi: p, t: Timestep(t) });
+                    stack.push(TrajectoryPoint {
+                        poi: p,
+                        t: Timestep(t),
+                    });
                     let ok = recurse(ds, oracle, num_steps, len, cap, stack, out);
                     stack.pop();
                     if !ok {
@@ -150,9 +156,14 @@ impl Mechanism for GlobalMechanism {
         let space = self
             .enumerate_space(trajectory.len())
             .expect("trajectory space exceeds the max_candidates cap (see §5.1)");
-        assert!(!space.is_empty(), "no feasible trajectory of this length exists");
-        let qualities: Vec<f64> =
-            space.iter().map(|s| -self.trajectory_distance(trajectory, s)).collect();
+        assert!(
+            !space.is_empty(),
+            "no feasible trajectory of this length exists"
+        );
+        let qualities: Vec<f64> = space
+            .iter()
+            .map(|s| -self.trajectory_distance(trajectory, s))
+            .collect();
         let sens = self.sensitivity(trajectory.len());
 
         let idx = match self.variant {
@@ -168,7 +179,10 @@ impl Mechanism for GlobalMechanism {
         };
         MechanismOutput {
             trajectory: Trajectory::new(space[idx].clone()),
-            timings: StageTimings { perturb: t0.elapsed(), ..Default::default() },
+            timings: StageTimings {
+                perturb: t0.elapsed(),
+                ..Default::default()
+            },
         }
     }
 }
@@ -197,7 +211,13 @@ mod tests {
                 )
             })
             .collect();
-        Dataset::new(pois, h, TimeDomain::new(120), Some(8.0), DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(120),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        )
     }
 
     #[test]

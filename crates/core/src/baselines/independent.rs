@@ -14,9 +14,7 @@ use crate::mechanism::{Mechanism, MechanismOutput, StageTimings};
 use rand::Rng;
 use std::time::Instant;
 use trajshare_mech::ExponentialMechanism;
-use trajshare_model::{
-    Dataset, PoiId, ReachabilityOracle, Timestep, Trajectory, TrajectoryPoint,
-};
+use trajshare_model::{Dataset, PoiId, ReachabilityOracle, Timestep, Trajectory, TrajectoryPoint};
 
 /// `IndReach` / `IndNoReach`, selected by `use_reachability`.
 #[derive(Debug, Clone)]
@@ -35,7 +33,12 @@ impl IndependentMechanism {
         let diam_km = dataset.pois.bbox().diagonal_m() / 1000.0;
         let dc_max = dataset.category_distance.max_distance();
         let poi_sensitivity = (diam_km * diam_km + dc_max * dc_max).sqrt().max(1e-9);
-        Self { dataset: dataset.clone(), epsilon, use_reachability, poi_sensitivity }
+        Self {
+            dataset: dataset.clone(),
+            epsilon,
+            use_reachability,
+            poi_sensitivity,
+        }
     }
 
     /// Space+category distance between two POIs (no time component — time
@@ -64,8 +67,7 @@ impl IndependentMechanism {
         let hi = max_t.max(min_t);
         let qualities: Vec<f64> = (min_t..=hi)
             .map(|t| {
-                let gap_h =
-                    self.dataset.time.gap_minutes(truth, Timestep(t)) as f64 / 60.0;
+                let gap_h = self.dataset.time.gap_minutes(truth, Timestep(t)) as f64 / 60.0;
                 -gap_h.min(TIME_CAP_H)
             })
             .collect();
@@ -82,8 +84,10 @@ impl IndependentMechanism {
         rng: &mut R,
     ) -> PoiId {
         let em = ExponentialMechanism::new(eps, self.poi_sensitivity);
-        let qualities: Vec<f64> =
-            candidates.iter().map(|&c| -self.poi_distance(truth, c)).collect();
+        let qualities: Vec<f64> = candidates
+            .iter()
+            .map(|&c| -self.poi_distance(truth, c))
+            .collect();
         let idx = em.sample(&qualities, rng).expect("non-empty candidate set");
         candidates[idx]
     }
@@ -129,7 +133,11 @@ impl Mechanism for IndependentMechanism {
                 .pois
                 .ids()
                 .filter(|&p| {
-                    self.dataset.pois.get(p).opening.is_open_at(&self.dataset.time, t_hat)
+                    self.dataset
+                        .pois
+                        .get(p)
+                        .opening
+                        .is_open_at(&self.dataset.time, t_hat)
                 })
                 .collect();
             if let Some(prev) = prev_poi {
@@ -144,7 +152,10 @@ impl Mechanism for IndependentMechanism {
             }
             let p_hat = self.sample_poi(pt.poi, &candidates, eps_each, rng);
             let _ = i;
-            out.push(TrajectoryPoint { poi: p_hat, t: t_hat });
+            out.push(TrajectoryPoint {
+                poi: p_hat,
+                t: t_hat,
+            });
         }
         let perturb = t0.elapsed();
 
@@ -188,7 +199,11 @@ impl Mechanism for IndependentMechanism {
 
         MechanismOutput {
             trajectory: Trajectory::new(out),
-            timings: StageTimings { perturb, other, ..Default::default() },
+            timings: StageTimings {
+                perturb,
+                other,
+                ..Default::default()
+            },
         }
     }
 }
@@ -209,17 +224,34 @@ mod tests {
         let pois: Vec<Poi> = (0..50)
             .map(|i| {
                 let loc = origin.offset_m((i % 10) as f64 * 300.0, (i / 10) as f64 * 300.0);
-                Poi::new(PoiId(i as u32), format!("p{i}"), loc, leaves[i as usize % leaves.len()])
+                Poi::new(
+                    PoiId(i as u32),
+                    format!("p{i}"),
+                    loc,
+                    leaves[i as usize % leaves.len()],
+                )
             })
             .collect();
-        Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        )
     }
 
     #[test]
     fn names_reflect_variant() {
         let ds = dataset();
-        assert_eq!(IndependentMechanism::build(&ds, 1.0, true).name(), "IndReach");
-        assert_eq!(IndependentMechanism::build(&ds, 1.0, false).name(), "IndNoReach");
+        assert_eq!(
+            IndependentMechanism::build(&ds, 1.0, true).name(),
+            "IndReach"
+        );
+        assert_eq!(
+            IndependentMechanism::build(&ds, 1.0, false).name(),
+            "IndNoReach"
+        );
     }
 
     #[test]
@@ -266,7 +298,10 @@ mod tests {
             .zip(out.trajectory.points())
             .filter(|(a, b)| a.poi == b.poi)
             .count();
-        assert!(matches >= 2, "with huge ε most POIs should be exact, got {matches}/3");
+        assert!(
+            matches >= 2,
+            "with huge ε most POIs should be exact, got {matches}/3"
+        );
     }
 
     #[test]

@@ -25,9 +25,7 @@ use rand::Rng;
 use std::time::Instant;
 use trajshare_lp::LatticeProblem;
 use trajshare_mech::{sample_from_weights, ExponentialMechanism};
-use trajshare_model::{
-    Dataset, PoiId, ReachabilityOracle, Timestep, Trajectory, TrajectoryPoint,
-};
+use trajshare_model::{Dataset, PoiId, ReachabilityOracle, Timestep, Trajectory, TrajectoryPoint};
 
 /// `NGramNoH` / `PhysDist`, selected by the two knowledge flags.
 #[derive(Debug, Clone)]
@@ -55,7 +53,13 @@ impl PoiNgramMechanism {
         Self::build(dataset, epsilon, n, false, false)
     }
 
-    fn build(dataset: &Dataset, epsilon: f64, n: usize, use_category: bool, filter_opening: bool) -> Self {
+    fn build(
+        dataset: &Dataset,
+        epsilon: f64,
+        n: usize,
+        use_category: bool,
+        filter_opening: bool,
+    ) -> Self {
         assert!(epsilon > 0.0 && epsilon.is_finite());
         assert!((1..=3).contains(&n), "n must be 1..=3");
         let diam_km = dataset.pois.bbox().diagonal_m() / 1000.0;
@@ -66,7 +70,14 @@ impl PoiNgramMechanism {
             diam_km
         }
         .max(1e-9);
-        Self { dataset: dataset.clone(), epsilon, n, use_category, filter_opening, dmax_point }
+        Self {
+            dataset: dataset.clone(),
+            epsilon,
+            n,
+            use_category,
+            filter_opening,
+            dmax_point,
+        }
     }
 
     /// Element distance: combined space(+category) — time is handled by the
@@ -129,8 +140,7 @@ impl PoiNgramMechanism {
         let product_fallback = |rng: &mut R| -> Vec<PoiId> {
             (0..k)
                 .map(|i| {
-                    let idx = sample_from_weights(&weights[i], rng)
-                        .unwrap_or(truth[i].index());
+                    let idx = sample_from_weights(&weights[i], rng).unwrap_or(truth[i].index());
                     PoiId(idx as u32)
                 })
                 .collect()
@@ -149,16 +159,14 @@ impl PoiNgramMechanism {
                         if a == 0.0 {
                             return 0.0;
                         }
-                        let s: f64 =
-                            ball(u, gap).iter().map(|&v| weights[1][v.index()]).sum();
+                        let s: f64 = ball(u, gap).iter().map(|&v| weights[1][v.index()]).sum();
                         a * s
                     })
                     .collect();
                 match sample_from_weights(&marginal, rng) {
                     Some(u) => {
                         let cands = ball(PoiId(u as u32), gap);
-                        let w: Vec<f64> =
-                            cands.iter().map(|&v| weights[1][v.index()]).collect();
+                        let w: Vec<f64> = cands.iter().map(|&v| weights[1][v.index()]).collect();
                         let vi = sample_from_weights(&w, rng).expect("non-empty ball");
                         vec![PoiId(u as u32), cands[vi]]
                     }
@@ -177,10 +185,8 @@ impl PoiNgramMechanism {
                         if b == 0.0 {
                             return 0.0;
                         }
-                        let sp: f64 =
-                            ball(y, gap01).iter().map(|&x| weights[0][x.index()]).sum();
-                        let ss: f64 =
-                            ball(y, gap12).iter().map(|&z| weights[2][z.index()]).sum();
+                        let sp: f64 = ball(y, gap01).iter().map(|&x| weights[0][x.index()]).sum();
+                        let ss: f64 = ball(y, gap12).iter().map(|&z| weights[2][z.index()]).sum();
                         b * sp * ss
                     })
                     .collect();
@@ -189,10 +195,8 @@ impl PoiNgramMechanism {
                         let y = PoiId(y as u32);
                         let preds = ball(y, gap01);
                         let succs = ball(y, gap12);
-                        let wp: Vec<f64> =
-                            preds.iter().map(|&x| weights[0][x.index()]).collect();
-                        let ws: Vec<f64> =
-                            succs.iter().map(|&z| weights[2][z.index()]).collect();
+                        let wp: Vec<f64> = preds.iter().map(|&x| weights[0][x.index()]).collect();
+                        let ws: Vec<f64> = succs.iter().map(|&z| weights[2][z.index()]).collect();
                         let xi = sample_from_weights(&wp, rng).expect("non-empty");
                         let zi = sample_from_weights(&ws, rng).expect("non-empty");
                         vec![preds[xi], y, succs[zi]]
@@ -232,8 +236,7 @@ impl Mechanism for PoiNgramMechanism {
             .map(|pt| {
                 let q: Vec<f64> = (0..num_steps)
                     .map(|t| {
-                        let gap_h = self.dataset.time.gap_minutes(pt.t, Timestep(t)) as f64
-                            / 60.0;
+                        let gap_h = self.dataset.time.gap_minutes(pt.t, Timestep(t)) as f64 / 60.0;
                         -gap_h.min(TIME_CAP_H)
                     })
                     .collect();
@@ -303,7 +306,12 @@ impl Mechanism for PoiNgramMechanism {
         // Candidate per-position validity (opening hours at the output time).
         let valid = |li: usize, i: usize| -> bool {
             !self.filter_opening
-                || self.dataset.pois.get(nodes[li]).opening.is_open_at(&self.dataset.time, times[i])
+                || self
+                    .dataset
+                    .pois
+                    .get(nodes[li])
+                    .opening
+                    .is_open_at(&self.dataset.time, times[i])
         };
 
         if len == 1 {
@@ -317,7 +325,11 @@ impl Mechanism for PoiNgramMechanism {
                     poi: nodes[best],
                     t: times[0],
                 }]),
-                timings: StageTimings { perturb, reconstruct_prep: prep, ..Default::default() },
+                timings: StageTimings {
+                    perturb,
+                    reconstruct_prep: prep,
+                    ..Default::default()
+                },
             }
         } else {
             // Arcs: pairs within the loosest positional threshold; cost = INF
@@ -339,8 +351,7 @@ impl Mechanism for PoiNgramMechanism {
             }
             let costs: Vec<Vec<f64>> = (0..len - 1)
                 .map(|i| {
-                    let gap =
-                        self.dataset.time.gap_minutes(times[i], times[i + 1]) as f64;
+                    let gap = self.dataset.time.gap_minutes(times[i], times[i + 1]) as f64;
                     let theta = oracle.threshold_m(gap);
                     arcs.iter()
                         .zip(&arc_len_m)
@@ -354,7 +365,11 @@ impl Mechanism for PoiNgramMechanism {
                         .collect()
                 })
                 .collect();
-            let lattice = LatticeProblem { num_nodes: nodes.len(), arcs, costs };
+            let lattice = LatticeProblem {
+                num_nodes: nodes.len(),
+                arcs,
+                costs,
+            };
             let prep = t1.elapsed();
 
             // --- Stage 3: optimal reconstruction. ---
@@ -366,9 +381,7 @@ impl Mechanism for PoiNgramMechanism {
                 None => (0..len)
                     .map(|i| {
                         let best = (0..nodes.len())
-                            .min_by(|&a, &b| {
-                                node_err[i][a].partial_cmp(&node_err[i][b]).unwrap()
-                            })
+                            .min_by(|&a, &b| node_err[i][a].partial_cmp(&node_err[i][b]).unwrap())
                             .unwrap_or(0);
                         nodes[best]
                     })
@@ -413,11 +426,22 @@ mod tests {
                 } else {
                     OpeningHours::between(8, 20)
                 };
-                Poi::new(PoiId(i as u32), format!("p{i}"), loc, leaves[i as usize % leaves.len()])
-                    .with_opening(opening)
+                Poi::new(
+                    PoiId(i as u32),
+                    format!("p{i}"),
+                    loc,
+                    leaves[i as usize % leaves.len()],
+                )
+                .with_opening(opening)
             })
             .collect();
-        Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        )
     }
 
     #[test]
@@ -480,10 +504,9 @@ mod tests {
             for _ in 0..30 {
                 let out = mech.perturb(&traj, &mut rng);
                 for (a, b) in traj.points().iter().zip(out.trajectory.points()) {
-                    total += ds.category_distance.get(
-                        ds.pois.get(a.poi).category,
-                        ds.pois.get(b.poi).category,
-                    );
+                    total += ds
+                        .category_distance
+                        .get(ds.pois.get(a.poi).category, ds.pois.get(b.poi).category);
                 }
             }
             total
@@ -517,6 +540,9 @@ mod tests {
         }
         // The lattice enforces reachability whenever a finite-cost path
         // exists; fallbacks are rare.
-        assert!(reachable_all >= 18, "only {reachable_all}/20 fully reachable");
+        assert!(
+            reachable_all >= 18,
+            "only {reachable_all}/20 fully reachable"
+        );
     }
 }

@@ -82,13 +82,19 @@ impl MechanismConfig {
             return Err(format!("epsilon must be positive, got {}", self.epsilon));
         }
         if !(1..=3).contains(&self.n) {
-            return Err(format!("n must be 1, 2 or 3 (got {}); §5.8 recommends 2", self.n));
+            return Err(format!(
+                "n must be 1, 2 or 3 (got {}); §5.8 recommends 2",
+                self.n
+            ));
         }
         if self.gs == 0 {
             return Err("gs must be positive".into());
         }
         if self.time_interval_min == 0 || 1440 % self.time_interval_min != 0 {
-            return Err(format!("time_interval_min {} must divide 1440", self.time_interval_min));
+            return Err(format!(
+                "time_interval_min {} must divide 1440",
+                self.time_interval_min
+            ));
         }
         if self.kappa == 0 {
             return Err("kappa must be at least 1".into());
@@ -143,7 +149,10 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(MechanismConfig::default().with_epsilon(0.0).validate().is_err());
+        assert!(MechanismConfig::default()
+            .with_epsilon(0.0)
+            .validate()
+            .is_err());
         assert!(MechanismConfig::default().with_n(4).validate().is_err());
         assert!(MechanismConfig::default().with_n(0).validate().is_err());
         let mut c = MechanismConfig::default();

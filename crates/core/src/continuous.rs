@@ -66,6 +66,20 @@ impl ContinuousSharer {
         t: Timestep,
         rng: &mut R,
     ) -> Result<TrajectoryPoint, BudgetError> {
+        let region = self.share_region(poi, t, rng)?;
+        Ok(self.sample_point(region, t, rng))
+    }
+
+    /// Shares one visit at the *region* level — the raw 1-gram EM draw a
+    /// client uploads in the aggregation setting (`trajshare_aggregate`).
+    /// Same budget accounting as [`ContinuousSharer::share`]; concretizing
+    /// the region into a (POI, timestep) pair is post-processing.
+    pub fn share_region<R: Rng + ?Sized>(
+        &mut self,
+        poi: PoiId,
+        t: Timestep,
+        rng: &mut R,
+    ) -> Result<RegionId, BudgetError> {
         self.budget.consume(self.eps_per_report)?;
         let truth = self
             .regions
@@ -74,8 +88,25 @@ impl ContinuousSharer {
         // 1-gram EM draw over the region universe (§5.4 with n = 1).
         let sampled =
             crate::perturb::sample_window(&self.graph, &[truth], self.eps_per_report, rng);
-        let region = sampled[0];
-        Ok(self.sample_point(region, t, rng))
+        Ok(sampled[0])
+    }
+
+    /// Per-report budget ε each [`ContinuousSharer::share`] spends.
+    #[inline]
+    pub fn eps_per_report(&self) -> f64 {
+        self.eps_per_report
+    }
+
+    /// The decomposed region universe the sharer reports over.
+    #[inline]
+    pub fn regions(&self) -> &RegionSet {
+        &self.regions
+    }
+
+    /// The feasible n-gram universe over those regions.
+    #[inline]
+    pub fn graph(&self) -> &RegionGraph {
+        &self.graph
     }
 
     /// Post-processing: concretize a region into a (POI, timestep) pair;
@@ -97,9 +128,18 @@ impl ContinuousSharer {
                 .members
                 .iter()
                 .copied()
-                .filter(|&p| self.dataset.pois.get(p).opening.is_open_at(&self.dataset.time, t))
+                .filter(|&p| {
+                    self.dataset
+                        .pois
+                        .get(p)
+                        .opening
+                        .is_open_at(&self.dataset.time, t)
+                })
                 .collect();
-            if let Some(&poi) = open.get(rng.random_range(0..open.len().max(1)).min(open.len().saturating_sub(1))) {
+            if let Some(&poi) = open.get(
+                rng.random_range(0..open.len().max(1))
+                    .min(open.len().saturating_sub(1)),
+            ) {
                 return TrajectoryPoint { poi, t };
             }
         }
@@ -132,14 +172,19 @@ mod tests {
                 )
             })
             .collect();
-        Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        )
     }
 
     #[test]
     fn budget_limits_report_count() {
         let ds = dataset();
-        let mut sharer =
-            ContinuousSharer::build(&ds, &MechanismConfig::default(), 5.0, 1.0);
+        let mut sharer = ContinuousSharer::build(&ds, &MechanismConfig::default(), 5.0, 1.0);
         assert_eq!(sharer.remaining_reports(), 5);
         let mut rng = StdRng::seed_from_u64(1);
         for i in 0..5 {
@@ -155,8 +200,7 @@ mod tests {
     #[test]
     fn failed_share_does_not_consume_budget() {
         let ds = dataset();
-        let mut sharer =
-            ContinuousSharer::build(&ds, &MechanismConfig::default(), 1.0, 0.6);
+        let mut sharer = ContinuousSharer::build(&ds, &MechanismConfig::default(), 1.0, 0.6);
         let mut rng = StdRng::seed_from_u64(2);
         sharer.share(PoiId(0), Timestep(60), &mut rng).unwrap();
         let before = sharer.remaining_epsilon();
@@ -167,11 +211,12 @@ mod tests {
     #[test]
     fn shared_points_are_valid_dataset_members() {
         let ds = dataset();
-        let mut sharer =
-            ContinuousSharer::build(&ds, &MechanismConfig::default(), 100.0, 1.0);
+        let mut sharer = ContinuousSharer::build(&ds, &MechanismConfig::default(), 100.0, 1.0);
         let mut rng = StdRng::seed_from_u64(3);
         for i in 0..20u16 {
-            let pt = sharer.share(PoiId(i as u32 % 40), Timestep(40 + i), &mut rng).unwrap();
+            let pt = sharer
+                .share(PoiId(i as u32 % 40), Timestep(40 + i), &mut rng)
+                .unwrap();
             assert!(pt.poi.index() < ds.pois.len());
             assert!(pt.t.index() < ds.time.num_timesteps());
         }
@@ -180,8 +225,7 @@ mod tests {
     #[test]
     fn high_epsilon_reports_stay_near_truth() {
         let ds = dataset();
-        let mut near =
-            ContinuousSharer::build(&ds, &MechanismConfig::default(), 10_000.0, 100.0);
+        let mut near = ContinuousSharer::build(&ds, &MechanismConfig::default(), 10_000.0, 100.0);
         let mut far = ContinuousSharer::build(&ds, &MechanismConfig::default(), 10.0, 0.01);
         let mut rng = StdRng::seed_from_u64(4);
         let truth = (PoiId(20), Timestep(72));
@@ -195,6 +239,9 @@ mod tests {
         };
         let d_near = mean_dist(&mut near, &mut rng);
         let d_far = mean_dist(&mut far, &mut rng);
-        assert!(d_near < d_far, "ε=100/report ({d_near}) must beat ε=0.01 ({d_far})");
+        assert!(
+            d_near < d_far,
+            "ε=100/report ({d_near}) must beat ε=0.01 ({d_far})"
+        );
     }
 }

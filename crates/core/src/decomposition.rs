@@ -59,8 +59,7 @@ pub fn decompose(dataset: &Dataset, config: &MechanismConfig) -> RegionSet {
 
     // Popularity guard threshold.
     let guard = config.popularity_guard_quantile.map(|q| {
-        let mut pops: Vec<f64> =
-            dataset.pois.all().iter().map(|p| p.popularity).collect();
+        let mut pops: Vec<f64> = dataset.pois.all().iter().map(|p| p.popularity).collect();
         pops.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let idx = ((pops.len() as f64 - 1.0) * q).floor() as usize;
         pops[idx.min(pops.len() - 1)]
@@ -71,7 +70,10 @@ pub fn decompose(dataset: &Dataset, config: &MechanismConfig) -> RegionSet {
     for poi in dataset.pois.all() {
         let cell = grids[0].cell_of(poi.location).0;
         for tile in 0..tiles {
-            if !poi.opening.overlaps_interval(tile * tile_min, (tile + 1) * tile_min) {
+            if !poi
+                .opening
+                .overlaps_interval(tile * tile_min, (tile + 1) * tile_min)
+            {
                 continue;
             }
             let key = DraftKey {
@@ -101,7 +103,10 @@ pub fn decompose(dataset: &Dataset, config: &MechanismConfig) -> RegionSet {
 
     // --- Merge passes. ---
     for &dim in &config.merge_order {
-        if map.values().all(|d| d.members.len() >= config.kappa || d.frozen) {
+        if map
+            .values()
+            .all(|d| d.members.len() >= config.kappa || d.frozen)
+        {
             break;
         }
         let mut next: HashMap<DraftKey, Draft> = HashMap::with_capacity(map.len());
@@ -142,14 +147,21 @@ pub fn decompose(dataset: &Dataset, config: &MechanismConfig) -> RegionSet {
         for bk in &d.base_keys {
             lookup.insert(*bk, id);
         }
-        let locs: Vec<GeoPoint> =
-            d.members.iter().map(|&p| dataset.pois.get(p).location).collect();
+        let locs: Vec<GeoPoint> = d
+            .members
+            .iter()
+            .map(|&p| dataset.pois.get(p).location)
+            .collect();
         let centroid = GeoPoint::centroid(&locs).expect("regions are non-empty");
         let radius_m = locs
             .iter()
             .map(|l| l.distance_m(&centroid, dataset.metric))
             .fold(0.0, f64::max);
-        let popularity = d.members.iter().map(|&p| dataset.pois.get(p).popularity).sum();
+        let popularity = d
+            .members
+            .iter()
+            .map(|&p| dataset.pois.get(p).popularity)
+            .sum();
         regions.push(StcRegion {
             members: d.members,
             centroid,
@@ -175,8 +187,8 @@ fn coarsen_key(
         MergeDimension::Space => {
             let level = key.space_level as usize;
             if level + 1 < grids.len() {
-                let cell = grids[level]
-                    .coarsen(trajshare_geo::CellId(key.space_cell), &grids[level + 1]);
+                let cell =
+                    grids[level].coarsen(trajshare_geo::CellId(key.space_cell), &grids[level + 1]);
                 k.space_level += 1;
                 k.space_cell = cell.0;
             }
@@ -212,21 +224,29 @@ mod tests {
         let origin = GeoPoint::new(40.7, -74.0);
         let pois: Vec<Poi> = (0..n)
             .map(|i| {
-                let loc = origin.offset_m(
-                    (i % 20) as f64 * 250.0,
-                    ((i / 20) % 20) as f64 * 250.0,
-                );
+                let loc = origin.offset_m((i % 20) as f64 * 250.0, ((i / 20) % 20) as f64 * 250.0);
                 let opening = if i % 3 == 0 {
                     OpeningHours::always()
                 } else {
                     OpeningHours::between(9, 17)
                 };
-                Poi::new(PoiId(i as u32), format!("p{i}"), loc, leaves[i % leaves.len()])
-                    .with_popularity(1.0 + (i % 7) as f64)
-                    .with_opening(opening)
+                Poi::new(
+                    PoiId(i as u32),
+                    format!("p{i}"),
+                    loc,
+                    leaves[i % leaves.len()],
+                )
+                .with_popularity(1.0 + (i % 7) as f64)
+                .with_opening(opening)
             })
             .collect();
-        Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        )
     }
 
     #[test]
@@ -334,8 +354,11 @@ mod tests {
         let rs = decompose(&ds, &cfg);
         // The hot POI's regions should be tiny (unmerged base regions),
         // despite kappa = 10.
-        let hot_regions: Vec<&StcRegion> =
-            rs.all().iter().filter(|r| r.members.contains(&PoiId(42))).collect();
+        let hot_regions: Vec<&StcRegion> = rs
+            .all()
+            .iter()
+            .filter(|r| r.members.contains(&PoiId(42)))
+            .collect();
         assert!(!hot_regions.is_empty());
         for r in hot_regions {
             assert!(
@@ -350,8 +373,7 @@ mod tests {
     fn encode_trajectory_produces_matching_regions() {
         let ds = dataset(200);
         let rs = decompose(&ds, &MechanismConfig::default());
-        let traj =
-            trajshare_model::Trajectory::from_pairs(&[(0, 60), (3, 62), (6, 66)]);
+        let traj = trajshare_model::Trajectory::from_pairs(&[(0, 60), (3, 62), (6, 66)]);
         let regions = rs.encode(&ds, &traj).unwrap();
         assert_eq!(regions.len(), 3);
         for (i, &rid) in regions.iter().enumerate() {
@@ -381,8 +403,10 @@ mod tests {
         cfg.kappa = 50;
         let rs = decompose(&ds, &cfg);
         // After two category lifts, some regions should sit at level 1.
-        let has_internal =
-            rs.all().iter().any(|r| ds.hierarchy.level(r.category) < ds.hierarchy.max_level());
+        let has_internal = rs
+            .all()
+            .iter()
+            .any(|r| ds.hierarchy.level(r.category) < ds.hierarchy.max_level());
         assert!(has_internal, "expected lifted category nodes");
     }
 }

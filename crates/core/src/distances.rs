@@ -113,10 +113,21 @@ mod tests {
         let pois: Vec<Poi> = (0..120)
             .map(|i| {
                 let loc = origin.offset_m((i % 12) as f64 * 400.0, (i / 12) as f64 * 400.0);
-                Poi::new(PoiId(i as u32), format!("p{i}"), loc, leaves[i as usize % leaves.len()])
+                Poi::new(
+                    PoiId(i as u32),
+                    format!("p{i}"),
+                    loc,
+                    leaves[i as usize % leaves.len()],
+                )
             })
             .collect();
-        Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        )
     }
 
     #[test]

@@ -60,11 +60,11 @@ pub mod reconstruct;
 pub mod region;
 pub mod regiongraph;
 
-pub use config::{MechanismConfig, MergeDimension, ReconstructionSolver};
 pub use attack::WindowAdversary;
+pub use config::{MechanismConfig, MergeDimension, ReconstructionSolver};
 pub use continuous::ContinuousSharer;
 pub use decomposition::decompose;
 pub use mechanism::{Mechanism, MechanismOutput, StageTimings};
-pub use ngram_mech::NGramMechanism;
+pub use ngram_mech::{NGramMechanism, PerturbedTrajectory};
 pub use region::{RegionId, RegionSet, StcRegion};
 pub use regiongraph::RegionGraph;

@@ -34,7 +34,12 @@ impl NGramMechanism {
         config.validate().expect("invalid mechanism config");
         let regions = decompose(dataset, config);
         let graph = RegionGraph::build(dataset, &regions);
-        Self { dataset: dataset.clone(), regions, graph, config: config.clone() }
+        Self {
+            dataset: dataset.clone(),
+            regions,
+            graph,
+            config: config.clone(),
+        }
     }
 
     /// The decomposed STC region set.
@@ -60,6 +65,55 @@ impl NGramMechanism {
         let n = self.config.n.min(traj_len);
         self.config.epsilon / (traj_len + n - 1) as f64
     }
+
+    /// Runs *only* stage 1 (encode + n-gram perturbation) and returns the
+    /// raw perturbed window multiset `Z` together with the per-window ε′
+    /// that produced it — the exact message a client device uploads in the
+    /// aggregation setting (`trajshare_aggregate`), where the server, not
+    /// the client, post-processes population statistics.
+    ///
+    /// Spends the full ε, identically to [`Mechanism::perturb`]; everything
+    /// after stage 1 there is post-processing of this output, so releasing
+    /// `Z` itself is ε-LDP (Theorem 5.3).
+    pub fn perturb_raw(
+        &self,
+        trajectory: &Trajectory,
+        rng: &mut dyn rand::RngCore,
+    ) -> PerturbedTrajectory {
+        assert!(!trajectory.is_empty(), "cannot perturb an empty trajectory");
+        let len = trajectory.len();
+        let n = self.config.n.min(len);
+        let eps_prime = self.eps_prime(len);
+        let mut budget = PrivacyBudget::new(self.config.epsilon);
+        let seq = self
+            .regions
+            .encode(&self.dataset, trajectory)
+            .expect("every POI with open hours has a region");
+        let windows = perturb_region_sequence(&self.graph, &seq, n, eps_prime, rng);
+        for _ in 0..windows.len() {
+            budget
+                .consume(eps_prime)
+                .expect("window budget exceeds ε — composition bug");
+        }
+        debug_assert!(budget.is_exhausted(), "all of ε must be spent");
+        PerturbedTrajectory {
+            windows,
+            eps_prime,
+            len,
+        }
+    }
+}
+
+/// Stage-1 output of the mechanism: the perturbed window multiset `Z` plus
+/// the public parameters a server needs to debias it.
+#[derive(Debug, Clone)]
+pub struct PerturbedTrajectory {
+    /// The perturbed n-gram windows `Z` (schedule order).
+    pub windows: Vec<crate::perturb::PerturbedWindow>,
+    /// The per-window budget ε′ = ε/(|τ|+n−1) used for every EM draw.
+    pub eps_prime: f64,
+    /// Trajectory length |τ| (public: the mechanism preserves it).
+    pub len: usize,
 }
 
 impl Mechanism for NGramMechanism {
@@ -68,34 +122,19 @@ impl Mechanism for NGramMechanism {
     }
 
     fn perturb(&self, trajectory: &Trajectory, rng: &mut dyn rand::RngCore) -> MechanismOutput {
-        assert!(!trajectory.is_empty(), "cannot perturb an empty trajectory");
-        let len = trajectory.len();
-        let n = self.config.n.min(len);
-        let eps_prime = self.eps_prime(len);
-
-        // Budget accounting: (|τ| + n − 1) windows at ε′ compose to ε
-        // (Theorem 5.3). The accountant enforces it at runtime.
-        let mut budget = PrivacyBudget::new(self.config.epsilon);
-
-        // Stage 1: encode + perturb.
+        // Stage 1: encode + perturb, with the ε-composition accounting
+        // (Theorem 5.3) — exactly the client-upload path.
         let t0 = Instant::now();
-        let seq = self
-            .regions
-            .encode(&self.dataset, trajectory)
-            .expect("every POI with open hours has a region");
-        let z = perturb_region_sequence(&self.graph, &seq, n, eps_prime, rng);
-        for _ in 0..z.len() {
-            budget.consume(eps_prime).expect("window budget exceeds ε — composition bug");
-        }
-        debug_assert!(budget.is_exhausted(), "all of ε must be spent");
+        let raw = self.perturb_raw(trajectory, rng);
         let perturb_time = t0.elapsed();
+        let len = raw.len;
 
         // Stages 2-3: optimal region-level reconstruction (post-processing).
         let rec = reconstruct_regions(
             &self.dataset,
             &self.regions,
             &self.graph,
-            &z,
+            &raw.windows,
             len,
             self.config.solver,
         );
@@ -139,10 +178,21 @@ mod tests {
         let pois: Vec<Poi> = (0..80)
             .map(|i| {
                 let loc = origin.offset_m((i % 8) as f64 * 300.0, (i / 8) as f64 * 300.0);
-                Poi::new(PoiId(i as u32), format!("p{i}"), loc, leaves[i as usize % leaves.len()])
+                Poi::new(
+                    PoiId(i as u32),
+                    format!("p{i}"),
+                    loc,
+                    leaves[i as usize % leaves.len()],
+                )
             })
             .collect();
-        Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        )
     }
 
     #[test]

@@ -66,7 +66,10 @@ pub fn window_schedule(len: usize, n: usize) -> Vec<Window> {
     }
     for k in 1..n {
         out.push(Window { a: 0, b: k - 1 });
-        out.push(Window { a: len - k, b: len - 1 });
+        out.push(Window {
+            a: len - k,
+            b: len - 1,
+        });
     }
     out
 }
@@ -158,8 +161,7 @@ pub fn sample_window<R: Rng + ?Sized>(
                         .sum()
                 })
                 .collect();
-            let marginal: Vec<f64> =
-                (0..nr).map(|y| wb[y] * pred_sum[y] * succ_sum[y]).collect();
+            let marginal: Vec<f64> = (0..nr).map(|y| wb[y] * pred_sum[y] * succ_sum[y]).collect();
             match sample_from_weights(&marginal, rng) {
                 Some(y) => {
                     let preds = graph.predecessors(RegionId(y as u32));
@@ -220,10 +222,21 @@ mod tests {
         let pois: Vec<Poi> = (0..60)
             .map(|i| {
                 let loc = origin.offset_m((i % 6) as f64 * 400.0, (i / 6) as f64 * 400.0);
-                Poi::new(PoiId(i as u32), format!("p{i}"), loc, leaves[i as usize % leaves.len()])
+                Poi::new(
+                    PoiId(i as u32),
+                    format!("p{i}"),
+                    loc,
+                    leaves[i as usize % leaves.len()],
+                )
             })
             .collect();
-        let ds = Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine);
+        let ds = Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        );
         let rs = decompose(&ds, &MechanismConfig::default());
         let g = RegionGraph::build(&ds, &rs);
         (ds, rs, g)
@@ -270,7 +283,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > 250, "high-ε unigram should usually return truth, got {hits}");
+        assert!(
+            hits > 250,
+            "high-ε unigram should usually return truth, got {hits}"
+        );
     }
 
     #[test]
@@ -289,12 +305,15 @@ mod tests {
     fn trigram_sampling_returns_chained_bigrams() {
         let (_, _, g) = graph();
         // Find a feasible trigram seed.
-        let &(a, b) = g.bigrams.iter().find(|&&(_, b)| !g.successors(RegionId(b)).is_empty()).unwrap();
+        let &(a, b) = g
+            .bigrams
+            .iter()
+            .find(|&&(_, b)| !g.successors(RegionId(b)).is_empty())
+            .unwrap();
         let c = g.successors(RegionId(b))[0];
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..100 {
-            let s =
-                sample_window(&g, &[RegionId(a), RegionId(b), RegionId(c)], 5.0, &mut rng);
+            let s = sample_window(&g, &[RegionId(a), RegionId(b), RegionId(c)], 5.0, &mut rng);
             assert_eq!(s.len(), 3);
             assert!(g.is_feasible(s[0], s[1]));
             assert!(g.is_feasible(s[1], s[2]));
@@ -313,8 +332,8 @@ mod tests {
             .bigrams
             .iter()
             .map(|&(u, v)| {
-                let d = g.distance.get(truth[0], RegionId(u))
-                    + g.distance.get(truth[1], RegionId(v));
+                let d =
+                    g.distance.get(truth[0], RegionId(u)) + g.distance.get(truth[1], RegionId(v));
                 (-eps * d / (2.0 * sens)).exp()
             })
             .collect();
@@ -323,8 +342,13 @@ mod tests {
         let trials = 30_000;
         let mut counts = vec![0usize; g.bigrams.len()];
         use std::collections::HashMap;
-        let index: HashMap<(u32, u32), usize> =
-            g.bigrams.iter().copied().enumerate().map(|(i, e)| (e, i)).collect();
+        let index: HashMap<(u32, u32), usize> = g
+            .bigrams
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, e)| (e, i))
+            .collect();
         for _ in 0..trials {
             let s = sample_window(&g, &truth, eps, &mut rng);
             counts[index[&(s[0].0, s[1].0)]] += 1;

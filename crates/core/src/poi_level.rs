@@ -10,9 +10,7 @@
 
 use crate::region::{RegionId, RegionSet};
 use rand::Rng;
-use trajshare_model::{
-    Dataset, PoiId, ReachabilityOracle, Timestep, Trajectory, TrajectoryPoint,
-};
+use trajshare_model::{Dataset, PoiId, ReachabilityOracle, Timestep, Trajectory, TrajectoryPoint};
 
 /// Outcome of POI-level reconstruction.
 #[derive(Debug, Clone)]
@@ -34,7 +32,9 @@ fn timestep_range(dataset: &Dataset, regions: &RegionSet, r: RegionId) -> (u16, 
     (start, end.max(start + 1))
 }
 
-/// Rejection-samples a feasible POI-level trajectory for `region_seq`.
+/// Rejection-samples a feasible POI-level trajectory for `region_seq`,
+/// drawing POIs uniformly from each region's open members (the paper's
+/// §5.6 procedure).
 pub fn reconstruct_poi_level<R: Rng + ?Sized>(
     dataset: &Dataset,
     regions: &RegionSet,
@@ -42,11 +42,31 @@ pub fn reconstruct_poi_level<R: Rng + ?Sized>(
     gamma: usize,
     rng: &mut R,
 ) -> PoiReconstruction {
+    reconstruct_poi_level_weighted(dataset, regions, region_seq, gamma, rng, |_, _| 1.0)
+}
+
+/// Like [`reconstruct_poi_level`] but drawing each point's POI with
+/// probability proportional to `poi_weight(dataset, poi)` among the
+/// region's open members. Weights must be non-negative; an all-zero
+/// candidate set falls back to uniform. Used by the population synthesizer
+/// to bias region→POI sampling by (public) popularity.
+pub fn reconstruct_poi_level_weighted<R, W>(
+    dataset: &Dataset,
+    regions: &RegionSet,
+    region_seq: &[RegionId],
+    gamma: usize,
+    rng: &mut R,
+    poi_weight: W,
+) -> PoiReconstruction
+where
+    R: Rng + ?Sized,
+    W: Fn(&Dataset, PoiId) -> f64,
+{
     assert!(!region_seq.is_empty());
     let oracle = ReachabilityOracle::new(dataset);
 
     for attempt in 1..=gamma.max(1) {
-        if let Some(points) = try_sample(dataset, regions, region_seq, &oracle, rng) {
+        if let Some(points) = try_sample(dataset, regions, region_seq, &oracle, rng, &poi_weight) {
             return PoiReconstruction {
                 trajectory: Trajectory::new(points),
                 smoothed: false,
@@ -57,19 +77,24 @@ pub fn reconstruct_poi_level<R: Rng + ?Sized>(
 
     // §5.6 fallback: random POI sequence + time smoothing.
     let trajectory = smooth_times(dataset, regions, region_seq, &oracle, rng);
-    PoiReconstruction { trajectory, smoothed: true, attempts: gamma }
+    PoiReconstruction {
+        trajectory,
+        smoothed: true,
+        attempts: gamma,
+    }
 }
 
 /// One rejection-sampling attempt.
-fn try_sample<R: Rng + ?Sized>(
+fn try_sample<R: Rng + ?Sized, W: Fn(&Dataset, PoiId) -> f64>(
     dataset: &Dataset,
     regions: &RegionSet,
     region_seq: &[RegionId],
     oracle: &ReachabilityOracle,
     rng: &mut R,
+    poi_weight: &W,
 ) -> Option<Vec<TrajectoryPoint>> {
     let mut points: Vec<TrajectoryPoint> = Vec::with_capacity(region_seq.len());
-    for (i, &r) in region_seq.iter().enumerate() {
+    for &r in region_seq.iter() {
         let (lo, hi) = timestep_range(dataset, regions, r);
         // Times must strictly increase.
         let min_t = match points.last() {
@@ -90,13 +115,19 @@ fn try_sample<R: Rng + ?Sized>(
         if open.is_empty() {
             return None;
         }
-        let poi = open[rng.random_range(0..open.len())];
+        let weights: Vec<f64> = open
+            .iter()
+            .map(|&p| poi_weight(dataset, p).max(0.0))
+            .collect();
+        let poi = match trajshare_mech::sample_from_weights(&weights, rng) {
+            Some(i) => open[i],
+            None => open[rng.random_range(0..open.len())],
+        };
         if let Some(prev) = points.last() {
             if !oracle.is_reachable((prev.poi, prev.t), (poi, t)) {
                 return None;
             }
         }
-        let _ = i;
         points.push(TrajectoryPoint { poi, t });
     }
     Some(points)
@@ -149,12 +180,18 @@ fn smooth_times<R: Rng + ?Sized>(
     let start = lo.min(latest_start);
 
     let mut t = start;
-    let mut points = vec![TrajectoryPoint { poi: pois[0], t: Timestep(t) }];
+    let mut points = vec![TrajectoryPoint {
+        poi: pois[0],
+        t: Timestep(t),
+    }];
     for (k, &poi) in pois.iter().enumerate().skip(1) {
         // Prefer the region's own interval when it is still ahead.
         let (rlo, _) = timestep_range(dataset, regions, region_seq[k]);
         t = (t + gaps[k - 1]).max(rlo).min(num_steps - 1);
-        points.push(TrajectoryPoint { poi, t: Timestep(t) });
+        points.push(TrajectoryPoint {
+            poi,
+            t: Timestep(t),
+        });
     }
     // Guarantee strict monotonicity even if clamping collided at day end.
     for i in (0..points.len() - 1).rev() {
@@ -183,10 +220,21 @@ mod tests {
         let pois: Vec<Poi> = (0..60)
             .map(|i| {
                 let loc = origin.offset_m((i % 6) as f64 * 300.0, (i / 6) as f64 * 300.0);
-                Poi::new(PoiId(i as u32), format!("p{i}"), loc, leaves[i as usize % leaves.len()])
+                Poi::new(
+                    PoiId(i as u32),
+                    format!("p{i}"),
+                    loc,
+                    leaves[i as usize % leaves.len()],
+                )
             })
             .collect();
-        let ds = Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine);
+        let ds = Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        );
         let rs = decompose(&ds, &MechanismConfig::default());
         (ds, rs)
     }
@@ -276,9 +324,7 @@ mod tests {
         let region_seq = seq(&ds, &rs, &[(0, 60), (7, 62), (14, 65)]);
         let mut rng = StdRng::seed_from_u64(6);
         let smoothed = (0..50)
-            .filter(|_| {
-                reconstruct_poi_level(&ds, &rs, &region_seq, 50_000, &mut rng).smoothed
-            })
+            .filter(|_| reconstruct_poi_level(&ds, &rs, &region_seq, 50_000, &mut rng).smoothed)
             .count();
         assert!(smoothed <= 2, "smoothing fired {smoothed}/50 times");
     }

@@ -14,8 +14,8 @@ use crate::region::{RegionId, RegionSet};
 use crate::regiongraph::RegionGraph;
 use std::time::{Duration, Instant};
 use trajshare_geo::BoundingBox;
-use trajshare_model::Dataset;
 use trajshare_lp::LatticeProblem;
+use trajshare_model::Dataset;
 
 /// Result of region-level reconstruction with stage timings.
 #[derive(Debug, Clone)]
@@ -54,7 +54,10 @@ pub fn reconstruct_regions(
     let mut in_mbr: Vec<u32> = Vec::new();
     for rid in regions.ids() {
         let r = regions.get(rid);
-        if r.members.iter().any(|&m| mbr.contains(dataset.pois.get(m).location)) {
+        if r.members
+            .iter()
+            .any(|&m| mbr.contains(dataset.pois.get(m).location))
+        {
             in_mbr.push(rid.0);
         }
     }
@@ -111,15 +114,27 @@ pub fn reconstruct_regions(
                 RegionId(in_mbr[best])
             })
             .collect();
-        RegionReconstruction { regions: regions_out, prep, solve: t1.elapsed() }
+        RegionReconstruction {
+            regions: regions_out,
+            prep,
+            solve: t1.elapsed(),
+        }
     };
     if arcs.is_empty() {
         return fallback(t0.elapsed());
     }
     let costs: Vec<Vec<f64>> = (0..traj_len - 1)
-        .map(|i| arcs.iter().map(|&(u, v)| node_err[i][u] + node_err[i + 1][v]).collect())
+        .map(|i| {
+            arcs.iter()
+                .map(|&(u, v)| node_err[i][u] + node_err[i + 1][v])
+                .collect()
+        })
         .collect();
-    let lattice = LatticeProblem { num_nodes: nl, arcs, costs };
+    let lattice = LatticeProblem {
+        num_nodes: nl,
+        arcs,
+        costs,
+    };
     let prep = t0.elapsed();
 
     // --- Solve. ---
@@ -158,10 +173,21 @@ mod tests {
         let pois: Vec<Poi> = (0..60)
             .map(|i| {
                 let loc = origin.offset_m((i % 6) as f64 * 400.0, (i / 6) as f64 * 400.0);
-                Poi::new(PoiId(i as u32), format!("p{i}"), loc, leaves[i as usize % leaves.len()])
+                Poi::new(
+                    PoiId(i as u32),
+                    format!("p{i}"),
+                    loc,
+                    leaves[i as usize % leaves.len()],
+                )
             })
             .collect();
-        let ds = Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine);
+        let ds = Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        );
         let rs = decompose(&ds, &MechanismConfig::default());
         let g = RegionGraph::build(&ds, &rs);
         (ds, rs, g)
@@ -176,9 +202,15 @@ mod tests {
                 regions: vec![seq[a], seq[a + 1]],
             });
         }
-        z.push(PerturbedWindow { window: Window { a: 0, b: 0 }, regions: vec![seq[0]] });
         z.push(PerturbedWindow {
-            window: Window { a: seq.len() - 1, b: seq.len() - 1 },
+            window: Window { a: 0, b: 0 },
+            regions: vec![seq[0]],
+        });
+        z.push(PerturbedWindow {
+            window: Window {
+                a: seq.len() - 1,
+                b: seq.len() - 1,
+            },
             regions: vec![seq[seq.len() - 1]],
         });
         z
@@ -191,7 +223,10 @@ mod tests {
         let seq = rs.encode(&ds, &traj).unwrap();
         // The true sequence must itself be feasible for this test.
         for w in seq.windows(2) {
-            assert!(g.is_feasible(w[0], w[1]), "test fixture produced infeasible truth");
+            assert!(
+                g.is_feasible(w[0], w[1]),
+                "test fixture produced infeasible truth"
+            );
         }
         let z = exact_z(&seq);
         let rec = reconstruct_regions(&ds, &rs, &g, &z, seq.len(), ReconstructionSolver::Viterbi);
@@ -209,7 +244,7 @@ mod tests {
         let i = reconstruct_regions(&ds, &rs, &g, &z, seq.len(), ReconstructionSolver::Ilp);
         // Costs must agree (paths may tie); compare total bigram error.
         let cost = |rec: &RegionReconstruction| -> f64 {
-            let mut node_err = |i: usize, r: RegionId| -> f64 {
+            let node_err = |i: usize, r: RegionId| -> f64 {
                 z.iter()
                     .filter(|pw| pw.window.covers(i))
                     .map(|pw| g.distance.get(r, pw.regions[i - pw.window.a]))
@@ -239,7 +274,10 @@ mod tests {
                 reconstruct_regions(&ds, &rs, &g, &z, seq.len(), ReconstructionSolver::Viterbi);
             assert_eq!(rec.regions.len(), seq.len());
             for w in rec.regions.windows(2) {
-                assert!(g.is_feasible(w[0], w[1]), "trial {trial}: infeasible output bigram");
+                assert!(
+                    g.is_feasible(w[0], w[1]),
+                    "trial {trial}: infeasible output bigram"
+                );
             }
         }
     }
@@ -248,7 +286,10 @@ mod tests {
     fn single_point_trajectory_uses_argmin() {
         let (ds, rs, g) = setup();
         let r = RegionId(3);
-        let z = vec![PerturbedWindow { window: Window { a: 0, b: 0 }, regions: vec![r] }];
+        let z = vec![PerturbedWindow {
+            window: Window { a: 0, b: 0 },
+            regions: vec![r],
+        }];
         let rec = reconstruct_regions(&ds, &rs, &g, &z, 1, ReconstructionSolver::Viterbi);
         assert_eq!(rec.regions.len(), 1);
         // The argmin of d(r, ·) is r itself.

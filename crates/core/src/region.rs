@@ -77,7 +77,12 @@ impl RegionSet {
         tile_min: u32,
         grid: trajshare_geo::UniformGrid,
     ) -> Self {
-        Self { regions, lookup, tile_min, grid }
+        Self {
+            regions,
+            lookup,
+            tile_min,
+            grid,
+        }
     }
 
     /// Number of regions `|R|`.

@@ -66,7 +66,12 @@ impl RegionGraph {
                 pred[b].push(a as u32);
             }
         }
-        Self { distance, bigrams, succ, pred }
+        Self {
+            distance,
+            bigrams,
+            succ,
+            pred,
+        }
     }
 
     /// Number of regions.
@@ -157,10 +162,21 @@ mod tests {
         let pois: Vec<Poi> = (0..80)
             .map(|i| {
                 let loc = origin.offset_m((i % 8) as f64 * 500.0, (i / 8) as f64 * 500.0);
-                Poi::new(PoiId(i as u32), format!("p{i}"), loc, leaves[i as usize % leaves.len()])
+                Poi::new(
+                    PoiId(i as u32),
+                    format!("p{i}"),
+                    loc,
+                    leaves[i as usize % leaves.len()],
+                )
             })
             .collect();
-        Dataset::new(pois, h, TimeDomain::new(10), speed, DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            speed,
+            DistanceMetric::Haversine,
+        )
     }
 
     #[test]

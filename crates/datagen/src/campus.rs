@@ -16,8 +16,8 @@ use rand::Rng;
 use trajshare_geo::{DistanceMetric, GeoPoint};
 use trajshare_hierarchy::builders::campus as campus_hierarchy;
 use trajshare_model::{
-    Dataset, OpeningHours, Poi, PoiId, ReachabilityOracle, Timestep, Trajectory,
-    TrajectoryPoint, TrajectorySet,
+    Dataset, OpeningHours, Poi, PoiId, ReachabilityOracle, Timestep, Trajectory, TrajectoryPoint,
+    TrajectorySet,
 };
 
 /// Configuration for the campus generator.
@@ -70,7 +70,10 @@ pub struct CampusData {
 
 /// Generates the campus dataset and trajectory set.
 pub fn generate_campus<R: Rng + ?Sized>(config: &CampusConfig, rng: &mut R) -> CampusData {
-    assert!(config.num_buildings >= 20, "campus needs a reasonable building count");
+    assert!(
+        config.num_buildings >= 20,
+        "campus needs a reasonable building count"
+    );
     let hierarchy = campus_hierarchy();
     let leaves = hierarchy.leaves();
     let origin = GeoPoint::new(49.2606, -123.2460); // UBC-ish anchor
@@ -91,8 +94,13 @@ pub fn generate_campus<R: Rng + ?Sized>(config: &CampusConfig, rng: &mut R) -> C
             } else {
                 OpeningHours::between(7, 23)
             };
-            Poi::new(PoiId(i as u32), format!("{name} {i}"), origin.offset_m(gx, gy), leaf)
-                .with_opening(opening)
+            Poi::new(
+                PoiId(i as u32),
+                format!("{name} {i}"),
+                origin.offset_m(gx, gy),
+                leaf,
+            )
+            .with_opening(opening)
         })
         .collect();
 
@@ -149,7 +157,13 @@ pub fn generate_campus<R: Rng + ?Sized>(config: &CampusConfig, rng: &mut R) -> C
         }
     }
     let trajectories = set.filter_valid(&dataset);
-    CampusData { dataset, trajectories, residence_a, stadium_a, academic }
+    CampusData {
+        dataset,
+        trajectories,
+        residence_a,
+        stadium_a,
+        academic,
+    }
 }
 
 /// Generates one trajectory, optionally pinning one point to an event
@@ -189,7 +203,10 @@ fn one_trajectory<R: Rng + ?Sized>(
 
     // Build forward from the anchor; the anchor occupies a random slot.
     let slot = rng.random_range(0..len);
-    let mut points = vec![TrajectoryPoint { poi: anchor_poi, t: anchor_t }];
+    let mut points = vec![TrajectoryPoint {
+        poi: anchor_poi,
+        t: anchor_t,
+    }];
     // Backward fill.
     for _ in 0..slot {
         let first = points[0];
@@ -209,7 +226,10 @@ fn one_trajectory<R: Rng + ?Sized>(
         }
         points.insert(
             0,
-            TrajectoryPoint { poi: cands[rng.random_range(0..cands.len())], t },
+            TrajectoryPoint {
+                poi: cands[rng.random_range(0..cands.len())],
+                t,
+            },
         );
     }
     // Forward fill.
@@ -229,7 +249,10 @@ fn one_trajectory<R: Rng + ?Sized>(
         if cands.is_empty() {
             break;
         }
-        points.push(TrajectoryPoint { poi: cands[rng.random_range(0..cands.len())], t });
+        points.push(TrajectoryPoint {
+            poi: cands[rng.random_range(0..cands.len())],
+            t,
+        });
     }
     (points.len() >= 2).then(|| Trajectory::new(points))
 }
@@ -243,7 +266,10 @@ mod tests {
     fn data() -> CampusData {
         let mut rng = StdRng::seed_from_u64(21);
         generate_campus(
-            &CampusConfig { num_trajectories: 400, ..Default::default() },
+            &CampusConfig {
+                num_trajectories: 400,
+                ..Default::default()
+            },
             &mut rng,
         )
     }
@@ -252,8 +278,7 @@ mod tests {
     fn builds_262_buildings_and_nine_categories() {
         let d = data();
         assert_eq!(d.dataset.pois.len(), 262);
-        let mut cats: Vec<_> =
-            d.dataset.pois.all().iter().map(|p| p.category).collect();
+        let mut cats: Vec<_> = d.dataset.pois.all().iter().map(|p| p.category).collect();
         cats.sort();
         cats.dedup();
         assert_eq!(cats.len(), 9);
@@ -262,7 +287,11 @@ mod tests {
     #[test]
     fn trajectories_are_valid() {
         let d = data();
-        assert!(d.trajectories.len() >= 300, "only {} valid", d.trajectories.len());
+        assert!(
+            d.trajectories.len() >= 300,
+            "only {} valid",
+            d.trajectories.len()
+        );
         for t in d.trajectories.all() {
             assert!(t.validate(&d.dataset).is_ok());
         }
@@ -278,9 +307,7 @@ mod tests {
                 .iter()
                 .filter(|t| {
                     t.points().iter().any(|p| {
-                        p.poi == poi
-                            && (h0 * 60..h1 * 60)
-                                .contains(&d.dataset.time.minute_of(p.t))
+                        p.poi == poi && (h0 * 60..h1 * 60).contains(&d.dataset.time.minute_of(p.t))
                     })
                 })
                 .count()
@@ -321,11 +348,17 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let a = generate_campus(
-            &CampusConfig { num_trajectories: 50, ..Default::default() },
+            &CampusConfig {
+                num_trajectories: 50,
+                ..Default::default()
+            },
             &mut StdRng::seed_from_u64(3),
         );
         let b = generate_campus(
-            &CampusConfig { num_trajectories: 50, ..Default::default() },
+            &CampusConfig {
+                num_trajectories: 50,
+                ..Default::default()
+            },
             &mut StdRng::seed_from_u64(3),
         );
         assert_eq!(a.trajectories.len(), b.trajectories.len());

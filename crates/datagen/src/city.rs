@@ -71,7 +71,10 @@ impl SyntheticCity {
         // Cluster centers, uniform over the city square.
         let centers: Vec<(f64, f64)> = (0..config.num_clusters)
             .map(|_| {
-                (rng.random::<f64>() * config.extent_m, rng.random::<f64>() * config.extent_m)
+                (
+                    rng.random::<f64>() * config.extent_m,
+                    rng.random::<f64>() * config.extent_m,
+                )
             })
             .collect();
         // Clusters themselves have Zipf-ish sizes: downtown is denser.
@@ -88,16 +91,21 @@ impl SyntheticCity {
                 let leaf = leaves[rng.random_range(0..leaves.len())];
                 // Popularity: Zipf mass of a random rank, scaled so values
                 // are comfortably > 0 and heavy-tailed.
-                let pop = popularity.pmf(rng.random_range(0..config.num_pois))
-                    * config.num_pois as f64;
+                let pop =
+                    popularity.pmf(rng.random_range(0..config.num_pois)) * config.num_pois as f64;
                 let opening = jitter_opening(
                     opening_for_root(&hierarchy, leaf),
                     config.opening_jitter_h,
                     rng,
                 );
-                Poi::new(PoiId(i as u32), format!("poi-{i}"), origin.offset_m(x, y), leaf)
-                    .with_popularity(pop.max(1e-6))
-                    .with_opening(opening)
+                Poi::new(
+                    PoiId(i as u32),
+                    format!("poi-{i}"),
+                    origin.offset_m(x, y),
+                    leaf,
+                )
+                .with_popularity(pop.max(1e-6))
+                .with_opening(opening)
             })
             .collect();
 
@@ -150,8 +158,10 @@ pub fn jitter_opening<R: Rng + ?Sized>(
         return base;
     }
     let shift = rng.random_range(0..=2 * jitter_h) as i32 - jitter_h as i32;
-    let shifted: Vec<u32> =
-        open.iter().map(|&h| ((h as i32 + shift).rem_euclid(24)) as u32).collect();
+    let shifted: Vec<u32> = open
+        .iter()
+        .map(|&h| ((h as i32 + shift).rem_euclid(24)) as u32)
+        .collect();
     OpeningHours::from_hours(&shifted)
 }
 
@@ -181,7 +191,11 @@ mod tests {
     #[test]
     fn pois_stay_within_the_city_extent() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = CityConfig { num_pois: 500, extent_m: 4000.0, ..Default::default() };
+        let cfg = CityConfig {
+            num_pois: 500,
+            extent_m: 4000.0,
+            ..Default::default()
+        };
         let city = SyntheticCity::generate(&cfg, foursquare(), &mut rng);
         let diag = city.dataset.pois.bbox().diagonal_m();
         assert!(diag <= 4000.0 * 1.5 + 100.0, "diagonal {diag} too large");
@@ -191,8 +205,13 @@ mod tests {
     fn popularity_is_heavy_tailed() {
         let mut rng = StdRng::seed_from_u64(3);
         let city = SyntheticCity::generate(&CityConfig::default(), foursquare(), &mut rng);
-        let mut pops: Vec<f64> =
-            city.dataset.pois.all().iter().map(|p| p.popularity).collect();
+        let mut pops: Vec<f64> = city
+            .dataset
+            .pois
+            .all()
+            .iter()
+            .map(|p| p.popularity)
+            .collect();
         pops.sort_by(|a, b| b.partial_cmp(a).unwrap());
         let top_decile: f64 = pops[..200].iter().sum();
         let total: f64 = pops.iter().sum();
@@ -243,11 +262,15 @@ mod tests {
     #[test]
     fn clustering_produces_nonuniform_density() {
         let mut rng = StdRng::seed_from_u64(5);
-        let cfg = CityConfig { num_pois: 1000, num_clusters: 4, ..Default::default() };
+        let cfg = CityConfig {
+            num_pois: 1000,
+            num_clusters: 4,
+            ..Default::default()
+        };
         let city = SyntheticCity::generate(&cfg, foursquare(), &mut rng);
         // Split the bbox into a 4x4 grid and check occupancy is skewed.
         let grid = trajshare_geo::UniformGrid::new(*city.dataset.pois.bbox(), 4);
-        let mut counts = vec![0usize; 16];
+        let mut counts = [0usize; 16];
         for p in city.dataset.pois.all() {
             counts[grid.cell_of(p.location).0 as usize] += 1;
         }
@@ -284,14 +307,22 @@ mod jitter_tests {
     #[test]
     fn jitter_leaves_always_open_alone() {
         let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(jitter_opening(OpeningHours::always(), 5, &mut rng), OpeningHours::always());
+        assert_eq!(
+            jitter_opening(OpeningHours::always(), 5, &mut rng),
+            OpeningHours::always()
+        );
     }
 
     #[test]
     fn jittered_city_has_varied_hours_within_a_category() {
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = CityConfig { num_pois: 300, opening_jitter_h: 2, ..Default::default() };
-        let city = SyntheticCity::generate(&cfg, trajshare_hierarchy::builders::foursquare(), &mut rng);
+        let cfg = CityConfig {
+            num_pois: 300,
+            opening_jitter_h: 2,
+            ..Default::default()
+        };
+        let city =
+            SyntheticCity::generate(&cfg, trajshare_hierarchy::builders::foursquare(), &mut rng);
         // Pick one category with bounded hours and check variation exists.
         use std::collections::HashMap;
         let mut by_cat: HashMap<_, Vec<OpeningHours>> = HashMap::new();
@@ -300,9 +331,12 @@ mod jitter_tests {
                 by_cat.entry(p.category).or_default().push(p.opening);
             }
         }
-        let varied = by_cat.values().any(|v| {
-            v.len() >= 3 && v.iter().any(|o| o != &v[0])
-        });
-        assert!(varied, "expected POI-specific hours to differ within categories");
+        let varied = by_cat
+            .values()
+            .any(|v| v.len() >= 3 && v.iter().any(|o| o != &v[0]));
+        assert!(
+            varied,
+            "expected POI-specific hours to differ within categories"
+        );
     }
 }

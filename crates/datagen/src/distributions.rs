@@ -123,7 +123,11 @@ mod tests {
         }
         for i in 0..5 {
             let got = counts[i] as f64 / n as f64;
-            assert!((got - z.pmf(i)).abs() < 0.01, "rank {i}: {got} vs {}", z.pmf(i));
+            assert!(
+                (got - z.pmf(i)).abs() < 0.01,
+                "rank {i}: {got} vs {}",
+                z.pmf(i)
+            );
         }
     }
 

@@ -66,8 +66,11 @@ fn one_walk<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Option<Trajectory> {
     let len = uniform_incl(config.len_bounds.0, config.len_bounds.1, rng) as usize;
-    let start_min =
-        uniform_incl(config.start_hours.0 * 60, config.start_hours.1 * 60 - 1, rng);
+    let start_min = uniform_incl(
+        config.start_hours.0 * 60,
+        config.start_hours.1 * 60 - 1,
+        rng,
+    );
     let mut t = dataset.time.timestep_at(start_min);
 
     // Start POI: popularity-weighted among open.
@@ -79,7 +82,10 @@ fn one_walk<R: Rng + ?Sized>(
     if open.is_empty() {
         return None;
     }
-    let w: Vec<f64> = open.iter().map(|&p| dataset.pois.get(p).popularity).collect();
+    let w: Vec<f64> = open
+        .iter()
+        .map(|&p| dataset.pois.get(p).popularity)
+        .collect();
     let mut poi = open[weighted_index(&w, rng)];
     let mut points = vec![TrajectoryPoint { poi, t }];
 
@@ -95,14 +101,21 @@ fn one_walk<R: Rng + ?Sized>(
             .reachable_set(poi, gap_min)
             .into_iter()
             .filter(|&p| {
-                p != poi && dataset.pois.get(p).opening.is_open_at(&dataset.time, next_t)
+                p != poi
+                    && dataset
+                        .pois
+                        .get(p)
+                        .opening
+                        .is_open_at(&dataset.time, next_t)
             })
             .collect();
         if candidates.is_empty() {
             break;
         }
-        let w: Vec<f64> =
-            candidates.iter().map(|&p| dataset.pois.get(p).popularity).collect();
+        let w: Vec<f64> = candidates
+            .iter()
+            .map(|&p| dataset.pois.get(p).popularity)
+            .collect();
         poi = candidates[weighted_index(&w, rng)];
         t = next_t;
         points.push(TrajectoryPoint { poi, t });
@@ -120,7 +133,10 @@ mod tests {
 
     fn dataset() -> Dataset {
         let mut rng = StdRng::seed_from_u64(9);
-        let cfg = CityConfig { num_pois: 400, ..Default::default() };
+        let cfg = CityConfig {
+            num_pois: 400,
+            ..Default::default()
+        };
         SyntheticCity::generate(&cfg, foursquare(), &mut rng).dataset
     }
 
@@ -128,7 +144,10 @@ mod tests {
     fn generates_valid_trajectories() {
         let ds = dataset();
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = TaxiFoursquareConfig { num_trajectories: 100, ..Default::default() };
+        let cfg = TaxiFoursquareConfig {
+            num_trajectories: 100,
+            ..Default::default()
+        };
         let set = generate_taxi_foursquare(&ds, &cfg, &mut rng);
         assert!(set.len() >= 80, "only {} of 100 valid", set.len());
         for t in set.all() {
@@ -140,7 +159,10 @@ mod tests {
     fn lengths_respect_bounds() {
         let ds = dataset();
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = TaxiFoursquareConfig { num_trajectories: 100, ..Default::default() };
+        let cfg = TaxiFoursquareConfig {
+            num_trajectories: 100,
+            ..Default::default()
+        };
         let set = generate_taxi_foursquare(&ds, &cfg, &mut rng);
         for t in set.all() {
             assert!((2..=8).contains(&t.len()), "len {}", t.len());
@@ -151,7 +173,10 @@ mod tests {
     fn popular_pois_are_visited_more() {
         let ds = dataset();
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = TaxiFoursquareConfig { num_trajectories: 400, ..Default::default() };
+        let cfg = TaxiFoursquareConfig {
+            num_trajectories: 400,
+            ..Default::default()
+        };
         let set = generate_taxi_foursquare(&ds, &cfg, &mut rng);
         let mut visits = vec![0usize; ds.pois.len()];
         for t in set.all() {
@@ -179,7 +204,10 @@ mod tests {
     fn starts_fall_in_configured_window() {
         let ds = dataset();
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = TaxiFoursquareConfig { num_trajectories: 120, ..Default::default() };
+        let cfg = TaxiFoursquareConfig {
+            num_trajectories: 120,
+            ..Default::default()
+        };
         let set = generate_taxi_foursquare(&ds, &cfg, &mut rng);
         for t in set.all() {
             let m = ds.time.minute_of(t.point(0).t);

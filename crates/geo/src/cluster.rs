@@ -72,7 +72,10 @@ pub fn kmeans(
         }
         for (c, (slat, slon, n)) in sums.into_iter().enumerate() {
             if n > 0 {
-                centers[c] = GeoPoint { lat: slat / n as f64, lon: slon / n as f64 };
+                centers[c] = GeoPoint {
+                    lat: slat / n as f64,
+                    lon: slon / n as f64,
+                };
             }
             // Empty clusters keep their previous center.
         }
@@ -90,7 +93,12 @@ pub fn kmeans(
         })
         .sum();
 
-    Some(KMeansResult { centers, assignment, iterations, inertia })
+    Some(KMeansResult {
+        centers,
+        assignment,
+        iterations,
+        inertia,
+    })
 }
 
 #[cfg(test)]
@@ -154,6 +162,10 @@ mod tests {
     fn converges_and_reports_iterations() {
         let pts = two_blobs();
         let res = kmeans(&pts, &[0, 1], 100).unwrap();
-        assert!(res.iterations < 100, "should converge early, took {}", res.iterations);
+        assert!(
+            res.iterations < 100,
+            "should converge early, took {}",
+            res.iterations
+        );
     }
 }

@@ -97,7 +97,10 @@ impl UniformGrid {
     ///
     /// Panics if the grids do not share a bounding box.
     pub fn coarsen(&self, cell: CellId, coarse: &UniformGrid) -> CellId {
-        assert_eq!(self.bbox, coarse.bbox, "coarsen requires matching bounding boxes");
+        assert_eq!(
+            self.bbox, coarse.bbox,
+            "coarsen requires matching bounding boxes"
+        );
         coarse.cell_of(self.cell_center(cell))
     }
 

@@ -21,13 +21,26 @@ impl BoundingBox {
     /// A box spanning exactly one point.
     #[inline]
     pub fn from_point(p: GeoPoint) -> Self {
-        Self { min_lat: p.lat, min_lon: p.lon, max_lat: p.lat, max_lon: p.lon }
+        Self {
+            min_lat: p.lat,
+            min_lon: p.lon,
+            max_lat: p.lat,
+            max_lon: p.lon,
+        }
     }
 
     /// Creates the box from explicit corners; panics if inverted.
     pub fn new(min_lat: f64, min_lon: f64, max_lat: f64, max_lon: f64) -> Self {
-        assert!(min_lat <= max_lat && min_lon <= max_lon, "inverted bounding box");
-        Self { min_lat, min_lon, max_lat, max_lon }
+        assert!(
+            min_lat <= max_lat && min_lon <= max_lon,
+            "inverted bounding box"
+        );
+        Self {
+            min_lat,
+            min_lon,
+            max_lat,
+            max_lon,
+        }
     }
 
     /// The tightest box covering a non-empty point set; `None` when empty.
@@ -61,7 +74,10 @@ impl BoundingBox {
     /// Whether `p` lies inside (inclusive).
     #[inline]
     pub fn contains(&self, p: GeoPoint) -> bool {
-        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
     }
 
     /// Whether the two boxes overlap (inclusive of edges).
@@ -75,7 +91,10 @@ impl BoundingBox {
     /// Center of the box in coordinate space.
     #[inline]
     pub fn center(&self) -> GeoPoint {
-        GeoPoint { lat: (self.min_lat + self.max_lat) / 2.0, lon: (self.min_lon + self.max_lon) / 2.0 }
+        GeoPoint {
+            lat: (self.min_lat + self.max_lat) / 2.0,
+            lon: (self.min_lon + self.max_lon) / 2.0,
+        }
     }
 
     /// Diagonal length in meters (Haversine). An upper bound on the distance

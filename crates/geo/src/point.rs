@@ -31,8 +31,14 @@ impl GeoPoint {
     /// Creates a new point. Debug-asserts the coordinates are in range.
     #[inline]
     pub fn new(lat: f64, lon: f64) -> Self {
-        debug_assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
-        debug_assert!((-180.0..=180.0).contains(&lon), "longitude out of range: {lon}");
+        debug_assert!(
+            (-90.0..=90.0).contains(&lat),
+            "latitude out of range: {lat}"
+        );
+        debug_assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude out of range: {lon}"
+        );
         Self { lat, lon }
     }
 
@@ -70,7 +76,10 @@ impl GeoPoint {
     /// Arithmetic midpoint in coordinate space (adequate at city scale).
     #[inline]
     pub fn midpoint(&self, other: &GeoPoint) -> GeoPoint {
-        GeoPoint { lat: (self.lat + other.lat) / 2.0, lon: (self.lon + other.lon) / 2.0 }
+        GeoPoint {
+            lat: (self.lat + other.lat) / 2.0,
+            lon: (self.lon + other.lon) / 2.0,
+        }
     }
 
     /// Coordinate-space centroid of a non-empty set of points.
@@ -86,7 +95,10 @@ impl GeoPoint {
         let (slat, slon) = points
             .iter()
             .fold((0.0, 0.0), |(a, b), p| (a + p.lat, b + p.lon));
-        Some(GeoPoint { lat: slat / n, lon: slon / n })
+        Some(GeoPoint {
+            lat: slat / n,
+            lon: slon / n,
+        })
     }
 
     /// Returns the point displaced by `(east_m, north_m)` meters.
@@ -96,7 +108,10 @@ impl GeoPoint {
     pub fn offset_m(&self, east_m: f64, north_m: f64) -> GeoPoint {
         let dlat = (north_m / EARTH_RADIUS_M).to_degrees();
         let dlon = (east_m / (EARTH_RADIUS_M * self.lat.to_radians().cos())).to_degrees();
-        GeoPoint { lat: self.lat + dlat, lon: self.lon + dlon }
+        GeoPoint {
+            lat: self.lat + dlat,
+            lon: self.lon + dlon,
+        }
     }
 }
 
@@ -105,8 +120,14 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    const NYC: GeoPoint = GeoPoint { lat: 40.7128, lon: -74.0060 };
-    const LONDON: GeoPoint = GeoPoint { lat: 51.5074, lon: -0.1278 };
+    const NYC: GeoPoint = GeoPoint {
+        lat: 40.7128,
+        lon: -74.0060,
+    };
+    const LONDON: GeoPoint = GeoPoint {
+        lat: 51.5074,
+        lon: -0.1278,
+    };
 
     #[test]
     fn haversine_zero_for_identical_points() {
@@ -135,8 +156,14 @@ mod tests {
 
     #[test]
     fn metric_dispatch_matches_direct_calls() {
-        assert_eq!(NYC.distance_m(&LONDON, DistanceMetric::Haversine), NYC.haversine_m(&LONDON));
-        assert_eq!(NYC.distance_m(&LONDON, DistanceMetric::Euclidean), NYC.euclidean_m(&LONDON));
+        assert_eq!(
+            NYC.distance_m(&LONDON, DistanceMetric::Haversine),
+            NYC.haversine_m(&LONDON)
+        );
+        assert_eq!(
+            NYC.distance_m(&LONDON, DistanceMetric::Euclidean),
+            NYC.euclidean_m(&LONDON)
+        );
     }
 
     #[test]

@@ -32,7 +32,9 @@ impl Quadtree {
     pub fn build(points: &[GeoPoint], capacity: usize, max_depth: u32) -> Self {
         assert!(!points.is_empty(), "quadtree needs points");
         assert!(capacity > 0, "capacity must be positive");
-        let bbox = BoundingBox::covering(points).expect("non-empty").inflate(1e-9);
+        let bbox = BoundingBox::covering(points)
+            .expect("non-empty")
+            .inflate(1e-9);
         let mut tree = Self {
             nodes: vec![Node {
                 bbox,
@@ -76,7 +78,11 @@ impl Quadtree {
         let mut child_ids = [0u32; 4];
         for (q, bucket) in buckets.into_iter().enumerate() {
             let id = self.nodes.len() as u32;
-            self.nodes.push(Node { bbox: quads[q], points: bucket, children: None });
+            self.nodes.push(Node {
+                bbox: quads[q],
+                points: bucket,
+                children: None,
+            });
             child_ids[q] = id;
         }
         self.nodes[n].points = Vec::new();
@@ -187,7 +193,10 @@ mod tests {
             .filter(|(_, m)| m.iter().all(|&i| i >= 40))
             .map(|(bb, _)| area(bb))
             .sum::<f64>();
-        assert!(dense_area < sparse_area, "dense {dense_area} vs sparse {sparse_area}");
+        assert!(
+            dense_area < sparse_area,
+            "dense {dense_area} vs sparse {sparse_area}"
+        );
     }
 
     #[test]

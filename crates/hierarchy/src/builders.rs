@@ -17,52 +17,120 @@ use crate::tree::{CategoryHierarchy, CategoryId};
 /// (≈ 100 leaves overall).
 pub fn foursquare() -> CategoryHierarchy {
     let spec: &[(&str, &[(&str, &[&str])])] = &[
-        ("Arts & Entertainment", &[
-            ("Museum", &["Art Museum", "History Museum", "Science Museum"]),
-            ("Performing Arts", &["Theater", "Concert Hall", "Opera House"]),
-            ("Stadium", &["Baseball Stadium", "Football Stadium", "Basketball Arena"]),
-            ("Movie Theater", &["Multiplex", "Indie Movie Theater"]),
-        ]),
-        ("Food", &[
-            ("Restaurant", &["Italian Restaurant", "Chinese Restaurant", "Mexican Restaurant", "American Restaurant"]),
-            ("Fast Food", &["Burger Joint", "Pizza Place", "Sandwich Place"]),
-            ("Café", &["Coffee Shop", "Tea Room", "Bakery"]),
-            ("Dessert", &["Ice Cream Shop", "Donut Shop"]),
-        ]),
-        ("Nightlife Spot", &[
-            ("Bar", &["Dive Bar", "Wine Bar", "Cocktail Bar", "Sports Bar"]),
-            ("Nightclub", &["Dance Club", "Jazz Club"]),
-            ("Pub", &["Irish Pub", "Gastropub"]),
-        ]),
-        ("Outdoors & Recreation", &[
-            ("Park", &["City Park", "Playground", "Botanical Garden"]),
-            ("Gym / Fitness", &["Gym", "Yoga Studio", "Climbing Gym"]),
-            ("Water", &["Beach", "Marina"]),
-        ]),
-        ("Professional & Other Places", &[
-            ("Office", &["Corporate Office", "Coworking Space", "Tech Startup Office"]),
-            ("Medical", &["Hospital", "Dentist's Office", "Doctor's Office"]),
-            ("School", &["Elementary School", "High School", "University Building"]),
-        ]),
-        ("Shop & Service", &[
-            ("Clothing", &["Shoe Shop", "Boutique", "Department Store"]),
-            ("Food & Drink Shop", &["Grocery Store", "Liquor Store", "Farmers Market"]),
-            ("Services", &["Bank", "Salon / Barbershop", "Laundry Service"]),
-            ("Electronics", &["Electronics Store", "Mobile Phone Shop"]),
-        ]),
-        ("Travel & Transport", &[
-            ("Station", &["Train Station", "Metro Station", "Bus Station"]),
-            ("Airport", &["Airport Terminal", "Airport Lounge"]),
-            ("Lodging", &["Hotel", "Hostel", "Bed & Breakfast"]),
-        ]),
-        ("Residence", &[
-            ("Home", &["Home (private)", "Apartment Building"]),
-            ("Student Housing", &["Dormitory", "Student Apartment"]),
-        ]),
-        ("Event", &[
-            ("Public Event", &["Street Fair", "Parade", "Festival"]),
-            ("Private Event", &["Conference", "Convention", "Trade Show"]),
-        ]),
+        (
+            "Arts & Entertainment",
+            &[
+                (
+                    "Museum",
+                    &["Art Museum", "History Museum", "Science Museum"],
+                ),
+                (
+                    "Performing Arts",
+                    &["Theater", "Concert Hall", "Opera House"],
+                ),
+                (
+                    "Stadium",
+                    &["Baseball Stadium", "Football Stadium", "Basketball Arena"],
+                ),
+                ("Movie Theater", &["Multiplex", "Indie Movie Theater"]),
+            ],
+        ),
+        (
+            "Food",
+            &[
+                (
+                    "Restaurant",
+                    &[
+                        "Italian Restaurant",
+                        "Chinese Restaurant",
+                        "Mexican Restaurant",
+                        "American Restaurant",
+                    ],
+                ),
+                (
+                    "Fast Food",
+                    &["Burger Joint", "Pizza Place", "Sandwich Place"],
+                ),
+                ("Café", &["Coffee Shop", "Tea Room", "Bakery"]),
+                ("Dessert", &["Ice Cream Shop", "Donut Shop"]),
+            ],
+        ),
+        (
+            "Nightlife Spot",
+            &[
+                (
+                    "Bar",
+                    &["Dive Bar", "Wine Bar", "Cocktail Bar", "Sports Bar"],
+                ),
+                ("Nightclub", &["Dance Club", "Jazz Club"]),
+                ("Pub", &["Irish Pub", "Gastropub"]),
+            ],
+        ),
+        (
+            "Outdoors & Recreation",
+            &[
+                ("Park", &["City Park", "Playground", "Botanical Garden"]),
+                ("Gym / Fitness", &["Gym", "Yoga Studio", "Climbing Gym"]),
+                ("Water", &["Beach", "Marina"]),
+            ],
+        ),
+        (
+            "Professional & Other Places",
+            &[
+                (
+                    "Office",
+                    &["Corporate Office", "Coworking Space", "Tech Startup Office"],
+                ),
+                (
+                    "Medical",
+                    &["Hospital", "Dentist's Office", "Doctor's Office"],
+                ),
+                (
+                    "School",
+                    &["Elementary School", "High School", "University Building"],
+                ),
+            ],
+        ),
+        (
+            "Shop & Service",
+            &[
+                ("Clothing", &["Shoe Shop", "Boutique", "Department Store"]),
+                (
+                    "Food & Drink Shop",
+                    &["Grocery Store", "Liquor Store", "Farmers Market"],
+                ),
+                (
+                    "Services",
+                    &["Bank", "Salon / Barbershop", "Laundry Service"],
+                ),
+                ("Electronics", &["Electronics Store", "Mobile Phone Shop"]),
+            ],
+        ),
+        (
+            "Travel & Transport",
+            &[
+                (
+                    "Station",
+                    &["Train Station", "Metro Station", "Bus Station"],
+                ),
+                ("Airport", &["Airport Terminal", "Airport Lounge"]),
+                ("Lodging", &["Hotel", "Hostel", "Bed & Breakfast"]),
+            ],
+        ),
+        (
+            "Residence",
+            &[
+                ("Home", &["Home (private)", "Apartment Building"]),
+                ("Student Housing", &["Dormitory", "Student Apartment"]),
+            ],
+        ),
+        (
+            "Event",
+            &[
+                ("Public Event", &["Street Fair", "Parade", "Festival"]),
+                ("Private Event", &["Conference", "Convention", "Trade Show"]),
+            ],
+        ),
     ];
     build_from_spec(spec)
 }
@@ -72,42 +140,115 @@ pub fn foursquare() -> CategoryHierarchy {
 /// Safegraph uses.
 pub fn naics() -> CategoryHierarchy {
     let spec: &[(&str, &[(&str, &[&str])])] = &[
-        ("44-45 Retail Trade", &[
-            ("441 Motor Vehicle Dealers", &["4411 Automobile Dealers", "4413 Auto Parts Stores"]),
-            ("445 Food & Beverage Stores", &["4451 Grocery Stores", "4452 Specialty Food", "4453 Liquor Stores"]),
-            ("448 Clothing Stores", &["4481 Clothing", "4482 Shoe Stores", "4483 Jewelry"]),
-            ("452 General Merchandise", &["4522 Department Stores", "4523 Supercenters"]),
-        ]),
-        ("72 Accommodation & Food Services", &[
-            ("721 Accommodation", &["7211 Hotels", "7213 Rooming Houses"]),
-            ("722 Food Services", &["7223 Special Food Services", "7224 Drinking Places", "7225 Restaurants"]),
-        ]),
-        ("71 Arts, Entertainment & Recreation", &[
-            ("711 Performing Arts & Sports", &["7111 Performing Arts Companies", "7112 Spectator Sports"]),
-            ("712 Museums & Historical Sites", &["7121 Museums & Parks"]),
-            ("713 Amusement & Recreation", &["7131 Amusement Parks", "7139 Other Recreation"]),
-        ]),
-        ("62 Health Care & Social Assistance", &[
-            ("621 Ambulatory Health Care", &["6211 Offices of Physicians", "6212 Offices of Dentists"]),
-            ("622 Hospitals", &["6221 General Hospitals"]),
-            ("624 Social Assistance", &["6244 Child Day Care"]),
-        ]),
-        ("61 Educational Services", &[
-            ("611 Educational Services", &["6111 Elementary & Secondary Schools", "6113 Colleges & Universities", "6116 Other Schools"]),
-        ]),
-        ("81 Other Services", &[
-            ("811 Repair & Maintenance", &["8111 Automotive Repair"]),
-            ("812 Personal & Laundry", &["8121 Personal Care Services", "8123 Drycleaning & Laundry"]),
-            ("813 Religious & Civic Orgs", &["8131 Religious Organizations"]),
-        ]),
-        ("48-49 Transportation & Warehousing", &[
-            ("481 Air Transportation", &["4811 Scheduled Air"]),
-            ("485 Transit & Ground Passenger", &["4851 Urban Transit", "4853 Taxi Service"]),
-        ]),
-        ("52 Finance & Insurance", &[
-            ("522 Credit Intermediation", &["5221 Depository Credit (Banks)"]),
-            ("524 Insurance Carriers", &["5241 Insurance Carriers"]),
-        ]),
+        (
+            "44-45 Retail Trade",
+            &[
+                (
+                    "441 Motor Vehicle Dealers",
+                    &["4411 Automobile Dealers", "4413 Auto Parts Stores"],
+                ),
+                (
+                    "445 Food & Beverage Stores",
+                    &[
+                        "4451 Grocery Stores",
+                        "4452 Specialty Food",
+                        "4453 Liquor Stores",
+                    ],
+                ),
+                (
+                    "448 Clothing Stores",
+                    &["4481 Clothing", "4482 Shoe Stores", "4483 Jewelry"],
+                ),
+                (
+                    "452 General Merchandise",
+                    &["4522 Department Stores", "4523 Supercenters"],
+                ),
+            ],
+        ),
+        (
+            "72 Accommodation & Food Services",
+            &[
+                ("721 Accommodation", &["7211 Hotels", "7213 Rooming Houses"]),
+                (
+                    "722 Food Services",
+                    &[
+                        "7223 Special Food Services",
+                        "7224 Drinking Places",
+                        "7225 Restaurants",
+                    ],
+                ),
+            ],
+        ),
+        (
+            "71 Arts, Entertainment & Recreation",
+            &[
+                (
+                    "711 Performing Arts & Sports",
+                    &["7111 Performing Arts Companies", "7112 Spectator Sports"],
+                ),
+                ("712 Museums & Historical Sites", &["7121 Museums & Parks"]),
+                (
+                    "713 Amusement & Recreation",
+                    &["7131 Amusement Parks", "7139 Other Recreation"],
+                ),
+            ],
+        ),
+        (
+            "62 Health Care & Social Assistance",
+            &[
+                (
+                    "621 Ambulatory Health Care",
+                    &["6211 Offices of Physicians", "6212 Offices of Dentists"],
+                ),
+                ("622 Hospitals", &["6221 General Hospitals"]),
+                ("624 Social Assistance", &["6244 Child Day Care"]),
+            ],
+        ),
+        (
+            "61 Educational Services",
+            &[(
+                "611 Educational Services",
+                &[
+                    "6111 Elementary & Secondary Schools",
+                    "6113 Colleges & Universities",
+                    "6116 Other Schools",
+                ],
+            )],
+        ),
+        (
+            "81 Other Services",
+            &[
+                ("811 Repair & Maintenance", &["8111 Automotive Repair"]),
+                (
+                    "812 Personal & Laundry",
+                    &["8121 Personal Care Services", "8123 Drycleaning & Laundry"],
+                ),
+                (
+                    "813 Religious & Civic Orgs",
+                    &["8131 Religious Organizations"],
+                ),
+            ],
+        ),
+        (
+            "48-49 Transportation & Warehousing",
+            &[
+                ("481 Air Transportation", &["4811 Scheduled Air"]),
+                (
+                    "485 Transit & Ground Passenger",
+                    &["4851 Urban Transit", "4853 Taxi Service"],
+                ),
+            ],
+        ),
+        (
+            "52 Finance & Insurance",
+            &[
+                (
+                    "522 Credit Intermediation",
+                    &["5221 Depository Credit (Banks)"],
+                ),
+                ("524 Insurance Carriers", &["5241 Insurance Carriers"]),
+            ],
+        ),
     ];
     build_from_spec(spec)
 }
@@ -117,18 +258,27 @@ pub fn naics() -> CategoryHierarchy {
 /// more than one level of structure.
 pub fn campus() -> CategoryHierarchy {
     let spec: &[(&str, &[(&str, &[&str])])] = &[
-        ("Academic", &[
-            ("Teaching", &["Academic Building", "Lecture Hall"]),
-            ("Research", &["Laboratory", "Library"]),
-        ]),
-        ("Student Life", &[
-            ("Housing", &["Student Residence"]),
-            ("Amenities", &["Dining Hall", "Student Union"]),
-        ]),
-        ("Facilities", &[
-            ("Sport", &["Stadium / Gym"]),
-            ("Admin", &["Administrative Building"]),
-        ]),
+        (
+            "Academic",
+            &[
+                ("Teaching", &["Academic Building", "Lecture Hall"]),
+                ("Research", &["Laboratory", "Library"]),
+            ],
+        ),
+        (
+            "Student Life",
+            &[
+                ("Housing", &["Student Residence"]),
+                ("Amenities", &["Dining Hall", "Student Union"]),
+            ],
+        ),
+        (
+            "Facilities",
+            &[
+                ("Sport", &["Stadium / Gym"]),
+                ("Admin", &["Administrative Building"]),
+            ],
+        ),
     ];
     build_from_spec(spec)
 }

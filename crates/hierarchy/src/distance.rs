@@ -131,7 +131,12 @@ mod tests {
         let root1 = h.add_root("root1");
         let mid10 = h.add_child(root1, "mid10");
         let leafy = h.add_child(mid10, "leafY");
-        (h, vec![root0, mid00, leaf0, leaf1, leaf2, mid01, leafx, root1, mid10, leafy])
+        (
+            h,
+            vec![
+                root0, mid00, leaf0, leaf1, leaf2, mid01, leafx, root1, mid10, leafy,
+            ],
+        )
     }
 
     #[test]

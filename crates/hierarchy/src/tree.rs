@@ -46,7 +46,11 @@ impl CategoryHierarchy {
 
     /// Adds a level-1 root category and returns its id.
     pub fn add_root(&mut self, name: impl Into<String>) -> CategoryId {
-        self.push(CategoryNode { name: name.into(), parent: None, level: 1 })
+        self.push(CategoryNode {
+            name: name.into(),
+            parent: None,
+            level: 1,
+        })
     }
 
     /// Adds a child of `parent` and returns its id.
@@ -54,7 +58,11 @@ impl CategoryHierarchy {
     /// Panics if `parent` is out of bounds.
     pub fn add_child(&mut self, parent: CategoryId, name: impl Into<String>) -> CategoryId {
         let level = self.nodes[parent.index()].level + 1;
-        self.push(CategoryNode { name: name.into(), parent: Some(parent), level })
+        self.push(CategoryNode {
+            name: name.into(),
+            parent: Some(parent),
+            level,
+        })
     }
 
     fn push(&mut self, node: CategoryNode) -> CategoryId {

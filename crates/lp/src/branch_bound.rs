@@ -27,7 +27,11 @@ pub fn solve_ilp(lp: &LinearProgram, max_nodes: usize) -> Solution {
                     s.status = SolveStatus::NodeLimit;
                     s
                 }
-                None => Solution { status: SolveStatus::NodeLimit, x: vec![], objective: f64::INFINITY },
+                None => Solution {
+                    status: SolveStatus::NodeLimit,
+                    x: vec![],
+                    objective: f64::INFINITY,
+                },
             };
         }
         nodes += 1;
@@ -74,8 +78,12 @@ pub fn solve_ilp(lp: &LinearProgram, max_nodes: usize) -> Solution {
                     }
                 }
                 let objective = lp.objective_value(&x);
-                let cand = Solution { status: SolveStatus::Optimal, x, objective };
-                if best.as_ref().map_or(true, |b| cand.objective < b.objective) {
+                let cand = Solution {
+                    status: SolveStatus::Optimal,
+                    x,
+                    objective,
+                };
+                if best.as_ref().is_none_or(|b| cand.objective < b.objective) {
                     best = Some(cand);
                 }
             }
@@ -197,8 +205,16 @@ mod tests {
             }
         }
         for i in 0..3 {
-            lp.add_constraint((0..3).map(|j| (vars[i][j], 1.0)).collect(), Relation::Eq, 1.0);
-            lp.add_constraint((0..3).map(|j| (vars[j][i], 1.0)).collect(), Relation::Eq, 1.0);
+            lp.add_constraint(
+                (0..3).map(|j| (vars[i][j], 1.0)).collect(),
+                Relation::Eq,
+                1.0,
+            );
+            lp.add_constraint(
+                (0..3).map(|j| (vars[j][i], 1.0)).collect(),
+                Relation::Eq,
+                1.0,
+            );
         }
         let s = solve_ilp(&lp, 10_000);
         assert_eq!(s.status, SolveStatus::Optimal);

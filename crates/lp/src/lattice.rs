@@ -49,7 +49,10 @@ impl LatticeProblem {
     /// Validates internal consistency; called by the solvers.
     fn validate(&self) {
         for &(u, v) in &self.arcs {
-            assert!(u < self.num_nodes && v < self.num_nodes, "arc endpoint out of range");
+            assert!(
+                u < self.num_nodes && v < self.num_nodes,
+                "arc endpoint out of range"
+            );
         }
         for row in &self.costs {
             assert_eq!(row.len(), self.arcs.len(), "cost row length mismatch");
@@ -136,7 +139,11 @@ impl LatticeProblem {
         let var = |pos: usize, a: usize| pos * na + a;
         // Eq. 14 (and 13 in aggregate): exactly one bigram per position.
         for pos in 0..len {
-            lp.add_constraint((0..na).map(|a| (var(pos, a), 1.0)).collect(), Relation::Eq, 1.0);
+            lp.add_constraint(
+                (0..na).map(|a| (var(pos, a), 1.0)).collect(),
+                Relation::Eq,
+                1.0,
+            );
         }
         // Eq. 11–12 as flow conservation: for each position boundary and
         // node r, arcs entering r at `pos` equal arcs leaving r at `pos+1`.
@@ -187,7 +194,11 @@ impl LatticeProblem {
         for &a in &arcs {
             nodes.push(self.arcs[a].1);
         }
-        Some(LatticeSolution { arcs, nodes, cost: sol.objective })
+        Some(LatticeSolution {
+            arcs,
+            nodes,
+            cost: sol.objective,
+        })
     }
 }
 
@@ -213,9 +224,14 @@ mod tests {
                 5.0 + u as f64 + v as f64
             }
         };
-        let costs: Vec<Vec<f64>> =
-            (0..2).map(|p| arcs.iter().map(|&(u, v)| cost(p, u, v)).collect()).collect();
-        LatticeProblem { num_nodes: 3, arcs, costs }
+        let costs: Vec<Vec<f64>> = (0..2)
+            .map(|p| arcs.iter().map(|&(u, v)| cost(p, u, v)).collect())
+            .collect();
+        LatticeProblem {
+            num_nodes: 3,
+            arcs,
+            costs,
+        }
     }
 
     #[test]
@@ -241,7 +257,11 @@ mod tests {
         // discontinuous. The solvers must pay for continuity.
         let arcs = vec![(0, 1), (2, 0), (1, 0)];
         let costs = vec![vec![0.0, 10.0, 1.0], vec![10.0, 0.0, 1.0]];
-        let p = LatticeProblem { num_nodes: 3, arcs, costs };
+        let p = LatticeProblem {
+            num_nodes: 3,
+            arcs,
+            costs,
+        };
         let s = p.solve_viterbi().unwrap();
         for w in s.arcs.windows(2) {
             assert_eq!(p.arcs[w[0]].1, p.arcs[w[1]].0);
@@ -257,14 +277,22 @@ mod tests {
         // Arcs that can never chain across two positions.
         let arcs = vec![(0, 1)];
         let costs = vec![vec![1.0], vec![1.0]];
-        let p = LatticeProblem { num_nodes: 2, arcs, costs };
+        let p = LatticeProblem {
+            num_nodes: 2,
+            arcs,
+            costs,
+        };
         assert!(p.solve_viterbi().is_none());
         assert!(p.solve_ilp(1000).is_none());
     }
 
     #[test]
     fn zero_positions_returns_none() {
-        let p = LatticeProblem { num_nodes: 2, arcs: vec![(0, 1)], costs: vec![] };
+        let p = LatticeProblem {
+            num_nodes: 2,
+            arcs: vec![(0, 1)],
+            costs: vec![],
+        };
         assert!(p.solve_viterbi().is_none());
     }
 
@@ -272,7 +300,11 @@ mod tests {
     fn single_position_picks_min_cost_arc() {
         let arcs = vec![(0, 1), (1, 0), (0, 0)];
         let costs = vec![vec![3.0, 1.0, 2.0]];
-        let p = LatticeProblem { num_nodes: 2, arcs, costs };
+        let p = LatticeProblem {
+            num_nodes: 2,
+            arcs,
+            costs,
+        };
         let s = p.solve_viterbi().unwrap();
         assert_eq!(s.arcs, vec![1]);
         assert_eq!(s.nodes, vec![1, 0]);
@@ -282,7 +314,11 @@ mod tests {
     fn self_loops_allowed() {
         let arcs = vec![(0, 0)];
         let costs = vec![vec![1.0]; 4];
-        let p = LatticeProblem { num_nodes: 1, arcs, costs };
+        let p = LatticeProblem {
+            num_nodes: 1,
+            arcs,
+            costs,
+        };
         let s = p.solve_viterbi().unwrap();
         assert_eq!(s.nodes, vec![0; 5]);
         assert_eq!(s.cost, 4.0);

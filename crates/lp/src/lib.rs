@@ -22,5 +22,5 @@ pub mod simplex;
 
 pub use branch_bound::solve_ilp;
 pub use lattice::{LatticeProblem, LatticeSolution};
-pub use problem::{Constraint, LinearProgram, Relation, SolveStatus, Solution};
+pub use problem::{Constraint, LinearProgram, Relation, Solution, SolveStatus};
 pub use simplex::solve_lp;

@@ -66,9 +66,16 @@ impl LinearProgram {
     /// Adds a constraint. Panics on out-of-range variable indices.
     pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, relation: Relation, rhs: f64) {
         for &(i, _) in &coeffs {
-            assert!(i < self.objective.len(), "constraint references unknown variable {i}");
+            assert!(
+                i < self.objective.len(),
+                "constraint references unknown variable {i}"
+            );
         }
-        self.constraints.push(Constraint { coeffs, relation, rhs });
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
     }
 
     /// Number of variables.
@@ -115,7 +122,10 @@ impl LinearProgram {
 
     /// Tightens the bounds of a variable (used by branch & bound).
     pub fn set_bounds(&mut self, var: usize, lb: f64, ub: f64) {
-        assert!(ub >= lb - 1e-12, "invalid bounds [{lb}, {ub}] for var {var}");
+        assert!(
+            ub >= lb - 1e-12,
+            "invalid bounds [{lb}, {ub}] for var {var}"
+        );
         self.lower[var] = lb;
         self.upper[var] = ub.max(lb);
     }
@@ -170,11 +180,19 @@ pub struct Solution {
 
 impl Solution {
     pub fn infeasible() -> Self {
-        Self { status: SolveStatus::Infeasible, x: Vec::new(), objective: f64::INFINITY }
+        Self {
+            status: SolveStatus::Infeasible,
+            x: Vec::new(),
+            objective: f64::INFINITY,
+        }
     }
 
     pub fn unbounded() -> Self {
-        Self { status: SolveStatus::Unbounded, x: Vec::new(), objective: f64::NEG_INFINITY }
+        Self {
+            status: SolveStatus::Unbounded,
+            x: Vec::new(),
+            objective: f64::NEG_INFINITY,
+        }
     }
 }
 

@@ -21,7 +21,11 @@ pub const TOL: f64 = 1e-7;
 pub fn solve_lp(lp: &LinearProgram) -> Solution {
     let n = lp.num_vars();
     if n == 0 {
-        return Solution { status: SolveStatus::Optimal, x: Vec::new(), objective: 0.0 };
+        return Solution {
+            status: SolveStatus::Optimal,
+            x: Vec::new(),
+            objective: 0.0,
+        };
     }
 
     // --- Build rows in shifted space (x' = x - lb >= 0). ---
@@ -40,14 +44,22 @@ pub fn solve_lp(lp: &LinearProgram) -> Solution {
             dense[i] += a;
             shift += a * lb[i];
         }
-        rows.push(Row { coeffs: dense, relation: c.relation, rhs: c.rhs - shift });
+        rows.push(Row {
+            coeffs: dense,
+            relation: c.relation,
+            rhs: c.rhs - shift,
+        });
     }
     // Finite upper bounds become x'_i <= ub_i - lb_i.
     for i in 0..n {
         if ub[i].is_finite() {
             let mut dense = vec![0.0; n];
             dense[i] = 1.0;
-            rows.push(Row { coeffs: dense, relation: Relation::Le, rhs: ub[i] - lb[i] });
+            rows.push(Row {
+                coeffs: dense,
+                relation: Relation::Le,
+                rhs: ub[i] - lb[i],
+            });
         }
     }
     // Normalize rhs >= 0.
@@ -161,8 +173,15 @@ pub fn solve_lp(lp: &LinearProgram) -> Solution {
     let mut cost = vec![0.0f64; total];
     cost[..n].copy_from_slice(lp.objective());
     let banned = art_cols;
-    let status =
-        run_simplex(&mut t, &mut basis, &cost, total, rhs_col, max_iters, Some(&banned));
+    let status = run_simplex(
+        &mut t,
+        &mut basis,
+        &cost,
+        total,
+        rhs_col,
+        max_iters,
+        Some(&banned),
+    );
     if status == InnerStatus::Unbounded {
         return Solution::unbounded();
     }
@@ -176,7 +195,11 @@ pub fn solve_lp(lp: &LinearProgram) -> Solution {
         }
     }
     let objective = lp.objective_value(&x);
-    Solution { status: SolveStatus::Optimal, x, objective }
+    Solution {
+        status: SolveStatus::Optimal,
+        x,
+        objective,
+    }
 }
 
 #[derive(PartialEq)]
@@ -242,8 +265,7 @@ fn run_simplex(
             if a > EPS {
                 let ratio = t[ri][rhs_col] / a;
                 if ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leave.map_or(true, |l| basis[ri] < basis[l]))
+                    || (ratio < best_ratio + EPS && leave.is_none_or(|l| basis[ri] < basis[l]))
                 {
                     best_ratio = ratio;
                     leave = Some(ri);
@@ -407,8 +429,16 @@ mod tests {
         let z = lp.add_var(-0.02, 0.0, f64::INFINITY);
         let w = lp.add_var(6.0, 0.0, f64::INFINITY);
         // Beale's cycling example.
-        lp.add_constraint(vec![(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Relation::Le, 0.0);
-        lp.add_constraint(vec![(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Relation::Le, 0.0);
+        lp.add_constraint(
+            vec![(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)],
+            Relation::Le,
+            0.0,
+        );
         lp.add_constraint(vec![(z, 1.0)], Relation::Le, 1.0);
         let s = solve_lp(&lp);
         assert_eq!(s.status, SolveStatus::Optimal);
@@ -418,7 +448,9 @@ mod tests {
     #[test]
     fn solution_is_feasible_for_random_like_instance() {
         let mut lp = LinearProgram::new();
-        let v: Vec<usize> = (0..6).map(|i| lp.add_var((i as f64) - 2.5, 0.0, 3.0)).collect();
+        let v: Vec<usize> = (0..6)
+            .map(|i| lp.add_var((i as f64) - 2.5, 0.0, 3.0))
+            .collect();
         lp.add_constraint(v.iter().map(|&i| (i, 1.0)).collect(), Relation::Eq, 6.0);
         lp.add_constraint(vec![(v[0], 1.0), (v[5], 1.0)], Relation::Ge, 1.0);
         lp.add_constraint(vec![(v[1], 2.0), (v[2], -1.0)], Relation::Le, 2.0);

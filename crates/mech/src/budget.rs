@@ -40,8 +40,15 @@ pub struct PrivacyBudget {
 impl PrivacyBudget {
     /// Creates an accountant with `total` budget. Panics on non-positive ε.
     pub fn new(total: f64) -> Self {
-        assert!(total > 0.0 && total.is_finite(), "total budget must be positive");
-        Self { total, spent: 0.0, tolerance: total * 1e-9 }
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "total budget must be positive"
+        );
+        Self {
+            total,
+            spent: 0.0,
+            tolerance: total * 1e-9,
+        }
     }
 
     /// Total budget.
@@ -64,9 +71,15 @@ impl PrivacyBudget {
 
     /// Consumes `epsilon` from the budget, or fails without side effects.
     pub fn consume(&mut self, epsilon: f64) -> Result<(), BudgetError> {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "consumed ε must be positive");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "consumed ε must be positive"
+        );
         if self.spent + epsilon > self.total + self.tolerance {
-            return Err(BudgetError { requested: epsilon, remaining: self.remaining() });
+            return Err(BudgetError {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
         }
         self.spent += epsilon;
         Ok(())
@@ -104,7 +117,10 @@ mod tests {
         b.consume(0.9).unwrap();
         let err = b.consume(0.2).unwrap_err();
         assert!((err.remaining - 0.1).abs() < 1e-12);
-        assert!((b.spent() - 0.9).abs() < 1e-12, "failed draw must not consume");
+        assert!(
+            (b.spent() - 0.9).abs() < 1e-12,
+            "failed draw must not consume"
+        );
     }
 
     #[test]
@@ -126,7 +142,8 @@ mod tests {
         let parts = 10_000;
         let share = b.equal_share(parts);
         for i in 0..parts {
-            b.consume(share).unwrap_or_else(|e| panic!("failed at {i}: {e}"));
+            b.consume(share)
+                .unwrap_or_else(|e| panic!("failed at {i}: {e}"));
         }
     }
 

@@ -22,12 +22,18 @@ impl ExponentialMechanism {
     /// Creates a mechanism. Panics on non-positive ε or sensitivity — both
     /// indicate a configuration bug, not a runtime condition.
     pub fn new(epsilon: f64, sensitivity: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive, got {epsilon}");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive, got {epsilon}"
+        );
         assert!(
             sensitivity > 0.0 && sensitivity.is_finite(),
             "sensitivity must be positive, got {sensitivity}"
         );
-        Self { epsilon, sensitivity }
+        Self {
+            epsilon,
+            sensitivity,
+        }
     }
 
     /// The privacy parameter ε.
@@ -61,7 +67,11 @@ impl ExponentialMechanism {
 
     /// Samples using *distances* instead of qualities (`q = -d`), matching
     /// the paper's Eq. 4 / Eq. 6 formulation directly.
-    pub fn sample_by_distance<R: Rng + ?Sized>(&self, distances: &[f64], rng: &mut R) -> Option<usize> {
+    pub fn sample_by_distance<R: Rng + ?Sized>(
+        &self,
+        distances: &[f64],
+        rng: &mut R,
+    ) -> Option<usize> {
         let s = self.scale();
         let log_w: Vec<f64> = distances.iter().map(|&d| -d * s).collect();
         gumbel_argmax(&log_w, rng)
@@ -159,7 +169,11 @@ mod tests {
         }
         for i in 0..4 {
             let got = counts[i] as f64 / n as f64;
-            assert!((got - p[i]).abs() < 0.015, "idx {i}: got {got}, expect {}", p[i]);
+            assert!(
+                (got - p[i]).abs() < 0.015,
+                "idx {i}: got {got}, expect {}",
+                p[i]
+            );
         }
     }
 

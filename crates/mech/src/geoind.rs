@@ -124,8 +124,16 @@ mod tests {
             sy += dy;
         }
         let mean_mag = 200.0; // mean radius for eps 0.01
-        assert!((sx / n as f64).abs() < mean_mag * 0.05, "x bias {}", sx / n as f64);
-        assert!((sy / n as f64).abs() < mean_mag * 0.05, "y bias {}", sy / n as f64);
+        assert!(
+            (sx / n as f64).abs() < mean_mag * 0.05,
+            "x bias {}",
+            sx / n as f64
+        );
+        assert!(
+            (sy / n as f64).abs() < mean_mag * 0.05,
+            "y bias {}",
+            sy / n as f64
+        );
     }
 
     #[test]

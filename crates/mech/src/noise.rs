@@ -12,7 +12,10 @@ use rand::Rng;
 /// Inverse-CDF method: for `u ~ U(-1/2, 1/2)`,
 /// `X = -b · sgn(u) · ln(1 - 2|u|)` is Laplace(0, b).
 pub fn laplace_noise<R: Rng + ?Sized>(sensitivity: f64, epsilon: f64, rng: &mut R) -> f64 {
-    assert!(sensitivity > 0.0 && epsilon > 0.0, "sensitivity and epsilon must be positive");
+    assert!(
+        sensitivity > 0.0 && epsilon > 0.0,
+        "sensitivity and epsilon must be positive"
+    );
     let b = sensitivity / epsilon;
     let u: f64 = rng.random::<f64>() - 0.5;
     let mag = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE);
@@ -42,7 +45,10 @@ mod tests {
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
         let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         let expect = 2.0 * b * b;
-        assert!((var - expect).abs() / expect < 0.05, "var {var}, expect {expect}");
+        assert!(
+            (var - expect).abs() / expect < 0.05,
+            "var {var}, expect {expect}"
+        );
     }
 
     #[test]
@@ -50,7 +56,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let n = 50_000;
         let spread = |eps: f64, rng: &mut StdRng| -> f64 {
-            (0..n).map(|_| laplace_noise(1.0, eps, rng).abs()).sum::<f64>() / n as f64
+            (0..n)
+                .map(|_| laplace_noise(1.0, eps, rng).abs())
+                .sum::<f64>()
+                / n as f64
         };
         let wide = spread(0.5, &mut rng);
         let tight = spread(5.0, &mut rng);

@@ -19,11 +19,18 @@ pub fn permute_and_flip<R: Rng + ?Sized>(
     sensitivity: f64,
     rng: &mut R,
 ) -> Option<usize> {
-    assert!(epsilon > 0.0 && sensitivity > 0.0, "epsilon and sensitivity must be positive");
+    assert!(
+        epsilon > 0.0 && sensitivity > 0.0,
+        "epsilon and sensitivity must be positive"
+    );
     if qualities.is_empty() {
         return None;
     }
-    let q_star = qualities.iter().copied().filter(|q| !q.is_nan()).fold(f64::NEG_INFINITY, f64::max);
+    let q_star = qualities
+        .iter()
+        .copied()
+        .filter(|q| !q.is_nan())
+        .fold(f64::NEG_INFINITY, f64::max);
     if q_star == f64::NEG_INFINITY {
         return None;
     }

@@ -109,7 +109,10 @@ mod tests {
         for (i, &c) in counts.iter().enumerate() {
             let got = c as f64 / n as f64;
             let expect = if i == truth { p_true } else { p_other };
-            assert!((got - expect).abs() < 0.01, "idx {i}: got {got}, expect {expect}");
+            assert!(
+                (got - expect).abs() < 0.01,
+                "idx {i}: got {got}, expect {expect}"
+            );
         }
     }
 }

@@ -14,8 +14,8 @@ pub fn sample_from_weights<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Opt
     }
     let mut total = 0.0f64;
     for &w in weights {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberate: also catches NaN
         if !(w >= 0.0) {
-            // Catches negatives and NaN in one comparison.
             return None;
         }
         total += w;
@@ -63,7 +63,7 @@ pub fn gumbel_argmax<R: Rng + ?Sized>(log_weights: &[f64], rng: &mut R) -> Optio
         let u: f64 = rng.random::<f64>().clamp(1e-300, 1.0 - 1e-16);
         let g = -(-u.ln()).ln();
         let key = lw + g;
-        if best.map_or(true, |(_, b)| key > b) {
+        if best.is_none_or(|(_, b)| key > b) {
             best = Some((i, key));
         }
     }
@@ -123,7 +123,10 @@ mod tests {
         for (i, &w) in weights.iter().enumerate() {
             let expect = w / total;
             let got = counts[i] as f64 / n as f64;
-            assert!((got - expect).abs() < 0.02, "idx {i}: got {got}, expect {expect}");
+            assert!(
+                (got - expect).abs() < 0.02,
+                "idx {i}: got {got}, expect {expect}"
+            );
         }
     }
 
@@ -150,7 +153,10 @@ mod tests {
         for (i, &lw) in logw.iter().enumerate() {
             let expect = lw.exp() / 10.0;
             let got = counts[i] as f64 / n as f64;
-            assert!((got - expect).abs() < 0.02, "idx {i}: got {got}, expect {expect}");
+            assert!(
+                (got - expect).abs() < 0.02,
+                "idx {i}: got {got}, expect {expect}"
+            );
         }
     }
 

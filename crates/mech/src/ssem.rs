@@ -25,8 +25,9 @@ pub fn subsampled_em<R: Rng + ?Sized>(
         return None;
     }
     let em = ExponentialMechanism::new(epsilon, sensitivity);
-    let indices: Vec<usize> =
-        (0..sample_size).map(|_| rng.random_range(0..qualities.len())).collect();
+    let indices: Vec<usize> = (0..sample_size)
+        .map(|_| rng.random_range(0..qualities.len()))
+        .collect();
     let sampled: Vec<f64> = indices.iter().map(|&i| qualities[i]).collect();
     em.sample(&sampled, rng).map(|k| indices[k])
 }
@@ -84,6 +85,9 @@ mod tests {
             }
         }
         let rate = hits as f64 / trials as f64;
-        assert!(rate < 0.01, "tiny subsample should almost never find the optimum, rate {rate}");
+        assert!(
+            rate < 0.01,
+            "tiny subsample should almost never find the optimum, rate {rate}"
+        );
     }
 }

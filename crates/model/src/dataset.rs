@@ -28,13 +28,20 @@ impl PoiTable {
         }
         let points: Vec<GeoPoint> = pois.iter().map(|p| p.location).collect();
         // Inflate slightly so boundary POIs are interior to the grid.
-        let bbox = BoundingBox::covering(&points).expect("non-empty").inflate(1e-4);
+        let bbox = BoundingBox::covering(&points)
+            .expect("non-empty")
+            .inflate(1e-4);
         let grid = UniformGrid::new(bbox, BUCKET_GRID);
         let mut buckets = vec![Vec::new(); grid.num_cells() as usize];
         for (i, p) in pois.iter().enumerate() {
             buckets[grid.cell_of(p.location).0 as usize].push(i as u32);
         }
-        Self { pois, bbox, grid, buckets }
+        Self {
+            pois,
+            bbox,
+            grid,
+            buckets,
+        }
     }
 
     /// Number of POIs (`|P|`).
@@ -150,13 +157,23 @@ impl Dataset {
             assert!(s > 0.0, "travel speed must be positive");
         }
         let category_distance = CategoryDistance::build(&hierarchy);
-        Self { pois: PoiTable::new(pois), hierarchy, category_distance, time, speed_kmh, metric }
+        Self {
+            pois: PoiTable::new(pois),
+            hierarchy,
+            category_distance,
+            time,
+            speed_kmh,
+            metric,
+        }
     }
 
     /// Physical distance between two POIs in meters.
     #[inline]
     pub fn poi_distance_m(&self, a: PoiId, b: PoiId) -> f64 {
-        self.pois.get(a).location.distance_m(&self.pois.get(b).location, self.metric)
+        self.pois
+            .get(a)
+            .location
+            .distance_m(&self.pois.get(b).location, self.metric)
     }
 }
 
@@ -171,7 +188,12 @@ mod tests {
         (0..n)
             .map(|i| {
                 let p = origin.offset_m((i % 10) as f64 * 300.0, (i / 10) as f64 * 300.0);
-                Poi::new(PoiId(i as u32), format!("poi{i}"), p, trajshare_hierarchy::CategoryId(2))
+                Poi::new(
+                    PoiId(i as u32),
+                    format!("poi{i}"),
+                    p,
+                    trajshare_hierarchy::CategoryId(2),
+                )
             })
             .collect()
     }
@@ -218,7 +240,11 @@ mod tests {
     fn negative_radius_is_empty() {
         let table = PoiTable::new(sample_pois(5));
         assert!(table
-            .within_radius(table.get(PoiId(0)).location, -1.0, DistanceMetric::Haversine)
+            .within_radius(
+                table.get(PoiId(0)).location,
+                -1.0,
+                DistanceMetric::Haversine
+            )
             .is_empty());
     }
 
@@ -239,7 +265,13 @@ mod tests {
             p.category = leaves[i % leaves.len()];
             p.opening = OpeningHours::always();
         }
-        let ds = Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine);
+        let ds = Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        );
         assert!(ds.poi_distance_m(PoiId(0), PoiId(1)) > 0.0);
         assert_eq!(ds.poi_distance_m(PoiId(2), PoiId(2)), 0.0);
         assert_eq!(ds.category_distance.max_distance(), 10.0);

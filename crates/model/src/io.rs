@@ -32,7 +32,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a POI table from CSV text. Ids must be dense `0..n` (any order in
@@ -46,27 +49,38 @@ pub fn parse_pois(text: &str) -> Result<Vec<Poi>, ParseError> {
         }
         let f: Vec<&str> = line.split(',').map(str::trim).collect();
         if f.len() != 8 {
-            return Err(err(lineno + 1, format!("expected 8 fields, got {}", f.len())));
+            return Err(err(
+                lineno + 1,
+                format!("expected 8 fields, got {}", f.len()),
+            ));
         }
         let parse_f64 = |s: &str, what: &str| -> Result<f64, ParseError> {
-            s.parse().map_err(|_| err(lineno + 1, format!("bad {what}: {s:?}")))
+            s.parse()
+                .map_err(|_| err(lineno + 1, format!("bad {what}: {s:?}")))
         };
-        let id: u32 =
-            f[0].parse().map_err(|_| err(lineno + 1, format!("bad id: {:?}", f[0])))?;
+        let id: u32 = f[0]
+            .parse()
+            .map_err(|_| err(lineno + 1, format!("bad id: {:?}", f[0])))?;
         let lat = parse_f64(f[2], "lat")?;
         let lon = parse_f64(f[3], "lon")?;
         if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
-            return Err(err(lineno + 1, format!("coordinates out of range: {lat},{lon}")));
+            return Err(err(
+                lineno + 1,
+                format!("coordinates out of range: {lat},{lon}"),
+            ));
         }
-        let category: u32 =
-            f[4].parse().map_err(|_| err(lineno + 1, format!("bad category: {:?}", f[4])))?;
+        let category: u32 = f[4]
+            .parse()
+            .map_err(|_| err(lineno + 1, format!("bad category: {:?}", f[4])))?;
         let popularity = parse_f64(f[5], "popularity")?;
         if popularity <= 0.0 {
             return Err(err(lineno + 1, "popularity must be positive"));
         }
         let (o_start, o_end): (u32, u32) = (
-            f[6].parse().map_err(|_| err(lineno + 1, "bad open_start_h"))?,
-            f[7].parse().map_err(|_| err(lineno + 1, "bad open_end_h"))?,
+            f[6].parse()
+                .map_err(|_| err(lineno + 1, "bad open_start_h"))?,
+            f[7].parse()
+                .map_err(|_| err(lineno + 1, "bad open_end_h"))?,
         );
         if o_start > 24 || o_end > 24 {
             return Err(err(lineno + 1, "opening hours must be within 0..=24"));
@@ -77,15 +91,23 @@ pub fn parse_pois(text: &str) -> Result<Vec<Poi>, ParseError> {
             OpeningHours::between(o_start, o_end)
         };
         rows.push(
-            Poi::new(PoiId(id), f[1].to_string(), GeoPoint::new(lat, lon), CategoryId(category))
-                .with_popularity(popularity)
-                .with_opening(opening),
+            Poi::new(
+                PoiId(id),
+                f[1].to_string(),
+                GeoPoint::new(lat, lon),
+                CategoryId(category),
+            )
+            .with_popularity(popularity)
+            .with_opening(opening),
         );
     }
     rows.sort_by_key(|p| p.id);
     for (i, p) in rows.iter().enumerate() {
         if p.id.index() != i {
-            return Err(err(0, format!("POI ids must be dense 0..n; missing or duplicate id {i}")));
+            return Err(err(
+                0,
+                format!("POI ids must be dense 0..n; missing or duplicate id {i}"),
+            ));
         }
     }
     Ok(rows)
@@ -143,23 +165,30 @@ pub fn parse_trajectories(text: &str) -> Result<TrajectorySet, ParseError> {
     };
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') || (lineno == 0 && line.starts_with("user,"))
-        {
+        if line.is_empty() || line.starts_with('#') || (lineno == 0 && line.starts_with("user,")) {
             continue;
         }
         let f: Vec<&str> = line.split(',').map(str::trim).collect();
         if f.len() != 3 {
-            return Err(err(lineno + 1, format!("expected 3 fields, got {}", f.len())));
+            return Err(err(
+                lineno + 1,
+                format!("expected 3 fields, got {}", f.len()),
+            ));
         }
-        let poi: u32 =
-            f[1].parse().map_err(|_| err(lineno + 1, format!("bad poi_id: {:?}", f[1])))?;
-        let t: u16 =
-            f[2].parse().map_err(|_| err(lineno + 1, format!("bad timestep: {:?}", f[2])))?;
+        let poi: u32 = f[1]
+            .parse()
+            .map_err(|_| err(lineno + 1, format!("bad poi_id: {:?}", f[1])))?;
+        let t: u16 = f[2]
+            .parse()
+            .map_err(|_| err(lineno + 1, format!("bad timestep: {:?}", f[2])))?;
         if current_user != Some(f[0]) {
             flush(&mut current);
             current_user = Some(f[0]);
         }
-        current.push(TrajectoryPoint { poi: PoiId(poi), t: Timestep(t) });
+        current.push(TrajectoryPoint {
+            poi: PoiId(poi),
+            t: Timestep(t),
+        });
     }
     flush(&mut current);
     Ok(set)
@@ -213,9 +242,15 @@ id,name,lat,lon,category,popularity,open_start_h,open_end_h
         let short = "0,a,40,-74,0,1,0\n";
         assert!(parse_pois(short).unwrap_err().message.contains("8 fields"));
         let bad_lat = "0,a,95,-74,0,1,0,0\n";
-        assert!(parse_pois(bad_lat).unwrap_err().message.contains("out of range"));
+        assert!(parse_pois(bad_lat)
+            .unwrap_err()
+            .message
+            .contains("out of range"));
         let bad_pop = "0,a,40,-74,0,0,0,0\n";
-        assert!(parse_pois(bad_pop).unwrap_err().message.contains("positive"));
+        assert!(parse_pois(bad_pop)
+            .unwrap_err()
+            .message
+            .contains("positive"));
     }
 
     #[test]

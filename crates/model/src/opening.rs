@@ -19,7 +19,9 @@ pub struct OpeningHours {
 impl OpeningHours {
     /// Open around the clock.
     pub const fn always() -> Self {
-        Self { mask: (1 << 24) - 1 }
+        Self {
+            mask: (1 << 24) - 1,
+        }
     }
 
     /// Never open (useful for tests; real POIs should not use this).
@@ -31,7 +33,10 @@ impl OpeningHours {
     /// `0..=24`. If `start_hour >= end_hour`, the range wraps past midnight
     /// (e.g. `between(18, 2)` = 6pm–2am).
     pub fn between(start_hour: u32, end_hour: u32) -> Self {
-        assert!(start_hour <= 24 && end_hour <= 24, "hours must be within 0..=24");
+        assert!(
+            start_hour <= 24 && end_hour <= 24,
+            "hours must be within 0..=24"
+        );
         let mut mask = 0u32;
         if start_hour < end_hour {
             for h in start_hour..end_hour {

@@ -33,7 +33,12 @@ pub struct Poi {
 
 impl Poi {
     /// Convenience constructor with always-open hours and unit popularity.
-    pub fn new(id: PoiId, name: impl Into<String>, location: GeoPoint, category: CategoryId) -> Self {
+    pub fn new(
+        id: PoiId,
+        name: impl Into<String>,
+        location: GeoPoint,
+        category: CategoryId,
+    ) -> Self {
         Self {
             id,
             name: name.into(),
@@ -64,9 +69,14 @@ mod tests {
 
     #[test]
     fn builder_sets_fields() {
-        let p = Poi::new(PoiId(3), "Central Park", GeoPoint::new(40.78, -73.96), CategoryId(2))
-            .with_popularity(7.5)
-            .with_opening(OpeningHours::between(6, 22));
+        let p = Poi::new(
+            PoiId(3),
+            "Central Park",
+            GeoPoint::new(40.78, -73.96),
+            CategoryId(2),
+        )
+        .with_popularity(7.5)
+        .with_opening(OpeningHours::between(6, 22));
         assert_eq!(p.id, PoiId(3));
         assert_eq!(p.popularity, 7.5);
         assert!(p.opening.is_open_hour(6));
@@ -76,7 +86,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn non_positive_popularity_rejected() {
-        let _ = Poi::new(PoiId(0), "x", GeoPoint::new(40.0, -74.0), CategoryId(0))
-            .with_popularity(0.0);
+        let _ =
+            Poi::new(PoiId(0), "x", GeoPoint::new(40.0, -74.0), CategoryId(0)).with_popularity(0.0);
     }
 }

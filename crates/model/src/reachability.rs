@@ -109,7 +109,7 @@ impl<'a> ReachabilityOracle<'a> {
         let mut k = 0usize;
         for i in 0..n {
             for j in 0..n {
-                if k % stride == 0 {
+                if k.is_multiple_of(stride) {
                     total += 1;
                     if self.is_reachable_m(PoiId(i as u32), PoiId(j as u32), gt) {
                         hits += 1;
@@ -138,10 +138,21 @@ mod tests {
         let leaf = h.leaves()[0];
         let pois: Vec<Poi> = (0..10)
             .map(|i| {
-                Poi::new(PoiId(i), format!("p{i}"), origin.offset_m(i as f64 * 500.0, 0.0), leaf)
+                Poi::new(
+                    PoiId(i),
+                    format!("p{i}"),
+                    origin.offset_m(i as f64 * 500.0, 0.0),
+                    leaf,
+                )
             })
             .collect();
-        Dataset::new(pois, h, TimeDomain::new(10), speed, DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            speed,
+            DistanceMetric::Haversine,
+        )
     }
 
     #[test]

@@ -33,7 +33,7 @@ impl TimeDomain {
     pub fn new(gt_minutes: u32) -> Self {
         assert!(gt_minutes > 0, "g_t must be positive");
         assert!(
-            MINUTES_PER_DAY % gt_minutes == 0,
+            MINUTES_PER_DAY.is_multiple_of(gt_minutes),
             "g_t = {gt_minutes} must divide {MINUTES_PER_DAY} minutes"
         );
         Self { gt_minutes }
@@ -93,16 +93,21 @@ pub struct TimeInterval {
 impl TimeInterval {
     /// Creates an interval; panics if empty/inverted or past midnight.
     pub fn new(start_min: u32, end_min: u32) -> Self {
-        assert!(start_min < end_min, "empty interval [{start_min}, {end_min})");
+        assert!(
+            start_min < end_min,
+            "empty interval [{start_min}, {end_min})"
+        );
         assert!(end_min <= MINUTES_PER_DAY, "interval exceeds the day");
         Self { start_min, end_min }
     }
 
     /// Builds the `count` equal intervals that tile the day.
     pub fn tiling(count: u32) -> Vec<TimeInterval> {
-        assert!(count > 0 && MINUTES_PER_DAY % count == 0);
+        assert!(count > 0 && MINUTES_PER_DAY.is_multiple_of(count));
         let w = MINUTES_PER_DAY / count;
-        (0..count).map(|i| TimeInterval::new(i * w, (i + 1) * w)).collect()
+        (0..count)
+            .map(|i| TimeInterval::new(i * w, (i + 1) * w))
+            .collect()
     }
 
     /// Whether the timestep's start minute falls in the interval.

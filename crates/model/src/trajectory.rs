@@ -47,7 +47,11 @@ impl fmt::Display for ValidationError {
                 write!(f, "timesteps not strictly increasing at index {index}")
             }
             Self::Unreachable { index } => {
-                write!(f, "reachability violated between indices {index} and {}", index + 1)
+                write!(
+                    f,
+                    "reachability violated between indices {index} and {}",
+                    index + 1
+                )
             }
             Self::Closed { index } => write!(f, "POI at index {index} visited while closed"),
         }
@@ -69,7 +73,10 @@ impl Trajectory {
         Self {
             points: pairs
                 .iter()
-                .map(|&(p, t)| TrajectoryPoint { poi: PoiId(p), t: Timestep(t) })
+                .map(|&(p, t)| TrajectoryPoint {
+                    poi: PoiId(p),
+                    t: Timestep(t),
+                })
                 .collect(),
         }
     }
@@ -111,7 +118,12 @@ impl Trajectory {
         }
         let oracle = ReachabilityOracle::new(dataset);
         for (i, pt) in self.points.iter().enumerate() {
-            if !dataset.pois.get(pt.poi).opening.is_open_at(&dataset.time, pt.t) {
+            if !dataset
+                .pois
+                .get(pt.poi)
+                .opening
+                .is_open_at(&dataset.time, pt.t)
+            {
                 return Err(ValidationError::Closed { index: i });
             }
         }
@@ -182,7 +194,9 @@ impl TrajectorySet {
 
 impl FromIterator<Trajectory> for TrajectorySet {
     fn from_iter<I: IntoIterator<Item = Trajectory>>(iter: I) -> Self {
-        Self { trajectories: iter.into_iter().collect() }
+        Self {
+            trajectories: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -202,11 +216,22 @@ mod tests {
         let leaf = h.leaves()[0];
         let mut pois: Vec<Poi> = (0..10)
             .map(|i| {
-                Poi::new(PoiId(i), format!("p{i}"), origin.offset_m(i as f64 * 500.0, 0.0), leaf)
+                Poi::new(
+                    PoiId(i),
+                    format!("p{i}"),
+                    origin.offset_m(i as f64 * 500.0, 0.0),
+                    leaf,
+                )
             })
             .collect();
         pois[9].opening = OpeningHours::between(9, 10);
-        Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        )
     }
 
     #[test]
@@ -230,9 +255,15 @@ mod tests {
     fn non_increasing_time_rejected() {
         let ds = dataset();
         let t = Trajectory::from_pairs(&[(0, 60), (1, 60)]);
-        assert_eq!(t.validate(&ds), Err(ValidationError::NonIncreasingTime { index: 0 }));
+        assert_eq!(
+            t.validate(&ds),
+            Err(ValidationError::NonIncreasingTime { index: 0 })
+        );
         let t = Trajectory::from_pairs(&[(0, 60), (1, 59)]);
-        assert_eq!(t.validate(&ds), Err(ValidationError::NonIncreasingTime { index: 0 }));
+        assert_eq!(
+            t.validate(&ds),
+            Err(ValidationError::NonIncreasingTime { index: 0 })
+        );
     }
 
     #[test]
@@ -240,7 +271,10 @@ mod tests {
         let ds = dataset();
         // POI 0 -> POI 8 is 4 km in 10 minutes at 8 km/h (1333 m): illegal.
         let t = Trajectory::from_pairs(&[(0, 60), (8, 61)]);
-        assert_eq!(t.validate(&ds), Err(ValidationError::Unreachable { index: 0 }));
+        assert_eq!(
+            t.validate(&ds),
+            Err(ValidationError::Unreachable { index: 0 })
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub fn colocations(dataset: &Dataset, trajectories: &[Trajectory]) -> Vec<Coloca
         for pt in t.points() {
             let hour = dataset.time.minute_of(pt.t) / 60;
             if seen.insert((pt.poi.0, hour)) {
-                present.entry((pt.poi.0, hour)).or_default().push(uid as u32);
+                present
+                    .entry((pt.poi.0, hour))
+                    .or_default()
+                    .push(uid as u32);
             }
         }
     }
@@ -66,7 +69,10 @@ pub fn meeting_place_jaccard(
     perturbed: &[Trajectory],
 ) -> f64 {
     let places = |ts: &[Trajectory]| -> HashSet<(u32, u32)> {
-        colocations(dataset, ts).into_iter().map(|c| (c.poi, c.hour)).collect()
+        colocations(dataset, ts)
+            .into_iter()
+            .map(|c| (c.poi, c.hour))
+            .collect()
     };
     let a = places(real);
     let b = places(perturbed);
@@ -91,10 +97,21 @@ mod tests {
         let origin = GeoPoint::new(40.7, -74.0);
         let pois: Vec<Poi> = (0..5)
             .map(|i| {
-                Poi::new(PoiId(i), format!("p{i}"), origin.offset_m(i as f64 * 300.0, 0.0), leaf)
+                Poi::new(
+                    PoiId(i),
+                    format!("p{i}"),
+                    origin.offset_m(i as f64 * 300.0, 0.0),
+                    leaf,
+                )
             })
             .collect();
-        Dataset::new(pois, h, TimeDomain::new(10), None, DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            None,
+            DistanceMetric::Haversine,
+        )
     }
 
     #[test]
@@ -107,7 +124,15 @@ mod tests {
         ];
         let c = colocations(&ds, &ts);
         assert_eq!(c.len(), 1);
-        assert_eq!(c[0], Colocation { user_a: 0, user_b: 1, poi: 2, hour: 10 });
+        assert_eq!(
+            c[0],
+            Colocation {
+                user_a: 0,
+                user_b: 1,
+                poi: 2,
+                hour: 10
+            }
+        );
     }
 
     #[test]

@@ -54,15 +54,17 @@ pub fn extract_hotspots(
     };
     // Unique (user, key, hour) visits.
     let mut seen: HashSet<(u32, u32, u32)> = HashSet::new();
-    let mut counts: std::collections::HashMap<(u32, u32), usize> =
-        std::collections::HashMap::new();
+    let mut counts: std::collections::HashMap<(u32, u32), usize> = std::collections::HashMap::new();
     for (uid, traj) in set.all().iter().enumerate() {
         for pt in traj.points() {
             let hour = dataset.time.minute_of(pt.t) / 60;
             let key = match scope {
                 HotspotScope::Poi => pt.poi.0,
                 HotspotScope::Grid(_) => {
-                    grid.as_ref().unwrap().cell_of(dataset.pois.get(pt.poi).location).0
+                    grid.as_ref()
+                        .unwrap()
+                        .cell_of(dataset.pois.get(pt.poi).location)
+                        .0
                 }
                 HotspotScope::Category(level) => {
                     let cat = dataset.pois.get(pt.poi).category;
@@ -84,8 +86,9 @@ pub fn extract_hotspots(
     keys.dedup();
     let mut out = Vec::new();
     for key in keys {
-        let series: Vec<usize> =
-            (0..24).map(|h| counts.get(&(key, h)).copied().unwrap_or(0)).collect();
+        let series: Vec<usize> = (0..24)
+            .map(|h| counts.get(&(key, h)).copied().unwrap_or(0))
+            .collect();
         let mut h = 0usize;
         while h < 24 {
             if series[h] >= eta {
@@ -177,7 +180,13 @@ mod tests {
                 )
             })
             .collect();
-        Dataset::new(pois, h, TimeDomain::new(10), None, DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            None,
+            DistanceMetric::Haversine,
+        )
     }
 
     /// `n` distinct users visiting POI 3 during hour 14.
@@ -220,11 +229,7 @@ mod tests {
     fn repeat_visits_by_one_user_count_once() {
         let ds = dataset();
         // One user visiting POI 3 at three timesteps within hour 14.
-        let set = TrajectorySet::new(vec![Trajectory::from_pairs(&[
-            (3, 84),
-            (3, 86),
-            (3, 88),
-        ])]);
+        let set = TrajectorySet::new(vec![Trajectory::from_pairs(&[(3, 84), (3, 86), (3, 88)])]);
         let hs = extract_hotspots(&ds, &set, HotspotScope::Poi, 1);
         assert_eq!(hs.len(), 1);
         assert_eq!(hs[0].peak, 1, "unique visitors, not visits");
@@ -251,8 +256,14 @@ mod tests {
         // below η=20, together above when the cell covers both.
         let mut trajs = Vec::new();
         for i in 0..15 {
-            trajs.push(Trajectory::from_pairs(&[(0, 86), ((i % 3 + 5) as u32, 100 + i)]));
-            trajs.push(Trajectory::from_pairs(&[(1, 86), ((i % 3 + 5) as u32, 100 + i)]));
+            trajs.push(Trajectory::from_pairs(&[
+                (0, 86),
+                ((i % 3 + 5) as u32, 100 + i),
+            ]));
+            trajs.push(Trajectory::from_pairs(&[
+                (1, 86),
+                ((i % 3 + 5) as u32, 100 + i),
+            ]));
         }
         let set = TrajectorySet::new(trajs);
         assert!(extract_hotspots(&ds, &set, HotspotScope::Poi, 20).is_empty());
@@ -291,8 +302,18 @@ mod tests {
 
     #[test]
     fn ahd_measures_time_shift() {
-        let a = vec![Hotspot { key: 1, start_hour: 14, end_hour: 16, peak: 30 }];
-        let b = vec![Hotspot { key: 1, start_hour: 15, end_hour: 18, peak: 25 }];
+        let a = vec![Hotspot {
+            key: 1,
+            start_hour: 14,
+            end_hour: 16,
+            peak: 30,
+        }];
+        let b = vec![Hotspot {
+            key: 1,
+            start_hour: 15,
+            end_hour: 18,
+            peak: 25,
+        }];
         assert_eq!(ahd(&a, &b), Some(3.0)); // |14-15| + |16-18|
         assert_eq!(acd(&a, &b), Some(5.0));
     }
@@ -300,16 +321,40 @@ mod tests {
     #[test]
     fn ahd_takes_minimum_over_real_hotspots() {
         let real = vec![
-            Hotspot { key: 1, start_hour: 2, end_hour: 4, peak: 40 },
-            Hotspot { key: 2, start_hour: 14, end_hour: 16, peak: 30 },
+            Hotspot {
+                key: 1,
+                start_hour: 2,
+                end_hour: 4,
+                peak: 40,
+            },
+            Hotspot {
+                key: 2,
+                start_hour: 14,
+                end_hour: 16,
+                peak: 30,
+            },
         ];
-        let pert = vec![Hotspot { key: 9, start_hour: 15, end_hour: 16, peak: 20 }];
-        assert_eq!(ahd(&real, &pert), Some(1.0), "matches the nearer real hotspot");
+        let pert = vec![Hotspot {
+            key: 9,
+            start_hour: 15,
+            end_hour: 16,
+            peak: 20,
+        }];
+        assert_eq!(
+            ahd(&real, &pert),
+            Some(1.0),
+            "matches the nearer real hotspot"
+        );
     }
 
     #[test]
     fn empty_sets_yield_none() {
-        let h = vec![Hotspot { key: 0, start_hour: 0, end_hour: 1, peak: 1 }];
+        let h = vec![Hotspot {
+            key: 0,
+            start_hour: 0,
+            end_hour: 1,
+            peak: 1,
+        }];
         assert_eq!(ahd(&[], &h), None);
         assert_eq!(ahd(&h, &[]), None);
         assert_eq!(acd(&[], &h), None);

@@ -9,12 +9,12 @@
 
 pub mod colocation;
 pub mod hotspot;
-pub mod od_matrix;
 pub mod ne;
+pub mod od_matrix;
 pub mod prq;
 
 pub use colocation::{colocation_count, colocations, meeting_place_jaccard, Colocation};
 pub use hotspot::{acd, ahd, extract_hotspots, Hotspot, HotspotScope};
-pub use od_matrix::OdMatrix;
 pub use ne::{normalized_error, NormalizedError};
+pub use od_matrix::OdMatrix;
 pub use prq::{preservation_range, prq_curve, PrqDimension};

@@ -46,7 +46,11 @@ pub fn normalized_error(
         acc.ds += t.ds / n;
     }
     let m = real.len() as f64;
-    NormalizedError { dt: acc.dt / m, dc: acc.dc / m, ds: acc.ds / m }
+    NormalizedError {
+        dt: acc.dt / m,
+        dc: acc.dc / m,
+        ds: acc.ds / m,
+    }
 }
 
 #[cfg(test)]
@@ -70,7 +74,13 @@ mod tests {
                 )
             })
             .collect();
-        Dataset::new(pois, h, TimeDomain::new(10), None, DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            None,
+            DistanceMetric::Haversine,
+        )
     }
 
     #[test]

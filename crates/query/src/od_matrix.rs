@@ -79,8 +79,7 @@ impl OdMatrix {
         keys.iter()
             .map(|&k| {
                 let p = self.counts.get(&k).copied().unwrap_or(0) as f64 / self.total as f64;
-                let q =
-                    other.counts.get(&k).copied().unwrap_or(0) as f64 / other.total as f64;
+                let q = other.counts.get(&k).copied().unwrap_or(0) as f64 / other.total as f64;
                 (p - q).abs()
             })
             .sum()
@@ -105,7 +104,13 @@ mod tests {
             Poi::new(PoiId(2), "nw", origin.offset_m(0.0, 4000.0), leaf),
             Poi::new(PoiId(3), "ne", origin.offset_m(4000.0, 4000.0), leaf),
         ];
-        Dataset::new(pois, h, TimeDomain::new(10), None, DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            None,
+            DistanceMetric::Haversine,
+        )
     }
 
     #[test]

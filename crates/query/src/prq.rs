@@ -34,9 +34,7 @@ pub fn preservation_range(
             .zip(p.points())
             .filter(|(a, b)| match dim {
                 PrqDimension::Space(d) => dataset.poi_distance_m(a.poi, b.poi) <= d,
-                PrqDimension::Time(d) => {
-                    dataset.time.gap_minutes(a.t, b.t) as f64 <= d
-                }
+                PrqDimension::Time(d) => dataset.time.gap_minutes(a.t, b.t) as f64 <= d,
                 PrqDimension::Category(d) => {
                     dataset.category_distance.get(
                         dataset.pois.get(a.poi).category,
@@ -85,7 +83,13 @@ mod tests {
                 )
             })
             .collect();
-        Dataset::new(pois, h, TimeDomain::new(10), None, DistanceMetric::Haversine)
+        Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            None,
+            DistanceMetric::Haversine,
+        )
     }
 
     #[test]
@@ -122,8 +126,14 @@ mod tests {
         let ds = dataset();
         let real = vec![Trajectory::from_pairs(&[(0, 10), (0, 20)])];
         let pert = vec![Trajectory::from_pairs(&[(0, 13), (0, 20)])]; // +30 min on point 0
-        assert_eq!(preservation_range(&ds, &real, &pert, PrqDimension::Time(20.0)), 50.0);
-        assert_eq!(preservation_range(&ds, &real, &pert, PrqDimension::Time(30.0)), 100.0);
+        assert_eq!(
+            preservation_range(&ds, &real, &pert, PrqDimension::Time(20.0)),
+            50.0
+        );
+        assert_eq!(
+            preservation_range(&ds, &real, &pert, PrqDimension::Time(30.0)),
+            100.0
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@ use trajshare_query::{ahd, extract_hotspots, HotspotScope};
 fn main() {
     let mut rng = StdRng::seed_from_u64(99);
     let data = generate_campus(
-        &CampusConfig { num_trajectories: 500, ..Default::default() },
+        &CampusConfig {
+            num_trajectories: 500,
+            ..Default::default()
+        },
         &mut rng,
     );
     println!(
@@ -26,12 +29,14 @@ fn main() {
     );
 
     let eta = 12;
-    let real_hotspots =
-        extract_hotspots(&data.dataset, &data.trajectories, HotspotScope::Poi, eta);
+    let real_hotspots = extract_hotspots(&data.dataset, &data.trajectories, HotspotScope::Poi, eta);
     println!("\nground-truth hotspots:");
     for h in &real_hotspots {
         let poi = data.dataset.pois.get(trajshare_model::PoiId(h.key));
-        println!("  {:28} {:02}:00-{:02}:00 peak {}", poi.name, h.start_hour, h.end_hour, h.peak);
+        println!(
+            "  {:28} {:02}:00-{:02}:00 peak {}",
+            poi.name, h.start_hour, h.end_hour, h.peak
+        );
     }
 
     println!("\nmethod comparison (AHD in hours; lower = events better preserved):");
@@ -41,9 +46,9 @@ fn main() {
         let shared = TrajectorySet::new(run.perturbed);
         let shared_hotspots = extract_hotspots(&data.dataset, &shared, HotspotScope::Poi, eta);
         let score = ahd(&real_hotspots, &shared_hotspots);
-        let stadium_found = shared_hotspots.iter().any(|h| {
-            h.key == data.stadium_a.0 && h.start_hour >= 12 && h.end_hour <= 18
-        });
+        let stadium_found = shared_hotspots
+            .iter()
+            .any(|h| h.key == data.stadium_a.0 && h.start_hour >= 12 && h.end_hour <= 18);
         println!(
             "  {:12} AHD = {:8}   stadium event recovered: {}   ({} hotspots)",
             mech.name(),

@@ -43,12 +43,18 @@ fn main() {
     println!("\nsuperspreading candidates in the REAL data (ground truth):");
     for h in &real_hotspots {
         let poi = dataset.pois.get(trajshare_model::PoiId(h.key));
-        println!("  {}  {:02}:00-{:02}:00  peak {} visitors", poi.name, h.start_hour, h.end_hour, h.peak);
+        println!(
+            "  {}  {:02}:00-{:02}:00  peak {} visitors",
+            poi.name, h.start_hour, h.end_hour, h.peak
+        );
     }
     println!("\nsuperspreading candidates in the SHARED (ε-LDP) data:");
     for h in &shared_hotspots {
         let poi = dataset.pois.get(trajshare_model::PoiId(h.key));
-        println!("  {}  {:02}:00-{:02}:00  peak {} visitors", poi.name, h.start_hour, h.end_hour, h.peak);
+        println!(
+            "  {}  {:02}:00-{:02}:00  peak {} visitors",
+            poi.name, h.start_hour, h.end_hour, h.peak
+        );
     }
     match ahd(&real_hotspots, &shared_hotspots) {
         Some(a) => println!("\naverage hotspot distance (AHD): {a:.2} hours"),
@@ -63,7 +69,10 @@ fn main() {
     for h in &cat_shared {
         println!(
             "  {}  {:02}:00-{:02}:00  peak {}",
-            dataset.hierarchy.node(trajshare_hierarchy::CategoryId(h.key)).name,
+            dataset
+                .hierarchy
+                .node(trajshare_hierarchy::CategoryId(h.key))
+                .name,
             h.start_hour,
             h.end_hour,
             h.peak

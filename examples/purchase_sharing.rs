@@ -25,18 +25,27 @@ use trajshare_model::{Dataset, OpeningHours, Poi, PoiId, TimeDomain, Trajectory}
 fn product_taxonomy() -> CategoryHierarchy {
     let mut h = CategoryHierarchy::new();
     let spec: &[(&str, &[(&str, &[&str])])] = &[
-        ("Groceries", &[
-            ("Fresh", &["Produce", "Bakery", "Dairy"]),
-            ("Pantry", &["Canned Goods", "Snacks"]),
-        ]),
-        ("Electronics", &[
-            ("Computing", &["Laptop", "Phone", "Accessories"]),
-            ("Home", &["TV", "Audio"]),
-        ]),
-        ("Clothing", &[
-            ("Footwear", &["Sneakers", "Boots"]),
-            ("Apparel", &["Shirts", "Jackets"]),
-        ]),
+        (
+            "Groceries",
+            &[
+                ("Fresh", &["Produce", "Bakery", "Dairy"]),
+                ("Pantry", &["Canned Goods", "Snacks"]),
+            ],
+        ),
+        (
+            "Electronics",
+            &[
+                ("Computing", &["Laptop", "Phone", "Accessories"]),
+                ("Home", &["TV", "Audio"]),
+            ],
+        ),
+        (
+            "Clothing",
+            &[
+                ("Footwear", &["Sneakers", "Boots"]),
+                ("Apparel", &["Shirts", "Jackets"]),
+            ],
+        ),
         ("Vehicles", &[("Cars", &["New Car", "Used Car"])]),
     ];
     for (root, mids) in spec {
@@ -73,19 +82,34 @@ fn main() {
                 (rng.random::<f64>() - 0.5) * 6000.0,
             )
         };
-        let hours = if online { OpeningHours::always() } else { OpeningHours::between(9, 21) };
+        let hours = if online {
+            OpeningHours::always()
+        } else {
+            OpeningHours::between(9, 21)
+        };
         // Each store stocks a few product categories.
         for k in 0..4 {
             let product = leaves[(store * 3 + k) % leaves.len()];
             let kind = if online { "online" } else { "store" };
             pois.push(
-                Poi::new(PoiId(id), format!("{kind}-{store}/{}", taxonomy.node(product).name), loc, product)
-                    .with_opening(hours),
+                Poi::new(
+                    PoiId(id),
+                    format!("{kind}-{store}/{}", taxonomy.node(product).name),
+                    loc,
+                    product,
+                )
+                .with_opening(hours),
             );
             id += 1;
         }
     }
-    let dataset = Dataset::new(pois, taxonomy, TimeDomain::new(30), Some(8.0), trajshare_geo::DistanceMetric::Haversine);
+    let dataset = Dataset::new(
+        pois,
+        taxonomy,
+        TimeDomain::new(30),
+        Some(8.0),
+        trajshare_geo::DistanceMetric::Haversine,
+    );
 
     // A day of purchases: groceries in the morning, sneakers at noon,
     // a laptop from an online store in the evening.

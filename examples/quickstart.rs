@@ -15,12 +15,19 @@ fn main() {
     //    hours and popularity (in production this comes from map data).
     let mut rng = StdRng::seed_from_u64(42);
     let city = SyntheticCity::generate(
-        &CityConfig { num_pois: 300, ..Default::default() },
+        &CityConfig {
+            num_pois: 300,
+            ..Default::default()
+        },
         foursquare(),
         &mut rng,
     );
     let dataset = &city.dataset;
-    println!("city: {} POIs, {} categories", dataset.pois.len(), dataset.hierarchy.len());
+    println!(
+        "city: {} POIs, {} categories",
+        dataset.pois.len(),
+        dataset.hierarchy.len()
+    );
 
     // 2. One-time public pre-processing: STC decomposition + W₂ formation.
     let config = MechanismConfig::default(); // ε = 5, n = 2, paper defaults

@@ -16,7 +16,11 @@ use trajshare_geo::UniformGrid;
 use trajshare_model::{Dataset, Trajectory};
 
 /// Counts origin→destination cell transitions across a trajectory set.
-fn trip_chains(dataset: &Dataset, grid: &UniformGrid, set: &[Trajectory]) -> HashMap<(u32, u32), usize> {
+fn trip_chains(
+    dataset: &Dataset,
+    grid: &UniformGrid,
+    set: &[Trajectory],
+) -> HashMap<(u32, u32), usize> {
     let mut counts = HashMap::new();
     for t in set {
         for w in t.points().windows(2) {
@@ -64,7 +68,10 @@ fn main() {
     }
     println!("\ntop {k} trip chains in the SHARED (ε-LDP) data:");
     for &(a, b) in &top_shared {
-        println!("  cell {a:2} → cell {b:2}   {} trips", shared_chains[&(a, b)]);
+        println!(
+            "  cell {a:2} → cell {b:2}   {} trips",
+            shared_chains[&(a, b)]
+        );
     }
 
     let overlap = top_real.iter().filter(|p| top_shared.contains(p)).count();

@@ -83,7 +83,13 @@ fn global_em_beats_subsampled_em_on_skewed_space() {
             )
         })
         .collect();
-    let ds = Dataset::new(pois, h, TimeDomain::new(120), Some(8.0), DistanceMetric::Haversine);
+    let ds = Dataset::new(
+        pois,
+        h,
+        TimeDomain::new(120),
+        Some(8.0),
+        DistanceMetric::Haversine,
+    );
     let traj = Trajectory::from_pairs(&[(2, 3), (3, 5)]);
 
     let em = GlobalMechanism::build(&ds, 60.0, GlobalVariant::Em, 1_000_000);
@@ -111,8 +117,14 @@ fn reachability_constraint_improves_ngram_utility() {
     // Figure 8d/8h shape: removing the reachability constraint (speed=∞)
     // increases error because W₂ floods with implausible candidates.
     let base = cfg();
-    let constrained = ScenarioConfig { speed_kmh: Some(8.0), ..base.clone() };
-    let unconstrained = ScenarioConfig { speed_kmh: Some(f64::INFINITY), ..base };
+    let constrained = ScenarioConfig {
+        speed_kmh: Some(8.0),
+        ..base.clone()
+    };
+    let unconstrained = ScenarioConfig {
+        speed_kmh: Some(f64::INFINITY),
+        ..base
+    };
     let config = MechanismConfig::default().with_epsilon(20.0);
     let err = |sc: &ScenarioConfig| {
         let (dataset, set) = build_scenario(Scenario::TaxiFoursquare, sc);

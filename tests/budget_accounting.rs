@@ -1,0 +1,100 @@
+//! Budget-accounting coverage (ISSUE 1 satellite): the continuous sharer
+//! hard-stops at its lifetime ε, the accountant can never go negative, and
+//! the stage-1 report path spends exactly the per-trajectory ε.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajshare_core::{ContinuousSharer, MechanismConfig, NGramMechanism};
+use trajshare_geo::{DistanceMetric, GeoPoint};
+use trajshare_hierarchy::builders::campus;
+use trajshare_mech::PrivacyBudget;
+use trajshare_model::{Dataset, Poi, PoiId, TimeDomain, Timestep, Trajectory};
+
+fn dataset() -> Dataset {
+    let h = campus();
+    let leaves = h.leaves();
+    let origin = GeoPoint::new(40.7, -74.0);
+    let pois: Vec<Poi> = (0..40)
+        .map(|i| {
+            Poi::new(
+                PoiId(i),
+                format!("p{i}"),
+                origin.offset_m((i % 8) as f64 * 400.0, (i / 8) as f64 * 400.0),
+                leaves[i as usize % leaves.len()],
+            )
+        })
+        .collect();
+    Dataset::new(
+        pois,
+        h,
+        TimeDomain::new(10),
+        Some(8.0),
+        DistanceMetric::Haversine,
+    )
+}
+
+#[test]
+fn continuous_sharer_hard_stops_when_lifetime_epsilon_exhausted() {
+    let ds = dataset();
+    let mut sharer = ContinuousSharer::build(&ds, &MechanismConfig::default(), 3.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(1);
+    for i in 0..3u16 {
+        sharer
+            .share_region(PoiId(5), Timestep(60 + i), &mut rng)
+            .unwrap_or_else(|e| panic!("report {i} should be affordable: {e}"));
+    }
+    // Budget gone: every further attempt fails, forever, without spending.
+    for i in 0..5u16 {
+        let err = sharer.share_region(PoiId(5), Timestep(70 + i), &mut rng);
+        assert!(err.is_err(), "report after exhaustion must be refused");
+        assert!(sharer.remaining_epsilon() >= 0.0);
+        assert_eq!(sharer.remaining_reports(), 0);
+    }
+}
+
+#[test]
+fn remaining_epsilon_never_negative_under_any_spend_pattern() {
+    let mut budget = PrivacyBudget::new(1.0);
+    let spends = [0.4, 0.4, 0.3, 0.15, 0.2, 0.1];
+    for &eps in &spends {
+        let _ = budget.consume(eps); // some succeed, some fail
+        assert!(budget.remaining() >= 0.0, "remaining went negative");
+        assert!(budget.spent() <= budget.total() + 1e-9, "overspent");
+    }
+    assert!(budget.consume(0.06).is_err(), "only ≤0.05 remains");
+    assert!(budget.consume(0.05).is_ok());
+    assert!(budget.is_exhausted());
+    assert!(budget.remaining() >= 0.0);
+}
+
+#[test]
+fn share_and_share_region_cost_the_same() {
+    let ds = dataset();
+    let cfg = MechanismConfig::default();
+    let mut a = ContinuousSharer::build(&ds, &cfg, 4.0, 0.5);
+    let mut b = ContinuousSharer::build(&ds, &cfg, 4.0, 0.5);
+    let mut rng_a = StdRng::seed_from_u64(2);
+    let mut rng_b = StdRng::seed_from_u64(2);
+    a.share(PoiId(1), Timestep(60), &mut rng_a).unwrap();
+    b.share_region(PoiId(1), Timestep(60), &mut rng_b).unwrap();
+    assert_eq!(a.remaining_epsilon(), b.remaining_epsilon());
+    assert_eq!(a.eps_per_report(), 0.5);
+}
+
+#[test]
+fn perturb_raw_spends_exactly_epsilon_per_trajectory() {
+    let ds = dataset();
+    let mech = NGramMechanism::build(&ds, &MechanismConfig::default().with_epsilon(2.0));
+    let mut rng = StdRng::seed_from_u64(3);
+    for len in 2..=5u16 {
+        let pairs: Vec<(u32, u16)> = (0..len).map(|i| (i as u32, 60 + 2 * i)).collect();
+        let raw = mech.perturb_raw(&Trajectory::from_pairs(&pairs), &mut rng);
+        // (|τ| + n - 1) windows at ε′ = ε/(|τ|+n-1) compose to exactly ε.
+        let total: f64 = raw.eps_prime * raw.windows.len() as f64;
+        assert!(
+            (total - 2.0).abs() < 1e-9,
+            "len {len}: spent {total}, expected ε = 2"
+        );
+        assert_eq!(raw.len, len as usize);
+    }
+}

@@ -33,7 +33,10 @@ fn campus_events_are_detectable_as_hotspots() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(17);
     use rand::SeedableRng;
     let data = generate_campus(
-        &CampusConfig { num_trajectories: 600, ..Default::default() },
+        &CampusConfig {
+            num_trajectories: 600,
+            ..Default::default()
+        },
         &mut rng,
     );
     let eta = 15; // scaled for 600 trajectories
@@ -48,7 +51,10 @@ fn campus_events_are_detectable_as_hotspots() {
     let residence = hotspots.iter().find(|h| h.key == data.residence_a.0);
     assert!(residence.is_some(), "residence event missing");
     let r = residence.unwrap();
-    assert!((19..=22).contains(&r.start_hour), "residence hotspot at {r:?}");
+    assert!(
+        (19..=22).contains(&r.start_hour),
+        "residence hotspot at {r:?}"
+    );
 }
 
 #[test]

@@ -42,8 +42,12 @@ fn every_method_round_trips_every_scenario() {
             // Utility measures accept the output.
             let ne = normalized_error(&dataset, set.all(), &run.perturbed);
             assert!(ne.dt.is_finite() && ne.dc.is_finite() && ne.ds.is_finite());
-            let pr =
-                preservation_range(&dataset, set.all(), &run.perturbed, PrqDimension::Space(1e9));
+            let pr = preservation_range(
+                &dataset,
+                set.all(),
+                &run.perturbed,
+                PrqDimension::Space(1e9),
+            );
             assert_eq!(pr, 100.0, "infinite δ must preserve everything");
         }
     }
@@ -81,8 +85,7 @@ fn ngram_outputs_satisfy_reachability_unless_smoothed() {
 fn epsilon_controls_utility_end_to_end() {
     let (dataset, set) = build_scenario(Scenario::TaxiFoursquare, &small_cfg());
     let ne_at = |eps: f64| {
-        let mech =
-            NGramMechanism::build(&dataset, &MechanismConfig::default().with_epsilon(eps));
+        let mech = NGramMechanism::build(&dataset, &MechanismConfig::default().with_epsilon(eps));
         let run = run_method(&mech, &set, 5, 2);
         let ne = normalized_error(&dataset, set.all(), &run.perturbed);
         ne.dc + ne.dt + ne.ds
@@ -101,5 +104,8 @@ fn perturbation_is_reproducible_across_runs() {
     let mech = NGramMechanism::build(&dataset, &MechanismConfig::default());
     let a = run_method(&mech, &set, 99, 4);
     let b = run_method(&mech, &set, 99, 1);
-    assert_eq!(a.perturbed, b.perturbed, "same seeds must give same outputs");
+    assert_eq!(
+        a.perturbed, b.perturbed,
+        "same seeds must give same outputs"
+    );
 }

@@ -25,7 +25,13 @@ fn dataset() -> Dataset {
             )
         })
         .collect();
-    Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine)
+    Dataset::new(
+        pois,
+        h,
+        TimeDomain::new(10),
+        Some(8.0),
+        DistanceMetric::Haversine,
+    )
 }
 
 #[test]
@@ -62,7 +68,7 @@ fn window_sampler_respects_eps_ldp_ratio() {
     let x2: Vec<RegionId> = vec![RegionId(last.0), RegionId(last.1)];
 
     let trials = 60_000;
-    let mut count = |truth: &[RegionId], seed: u64| -> std::collections::HashMap<(u32, u32), f64> {
+    let count = |truth: &[RegionId], seed: u64| -> std::collections::HashMap<(u32, u32), f64> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut m = std::collections::HashMap::new();
         for _ in 0..trials {
@@ -88,7 +94,10 @@ fn window_sampler_respects_eps_ldp_ratio() {
             }
         }
     }
-    assert!(checked >= 5, "audit needs overlapping outputs, got {checked}");
+    assert!(
+        checked >= 5,
+        "audit needs overlapping outputs, got {checked}"
+    );
 }
 
 #[test]

@@ -31,18 +31,20 @@ fn setup() -> (Dataset, RegionSet, RegionGraph) {
             )
         })
         .collect();
-    let ds = Dataset::new(pois, h, TimeDomain::new(10), Some(8.0), DistanceMetric::Haversine);
+    let ds = Dataset::new(
+        pois,
+        h,
+        TimeDomain::new(10),
+        Some(8.0),
+        DistanceMetric::Haversine,
+    );
     let rs = decompose(&ds, &MechanismConfig::default());
     let g = RegionGraph::build(&ds, &rs);
     (ds, rs, g)
 }
 
 /// Total bigram error of a reconstructed sequence against Z.
-fn cost(
-    g: &RegionGraph,
-    z: &[trajshare_core::perturb::PerturbedWindow],
-    seq: &[RegionId],
-) -> f64 {
+fn cost(g: &RegionGraph, z: &[trajshare_core::perturb::PerturbedWindow], seq: &[RegionId]) -> f64 {
     let node_err = |i: usize, r: RegionId| -> f64 {
         z.iter()
             .filter(|pw| pw.window.covers(i))
@@ -86,9 +88,17 @@ fn lp_relaxation_of_lattice_is_integral() {
         }
     }
     let costs: Vec<Vec<f64>> = (0..3)
-        .map(|pos| arcs.iter().map(|&(u, v)| ((u * 7 + v * 3 + pos) % 11) as f64).collect())
+        .map(|pos| {
+            arcs.iter()
+                .map(|&(u, v)| ((u * 7 + v * 3 + pos) % 11) as f64)
+                .collect()
+        })
         .collect();
-    let p = LatticeProblem { num_nodes: 4, arcs, costs };
+    let p = LatticeProblem {
+        num_nodes: 4,
+        arcs,
+        costs,
+    };
     let lp = p.to_ilp();
     let relaxed = solve_lp(&lp);
     assert_eq!(relaxed.status, SolveStatus::Optimal);
@@ -108,7 +118,9 @@ fn simplex_agrees_with_branch_and_bound_on_integral_instances() {
     // A transportation-style LP with integral data: simplex optimum is
     // integral, so B&B should terminate at the root with the same value.
     let mut lp = LinearProgram::new();
-    let x: Vec<usize> = (0..4).map(|i| lp.add_int_var([3.0, 5.0, 4.0, 2.0][i], 0.0, 10.0)).collect();
+    let x: Vec<usize> = (0..4)
+        .map(|i| lp.add_int_var([3.0, 5.0, 4.0, 2.0][i], 0.0, 10.0))
+        .collect();
     lp.add_constraint(vec![(x[0], 1.0), (x[1], 1.0)], Relation::Eq, 6.0);
     lp.add_constraint(vec![(x[2], 1.0), (x[3], 1.0)], Relation::Eq, 4.0);
     lp.add_constraint(vec![(x[0], 1.0), (x[2], 1.0)], Relation::Le, 7.0);
