@@ -159,16 +159,18 @@ impl Aggregator {
 
     /// Builds an aggregator for the given decomposed region universe.
     pub fn new(regions: &RegionSet) -> Self {
-        let region_tile = regions
-            .all()
-            .iter()
-            .map(|r| {
-                let mid_min = (r.time.start_min + r.time.end_min) / 2;
-                ((mid_min / 60) as usize).min(TILES_PER_DAY - 1) as u16
-            })
-            .collect();
+        Self::from_region_tiles(region_tiles(regions))
+    }
+
+    /// Builds an aggregator from a bare tile table (one midpoint-hour tile
+    /// per region). This is the constructor for deployments where the
+    /// server does not hold the full dataset — e.g. the ingestion service,
+    /// which is configured with the public universe size and tile map
+    /// only. `Aggregator::new(regions)` is exactly
+    /// `from_region_tiles(region_tiles(regions))`.
+    pub fn from_region_tiles(region_tile: Vec<u16>) -> Self {
         Aggregator {
-            counts: AggregateCounts::new(regions.len()),
+            counts: AggregateCounts::new(region_tile.len()),
             region_tile,
             shard_size: Self::DEFAULT_SHARD_SIZE,
         }
@@ -221,6 +223,21 @@ impl Aggregator {
             );
         self.counts.merge(&batch);
     }
+}
+
+/// The public per-region midpoint-hour tile table used by
+/// [`Aggregator::new`] — exposed so a dataset-less deployment (the
+/// ingestion service) can compute it once and configure workers with the
+/// plain table.
+pub fn region_tiles(regions: &RegionSet) -> Vec<u16> {
+    regions
+        .all()
+        .iter()
+        .map(|r| {
+            let mid_min = (r.time.start_min + r.time.end_min) / 2;
+            ((mid_min / 60) as usize).min(TILES_PER_DAY - 1) as u16
+        })
+        .collect()
 }
 
 /// Largest per-window ε′ a report may claim. Anything above this is not a
@@ -283,11 +300,12 @@ fn accumulate(counts: &mut AggregateCounts, region_tile: &[u16], report: &Report
     }
     counts.length_hist[len] += 1;
     counts.num_reports += 1;
-    // ε′ ≤ MAX_EPS_PRIME, so the nano-units sum saturates only after
-    // ~2.9×10⁸ maximal reports; saturating keeps even that case sane.
-    counts.eps_nano_sum = counts
-        .eps_nano_sum
-        .saturating_add((report.eps_prime * 1e9).round() as u64);
+    // The accountant sums the report's *wire* nano-ε integer. Reports are
+    // quantized onto the nano grid once, at extraction, so this conversion
+    // is exact and the sum cannot drift however often reports are
+    // re-encoded or replayed. (ε′ ≤ MAX_EPS_PRIME, so the sum saturates
+    // only after ~2.9×10⁸ maximal reports; saturating keeps that sane.)
+    counts.eps_nano_sum = counts.eps_nano_sum.saturating_add(report.eps_nano());
 }
 
 /// A convenience: builds the aggregator and ingests in one call.

@@ -37,15 +37,19 @@ pub mod ingest;
 pub mod markov;
 pub mod pipeline;
 pub mod report;
+pub mod snapshot;
 pub mod synthesize;
 
 pub use estimate::{ibu_frequencies, ibu_joint, norm_sub, ChannelInverse, EmChannel};
 pub use eval::{score_paired, EvalConfig, UtilityScores};
-pub use ingest::{aggregate_reports, AggregateCounts, Aggregator, TILES_PER_DAY};
+pub use ingest::{aggregate_reports, region_tiles, AggregateCounts, Aggregator, TILES_PER_DAY};
 pub use markov::{FrequencyEstimator, MobilityModel};
 pub use pipeline::{
     aggregate_and_synthesize, aggregate_and_synthesize_matching, collect_reports, user_seed,
     SynthesisOutcome,
 };
-pub use report::{DecodeError, Report};
+pub use report::{DecodeError, Report, StreamDecoder, MAX_FRAME_LEN};
+pub use snapshot::{
+    crc32, merge_snapshot_files, read_snapshot_file, write_snapshot_file, SnapshotError,
+};
 pub use synthesize::Synthesizer;

@@ -33,31 +33,109 @@ pub struct Report {
 }
 
 /// Why decoding a serialized report failed.
+///
+/// The variants deliberately separate *recoverable* incompleteness from
+/// *fatal* corruption: a streaming decoder that hits
+/// [`DecodeError::Truncated`] should wait for more bytes, while every
+/// other variant means the input can never become a valid report and the
+/// connection (or file tail) should be dropped.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
-    /// Buffer shorter than the fixed header.
-    Truncated,
-    /// Magic bytes do not match [`Report::MAGIC`].
+    /// The buffer holds a prefix of a (possibly) valid encoding: at least
+    /// `needed` total bytes are required before decoding can succeed.
+    /// `needed` is a lower bound — it grows once the fixed header is
+    /// available and the declared counts are known. Kept as `u64` because
+    /// hostile headers can declare sizes that overflow `usize` on 32-bit
+    /// targets; the value must survive un-truncated so callers can reject
+    /// it against their frame limit.
+    Truncated {
+        /// Total bytes (from the start of the buffer) needed to proceed.
+        needed: u64,
+    },
+    /// Magic bytes do not match [`Report::MAGIC`] (wrong protocol or an
+    /// unsupported wire-format version).
     BadMagic,
-    /// Declared observation counts disagree with the buffer length.
-    LengthMismatch,
+    /// The buffer is longer than the encoding it starts with: the declared
+    /// counts were consistent but bytes follow the last field.
+    TrailingBytes,
+    /// A frame header declared a length above [`MAX_FRAME_LEN`]; reading
+    /// on would let a hostile client make the server buffer arbitrarily.
+    FrameTooLarge {
+        /// The declared frame payload length.
+        len: u64,
+    },
+    /// A frame's declared payload length disagrees with the report's own
+    /// declared counts (payload too short or trailing garbage inside the
+    /// frame).
+    FrameMismatch,
+}
+
+impl DecodeError {
+    /// True when the error means "wait for more bytes" rather than
+    /// "corrupt input" — the streaming-decoder dispatch test.
+    #[inline]
+    pub fn is_incomplete(&self) -> bool {
+        matches!(self, DecodeError::Truncated { .. })
+    }
 }
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DecodeError::Truncated => write!(f, "report buffer truncated"),
+            DecodeError::Truncated { needed } => {
+                write!(f, "report buffer truncated ({needed} total bytes needed)")
+            }
             DecodeError::BadMagic => write!(f, "report magic bytes invalid"),
-            DecodeError::LengthMismatch => write!(f, "report length fields inconsistent"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after report"),
+            DecodeError::FrameTooLarge { len } => {
+                write!(f, "frame length {len} exceeds MAX_FRAME_LEN")
+            }
+            DecodeError::FrameMismatch => {
+                write!(f, "frame length disagrees with report's declared counts")
+            }
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
 
+/// Upper bound on a framed report's payload (16 MiB). A genuine report is
+/// bounded by `|τ| ≤ u16::MAX` positions (a few hundred KB); anything near
+/// this limit is hostile, and the limit keeps a length-prefix of
+/// `u32::MAX` from turning into a 4 GiB buffering obligation.
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Rounds ε′ once onto the nano-ε integer grid used on the wire and in
+/// the accountant. Doing this at extraction (rather than per ingestion)
+/// means every later `ε ↔ nano-ε` conversion is exact, so the budget
+/// accountant cannot drift however many times a report is re-encoded,
+/// shipped, logged, replayed, and re-ingested.
+#[inline]
+fn quantize_eps(eps: f64) -> f64 {
+    eps_to_nano(eps) as f64 / 1e9
+}
+
+/// Single rounding ε → nano-ε. Non-finite and non-positive inputs map to
+/// 0 nano-ε (which ingestion rejects as hostile).
+#[inline]
+fn eps_to_nano(eps: f64) -> u64 {
+    if eps.is_finite() && eps > 0.0 {
+        // `as` saturates at u64::MAX for absurdly large ε (also rejected
+        // at ingestion, which caps ε′ at MAX_EPS_PRIME).
+        (eps * 1e9).round() as u64
+    } else {
+        0
+    }
+}
+
 impl Report {
-    /// Wire-format magic ("TrajShare Report v1").
-    pub const MAGIC: [u8; 4] = *b"TSR1";
+    /// Wire-format magic ("TrajShare Report v2" — v2 carries ε′ as an
+    /// integer nano-ε, not an IEEE double; v1 buffers are rejected with
+    /// [`DecodeError::BadMagic`]).
+    pub const MAGIC: [u8; 4] = *b"TSR2";
+
+    /// Fixed header size: magic + nano-ε + |τ| + three counts.
+    pub const HEADER_LEN: usize = 4 + 8 + 2 + 4 + 4 + 4;
 
     /// Extracts the aggregation observations from a stage-1 mechanism
     /// output (see `NGramMechanism::perturb_raw`).
@@ -77,7 +155,7 @@ impl Report {
             }
         }
         Report {
-            eps_prime: p.eps_prime,
+            eps_prime: quantize_eps(p.eps_prime),
             len: p.len as u16,
             unigrams,
             exact,
@@ -89,7 +167,7 @@ impl Report {
     /// `ContinuousSharer::share_region`).
     pub fn from_region_point(region: RegionId, eps: f64) -> Self {
         Report {
-            eps_prime: eps,
+            eps_prime: quantize_eps(eps),
             len: 1,
             unigrams: vec![(0, region.0)],
             exact: vec![(0, region.0)],
@@ -103,13 +181,16 @@ impl Report {
         self.unigrams.len()
     }
 
+    /// ε′ as integer nano-ε — the exact value carried on the wire and
+    /// summed by the budget accountant.
+    #[inline]
+    pub fn eps_nano(&self) -> u64 {
+        eps_to_nano(self.eps_prime)
+    }
+
     /// Serialized size in bytes.
     pub fn encoded_len(&self) -> usize {
-        4 + 8
-            + 2
-            + 4
-            + 4
-            + 4
+        Self::HEADER_LEN
             + self.unigrams.len() * 6
             + self.exact.len() * 6
             + self.transitions.len() * 8
@@ -119,7 +200,7 @@ impl Report {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
         out.extend_from_slice(&Self::MAGIC);
-        out.extend_from_slice(&self.eps_prime.to_le_bytes());
+        out.extend_from_slice(&self.eps_nano().to_le_bytes());
         out.extend_from_slice(&self.len.to_le_bytes());
         out.extend_from_slice(&(self.unigrams.len() as u32).to_le_bytes());
         out.extend_from_slice(&(self.exact.len() as u32).to_le_bytes());
@@ -135,24 +216,55 @@ impl Report {
         out
     }
 
-    /// Decodes [`Report::encode`] output.
+    /// The length-prefixed wire frame the ingestion service speaks:
+    /// `u32 LE payload length` followed by [`Report::encode`] bytes.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.encoded_len());
+        self.encode_frame_into(&mut out);
+        out
+    }
+
+    /// Appends the length-prefixed frame to `out` (client batching).
+    pub fn encode_frame_into(&self, out: &mut Vec<u8>) {
+        let payload = self.encode();
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+
+    /// Decodes [`Report::encode`] output. The buffer must hold exactly one
+    /// report: a shorter buffer yields [`DecodeError::Truncated`] (with
+    /// the total size needed), a longer one [`DecodeError::TrailingBytes`].
+    ///
+    /// Safe on hostile bytes: all size arithmetic is done in `u64` (the
+    /// worst-case declared size ≈ 2³⁶ cannot overflow), and nothing is
+    /// allocated until the declared counts have been proven consistent
+    /// with the buffer length — so allocation is bounded by the input
+    /// size, not by attacker-chosen headers.
     pub fn decode(buf: &[u8]) -> Result<Report, DecodeError> {
-        if buf.len() < 26 {
-            return Err(DecodeError::Truncated);
+        if buf.len() < Self::HEADER_LEN {
+            return Err(DecodeError::Truncated {
+                needed: Self::HEADER_LEN as u64,
+            });
         }
         if buf[0..4] != Self::MAGIC {
             return Err(DecodeError::BadMagic);
         }
-        let eps_prime = f64::from_le_bytes(buf[4..12].try_into().unwrap());
+        let eps_nano = u64::from_le_bytes(buf[4..12].try_into().unwrap());
         let len = u16::from_le_bytes(buf[12..14].try_into().unwrap());
         let n_uni = u32::from_le_bytes(buf[14..18].try_into().unwrap()) as usize;
         let n_exact = u32::from_le_bytes(buf[18..22].try_into().unwrap()) as usize;
         let n_trans = u32::from_le_bytes(buf[22..26].try_into().unwrap()) as usize;
-        let expect = 26 + (n_uni + n_exact) * 6 + n_trans * 8;
-        if buf.len() != expect {
-            return Err(DecodeError::LengthMismatch);
+        let expect =
+            Self::HEADER_LEN as u64 + (n_uni as u64 + n_exact as u64) * 6 + n_trans as u64 * 8;
+        match (buf.len() as u64).cmp(&expect) {
+            std::cmp::Ordering::Less => return Err(DecodeError::Truncated { needed: expect }),
+            std::cmp::Ordering::Greater => return Err(DecodeError::TrailingBytes),
+            std::cmp::Ordering::Equal => {}
         }
-        let mut off = 26;
+        // Counts are now bounded by buf.len(), so the allocations below
+        // cannot exceed the input size.
+        let eps_prime = eps_nano as f64 / 1e9;
+        let mut off = Self::HEADER_LEN;
         let read_pairs = |count: usize, off: &mut usize| {
             let mut v = Vec::with_capacity(count);
             for _ in 0..count {
@@ -180,11 +292,105 @@ impl Report {
             transitions,
         })
     }
+
+    /// Consumes exactly one length-prefixed frame (see
+    /// [`Report::encode_frame`]) from the front of `buf`, returning the
+    /// report and the number of bytes consumed (`4 + payload length`).
+    ///
+    /// This is the streaming entry point: [`DecodeError::Truncated`]
+    /// means "read more bytes and retry", every other error means the
+    /// stream is corrupt and must be dropped. A declared payload above
+    /// [`MAX_FRAME_LEN`] is rejected *before* the caller buffers it.
+    pub fn decode_frame(buf: &[u8]) -> Result<(Report, usize), DecodeError> {
+        if buf.len() < 4 {
+            return Err(DecodeError::Truncated { needed: 4 });
+        }
+        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(DecodeError::FrameTooLarge { len: len as u64 });
+        }
+        let total = 4 + len as usize;
+        if buf.len() < total {
+            return Err(DecodeError::Truncated {
+                needed: total as u64,
+            });
+        }
+        match Report::decode(&buf[4..total]) {
+            Ok(report) => Ok((report, total)),
+            Err(DecodeError::BadMagic) => Err(DecodeError::BadMagic),
+            // The frame is complete (we have all `len` bytes), so a
+            // payload that claims to need more — or fewer — bytes than
+            // the frame carries is corruption, not incompleteness.
+            Err(DecodeError::Truncated { .. }) | Err(DecodeError::TrailingBytes) => {
+                Err(DecodeError::FrameMismatch)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Incremental decoder over a length-prefixed frame stream: feed it raw
+/// socket (or log) bytes with [`StreamDecoder::extend`], pull complete
+/// reports with [`StreamDecoder::next_report`]. Consumed bytes are
+/// compacted away lazily, so the buffer stays proportional to one frame
+/// plus one read chunk.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl StreamDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read bytes to the pending buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `pos` is consumed.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decodes the next complete frame, if one is buffered, returning the
+    /// report together with its raw payload bytes (what a write-ahead log
+    /// wants to persist verbatim).
+    ///
+    /// `Ok(Some(_))` — a frame was consumed; call again, more may be
+    /// buffered. `Ok(None)` — the buffer holds only a partial frame; feed
+    /// more bytes. `Err(_)` — the stream is corrupt (the decoder is left
+    /// positioned at the bad frame; the caller should drop the stream).
+    pub fn next_frame(&mut self) -> Result<Option<(Report, &[u8])>, DecodeError> {
+        match Report::decode_frame(&self.buf[self.pos..]) {
+            Ok((report, used)) => {
+                let (start, end) = (self.pos + 4, self.pos + used);
+                self.pos += used;
+                Ok(Some((report, &self.buf[start..end])))
+            }
+            Err(e) if e.is_incomplete() => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`StreamDecoder::next_frame`] without the payload bytes.
+    pub fn next_report(&mut self) -> Result<Option<Report>, DecodeError> {
+        self.next_frame().map(|f| f.map(|(report, _)| report))
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use trajshare_core::{MechanismConfig, NGramMechanism};
@@ -238,7 +444,9 @@ mod tests {
         let mut exact_pos: Vec<u16> = report.exact.iter().map(|&(p, _)| p).collect();
         exact_pos.sort_unstable();
         assert_eq!(exact_pos, vec![0, 3]);
-        assert!((report.eps_prime - mech.eps_prime(4)).abs() < 1e-12);
+        // ε′ is quantized once onto the nano-ε grid at extraction.
+        assert!((report.eps_prime - mech.eps_prime(4)).abs() < 1e-9);
+        assert_eq!(report.eps_nano(), (mech.eps_prime(4) * 1e9).round() as u64);
     }
 
     #[test]
@@ -269,13 +477,203 @@ mod tests {
     fn decode_rejects_corruption() {
         let r = Report::from_region_point(RegionId(3), 1.0);
         let buf = r.encode();
-        assert_eq!(Report::decode(&buf[..10]), Err(DecodeError::Truncated));
+        assert_eq!(
+            Report::decode(&buf[..10]),
+            Err(DecodeError::Truncated {
+                needed: Report::HEADER_LEN as u64
+            })
+        );
         let mut bad_magic = buf.clone();
         bad_magic[0] = b'X';
         assert_eq!(Report::decode(&bad_magic), Err(DecodeError::BadMagic));
+        // One byte short of the declared counts: incomplete, not garbage —
+        // and the error names the exact size needed.
         let mut short = buf.clone();
         short.pop();
-        assert_eq!(Report::decode(&short), Err(DecodeError::LengthMismatch));
+        assert_eq!(
+            Report::decode(&short),
+            Err(DecodeError::Truncated {
+                needed: buf.len() as u64
+            })
+        );
+        // One byte past the declared counts: trailing garbage.
+        let mut long = buf.clone();
+        long.push(0);
+        assert_eq!(Report::decode(&long), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn every_strict_prefix_is_truncated_never_a_panic() {
+        let r = Report {
+            eps_prime: 1.5,
+            len: 4,
+            unigrams: vec![(0, 1), (1, 2), (2, 3), (3, 1)],
+            exact: vec![(0, 1), (3, 1)],
+            transitions: vec![(1, 2), (2, 3)],
+        };
+        let buf = r.encode();
+        for i in 0..buf.len() {
+            match Report::decode(&buf[..i]) {
+                Err(DecodeError::Truncated { needed }) => {
+                    assert!(needed as usize > i, "prefix {i}: needed {needed}")
+                }
+                other => panic!("prefix {i}: expected Truncated, got {other:?}"),
+            }
+        }
+        // Frames behave the same way through the streaming entry point.
+        let frame = r.encode_frame();
+        for i in 0..frame.len() {
+            assert!(
+                Report::decode_frame(&frame[..i])
+                    .unwrap_err()
+                    .is_incomplete(),
+                "frame prefix {i}"
+            );
+        }
+        assert_eq!(Report::decode_frame(&frame).unwrap(), (r, frame.len()));
+    }
+
+    #[test]
+    fn hostile_counts_cannot_overflow_or_allocate() {
+        // Header declaring u32::MAX of everything: expected size ≈ 2³⁶
+        // must be computed without overflow and reported as Truncated —
+        // with no allocation proportional to the counts.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&Report::MAGIC);
+        evil.extend_from_slice(&1_000_000_000u64.to_le_bytes());
+        evil.extend_from_slice(&3u16.to_le_bytes());
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        let expected =
+            Report::HEADER_LEN as u64 + 2 * (u32::MAX as u64) * 6 + (u32::MAX as u64) * 8;
+        assert_eq!(
+            Report::decode(&evil),
+            Err(DecodeError::Truncated { needed: expected })
+        );
+        // Padding the buffer to "match" a smaller forged count mix must
+        // yield TrailingBytes / Truncated, never a slice panic.
+        evil.extend_from_slice(&[0u8; 64]);
+        assert!(Report::decode(&evil).unwrap_err().is_incomplete());
+    }
+
+    #[test]
+    fn oversized_frame_prefix_is_rejected_before_buffering() {
+        let mut frame = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        frame.extend_from_slice(&[0u8; 32]);
+        assert_eq!(
+            Report::decode_frame(&frame),
+            Err(DecodeError::FrameTooLarge {
+                len: MAX_FRAME_LEN as u64 + 1
+            })
+        );
+    }
+
+    #[test]
+    fn frame_payload_disagreeing_with_counts_is_mismatch_not_wait() {
+        let r = Report::from_region_point(RegionId(1), 1.0);
+        let payload = r.encode();
+        // Frame claims one byte more than the report's own counts.
+        let mut frame = ((payload.len() + 1) as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&payload);
+        frame.push(0xAB);
+        assert_eq!(
+            Report::decode_frame(&frame),
+            Err(DecodeError::FrameMismatch)
+        );
+        // Frame claims one byte fewer.
+        let mut frame = ((payload.len() - 1) as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&payload[..payload.len() - 1]);
+        assert_eq!(
+            Report::decode_frame(&frame),
+            Err(DecodeError::FrameMismatch)
+        );
+    }
+
+    #[test]
+    fn stream_decoder_reassembles_byte_dribble() {
+        let reports: Vec<Report> = (0..17)
+            .map(|i| Report {
+                eps_prime: 0.25 + i as f64 * 1e-3,
+                len: 3,
+                unigrams: vec![(0, i), (1, i + 1), (2, i + 2)],
+                exact: vec![(0, i)],
+                transitions: vec![(i, i + 1), (i + 1, i + 2)],
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for r in &reports {
+            r.encode_frame_into(&mut wire);
+        }
+        // Feed one byte at a time — worst-case fragmentation.
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        for &b in &wire {
+            dec.extend(&[b]);
+            while let Some(r) = dec.next_report().expect("valid stream") {
+                out.push(r);
+            }
+        }
+        assert_eq!(out, reports);
+        assert_eq!(dec.pending(), 0);
+        // A corrupt byte mid-stream surfaces as a fatal error.
+        let mut dec = StreamDecoder::new();
+        let mut corrupt = wire.clone();
+        corrupt[6] ^= 0xFF; // inside the first frame's magic
+        dec.extend(&corrupt);
+        assert!(dec.next_report().is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn decode_never_panics_on_arbitrary_bytes(
+            bytes in proptest::collection::vec(0u8..=255, 0..160),
+            forged_uni in 0u32..=u32::MAX,
+            forged_trans in 0u32..=u32::MAX,
+        ) {
+            // Raw fuzz bytes.
+            let _ = Report::decode(&bytes);
+            let _ = Report::decode_frame(&bytes);
+            // Same bytes behind a valid magic + forged header — the
+            // adversarial shape the length check must survive.
+            let mut forged = Vec::with_capacity(Report::HEADER_LEN + bytes.len());
+            forged.extend_from_slice(&Report::MAGIC);
+            forged.extend_from_slice(&u64::MAX.to_le_bytes());
+            forged.extend_from_slice(&u16::MAX.to_le_bytes());
+            forged.extend_from_slice(&forged_uni.to_le_bytes());
+            forged.extend_from_slice(&forged_uni.wrapping_mul(31).to_le_bytes());
+            forged.extend_from_slice(&forged_trans.to_le_bytes());
+            forged.extend_from_slice(&bytes);
+            if let Ok(r) = Report::decode(&forged) {
+                // Anything that decodes is bounded by the input size.
+                prop_assert!(r.encoded_len() == forged.len());
+            }
+            let mut framed = (forged.len() as u32).to_le_bytes().to_vec();
+            framed.extend_from_slice(&forged);
+            if let Ok((r, used)) = Report::decode_frame(&framed) {
+                prop_assert_eq!(used, framed.len());
+                prop_assert!(r.encoded_len() + 4 == framed.len());
+            }
+        }
+
+        #[test]
+        fn quantized_eps_survives_any_number_of_roundtrips(
+            nano in 1u64..64_000_000_000u64,
+        ) {
+            let r = Report {
+                eps_prime: nano as f64 / 1e9,
+                len: 1,
+                unigrams: vec![(0, 1)],
+                exact: vec![(0, 1)],
+                transitions: vec![],
+            };
+            prop_assert_eq!(r.eps_nano(), nano);
+            let once = Report::decode(&r.encode()).unwrap();
+            prop_assert_eq!(once.eps_nano(), nano);
+            let twice = Report::decode(&once.encode()).unwrap();
+            prop_assert_eq!(&twice, &once);
+        }
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! End-to-end ingestion-service throughput over loopback: genuine
+//! mechanism reports framed, streamed over N parallel TCP connections,
+//! validated, write-ahead-logged, and counted by the server — the full
+//! durable path, not just the in-memory `Aggregator` fold (which
+//! `benches/aggregation.rs` tracks). Emits a JSON record through the
+//! report machinery (`results/bench_service_ingest.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
+use trajshare_aggregate::{collect_reports, region_tiles, Report};
+use trajshare_bench::report::{write_json, Reported};
+use trajshare_bench::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_core::{MechanismConfig, NGramMechanism};
+use trajshare_service::{stream_reports, IngestServer, ServerConfig, ServerHandle};
+
+const STREAM_REPORTS: usize = 20_000;
+
+fn report_population(base: &[Report], users: usize) -> Vec<Report> {
+    (0..users).map(|i| base[i % base.len()].clone()).collect()
+}
+
+fn fresh_server(tiles: Vec<u16>, tag: &str) -> (ServerHandle, std::path::PathBuf) {
+    let dir =
+        std::env::temp_dir().join(format!("trajshare-bench-svc-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = ServerConfig::new(&dir, tiles);
+    cfg.workers = 4;
+    // Measure the streaming path, not periodic snapshot writes.
+    cfg.snapshot_every = u64::MAX;
+    cfg.wal_flush_every = 1024;
+    let handle = IngestServer::start(cfg).expect("server start");
+    (handle, dir)
+}
+
+fn bench_service_ingest(c: &mut Criterion) {
+    let cfg = ScenarioConfig {
+        num_pois: 150,
+        num_trajectories: 2_000,
+        traj_len: Some(3),
+        ..Default::default()
+    };
+    let (dataset, set) = build_scenario(Scenario::TaxiFoursquare, &cfg);
+    let _ = &dataset;
+    let mech = NGramMechanism::build(&dataset, &MechanismConfig::default());
+    let base = collect_reports(&mech, &set, 7);
+    let reports = report_population(&base, STREAM_REPORTS);
+    let tiles = region_tiles(mech.regions());
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut group = c.benchmark_group("service_ingest");
+    group.sample_size(10);
+    for &conns in &[1usize, 4, 8] {
+        let (handle, dir) = fresh_server(tiles.clone(), &format!("c{conns}"));
+        let addr = handle.addr();
+        group.throughput(Throughput::Elements(reports.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(conns),
+            &reports,
+            |b, reports| {
+                b.iter(|| {
+                    let acked = stream_reports(addr, reports, conns).expect("stream");
+                    assert_eq!(acked, reports.len() as u64);
+                    std::hint::black_box(acked)
+                });
+            },
+        );
+        // One timed pass for the JSON record.
+        let t0 = Instant::now();
+        let acked = stream_reports(addr, &reports, conns).expect("stream");
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(acked, reports.len() as u64);
+        rows.push(vec![
+            conns.to_string(),
+            reports.len().to_string(),
+            format!("{secs:.3}"),
+            format!("{:.0}", reports.len() as f64 / secs.max(1e-9)),
+        ]);
+        handle.crash();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+
+    let report = Reported {
+        id: "bench_service_ingest".into(),
+        settings: format!(
+            "|R|={}, workers=4, wal_flush_every=1024, loopback TCP",
+            tiles.len()
+        ),
+        headers: vec![
+            "connections".into(),
+            "reports".into(),
+            "stream_s".into(),
+            "reports_per_s".into(),
+        ],
+        rows,
+    };
+    let _ = write_json(&report, std::path::Path::new("results"));
+}
+
+criterion_group!(benches, bench_service_ingest);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! The ingestion daemon.
+//!
+//! ```text
+//! ingestd --data-dir DIR --regions N [--addr 127.0.0.1:7070]
+//!         [--workers W] [--snapshot-every K] [--wal-flush-every F]
+//!         [--read-timeout-ms MS] [--dump-counts]
+//! ```
+//!
+//! Without a dataset at hand the universe is given as `--regions N`
+//! (tiles default to hour 0); embedded deployments construct
+//! `ServerConfig` with real `region_tiles` instead. `--dump-counts` runs
+//! recovery only and prints a JSON fingerprint of the restored counters
+//! — the CI smoke test's verification hook.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+use trajshare_service::{CountsSummary, IngestServer, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ingestd --data-dir DIR --regions N [--addr HOST:PORT] [--workers W] \
+         [--snapshot-every K] [--wal-flush-every F] [--read-timeout-ms MS] [--dump-counts]"
+    );
+    std::process::exit(2)
+}
+
+/// Strict flag-value parsing: a value that does not parse is a usage
+/// error, never a silent fallback to a default.
+fn parsed<T: std::str::FromStr>(v: String) -> T {
+    v.parse().unwrap_or_else(|_| usage())
+}
+
+fn main() {
+    let mut data_dir: Option<String> = None;
+    let mut regions: Option<usize> = None;
+    let mut addr: SocketAddr = "127.0.0.1:7070".parse().unwrap();
+    let mut workers: Option<usize> = None;
+    let mut snapshot_every: Option<u64> = None;
+    let mut wal_flush_every: Option<u32> = None;
+    let mut read_timeout_ms: Option<u64> = None;
+    let mut dump_counts = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let value = |args: &mut dyn Iterator<Item = String>| match args.next() {
+            Some(v) => v,
+            None => usage(),
+        };
+        match flag.as_str() {
+            "--data-dir" => data_dir = Some(value(&mut args)),
+            "--regions" => regions = Some(parsed(value(&mut args))),
+            "--addr" => addr = parsed(value(&mut args)),
+            "--workers" => workers = Some(parsed(value(&mut args))),
+            "--snapshot-every" => snapshot_every = Some(parsed(value(&mut args))),
+            "--wal-flush-every" => wal_flush_every = Some(parsed(value(&mut args))),
+            "--read-timeout-ms" => read_timeout_ms = Some(parsed(value(&mut args))),
+            "--dump-counts" => dump_counts = true,
+            _ => usage(),
+        }
+    }
+    let (Some(data_dir), Some(regions)) = (data_dir, regions) else {
+        usage()
+    };
+    if regions == 0 {
+        usage()
+    }
+    let tiles = vec![0u16; regions];
+
+    if dump_counts {
+        // Read-only reconstruction: inspecting a data directory must
+        // never compact it (and the dir lock refuses to race a live
+        // server at all).
+        let rec =
+            trajshare_service::load(std::path::Path::new(&data_dir), &tiles).unwrap_or_else(|e| {
+                eprintln!("ingestd: cannot load {data_dir}: {e}");
+                std::process::exit(1)
+            });
+        let summary = CountsSummary::of(&rec.counts);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).expect("serialize summary")
+        );
+        return;
+    }
+
+    let mut config = ServerConfig::new(&data_dir, tiles);
+    config.addr = addr;
+    if let Some(w) = workers {
+        config.workers = w.max(1);
+    }
+    if let Some(k) = snapshot_every {
+        config.snapshot_every = k.max(1);
+    }
+    if let Some(f) = wal_flush_every {
+        config.wal_flush_every = f.max(1);
+    }
+    if let Some(ms) = read_timeout_ms {
+        config.read_timeout = Duration::from_millis(ms.max(1));
+    }
+
+    let handle = IngestServer::start(config).unwrap_or_else(|e| {
+        eprintln!("ingestd: cannot start: {e}");
+        std::process::exit(1)
+    });
+    let rec = handle.recovery();
+    println!(
+        "ingestd listening on {} (gen {}, recovered {} reports, {} replayed from log)",
+        handle.addr(),
+        rec.generation,
+        rec.recovered_reports,
+        rec.replayed_reports
+    );
+    // Park forever; SIGTERM/SIGKILL is the stop signal, and recovery is
+    // the restart path — that asymmetry is exactly what the durability
+    // design is for.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

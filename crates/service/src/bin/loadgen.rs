@@ -1,0 +1,96 @@
+//! Deterministic load generator for the ingestion service.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT --reports N --regions R
+//!         [--connections C] [--len L] [--eps E] [--seed S]
+//! ```
+//!
+//! Generates `N` synthetic reports over a universe of `R` regions
+//! (deterministic in `--seed`, no dataset required), streams them over
+//! `C` parallel connections, and prints a JSON summary with achieved
+//! reports/s. Exits non-zero if any report went un-acked — which makes
+//! it a durability assertion, not just a traffic source.
+
+use std::net::SocketAddr;
+use std::time::Instant;
+use trajshare_aggregate::Report;
+use trajshare_service::stream_reports;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT --reports N --regions R [--connections C] \
+         [--len L] [--eps E] [--seed S]"
+    );
+    std::process::exit(2)
+}
+
+/// Splitmix-style index mix, matching the repo's deterministic seeding
+/// idiom.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+fn toy_report(i: u64, regions: u32, len: u16, eps: f64, seed: u64) -> Report {
+    let pick = |j: u64| (mix(seed, i.wrapping_mul(131).wrapping_add(j)) % regions as u64) as u32;
+    let path: Vec<u32> = (0..len as u64).map(pick).collect();
+    let unigrams: Vec<(u16, u32)> = path
+        .iter()
+        .enumerate()
+        .map(|(p, &r)| (p as u16, r))
+        .collect();
+    Report {
+        eps_prime: eps,
+        len,
+        unigrams: unigrams.clone(),
+        exact: unigrams,
+        transitions: path.windows(2).map(|w| (w[0], w[1])).collect(),
+    }
+}
+
+fn main() {
+    let mut addr: Option<SocketAddr> = None;
+    let mut reports: Option<usize> = None;
+    let mut regions: Option<u32> = None;
+    let mut connections = 4usize;
+    let mut len = 3u16;
+    let mut eps = 1.0f64;
+    let mut seed = 7u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(v) = args.next() else { usage() };
+        match flag.as_str() {
+            "--addr" => addr = v.parse().ok(),
+            "--reports" => reports = v.parse().ok(),
+            "--regions" => regions = v.parse().ok(),
+            "--connections" => connections = v.parse().unwrap_or_else(|_| usage()),
+            "--len" => len = v.parse().unwrap_or_else(|_| usage()),
+            "--eps" => eps = v.parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = v.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let (Some(addr), Some(n), Some(regions)) = (addr, reports, regions) else {
+        usage()
+    };
+    if regions == 0 || len == 0 {
+        usage()
+    }
+
+    let batch: Vec<Report> = (0..n as u64)
+        .map(|i| toy_report(i, regions, len, eps, seed))
+        .collect();
+    let t0 = Instant::now();
+    let acked = stream_reports(addr, &batch, connections.max(1)).expect("streaming failed");
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "{{\"sent\": {n}, \"acked\": {acked}, \"secs\": {secs:.3}, \"reports_per_s\": {:.0}}}",
+        acked as f64 / secs.max(1e-9)
+    );
+    if acked != n as u64 {
+        eprintln!("loadgen: {} of {n} reports un-acked", n as u64 - acked);
+        std::process::exit(1);
+    }
+}

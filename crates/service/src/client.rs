@@ -1,0 +1,61 @@
+//! Client-side streaming: connect, frame, send, await the ack.
+//!
+//! Used by the `loadgen` binary, the `service_ingest` bench, and the
+//! end-to-end tests. The ack protocol makes completion *durable*: the
+//! returned count only covers reports the server has validated, counted,
+//! and flushed to its write-ahead log, so a caller that sees all acks may
+//! kill the server and still expect exact recovery.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use trajshare_aggregate::Report;
+
+/// Streams one report slice over a single connection and returns the
+/// server's ack (reports accepted and made durable).
+pub fn stream_once(addr: SocketAddr, reports: &[Report]) -> std::io::Result<u64> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    // Batch frames into large writes; syscall count, not framing, is the
+    // client-side bottleneck.
+    let mut buf = Vec::with_capacity(256 * 1024);
+    for report in reports {
+        report.encode_frame_into(&mut buf);
+        if buf.len() >= 192 * 1024 {
+            stream.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        stream.write_all(&buf)?;
+    }
+    // Half-close tells the server "stream complete"; it replies with the
+    // accepted count once everything is logged.
+    stream.shutdown(Shutdown::Write)?;
+    let mut ack = [0u8; 8];
+    stream.read_exact(&mut ack)?;
+    Ok(u64::from_le_bytes(ack))
+}
+
+/// Streams `reports` across `connections` parallel connections
+/// (contiguous slices, one thread each) and returns the summed acks.
+/// With a healthy server the sum equals `reports.len()`; a shortfall
+/// means connections were refused (backpressure) or dropped.
+pub fn stream_reports(
+    addr: SocketAddr,
+    reports: &[Report],
+    connections: usize,
+) -> std::io::Result<u64> {
+    let connections = connections.clamp(1, reports.len().max(1));
+    let per = reports.len().div_ceil(connections);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = reports
+            .chunks(per.max(1))
+            .map(|slice| scope.spawn(move || stream_once(addr, slice)))
+            .collect();
+        let mut total = 0u64;
+        for h in handles {
+            total += h.join().expect("client thread panicked")?;
+        }
+        Ok(total)
+    })
+}

@@ -1,0 +1,31 @@
+//! Durable streaming ingestion for population-scale LDP reports.
+//!
+//! `trajshare_aggregate` answers *"how do millions of ε-LDP reports fold
+//! into counters?"* for in-memory batches; this crate puts a network and
+//! a disk in front of it, following the collector architecture of
+//! LDPTrace and RetraSyn: the aggregator is a long-running server on an
+//! untrusted machine, fed by millions of devices it must assume are
+//! adversarial, and it must survive restarts without losing or double
+//! counting a single report.
+//!
+//! * [`server`] — the TCP ingestion server: length-prefixed frames of
+//!   `Report::encode`, a thread-pool over bounded channels, explicit
+//!   backpressure, per-shard aggregation, WAL-then-count durability.
+//! * [`storage`] — write-ahead logs, per-shard counter files, the
+//!   generation manifest, and snapshot + log-tail recovery.
+//! * [`client`] — the streaming client used by `loadgen`, benches, and
+//!   tests; its ack protocol certifies durability, not just delivery.
+//!
+//! Binaries: `ingestd` (the server; `--dump-counts` prints a recovered
+//! state fingerprint) and `loadgen` (deterministic report generator +
+//! streamer for smoke tests and load measurements).
+
+pub mod client;
+pub mod server;
+pub mod storage;
+
+pub use client::{stream_once, stream_reports};
+pub use server::{
+    CountsSummary, IngestServer, RecoverySummary, ServerConfig, ServerHandle, ServerStats,
+};
+pub use storage::{load, lock_dir, recover, replay_wal, Recovery, ReplayStats, WalWriter};

@@ -1,0 +1,470 @@
+//! The long-running ingestion server.
+//!
+//! Architecture (all `std::net` + OS threads — no async runtime is
+//! reachable offline, and a thread-per-worker accept/worker pool is the
+//! right shape for a CPU-light, syscall-bound byte funnel anyway):
+//!
+//! ```text
+//!            ┌────────────┐   bounded channel    ┌──────────────────┐
+//!  clients ─▶│  acceptor  │──(conns; try_send)──▶│ worker 0..N-1    │
+//!            └────────────┘     full ⇒ refuse    │  shard Aggregator│
+//!                                                │  shard WAL       │
+//!                                                └──────────────────┘
+//! ```
+//!
+//! * **Backpressure** is explicit at two levels: the bounded connection
+//!   queue (a full queue means new connections are closed immediately —
+//!   shed, not buffered), and TCP itself (a worker busy ingesting stops
+//!   reading, so the client's sends block). A client that stalls
+//!   mid-frame past `read_timeout` is disconnected (slow-reader guard).
+//! * **Sharding**: each worker owns one [`Aggregator`] shard and one
+//!   write-ahead log; totals are merged on demand ([`ServerHandle::counts`])
+//!   — counters are plain sums, so shard count and scheduling never
+//!   change the result.
+//! * **Durability**: every validated report is appended to the worker's
+//!   WAL before it is counted, and the WAL is flushed before a
+//!   connection is acked, so an acked report survives any process kill.
+//!   Workers snapshot their counters every `snapshot_every` reports;
+//!   restart recovery = base + shard snapshots + log tails (see
+//!   [`crate::storage`]).
+//!
+//! Protocol: the client streams [`Report::encode_frame`] frames, then
+//! shuts down its write half; the server ingests to EOF, flushes the
+//! WAL, and replies with the number of accepted reports as a `u64` LE
+//! ack before closing.
+
+use crate::storage::{self, Recovery, WalWriter};
+use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use trajshare_aggregate::snapshot::crc32;
+use trajshare_aggregate::{AggregateCounts, Aggregator, Report, StreamDecoder};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks a free port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: SocketAddr,
+    /// Directory for logs, counter snapshots, and the manifest.
+    pub data_dir: PathBuf,
+    /// Public per-region hour tiles; its length is the universe size
+    /// (`trajshare_aggregate::region_tiles` derives it from a
+    /// `RegionSet`).
+    pub region_tiles: Vec<u16>,
+    /// Worker threads = ingestion shards.
+    pub workers: usize,
+    /// Pending-connection queue depth; a full queue refuses connections.
+    pub queue_depth: usize,
+    /// Reports a shard ingests between counter-snapshot writes.
+    pub snapshot_every: u64,
+    /// WAL records buffered between automatic flushes.
+    pub wal_flush_every: u32,
+    /// Socket read timeout — a client stalling longer is disconnected.
+    pub read_timeout: Duration,
+}
+
+impl ServerConfig {
+    /// Sensible defaults for loopback deployments and tests.
+    pub fn new(data_dir: impl Into<PathBuf>, region_tiles: Vec<u16>) -> Self {
+        ServerConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            data_dir: data_dir.into(),
+            region_tiles,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
+            queue_depth: 64,
+            snapshot_every: 10_000,
+            wal_flush_every: 64,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Monotonic event counters, shared across all server threads.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections handed to a worker.
+    pub accepted: AtomicU64,
+    /// Connections closed immediately because the queue was full.
+    pub refused: AtomicU64,
+    /// Connections that streamed to EOF and were acked.
+    pub completed: AtomicU64,
+    /// Connections dropped by the slow-reader timeout.
+    pub disconnected_slow: AtomicU64,
+    /// Connections dropped for protocol violations (bad magic, oversized
+    /// or inconsistent frames, trailing garbage).
+    pub disconnected_protocol: AtomicU64,
+    /// Reports validated, logged, and counted.
+    pub reports_ingested: AtomicU64,
+    /// Connections dropped by I/O errors (socket or WAL).
+    pub io_errors: AtomicU64,
+}
+
+impl ServerStats {
+    fn bump(&self, field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One worker's mutable state: its counter shard and its WAL. The mutex
+/// is held per report by the owning worker and briefly by merge-on-demand
+/// readers ([`ServerHandle::counts`]) and shutdown.
+struct Shard {
+    agg: Aggregator,
+    wal: WalWriter,
+    counts_path: PathBuf,
+    since_snapshot: u64,
+    snapshot_every: u64,
+}
+
+impl Shard {
+    /// WAL-then-count ingestion of one validated report. `payload` is the
+    /// exact wire payload (already validated by decode), logged verbatim.
+    fn ingest(&mut self, report: &Report, payload: &[u8]) -> std::io::Result<()> {
+        self.wal.append(payload)?;
+        self.agg.ingest(report);
+        self.since_snapshot += 1;
+        if self.since_snapshot >= self.snapshot_every {
+            self.snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the WAL and atomically persists the shard counters with
+    /// the log offset they cover.
+    fn snapshot(&mut self) -> std::io::Result<()> {
+        self.wal.flush()?;
+        storage::write_shard_counts(&self.counts_path, self.agg.counts(), self.wal.offset())?;
+        self.since_snapshot = 0;
+        Ok(())
+    }
+}
+
+/// The running server: owns its threads; query or stop it through this.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    base: AggregateCounts,
+    shards: Vec<Arc<Mutex<Shard>>>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    recovery: RecoverySummary,
+    /// Exclusive data-dir lock, held for the server's lifetime so no
+    /// other process can recover/compact the directory underneath it.
+    _dir_lock: std::fs::File,
+}
+
+/// What recovery found at startup (surfaced for operators and tests).
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoverySummary {
+    /// The file generation this run writes.
+    pub generation: u64,
+    /// Reports recovered by log replay (beyond snapshots).
+    pub replayed_reports: u64,
+    /// Shards whose previous log ended in a torn record.
+    pub torn_tails: u64,
+    /// Total reports in the recovered base counters.
+    pub recovered_reports: u64,
+}
+
+/// Marker type for [`IngestServer::start`].
+pub struct IngestServer;
+
+impl IngestServer {
+    /// Recovers durable state from `config.data_dir`, binds the listener,
+    /// and spawns the acceptor and worker threads.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(!config.region_tiles.is_empty(), "empty region universe");
+        let dir_lock = storage::lock_dir(&config.data_dir)?;
+        let Recovery {
+            counts: base,
+            gen,
+            replayed_reports,
+            torn_tails,
+        } = storage::recover_locked(&config.data_dir, &config.region_tiles)?;
+        let recovery = RecoverySummary {
+            generation: gen,
+            replayed_reports,
+            torn_tails,
+            recovered_reports: base.num_reports,
+        };
+
+        let listener = TcpListener::bind(config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let stats = Arc::new(ServerStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = channel::bounded::<TcpStream>(config.queue_depth);
+
+        let mut shards = Vec::with_capacity(config.workers);
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        for i in 0..config.workers {
+            let shard = Arc::new(Mutex::new(Shard {
+                agg: Aggregator::from_region_tiles(config.region_tiles.clone()),
+                wal: WalWriter::create(
+                    &storage::wal_path(&config.data_dir, gen, i),
+                    config.wal_flush_every,
+                )?,
+                counts_path: storage::shard_counts_path(&config.data_dir, gen, i),
+                since_snapshot: 0,
+                snapshot_every: config.snapshot_every.max(1),
+            }));
+            shards.push(Arc::clone(&shard));
+            let rx = rx.clone();
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let read_timeout = config.read_timeout;
+            threads.push(std::thread::spawn(move || {
+                worker_loop(rx, shard, stats, stop, read_timeout)
+            }));
+        }
+        drop(rx);
+
+        {
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                acceptor_loop(listener, tx, stats, stop)
+            }));
+        }
+
+        Ok(ServerHandle {
+            addr,
+            stats,
+            base,
+            shards,
+            stop,
+            threads,
+            recovery,
+            _dir_lock: dir_lock,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live event counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// What startup recovery reconstructed.
+    pub fn recovery(&self) -> &RecoverySummary {
+        &self.recovery
+    }
+
+    /// Merge-on-demand total: recovered base plus every live shard.
+    pub fn counts(&self) -> AggregateCounts {
+        let mut total = self.base.clone();
+        for shard in &self.shards {
+            total.merge(shard.lock().unwrap().agg.counts());
+        }
+        total
+    }
+
+    /// Graceful stop: refuse new connections, join all threads, persist a
+    /// final snapshot of every shard, and return the final counters.
+    pub fn shutdown(mut self) -> std::io::Result<AggregateCounts> {
+        self.stop_threads();
+        for shard in &self.shards {
+            shard.lock().unwrap().snapshot()?;
+        }
+        Ok(self.counts())
+    }
+
+    /// Abrupt stop for crash-recovery tests: threads are stopped but *no*
+    /// final snapshot is written — recovery must reconstruct the tail
+    /// from the WAL alone, exactly as after a SIGKILL.
+    pub fn crash(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    tx: channel::Sender<TcpStream>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => match tx.try_send(stream) {
+                Ok(()) => stats.bump(&stats.accepted),
+                // Queue full: shed the connection immediately (the stream
+                // drops ⇒ RST/close) instead of buffering unboundedly.
+                Err(TrySendError::Full(_)) => stats.bump(&stats.refused),
+                Err(TrySendError::Disconnected(_)) => break,
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn worker_loop(
+    rx: channel::Receiver<TcpStream>,
+    shard: Arc<Mutex<Shard>>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    read_timeout: Duration,
+) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(stream) => handle_conn(stream, &shard, &stats, &stop, read_timeout),
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Reads one client stream to EOF, ingesting every framed report, then
+/// flushes the WAL and acks. Any protocol violation or stall drops the
+/// connection without an ack.
+fn handle_conn(
+    mut stream: TcpStream,
+    shard: &Mutex<Shard>,
+    stats: &ServerStats,
+    stop: &AtomicBool,
+    read_timeout: Duration,
+) {
+    if stream.set_read_timeout(Some(read_timeout)).is_err() || stream.set_nodelay(true).is_err() {
+        stats.bump(&stats.io_errors);
+        return;
+    }
+    let mut decoder = StreamDecoder::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let mut accepted = 0u64;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            let _ = shard.lock().unwrap().wal.flush();
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF: make everything durable first (already-validated
+                // reports stand regardless of how the stream ended).
+                if shard.lock().unwrap().wal.flush().is_err() {
+                    stats.bump(&stats.io_errors);
+                    return;
+                }
+                // A stream that ends mid-frame is a protocol violation,
+                // not a completed upload: no ack, so the client cannot
+                // mistake a truncated send for full durability.
+                if decoder.pending() > 0 {
+                    stats.bump(&stats.disconnected_protocol);
+                    return;
+                }
+                if stream.write_all(&accepted.to_le_bytes()).is_err() {
+                    stats.bump(&stats.io_errors);
+                    return;
+                }
+                let _ = stream.shutdown(Shutdown::Both);
+                stats.bump(&stats.completed);
+                return;
+            }
+            Ok(n) => {
+                decoder.extend(&chunk[..n]);
+                loop {
+                    match decoder.next_frame() {
+                        Ok(Some((report, payload))) => {
+                            if shard.lock().unwrap().ingest(&report, payload).is_err() {
+                                stats.bump(&stats.io_errors);
+                                return;
+                            }
+                            accepted += 1;
+                            stats.bump(&stats.reports_ingested);
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            // Hostile or corrupt stream: drop it. Reports
+                            // already ingested stay — each frame is an
+                            // independent, validated LDP message.
+                            stats.bump(&stats.disconnected_protocol);
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                stats.bump(&stats.disconnected_slow);
+                return;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                stats.bump(&stats.io_errors);
+                return;
+            }
+        }
+    }
+}
+
+/// A compact, JSON-serializable fingerprint of a counter set — what the
+/// `ingestd --dump-counts` CLI prints so operators (and the CI smoke
+/// test) can verify restored state. `snapshot_crc32` covers every counter
+/// byte, so two equal fingerprints mean bit-identical counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct CountsSummary {
+    /// Universe size.
+    pub num_regions: usize,
+    /// Reports folded in.
+    pub num_reports: u64,
+    /// Unigram observations folded in.
+    pub num_unigrams: u64,
+    /// Observations rejected as malformed/hostile.
+    pub rejected: u64,
+    /// Σ ε′ over reports, nano-ε.
+    pub eps_nano_sum: u64,
+    /// Σ occupancy counters.
+    pub total_occupancy: u64,
+    /// Σ transition counters.
+    pub total_transitions: u64,
+    /// CRC-32 of the full snapshot encoding — a bit-exact fingerprint.
+    pub snapshot_crc32: u32,
+}
+
+impl CountsSummary {
+    /// Fingerprints `counts`.
+    pub fn of(counts: &AggregateCounts) -> Self {
+        CountsSummary {
+            num_regions: counts.num_regions,
+            num_reports: counts.num_reports,
+            num_unigrams: counts.num_unigrams,
+            rejected: counts.rejected,
+            eps_nano_sum: counts.eps_nano_sum,
+            total_occupancy: counts.occupancy.iter().sum(),
+            total_transitions: counts.transitions.iter().sum(),
+            snapshot_crc32: crc32(&counts.encode_snapshot()),
+        }
+    }
+}

@@ -1,0 +1,664 @@
+//! The durability layer: per-shard append-only report logs, per-shard
+//! counter files, a generation manifest, and the recovery procedure that
+//! folds them back into exact counters after a crash or re-shard.
+//!
+//! ## On-disk layout (all integers little-endian)
+//!
+//! Inside one data directory:
+//!
+//! * `MANIFEST` — `"TSMF"`, `u16` version, `u64` generation, `u32` CRC.
+//!   Names the authoritative file generation; everything else is garbage
+//!   from interrupted runs and is swept on recovery.
+//! * `base-<gen>.counts` — a plain [`AggregateCounts`] snapshot (see
+//!   `trajshare_aggregate::snapshot`): everything compacted by the last
+//!   recovery.
+//! * `shard-<gen>-<i>.log` — shard `i`'s write-ahead log. Each record is
+//!   `u32` payload length, `u32` CRC-32 of the payload, then the payload
+//!   ([`Report::encode`] bytes). A torn tail (crash mid-write) is
+//!   detected by the length/CRC pair and cleanly ignored.
+//! * `shard-<gen>-<i>.counts` — shard `i`'s periodic counter snapshot:
+//!   `"TSSH"`, `u16` version, `u64` WAL byte offset covered, `u32`
+//!   header CRC, then the embedded (self-validating) counts snapshot.
+//!   Reports logged past the offset are recovered by replaying the log
+//!   tail.
+//!
+//! ## Recovery = snapshot + log tail, then compaction
+//!
+//! [`recover`] merges `base-<g>.counts`, every `shard-<g>-*.counts`, and
+//! each shard's log tail past its covered offset, producing counters
+//! bit-identical to an uninterrupted run (all counters are plain `u64`
+//! sums, so merge order is immaterial). It then *compacts*: writes the
+//! merged result as `base-<g+1>.counts`, atomically flips `MANIFEST` to
+//! generation `g+1`, and deletes generation-`g` files. A crash anywhere
+//! inside recovery is safe — until the manifest rename lands, generation
+//! `g` remains authoritative and the half-built `g+1` files are swept by
+//! the next attempt.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use trajshare_aggregate::snapshot::{
+    crc32, read_snapshot_file, write_snapshot_file, SnapshotError,
+};
+use trajshare_aggregate::{AggregateCounts, Aggregator, Report};
+
+/// Manifest magic ("TrajShare ManiFest").
+const MANIFEST_MAGIC: [u8; 4] = *b"TSMF";
+/// Shard-counts header magic ("TrajShare SHard").
+const SHARD_MAGIC: [u8; 4] = *b"TSSH";
+/// Version for both service-level file headers.
+const STORAGE_VERSION: u16 = 1;
+/// WAL record header: payload length + payload CRC.
+const WAL_RECORD_HEADER: usize = 8;
+
+/// Path of shard `i`'s write-ahead log in generation `gen`.
+pub fn wal_path(dir: &Path, gen: u64, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{gen}-{shard}.log"))
+}
+
+/// Path of shard `i`'s counter snapshot in generation `gen`.
+pub fn shard_counts_path(dir: &Path, gen: u64, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{gen}-{shard}.counts"))
+}
+
+/// Path of the compacted base snapshot of generation `gen`.
+pub fn base_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("base-{gen}.counts"))
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("MANIFEST")
+}
+
+/// Reads the authoritative generation, `None` when no manifest exists
+/// (fresh directory). A manifest that exists but fails validation is a
+/// hard error — guessing a generation could silently double-count.
+pub fn read_manifest(dir: &Path) -> std::io::Result<Option<u64>> {
+    let bytes = match std::fs::read(manifest_path(dir)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let fail = |msg: &str| Err(std::io::Error::other(format!("MANIFEST invalid: {msg}")));
+    if bytes.len() != 4 + 2 + 8 + 4 {
+        return fail("wrong size");
+    }
+    if bytes[0..4] != MANIFEST_MAGIC {
+        return fail("bad magic");
+    }
+    if u16::from_le_bytes(bytes[4..6].try_into().unwrap()) != STORAGE_VERSION {
+        return fail("unsupported version");
+    }
+    let stored = u32::from_le_bytes(bytes[14..18].try_into().unwrap());
+    if crc32(&bytes[..14]) != stored {
+        return fail("bad CRC");
+    }
+    Ok(Some(u64::from_le_bytes(bytes[6..14].try_into().unwrap())))
+}
+
+/// Atomically points the manifest at `gen` (tmp + fsync + rename).
+pub fn write_manifest(dir: &Path, gen: u64) -> std::io::Result<()> {
+    let mut bytes = Vec::with_capacity(18);
+    bytes.extend_from_slice(&MANIFEST_MAGIC);
+    bytes.extend_from_slice(&STORAGE_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&gen.to_le_bytes());
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    let tmp = dir.join("MANIFEST.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(tmp, manifest_path(dir))
+}
+
+/// Append-only writer for one shard's report log.
+///
+/// Writes are buffered; [`WalWriter::offset`] counts *appended* bytes
+/// (including still-buffered ones), which is the correct coverage value
+/// for a counter snapshot taken after [`WalWriter::flush`] — and still
+/// safe if buffered bytes are later lost, because the snapshot already
+/// accounts for every report up to the offset it records.
+pub struct WalWriter {
+    inner: BufWriter<File>,
+    offset: u64,
+    pending: u32,
+    flush_every: u32,
+    /// Set after any I/O failure. A failed write can leave a partial
+    /// record in the stream; appending more records after it would put
+    /// acked reports *behind* a torn record, where replay cannot reach
+    /// them. Poisoning the writer keeps the ack-means-durable contract:
+    /// the shard stops accepting instead of acking into a corrupt log.
+    failed: bool,
+}
+
+/// The error every operation on a poisoned [`WalWriter`] returns.
+fn wal_poisoned() -> std::io::Error {
+    std::io::Error::other("WAL poisoned by an earlier write failure")
+}
+
+impl WalWriter {
+    /// Creates (or truncates) the log at `path`; `flush_every` bounds how
+    /// many records may sit in the userspace buffer before an automatic
+    /// flush.
+    pub fn create(path: &Path, flush_every: u32) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(WalWriter {
+            inner: BufWriter::with_capacity(64 * 1024, file),
+            offset: 0,
+            pending: 0,
+            flush_every: flush_every.max(1),
+            failed: false,
+        })
+    }
+
+    /// Appends one report payload as a length+CRC framed record. After
+    /// any failure the writer is poisoned and every later call fails —
+    /// see the `failed` field for why continuing would be worse.
+    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        if self.failed {
+            return Err(wal_poisoned());
+        }
+        let write = (|| {
+            self.inner
+                .write_all(&(payload.len() as u32).to_le_bytes())?;
+            self.inner.write_all(&crc32(payload).to_le_bytes())?;
+            self.inner.write_all(payload)
+        })();
+        if let Err(e) = write {
+            self.failed = true;
+            return Err(e);
+        }
+        self.offset += (WAL_RECORD_HEADER + payload.len()) as u64;
+        self.pending += 1;
+        if self.pending >= self.flush_every {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Pushes buffered records to the OS. (Durability against an OS
+    /// crash would additionally need fsync; process-crash durability —
+    /// the SIGTERM/SIGKILL story — only needs the write to reach the
+    /// kernel.) A failed flush poisons the writer like a failed append.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if self.failed {
+            return Err(wal_poisoned());
+        }
+        match self.inner.flush() {
+            Ok(()) => {
+                self.pending = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.failed = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Bytes appended so far (including buffered).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+/// What a log replay found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayStats {
+    /// Reports successfully replayed.
+    pub reports: u64,
+    /// Bytes of valid records consumed (from the starting offset).
+    pub bytes: u64,
+    /// Whether the log ended in a torn/corrupt record that was dropped.
+    pub torn_tail: bool,
+}
+
+/// Streams the log at `path`, starting `from` bytes in, invoking
+/// `on_report` per valid record. Stops cleanly at a torn or corrupt tail
+/// — the expected end state after a crash mid-append. A missing file or
+/// an offset at/past EOF replays nothing (both legal: the covering
+/// snapshot already accounts for everything).
+pub fn replay_wal(
+    path: &Path,
+    from: u64,
+    mut on_report: impl FnMut(Report),
+) -> std::io::Result<ReplayStats> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ReplayStats::default()),
+        Err(e) => return Err(e),
+    };
+    let len = file.metadata()?.len();
+    let mut stats = ReplayStats::default();
+    if from >= len {
+        return Ok(stats);
+    }
+    let mut reader = BufReader::with_capacity(256 * 1024, file);
+    reader.seek(SeekFrom::Start(from))?;
+    let mut remaining = len - from;
+    let mut header = [0u8; WAL_RECORD_HEADER];
+    let mut payload = Vec::new();
+    loop {
+        if remaining < WAL_RECORD_HEADER as u64 {
+            stats.torn_tail = remaining != 0;
+            return Ok(stats);
+        }
+        reader.read_exact(&mut header)?;
+        let plen = u32::from_le_bytes(header[0..4].try_into().unwrap()) as u64;
+        let stored_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if plen > u64::from(trajshare_aggregate::MAX_FRAME_LEN)
+            || (remaining - WAL_RECORD_HEADER as u64) < plen
+        {
+            stats.torn_tail = true;
+            return Ok(stats);
+        }
+        payload.resize(plen as usize, 0);
+        reader.read_exact(&mut payload)?;
+        if crc32(&payload) != stored_crc {
+            stats.torn_tail = true;
+            return Ok(stats);
+        }
+        match Report::decode(&payload) {
+            Ok(report) => on_report(report),
+            Err(_) => {
+                // CRC-valid but undecodable should not happen (the server
+                // validates before logging); treat as a tail to drop
+                // rather than poisoning recovery.
+                stats.torn_tail = true;
+                return Ok(stats);
+            }
+        }
+        let consumed = WAL_RECORD_HEADER as u64 + plen;
+        stats.reports += 1;
+        stats.bytes += consumed;
+        remaining -= consumed;
+    }
+}
+
+/// Atomically writes shard counters plus the WAL byte offset they cover.
+pub fn write_shard_counts(
+    path: &Path,
+    counts: &AggregateCounts,
+    wal_offset: u64,
+) -> std::io::Result<()> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&SHARD_MAGIC);
+    bytes.extend_from_slice(&STORAGE_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&wal_offset.to_le_bytes());
+    // The embedded snapshot carries its own CRC; this one guards the
+    // header — above all the covered-offset field, where a silent flip
+    // would shift what recovery replays (double count or drop).
+    let header_crc = crc32(&bytes);
+    bytes.extend_from_slice(&header_crc.to_le_bytes());
+    bytes.extend_from_slice(&counts.encode_snapshot());
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(tmp, path)
+}
+
+/// Reads a shard counter file back as `(counts, covered WAL offset)`,
+/// validating the header CRC before trusting the offset.
+pub fn read_shard_counts(path: &Path) -> Result<(AggregateCounts, u64), SnapshotError> {
+    let bytes = std::fs::read(path).map_err(SnapshotError::from)?;
+    if bytes.len() < 18 {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[0..4] != SHARD_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != STORAGE_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[14..18].try_into().unwrap());
+    if crc32(&bytes[..14]) != stored_crc {
+        return Err(SnapshotError::BadCrc);
+    }
+    let offset = u64::from_le_bytes(bytes[6..14].try_into().unwrap());
+    let counts = AggregateCounts::decode_snapshot(&bytes[18..])?;
+    Ok((counts, offset))
+}
+
+/// Everything [`recover`] reconstructed and compacted.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Exact counters as of the last durable byte.
+    pub counts: AggregateCounts,
+    /// The fresh generation new server files must use.
+    pub gen: u64,
+    /// Reports replayed from log tails (not covered by any snapshot).
+    pub replayed_reports: u64,
+    /// Shards whose log ended in a torn record (normal after a crash).
+    pub torn_tails: u64,
+}
+
+/// Scans `dir` for the current generation's files and returns the shard
+/// indices present (from either a log or a counts file).
+fn shard_indices(dir: &Path, gen: u64) -> std::io::Result<Vec<usize>> {
+    let log_prefix = format!("shard-{gen}-");
+    let mut indices = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(&log_prefix) else {
+            continue;
+        };
+        let idx = rest
+            .strip_suffix(".log")
+            .or_else(|| rest.strip_suffix(".counts"));
+        if let Some(i) = idx.and_then(|s| s.parse::<usize>().ok()) {
+            if !indices.contains(&i) {
+                indices.push(i);
+            }
+        }
+    }
+    indices.sort_unstable();
+    Ok(indices)
+}
+
+/// Deletes every service file in `dir` that does not belong to
+/// generation `keep` (best-effort; leftovers are retried next recovery).
+fn sweep_stale_generations(dir: &Path, keep: u64) {
+    let keep_base = format!("base-{keep}.");
+    let keep_shard = format!("shard-{keep}-");
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = (name.starts_with("base-") && !name.starts_with(&keep_base))
+            || (name.starts_with("shard-") && !name.starts_with(&keep_shard))
+            || name.ends_with(".tmp");
+        if stale {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Takes the data directory's exclusive advisory lock (a `LOCK` file).
+/// Held by a running server and for the duration of [`recover`]/[`load`],
+/// so a second server — or an operator command — cannot compact or sweep
+/// files out from under a live instance. The lock releases when the
+/// returned handle drops.
+pub fn lock_dir(dir: &Path) -> std::io::Result<File> {
+    std::fs::create_dir_all(dir)?;
+    let file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(dir.join("LOCK"))?;
+    match file.try_lock() {
+        Ok(()) => Ok(file),
+        Err(std::fs::TryLockError::WouldBlock) => Err(std::io::Error::new(
+            std::io::ErrorKind::WouldBlock,
+            format!("data dir {} is locked by another process", dir.display()),
+        )),
+        Err(std::fs::TryLockError::Error(e)) => Err(e),
+    }
+}
+
+/// Rebuilds exact counters from whatever the previous run left behind,
+/// then compacts into a fresh generation (see the module docs for the
+/// crash-safety argument). `region_tiles` defines the public universe;
+/// a snapshot recorded under a different universe size aborts recovery
+/// rather than mis-indexing counters. Takes the directory lock for the
+/// duration; [`crate::server::IngestServer`] uses the `_locked` variant
+/// under its own longer-lived lock.
+pub fn recover(dir: &Path, region_tiles: &[u16]) -> std::io::Result<Recovery> {
+    let _lock = lock_dir(dir)?;
+    recover_locked(dir, region_tiles)
+}
+
+/// Read-only reconstruction: merges the same base + shard counters + log
+/// tails as [`recover`] but writes nothing — no compaction, no manifest
+/// flip, no sweep. This is what inspection commands (`ingestd
+/// --dump-counts`) use, so that *looking* at a data directory can never
+/// delete a live server's logs.
+pub fn load(dir: &Path, region_tiles: &[u16]) -> std::io::Result<Recovery> {
+    let _lock = lock_dir(dir)?;
+    reconstruct(dir, region_tiles)
+}
+
+/// [`recover`] without the locking — the caller must hold the directory
+/// lock (see [`lock_dir`]).
+pub(crate) fn recover_locked(dir: &Path, region_tiles: &[u16]) -> std::io::Result<Recovery> {
+    let rec = reconstruct(dir, region_tiles)?;
+    // Compact: the merged state becomes the next generation's base, the
+    // manifest flip makes it authoritative, and only then is the old
+    // generation swept.
+    write_snapshot_file(&base_path(dir, rec.gen), &rec.counts)?;
+    write_manifest(dir, rec.gen)?;
+    sweep_stale_generations(dir, rec.gen);
+    Ok(rec)
+}
+
+/// The shared reconstruction pass behind [`recover`] and [`load`]:
+/// returns the merged counters and the *next* generation number without
+/// touching the directory.
+fn reconstruct(dir: &Path, region_tiles: &[u16]) -> std::io::Result<Recovery> {
+    let num_regions = region_tiles.len();
+    let gen = read_manifest(dir)?.unwrap_or(0);
+    let mut total = AggregateCounts::new(num_regions);
+    let universe_check = |c: &AggregateCounts, what: &str| {
+        if c.num_regions == num_regions {
+            Ok(())
+        } else {
+            Err(std::io::Error::other(format!(
+                "{what}: universe {} != configured {num_regions}",
+                c.num_regions
+            )))
+        }
+    };
+
+    let base = base_path(dir, gen);
+    if base.exists() {
+        let counts = read_snapshot_file(&base).map_err(std::io::Error::other)?;
+        universe_check(&counts, "base snapshot")?;
+        total.merge(&counts);
+    }
+
+    let mut replayed_reports = 0u64;
+    let mut torn_tails = 0u64;
+    for shard in shard_indices(dir, gen)? {
+        let counts_file = shard_counts_path(dir, gen, shard);
+        let covered = if counts_file.exists() {
+            let (counts, offset) =
+                read_shard_counts(&counts_file).map_err(std::io::Error::other)?;
+            universe_check(&counts, "shard snapshot")?;
+            total.merge(&counts);
+            offset
+        } else {
+            0
+        };
+        let mut tail = Aggregator::from_region_tiles(region_tiles.to_vec());
+        let stats = replay_wal(&wal_path(dir, gen, shard), covered, |report| {
+            tail.ingest(&report)
+        })?;
+        total.merge(tail.counts());
+        replayed_reports += stats.reports;
+        torn_tails += stats.torn_tail as u64;
+    }
+
+    Ok(Recovery {
+        counts: total,
+        gen: gen + 1,
+        replayed_reports,
+        torn_tails,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_report(i: u32) -> Report {
+        let r = i % 5;
+        Report {
+            eps_prime: 1.25,
+            len: 2,
+            unigrams: vec![(0, r), (1, (r + 1) % 5)],
+            exact: vec![(0, r)],
+            transitions: vec![(r, (r + 1) % 5)],
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("trajshare-storage-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn wal_roundtrip_and_torn_tail() {
+        let dir = tmp_dir("wal");
+        let path = wal_path(&dir, 1, 0);
+        let reports: Vec<Report> = (0..50).map(toy_report).collect();
+        let mut wal = WalWriter::create(&path, 8).unwrap();
+        for r in &reports {
+            wal.append(&r.encode()).unwrap();
+        }
+        wal.flush().unwrap();
+        let full_len = wal.offset();
+
+        let mut got = Vec::new();
+        let stats = replay_wal(&path, 0, |r| got.push(r)).unwrap();
+        assert_eq!(got, reports);
+        assert_eq!(stats.reports, 50);
+        assert_eq!(stats.bytes, full_len);
+        assert!(!stats.torn_tail);
+
+        // Replay from a mid-log offset yields exactly the tail.
+        let skip = stats.bytes / 50 * 10; // records are equal-sized here
+        let mut tail = Vec::new();
+        replay_wal(&path, skip, |r| tail.push(r)).unwrap();
+        assert_eq!(tail, reports[10..]);
+
+        // Truncate mid-record: the torn tail is dropped, the prefix kept.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full_len - 5).unwrap();
+        let mut cut = Vec::new();
+        let stats = replay_wal(&path, 0, |r| cut.push(r)).unwrap();
+        assert_eq!(cut, reports[..49]);
+        assert!(stats.torn_tail);
+
+        // Corrupt a payload byte: replay stops at the bad record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[WAL_RECORD_HEADER + 3] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut none = Vec::new();
+        let stats = replay_wal(&path, 0, |r| none.push(r)).unwrap();
+        assert!(none.is_empty());
+        assert!(stats.torn_tail);
+
+        // Offset past EOF and a missing file both replay nothing.
+        assert_eq!(
+            replay_wal(&path, 1 << 40, |_| {}).unwrap(),
+            ReplayStats::default()
+        );
+        assert_eq!(
+            replay_wal(&dir.join("absent.log"), 0, |_| {}).unwrap(),
+            ReplayStats::default()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_validation() {
+        let dir = tmp_dir("manifest");
+        assert_eq!(read_manifest(&dir).unwrap(), None);
+        write_manifest(&dir, 7).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), Some(7));
+        // A corrupted manifest is a hard error, not a silent gen 0.
+        let mut bytes = std::fs::read(manifest_path(&dir)).unwrap();
+        bytes[8] ^= 0x01;
+        std::fs::write(manifest_path(&dir), &bytes).unwrap();
+        assert!(read_manifest(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_counts_carry_their_wal_offset() {
+        let dir = tmp_dir("shardcounts");
+        let mut agg = Aggregator::from_region_tiles(vec![0; 5]);
+        for i in 0..20 {
+            agg.ingest(&toy_report(i));
+        }
+        let path = shard_counts_path(&dir, 3, 1);
+        write_shard_counts(&path, agg.counts(), 1234).unwrap();
+        let (counts, offset) = read_shard_counts(&path).unwrap();
+        assert_eq!(&counts, agg.counts());
+        assert_eq!(offset, 1234);
+        // A flipped bit in the covered-offset field must fail the header
+        // CRC, not silently shift what recovery replays.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_shard_counts(&path), Err(SnapshotError::BadCrc));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_merges_snapshot_and_log_tail_exactly() {
+        let dir = tmp_dir("recover");
+        let tiles = vec![0u16; 5];
+        let reports: Vec<Report> = (0..200).map(toy_report).collect();
+
+        // Simulate a crashed generation-0 run with two shards: shard 0
+        // snapshotted after 60 reports then logged 40 more; shard 1 never
+        // snapshotted, logged 100.
+        let mut s0 = Aggregator::from_region_tiles(tiles.clone());
+        let mut wal0 = WalWriter::create(&wal_path(&dir, 0, 0), 4).unwrap();
+        for r in &reports[..100] {
+            wal0.append(&r.encode()).unwrap();
+            s0.ingest(r);
+            if s0.counts().num_reports == 60 {
+                wal0.flush().unwrap();
+                write_shard_counts(&shard_counts_path(&dir, 0, 0), s0.counts(), wal0.offset())
+                    .unwrap();
+            }
+        }
+        wal0.flush().unwrap();
+        let mut wal1 = WalWriter::create(&wal_path(&dir, 0, 1), 4).unwrap();
+        for r in &reports[100..] {
+            wal1.append(&r.encode()).unwrap();
+        }
+        wal1.flush().unwrap();
+
+        let rec = recover(&dir, &tiles).unwrap();
+        let mut direct = Aggregator::from_region_tiles(tiles.clone());
+        for r in &reports {
+            direct.ingest(r);
+        }
+        assert_eq!(&rec.counts, direct.counts(), "bit-identical recovery");
+        assert_eq!(rec.gen, 1);
+        assert_eq!(rec.replayed_reports, 140, "40 tail + 100 unsnapshotted");
+        assert_eq!(read_manifest(&dir).unwrap(), Some(1));
+        // Old generation swept, compacted base present.
+        assert!(!wal_path(&dir, 0, 0).exists());
+        assert!(!shard_counts_path(&dir, 0, 0).exists());
+        assert!(base_path(&dir, 1).exists());
+
+        // A second recovery (nothing new) is idempotent.
+        let rec2 = recover(&dir, &tiles).unwrap();
+        assert_eq!(rec2.counts, rec.counts);
+        assert_eq!(rec2.gen, 2);
+        assert_eq!(rec2.replayed_reports, 0);
+
+        // Universe mismatch is refused outright.
+        assert!(recover(&dir, &[0u16; 9]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,264 @@
+//! Live-server behavior tests over loopback: correct ingestion, the ack
+//! durability contract, slow-reader and hostile-client handling,
+//! queue-full backpressure, and crash → restart recovery (toy universe;
+//! the full 10k-report mechanism-driven run lives in the root
+//! `tests/service_e2e.rs`).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+use trajshare_aggregate::{Aggregator, Report};
+use trajshare_service::{stream_reports, IngestServer, ServerConfig};
+
+const REGIONS: usize = 6;
+
+fn toy_report(i: u32) -> Report {
+    let a = i % REGIONS as u32;
+    let b = (a + 1) % REGIONS as u32;
+    Report {
+        eps_prime: 0.75,
+        len: 2,
+        unigrams: vec![(0, a), (1, b)],
+        exact: vec![(0, a), (1, b)],
+        transitions: vec![(a, b)],
+    }
+}
+
+fn direct_counts(reports: &[Report]) -> trajshare_aggregate::AggregateCounts {
+    let mut agg = Aggregator::from_region_tiles(vec![0; REGIONS]);
+    for r in reports {
+        agg.ingest(r);
+    }
+    agg.into_counts()
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("trajshare-svc-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(tag: &str) -> (ServerConfig, PathBuf) {
+    let dir = test_dir(tag);
+    let mut cfg = ServerConfig::new(&dir, vec![0u16; REGIONS]);
+    cfg.workers = 3;
+    cfg.snapshot_every = 500;
+    cfg.wal_flush_every = 16;
+    cfg.read_timeout = Duration::from_secs(5);
+    (cfg, dir)
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+#[test]
+fn streamed_reports_match_direct_ingestion() {
+    let (cfg, dir) = config("stream");
+    let server = IngestServer::start(cfg).unwrap();
+    let reports: Vec<Report> = (0..2_000).map(toy_report).collect();
+    let acked = stream_reports(server.addr(), &reports, 5).unwrap();
+    assert_eq!(acked, reports.len() as u64);
+    // Acked ⇒ already counted: no waiting, no sleep.
+    assert_eq!(server.counts(), direct_counts(&reports));
+    let final_counts = server.shutdown().unwrap();
+    assert_eq!(final_counts, direct_counts(&reports));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_then_restart_recovers_exact_counters_across_reshard() {
+    let (cfg, dir) = config("crash");
+    let reports: Vec<Report> = (0..3_000).map(toy_report).collect();
+    let expected = direct_counts(&reports);
+
+    let server = IngestServer::start(cfg.clone()).unwrap();
+    let acked = stream_reports(server.addr(), &reports, 4).unwrap();
+    assert_eq!(acked, 3_000);
+    server.crash(); // no final snapshot — recovery works from WAL tails
+
+    // Restart with a *different* shard count: per-shard counter files and
+    // logs from the old layout must merge exactly.
+    let mut cfg2 = cfg.clone();
+    cfg2.workers = 1;
+    let server2 = IngestServer::start(cfg2).unwrap();
+    assert_eq!(server2.counts(), expected);
+    assert_eq!(server2.recovery().recovered_reports, 3_000);
+
+    // The restarted server keeps ingesting on top of recovered state.
+    let more: Vec<Report> = (0..500).map(|i| toy_report(i + 7)).collect();
+    let acked = stream_reports(server2.addr(), &more, 2).unwrap();
+    assert_eq!(acked, 500);
+    let mut expected2 = expected.clone();
+    expected2.merge(&direct_counts(&more));
+    let final_counts = server2.shutdown().unwrap();
+    assert_eq!(final_counts, expected2);
+
+    // Third start after a *clean* shutdown sees the same totals.
+    let server3 = IngestServer::start(cfg).unwrap();
+    assert_eq!(server3.counts(), expected2);
+    server3.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn data_dir_lock_refuses_second_server_and_load_is_read_only() {
+    let (cfg, dir) = config("lock");
+    let server = IngestServer::start(cfg.clone()).unwrap();
+    // A second server (or any recovery) on a live directory must be
+    // refused — compacting under a running server would unlink its WALs.
+    assert!(IngestServer::start(cfg.clone()).is_err());
+    assert!(trajshare_service::load(&dir, &[0u16; REGIONS]).is_err());
+
+    let reports: Vec<Report> = (0..100).map(toy_report).collect();
+    assert_eq!(stream_reports(server.addr(), &reports, 2).unwrap(), 100);
+    let expected = server.shutdown().unwrap();
+
+    // After shutdown the lock is free; load() reconstructs without
+    // advancing the generation (read-only inspection).
+    let loaded = trajshare_service::load(&dir, &[0u16; REGIONS]).unwrap();
+    assert_eq!(loaded.counts, expected);
+    let again = trajshare_service::load(&dir, &[0u16; REGIONS]).unwrap();
+    assert_eq!(again.gen, loaded.gen, "load must not compact or advance");
+
+    let server2 = IngestServer::start(cfg).unwrap();
+    assert_eq!(server2.counts(), expected);
+    server2.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_reader_is_disconnected() {
+    let (mut cfg, dir) = config("slow");
+    cfg.read_timeout = Duration::from_millis(150);
+    let server = IngestServer::start(cfg).unwrap();
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    // A partial frame, then silence: the server must not wait forever.
+    stream.write_all(&[0x10, 0x00]).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            server.stats().disconnected_slow.load(Ordering::Relaxed) >= 1
+        }),
+        "stalled client was not disconnected"
+    );
+    // The dropped connection must not poison subsequent ingestion.
+    let reports: Vec<Report> = (0..50).map(toy_report).collect();
+    assert_eq!(stream_reports(server.addr(), &reports, 1).unwrap(), 50);
+    server.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hostile_frames_drop_the_connection_but_keep_prior_reports() {
+    let (cfg, dir) = config("hostile");
+    let server = IngestServer::start(cfg).unwrap();
+
+    // One valid frame followed by garbage on the same connection.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let good = toy_report(1);
+    stream.write_all(&good.encode_frame()).unwrap();
+    let mut evil = 12u32.to_le_bytes().to_vec();
+    evil.extend_from_slice(b"NOT A REPORT");
+    stream.write_all(&evil).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            server.stats().disconnected_protocol.load(Ordering::Relaxed) >= 1
+        }),
+        "hostile client was not dropped"
+    );
+    // No ack arrives; the socket just closes.
+    let mut byte = [0u8; 1];
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    assert!(matches!(stream.read(&mut byte), Ok(0) | Err(_)));
+
+    // An oversized length prefix is rejected before any buffering.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    assert!(wait_until(Duration::from_secs(5), || {
+        server.stats().disconnected_protocol.load(Ordering::Relaxed) >= 2
+    }));
+
+    // The valid report that preceded the garbage was still counted.
+    assert!(wait_until(Duration::from_secs(5), || {
+        server.counts().num_reports == 1
+    }));
+    assert_eq!(server.counts(), direct_counts(&[good]));
+    server.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eof_mid_frame_gets_no_ack_but_keeps_complete_reports() {
+    let (cfg, dir) = config("eof");
+    let server = IngestServer::start(cfg).unwrap();
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let good = toy_report(2);
+    stream.write_all(&good.encode_frame()).unwrap();
+    // First half of a second frame, then a clean write-side close: the
+    // upload is incomplete, so no ack may be sent.
+    let partial = toy_report(3).encode_frame();
+    stream.write_all(&partial[..partial.len() / 2]).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut ack = [0u8; 8];
+    assert!(
+        matches!(stream.read(&mut ack), Ok(0) | Err(_)),
+        "truncated stream must not be acked"
+    );
+    assert!(wait_until(Duration::from_secs(5), || {
+        server.stats().disconnected_protocol.load(Ordering::Relaxed) >= 1
+    }));
+    // The complete frame before the truncation still counts.
+    assert!(wait_until(Duration::from_secs(5), || {
+        server.counts().num_reports == 1
+    }));
+    assert_eq!(server.counts(), direct_counts(&[good]));
+    server.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_queue_refuses_connections_instead_of_buffering() {
+    let (mut cfg, dir) = config("backpressure");
+    cfg.workers = 1;
+    cfg.queue_depth = 1;
+    cfg.read_timeout = Duration::from_secs(2);
+    let server = IngestServer::start(cfg).unwrap();
+
+    // Occupy the only worker with a half-open stream, fill the queue
+    // with a second connection, then pile on more: the acceptor must
+    // shed them immediately rather than queueing without bound.
+    let mut busy = TcpStream::connect(server.addr()).unwrap();
+    busy.write_all(&[0x01]).unwrap();
+    assert!(wait_until(Duration::from_secs(5), || {
+        server.stats().accepted.load(Ordering::Relaxed) >= 1
+    }));
+    let _queued = TcpStream::connect(server.addr()).unwrap();
+    let _spill: Vec<_> = (0..5)
+        .map(|_| TcpStream::connect(server.addr()).unwrap())
+        .collect();
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            server.stats().refused.load(Ordering::Relaxed) >= 1
+        }),
+        "no connection was refused under a full queue"
+    );
+    server.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+}
