@@ -217,8 +217,27 @@ impl ChannelInverse {
 /// bias any MLE has. The mobility model uses this for synthesis; the
 /// inversion estimator above stays the unbiased reference for analytics.
 pub fn ibu_frequencies(channel: &EmChannel, counts: &[u64], iters: usize) -> Vec<f64> {
+    ibu_frequencies_with_init(channel, counts, iters, None)
+}
+
+/// [`ibu_frequencies`] with an explicit starting distribution — the
+/// warm-start entry point for streaming estimation: seeding the EM
+/// iteration with the *previous* window's posterior means a handful of
+/// iterations per tick track a drifting population, where a cold solve
+/// needs hundreds. `init` is floored and renormalized exactly like the
+/// default observation-based start (so zero cells are never locked), and
+/// `None` reproduces [`ibu_frequencies`] bit-for-bit.
+pub fn ibu_frequencies_with_init(
+    channel: &EmChannel,
+    counts: &[u64],
+    iters: usize,
+    init: Option<&[f64]>,
+) -> Vec<f64> {
     let n = channel.len();
     assert_eq!(counts.len(), n);
+    if let Some(init) = init {
+        assert_eq!(init.len(), n, "warm-start prior has the wrong universe");
+    }
     let total: u64 = counts.iter().sum();
     if total == 0 {
         return vec![0.0; n];
@@ -226,10 +245,9 @@ pub fn ibu_frequencies(channel: &EmChannel, counts: &[u64], iters: usize) -> Vec
     let obs: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
     // Initialize from the observed distribution (floored so no cell is
     // locked at zero): the fixed point is the same, but finite iteration
-    // counts concentrate much faster than from a uniform start.
-    let floor = 1e-3 / n as f64;
-    let init_mass: f64 = obs.iter().map(|&o| o + floor).sum();
-    let mut f: Vec<f64> = obs.iter().map(|&o| (o + floor) / init_mass).collect();
+    // counts concentrate much faster than from a uniform start. A warm
+    // start replaces the observation seed with the caller's prior.
+    let mut f = floored_start(init.unwrap_or(&obs), n);
     let mut next = vec![0.0; n];
     for _ in 0..iters {
         // denom[y] = Σ_x M[y|x] f[x]
@@ -262,17 +280,32 @@ pub fn ibu_frequencies(channel: &EmChannel, counts: &[u64], iters: usize) -> Vec
 /// Each iteration is three `|R|³` matrix products — cubic like one
 /// inversion, linear in the iteration count.
 pub fn ibu_joint(channel: &EmChannel, counts: &[u64], iters: usize) -> Vec<f64> {
+    ibu_joint_with_init(channel, counts, iters, None)
+}
+
+/// [`ibu_joint`] with an explicit starting joint distribution (see
+/// [`ibu_frequencies_with_init`]); `None` reproduces [`ibu_joint`]
+/// bit-for-bit. Warm-starting matters most here — each joint iteration
+/// costs three `|R|³` matrix products, so cutting the iteration count is
+/// what makes a per-tick streaming estimate affordable.
+pub fn ibu_joint_with_init(
+    channel: &EmChannel,
+    counts: &[u64],
+    iters: usize,
+    init: Option<&[f64]>,
+) -> Vec<f64> {
     let n = channel.len();
     assert_eq!(counts.len(), n * n);
+    if let Some(init) = init {
+        assert_eq!(init.len(), n * n, "warm-start prior has the wrong universe");
+    }
     let total: u64 = counts.iter().sum();
     if total == 0 {
         return vec![0.0; n * n];
     }
     let obs: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
     let m = &channel.m;
-    let floor = 1e-3 / (n * n) as f64;
-    let init_mass: f64 = obs.iter().map(|&o| o + floor).sum();
-    let mut f: Vec<f64> = obs.iter().map(|&o| (o + floor) / init_mass).collect();
+    let mut f = floored_start(init.unwrap_or(&obs), n * n);
     for _ in 0..iters {
         // denom = M F Mᵀ  (expected observation distribution under f)
         let mf = mat_mul(m, &f, n); // M · F
@@ -327,6 +360,20 @@ pub fn ibu_joint(channel: &EmChannel, counts: &[u64], iters: usize) -> Vec<f64> 
         }
     }
     f
+}
+
+/// The shared IBU seed: `start` floored by `1e-3 / cells` and
+/// renormalized, so no cell is locked at zero by the multiplicative
+/// update. Degenerate starts (non-positive mass) fall back to uniform.
+fn floored_start(start: &[f64], cells: usize) -> Vec<f64> {
+    debug_assert_eq!(start.len(), cells);
+    let floor = 1e-3 / cells as f64;
+    let mass: f64 = start.iter().map(|&s| s.max(0.0) + floor).sum();
+    if mass > 0.0 && mass.is_finite() {
+        start.iter().map(|&s| (s.max(0.0) + floor) / mass).collect()
+    } else {
+        vec![1.0 / cells as f64; cells]
+    }
 }
 
 /// Row-major `n×n` product `A · B`.
@@ -556,6 +603,55 @@ mod tests {
             order[..2].contains(&1) && order[..2].contains(&11),
             "heavy cells (0,1) and (2,3) must rank on top: {consistent:?}"
         );
+    }
+
+    #[test]
+    fn warm_start_none_is_bit_identical_and_fixed_point_is_stable() {
+        let ch = toy_channel();
+        let f = [0.55, 0.2, 0.15, 0.1];
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut counts = [0u64; 4];
+        let mut joint_counts = vec![0u64; 16];
+        for _ in 0..20_000 {
+            let truth = sample_from_weights(&f, &mut rng).unwrap();
+            let col: Vec<f64> = (0..4).map(|y| ch.get(y, truth)).collect();
+            counts[sample_from_weights(&col, &mut rng).unwrap()] += 1;
+            let truth2 = sample_from_weights(&f, &mut rng).unwrap();
+            let col2: Vec<f64> = (0..4).map(|y| ch.get(y, truth2)).collect();
+            joint_counts[sample_from_weights(&col, &mut rng).unwrap() * 4
+                + sample_from_weights(&col2, &mut rng).unwrap()] += 1;
+        }
+        // `None` must reproduce the cold path exactly — same floats.
+        assert_eq!(
+            ibu_frequencies(&ch, &counts, 50),
+            ibu_frequencies_with_init(&ch, &counts, 50, None)
+        );
+        assert_eq!(
+            ibu_joint(&ch, &joint_counts, 20),
+            ibu_joint_with_init(&ch, &joint_counts, 20, None)
+        );
+        // Warm-starting from a converged posterior of the same counts
+        // stays at the fixed point: a few extra iterations barely move.
+        let converged = ibu_frequencies(&ch, &counts, 500);
+        let warm = ibu_frequencies_with_init(&ch, &counts, 5, Some(&converged));
+        let drift: f64 = warm
+            .iter()
+            .zip(&converged)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(drift < 1e-3, "fixed point drifted by {drift}");
+        let converged_j = ibu_joint(&ch, &joint_counts, 300);
+        let warm_j = ibu_joint_with_init(&ch, &joint_counts, 3, Some(&converged_j));
+        let drift_j: f64 = warm_j
+            .iter()
+            .zip(&converged_j)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(drift_j < 1e-2, "joint fixed point drifted by {drift_j}");
+        // A warm start from an *empty* prior degrades gracefully to the
+        // uniform seed rather than dividing by zero.
+        let from_zero = ibu_frequencies_with_init(&ch, &counts, 50, Some(&[0.0; 4]));
+        assert!((from_zero.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
     #[test]

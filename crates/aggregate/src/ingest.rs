@@ -108,6 +108,74 @@ impl AggregateCounts {
         self.eps_nano_sum = self.eps_nano_sum.saturating_add(other.eps_nano_sum);
     }
 
+    /// Element-wise retirement of counters previously [`AggregateCounts::merge`]d
+    /// in — the sliding-window eviction primitive: subtracting a window's
+    /// counts from a running total is exact (`u64` arithmetic), so the
+    /// total never has to be recounted from surviving reports. Panics if
+    /// `other` was never merged into `self` (a counter would underflow);
+    /// that is a caller bug, not a data condition. `eps_nano_sum` uses
+    /// saturating subtraction to mirror the saturating merge — exact
+    /// until the accountant has actually saturated (~2.9×10⁸ maximal
+    /// reports).
+    pub fn subtract(&mut self, other: &AggregateCounts) {
+        assert_eq!(self.num_regions, other.num_regions, "universe mismatch");
+        let take = |a: &mut u64, b: &u64| {
+            *a = a.checked_sub(*b).expect("subtracting counts never merged");
+        };
+        for (a, b) in self.occupancy.iter_mut().zip(&other.occupancy) {
+            take(a, b);
+        }
+        for (a, b) in self.tile_occupancy.iter_mut().zip(&other.tile_occupancy) {
+            take(a, b);
+        }
+        for (a, b) in self.starts.iter_mut().zip(&other.starts) {
+            take(a, b);
+        }
+        for (a, b) in self.ends.iter_mut().zip(&other.ends) {
+            take(a, b);
+        }
+        for (a, b) in self.occupancy_exact.iter_mut().zip(&other.occupancy_exact) {
+            take(a, b);
+        }
+        for (a, b) in self.transitions.iter_mut().zip(&other.transitions) {
+            take(a, b);
+        }
+        assert!(
+            other.length_hist.len() <= self.length_hist.len() || other.length_hist.is_empty(),
+            "subtracting a longer length histogram than ever merged"
+        );
+        for (i, b) in other.length_hist.iter().enumerate() {
+            take(&mut self.length_hist[i], b);
+        }
+        // Trim trailing zeros so the result is bit-identical to counters
+        // that never saw the retired lengths (merge only ever grows the
+        // histogram to its last non-zero entry).
+        while self.length_hist.last() == Some(&0) {
+            self.length_hist.pop();
+        }
+        take(&mut self.num_reports, &other.num_reports);
+        take(&mut self.num_unigrams, &other.num_unigrams);
+        take(&mut self.rejected, &other.rejected);
+        self.eps_nano_sum = self.eps_nano_sum.saturating_sub(other.eps_nano_sum);
+    }
+
+    /// Resets every counter to zero in place, keeping allocations — how a
+    /// ring slot is recycled on window eviction without reallocating the
+    /// `O(|R|²)` transition matrix.
+    pub fn clear(&mut self) {
+        self.occupancy.fill(0);
+        self.tile_occupancy.fill(0);
+        self.starts.fill(0);
+        self.ends.fill(0);
+        self.occupancy_exact.fill(0);
+        self.transitions.fill(0);
+        self.length_hist.clear();
+        self.num_reports = 0;
+        self.num_unigrams = 0;
+        self.rejected = 0;
+        self.eps_nano_sum = 0;
+    }
+
     /// Mean ε′ across ingested reports — the debiasing channel parameter.
     ///
     /// The channel is *exact* only when every report shares one ε′ (i.e.
@@ -247,8 +315,8 @@ pub fn region_tiles(regions: &RegionSet) -> Vec<u16> {
 pub const MAX_EPS_PRIME: f64 = 64.0;
 
 /// The single-report accumulation kernel shared by serial and sharded
-/// ingestion.
-fn accumulate(counts: &mut AggregateCounts, region_tile: &[u16], report: &Report) {
+/// ingestion (and the sliding-window ring in [`crate::stream`]).
+pub(crate) fn accumulate(counts: &mut AggregateCounts, region_tile: &[u16], report: &Report) {
     // Reject reports with an implausible channel parameter outright
     // (NaN/∞/non-positive/huge): every observation they carry would be
     // debiased through a corrupted channel.
@@ -328,6 +396,7 @@ mod tests {
         let exact = unigrams.clone();
         let transitions = regions.windows(2).map(|w| (w[0], w[1])).collect();
         Report {
+            t: 0,
             eps_prime: eps,
             len: regions.len() as u16,
             unigrams,
@@ -435,6 +504,25 @@ mod tests {
         let c = ingest_all(4, &[toy_report(&[0, 1], 1.25)]);
         assert_eq!(c.num_reports, 1);
         assert!(!c.mixed_lengths());
+    }
+
+    #[test]
+    fn subtract_undoes_merge_exactly() {
+        let a = ingest_all(3, &[toy_report(&[0, 1], 1.0), toy_report(&[2, 0], 0.5)]);
+        let b = ingest_all(3, &[toy_report(&[1, 2, 2], 2.0)]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        merged.subtract(&b);
+        assert_eq!(merged, a, "merge then subtract is the identity");
+        merged.subtract(&a);
+        assert_eq!(
+            merged,
+            AggregateCounts::new(3),
+            "subtracting everything leaves pristine zeros"
+        );
+        let mut cleared = a.clone();
+        cleared.clear();
+        assert_eq!(cleared, AggregateCounts::new(3), "clear zeroes in place");
     }
 
     #[test]

@@ -25,7 +25,11 @@
 //!    concretized through the mechanism's own POI-level machinery
 //!    ([`Synthesizer`]),
 //! 6. [`eval`] / [`pipeline`] — utility scoring against ground truth and
-//!    the end-to-end client→server convenience driver.
+//!    the end-to-end client→server convenience driver,
+//! 7. [`stream`] — the real-time workload: a sliding window of counters
+//!    over timestamped reports ([`WindowedAggregator`]) with exact
+//!    subtraction-based eviction, plus warm-started per-tick estimation
+//!    ([`StreamingEstimator`]).
 //!
 //! Everything downstream of the reports is post-processing of ε-LDP
 //! outputs, so the published synthetic set inherits each user's ε
@@ -38,9 +42,13 @@ pub mod markov;
 pub mod pipeline;
 pub mod report;
 pub mod snapshot;
+pub mod stream;
 pub mod synthesize;
 
-pub use estimate::{ibu_frequencies, ibu_joint, norm_sub, ChannelInverse, EmChannel};
+pub use estimate::{
+    ibu_frequencies, ibu_frequencies_with_init, ibu_joint, ibu_joint_with_init, norm_sub,
+    ChannelInverse, EmChannel,
+};
 pub use eval::{score_paired, EvalConfig, UtilityScores};
 pub use ingest::{aggregate_reports, region_tiles, AggregateCounts, Aggregator, TILES_PER_DAY};
 pub use markov::{FrequencyEstimator, MobilityModel};
@@ -52,4 +60,5 @@ pub use report::{DecodeError, Report, StreamDecoder, MAX_FRAME_LEN};
 pub use snapshot::{
     crc32, merge_snapshot_files, read_snapshot_file, write_snapshot_file, SnapshotError,
 };
+pub use stream::{StreamingEstimator, WindowConfig, WindowIngest, WindowedAggregator};
 pub use synthesize::Synthesizer;

@@ -161,7 +161,7 @@ impl MobilityModel {
     }
 }
 
-fn normalize_counts(c: &[u64]) -> Vec<f64> {
+pub(crate) fn normalize_counts(c: &[u64]) -> Vec<f64> {
     let total: u64 = c.iter().sum();
     if total == 0 {
         return vec![0.0; c.len()];
@@ -174,7 +174,7 @@ fn normalize_counts(c: &[u64]) -> Vec<f64> {
 /// Rows that receive no estimated mass fall back to uniform over their
 /// feasible successors, so the synthesizer never dead-ends on an artifact
 /// of sampling noise.
-fn joint_to_feasible_rows(joint: &[f64], graph: &RegionGraph) -> Vec<f64> {
+pub(crate) fn joint_to_feasible_rows(joint: &[f64], graph: &RegionGraph) -> Vec<f64> {
     let n = graph.num_regions();
     let mut rows = vec![0.0; n * n];
     for tail in 0..n {

@@ -6,7 +6,8 @@
 //! single continuous-sharing draw ([`Report::from_region_point`]). It
 //! carries *only* ε-LDP-protected data plus public mechanism parameters
 //! (ε′ and |τ| — the mechanism preserves trajectory length, so |τ| is part
-//! of the released message in the paper's setting too).
+//! of the released message in the paper's setting too) and, since wire v3,
+//! a public report timestamp used as the streaming-window key.
 
 use serde::Serialize;
 use trajshare_core::{PerturbedTrajectory, RegionId};
@@ -14,6 +15,13 @@ use trajshare_core::{PerturbedTrajectory, RegionId};
 /// One user's region-level upload.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Report {
+    /// Client-declared report timestamp in public time units (the
+    /// streaming window key; batch uploads leave it 0). Like ε′ and |τ|
+    /// this is released metadata, not protected data: in the continuous
+    /// setting each timestamp's report is itself an independent ε-LDP
+    /// message, and *when* a device reports is observable by the
+    /// collector anyway.
+    pub t: u64,
     /// Per-window EM budget ε′ the client used (public parameter; the
     /// server needs it to build the debiasing channel matrix).
     pub eps_prime: f64,
@@ -129,13 +137,23 @@ fn eps_to_nano(eps: f64) -> u64 {
 }
 
 impl Report {
-    /// Wire-format magic ("TrajShare Report v2" — v2 carries ε′ as an
-    /// integer nano-ε, not an IEEE double; v1 buffers are rejected with
-    /// [`DecodeError::BadMagic`]).
-    pub const MAGIC: [u8; 4] = *b"TSR2";
+    /// Wire-format magic ("TrajShare Report v3" — v3 prefixes the v2
+    /// layout with a `u64` report timestamp, the streaming-window key.
+    /// v2 buffers ([`Report::MAGIC_V2`]) still decode, with `t = 0`
+    /// (window 0), so pre-streaming clients and write-ahead logs stay
+    /// readable; v1 buffers are rejected with [`DecodeError::BadMagic`].
+    pub const MAGIC: [u8; 4] = *b"TSR3";
 
-    /// Fixed header size: magic + nano-ε + |τ| + three counts.
-    pub const HEADER_LEN: usize = 4 + 8 + 2 + 4 + 4 + 4;
+    /// The previous wire-format magic ("TrajShare Report v2" — nano-ε,
+    /// no timestamp). Accepted on decode for back-compat, never emitted.
+    pub const MAGIC_V2: [u8; 4] = *b"TSR2";
+
+    /// Fixed v3 header size: magic + timestamp + nano-ε + |τ| + three
+    /// counts.
+    pub const HEADER_LEN: usize = 4 + 8 + 8 + 2 + 4 + 4 + 4;
+
+    /// Fixed v2 header size (no timestamp field).
+    pub const HEADER_LEN_V2: usize = 4 + 8 + 2 + 4 + 4 + 4;
 
     /// Extracts the aggregation observations from a stage-1 mechanism
     /// output (see `NGramMechanism::perturb_raw`).
@@ -155,6 +173,7 @@ impl Report {
             }
         }
         Report {
+            t: 0,
             eps_prime: quantize_eps(p.eps_prime),
             len: p.len as u16,
             unigrams,
@@ -167,12 +186,20 @@ impl Report {
     /// `ContinuousSharer::share_region`).
     pub fn from_region_point(region: RegionId, eps: f64) -> Self {
         Report {
+            t: 0,
             eps_prime: quantize_eps(eps),
             len: 1,
             unigrams: vec![(0, region.0)],
             exact: vec![(0, region.0)],
             transitions: Vec::new(),
         }
+    }
+
+    /// Stamps the report with its (public) report timestamp — the
+    /// streaming-window key the windowed aggregator buckets by.
+    pub fn at(mut self, t: u64) -> Self {
+        self.t = t;
+        self
     }
 
     /// Number of unigram observations.
@@ -196,10 +223,11 @@ impl Report {
             + self.transitions.len() * 8
     }
 
-    /// Compact little-endian binary encoding.
+    /// Compact little-endian binary encoding (always the v3 layout).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
         out.extend_from_slice(&Self::MAGIC);
+        out.extend_from_slice(&self.t.to_le_bytes());
         out.extend_from_slice(&self.eps_nano().to_le_bytes());
         out.extend_from_slice(&self.len.to_le_bytes());
         out.extend_from_slice(&(self.unigrams.len() as u32).to_le_bytes());
@@ -241,21 +269,39 @@ impl Report {
     /// with the buffer length — so allocation is bounded by the input
     /// size, not by attacker-chosen headers.
     pub fn decode(buf: &[u8]) -> Result<Report, DecodeError> {
-        if buf.len() < Self::HEADER_LEN {
+        if buf.len() < 4 {
+            // Cannot even tell the version apart yet; the v2 header is
+            // the smallest buffer that could decode, so that is the
+            // lower bound `Truncated` promises.
             return Err(DecodeError::Truncated {
-                needed: Self::HEADER_LEN as u64,
+                needed: Self::HEADER_LEN_V2 as u64,
             });
         }
-        if buf[0..4] != Self::MAGIC {
+        // v3 carries a timestamp between the magic and the nano-ε; v2
+        // (accepted for back-compat) does not, and decodes as t = 0.
+        let (header_len, t_off) = if buf[0..4] == Self::MAGIC {
+            (Self::HEADER_LEN, Some(4usize))
+        } else if buf[0..4] == Self::MAGIC_V2 {
+            (Self::HEADER_LEN_V2, None)
+        } else {
             return Err(DecodeError::BadMagic);
+        };
+        if buf.len() < header_len {
+            return Err(DecodeError::Truncated {
+                needed: header_len as u64,
+            });
         }
-        let eps_nano = u64::from_le_bytes(buf[4..12].try_into().unwrap());
-        let len = u16::from_le_bytes(buf[12..14].try_into().unwrap());
-        let n_uni = u32::from_le_bytes(buf[14..18].try_into().unwrap()) as usize;
-        let n_exact = u32::from_le_bytes(buf[18..22].try_into().unwrap()) as usize;
-        let n_trans = u32::from_le_bytes(buf[22..26].try_into().unwrap()) as usize;
-        let expect =
-            Self::HEADER_LEN as u64 + (n_uni as u64 + n_exact as u64) * 6 + n_trans as u64 * 8;
+        let t = match t_off {
+            Some(o) => u64::from_le_bytes(buf[o..o + 8].try_into().unwrap()),
+            None => 0,
+        };
+        let rest = if t_off.is_some() { 12 } else { 4 };
+        let eps_nano = u64::from_le_bytes(buf[rest..rest + 8].try_into().unwrap());
+        let len = u16::from_le_bytes(buf[rest + 8..rest + 10].try_into().unwrap());
+        let n_uni = u32::from_le_bytes(buf[rest + 10..rest + 14].try_into().unwrap()) as usize;
+        let n_exact = u32::from_le_bytes(buf[rest + 14..rest + 18].try_into().unwrap()) as usize;
+        let n_trans = u32::from_le_bytes(buf[rest + 18..rest + 22].try_into().unwrap()) as usize;
+        let expect = header_len as u64 + (n_uni as u64 + n_exact as u64) * 6 + n_trans as u64 * 8;
         match (buf.len() as u64).cmp(&expect) {
             std::cmp::Ordering::Less => return Err(DecodeError::Truncated { needed: expect }),
             std::cmp::Ordering::Greater => return Err(DecodeError::TrailingBytes),
@@ -264,7 +310,7 @@ impl Report {
         // Counts are now bounded by buf.len(), so the allocations below
         // cannot exceed the input size.
         let eps_prime = eps_nano as f64 / 1e9;
-        let mut off = Self::HEADER_LEN;
+        let mut off = header_len;
         let read_pairs = |count: usize, off: &mut usize| {
             let mut v = Vec::with_capacity(count);
             for _ in 0..count {
@@ -285,6 +331,7 @@ impl Report {
             off += 8;
         }
         Ok(Report {
+            t,
             eps_prime,
             len,
             unigrams,
@@ -462,6 +509,7 @@ mod tests {
     #[test]
     fn codec_roundtrip() {
         let r = Report {
+            t: 86_400,
             eps_prime: 0.625,
             len: 3,
             unigrams: vec![(0, 5), (1, 2), (2, 9)],
@@ -471,6 +519,43 @@ mod tests {
         let buf = r.encode();
         assert_eq!(buf.len(), r.encoded_len());
         assert_eq!(Report::decode(&buf).unwrap(), r);
+    }
+
+    #[test]
+    fn v2_buffers_decode_as_window_zero() {
+        let r = Report {
+            t: 7_200,
+            eps_prime: 0.625,
+            len: 2,
+            unigrams: vec![(0, 5), (1, 2)],
+            exact: vec![(0, 5)],
+            transitions: vec![(5, 2)],
+        };
+        // Hand-build the v2 encoding: the v3 bytes minus the timestamp
+        // field, under the old magic.
+        let v3 = r.encode();
+        let mut v2 = Vec::with_capacity(v3.len() - 8);
+        v2.extend_from_slice(&Report::MAGIC_V2);
+        v2.extend_from_slice(&v3[12..]);
+        let decoded = Report::decode(&v2).unwrap();
+        assert_eq!(decoded.t, 0, "v2 has no timestamp: window 0");
+        assert_eq!(decoded, r.clone().at(0));
+        // Framed v2 payloads work through the streaming entry point too.
+        let mut frame = (v2.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&v2);
+        let (framed, used) = Report::decode_frame(&frame).unwrap();
+        assert_eq!(used, frame.len());
+        assert_eq!(framed, r.at(0));
+        // And every strict prefix of a v2 buffer is Truncated, not a
+        // panic or a misparse.
+        for i in 0..v2.len() {
+            match Report::decode(&v2[..i]) {
+                Err(DecodeError::Truncated { needed }) => {
+                    assert!(needed as usize > i, "v2 prefix {i}")
+                }
+                other => panic!("v2 prefix {i}: expected Truncated, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -505,6 +590,7 @@ mod tests {
     #[test]
     fn every_strict_prefix_is_truncated_never_a_panic() {
         let r = Report {
+            t: 3,
             eps_prime: 1.5,
             len: 4,
             unigrams: vec![(0, 1), (1, 2), (2, 3), (3, 1)],
@@ -540,6 +626,7 @@ mod tests {
         // with no allocation proportional to the counts.
         let mut evil = Vec::new();
         evil.extend_from_slice(&Report::MAGIC);
+        evil.extend_from_slice(&0u64.to_le_bytes()); // timestamp
         evil.extend_from_slice(&1_000_000_000u64.to_le_bytes());
         evil.extend_from_slice(&3u16.to_le_bytes());
         evil.extend_from_slice(&u32::MAX.to_le_bytes());
@@ -594,6 +681,7 @@ mod tests {
     fn stream_decoder_reassembles_byte_dribble() {
         let reports: Vec<Report> = (0..17)
             .map(|i| Report {
+                t: i as u64 * 60,
                 eps_prime: 0.25 + i as f64 * 1e-3,
                 len: 3,
                 unigrams: vec![(0, i), (1, i + 1), (2, i + 2)],
@@ -639,7 +727,8 @@ mod tests {
             // adversarial shape the length check must survive.
             let mut forged = Vec::with_capacity(Report::HEADER_LEN + bytes.len());
             forged.extend_from_slice(&Report::MAGIC);
-            forged.extend_from_slice(&u64::MAX.to_le_bytes());
+            forged.extend_from_slice(&u64::MAX.to_le_bytes()); // timestamp
+            forged.extend_from_slice(&u64::MAX.to_le_bytes()); // nano-ε
             forged.extend_from_slice(&u16::MAX.to_le_bytes());
             forged.extend_from_slice(&forged_uni.to_le_bytes());
             forged.extend_from_slice(&forged_uni.wrapping_mul(31).to_le_bytes());
@@ -662,6 +751,7 @@ mod tests {
             nano in 1u64..64_000_000_000u64,
         ) {
             let r = Report {
+                t: nano % 4096,
                 eps_prime: nano as f64 / 1e9,
                 len: 1,
                 unigrams: vec![(0, 1)],

@@ -283,6 +283,7 @@ mod tests {
             let a = (i.wrapping_mul(7).wrapping_add(seed as u32)) % 4;
             let b = (a + 1) % 4;
             agg.ingest(&Report {
+                t: 0,
                 eps_prime: 0.5 + (i % 5) as f64 * 0.125,
                 len: 2,
                 unigrams: vec![(0, a), (1, b)],

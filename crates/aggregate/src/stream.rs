@@ -1,0 +1,838 @@
+//! Real-time sliding-window aggregation and synthesis (the RetraSyn
+//! workload): a ring of per-window [`AggregateCounts`] keyed by the
+//! report timestamp, an O(1)-per-advance eviction scheme that retires the
+//! oldest window by *subtraction* (never by re-ingesting surviving
+//! reports), and a warm-started incremental estimator so each publication
+//! tick costs a few IBU iterations instead of a cold solve.
+//!
+//! ## Window semantics
+//!
+//! Report time is public metadata (wire v3 carries it; v2 reports decode
+//! as window 0). Window `w` covers timestamps `[w·len, (w+1)·len)`. The
+//! ring holds the `num_windows` most recent windows `(newest −
+//! num_windows, newest]`; `newest` advances monotonically as newer
+//! reports arrive (or via [`WindowedAggregator::advance_to`], e.g. from a
+//! server clock). A report older than the ring's span is counted in
+//! [`WindowedAggregator::late`] and otherwise ignored.
+//!
+//! The ring's content is **order-independent**: after any interleaving of
+//! ingests and advances, the live windows hold exactly the reports whose
+//! window lies in `(newest − num_windows, newest]` — what a from-scratch
+//! aggregation of the surviving reports would produce, bit for bit
+//! (property-tested below). That is also why crash recovery can rebuild
+//! the ring from per-shard snapshots plus WAL tails in any merge order.
+//!
+//! Timestamps are *client-declared*: a hostile far-future timestamp
+//! advances `newest` and evicts the ring early (bounded trust, same as
+//! trusting a device clock). Deployments that cannot trust client clocks
+//! should stamp `t` at the collector edge from the server clock — a
+//! documented follow-on.
+
+use crate::estimate::{ibu_frequencies_with_init, ibu_joint_with_init, norm_sub, EmChannel};
+use crate::ingest::{accumulate, AggregateCounts};
+use crate::markov::{joint_to_feasible_rows, normalize_counts, MobilityModel};
+use crate::report::Report;
+use crate::snapshot::{crc32, SnapshotError};
+use trajshare_core::RegionGraph;
+
+/// Sliding-window shape: how long a window is (in the public timestamp
+/// unit of `Report::t`) and how many trailing windows stay live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Timestamp units per window (e.g. seconds). Must be ≥ 1.
+    pub window_len: u64,
+    /// Ring capacity: windows kept live. Must be ≥ 1.
+    pub num_windows: usize,
+}
+
+impl WindowConfig {
+    /// The window index a timestamp falls in.
+    #[inline]
+    pub fn window_of(&self, t: u64) -> u64 {
+        t / self.window_len.max(1)
+    }
+}
+
+/// What [`WindowedAggregator::ingest`] did with a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowIngest {
+    /// Counted into a live window (possibly advancing the ring first).
+    Accepted,
+    /// Older than the ring's span: counted in `late`, not aggregated.
+    Late,
+}
+
+/// One ring slot: the absolute window id it holds (if any) plus that
+/// window's counters. Counters are kept allocated across evictions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Slot {
+    id: Option<u64>,
+    counts: AggregateCounts,
+}
+
+/// A sliding window of [`AggregateCounts`] with exact, report-free
+/// eviction.
+///
+/// * `ingest` is `O(report size)` — the report is accumulated into its
+///   window's slot *and* into the running merged view.
+/// * advancing by one window is `O(|R|²)` (one counter subtraction) and
+///   `O(1)` in the number of reports ever ingested — the property the
+///   `stream_tick` bench tracks.
+/// * `merged` is always bit-identical to summing the live slots (and to
+///   a from-scratch aggregation of the surviving reports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowedAggregator {
+    region_tile: Vec<u16>,
+    config: WindowConfig,
+    slots: Vec<Slot>,
+    /// Newest window id the ring has advanced to. Live range is
+    /// `(newest − num_windows, newest]`.
+    newest: u64,
+    merged: AggregateCounts,
+    /// Reports dropped as older than the ring span.
+    late: u64,
+    /// Windows retired by advance (for monitoring).
+    evicted_windows: u64,
+}
+
+impl WindowedAggregator {
+    /// An empty ring over the given public tile table (see
+    /// `trajshare_aggregate::region_tiles`).
+    pub fn new(region_tile: Vec<u16>, config: WindowConfig) -> Self {
+        assert!(config.window_len >= 1, "window_len must be >= 1");
+        assert!(config.num_windows >= 1, "num_windows must be >= 1");
+        let num_regions = region_tile.len();
+        let slots = (0..config.num_windows)
+            .map(|_| Slot {
+                id: None,
+                counts: AggregateCounts::new(num_regions),
+            })
+            .collect();
+        WindowedAggregator {
+            region_tile,
+            config,
+            slots,
+            newest: 0,
+            merged: AggregateCounts::new(num_regions),
+            late: 0,
+            evicted_windows: 0,
+        }
+    }
+
+    /// The ring's window shape.
+    #[inline]
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// Newest window id the ring has advanced to.
+    #[inline]
+    pub fn newest_window(&self) -> u64 {
+        self.newest
+    }
+
+    /// Oldest window id still live.
+    #[inline]
+    pub fn oldest_window(&self) -> u64 {
+        self.newest
+            .saturating_sub(self.config.num_windows as u64 - 1)
+    }
+
+    /// Reports dropped as older than the ring span.
+    #[inline]
+    pub fn late(&self) -> u64 {
+        self.late
+    }
+
+    /// Windows retired by eviction so far.
+    #[inline]
+    pub fn evicted_windows(&self) -> u64 {
+        self.evicted_windows
+    }
+
+    /// The merged current-window view: Σ of every live window's counters,
+    /// maintained incrementally (adds on ingest, subtracts on eviction).
+    #[inline]
+    pub fn merged(&self) -> &AggregateCounts {
+        &self.merged
+    }
+
+    /// The counters of one live window, if it holds data.
+    pub fn window_counts(&self, id: u64) -> Option<&AggregateCounts> {
+        let slot = &self.slots[(id % self.config.num_windows as u64) as usize];
+        (slot.id == Some(id)).then_some(&slot.counts)
+    }
+
+    /// Live `(window id, counters)` pairs in ascending window order.
+    pub fn windows(&self) -> Vec<(u64, &AggregateCounts)> {
+        let mut out: Vec<(u64, &AggregateCounts)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.id.map(|id| (id, &s.counts)))
+            .collect();
+        out.sort_unstable_by_key(|&(id, _)| id);
+        out
+    }
+
+    /// Folds one report into its timestamp's window, advancing the ring
+    /// if the report opens a newer window.
+    pub fn ingest(&mut self, report: &Report) -> WindowIngest {
+        let w = self.config.window_of(report.t);
+        if w > self.newest {
+            self.advance_to(w);
+        } else if w < self.oldest_window() {
+            self.late += 1;
+            return WindowIngest::Late;
+        }
+        let slot = &mut self.slots[(w % self.config.num_windows as u64) as usize];
+        debug_assert!(slot.id.is_none() || slot.id == Some(w), "stale slot");
+        slot.id = Some(w);
+        accumulate(&mut slot.counts, &self.region_tile, report);
+        accumulate(&mut self.merged, &self.region_tile, report);
+        WindowIngest::Accepted
+    }
+
+    /// Advances the ring to `newest = w`, retiring every window that
+    /// falls out of the span by subtracting its counters from the merged
+    /// view — cost is at most `num_windows` counter subtractions, and
+    /// *zero* work proportional to report volume.
+    pub fn advance_to(&mut self, w: u64) {
+        if w <= self.newest {
+            return;
+        }
+        let span = self.config.num_windows as u64;
+        if w - self.newest >= span {
+            // Jumped past the whole ring: everything live is evicted.
+            for slot in &mut self.slots {
+                if slot.id.take().is_some() {
+                    self.merged.subtract(&slot.counts);
+                    slot.counts.clear();
+                    self.evicted_windows += 1;
+                }
+            }
+        } else {
+            for id in (self.newest + 1)..=w {
+                let slot = &mut self.slots[(id % span) as usize];
+                if slot.id.take().is_some() {
+                    self.merged.subtract(&slot.counts);
+                    slot.counts.clear();
+                    self.evicted_windows += 1;
+                }
+            }
+        }
+        self.newest = w;
+    }
+
+    /// Merges another window's counters in (the recovery / cross-shard
+    /// publication primitive): advances to `id` if it is newer, drops it
+    /// as *evicted* if it has already slid out of this ring's span, sums
+    /// it into the live slot otherwise. A dropped window counts toward
+    /// [`WindowedAggregator::evicted_windows`], **not** `late` — its
+    /// reports were accepted on time on their shard and merely slid out
+    /// of the merged view, exactly like an in-ring eviction. Window ids
+    /// are absolute, so merging any number of per-shard rings in any
+    /// order yields the same global ring.
+    pub fn merge_window(&mut self, id: u64, counts: &AggregateCounts) {
+        if id > self.newest {
+            self.advance_to(id);
+        } else if id < self.oldest_window() {
+            self.evicted_windows += 1;
+            return;
+        }
+        let slot = &mut self.slots[(id % self.config.num_windows as u64) as usize];
+        debug_assert!(slot.id.is_none() || slot.id == Some(id), "stale slot");
+        slot.id = Some(id);
+        slot.counts.merge(counts);
+        self.merged.merge(counts);
+    }
+
+    /// Merges every live window of `other` (plus its `newest` watermark,
+    /// even when that window holds no data yet).
+    pub fn merge_ring(&mut self, other: &WindowedAggregator) {
+        assert_eq!(self.config, other.config, "window config mismatch");
+        self.advance_to(other.newest);
+        for (id, counts) in other.windows() {
+            self.merge_window(id, counts);
+        }
+        self.late += other.late;
+    }
+
+    // ---- persistence ----------------------------------------------------
+
+    /// Ring snapshot magic ("TrajShare Window Ring").
+    pub const RING_MAGIC: [u8; 4] = *b"TSWR";
+
+    /// Ring snapshot format version.
+    pub const RING_VERSION: u16 = 1;
+
+    /// Serializes the ring (config, watermark, live windows) into a
+    /// self-validating blob: header + one embedded counts snapshot per
+    /// live window + trailing CRC-32. The merged view is *not* stored —
+    /// it is recomputed on decode as the sum of the live slots, which is
+    /// bit-identical by construction.
+    pub fn encode_ring(&self) -> Vec<u8> {
+        let live = self.windows();
+        let mut out = Vec::new();
+        out.extend_from_slice(&Self::RING_MAGIC);
+        out.extend_from_slice(&Self::RING_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.config.window_len.to_le_bytes());
+        out.extend_from_slice(&(self.config.num_windows as u64).to_le_bytes());
+        out.extend_from_slice(&self.newest.to_le_bytes());
+        out.extend_from_slice(&self.late.to_le_bytes());
+        out.extend_from_slice(&self.evicted_windows.to_le_bytes());
+        out.extend_from_slice(&(live.len() as u64).to_le_bytes());
+        for (id, counts) in live {
+            let snap = counts.encode_snapshot();
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(snap.len() as u64).to_le_bytes());
+            out.extend_from_slice(&snap);
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes [`WindowedAggregator::encode_ring`] output. The stored
+    /// window shape must match `config` and every embedded snapshot must
+    /// match the universe of `region_tile` — a mismatch is refused rather
+    /// than silently re-bucketed.
+    pub fn decode_ring(
+        buf: &[u8],
+        region_tile: &[u16],
+        config: WindowConfig,
+    ) -> Result<WindowedAggregator, SnapshotError> {
+        const HEADER: usize = 4 + 2 + 6 * 8;
+        if buf.len() < HEADER + 4 {
+            return Err(SnapshotError::Truncated);
+        }
+        let (payload, crc_bytes) = buf.split_at(buf.len() - 4);
+        if crc32(payload) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+            return Err(SnapshotError::BadCrc);
+        }
+        if payload[0..4] != Self::RING_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u16::from_le_bytes(payload[4..6].try_into().unwrap());
+        if version != Self::RING_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let mut off = 6;
+        fn next_u64(payload: &[u8], off: &mut usize) -> Result<u64, SnapshotError> {
+            if payload.len() < *off + 8 {
+                return Err(SnapshotError::Truncated);
+            }
+            let v = u64::from_le_bytes(payload[*off..*off + 8].try_into().unwrap());
+            *off += 8;
+            Ok(v)
+        }
+        let window_len = next_u64(payload, &mut off)?;
+        let num_windows = next_u64(payload, &mut off)?;
+        let newest = next_u64(payload, &mut off)?;
+        let late = next_u64(payload, &mut off)?;
+        let evicted = next_u64(payload, &mut off)?;
+        let n_live = next_u64(payload, &mut off)?;
+        if window_len != config.window_len || num_windows != config.num_windows as u64 {
+            return Err(SnapshotError::Inconsistent);
+        }
+        if n_live > num_windows {
+            return Err(SnapshotError::Inconsistent);
+        }
+        let mut ring = WindowedAggregator::new(region_tile.to_vec(), config);
+        ring.advance_to(newest);
+        ring.late = late;
+        ring.evicted_windows = evicted;
+        for _ in 0..n_live {
+            let id = next_u64(payload, &mut off)?;
+            let len = next_u64(payload, &mut off)? as usize;
+            if payload.len() < off + len {
+                return Err(SnapshotError::Truncated);
+            }
+            let counts = AggregateCounts::decode_snapshot(&payload[off..off + len])?;
+            off += len;
+            if counts.num_regions != region_tile.len() {
+                return Err(SnapshotError::Inconsistent);
+            }
+            if id > newest || id < ring.oldest_window() {
+                return Err(SnapshotError::Inconsistent);
+            }
+            ring.merge_window(id, &counts);
+        }
+        if off != payload.len() {
+            return Err(SnapshotError::Inconsistent);
+        }
+        Ok(ring)
+    }
+}
+
+/// The raw (pre-consistency) IBU posteriors a tick carries forward as
+/// the next tick's warm start.
+#[derive(Debug, Clone)]
+struct Posterior {
+    start: Vec<f64>,
+    end: Vec<f64>,
+    occupancy: Vec<f64>,
+    joint: Vec<f64>,
+}
+
+/// Incremental per-tick model estimation: a cold IBU solve on the first
+/// tick, then warm starts from the previous tick's posterior — so a tick
+/// over a slowly drifting window costs `warm_iters` iterations (a few)
+/// instead of a cold solve (hundreds).
+///
+/// Determinism: a tick's output depends only on the counter values, the
+/// graph, and the estimator's posterior state — never on how the counters
+/// were accumulated — so a recovered server's next publication matches an
+/// uninterrupted one given the same tick sequence.
+#[derive(Debug, Clone)]
+pub struct StreamingEstimator {
+    cold_iters: usize,
+    warm_iters: usize,
+    posterior: Option<Posterior>,
+}
+
+impl StreamingEstimator {
+    /// Default cold-solve iteration budget (first tick / after reset).
+    pub const DEFAULT_COLD_ITERS: usize = 600;
+    /// Default warm-tick iteration budget.
+    pub const DEFAULT_WARM_ITERS: usize = 12;
+
+    /// An estimator with the default iteration budgets.
+    pub fn new() -> Self {
+        Self::with_iters(Self::DEFAULT_COLD_ITERS, Self::DEFAULT_WARM_ITERS)
+    }
+
+    /// An estimator with explicit cold/warm iteration budgets.
+    pub fn with_iters(cold_iters: usize, warm_iters: usize) -> Self {
+        assert!(cold_iters >= 1 && warm_iters >= 1);
+        StreamingEstimator {
+            cold_iters,
+            warm_iters,
+            posterior: None,
+        }
+    }
+
+    /// Drops the carried posterior; the next tick is a cold solve (use
+    /// after a gap long enough that the previous window is uninformative).
+    pub fn reset(&mut self) {
+        self.posterior = None;
+    }
+
+    /// Whether the next tick will warm-start.
+    pub fn is_warm(&self) -> bool {
+        self.posterior.is_some()
+    }
+
+    /// Estimates the mobility model for the current merged window,
+    /// warm-starting from the previous tick's posterior when one exists.
+    pub fn tick(&mut self, counts: &AggregateCounts, graph: &RegionGraph) -> MobilityModel {
+        assert_eq!(counts.num_regions, graph.num_regions(), "universe mismatch");
+        let n = counts.num_regions;
+        let eps = counts.mean_eps_prime();
+        let channel = (eps > 0.0).then(|| EmChannel::unigram(graph, eps));
+        // A posterior carried across a region-universe change (caller
+        // forgot `reset()`) is useless as a prior and would trip the
+        // warm-start length asserts; fall back to a cold solve instead.
+        let prior = self
+            .posterior
+            .take()
+            .filter(|p| p.start.len() == n && p.joint.len() == n * n);
+        let iters = if prior.is_some() {
+            self.warm_iters
+        } else {
+            self.cold_iters
+        };
+
+        let raw_vec = |c: &[u64], p: Option<&[f64]>| match &channel {
+            Some(ch) => ibu_frequencies_with_init(ch, c, iters, p),
+            None => normalize_counts(c),
+        };
+        let start = raw_vec(&counts.starts, prior.as_ref().map(|p| p.start.as_slice()));
+        let end = raw_vec(&counts.ends, prior.as_ref().map(|p| p.end.as_slice()));
+        let occ_counts = if counts.occupancy_exact.iter().any(|&c| c > 0) {
+            &counts.occupancy_exact
+        } else {
+            &counts.occupancy
+        };
+        let occupancy = raw_vec(occ_counts, prior.as_ref().map(|p| p.occupancy.as_slice()));
+        let joint = match &channel {
+            Some(ch) => ibu_joint_with_init(
+                ch,
+                &counts.transitions,
+                iters,
+                prior.as_ref().map(|p| p.joint.as_slice()),
+            ),
+            None => normalize_counts(&counts.transitions),
+        };
+        self.posterior = Some(Posterior {
+            start: start.clone(),
+            end: end.clone(),
+            occupancy: occupancy.clone(),
+            joint: joint.clone(),
+        });
+
+        let consistent = |mut v: Vec<f64>| {
+            norm_sub(&mut v);
+            v
+        };
+        let mut joint_c = joint;
+        norm_sub(&mut joint_c);
+        let transition = joint_to_feasible_rows(&joint_c, graph);
+        let total_len: u64 = counts.length_hist.iter().sum();
+        let length = if total_len == 0 {
+            Vec::new()
+        } else {
+            counts
+                .length_hist
+                .iter()
+                .map(|&c| c as f64 / total_len as f64)
+                .collect()
+        };
+        MobilityModel {
+            num_regions: n,
+            start: consistent(start),
+            end: consistent(end),
+            occupancy: consistent(occupancy),
+            transition,
+            length,
+            debiased: channel.is_some(),
+        }
+    }
+}
+
+impl Default for StreamingEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::Aggregator;
+    use proptest::prelude::*;
+
+    const REGIONS: usize = 5;
+
+    fn cfg(window_len: u64, num_windows: usize) -> WindowConfig {
+        WindowConfig {
+            window_len,
+            num_windows,
+        }
+    }
+
+    fn toy_report(i: u32, t: u64) -> Report {
+        let a = i % REGIONS as u32;
+        let b = (a + 1) % REGIONS as u32;
+        Report {
+            t,
+            eps_prime: 0.5 + (i % 4) as f64 * 0.25,
+            len: 2,
+            unigrams: vec![(0, a), (1, b)],
+            exact: vec![(0, a)],
+            transitions: vec![(a, b)],
+        }
+    }
+
+    fn fresh(config: WindowConfig) -> WindowedAggregator {
+        WindowedAggregator::new(vec![0u16; REGIONS], config)
+    }
+
+    /// From-scratch aggregation of the reports surviving in
+    /// `(newest − W, newest]` — the reference the ring must match.
+    fn recount(reports: &[Report], config: WindowConfig, newest: u64) -> AggregateCounts {
+        let oldest = newest.saturating_sub(config.num_windows as u64 - 1);
+        let mut agg = Aggregator::from_region_tiles(vec![0u16; REGIONS]);
+        for r in reports {
+            let w = config.window_of(r.t);
+            if w >= oldest && w <= newest {
+                agg.ingest(r);
+            }
+        }
+        agg.into_counts()
+    }
+
+    #[test]
+    fn merged_view_tracks_ingest_and_eviction() {
+        let config = cfg(10, 3);
+        let mut ring = fresh(config);
+        let mut all = Vec::new();
+        // Windows 0, 1, 2: all live.
+        for i in 0..30u32 {
+            let r = toy_report(i, (i as u64 % 3) * 10);
+            ring.ingest(&r);
+            all.push(r);
+        }
+        assert_eq!(ring.newest_window(), 2);
+        assert_eq!(ring.merged(), &recount(&all, config, 2));
+        assert_eq!(ring.windows().len(), 3);
+        // Window 3 arrives: window 0 must be evicted exactly.
+        let r = toy_report(99, 31);
+        ring.ingest(&r);
+        all.push(r);
+        assert_eq!(ring.newest_window(), 3);
+        assert_eq!(ring.oldest_window(), 1);
+        assert_eq!(ring.merged(), &recount(&all, config, 3));
+        assert_eq!(ring.evicted_windows(), 1);
+        assert!(ring.window_counts(0).is_none());
+        // A straggler from window 0 is late, and changes nothing.
+        assert_eq!(ring.ingest(&toy_report(7, 5)), WindowIngest::Late);
+        assert_eq!(ring.late(), 1);
+        assert_eq!(ring.merged(), &recount(&all, config, 3));
+    }
+
+    #[test]
+    fn eviction_boundaries_are_exact() {
+        let config = cfg(1, 2);
+        let mut ring = fresh(config);
+        // t = 0 and t = 1 are different windows; t = 1 vs t = 2 evicts 0.
+        ring.ingest(&toy_report(1, 0));
+        ring.ingest(&toy_report(2, 1));
+        assert_eq!(ring.windows().len(), 2);
+        ring.ingest(&toy_report(3, 2));
+        assert_eq!(ring.oldest_window(), 1);
+        assert_eq!(ring.window_counts(0), None);
+        assert_eq!(ring.merged().num_reports, 2);
+        // Advancing far past the ring clears everything in one step.
+        ring.advance_to(1_000);
+        assert_eq!(ring.merged().num_reports, 0);
+        assert_eq!(ring.windows().len(), 0);
+        assert_eq!(ring.evicted_windows(), 3);
+        // And the cleared ring keeps working.
+        ring.ingest(&toy_report(4, 1_000));
+        assert_eq!(ring.merged().num_reports, 1);
+    }
+
+    #[test]
+    fn ring_merge_is_shard_order_free() {
+        let config = cfg(10, 4);
+        let reports: Vec<Report> = (0..200u32)
+            .map(|i| toy_report(i, (i as u64 * 7) % 60))
+            .collect();
+        // Shard by round-robin, as the service's worker pool would.
+        let mut shards: Vec<WindowedAggregator> = (0..3).map(|_| fresh(config)).collect();
+        for (i, r) in reports.iter().enumerate() {
+            shards[i % 3].ingest(r);
+        }
+        let mut forward = fresh(config);
+        for s in &shards {
+            forward.merge_ring(s);
+        }
+        let mut backward = fresh(config);
+        for s in shards.iter().rev() {
+            backward.merge_ring(s);
+        }
+        assert_eq!(forward.merged(), backward.merged());
+        assert_eq!(forward.newest_window(), backward.newest_window());
+        let newest = forward.newest_window();
+        assert_eq!(forward.merged(), &recount(&reports, config, newest));
+
+        // A lagging shard whose windows have slid out of the merged span
+        // is an *eviction* at merge time, never "late": its reports were
+        // accepted on time on their own shard.
+        let mut lagging = fresh(config);
+        lagging.ingest(&toy_report(1, 0)); // window 0
+        let mut advanced = fresh(config);
+        advanced.advance_to(100);
+        advanced.merge_ring(&lagging);
+        assert_eq!(advanced.late(), 0, "slid-out windows are not late");
+        assert_eq!(advanced.evicted_windows(), 1);
+        assert_eq!(advanced.merged().num_reports, 0);
+    }
+
+    #[test]
+    fn ring_snapshot_roundtrips_bit_identically() {
+        let config = cfg(10, 3);
+        let mut ring = fresh(config);
+        for i in 0..50u32 {
+            ring.ingest(&toy_report(i, (i as u64 % 5) * 10));
+        }
+        let blob = ring.encode_ring();
+        let back = WindowedAggregator::decode_ring(&blob, &[0u16; REGIONS], config).unwrap();
+        assert_eq!(back.merged(), ring.merged());
+        assert_eq!(back.newest_window(), ring.newest_window());
+        assert_eq!(back.late(), ring.late());
+        for (id, counts) in ring.windows() {
+            assert_eq!(back.window_counts(id), Some(counts));
+        }
+        // Corruption and config mismatches are refused.
+        let mut bad = blob.clone();
+        bad[10] ^= 0x20;
+        assert!(WindowedAggregator::decode_ring(&bad, &[0u16; REGIONS], config).is_err());
+        assert_eq!(
+            WindowedAggregator::decode_ring(&blob, &[0u16; REGIONS], cfg(10, 4)),
+            Err(SnapshotError::Inconsistent)
+        );
+        assert_eq!(
+            WindowedAggregator::decode_ring(&blob, &[0u16; 7], config),
+            Err(SnapshotError::Inconsistent)
+        );
+        assert!(WindowedAggregator::decode_ring(&blob[..20], &[0u16; REGIONS], config).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// The tentpole property: after any sequence of ingests (random
+        /// timestamps, random order) and advances, the ring's merged view
+        /// equals a from-scratch aggregation of exactly the surviving
+        /// reports — bit-identical counters.
+        #[test]
+        fn windowed_equals_recount_of_surviving_reports(
+            window_len in 1u64..20,
+            num_windows in 1usize..6,
+            stamps in proptest::collection::vec(0u64..200, 1..120),
+            extra_advance in 0u64..30,
+        ) {
+            let config = cfg(window_len, num_windows);
+            let mut ring = fresh(config);
+            let mut reports = Vec::new();
+            for (i, &t) in stamps.iter().enumerate() {
+                let r = toy_report(i as u32, t);
+                ring.ingest(&r);
+                reports.push(r);
+            }
+            let newest = ring.newest_window() + extra_advance;
+            ring.advance_to(newest);
+            let reference = recount(&reports, config, newest);
+            prop_assert_eq!(ring.merged(), &reference);
+            // Per-window slots are exact too.
+            let mut live_total = AggregateCounts::new(REGIONS);
+            for (_, counts) in ring.windows() {
+                live_total.merge(counts);
+            }
+            // (length_hist length may differ from merged's high-water mark)
+            prop_assert_eq!(live_total.num_reports, reference.num_reports);
+            prop_assert_eq!(&live_total.occupancy, &reference.occupancy);
+            prop_assert_eq!(&live_total.transitions, &reference.transitions);
+            // Accepted + late covers every report.
+            prop_assert_eq!(
+                ring.merged().num_reports + ring.late() + ring.evicted_reports_check(&reports, newest),
+                reports.len() as u64
+            );
+        }
+    }
+
+    impl WindowedAggregator {
+        /// Test helper: how many of `reports` were accepted live but have
+        /// since been evicted (everything not surviving and not late).
+        fn evicted_reports_check(&self, reports: &[Report], newest: u64) -> u64 {
+            let oldest = newest.saturating_sub(self.config.num_windows as u64 - 1);
+            reports
+                .iter()
+                .filter(|r| self.config.window_of(r.t) < oldest)
+                .count() as u64
+                - self.late
+        }
+    }
+
+    #[test]
+    fn streaming_estimator_warm_ticks_track_the_cold_solve() {
+        use trajshare_core::{decompose, MechanismConfig, RegionGraph};
+        use trajshare_geo::{DistanceMetric, GeoPoint};
+        use trajshare_hierarchy::builders::campus;
+        use trajshare_model::{Dataset, Poi, PoiId, TimeDomain};
+
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..30)
+            .map(|i| {
+                Poi::new(
+                    PoiId(i),
+                    format!("p{i}"),
+                    origin.offset_m((i % 5) as f64 * 400.0, (i / 5) as f64 * 400.0),
+                    leaves[i as usize % leaves.len()],
+                )
+            })
+            .collect();
+        let ds = Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        );
+        let regions = decompose(&ds, &MechanismConfig::default());
+        let graph = RegionGraph::build(&ds, &regions);
+        let nr = regions.len();
+
+        // Two consecutive windows with the same underlying population.
+        let window = |wseed: u32| -> AggregateCounts {
+            let mut agg = Aggregator::new(&regions);
+            for i in 0..400u32 {
+                let a = ((i.wrapping_mul(31).wrapping_add(wseed)) % 7) % nr as u32;
+                let b = (a + 1) % nr as u32;
+                agg.ingest(&Report {
+                    t: 0,
+                    eps_prime: 2.0,
+                    len: 2,
+                    unigrams: vec![(0, a), (1, b)],
+                    exact: vec![(0, a), (1, b)],
+                    transitions: vec![(a, b)],
+                });
+            }
+            agg.into_counts()
+        };
+        let w1 = window(1);
+        let w2 = window(2);
+
+        let mut est = StreamingEstimator::with_iters(400, 10);
+        assert!(!est.is_warm());
+        let cold1 = est.tick(&w1, &graph);
+        assert!(est.is_warm());
+        assert!(cold1.debiased);
+        let warm2 = est.tick(&w2, &graph);
+        // Reference: a full cold solve on window 2.
+        let cold2 = StreamingEstimator::with_iters(400, 10).tick(&w2, &graph);
+        let l1 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
+        assert!(
+            l1(&warm2.occupancy, &cold2.occupancy) < 0.05,
+            "warm occupancy diverged: {}",
+            l1(&warm2.occupancy, &cold2.occupancy)
+        );
+        assert!(l1(&warm2.start, &cold2.start) < 0.05);
+        // Row-stochastic transition rows on feasible support, like the
+        // batch model.
+        for tail in 0..nr {
+            let row = &warm2.transition[tail * nr..(tail + 1) * nr];
+            let mass: f64 = row.iter().sum();
+            assert!(mass.abs() < 1e-9 || (mass - 1.0).abs() < 1e-9);
+        }
+        // Reset forgets the posterior.
+        est.reset();
+        assert!(!est.is_warm());
+        // A posterior from a different universe is discarded (cold solve)
+        // rather than fed to the warm-start asserts.
+        let small_pois: Vec<Poi> = (0..8)
+            .map(|i| {
+                Poi::new(
+                    PoiId(i),
+                    format!("q{i}"),
+                    origin.offset_m(i as f64 * 500.0, 0.0),
+                    leaves[i as usize % leaves.len()],
+                )
+            })
+            .collect();
+        let ds2 = Dataset::new(
+            small_pois,
+            campus(),
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        );
+        let regions2 = decompose(&ds2, &MechanismConfig::default());
+        let graph2 = RegionGraph::build(&ds2, &regions2);
+        if regions2.len() != nr {
+            let mut stale = StreamingEstimator::with_iters(50, 5);
+            let _ = stale.tick(&w1, &graph);
+            assert!(stale.is_warm());
+            let other = stale.tick(&AggregateCounts::new(regions2.len()), &graph2);
+            assert_eq!(other.num_regions, regions2.len());
+            assert!(!other.debiased, "empty counts on the new universe");
+        }
+        // Empty counters yield an un-debiased empty model, no panic.
+        let empty = StreamingEstimator::new().tick(&AggregateCounts::new(nr), &graph);
+        assert!(!empty.debiased);
+        assert!(empty.length.is_empty());
+    }
+}

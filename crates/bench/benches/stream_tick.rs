@@ -1,0 +1,176 @@
+//! Streaming-tick latency at scale: with a sliding window holding one
+//! million reports *per window*, one publication tick must cost
+//! (a) one window advance — an `O(|R|²)` counter subtraction that never
+//! touches the reports themselves — plus (b) a warm-started IBU model
+//! estimate over the merged view. Neither may grow with how many reports
+//! (or windows) were ever ingested; the bench measures both and, as a
+//! control, re-measures the advance after 3× more history to show the
+//! independence. Emits a JSON record (`results/bench_stream_tick.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
+use trajshare_aggregate::{Report, StreamingEstimator, WindowConfig, WindowedAggregator};
+use trajshare_bench::report::{write_json, Reported};
+use trajshare_core::{decompose, MechanismConfig, RegionGraph};
+use trajshare_geo::{DistanceMetric, GeoPoint};
+use trajshare_hierarchy::builders::campus;
+use trajshare_model::{Dataset, Poi, PoiId, TimeDomain};
+
+/// Reports per window. The QUICK_BENCH smoke keeps this too (setup is a
+/// few seconds; the measured tick is what must stay small).
+const REPORTS_PER_WINDOW: u64 = 1_000_000;
+const WINDOW_LEN: u64 = 60;
+const NUM_WINDOWS: usize = 4;
+
+fn world() -> (Vec<u16>, RegionGraph) {
+    let h = campus();
+    let leaves = h.leaves();
+    let origin = GeoPoint::new(40.7, -74.0);
+    let pois: Vec<Poi> = (0..60)
+        .map(|i| {
+            Poi::new(
+                PoiId(i),
+                format!("p{i}"),
+                origin.offset_m((i % 6) as f64 * 400.0, (i / 6) as f64 * 400.0),
+                leaves[i as usize % leaves.len()],
+            )
+        })
+        .collect();
+    let ds = Dataset::new(
+        pois,
+        h,
+        TimeDomain::new(10),
+        Some(8.0),
+        DistanceMetric::Haversine,
+    );
+    let regions = decompose(&ds, &MechanismConfig::default());
+    let graph = RegionGraph::build(&ds, &regions);
+    (trajshare_aggregate::region_tiles(&regions), graph)
+}
+
+/// Deterministic toy report `i` of window `w` over `nr` regions.
+fn toy_report(i: u64, w: u64, nr: u32) -> Report {
+    let a = ((i.wrapping_mul(0x9E37_79B9).wrapping_add(w * 31)) % nr as u64) as u32;
+    let b = (a + 1) % nr;
+    Report {
+        t: w * WINDOW_LEN,
+        eps_prime: 1.0,
+        len: 2,
+        unigrams: vec![(0, a), (1, b)],
+        exact: vec![(0, a)],
+        transitions: vec![(a, b)],
+    }
+}
+
+fn fill_windows(ring: &mut WindowedAggregator, from: u64, to: u64, nr: u32) {
+    for w in from..to {
+        for i in 0..REPORTS_PER_WINDOW {
+            ring.ingest(&toy_report(i, w, nr));
+        }
+    }
+}
+
+fn bench_stream_tick(c: &mut Criterion) {
+    let (tiles, graph) = world();
+    let nr = tiles.len() as u32;
+    let config = WindowConfig {
+        window_len: WINDOW_LEN,
+        num_windows: NUM_WINDOWS,
+    };
+
+    // A ring whose every live window holds 1M reports.
+    let mut ring = WindowedAggregator::new(tiles.clone(), config);
+    fill_windows(&mut ring, 0, NUM_WINDOWS as u64, nr);
+    assert_eq!(
+        ring.merged().num_reports,
+        REPORTS_PER_WINDOW * NUM_WINDOWS as u64
+    );
+
+    // A second ring with 3× the ingestion history (8 more windows have
+    // already slid through): the control for "tick cost is independent
+    // of how much was ever ingested".
+    let mut ring_deep = WindowedAggregator::new(tiles.clone(), config);
+    fill_windows(&mut ring_deep, 0, 3 * NUM_WINDOWS as u64, nr);
+
+    // Warm the estimator once (cold solve) outside the measured tick.
+    let mut estimator = StreamingEstimator::with_iters(300, 8);
+    let _ = estimator.tick(ring.merged(), &graph);
+
+    let mut group = c.benchmark_group("stream_tick");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REPORTS_PER_WINDOW));
+    // (a) The advance alone: evict the oldest 1M-report window by
+    // subtraction. Cloning the ring (plain counter copies) is part of
+    // the iteration but orders of magnitude below re-ingestion.
+    group.bench_with_input(BenchmarkId::new("advance", "4w"), &ring, |b, ring| {
+        b.iter(|| {
+            let mut r = ring.clone();
+            r.advance_to(r.newest_window() + 1);
+            std::hint::black_box(r.merged().num_reports)
+        });
+    });
+    group.bench_with_input(
+        BenchmarkId::new("advance", "12w-history"),
+        &ring_deep,
+        |b, ring| {
+            b.iter(|| {
+                let mut r = ring.clone();
+                r.advance_to(r.newest_window() + 1);
+                std::hint::black_box(r.merged().num_reports)
+            });
+        },
+    );
+    // (b) The warm model estimate over the merged 4M-report view.
+    group.bench_function("estimate_warm", |b| {
+        b.iter(|| {
+            let mut est = estimator.clone();
+            std::hint::black_box(est.tick(ring.merged(), &graph).debiased)
+        });
+    });
+    group.finish();
+
+    // JSON record: one timed full tick (advance + warm estimate), plus
+    // the deep-history control.
+    let timed = |ring: &WindowedAggregator| -> f64 {
+        let mut r = ring.clone();
+        let mut est = estimator.clone();
+        let t0 = Instant::now();
+        r.advance_to(r.newest_window() + 1);
+        let model = est.tick(r.merged(), &graph);
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(model.num_regions == tiles.len());
+        secs
+    };
+    let tick_4w = timed(&ring);
+    let tick_deep = timed(&ring_deep);
+    let report = Reported {
+        id: "bench_stream_tick".into(),
+        settings: format!(
+            "|R|={}, {} windows x {}M reports, warm IBU 8 iters",
+            tiles.len(),
+            NUM_WINDOWS,
+            REPORTS_PER_WINDOW / 1_000_000
+        ),
+        headers: vec![
+            "history_windows".into(),
+            "reports_per_window".into(),
+            "tick_ms".into(),
+        ],
+        rows: vec![
+            vec![
+                NUM_WINDOWS.to_string(),
+                REPORTS_PER_WINDOW.to_string(),
+                format!("{:.2}", tick_4w * 1e3),
+            ],
+            vec![
+                (3 * NUM_WINDOWS).to_string(),
+                REPORTS_PER_WINDOW.to_string(),
+                format!("{:.2}", tick_deep * 1e3),
+            ],
+        ],
+    };
+    let _ = write_json(&report, std::path::Path::new("results"));
+}
+
+criterion_group!(benches, bench_stream_tick);
+criterion_main!(benches);

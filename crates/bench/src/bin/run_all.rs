@@ -6,7 +6,7 @@
 
 use trajshare_bench::experiments::fig89::SweepParam;
 use trajshare_bench::experiments::{
-    ablation, aggregation, emit, fig10, fig7, fig89, table2, table3, table4, ExpParams,
+    ablation, aggregation, emit, fig10, fig7, fig89, streaming, table2, table3, table4, ExpParams,
 };
 use trajshare_bench::Reported;
 
@@ -40,6 +40,8 @@ fn main() {
     all.push(ablation::run_solver(&params));
     eprintln!("=== Aggregation synthesis ===");
     all.push(aggregation::run(&params));
+    eprintln!("=== Streaming synthesis ===");
+    all.push(streaming::run(&params));
 
     emit(&all);
     // Combined markdown for EXPERIMENTS.md consumption.

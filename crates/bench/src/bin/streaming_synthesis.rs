@@ -1,0 +1,13 @@
+//! Runs the sliding-window streaming synthesis scenario and prints the
+//! per-tick latency / utility table.
+//!
+//! ```text
+//! cargo run --release --bin streaming_synthesis -- --trajectories 6000 --epsilon 5
+//! ```
+
+use trajshare_bench::experiments::{emit, streaming, ExpParams};
+
+fn main() {
+    let params = ExpParams::from_args(&trajshare_bench::Args::from_env());
+    emit(&[streaming::run(&params)]);
+}

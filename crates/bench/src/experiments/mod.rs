@@ -6,6 +6,7 @@ pub mod aggregation;
 pub mod fig10;
 pub mod fig7;
 pub mod fig89;
+pub mod streaming;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -67,7 +67,7 @@ impl<'a> WindowAdversary<'a> {
         let best = post
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .expect("non-empty W₂");
         let (a, b) = self.graph.bigrams[best];

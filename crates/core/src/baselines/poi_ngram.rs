@@ -317,7 +317,7 @@ impl Mechanism for PoiNgramMechanism {
         if len == 1 {
             let best = (0..nodes.len())
                 .filter(|&li| valid(li, 0))
-                .min_by(|&a, &b| node_err[0][a].partial_cmp(&node_err[0][b]).unwrap())
+                .min_by(|&a, &b| node_err[0][a].total_cmp(&node_err[0][b]))
                 .unwrap_or(0);
             let prep = t1.elapsed();
             MechanismOutput {
@@ -381,7 +381,7 @@ impl Mechanism for PoiNgramMechanism {
                 None => (0..len)
                     .map(|i| {
                         let best = (0..nodes.len())
-                            .min_by(|&a, &b| node_err[i][a].partial_cmp(&node_err[i][b]).unwrap())
+                            .min_by(|&a, &b| node_err[i][a].total_cmp(&node_err[i][b]))
                             .unwrap_or(0);
                         nodes[best]
                     })

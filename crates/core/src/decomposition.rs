@@ -60,7 +60,7 @@ pub fn decompose(dataset: &Dataset, config: &MechanismConfig) -> RegionSet {
     // Popularity guard threshold.
     let guard = config.popularity_guard_quantile.map(|q| {
         let mut pops: Vec<f64> = dataset.pois.all().iter().map(|p| p.popularity).collect();
-        pops.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        pops.sort_by(|a, b| a.total_cmp(b));
         let idx = ((pops.len() as f64 - 1.0) * q).floor() as usize;
         pops[idx.min(pops.len() - 1)]
     });

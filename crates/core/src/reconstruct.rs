@@ -85,7 +85,7 @@ pub fn reconstruct_regions(
         let prep = t0.elapsed();
         let t1 = Instant::now();
         let best = (0..nl)
-            .min_by(|&a, &b| node_err[0][a].partial_cmp(&node_err[0][b]).unwrap())
+            .min_by(|&a, &b| node_err[0][a].total_cmp(&node_err[0][b]))
             .unwrap_or(0);
         return RegionReconstruction {
             regions: vec![RegionId(in_mbr[best])],
@@ -109,7 +109,7 @@ pub fn reconstruct_regions(
         let regions_out = (0..traj_len)
             .map(|i| {
                 let best = (0..nl)
-                    .min_by(|&a, &b| node_err[i][a].partial_cmp(&node_err[i][b]).unwrap())
+                    .min_by(|&a, &b| node_err[i][a].total_cmp(&node_err[i][b]))
                     .unwrap_or(0);
                 RegionId(in_mbr[best])
             })

@@ -55,7 +55,7 @@ impl Zipf {
     /// Samples a 0-based rank index.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -98,10 +98,7 @@ impl LatticeProblem {
         }
 
         // Best terminal node.
-        let (mut v, &cost) = f
-            .iter()
-            .enumerate()
-            .min_by(|x, y| x.1.partial_cmp(y.1).unwrap())?;
+        let (mut v, &cost) = f.iter().enumerate().min_by(|x, y| x.1.total_cmp(y.1))?;
         if cost == INF {
             return None;
         }

@@ -150,7 +150,9 @@ pub fn acd(real: &[Hotspot], perturbed: &[Hotspot]) -> Option<f64> {
                         + (a.end_hour as f64 - p.end_hour as f64).abs();
                     let db = (b.start_hour as f64 - p.start_hour as f64).abs()
                         + (b.end_hour as f64 - p.end_hour as f64).abs();
-                    da.partial_cmp(&db).unwrap()
+                    // total_cmp: a NaN distance (degenerate input) must
+                    // not panic the query path.
+                    da.total_cmp(&db)
                 })
                 .expect("real non-empty");
             (nearest.peak as f64 - p.peak as f64).abs()

@@ -3,23 +3,39 @@
 //! ```text
 //! ingestd --data-dir DIR --regions N [--addr 127.0.0.1:7070]
 //!         [--workers W] [--snapshot-every K] [--wal-flush-every F]
-//!         [--read-timeout-ms MS] [--dump-counts]
+//!         [--read-timeout-ms MS]
+//!         [--fsync-records N] [--fsync-ms MS]         # group-commit fsync
+//!         [--wal-max-bytes B]                         # online compaction
+//!         [--window-len U --windows W]                # streaming windows
+//!         [--publish-every-ms MS]
+//!         [--dump-counts]
 //! ```
 //!
 //! Without a dataset at hand the universe is given as `--regions N`
 //! (tiles default to hour 0); embedded deployments construct
 //! `ServerConfig` with real `region_tiles` instead. `--dump-counts` runs
 //! recovery only and prints a JSON fingerprint of the restored counters
-//! — the CI smoke test's verification hook.
+//! (including the restored window ring when `--window-len`/`--windows`
+//! are given) — the CI smoke test's verification hook.
+//!
+//! With `--window-len`/`--windows` the server runs the streaming
+//! workload: timestamped reports land in a sliding window ring and every
+//! `--publish-every-ms` the daemon prints one `published ...` line with
+//! the merged window view.
 
 use std::net::SocketAddr;
 use std::time::Duration;
-use trajshare_service::{CountsSummary, IngestServer, ServerConfig};
+use trajshare_aggregate::WindowConfig;
+use trajshare_service::{
+    CountsSummary, IngestServer, ServerConfig, StreamServerConfig, SyncPolicy,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: ingestd --data-dir DIR --regions N [--addr HOST:PORT] [--workers W] \
-         [--snapshot-every K] [--wal-flush-every F] [--read-timeout-ms MS] [--dump-counts]"
+         [--snapshot-every K] [--wal-flush-every F] [--read-timeout-ms MS] \
+         [--fsync-records N] [--fsync-ms MS] [--wal-max-bytes B] \
+         [--window-len U --windows W] [--publish-every-ms MS] [--dump-counts]"
     );
     std::process::exit(2)
 }
@@ -30,6 +46,22 @@ fn parsed<T: std::str::FromStr>(v: String) -> T {
     v.parse().unwrap_or_else(|_| usage())
 }
 
+/// The recovered-state fingerprint `--dump-counts` prints.
+#[derive(serde::Serialize)]
+struct DumpSummary {
+    counts: CountsSummary,
+    /// `(window id, reports)` of every restored live window (streaming
+    /// deployments only).
+    windows: Option<Vec<WindowSummary>>,
+    newest_window: Option<u64>,
+}
+
+#[derive(serde::Serialize)]
+struct WindowSummary {
+    window: u64,
+    reports: u64,
+}
+
 fn main() {
     let mut data_dir: Option<String> = None;
     let mut regions: Option<usize> = None;
@@ -38,6 +70,12 @@ fn main() {
     let mut snapshot_every: Option<u64> = None;
     let mut wal_flush_every: Option<u32> = None;
     let mut read_timeout_ms: Option<u64> = None;
+    let mut fsync_records: Option<u32> = None;
+    let mut fsync_ms: Option<u64> = None;
+    let mut wal_max_bytes: Option<u64> = None;
+    let mut window_len: Option<u64> = None;
+    let mut windows: Option<usize> = None;
+    let mut publish_every_ms: u64 = 1_000;
     let mut dump_counts = false;
 
     let mut args = std::env::args().skip(1);
@@ -54,6 +92,12 @@ fn main() {
             "--snapshot-every" => snapshot_every = Some(parsed(value(&mut args))),
             "--wal-flush-every" => wal_flush_every = Some(parsed(value(&mut args))),
             "--read-timeout-ms" => read_timeout_ms = Some(parsed(value(&mut args))),
+            "--fsync-records" => fsync_records = Some(parsed(value(&mut args))),
+            "--fsync-ms" => fsync_ms = Some(parsed(value(&mut args))),
+            "--wal-max-bytes" => wal_max_bytes = Some(parsed(value(&mut args))),
+            "--window-len" => window_len = Some(parsed(value(&mut args))),
+            "--windows" => windows = Some(parsed(value(&mut args))),
+            "--publish-every-ms" => publish_every_ms = parsed(value(&mut args)),
             "--dump-counts" => dump_counts = true,
             _ => usage(),
         }
@@ -65,17 +109,37 @@ fn main() {
         usage()
     }
     let tiles = vec![0u16; regions];
+    let window = match (window_len, windows) {
+        (Some(len), Some(n)) if len >= 1 && n >= 1 => Some(WindowConfig {
+            window_len: len,
+            num_windows: n,
+        }),
+        (None, None) => None,
+        _ => usage(), // both or neither
+    };
 
     if dump_counts {
         // Read-only reconstruction: inspecting a data directory must
         // never compact it (and the dir lock refuses to race a live
         // server at all).
-        let rec =
-            trajshare_service::load(std::path::Path::new(&data_dir), &tiles).unwrap_or_else(|e| {
+        let rec = trajshare_service::load(std::path::Path::new(&data_dir), &tiles, window)
+            .unwrap_or_else(|e| {
                 eprintln!("ingestd: cannot load {data_dir}: {e}");
                 std::process::exit(1)
             });
-        let summary = CountsSummary::of(&rec.counts);
+        let summary = DumpSummary {
+            counts: CountsSummary::of(&rec.counts),
+            windows: rec.ring.as_ref().map(|r| {
+                r.windows()
+                    .iter()
+                    .map(|(id, c)| WindowSummary {
+                        window: *id,
+                        reports: c.num_reports,
+                    })
+                    .collect()
+            }),
+            newest_window: rec.ring.as_ref().map(|r| r.newest_window()),
+        };
         println!(
             "{}",
             serde_json::to_string_pretty(&summary).expect("serialize summary")
@@ -97,23 +161,63 @@ fn main() {
     if let Some(ms) = read_timeout_ms {
         config.read_timeout = Duration::from_millis(ms.max(1));
     }
+    if fsync_records.is_some() || fsync_ms.is_some() {
+        config.sync_policy = SyncPolicy::GroupCommit {
+            records: fsync_records.unwrap_or(64).max(1),
+            max_delay: Duration::from_millis(fsync_ms.unwrap_or(50)),
+        };
+    }
+    if let Some(b) = wal_max_bytes {
+        config.wal_max_bytes = b.max(1);
+    }
+    config.stream = window.map(|w| StreamServerConfig {
+        window: w,
+        publish_every: Duration::from_millis(publish_every_ms.max(10)),
+    });
 
+    let streaming = config.stream.is_some();
     let handle = IngestServer::start(config).unwrap_or_else(|e| {
         eprintln!("ingestd: cannot start: {e}");
         std::process::exit(1)
     });
     let rec = handle.recovery();
     println!(
-        "ingestd listening on {} (gen {}, recovered {} reports, {} replayed from log)",
+        "ingestd listening on {} (gen {}, recovered {} reports, {} replayed from log, {} windows restored)",
         handle.addr(),
         rec.generation,
         rec.recovered_reports,
-        rec.replayed_reports
+        rec.replayed_reports,
+        rec.restored_windows,
     );
-    // Park forever; SIGTERM/SIGKILL is the stop signal, and recovery is
-    // the restart path — that asymmetry is exactly what the durability
-    // design is for.
+    // Park; SIGTERM/SIGKILL is the stop signal, and recovery is the
+    // restart path — that asymmetry is exactly what the durability
+    // design is for. When streaming, relay each publication to stdout
+    // so operators (and the CI smoke test) see the live window view.
+    let mut printed_seq = 0u64;
     loop {
-        std::thread::sleep(Duration::from_secs(3600));
+        if streaming {
+            if let Some(p) = handle.latest_publication() {
+                if p.seq > printed_seq {
+                    printed_seq = p.seq;
+                    let windows: Vec<String> = p
+                        .windows
+                        .iter()
+                        .map(|(id, n)| format!("{id}:{n}"))
+                        .collect();
+                    println!(
+                        "published seq={} newest={} oldest={} merged_reports={} late={} windows=[{}]",
+                        p.seq,
+                        p.newest_window,
+                        p.oldest_window,
+                        p.merged_reports,
+                        p.late_reports,
+                        windows.join(" ")
+                    );
+                }
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        } else {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! loadgen --addr HOST:PORT --reports N --regions R
 //!         [--connections C] [--len L] [--eps E] [--seed S]
+//!         [--t-base T] [--t-step S]
 //! ```
 //!
 //! Generates `N` synthetic reports over a universe of `R` regions
@@ -10,6 +11,10 @@
 //! `C` parallel connections, and prints a JSON summary with achieved
 //! reports/s. Exits non-zero if any report went un-acked — which makes
 //! it a durability assertion, not just a traffic source.
+//!
+//! Report `i` carries timestamp `t-base + i · t-step` (both default 0),
+//! so a streaming server's window ring can be driven deterministically:
+//! `--t-base 60` with a 60-unit window puts the whole batch in window 1.
 
 use std::net::SocketAddr;
 use std::time::Instant;
@@ -19,7 +24,7 @@ use trajshare_service::stream_reports;
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT --reports N --regions R [--connections C] \
-         [--len L] [--eps E] [--seed S]"
+         [--len L] [--eps E] [--seed S] [--t-base T] [--t-step S]"
     );
     std::process::exit(2)
 }
@@ -32,7 +37,7 @@ fn mix(seed: u64, i: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn toy_report(i: u64, regions: u32, len: u16, eps: f64, seed: u64) -> Report {
+fn toy_report(i: u64, regions: u32, len: u16, eps: f64, seed: u64, t: u64) -> Report {
     let pick = |j: u64| (mix(seed, i.wrapping_mul(131).wrapping_add(j)) % regions as u64) as u32;
     let path: Vec<u32> = (0..len as u64).map(pick).collect();
     let unigrams: Vec<(u16, u32)> = path
@@ -41,6 +46,7 @@ fn toy_report(i: u64, regions: u32, len: u16, eps: f64, seed: u64) -> Report {
         .map(|(p, &r)| (p as u16, r))
         .collect();
     Report {
+        t,
         eps_prime: eps,
         len,
         unigrams: unigrams.clone(),
@@ -57,6 +63,8 @@ fn main() {
     let mut len = 3u16;
     let mut eps = 1.0f64;
     let mut seed = 7u64;
+    let mut t_base = 0u64;
+    let mut t_step = 0u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -69,6 +77,8 @@ fn main() {
             "--len" => len = v.parse().unwrap_or_else(|_| usage()),
             "--eps" => eps = v.parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = v.parse().unwrap_or_else(|_| usage()),
+            "--t-base" => t_base = v.parse().unwrap_or_else(|_| usage()),
+            "--t-step" => t_step = v.parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -80,7 +90,16 @@ fn main() {
     }
 
     let batch: Vec<Report> = (0..n as u64)
-        .map(|i| toy_report(i, regions, len, eps, seed))
+        .map(|i| {
+            toy_report(
+                i,
+                regions,
+                len,
+                eps,
+                seed,
+                t_base.saturating_add(i.saturating_mul(t_step)),
+            )
+        })
         .collect();
     let t0 = Instant::now();
     let acked = stream_reports(addr, &batch, connections.max(1)).expect("streaming failed");

@@ -10,9 +10,14 @@
 //!
 //! * [`server`] — the TCP ingestion server: length-prefixed frames of
 //!   `Report::encode`, a thread-pool over bounded channels, explicit
-//!   backpressure, per-shard aggregation, WAL-then-count durability.
-//! * [`storage`] — write-ahead logs, per-shard counter files, the
-//!   generation manifest, and snapshot + log-tail recovery.
+//!   backpressure, per-shard aggregation, WAL-then-count durability,
+//!   and (optionally) the real-time sliding-window workload: per-shard
+//!   window rings over timestamped reports, a publication thread, and
+//!   size-triggered online WAL compaction.
+//! * [`storage`] — write-ahead logs (with a configurable fsync policy),
+//!   per-shard counter + ring files, the generation manifest, and
+//!   snapshot + log-tail recovery that restores totals *and* the window
+//!   ring bit-identically.
 //! * [`client`] — the streaming client used by `loadgen`, benches, and
 //!   tests; its ack protocol certifies durability, not just delivery.
 //!
@@ -27,5 +32,8 @@ pub mod storage;
 pub use client::{stream_once, stream_reports};
 pub use server::{
     CountsSummary, IngestServer, RecoverySummary, ServerConfig, ServerHandle, ServerStats,
+    StreamPublication, StreamServerConfig,
 };
-pub use storage::{load, lock_dir, recover, replay_wal, Recovery, ReplayStats, WalWriter};
+pub use storage::{
+    load, lock_dir, recover, replay_wal, Recovery, ReplayStats, SyncPolicy, WalWriter,
+};

@@ -23,17 +23,28 @@
 //!   change the result.
 //! * **Durability**: every validated report is appended to the worker's
 //!   WAL before it is counted, and the WAL is flushed before a
-//!   connection is acked, so an acked report survives any process kill.
-//!   Workers snapshot their counters every `snapshot_every` reports;
-//!   restart recovery = base + shard snapshots + log tails (see
-//!   [`crate::storage`]).
+//!   connection is acked, so an acked report survives any process kill
+//!   (OS-crash durability is a [`SyncPolicy`] choice — see
+//!   [`crate::storage::SyncPolicy`]). Workers snapshot their counters
+//!   every `snapshot_every` reports; restart recovery = base + shard
+//!   snapshots + log tails (see [`crate::storage`]).
+//! * **Streaming** (optional, [`ServerConfig::stream`]): each shard also
+//!   maintains a sliding-window ring over report timestamps; a
+//!   maintenance thread publishes the merged window view every
+//!   `publish_every` and the ring is persisted/recovered alongside the
+//!   totals.
+//! * **Bounded disk**: the same maintenance thread compacts online when
+//!   any shard's WAL passes `wal_max_bytes` — current totals become the
+//!   next generation's base, fresh logs are started, the manifest flip
+//!   commits, and the old generation is deleted; WAL disk usage between
+//!   restarts is therefore bounded instead of unbounded.
 //!
 //! Protocol: the client streams [`Report::encode_frame`] frames, then
 //! shuts down its write half; the server ingests to EOF, flushes the
 //! WAL, and replies with the number of accepted reports as a `u64` LE
 //! ack before closing.
 
-use crate::storage::{self, Recovery, WalWriter};
+use crate::storage::{self, Recovery, SyncPolicy, WalWriter};
 use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
 use serde::Serialize;
 use std::io::{Read, Write};
@@ -42,9 +53,20 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use trajshare_aggregate::snapshot::crc32;
-use trajshare_aggregate::{AggregateCounts, Aggregator, Report, StreamDecoder};
+use trajshare_aggregate::{
+    AggregateCounts, Aggregator, Report, StreamDecoder, WindowConfig, WindowedAggregator,
+};
+
+/// Streaming (sliding-window) options for a server instance.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamServerConfig {
+    /// Window length / ring depth over `Report::t`.
+    pub window: WindowConfig,
+    /// How often the maintenance thread publishes the merged window view.
+    pub publish_every: Duration,
+}
 
 /// Tunables for one server instance.
 #[derive(Debug, Clone)]
@@ -66,6 +88,16 @@ pub struct ServerConfig {
     pub snapshot_every: u64,
     /// WAL records buffered between automatic flushes.
     pub wal_flush_every: u32,
+    /// When the WAL forces data to stable storage (OS-crash durability);
+    /// the default, [`SyncPolicy::Never`], matches the original
+    /// kernel-flush-only behavior.
+    pub sync_policy: SyncPolicy,
+    /// Online-compaction trigger: when any shard's WAL exceeds this many
+    /// bytes, the maintenance thread folds everything into a fresh
+    /// generation and truncates the logs. `u64::MAX` disables.
+    pub wal_max_bytes: u64,
+    /// Sliding-window streaming; `None` runs the batch-archive shape.
+    pub stream: Option<StreamServerConfig>,
     /// Socket read timeout — a client stalling longer is disconnected.
     pub read_timeout: Duration,
 }
@@ -84,6 +116,9 @@ impl ServerConfig {
             queue_depth: 64,
             snapshot_every: 10_000,
             wal_flush_every: 64,
+            sync_policy: SyncPolicy::Never,
+            wal_max_bytes: 1 << 30,
+            stream: None,
             read_timeout: Duration::from_secs(30),
         }
     }
@@ -107,6 +142,12 @@ pub struct ServerStats {
     pub reports_ingested: AtomicU64,
     /// Connections dropped by I/O errors (socket or WAL).
     pub io_errors: AtomicU64,
+    /// Sliding-window publications emitted by the maintenance thread.
+    pub publications: AtomicU64,
+    /// Online WAL compactions (generation bumps while live).
+    pub compactions: AtomicU64,
+    /// Online compactions that failed (retried after a backoff).
+    pub compaction_failures: AtomicU64,
 }
 
 impl ServerStats {
@@ -115,11 +156,13 @@ impl ServerStats {
     }
 }
 
-/// One worker's mutable state: its counter shard and its WAL. The mutex
-/// is held per report by the owning worker and briefly by merge-on-demand
-/// readers ([`ServerHandle::counts`]) and shutdown.
+/// One worker's mutable state: its counter shard, its window ring (when
+/// streaming), and its WAL. The mutex is held per report by the owning
+/// worker and briefly by merge-on-demand readers
+/// ([`ServerHandle::counts`]), the maintenance thread, and shutdown.
 struct Shard {
     agg: Aggregator,
+    ring: Option<WindowedAggregator>,
     wal: WalWriter,
     counts_path: PathBuf,
     since_snapshot: u64,
@@ -132,6 +175,9 @@ impl Shard {
     fn ingest(&mut self, report: &Report, payload: &[u8]) -> std::io::Result<()> {
         self.wal.append(payload)?;
         self.agg.ingest(report);
+        if let Some(ring) = &mut self.ring {
+            ring.ingest(report);
+        }
         self.since_snapshot += 1;
         if self.since_snapshot >= self.snapshot_every {
             self.snapshot()?;
@@ -139,22 +185,55 @@ impl Shard {
         Ok(())
     }
 
-    /// Flushes the WAL and atomically persists the shard counters with
-    /// the log offset they cover.
+    /// Flushes the WAL and atomically persists the shard counters (and
+    /// window ring) with the log offset they cover.
     fn snapshot(&mut self) -> std::io::Result<()> {
         self.wal.flush()?;
-        storage::write_shard_counts(&self.counts_path, self.agg.counts(), self.wal.offset())?;
+        let ring_blob = self.ring.as_ref().map(|r| r.encode_ring());
+        storage::write_shard_counts(
+            &self.counts_path,
+            self.agg.counts(),
+            self.wal.offset(),
+            ring_blob.as_deref(),
+        )?;
         self.since_snapshot = 0;
         Ok(())
     }
+}
+
+/// The recovered-and-compacted state every live total builds on. `gen`
+/// moves when the maintenance thread compacts online; lock order is
+/// always base → shards (in index order) for any multi-lock path.
+struct BaseState {
+    counts: AggregateCounts,
+    ring: Option<WindowedAggregator>,
+    gen: u64,
+}
+
+/// One sliding-window publication (what `ingestd` prints per tick).
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamPublication {
+    /// Publication sequence number (1-based, monotonic).
+    pub seq: u64,
+    /// Newest window id the merged ring has advanced to.
+    pub newest_window: u64,
+    /// Oldest window id still live.
+    pub oldest_window: u64,
+    /// `(window id, reports)` for every live window, ascending.
+    pub windows: Vec<(u64, u64)>,
+    /// Reports in the merged current-window view.
+    pub merged_reports: u64,
+    /// Reports dropped as older than the ring span.
+    pub late_reports: u64,
 }
 
 /// The running server: owns its threads; query or stop it through this.
 pub struct ServerHandle {
     addr: SocketAddr,
     stats: Arc<ServerStats>,
-    base: AggregateCounts,
+    base: Arc<Mutex<BaseState>>,
     shards: Vec<Arc<Mutex<Shard>>>,
+    latest_publication: Arc<Mutex<Option<StreamPublication>>>,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
     recovery: RecoverySummary,
@@ -174,6 +253,8 @@ pub struct RecoverySummary {
     pub torn_tails: u64,
     /// Total reports in the recovered base counters.
     pub recovered_reports: u64,
+    /// Live windows in the restored ring (0 when not streaming).
+    pub restored_windows: u64,
 }
 
 /// Marker type for [`IngestServer::start`].
@@ -186,17 +267,23 @@ impl IngestServer {
         assert!(config.workers > 0, "need at least one worker");
         assert!(!config.region_tiles.is_empty(), "empty region universe");
         let dir_lock = storage::lock_dir(&config.data_dir)?;
+        let window = config.stream.as_ref().map(|s| s.window);
         let Recovery {
-            counts: base,
+            counts: base_counts,
+            ring: base_ring,
             gen,
             replayed_reports,
             torn_tails,
-        } = storage::recover_locked(&config.data_dir, &config.region_tiles)?;
+        } = storage::recover_locked(&config.data_dir, &config.region_tiles, window)?;
         let recovery = RecoverySummary {
             generation: gen,
             replayed_reports,
             torn_tails,
-            recovered_reports: base.num_reports,
+            recovered_reports: base_counts.num_reports,
+            restored_windows: base_ring
+                .as_ref()
+                .map(|r| r.windows().len() as u64)
+                .unwrap_or(0),
         };
 
         let listener = TcpListener::bind(config.addr)?;
@@ -207,14 +294,28 @@ impl IngestServer {
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = channel::bounded::<TcpStream>(config.queue_depth);
 
+        // Fresh shard rings start at the recovered watermark, so late
+        // reports are judged against where the stream actually is.
+        let fresh_ring = |base_ring: &Option<WindowedAggregator>| {
+            window.map(|w| {
+                let mut ring = WindowedAggregator::new(config.region_tiles.clone(), w);
+                if let Some(base) = base_ring {
+                    ring.advance_to(base.newest_window());
+                }
+                ring
+            })
+        };
+
         let mut shards = Vec::with_capacity(config.workers);
-        let mut threads = Vec::with_capacity(config.workers + 1);
+        let mut threads = Vec::with_capacity(config.workers + 2);
         for i in 0..config.workers {
             let shard = Arc::new(Mutex::new(Shard {
                 agg: Aggregator::from_region_tiles(config.region_tiles.clone()),
-                wal: WalWriter::create(
+                ring: fresh_ring(&base_ring),
+                wal: WalWriter::create_with_policy(
                     &storage::wal_path(&config.data_dir, gen, i),
                     config.wal_flush_every,
+                    config.sync_policy,
                 )?,
                 counts_path: storage::shard_counts_path(&config.data_dir, gen, i),
                 since_snapshot: 0,
@@ -239,11 +340,37 @@ impl IngestServer {
             }));
         }
 
+        let base = Arc::new(Mutex::new(BaseState {
+            counts: base_counts,
+            ring: base_ring,
+            gen,
+        }));
+        let latest_publication = Arc::new(Mutex::new(None));
+
+        // Maintenance thread: periodic window publication, size-triggered
+        // online WAL compaction, and the group-commit time bound (a WAL
+        // receiving no appends gets no flushes, so the max_delay half of
+        // the policy needs a periodic driver). Spawned only when at
+        // least one job exists.
+        let group_commit = matches!(config.sync_policy, SyncPolicy::GroupCommit { .. });
+        if config.stream.is_some() || config.wal_max_bytes != u64::MAX || group_commit {
+            let base = Arc::clone(&base);
+            let shards = shards.clone();
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let latest = Arc::clone(&latest_publication);
+            let cfg = config.clone();
+            threads.push(std::thread::spawn(move || {
+                maintenance_loop(cfg, base, shards, stats, stop, latest)
+            }));
+        }
+
         Ok(ServerHandle {
             addr,
             stats,
             base,
             shards,
+            latest_publication,
             stop,
             threads,
             recovery,
@@ -268,13 +395,44 @@ impl ServerHandle {
         &self.recovery
     }
 
-    /// Merge-on-demand total: recovered base plus every live shard.
+    /// Merge-on-demand total: recovered base plus every live shard. The
+    /// base lock is held across the shard merges (lock order base →
+    /// shards, same as compaction) so an online compaction — which moves
+    /// shard counts into the base — cannot make the total transiently
+    /// lose the shard-held reports.
     pub fn counts(&self) -> AggregateCounts {
-        let mut total = self.base.clone();
+        let base = self.base.lock().unwrap();
+        let mut total = base.counts.clone();
         for shard in &self.shards {
             total.merge(shard.lock().unwrap().agg.counts());
         }
         total
+    }
+
+    /// Merge-on-demand sliding-window view: the recovered base ring plus
+    /// every live shard ring, merged per absolute window id. `None` when
+    /// the server was not configured for streaming. Holds the base lock
+    /// across the shard merges for the same reason as
+    /// [`ServerHandle::counts`].
+    pub fn windowed_counts(&self) -> Option<WindowedAggregator> {
+        let base = self.base.lock().unwrap();
+        let mut total = base.ring.clone()?;
+        for shard in &self.shards {
+            if let Some(ring) = &shard.lock().unwrap().ring {
+                total.merge_ring(ring);
+            }
+        }
+        Some(total)
+    }
+
+    /// The most recent sliding-window publication, if any.
+    pub fn latest_publication(&self) -> Option<StreamPublication> {
+        self.latest_publication.lock().unwrap().clone()
+    }
+
+    /// The current file generation (bumps on online compaction).
+    pub fn generation(&self) -> u64 {
+        self.base.lock().unwrap().gen
     }
 
     /// Graceful stop: refuse new connections, join all threads, persist a
@@ -343,6 +501,177 @@ fn worker_loop(
             Err(RecvTimeoutError::Disconnected) => return,
         }
     }
+}
+
+/// The maintenance thread: publishes the merged sliding-window view
+/// every `publish_every`, and runs size-triggered online WAL compaction.
+fn maintenance_loop(
+    config: ServerConfig,
+    base: Arc<Mutex<BaseState>>,
+    shards: Vec<Arc<Mutex<Shard>>>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    latest: Arc<Mutex<Option<StreamPublication>>>,
+) {
+    let publish_every = config.stream.as_ref().map(|s| s.publish_every);
+    let group_commit = matches!(config.sync_policy, SyncPolicy::GroupCommit { .. });
+    let mut last_publish = Instant::now();
+    let mut seq = 0u64;
+    let mut next_compact_attempt = Instant::now();
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(20));
+        if group_commit {
+            // Enforce the time half of the group-commit bound during
+            // lulls: acked-but-unsynced records older than max_delay are
+            // fdatasync'ed here, not at the next (possibly never) ack.
+            for shard in &shards {
+                if shard.lock().unwrap().wal.sync_if_due().is_err() {
+                    stats.bump(&stats.io_errors);
+                }
+            }
+        }
+        if let Some(every) = publish_every {
+            if last_publish.elapsed() >= every {
+                last_publish = Instant::now();
+                if let Some(view) = merged_ring(&base, &shards) {
+                    seq += 1;
+                    let publication = StreamPublication {
+                        seq,
+                        newest_window: view.newest_window(),
+                        oldest_window: view.oldest_window(),
+                        windows: view
+                            .windows()
+                            .iter()
+                            .map(|(id, c)| (*id, c.num_reports))
+                            .collect(),
+                        merged_reports: view.merged().num_reports,
+                        late_reports: view.late(),
+                    };
+                    *latest.lock().unwrap() = Some(publication);
+                    stats.bump(&stats.publications);
+                }
+            }
+        }
+        if config.wal_max_bytes != u64::MAX && Instant::now() >= next_compact_attempt {
+            let over_limit = shards
+                .iter()
+                .any(|s| s.lock().unwrap().wal.offset() >= config.wal_max_bytes);
+            if over_limit {
+                match compact_online(&config, &base, &shards) {
+                    Ok(()) => stats.bump(&stats.compactions),
+                    // A failing compaction (e.g. disk full) pauses every
+                    // shard for its duration; back off instead of
+                    // re-freezing ingestion every tick in a doomed loop.
+                    Err(_) => {
+                        stats.bump(&stats.compaction_failures);
+                        next_compact_attempt = Instant::now() + Duration::from_secs(5);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The merged sliding-window view (base ring + every shard ring), or
+/// `None` when not streaming. Lock order: base (held across the shard
+/// merges, so a concurrent compaction cannot be observed mid-move),
+/// then shards in index order — the same order every multi-lock path
+/// uses.
+fn merged_ring(
+    base: &Mutex<BaseState>,
+    shards: &[Arc<Mutex<Shard>>],
+) -> Option<WindowedAggregator> {
+    let base = base.lock().unwrap();
+    let mut total = base.ring.clone()?;
+    for shard in shards {
+        if let Some(ring) = &shard.lock().unwrap().ring {
+            total.merge_ring(ring);
+        }
+    }
+    Some(total)
+}
+
+/// Online WAL compaction: fold the base and every live shard into the
+/// next generation's base snapshot (and ring), start fresh logs, commit
+/// with the manifest flip, sweep the old generation. Ingestion pauses
+/// for the duration (all shard locks are held), which is what makes the
+/// fold exact; the sequencing makes a crash at any point safe — until
+/// the flip lands, the old generation (whose logs are complete, since
+/// they are flushed first) remains authoritative, and the half-built
+/// next generation is swept by the next recovery.
+fn compact_online(
+    config: &ServerConfig,
+    base: &Mutex<BaseState>,
+    shards: &[Arc<Mutex<Shard>>],
+) -> std::io::Result<()> {
+    let mut base_guard = base.lock().unwrap();
+    let mut guards: Vec<_> = shards.iter().map(|s| s.lock().unwrap()).collect();
+    // 1. Complete the old logs: every acked report must be on disk (in
+    //    the kernel at least) before the old generation becomes the
+    //    recovery source of record for a mid-compaction crash.
+    for g in guards.iter_mut() {
+        g.wal.flush()?;
+    }
+    // 2. Fold totals and rings.
+    let mut total = base_guard.counts.clone();
+    for g in guards.iter() {
+        total.merge(g.agg.counts());
+    }
+    let ring_total = base_guard.ring.clone().map(|mut ring| {
+        for g in guards.iter() {
+            if let Some(shard_ring) = &g.ring {
+                ring.merge_ring(shard_ring);
+            }
+        }
+        ring
+    });
+    // 3. Write the next generation's base (and ring), then fresh logs.
+    let old_gen = base_guard.gen;
+    let new_gen = old_gen + 1;
+    trajshare_aggregate::write_snapshot_file(
+        &storage::base_path(&config.data_dir, new_gen),
+        &total,
+    )?;
+    if let Some(ring) = &ring_total {
+        storage::write_blob_atomic(
+            &storage::ring_path(&config.data_dir, new_gen),
+            &ring.encode_ring(),
+        )?;
+    }
+    let mut new_wals = Vec::with_capacity(guards.len());
+    for i in 0..guards.len() {
+        new_wals.push(WalWriter::create_with_policy(
+            &storage::wal_path(&config.data_dir, new_gen, i),
+            config.wal_flush_every,
+            config.sync_policy,
+        )?);
+    }
+    // 4. Commit: the manifest flip makes the new generation (whose base
+    //    already contains everything) authoritative.
+    storage::write_manifest(&config.data_dir, new_gen)?;
+    // 5. Swap live state onto the new generation.
+    let watermark = ring_total.as_ref().map(|r| r.newest_window());
+    for (i, g) in guards.iter_mut().enumerate() {
+        g.agg = Aggregator::from_region_tiles(config.region_tiles.clone());
+        g.ring = config.stream.as_ref().map(|s| {
+            let mut ring = WindowedAggregator::new(config.region_tiles.clone(), s.window);
+            if let Some(w) = watermark {
+                ring.advance_to(w);
+            }
+            ring
+        });
+        g.wal = new_wals.remove(0);
+        g.counts_path = storage::shard_counts_path(&config.data_dir, new_gen, i);
+        g.since_snapshot = 0;
+    }
+    base_guard.counts = total;
+    base_guard.ring = ring_total;
+    base_guard.gen = new_gen;
+    drop(guards);
+    drop(base_guard);
+    // 6. Cleanup outside the locks: delete the old generation.
+    storage::sweep_stale_generations(&config.data_dir, new_gen);
+    Ok(())
 }
 
 /// Reads one client stream to EOF, ingesting every framed report, then
@@ -456,6 +785,12 @@ pub struct CountsSummary {
 impl CountsSummary {
     /// Fingerprints `counts`.
     pub fn of(counts: &AggregateCounts) -> Self {
+        // The fingerprint is the snapshot's own embedded CRC — i.e. the
+        // CRC over the encoded counters. (CRC-ing the whole encoding
+        // *including* its trailing CRC would collapse to the constant
+        // CRC residue for every input — the bug this replaces.)
+        let snapshot = counts.encode_snapshot();
+        let payload = &snapshot[..snapshot.len() - 4];
         CountsSummary {
             num_regions: counts.num_regions,
             num_reports: counts.num_reports,
@@ -464,7 +799,32 @@ impl CountsSummary {
             eps_nano_sum: counts.eps_nano_sum,
             total_occupancy: counts.occupancy.iter().sum(),
             total_transitions: counts.transitions.iter().sum(),
-            snapshot_crc32: crc32(&counts.encode_snapshot()),
+            snapshot_crc32: crc32(payload),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_fingerprint_distinguishes_different_counters() {
+        // Regression: the fingerprint used to CRC the snapshot *with*
+        // its trailing CRC, which is the constant CRC-32 residue
+        // (0x2144DF1C reflected) for every message — all states
+        // "matched". It must vary with content and be stable across
+        // encode/decode.
+        let empty = AggregateCounts::new(16);
+        let mut one = AggregateCounts::new(16);
+        one.num_reports = 1;
+        one.occupancy[3] = 1;
+        let mut two = one.clone();
+        two.occupancy[3] = 2;
+        let f = |c: &AggregateCounts| CountsSummary::of(c).snapshot_crc32;
+        assert_ne!(f(&empty), f(&one));
+        assert_ne!(f(&one), f(&two));
+        let roundtrip = AggregateCounts::decode_snapshot(&one.encode_snapshot()).unwrap();
+        assert_eq!(f(&one), f(&roundtrip), "fingerprint stable across codec");
     }
 }

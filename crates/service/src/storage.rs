@@ -32,22 +32,39 @@
 //! generation `g+1`, and deletes generation-`g` files. A crash anywhere
 //! inside recovery is safe — until the manifest rename lands, generation
 //! `g` remains authoritative and the half-built `g+1` files are swept by
-//! the next attempt.
+//! the next attempt. The same sequencing (new base + new logs first,
+//! manifest flip as the commit point, sweep last) backs the server's
+//! *online* compaction, which bounds WAL disk usage between restarts.
+//!
+//! ## Streaming state
+//!
+//! When the deployment runs the sliding-window workload, each shard's
+//! counter file additionally embeds the shard's window ring (see
+//! `trajshare_aggregate::stream`) covering the same WAL offset as the
+//! total counters, and recovery writes the merged ring as
+//! `ring-<gen>.bin` next to the compacted base. Per-shard ring blobs +
+//! timestamped WAL-tail replay restore the global ring bit-identically
+//! (ring content is order-independent — see the stream module docs).
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 use trajshare_aggregate::snapshot::{
     crc32, read_snapshot_file, write_snapshot_file, SnapshotError,
 };
-use trajshare_aggregate::{AggregateCounts, Aggregator, Report};
+use trajshare_aggregate::{AggregateCounts, Aggregator, Report, WindowConfig, WindowedAggregator};
 
 /// Manifest magic ("TrajShare ManiFest").
 const MANIFEST_MAGIC: [u8; 4] = *b"TSMF";
 /// Shard-counts header magic ("TrajShare SHard").
 const SHARD_MAGIC: [u8; 4] = *b"TSSH";
-/// Version for both service-level file headers.
+/// Version of the manifest header.
 const STORAGE_VERSION: u16 = 1;
+/// Current shard-counts header version: v2 appends an embedded window
+/// ring (possibly empty) after the counts snapshot. v1 files (no ring
+/// length field) remain readable.
+const SHARD_VERSION: u16 = 2;
 /// WAL record header: payload length + payload CRC.
 const WAL_RECORD_HEADER: usize = 8;
 
@@ -64,6 +81,12 @@ pub fn shard_counts_path(dir: &Path, gen: u64, shard: usize) -> PathBuf {
 /// Path of the compacted base snapshot of generation `gen`.
 pub fn base_path(dir: &Path, gen: u64) -> PathBuf {
     dir.join(format!("base-{gen}.counts"))
+}
+
+/// Path of the compacted window-ring snapshot of generation `gen`
+/// (streaming deployments only).
+pub fn ring_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("ring-{gen}.bin"))
 }
 
 fn manifest_path(dir: &Path) -> PathBuf {
@@ -113,6 +136,39 @@ pub fn write_manifest(dir: &Path, gen: u64) -> std::io::Result<()> {
     std::fs::rename(tmp, manifest_path(dir))
 }
 
+/// When (if ever) the WAL forces data onto stable storage.
+///
+/// [`WalWriter::flush`] always pushes buffered records to the kernel —
+/// that is what makes an ack survive a *process* kill. What it does
+/// **not** do, under the default [`SyncPolicy::Never`], is call
+/// `fdatasync`: an **operating-system** crash or power loss can still
+/// drop acked records that only the page cache held. Deployments that
+/// need OS-crash durability opt into group commit, which bounds the
+/// exposure to `records` acks or `max_delay` of wall time — whichever
+/// comes first — at the cost of periodic `sync_data` calls on the ack
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Flush to the kernel only (the explicit default): acked reports
+    /// survive any process kill, but *not* an OS crash.
+    #[default]
+    Never,
+    /// Group commit: `fdatasync` whenever `records` records have been
+    /// appended since the last sync, or `max_delay` has elapsed since
+    /// it. The record bound is checked at every flush (= every ack and
+    /// snapshot); the time bound additionally needs a periodic caller of
+    /// [`WalWriter::sync_if_due`] during lulls — the ingestion server's
+    /// maintenance thread does this — because a writer that receives no
+    /// appends gets no flushes. Together they bound OS-crash loss to one
+    /// group.
+    GroupCommit {
+        /// Records between forced syncs (≥ 1).
+        records: u32,
+        /// Wall-clock bound between forced syncs.
+        max_delay: Duration,
+    },
+}
+
 /// Append-only writer for one shard's report log.
 ///
 /// Writes are buffered; [`WalWriter::offset`] counts *appended* bytes
@@ -125,6 +181,10 @@ pub struct WalWriter {
     offset: u64,
     pending: u32,
     flush_every: u32,
+    sync_policy: SyncPolicy,
+    /// Records appended since the last forced sync.
+    since_sync: u32,
+    last_sync: Instant,
     /// Set after any I/O failure. A failed write can leave a partial
     /// record in the stream; appending more records after it would put
     /// acked reports *behind* a torn record, where replay cannot reach
@@ -141,8 +201,17 @@ fn wal_poisoned() -> std::io::Error {
 impl WalWriter {
     /// Creates (or truncates) the log at `path`; `flush_every` bounds how
     /// many records may sit in the userspace buffer before an automatic
-    /// flush.
+    /// flush. Uses [`SyncPolicy::Never`] — kernel-flush durability only.
     pub fn create(path: &Path, flush_every: u32) -> std::io::Result<Self> {
+        Self::create_with_policy(path, flush_every, SyncPolicy::Never)
+    }
+
+    /// [`WalWriter::create`] with an explicit [`SyncPolicy`].
+    pub fn create_with_policy(
+        path: &Path,
+        flush_every: u32,
+        sync_policy: SyncPolicy,
+    ) -> std::io::Result<Self> {
         let file = OpenOptions::new()
             .create(true)
             .write(true)
@@ -153,6 +222,9 @@ impl WalWriter {
             offset: 0,
             pending: 0,
             flush_every: flush_every.max(1),
+            sync_policy,
+            since_sync: 0,
+            last_sync: Instant::now(),
             failed: false,
         })
     }
@@ -176,23 +248,75 @@ impl WalWriter {
         }
         self.offset += (WAL_RECORD_HEADER + payload.len()) as u64;
         self.pending += 1;
+        self.since_sync = self.since_sync.saturating_add(1);
         if self.pending >= self.flush_every {
             self.flush()?;
         }
         Ok(())
     }
 
-    /// Pushes buffered records to the OS. (Durability against an OS
-    /// crash would additionally need fsync; process-crash durability —
-    /// the SIGTERM/SIGKILL story — only needs the write to reach the
-    /// kernel.) A failed flush poisons the writer like a failed append.
+    /// Pushes buffered records to the kernel, then applies the
+    /// [`SyncPolicy`]: under `Never` that is all (acked reports survive
+    /// process kills but **not** OS crashes); under `GroupCommit` the
+    /// file is additionally `fdatasync`ed once the record- or time-bound
+    /// is due, which is what turns an ack into an OS-crash-durable one
+    /// (within one group of the policy's bounds). A failed flush or sync
+    /// poisons the writer like a failed append.
     pub fn flush(&mut self) -> std::io::Result<()> {
         if self.failed {
             return Err(wal_poisoned());
         }
-        match self.inner.flush() {
+        if let Err(e) = self.inner.flush() {
+            self.failed = true;
+            return Err(e);
+        }
+        self.pending = 0;
+        if let SyncPolicy::GroupCommit { records, max_delay } = self.sync_policy {
+            if self.since_sync >= records.max(1)
+                || (self.since_sync > 0 && self.last_sync.elapsed() >= max_delay)
+            {
+                return self.sync();
+            }
+        }
+        Ok(())
+    }
+
+    /// The time-based half of [`SyncPolicy::GroupCommit`], for periodic
+    /// callers outside the ack path (the server's maintenance thread):
+    /// if unsynced records have waited longer than `max_delay`, flush
+    /// and `fdatasync` them now. Returns `Ok(false)` without touching
+    /// the file under [`SyncPolicy::Never`], when nothing is pending,
+    /// when the delay has not elapsed, or when the writer is already
+    /// poisoned (the ack path surfaces that failure).
+    pub fn sync_if_due(&mut self) -> std::io::Result<bool> {
+        if self.failed {
+            return Ok(false);
+        }
+        let SyncPolicy::GroupCommit { max_delay, .. } = self.sync_policy else {
+            return Ok(false);
+        };
+        if self.since_sync == 0 || self.last_sync.elapsed() < max_delay {
+            return Ok(false);
+        }
+        self.sync().map(|()| true)
+    }
+
+    /// Forces buffered *and* kernel-held data onto stable storage
+    /// (`fdatasync`), regardless of policy. The caller must have flushed
+    /// or accept that this flushes first.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        if self.failed {
+            return Err(wal_poisoned());
+        }
+        let res = self
+            .inner
+            .flush()
+            .and_then(|()| self.inner.get_ref().sync_data());
+        match res {
             Ok(()) => {
                 self.pending = 0;
+                self.since_sync = 0;
+                self.last_sync = Instant::now();
                 Ok(())
             }
             Err(e) => {
@@ -281,52 +405,83 @@ pub fn replay_wal(
     }
 }
 
-/// Atomically writes shard counters plus the WAL byte offset they cover.
+/// Atomically writes shard counters plus the WAL byte offset they cover,
+/// and — in streaming deployments — the shard's window ring as of the
+/// same offset (`ring` is the blob from
+/// `WindowedAggregator::encode_ring`).
 pub fn write_shard_counts(
     path: &Path,
     counts: &AggregateCounts,
     wal_offset: u64,
+    ring: Option<&[u8]>,
 ) -> std::io::Result<()> {
+    let counts_snap = counts.encode_snapshot();
     let mut bytes = Vec::new();
     bytes.extend_from_slice(&SHARD_MAGIC);
-    bytes.extend_from_slice(&STORAGE_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&SHARD_VERSION.to_le_bytes());
     bytes.extend_from_slice(&wal_offset.to_le_bytes());
-    // The embedded snapshot carries its own CRC; this one guards the
+    // v2: the counts-snapshot length, so the ring's start is explicit.
+    bytes.extend_from_slice(&(counts_snap.len() as u64).to_le_bytes());
+    // The embedded snapshots carry their own CRCs; this one guards the
     // header — above all the covered-offset field, where a silent flip
     // would shift what recovery replays (double count or drop).
     let header_crc = crc32(&bytes);
     bytes.extend_from_slice(&header_crc.to_le_bytes());
-    bytes.extend_from_slice(&counts.encode_snapshot());
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
+    bytes.extend_from_slice(&counts_snap);
+    if let Some(ring) = ring {
+        bytes.extend_from_slice(ring);
     }
-    std::fs::rename(tmp, path)
+    write_blob_atomic(path, &bytes)
 }
 
-/// Reads a shard counter file back as `(counts, covered WAL offset)`,
-/// validating the header CRC before trusting the offset.
-pub fn read_shard_counts(path: &Path) -> Result<(AggregateCounts, u64), SnapshotError> {
+/// Reads a shard counter file back as `(counts, covered WAL offset, raw
+/// ring blob)`, validating the header CRC before trusting the offset.
+/// v1 files (pre-streaming) decode with no ring.
+pub fn read_shard_counts(
+    path: &Path,
+) -> Result<(AggregateCounts, u64, Option<Vec<u8>>), SnapshotError> {
     let bytes = std::fs::read(path).map_err(SnapshotError::from)?;
-    if bytes.len() < 18 {
+    if bytes.len() < 6 {
         return Err(SnapshotError::Truncated);
     }
     if bytes[0..4] != SHARD_MAGIC {
         return Err(SnapshotError::BadMagic);
     }
     let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
-    if version != STORAGE_VERSION {
-        return Err(SnapshotError::UnsupportedVersion(version));
+    match version {
+        1 => {
+            if bytes.len() < 18 {
+                return Err(SnapshotError::Truncated);
+            }
+            let stored_crc = u32::from_le_bytes(bytes[14..18].try_into().unwrap());
+            if crc32(&bytes[..14]) != stored_crc {
+                return Err(SnapshotError::BadCrc);
+            }
+            let offset = u64::from_le_bytes(bytes[6..14].try_into().unwrap());
+            let counts = AggregateCounts::decode_snapshot(&bytes[18..])?;
+            Ok((counts, offset, None))
+        }
+        2 => {
+            const HEADER: usize = 4 + 2 + 8 + 8;
+            if bytes.len() < HEADER + 4 {
+                return Err(SnapshotError::Truncated);
+            }
+            let stored_crc = u32::from_le_bytes(bytes[HEADER..HEADER + 4].try_into().unwrap());
+            if crc32(&bytes[..HEADER]) != stored_crc {
+                return Err(SnapshotError::BadCrc);
+            }
+            let offset = u64::from_le_bytes(bytes[6..14].try_into().unwrap());
+            let counts_len = u64::from_le_bytes(bytes[14..22].try_into().unwrap()) as usize;
+            let body = &bytes[HEADER + 4..];
+            if body.len() < counts_len {
+                return Err(SnapshotError::Truncated);
+            }
+            let counts = AggregateCounts::decode_snapshot(&body[..counts_len])?;
+            let ring = &body[counts_len..];
+            Ok((counts, offset, (!ring.is_empty()).then(|| ring.to_vec())))
+        }
+        v => Err(SnapshotError::UnsupportedVersion(v)),
     }
-    let stored_crc = u32::from_le_bytes(bytes[14..18].try_into().unwrap());
-    if crc32(&bytes[..14]) != stored_crc {
-        return Err(SnapshotError::BadCrc);
-    }
-    let offset = u64::from_le_bytes(bytes[6..14].try_into().unwrap());
-    let counts = AggregateCounts::decode_snapshot(&bytes[18..])?;
-    Ok((counts, offset))
 }
 
 /// Everything [`recover`] reconstructed and compacted.
@@ -334,6 +489,10 @@ pub fn read_shard_counts(path: &Path) -> Result<(AggregateCounts, u64), Snapshot
 pub struct Recovery {
     /// Exact counters as of the last durable byte.
     pub counts: AggregateCounts,
+    /// The restored sliding-window ring (streaming deployments only):
+    /// merged from the base ring, every shard's ring blob, and the
+    /// timestamped log tails — bit-identical to the pre-crash ring.
+    pub ring: Option<WindowedAggregator>,
     /// The fresh generation new server files must use.
     pub gen: u64,
     /// Reports replayed from log tails (not covered by any snapshot).
@@ -368,17 +527,20 @@ fn shard_indices(dir: &Path, gen: u64) -> std::io::Result<Vec<usize>> {
 
 /// Deletes every service file in `dir` that does not belong to
 /// generation `keep` (best-effort; leftovers are retried next recovery).
-fn sweep_stale_generations(dir: &Path, keep: u64) {
+/// Also the post-commit cleanup step of the server's online compaction.
+pub(crate) fn sweep_stale_generations(dir: &Path, keep: u64) {
     let keep_base = format!("base-{keep}.");
     let keep_shard = format!("shard-{keep}-");
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
+    let keep_ring = format!("ring-{keep}.");
     for entry in entries.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
         let stale = (name.starts_with("base-") && !name.starts_with(&keep_base))
             || (name.starts_with("shard-") && !name.starts_with(&keep_shard))
+            || (name.starts_with("ring-") && !name.starts_with(&keep_ring))
             || name.ends_with(".tmp");
         if stale {
             let _ = std::fs::remove_file(entry.path());
@@ -412,12 +574,19 @@ pub fn lock_dir(dir: &Path) -> std::io::Result<File> {
 /// then compacts into a fresh generation (see the module docs for the
 /// crash-safety argument). `region_tiles` defines the public universe;
 /// a snapshot recorded under a different universe size aborts recovery
-/// rather than mis-indexing counters. Takes the directory lock for the
-/// duration; [`crate::server::IngestServer`] uses the `_locked` variant
-/// under its own longer-lived lock.
-pub fn recover(dir: &Path, region_tiles: &[u16]) -> std::io::Result<Recovery> {
+/// rather than mis-indexing counters. `window` enables the streaming
+/// workload: the sliding-window ring is restored alongside the totals
+/// (a persisted ring with a different window shape aborts recovery).
+/// Takes the directory lock for the duration;
+/// [`crate::server::IngestServer`] uses the `_locked` variant under its
+/// own longer-lived lock.
+pub fn recover(
+    dir: &Path,
+    region_tiles: &[u16],
+    window: Option<WindowConfig>,
+) -> std::io::Result<Recovery> {
     let _lock = lock_dir(dir)?;
-    recover_locked(dir, region_tiles)
+    recover_locked(dir, region_tiles, window)
 }
 
 /// Read-only reconstruction: merges the same base + shard counters + log
@@ -425,31 +594,65 @@ pub fn recover(dir: &Path, region_tiles: &[u16]) -> std::io::Result<Recovery> {
 /// flip, no sweep. This is what inspection commands (`ingestd
 /// --dump-counts`) use, so that *looking* at a data directory can never
 /// delete a live server's logs.
-pub fn load(dir: &Path, region_tiles: &[u16]) -> std::io::Result<Recovery> {
+pub fn load(
+    dir: &Path,
+    region_tiles: &[u16],
+    window: Option<WindowConfig>,
+) -> std::io::Result<Recovery> {
     let _lock = lock_dir(dir)?;
-    reconstruct(dir, region_tiles)
+    reconstruct(dir, region_tiles, window)
 }
 
 /// [`recover`] without the locking — the caller must hold the directory
 /// lock (see [`lock_dir`]).
-pub(crate) fn recover_locked(dir: &Path, region_tiles: &[u16]) -> std::io::Result<Recovery> {
-    let rec = reconstruct(dir, region_tiles)?;
+pub(crate) fn recover_locked(
+    dir: &Path,
+    region_tiles: &[u16],
+    window: Option<WindowConfig>,
+) -> std::io::Result<Recovery> {
+    let rec = reconstruct(dir, region_tiles, window)?;
     // Compact: the merged state becomes the next generation's base, the
     // manifest flip makes it authoritative, and only then is the old
     // generation swept.
     write_snapshot_file(&base_path(dir, rec.gen), &rec.counts)?;
+    match &rec.ring {
+        Some(ring) => write_blob_atomic(&ring_path(dir, rec.gen), &ring.encode_ring())?,
+        // Not streaming: make sure no stale ring file (e.g. from a
+        // crashed online compaction into this same generation number)
+        // survives into the generation we are about to commit.
+        None => {
+            let _ = std::fs::remove_file(ring_path(dir, rec.gen));
+        }
+    }
     write_manifest(dir, rec.gen)?;
     sweep_stale_generations(dir, rec.gen);
     Ok(rec)
 }
 
+/// Atomic small-file write: tmp + fsync + rename (the manifest/snapshot
+/// idiom, for blobs that already self-validate).
+pub(crate) fn write_blob_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(tmp, path)
+}
+
 /// The shared reconstruction pass behind [`recover`] and [`load`]:
-/// returns the merged counters and the *next* generation number without
-/// touching the directory.
-fn reconstruct(dir: &Path, region_tiles: &[u16]) -> std::io::Result<Recovery> {
+/// returns the merged counters (and ring) and the *next* generation
+/// number without touching the directory.
+fn reconstruct(
+    dir: &Path,
+    region_tiles: &[u16],
+    window: Option<WindowConfig>,
+) -> std::io::Result<Recovery> {
     let num_regions = region_tiles.len();
     let gen = read_manifest(dir)?.unwrap_or(0);
     let mut total = AggregateCounts::new(num_regions);
+    let mut ring_total = window.map(|w| WindowedAggregator::new(region_tiles.to_vec(), w));
     let universe_check = |c: &AggregateCounts, what: &str| {
         if c.num_regions == num_regions {
             Ok(())
@@ -467,31 +670,59 @@ fn reconstruct(dir: &Path, region_tiles: &[u16]) -> std::io::Result<Recovery> {
         universe_check(&counts, "base snapshot")?;
         total.merge(&counts);
     }
+    if let (Some(ring_total), Some(w)) = (&mut ring_total, window) {
+        let ring_file = ring_path(dir, gen);
+        if ring_file.exists() {
+            let blob = std::fs::read(&ring_file)?;
+            let ring = WindowedAggregator::decode_ring(&blob, region_tiles, w)
+                .map_err(|e| std::io::Error::other(format!("base ring: {e}")))?;
+            ring_total.merge_ring(&ring);
+        }
+    }
 
     let mut replayed_reports = 0u64;
     let mut torn_tails = 0u64;
     for shard in shard_indices(dir, gen)? {
         let counts_file = shard_counts_path(dir, gen, shard);
-        let covered = if counts_file.exists() {
-            let (counts, offset) =
+        let (covered, ring_blob) = if counts_file.exists() {
+            let (counts, offset, ring_blob) =
                 read_shard_counts(&counts_file).map_err(std::io::Error::other)?;
             universe_check(&counts, "shard snapshot")?;
             total.merge(&counts);
-            offset
+            (offset, ring_blob)
         } else {
-            0
+            (0, None)
+        };
+        // The shard's ring as of `covered`; the tail replay below feeds
+        // the same ring, preserving the shard's own ingestion order (the
+        // WAL is that order), so the rebuilt shard ring is bit-identical
+        // to the pre-crash one.
+        let mut shard_ring = match (&ring_total, window, ring_blob) {
+            (Some(_), Some(w), Some(blob)) => Some(
+                WindowedAggregator::decode_ring(&blob, region_tiles, w)
+                    .map_err(|e| std::io::Error::other(format!("shard {shard} ring: {e}")))?,
+            ),
+            (Some(_), Some(w), None) => Some(WindowedAggregator::new(region_tiles.to_vec(), w)),
+            _ => None,
         };
         let mut tail = Aggregator::from_region_tiles(region_tiles.to_vec());
         let stats = replay_wal(&wal_path(dir, gen, shard), covered, |report| {
-            tail.ingest(&report)
+            if let Some(ring) = &mut shard_ring {
+                ring.ingest(&report);
+            }
+            tail.ingest(&report);
         })?;
         total.merge(tail.counts());
+        if let (Some(ring_total), Some(shard_ring)) = (&mut ring_total, &shard_ring) {
+            ring_total.merge_ring(shard_ring);
+        }
         replayed_reports += stats.reports;
         torn_tails += stats.torn_tail as u64;
     }
 
     Ok(Recovery {
         counts: total,
+        ring: ring_total,
         gen: gen + 1,
         replayed_reports,
         torn_tails,
@@ -505,6 +736,7 @@ mod tests {
     fn toy_report(i: u32) -> Report {
         let r = i % 5;
         Report {
+            t: (i as u64 / 40) * 60, // a new window every 40 reports
             eps_prime: 1.25,
             len: 2,
             unigrams: vec![(0, r), (1, (r + 1) % 5)],
@@ -512,6 +744,11 @@ mod tests {
             transitions: vec![(r, (r + 1) % 5)],
         }
     }
+
+    const WINDOW: WindowConfig = WindowConfig {
+        window_len: 60,
+        num_windows: 4,
+    };
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir =
@@ -576,6 +813,74 @@ mod tests {
     }
 
     #[test]
+    fn group_commit_policy_syncs_on_the_flush_path() {
+        let dir = tmp_dir("group-commit");
+        let path = wal_path(&dir, 0, 0);
+        let mut wal = WalWriter::create_with_policy(
+            &path,
+            4,
+            SyncPolicy::GroupCommit {
+                records: 8,
+                max_delay: Duration::from_secs(3600),
+            },
+        )
+        .unwrap();
+        for r in (0..20).map(toy_report) {
+            wal.append(&r.encode()).unwrap();
+        }
+        wal.flush().unwrap();
+        wal.sync().unwrap();
+        // Replay sees every record regardless of sync cadence.
+        let mut got = 0u32;
+        let stats = replay_wal(&path, 0, |_| got += 1).unwrap();
+        assert_eq!(got, 20);
+        assert!(!stats.torn_tail);
+        // A zero max_delay forces a sync at every flush; still exact.
+        let path2 = wal_path(&dir, 0, 1);
+        let mut wal2 = WalWriter::create_with_policy(
+            &path2,
+            1,
+            SyncPolicy::GroupCommit {
+                records: u32::MAX,
+                max_delay: Duration::from_millis(0),
+            },
+        )
+        .unwrap();
+        for r in (0..5).map(toy_report) {
+            wal2.append(&r.encode()).unwrap();
+        }
+        let mut got2 = 0u32;
+        replay_wal(&path2, 0, |_| got2 += 1).unwrap();
+        assert_eq!(got2, 5);
+
+        // The time bound works without further appends: sync_if_due is
+        // a no-op until max_delay elapses, then syncs the pending tail.
+        let path3 = wal_path(&dir, 0, 2);
+        let mut wal3 = WalWriter::create_with_policy(
+            &path3,
+            1_000, // never auto-flush by count
+            SyncPolicy::GroupCommit {
+                records: u32::MAX,
+                max_delay: Duration::from_millis(30),
+            },
+        )
+        .unwrap();
+        wal3.append(&toy_report(1).encode()).unwrap();
+        assert!(!wal3.sync_if_due().unwrap(), "delay not elapsed yet");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(wal3.sync_if_due().unwrap(), "overdue tail must sync");
+        assert!(!wal3.sync_if_due().unwrap(), "nothing pending after");
+        let mut got3 = 0u32;
+        replay_wal(&path3, 0, |_| got3 += 1).unwrap();
+        assert_eq!(got3, 1, "the synced record is on disk");
+        // Never-policy writers report no work, never an error.
+        let mut wal4 = WalWriter::create(&wal_path(&dir, 0, 3), 4).unwrap();
+        wal4.append(&toy_report(2).encode()).unwrap();
+        assert!(!wal4.sync_if_due().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn manifest_roundtrip_and_validation() {
         let dir = tmp_dir("manifest");
         assert_eq!(read_manifest(&dir).unwrap(), None);
@@ -597,16 +902,29 @@ mod tests {
             agg.ingest(&toy_report(i));
         }
         let path = shard_counts_path(&dir, 3, 1);
-        write_shard_counts(&path, agg.counts(), 1234).unwrap();
-        let (counts, offset) = read_shard_counts(&path).unwrap();
+        write_shard_counts(&path, agg.counts(), 1234, None).unwrap();
+        let (counts, offset, ring) = read_shard_counts(&path).unwrap();
         assert_eq!(&counts, agg.counts());
         assert_eq!(offset, 1234);
+        assert!(ring.is_none());
         // A flipped bit in the covered-offset field must fail the header
         // CRC, not silently shift what recovery replays.
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[8] ^= 0x04;
         std::fs::write(&path, &bytes).unwrap();
-        assert_eq!(read_shard_counts(&path), Err(SnapshotError::BadCrc));
+        assert_eq!(read_shard_counts(&path).unwrap_err(), SnapshotError::BadCrc);
+
+        // v2 with an embedded ring roundtrips both parts.
+        let mut ring = WindowedAggregator::new(vec![0; 5], WINDOW);
+        for i in 0..20 {
+            ring.ingest(&toy_report(i));
+        }
+        write_shard_counts(&path, agg.counts(), 99, Some(&ring.encode_ring())).unwrap();
+        let (counts, offset, blob) = read_shard_counts(&path).unwrap();
+        assert_eq!(&counts, agg.counts());
+        assert_eq!(offset, 99);
+        let back = WindowedAggregator::decode_ring(&blob.unwrap(), &[0u16; 5], WINDOW).unwrap();
+        assert_eq!(back.merged(), ring.merged());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -626,8 +944,13 @@ mod tests {
             s0.ingest(r);
             if s0.counts().num_reports == 60 {
                 wal0.flush().unwrap();
-                write_shard_counts(&shard_counts_path(&dir, 0, 0), s0.counts(), wal0.offset())
-                    .unwrap();
+                write_shard_counts(
+                    &shard_counts_path(&dir, 0, 0),
+                    s0.counts(),
+                    wal0.offset(),
+                    None,
+                )
+                .unwrap();
             }
         }
         wal0.flush().unwrap();
@@ -637,13 +960,14 @@ mod tests {
         }
         wal1.flush().unwrap();
 
-        let rec = recover(&dir, &tiles).unwrap();
+        let rec = recover(&dir, &tiles, None).unwrap();
         let mut direct = Aggregator::from_region_tiles(tiles.clone());
         for r in &reports {
             direct.ingest(r);
         }
         assert_eq!(&rec.counts, direct.counts(), "bit-identical recovery");
         assert_eq!(rec.gen, 1);
+        assert!(rec.ring.is_none(), "no window config, no ring");
         assert_eq!(rec.replayed_reports, 140, "40 tail + 100 unsnapshotted");
         assert_eq!(read_manifest(&dir).unwrap(), Some(1));
         // Old generation swept, compacted base present.
@@ -652,13 +976,149 @@ mod tests {
         assert!(base_path(&dir, 1).exists());
 
         // A second recovery (nothing new) is idempotent.
-        let rec2 = recover(&dir, &tiles).unwrap();
+        let rec2 = recover(&dir, &tiles, None).unwrap();
         assert_eq!(rec2.counts, rec.counts);
         assert_eq!(rec2.gen, 2);
         assert_eq!(rec2.replayed_reports, 0);
 
         // Universe mismatch is refused outright.
-        assert!(recover(&dir, &[0u16; 9]).is_err());
+        assert!(recover(&dir, &[0u16; 9], None).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_restores_the_window_ring_bit_identically() {
+        let dir = tmp_dir("ring-recover");
+        let tiles = vec![0u16; 5];
+        let reports: Vec<Report> = (0..300).map(toy_report).collect();
+
+        // Two shards, round-robin. Shard 0 snapshots (counts + ring)
+        // mid-stream, leaving a tail; shard 1 has log only.
+        let mut rings = [
+            WindowedAggregator::new(tiles.clone(), WINDOW),
+            WindowedAggregator::new(tiles.clone(), WINDOW),
+        ];
+        let mut aggs = [
+            Aggregator::from_region_tiles(tiles.clone()),
+            Aggregator::from_region_tiles(tiles.clone()),
+        ];
+        let mut wals = [
+            WalWriter::create(&wal_path(&dir, 0, 0), 4).unwrap(),
+            WalWriter::create(&wal_path(&dir, 0, 1), 4).unwrap(),
+        ];
+        for (i, r) in reports.iter().enumerate() {
+            let s = i % 2;
+            wals[s].append(&r.encode()).unwrap();
+            aggs[s].ingest(r);
+            rings[s].ingest(r);
+            if i == 149 {
+                wals[0].flush().unwrap();
+                write_shard_counts(
+                    &shard_counts_path(&dir, 0, 0),
+                    aggs[0].counts(),
+                    wals[0].offset(),
+                    Some(&rings[0].encode_ring()),
+                )
+                .unwrap();
+            }
+        }
+        wals[0].flush().unwrap();
+        wals[1].flush().unwrap();
+
+        // Reference: the global ring an uninterrupted run would hold.
+        let mut expected_ring = WindowedAggregator::new(tiles.clone(), WINDOW);
+        for r in &reports {
+            expected_ring.ingest(r);
+        }
+
+        let rec = recover(&dir, &tiles, Some(WINDOW)).unwrap();
+        let ring = rec.ring.expect("window config requested a ring");
+        assert_eq!(ring.merged(), expected_ring.merged(), "bit-identical ring");
+        assert_eq!(ring.newest_window(), expected_ring.newest_window());
+        for (id, counts) in expected_ring.windows() {
+            assert_eq!(ring.window_counts(id), Some(counts), "window {id}");
+        }
+        // The compacted generation persists the ring; a second recovery
+        // reads it back identically with nothing to replay.
+        assert!(ring_path(&dir, 1).exists());
+        let rec2 = recover(&dir, &tiles, Some(WINDOW)).unwrap();
+        assert_eq!(rec2.replayed_reports, 0);
+        assert_eq!(
+            rec2.ring.unwrap().merged(),
+            expected_ring.merged(),
+            "ring survives compaction"
+        );
+        // A mismatched window shape is refused, not re-bucketed.
+        assert!(recover(
+            &dir,
+            &tiles,
+            Some(WindowConfig {
+                window_len: 30,
+                num_windows: 4
+            })
+        )
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_during_online_compaction_recovers_from_the_old_generation() {
+        // Simulates a crash *between* writing the next generation's files
+        // and flipping the manifest — the window online compaction opens.
+        // Until the flip, generation g stays authoritative and the
+        // half-built g+1 files must be swept, never merged.
+        let dir = tmp_dir("compaction-crash");
+        let tiles = vec![0u16; 5];
+        let reports: Vec<Report> = (0..120).map(toy_report).collect();
+
+        let mut agg = Aggregator::from_region_tiles(tiles.clone());
+        let mut wal = WalWriter::create(&wal_path(&dir, 0, 0), 4).unwrap();
+        for r in &reports {
+            wal.append(&r.encode()).unwrap();
+            agg.ingest(r);
+        }
+        wal.flush().unwrap();
+        write_manifest(&dir, 0).unwrap();
+
+        // "Crashed compaction": base-1 written with *partial* state (as
+        // if counters were still being merged), a fresh empty gen-1 WAL
+        // created — but no manifest flip.
+        let mut partial = Aggregator::from_region_tiles(tiles.clone());
+        for r in &reports[..30] {
+            partial.ingest(r);
+        }
+        write_snapshot_file(&base_path(&dir, 1), partial.counts()).unwrap();
+        WalWriter::create(&wal_path(&dir, 1, 0), 4).unwrap();
+
+        let rec = recover(&dir, &tiles, None).unwrap();
+        assert_eq!(
+            &rec.counts,
+            agg.counts(),
+            "gen 0 stays authoritative; half-built gen 1 ignored"
+        );
+        assert_eq!(rec.replayed_reports, 120);
+        assert_eq!(read_manifest(&dir).unwrap(), Some(1));
+        // Recovery overwrote the half-built base with the full state (a
+        // crashed compaction's new logs are always still *empty* — acks
+        // only land in them after the manifest flip — so the leftover
+        // gen-1 WAL replays nothing).
+        assert_eq!(
+            read_snapshot_file(&base_path(&dir, 1)).unwrap(),
+            rec.counts,
+            "base-1 now holds the full recovered state"
+        );
+        let rec2 = recover(&dir, &tiles, None).unwrap();
+        assert_eq!(&rec2.counts, agg.counts(), "idempotent after the sweep");
+        assert_eq!(rec2.replayed_reports, 0);
+        // Same crash shape with a stale *ring* leftover: a non-streaming
+        // recovery must not let it leak into the committed generation.
+        std::fs::write(ring_path(&dir, 3), b"stale").unwrap();
+        let rec3 = recover(&dir, &tiles, None).unwrap();
+        assert_eq!(rec3.gen, 3);
+        assert!(
+            !ring_path(&dir, 3).exists(),
+            "stale ring file must not survive into the committed generation"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -9,15 +9,22 @@ use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
-use trajshare_aggregate::{Aggregator, Report};
-use trajshare_service::{stream_reports, IngestServer, ServerConfig};
+use trajshare_aggregate::{Aggregator, Report, WindowConfig, WindowedAggregator};
+use trajshare_service::{
+    stream_reports, IngestServer, ServerConfig, StreamServerConfig, SyncPolicy,
+};
 
 const REGIONS: usize = 6;
 
 fn toy_report(i: u32) -> Report {
+    toy_report_at(i, 0)
+}
+
+fn toy_report_at(i: u32, t: u64) -> Report {
     let a = i % REGIONS as u32;
     let b = (a + 1) % REGIONS as u32;
     Report {
+        t,
         eps_prime: 0.75,
         len: 2,
         unigrams: vec![(0, a), (1, b)],
@@ -117,7 +124,7 @@ fn data_dir_lock_refuses_second_server_and_load_is_read_only() {
     // A second server (or any recovery) on a live directory must be
     // refused — compacting under a running server would unlink its WALs.
     assert!(IngestServer::start(cfg.clone()).is_err());
-    assert!(trajshare_service::load(&dir, &[0u16; REGIONS]).is_err());
+    assert!(trajshare_service::load(&dir, &[0u16; REGIONS], None).is_err());
 
     let reports: Vec<Report> = (0..100).map(toy_report).collect();
     assert_eq!(stream_reports(server.addr(), &reports, 2).unwrap(), 100);
@@ -125,9 +132,9 @@ fn data_dir_lock_refuses_second_server_and_load_is_read_only() {
 
     // After shutdown the lock is free; load() reconstructs without
     // advancing the generation (read-only inspection).
-    let loaded = trajshare_service::load(&dir, &[0u16; REGIONS]).unwrap();
+    let loaded = trajshare_service::load(&dir, &[0u16; REGIONS], None).unwrap();
     assert_eq!(loaded.counts, expected);
-    let again = trajshare_service::load(&dir, &[0u16; REGIONS]).unwrap();
+    let again = trajshare_service::load(&dir, &[0u16; REGIONS], None).unwrap();
     assert_eq!(again.gen, loaded.gen, "load must not compact or advance");
 
     let server2 = IngestServer::start(cfg).unwrap();
@@ -230,6 +237,165 @@ fn eof_mid_frame_gets_no_ack_but_keeps_complete_reports() {
     }));
     assert_eq!(server.counts(), direct_counts(&[good]));
     server.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn windowed_server_publishes_and_recovers_the_ring() {
+    let (mut cfg, dir) = config("window");
+    let window = WindowConfig {
+        window_len: 60,
+        num_windows: 3,
+    };
+    cfg.stream = Some(StreamServerConfig {
+        window,
+        publish_every: Duration::from_millis(50),
+    });
+    let server = IngestServer::start(cfg.clone()).unwrap();
+
+    // Windows 0, 1, 2 live; then window 3 evicts window 0.
+    let reports: Vec<Report> = (0..800)
+        .map(|i| toy_report_at(i, (i as u64 % 4) * 60))
+        .collect();
+    assert_eq!(
+        stream_reports(server.addr(), &reports, 4).unwrap(),
+        reports.len() as u64
+    );
+    // Reference ring: serial ingestion of the same reports.
+    let mut expected = WindowedAggregator::new(vec![0u16; REGIONS], window);
+    for r in &reports {
+        expected.ingest(r);
+    }
+    let view = server.windowed_counts().expect("streaming enabled");
+    assert_eq!(
+        view.merged(),
+        expected.merged(),
+        "bit-identical window view"
+    );
+    assert_eq!(view.newest_window(), 3);
+    assert!(view.window_counts(0).is_none(), "window 0 evicted");
+    for (id, counts) in expected.windows() {
+        assert_eq!(view.window_counts(id), Some(counts), "window {id}");
+    }
+    // The publication thread reports the same shape.
+    assert!(
+        wait_until(Duration::from_secs(5), || server
+            .latest_publication()
+            .map(|p| p.merged_reports == expected.merged().num_reports)
+            .unwrap_or(false)),
+        "no publication with the full merged view arrived"
+    );
+    let p = server.latest_publication().unwrap();
+    assert_eq!(p.newest_window, 3);
+    assert_eq!(p.windows.len(), expected.windows().len());
+
+    // Crash (no final snapshot); the restarted, re-sharded server must
+    // restore the ring bit-identically from ring blobs + WAL tails.
+    server.crash();
+    let mut cfg2 = cfg.clone();
+    cfg2.workers = 1;
+    let server2 = IngestServer::start(cfg2).unwrap();
+    let restored = server2.windowed_counts().unwrap();
+    assert_eq!(restored.merged(), expected.merged(), "ring survives crash");
+    for (id, counts) in expected.windows() {
+        assert_eq!(restored.window_counts(id), Some(counts));
+    }
+    // And it keeps sliding after the restart.
+    let more: Vec<Report> = (0..100).map(|i| toy_report_at(i, 4 * 60)).collect();
+    assert_eq!(stream_reports(server2.addr(), &more, 2).unwrap(), 100);
+    for r in &more {
+        expected.ingest(r);
+    }
+    let after = server2.windowed_counts().unwrap();
+    assert_eq!(after.merged(), expected.merged());
+    assert_eq!(after.newest_window(), 4);
+    server2.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn online_compaction_bounds_wal_size_and_keeps_counters_exact() {
+    let (mut cfg, dir) = config("compact");
+    cfg.workers = 2;
+    // Tiny WAL budget: a few dozen records trip compaction.
+    cfg.wal_max_bytes = 2_048;
+    cfg.stream = Some(StreamServerConfig {
+        window: WindowConfig {
+            window_len: 60,
+            num_windows: 3,
+        },
+        publish_every: Duration::from_millis(100),
+    });
+    let server = IngestServer::start(cfg.clone()).unwrap();
+    let reports: Vec<Report> = (0..3_000)
+        .map(|i| toy_report_at(i, (i as u64 / 1_500) * 60))
+        .collect();
+    assert_eq!(
+        stream_reports(server.addr(), &reports, 4).unwrap(),
+        reports.len() as u64
+    );
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            server.stats().compactions.load(Ordering::Relaxed) >= 1
+        }),
+        "no online compaction despite a tiny WAL budget"
+    );
+    let gen_after = server.generation();
+    assert!(gen_after > 1, "generation must bump on compaction");
+    // Totals and window view stay exact through any number of folds.
+    assert_eq!(server.counts(), direct_counts(&reports));
+    let mut expected_ring =
+        WindowedAggregator::new(vec![0u16; REGIONS], cfg.stream.as_ref().unwrap().window);
+    for r in &reports {
+        expected_ring.ingest(r);
+    }
+    assert_eq!(
+        server.windowed_counts().unwrap().merged(),
+        expected_ring.merged()
+    );
+    // Old-generation files are deleted: disk usage is bounded.
+    let gen_of = |name: &str| -> Option<u64> {
+        let rest = name
+            .strip_prefix("shard-")
+            .or_else(|| name.strip_prefix("base-"))
+            .or_else(|| name.strip_prefix("ring-"))?;
+        rest.split(['-', '.']).next()?.parse().ok()
+    };
+    let stale: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter_map(|e| e.file_name().to_str().map(String::from))
+        .filter(|n| matches!(gen_of(n), Some(g) if g != gen_after))
+        .collect();
+    assert!(stale.is_empty(), "stale generation files remain: {stale:?}");
+
+    // Crash right after compactions; recovery must still be exact.
+    server.crash();
+    let server2 = IngestServer::start(cfg.clone()).unwrap();
+    assert_eq!(server2.counts(), direct_counts(&reports));
+    assert_eq!(
+        server2.windowed_counts().unwrap().merged(),
+        expected_ring.merged()
+    );
+    server2.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn group_commit_sync_policy_keeps_the_ack_contract() {
+    let (mut cfg, dir) = config("fsync");
+    cfg.sync_policy = SyncPolicy::GroupCommit {
+        records: 32,
+        max_delay: Duration::from_millis(20),
+    };
+    let server = IngestServer::start(cfg.clone()).unwrap();
+    let reports: Vec<Report> = (0..500).map(toy_report).collect();
+    assert_eq!(stream_reports(server.addr(), &reports, 3).unwrap(), 500);
+    assert_eq!(server.counts(), direct_counts(&reports));
+    server.crash();
+    let server2 = IngestServer::start(cfg).unwrap();
+    assert_eq!(server2.counts(), direct_counts(&reports));
+    server2.crash();
     let _ = std::fs::remove_dir_all(&dir);
 }
 

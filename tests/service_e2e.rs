@@ -9,14 +9,17 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
-use trajshare_aggregate::{aggregate_reports, collect_reports, region_tiles, MobilityModel};
+use trajshare_aggregate::{
+    aggregate_reports, collect_reports, region_tiles, Aggregator, FrequencyEstimator,
+    MobilityModel, Report, WindowConfig, WindowedAggregator,
+};
 use trajshare_core::{MechanismConfig, NGramMechanism};
 use trajshare_datagen::{
     generate_taxi_foursquare, CityConfig, SyntheticCity, TaxiFoursquareConfig,
 };
 use trajshare_hierarchy::builders::foursquare;
 use trajshare_model::{Dataset, TrajectorySet};
-use trajshare_service::{stream_reports, IngestServer, ServerConfig};
+use trajshare_service::{stream_reports, IngestServer, ServerConfig, StreamServerConfig};
 
 const NUM_USERS: usize = 10_000;
 const EPSILON: f64 = 5.0;
@@ -119,5 +122,137 @@ fn stream_kill_restore_recovers_bit_identical_counters() {
 
     let final_counts = server2.shutdown().unwrap();
     assert_eq!(final_counts, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// ISSUE 3 acceptance: timestamped mechanism reports streamed into the
+/// service produce per-window counters bit-identical to a batch
+/// aggregation of the same window's reports (and estimates within 1e-9
+/// L1), and the sliding ring survives a kill/restart *mid-window*.
+#[test]
+fn streaming_windows_match_batch_and_survive_midwindow_kill() {
+    const WINDOW_LEN: u64 = 3_600;
+    let window = WindowConfig {
+        window_len: WINDOW_LEN,
+        num_windows: 3,
+    };
+    let (dataset, real) = world();
+    let mech = NGramMechanism::build(&dataset, &MechanismConfig::default().with_epsilon(EPSILON));
+    // 4 cohorts: windows 0 and 1 complete before the crash, window 2 is
+    // cut in half by it, window 4 (later) forces eviction.
+    let mut reports = collect_reports(&mech, &real, 97);
+    let cohort = reports.len() / 4;
+    for (i, r) in reports.iter_mut().enumerate() {
+        r.t = (i / cohort).min(3) as u64 * WINDOW_LEN;
+    }
+    let (w01, rest) = reports.split_at(2 * cohort);
+    let (w2_first, w2_rest) = rest.split_at(cohort / 2);
+
+    // Batch references, one aggregation per window.
+    let batch_window = |w: u64, rs: &[Report]| {
+        let mut agg = Aggregator::new(mech.regions());
+        let filtered: Vec<Report> = rs
+            .iter()
+            .filter(|r| r.t / WINDOW_LEN == w)
+            .cloned()
+            .collect();
+        agg.ingest_batch(&filtered);
+        agg.into_counts()
+    };
+
+    let dir = std::env::temp_dir().join(format!("trajshare-e2e-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = ServerConfig::new(&dir, region_tiles(mech.regions()));
+    cfg.workers = 4;
+    cfg.snapshot_every = 700; // several ring-bearing snapshots mid-stream
+    cfg.wal_flush_every = 32;
+    cfg.read_timeout = Duration::from_secs(10);
+    cfg.stream = Some(StreamServerConfig {
+        window,
+        publish_every: Duration::from_millis(100),
+    });
+
+    let server = IngestServer::start(cfg.clone()).unwrap();
+    assert_eq!(
+        stream_reports(server.addr(), w01, 6).unwrap(),
+        w01.len() as u64
+    );
+    assert_eq!(
+        stream_reports(server.addr(), w2_first, 3).unwrap(),
+        w2_first.len() as u64
+    );
+
+    // Live view: every window bit-identical to its batch reference.
+    let view = server.windowed_counts().expect("streaming server");
+    let streamed: Vec<Report> = w01.iter().chain(w2_first).cloned().collect();
+    for w in 0..=2u64 {
+        let expect = batch_window(w, &streamed);
+        assert_eq!(
+            view.window_counts(w),
+            Some(&expect),
+            "window {w} counters must be bit-identical to batch"
+        );
+    }
+    // Merged view = batch aggregation of all live reports; estimates
+    // over both are then within 1e-9 L1 (same deterministic estimator
+    // on identical counters).
+    let merged_batch = aggregate_reports(mech.regions(), &streamed);
+    assert_eq!(view.merged(), &merged_batch);
+    let est = FrequencyEstimator::Ibu { iters: 60 };
+    let m_live = MobilityModel::estimate_with(view.merged(), mech.graph(), est);
+    let m_batch = MobilityModel::estimate_with(&merged_batch, mech.graph(), est);
+    let l1 = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
+    assert!(l1(&m_live.occupancy, &m_batch.occupancy) < 1e-9);
+    assert!(l1(&m_live.start, &m_batch.start) < 1e-9);
+    assert!(l1(&m_live.transition, &m_batch.transition) < 1e-9);
+
+    // Kill mid-window (no clean shutdown), restart re-sharded: the ring
+    // must come back bit-identically from ring blobs + WAL tails.
+    server.crash();
+    let mut cfg2 = cfg.clone();
+    cfg2.workers = 2;
+    let server2 = IngestServer::start(cfg2).unwrap();
+    let restored = server2.windowed_counts().unwrap();
+    assert_eq!(restored.merged(), &merged_batch, "ring survives the kill");
+    for w in 0..=2u64 {
+        assert_eq!(restored.window_counts(w), Some(&batch_window(w, &streamed)));
+    }
+
+    // The rest of window 2 streams into the restored ring seamlessly...
+    assert_eq!(
+        stream_reports(server2.addr(), w2_rest, 3).unwrap(),
+        w2_rest.len() as u64
+    );
+    let full: Vec<Report> = reports.clone();
+    let view2 = server2.windowed_counts().unwrap();
+    assert_eq!(
+        view2.window_counts(2),
+        Some(&batch_window(2, &full)),
+        "mid-window kill must not split window 2's counters"
+    );
+    // ...and a later window slides the span: window 4 evicts 0 and 1.
+    let w4: Vec<Report> = full[..cohort / 3]
+        .iter()
+        .map(|r| r.clone().at(4 * WINDOW_LEN))
+        .collect();
+    assert_eq!(
+        stream_reports(server2.addr(), &w4, 2).unwrap(),
+        w4.len() as u64
+    );
+    let view3 = server2.windowed_counts().unwrap();
+    assert_eq!(view3.newest_window(), 4);
+    assert!(view3.window_counts(0).is_none(), "window 0 evicted");
+    assert!(view3.window_counts(1).is_none(), "window 1 evicted");
+    let mut expected_tail = WindowedAggregator::new(region_tiles(mech.regions()), window);
+    for r in full.iter().chain(&w4) {
+        expected_tail.ingest(r);
+    }
+    assert_eq!(
+        view3.merged(),
+        expected_tail.merged(),
+        "post-eviction merged view matches a from-scratch ring"
+    );
+
+    server2.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
