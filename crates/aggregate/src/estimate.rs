@@ -21,6 +21,10 @@
 //! from the survivors) to restore a frequency vector without re-biasing
 //! the large entries.
 
+use crate::linalg::{
+    matmul, matmul_nt, restricted_nt, spmm, transpose, w2_normalizers, CsrPattern,
+};
+use rayon::prelude::*;
 use trajshare_core::{RegionGraph, RegionId};
 use trajshare_mech::ExponentialMechanism;
 
@@ -220,6 +224,571 @@ pub fn ibu_frequencies(channel: &EmChannel, counts: &[u64], iters: usize) -> Vec
     ibu_frequencies_with_init(channel, counts, iters, None)
 }
 
+/// Which kernel implementation the IBU estimators run on. One flag flips
+/// the whole estimate → markov → stream → service chain (see
+/// [`IbuSolver`], `MobilityModel::estimate_with`, `StreamingEstimator`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstimatorBackend {
+    /// The serial reference loops. Bit-for-bit the historical results —
+    /// the baseline every other backend is validated against. `O(|R|³)`
+    /// per joint iteration.
+    #[default]
+    Dense,
+    /// The same product-channel model on blocked, rayon-parallel matmul
+    /// kernels ([`crate::linalg`]). Identical accumulation order per
+    /// output element, so it tracks `Dense` to float reassociation noise
+    /// (the unigram path pre-divides the observation weights; everything
+    /// else is bit-identical). Still `O(|R|³)` work per joint iteration,
+    /// spread across cores.
+    Blocked,
+    /// The `W₂`-aware sparse model: the joint channel is the product
+    /// channel *restricted to feasible bigrams and renormalized* by
+    /// `Z(x, x′) = Σ_{(y,y′)∈W₂} M[y|x]·M[y′|x′]` — the importance
+    /// reweighting that closes the separable-channel approximation the
+    /// dense model documents. Joint iterations touch only `W₂` cells:
+    /// `O(|W₂|·|R|)` instead of `O(|R|³)`, and the estimate carries
+    /// **exactly zero** mass on infeasible bigrams by construction
+    /// (no post-hoc masking). Unigram estimation (no bigram structure)
+    /// uses the `Blocked` kernels.
+    SparseW2,
+}
+
+impl EstimatorBackend {
+    /// All backends, for sweeps.
+    pub const ALL: [EstimatorBackend; 3] = [
+        EstimatorBackend::Dense,
+        EstimatorBackend::Blocked,
+        EstimatorBackend::SparseW2,
+    ];
+
+    /// CLI name (`dense` / `blocked` / `sparse-w2`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EstimatorBackend::Dense => "dense",
+            EstimatorBackend::Blocked => "blocked",
+            EstimatorBackend::SparseW2 => "sparse-w2",
+        }
+    }
+
+    /// Parses a CLI name (accepts `sparse` for `sparse-w2`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "dense" => Some(EstimatorBackend::Dense),
+            "blocked" => Some(EstimatorBackend::Blocked),
+            "sparse-w2" | "sparse_w2" | "sparse" => Some(EstimatorBackend::SparseW2),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EstimatorBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Reused kernel workspace. Every matrix-sized buffer the IBU
+/// iterations need lives here once, sized lazily — iterations (and,
+/// when the solver is owned by a streaming estimator, whole ticks)
+/// allocate no `n²` memory. (The parallel kernels still build small
+/// per-call work lists inside the rayon layer.)
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Channel transpose `mt[x·n + y] = M[y|x]` (Blocked / SparseW₂).
+    mt: Vec<f64>,
+    /// `M·F` (dense/blocked joint) or `M·G` (sparse joint), `n²`.
+    mf: Vec<f64>,
+    /// Expected observation distribution (dense/blocked joint), `n²`.
+    denom_m: Vec<f64>,
+    /// `obs / denom` (dense/blocked joint), `n²`.
+    ratio_m: Vec<f64>,
+    /// `Mᵀ·ratio` (dense/blocked joint) or `Mᵀ·R` (sparse), `n²`.
+    mt_ratio: Vec<f64>,
+    /// Back-projection `B` (dense/blocked joint), `n²`.
+    backproj: Vec<f64>,
+    /// Normalized observations (`n` or `n²`).
+    obs: Vec<f64>,
+    /// Unigram expected-observation vector, `n`.
+    denom_v: Vec<f64>,
+    /// Unigram observation weights `obs/denom`, `n` (blocked path).
+    weight: Vec<f64>,
+    /// Unigram next iterate, `n`.
+    next: Vec<f64>,
+    /// Sparse-path `nnz`-indexed values.
+    sv_obs: Vec<f64>,
+    sv_g: Vec<f64>,
+    sv_z: Vec<f64>,
+    sv_denom: Vec<f64>,
+    sv_ratio: Vec<f64>,
+    sv_b: Vec<f64>,
+    /// Warm-start projection onto the pattern, `nnz`.
+    sv_init: Vec<f64>,
+}
+
+/// Sizes `buf` to `len` zeros unless it already has exactly that length
+/// (stale content is fine — every user either assigns or zero-fills).
+fn ensure(buf: &mut Vec<f64>, len: usize) {
+    if buf.len() != len {
+        buf.clear();
+        buf.resize(len, 0.0);
+    }
+}
+
+/// The IBU estimation engine: a chosen [`EstimatorBackend`] plus the
+/// reused scratch space its kernels run in. One solver serves any number
+/// of estimates (a `MobilityModel` fit runs four; a streaming estimator
+/// keeps one across every tick) without re-allocating per iteration —
+/// the `vec![0.0; n·n] × 4` per joint iteration the dense reference used
+/// to burn is gone for all backends, including `Dense` itself.
+#[derive(Debug, Clone, Default)]
+pub struct IbuSolver {
+    backend: EstimatorBackend,
+    scratch: Scratch,
+}
+
+impl IbuSolver {
+    /// A solver running on `backend`.
+    pub fn new(backend: EstimatorBackend) -> Self {
+        IbuSolver {
+            backend,
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// The backend this solver dispatches to.
+    #[inline]
+    pub fn backend(&self) -> EstimatorBackend {
+        self.backend
+    }
+
+    /// Unigram IBU (see [`ibu_frequencies_with_init`]) on this solver's
+    /// backend. `Dense` is bit-identical to the free function;
+    /// `Blocked`/`SparseW2` run the parallel kernels (the unigram channel
+    /// has no `W₂` structure, so `SparseW2` shares the blocked path).
+    pub fn frequencies(
+        &mut self,
+        channel: &EmChannel,
+        counts: &[u64],
+        iters: usize,
+        init: Option<&[f64]>,
+    ) -> Vec<f64> {
+        let n = channel.len();
+        assert_eq!(counts.len(), n);
+        if let Some(init) = init {
+            assert_eq!(init.len(), n, "warm-start prior has the wrong universe");
+        }
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; n];
+        }
+        match self.backend {
+            EstimatorBackend::Dense => self.frequencies_dense(channel, counts, total, iters, init),
+            EstimatorBackend::Blocked | EstimatorBackend::SparseW2 => {
+                self.frequencies_blocked(channel, counts, total, iters, init)
+            }
+        }
+    }
+
+    /// Joint (transition) IBU on this solver's backend. `Dense`/`Blocked`
+    /// run the separable product-channel model (bit-identical /
+    /// reassociation-identical to [`ibu_joint_with_init`]); `SparseW2`
+    /// runs the `W₂`-normalized model over `w2` and **requires** the
+    /// pattern. A warm-start `init` is always the dense `n²` layout, so
+    /// posteriors survive backend changes (the sparse path projects onto
+    /// its pattern).
+    pub fn joint(
+        &mut self,
+        channel: &EmChannel,
+        counts: &[u64],
+        iters: usize,
+        init: Option<&[f64]>,
+        w2: Option<&CsrPattern>,
+    ) -> Vec<f64> {
+        let n = channel.len();
+        assert_eq!(counts.len(), n * n);
+        if let Some(init) = init {
+            assert_eq!(init.len(), n * n, "warm-start prior has the wrong universe");
+        }
+        match self.backend {
+            EstimatorBackend::Dense => self.joint_dense(channel, counts, iters, init),
+            EstimatorBackend::Blocked => self.joint_blocked(channel, counts, iters, init),
+            EstimatorBackend::SparseW2 => {
+                let pattern = w2.expect("SparseW2 backend requires a W₂ pattern");
+                assert_eq!(pattern.len(), n, "W₂ pattern universe mismatch");
+                self.joint_sparse(channel, counts, iters, init, pattern)
+            }
+        }
+    }
+
+    /// The historical serial unigram loop, allocations hoisted.
+    fn frequencies_dense(
+        &mut self,
+        channel: &EmChannel,
+        counts: &[u64],
+        total: u64,
+        iters: usize,
+        init: Option<&[f64]>,
+    ) -> Vec<f64> {
+        let n = channel.len();
+        let s = &mut self.scratch;
+        ensure(&mut s.obs, n);
+        ensure(&mut s.denom_v, n);
+        ensure(&mut s.next, n);
+        for (o, &c) in s.obs.iter_mut().zip(counts) {
+            *o = c as f64 / total as f64;
+        }
+        let obs = &s.obs;
+        let mut f = floored_start(init.unwrap_or(obs), n);
+        let denom = &mut s.denom_v;
+        let next = &mut s.next;
+        for _ in 0..iters {
+            // denom[y] = Σ_x M[y|x] f[x]
+            for y in 0..n {
+                let row = &channel.m[y * n..(y + 1) * n];
+                denom[y] = row.iter().zip(&f).map(|(m, fx)| m * fx).sum();
+            }
+            for x in 0..n {
+                let mut acc = 0.0;
+                for y in 0..n {
+                    if obs[y] > 0.0 && denom[y] > 0.0 {
+                        acc += obs[y] * channel.m[y * n + x] / denom[y];
+                    }
+                }
+                next[x] = f[x] * acc;
+            }
+            let mass: f64 = next.iter().sum();
+            if mass <= 0.0 {
+                break;
+            }
+            for (fx, nx) in f.iter_mut().zip(next.iter()) {
+                *fx = nx / mass;
+            }
+        }
+        f
+    }
+
+    /// Parallel unigram path: the expectation and back-projection
+    /// matvecs run over row blocks, and the per-output inner loop reads
+    /// the cached channel transpose contiguously. The observation weight
+    /// `obs[y]/denom[y]` is divided once (not per `x`), which is the one
+    /// floating-point difference from the dense reference.
+    fn frequencies_blocked(
+        &mut self,
+        channel: &EmChannel,
+        counts: &[u64],
+        total: u64,
+        iters: usize,
+        init: Option<&[f64]>,
+    ) -> Vec<f64> {
+        let n = channel.len();
+        let s = &mut self.scratch;
+        ensure(&mut s.obs, n);
+        ensure(&mut s.denom_v, n);
+        ensure(&mut s.weight, n);
+        ensure(&mut s.next, n);
+        ensure(&mut s.mt, n * n);
+        for (o, &c) in s.obs.iter_mut().zip(counts) {
+            *o = c as f64 / total as f64;
+        }
+        transpose(&channel.m, n, &mut s.mt);
+        let obs = &s.obs;
+        let m = &channel.m;
+        let mt = &s.mt;
+        let mut f = floored_start(init.unwrap_or(obs), n);
+        const CHUNK: usize = 64;
+        for _ in 0..iters {
+            {
+                let f = &f;
+                s.denom_v
+                    .par_chunks_mut(CHUNK)
+                    .enumerate()
+                    .for_each(|(ci, chunk)| {
+                        for (off, d) in chunk.iter_mut().enumerate() {
+                            let y = ci * CHUNK + off;
+                            let row = &m[y * n..(y + 1) * n];
+                            *d = row.iter().zip(f).map(|(mv, fv)| mv * fv).sum();
+                        }
+                    });
+            }
+            for (w, (&o, &d)) in s.weight.iter_mut().zip(obs.iter().zip(s.denom_v.iter())) {
+                *w = if o > 0.0 && d > 0.0 { o / d } else { 0.0 };
+            }
+            {
+                let f = &f;
+                let weight = &s.weight;
+                s.next
+                    .par_chunks_mut(CHUNK)
+                    .enumerate()
+                    .for_each(|(ci, chunk)| {
+                        for (off, nx) in chunk.iter_mut().enumerate() {
+                            let x = ci * CHUNK + off;
+                            let mtrow = &mt[x * n..(x + 1) * n];
+                            let acc: f64 = mtrow.iter().zip(weight).map(|(mv, wv)| mv * wv).sum();
+                            *nx = f[x] * acc;
+                        }
+                    });
+            }
+            let mass: f64 = s.next.iter().sum();
+            if mass <= 0.0 {
+                break;
+            }
+            for (fx, nx) in f.iter_mut().zip(s.next.iter()) {
+                *fx = nx / mass;
+            }
+        }
+        f
+    }
+
+    /// The historical serial joint loop — identical arithmetic, with the
+    /// four fresh `n²` buffers per iteration hoisted into scratch.
+    fn joint_dense(
+        &mut self,
+        channel: &EmChannel,
+        counts: &[u64],
+        iters: usize,
+        init: Option<&[f64]>,
+    ) -> Vec<f64> {
+        let n = channel.len();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; n * n];
+        }
+        let s = &mut self.scratch;
+        ensure(&mut s.obs, n * n);
+        ensure(&mut s.mf, n * n);
+        ensure(&mut s.denom_m, n * n);
+        ensure(&mut s.ratio_m, n * n);
+        ensure(&mut s.mt_ratio, n * n);
+        ensure(&mut s.backproj, n * n);
+        for (o, &c) in s.obs.iter_mut().zip(counts) {
+            *o = c as f64 / total as f64;
+        }
+        let obs = &s.obs;
+        let m = &channel.m;
+        let mut f = floored_start(init.unwrap_or(obs), n * n);
+        for _ in 0..iters {
+            // denom = M F Mᵀ  (expected observation distribution under f)
+            mat_mul_into(m, &f, n, &mut s.mf);
+            let mf = &s.mf;
+            for y in 0..n {
+                for yp in 0..n {
+                    let mut acc = 0.0;
+                    for j in 0..n {
+                        acc += mf[y * n + j] * m[yp * n + j];
+                    }
+                    s.denom_m[y * n + yp] = acc;
+                }
+            }
+            // ratio = obs / denom (where defined)
+            for i in 0..n * n {
+                s.ratio_m[i] = if obs[i] > 0.0 && s.denom_m[i] > 0.0 {
+                    obs[i] / s.denom_m[i]
+                } else {
+                    0.0
+                };
+            }
+            // back-projection: B = Mᵀ · ratio · M, then f ← f ⊙ B
+            for x in 0..n {
+                for yp in 0..n {
+                    let mut acc = 0.0;
+                    for y in 0..n {
+                        acc += m[y * n + x] * s.ratio_m[y * n + yp];
+                    }
+                    s.mt_ratio[x * n + yp] = acc;
+                }
+            }
+            for x in 0..n {
+                for xp in 0..n {
+                    let mut acc = 0.0;
+                    for yp in 0..n {
+                        acc += s.mt_ratio[x * n + yp] * m[yp * n + xp];
+                    }
+                    s.backproj[x * n + xp] = acc;
+                }
+            }
+            let mut mass = 0.0;
+            for (fv, bv) in f.iter_mut().zip(s.backproj.iter()) {
+                *fv *= bv;
+                mass += *fv;
+            }
+            if mass <= 0.0 {
+                break;
+            }
+            for v in f.iter_mut() {
+                *v /= mass;
+            }
+        }
+        f
+    }
+
+    /// The same product-channel model on the blocked parallel kernels:
+    /// `Mᵀ·ratio` becomes a plain matmul against the cached transpose,
+    /// and all three `n³` products fan out across cores with unchanged
+    /// per-element accumulation order.
+    fn joint_blocked(
+        &mut self,
+        channel: &EmChannel,
+        counts: &[u64],
+        iters: usize,
+        init: Option<&[f64]>,
+    ) -> Vec<f64> {
+        let n = channel.len();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; n * n];
+        }
+        let s = &mut self.scratch;
+        ensure(&mut s.obs, n * n);
+        ensure(&mut s.mt, n * n);
+        ensure(&mut s.mf, n * n);
+        ensure(&mut s.denom_m, n * n);
+        ensure(&mut s.ratio_m, n * n);
+        ensure(&mut s.mt_ratio, n * n);
+        ensure(&mut s.backproj, n * n);
+        for (o, &c) in s.obs.iter_mut().zip(counts) {
+            *o = c as f64 / total as f64;
+        }
+        let m = &channel.m;
+        transpose(m, n, &mut s.mt);
+        let obs = &s.obs;
+        let mut f = floored_start(init.unwrap_or(obs), n * n);
+        for _ in 0..iters {
+            matmul(m, &f, n, &mut s.mf);
+            matmul_nt(&s.mf, m, n, &mut s.denom_m);
+            for i in 0..n * n {
+                s.ratio_m[i] = if obs[i] > 0.0 && s.denom_m[i] > 0.0 {
+                    obs[i] / s.denom_m[i]
+                } else {
+                    0.0
+                };
+            }
+            matmul(&s.mt, &s.ratio_m, n, &mut s.mt_ratio);
+            matmul(&s.mt_ratio, m, n, &mut s.backproj);
+            let mut mass = 0.0;
+            for (fv, bv) in f.iter_mut().zip(s.backproj.iter()) {
+                *fv *= bv;
+                mass += *fv;
+            }
+            if mass <= 0.0 {
+                break;
+            }
+            for v in f.iter_mut() {
+                *v /= mass;
+            }
+        }
+        f
+    }
+
+    /// The `W₂`-aware joint model. The channel is
+    /// `Q[(y,y′)|(x,x′)] = M[y|x]·M[y′|x′] / Z(x,x′)` on `W₂ × W₂` — the
+    /// product channel restricted to feasible bigrams and renormalized
+    /// per truth (the exponential mechanism's per-truth normalizers
+    /// cancel, so this is *exact* for an EM that samples bigrams from
+    /// `W₂`). With `g = f / Z` the EM update is
+    ///
+    /// ```text
+    /// denom = (M·G·Mᵀ)|_{W₂}         observation likelihoods
+    /// ratio = obs / denom            on observed W₂ cells
+    /// B     = (Mᵀ·R·M)|_{W₂}         back-projection
+    /// f′    ∝ g ⊙ B
+    /// ```
+    ///
+    /// — four `O(|W₂|·|R|)` kernels per iteration, never touching an
+    /// infeasible cell. Observed counts outside `W₂` (hostile or
+    /// misrouted reports) are infeasible by definition and ignored.
+    /// Returns the dense `n²` layout with **exact** zeros outside `W₂`.
+    fn joint_sparse(
+        &mut self,
+        channel: &EmChannel,
+        counts: &[u64],
+        iters: usize,
+        init: Option<&[f64]>,
+        pattern: &CsrPattern,
+    ) -> Vec<f64> {
+        let n = channel.len();
+        let nnz = pattern.nnz();
+        let mut out = vec![0.0; n * n];
+        if nnz == 0 {
+            return out;
+        }
+        // Observations restricted to the feasible support.
+        let mut total = 0u64;
+        for x in 0..n {
+            for &xp in pattern.row(x) {
+                total += counts[x * n + xp as usize];
+            }
+        }
+        if total == 0 {
+            return out;
+        }
+        let s = &mut self.scratch;
+        ensure(&mut s.mt, n * n);
+        ensure(&mut s.mf, n * n);
+        ensure(&mut s.mt_ratio, n * n);
+        ensure(&mut s.denom_m, n * n); // `ct` scratch for the normalizer
+        ensure(&mut s.sv_obs, nnz);
+        ensure(&mut s.sv_z, nnz);
+        ensure(&mut s.sv_g, nnz);
+        ensure(&mut s.sv_denom, nnz);
+        ensure(&mut s.sv_ratio, nnz);
+        ensure(&mut s.sv_b, nnz);
+        {
+            let mut k = 0;
+            for x in 0..n {
+                for &xp in pattern.row(x) {
+                    s.sv_obs[k] = counts[x * n + xp as usize] as f64 / total as f64;
+                    k += 1;
+                }
+            }
+        }
+        let m = &channel.m;
+        transpose(m, n, &mut s.mt);
+        w2_normalizers(&s.mt, pattern, &mut s.denom_m, &mut s.sv_z);
+        // Warm starts arrive in the dense layout from any backend;
+        // project onto the feasible support before flooring.
+        let mut f = match init {
+            Some(dense) => {
+                pattern.gather(dense, &mut s.sv_init);
+                floored_start(&s.sv_init, nnz)
+            }
+            None => floored_start(&s.sv_obs, nnz),
+        };
+        for _ in 0..iters {
+            // g = f / Z: the importance reweighting. A zero normalizer
+            // (possible only for channels with exact-zero entries) means
+            // the truth cell is unobservable; it receives no update mass.
+            for ((g, &fv), &z) in s.sv_g.iter_mut().zip(f.iter()).zip(s.sv_z.iter()) {
+                *g = if z > 0.0 { fv / z } else { 0.0 };
+            }
+            spmm(m, pattern, &s.sv_g, &mut s.mf); // T = M·G
+            restricted_nt(&s.mf, m, pattern, &mut s.sv_denom); // (T·Mᵀ)|_{W₂}
+            for ((r, &o), &d) in s
+                .sv_ratio
+                .iter_mut()
+                .zip(s.sv_obs.iter())
+                .zip(s.sv_denom.iter())
+            {
+                *r = if o > 0.0 && d > 0.0 { o / d } else { 0.0 };
+            }
+            spmm(&s.mt, pattern, &s.sv_ratio, &mut s.mt_ratio); // U = Mᵀ·R
+            restricted_nt(&s.mt_ratio, &s.mt, pattern, &mut s.sv_b); // (U·M)|_{W₂}
+            let mut mass = 0.0;
+            for (fv, (&g, &b)) in f.iter_mut().zip(s.sv_g.iter().zip(s.sv_b.iter())) {
+                *fv = g * b;
+                mass += *fv;
+            }
+            if mass <= 0.0 {
+                break;
+            }
+            for v in f.iter_mut() {
+                *v /= mass;
+            }
+        }
+        pattern.scatter(&f, &mut out);
+        out
+    }
+}
+
 /// [`ibu_frequencies`] with an explicit starting distribution — the
 /// warm-start entry point for streaming estimation: seeding the EM
 /// iteration with the *previous* window's posterior means a handful of
@@ -233,47 +802,7 @@ pub fn ibu_frequencies_with_init(
     iters: usize,
     init: Option<&[f64]>,
 ) -> Vec<f64> {
-    let n = channel.len();
-    assert_eq!(counts.len(), n);
-    if let Some(init) = init {
-        assert_eq!(init.len(), n, "warm-start prior has the wrong universe");
-    }
-    let total: u64 = counts.iter().sum();
-    if total == 0 {
-        return vec![0.0; n];
-    }
-    let obs: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
-    // Initialize from the observed distribution (floored so no cell is
-    // locked at zero): the fixed point is the same, but finite iteration
-    // counts concentrate much faster than from a uniform start. A warm
-    // start replaces the observation seed with the caller's prior.
-    let mut f = floored_start(init.unwrap_or(&obs), n);
-    let mut next = vec![0.0; n];
-    for _ in 0..iters {
-        // denom[y] = Σ_x M[y|x] f[x]
-        let mut denom = vec![0.0; n];
-        for y in 0..n {
-            let row = &channel.m[y * n..(y + 1) * n];
-            denom[y] = row.iter().zip(&f).map(|(m, fx)| m * fx).sum();
-        }
-        for x in 0..n {
-            let mut s = 0.0;
-            for y in 0..n {
-                if obs[y] > 0.0 && denom[y] > 0.0 {
-                    s += obs[y] * channel.m[y * n + x] / denom[y];
-                }
-            }
-            next[x] = f[x] * s;
-        }
-        let mass: f64 = next.iter().sum();
-        if mass <= 0.0 {
-            break;
-        }
-        for (fx, nx) in f.iter_mut().zip(&next) {
-            *fx = nx / mass;
-        }
-    }
-    f
+    IbuSolver::new(EstimatorBackend::Dense).frequencies(channel, counts, iters, init)
 }
 
 /// Joint (transition) IBU under the separable product channel `M ⊗ M`.
@@ -294,72 +823,7 @@ pub fn ibu_joint_with_init(
     iters: usize,
     init: Option<&[f64]>,
 ) -> Vec<f64> {
-    let n = channel.len();
-    assert_eq!(counts.len(), n * n);
-    if let Some(init) = init {
-        assert_eq!(init.len(), n * n, "warm-start prior has the wrong universe");
-    }
-    let total: u64 = counts.iter().sum();
-    if total == 0 {
-        return vec![0.0; n * n];
-    }
-    let obs: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
-    let m = &channel.m;
-    let mut f = floored_start(init.unwrap_or(&obs), n * n);
-    for _ in 0..iters {
-        // denom = M F Mᵀ  (expected observation distribution under f)
-        let mf = mat_mul(m, &f, n); // M · F
-        let mut denom = vec![0.0; n * n];
-        for y in 0..n {
-            for yp in 0..n {
-                let mut s = 0.0;
-                for j in 0..n {
-                    s += mf[y * n + j] * m[yp * n + j];
-                }
-                denom[y * n + yp] = s;
-            }
-        }
-        // ratio = obs / denom (where defined)
-        let mut ratio = vec![0.0; n * n];
-        for i in 0..n * n {
-            if obs[i] > 0.0 && denom[i] > 0.0 {
-                ratio[i] = obs[i] / denom[i];
-            }
-        }
-        // back-projection: B = Mᵀ · ratio · M, then f ← f ⊙ B, renormalize
-        let mut mt_ratio = vec![0.0; n * n]; // Mᵀ · ratio
-        for x in 0..n {
-            for yp in 0..n {
-                let mut s = 0.0;
-                for y in 0..n {
-                    s += m[y * n + x] * ratio[y * n + yp];
-                }
-                mt_ratio[x * n + yp] = s;
-            }
-        }
-        let mut b = vec![0.0; n * n]; // (Mᵀ ratio) · M  → b[x][xp]
-        for x in 0..n {
-            for xp in 0..n {
-                let mut s = 0.0;
-                for yp in 0..n {
-                    s += mt_ratio[x * n + yp] * m[yp * n + xp];
-                }
-                b[x * n + xp] = s;
-            }
-        }
-        let mut mass = 0.0;
-        for i in 0..n * n {
-            f[i] *= b[i];
-            mass += f[i];
-        }
-        if mass <= 0.0 {
-            break;
-        }
-        for v in f.iter_mut() {
-            *v /= mass;
-        }
-    }
-    f
+    IbuSolver::new(EstimatorBackend::Dense).joint(channel, counts, iters, init, None)
 }
 
 /// The shared IBU seed: `start` floored by `1e-3 / cells` and
@@ -376,9 +840,12 @@ fn floored_start(start: &[f64], cells: usize) -> Vec<f64> {
     }
 }
 
-/// Row-major `n×n` product `A · B`.
-fn mat_mul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
-    let mut out = vec![0.0; n * n];
+/// Row-major `n×n` product `A · B` into a reused buffer (the serial
+/// reference the `Dense` backend runs on; `linalg::matmul` is its
+/// parallel, bit-identical sibling).
+fn mat_mul_into(a: &[f64], b: &[f64], n: usize, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), n * n);
+    out.fill(0.0);
     for i in 0..n {
         for k in 0..n {
             let aik = a[i * n + k];
@@ -390,7 +857,6 @@ fn mat_mul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
             }
         }
     }
-    out
 }
 
 /// Norm-sub non-negativity post-processing: clips negative entries to zero
@@ -652,6 +1118,187 @@ mod tests {
         // uniform seed rather than dividing by zero.
         let from_zero = ibu_frequencies_with_init(&ch, &counts, 50, Some(&[0.0; 4]));
         assert!((from_zero.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    use proptest::prelude::*;
+
+    /// L1 distance between two estimates.
+    fn l1(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    /// A non-degenerate column-stochastic channel derived from integer
+    /// seeds (the compat proptest sweeps strategies deterministically;
+    /// deriving the channel keeps the parameter count small).
+    fn channel_from_seed(n: usize, seed: &[u64]) -> EmChannel {
+        let cols: Vec<Vec<f64>> = (0..n)
+            .map(|x| {
+                let col: Vec<f64> = (0..n)
+                    .map(|y| 0.05 + (seed[(x * 7 + y) % seed.len()] % 97) as f64 / 97.0)
+                    .collect();
+                let s: f64 = col.iter().sum();
+                col.into_iter().map(|v| v / s).collect()
+            })
+            .collect();
+        EmChannel::from_columns(&cols)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The tentpole equivalence property: on any small channel and
+        /// counts, `Dense` through the solver is bit-identical to the
+        /// free functions, `Blocked` tracks it to reassociation noise,
+        /// and `SparseW2` over the *full* pattern (where every `Z` is 1
+        /// and the restricted model degenerates to the product model)
+        /// agrees within 1e-6 L1.
+        #[test]
+        fn backends_agree_on_random_channels(
+            n in 2usize..6,
+            chan_seed in proptest::collection::vec(1u64..1000, 36..37),
+            vals in proptest::collection::vec(0u64..60, 36..37),
+            iters in 1usize..40,
+        ) {
+            let channel = channel_from_seed(n, &chan_seed);
+            let counts: Vec<u64> = vals[..n].to_vec();
+            let joint_counts: Vec<u64> = (0..n * n)
+                .map(|c| vals[c % vals.len()].wrapping_mul(c as u64 % 7 + 1) % 60)
+                .collect();
+
+            let dense_f = ibu_frequencies(&channel, &counts, iters);
+            let dense_j = ibu_joint(&channel, &joint_counts, iters);
+
+            let mut solver = IbuSolver::new(EstimatorBackend::Dense);
+            prop_assert_eq!(&solver.frequencies(&channel, &counts, iters, None), &dense_f);
+            prop_assert_eq!(&solver.joint(&channel, &joint_counts, iters, None, None), &dense_j);
+
+            let mut blocked = IbuSolver::new(EstimatorBackend::Blocked);
+            prop_assert!(l1(&blocked.frequencies(&channel, &counts, iters, None), &dense_f) < 1e-9);
+            prop_assert!(l1(&blocked.joint(&channel, &joint_counts, iters, None, None), &dense_j) < 1e-9);
+
+            let full = CsrPattern::full(n);
+            let mut sparse = IbuSolver::new(EstimatorBackend::SparseW2);
+            prop_assert!(l1(&sparse.frequencies(&channel, &counts, iters, None), &dense_f) < 1e-9);
+            let sj = sparse.joint(&channel, &joint_counts, iters, None, Some(&full));
+            prop_assert!(l1(&sj, &dense_j) < 1e-6, "sparse/full vs dense: {}", l1(&sj, &dense_j));
+        }
+
+        /// On a genuinely sparse pattern the `W₂`-normalized estimate is
+        /// a distribution supported *exactly* on the pattern — infeasible
+        /// cells are 0.0 by construction, with no post-hoc masking, even
+        /// when hostile counts put mass there.
+        #[test]
+        fn sparse_w2_mass_is_exactly_feasible(
+            n in 3usize..6,
+            degree in 1usize..3,
+            seed_joint in proptest::collection::vec(0u64..60, 36..37),
+            iters in 1usize..30,
+        ) {
+            let channel = channel_from_seed(n, &seed_joint);
+            let rows: Vec<Vec<u32>> = (0..n as u32)
+                .map(|i| (1..=degree as u32).map(|d| (i + d) % n as u32).collect())
+                .collect();
+            let pattern = CsrPattern::from_rows(&rows);
+            // Hostile counts: mass on *every* cell, feasible or not.
+            let joint_counts: Vec<u64> = (0..n * n)
+                .map(|i| seed_joint[i % seed_joint.len()] + 1)
+                .collect();
+            let mut solver = IbuSolver::new(EstimatorBackend::SparseW2);
+            let est = solver.joint(&channel, &joint_counts, iters, None, Some(&pattern));
+            let mut on_support = 0.0;
+            for x in 0..n {
+                for y in 0..n as u32 {
+                    let v = est[x * n + y as usize];
+                    if pattern.contains(x, y) {
+                        on_support += v;
+                        prop_assert!(v >= 0.0);
+                    } else {
+                        prop_assert_eq!(v, 0.0, "infeasible cell ({},{}) carries mass", x, y);
+                    }
+                }
+            }
+            prop_assert!((on_support - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solver_scratch_survives_universe_changes() {
+        // One solver re-used across different universe sizes must match
+        // fresh solvers — stale scratch must never leak between solves.
+        let ch4 = toy_channel();
+        let cols3: Vec<Vec<f64>> = (0..3)
+            .map(|x| {
+                let c: Vec<f64> = (0..3).map(|y| 1.0 + ((x * 3 + y) % 5) as f64).collect();
+                let s: f64 = c.iter().sum();
+                c.into_iter().map(|v| v / s).collect()
+            })
+            .collect();
+        let ch3 = EmChannel::from_columns(&cols3);
+        let counts4 = [50u64, 10, 30, 10];
+        let counts3 = [40u64, 25, 35];
+        let joint4: Vec<u64> = (0..16).map(|i| (i as u64 * 7) % 13).collect();
+        let joint3: Vec<u64> = (0..9).map(|i| (i as u64 * 5) % 11).collect();
+        for backend in EstimatorBackend::ALL {
+            let w2_4 = CsrPattern::full(4);
+            let w2_3 = CsrPattern::full(3);
+            let w2 = |n: usize| if n == 4 { &w2_4 } else { &w2_3 };
+            let mut reused = IbuSolver::new(backend);
+            let a4 = reused.frequencies(&ch4, &counts4, 25, None);
+            let j4 = reused.joint(&ch4, &joint4, 10, None, Some(w2(4)));
+            let a3 = reused.frequencies(&ch3, &counts3, 25, None);
+            let j3 = reused.joint(&ch3, &joint3, 10, None, Some(w2(3)));
+            // Back up to the larger universe again.
+            let a4b = reused.frequencies(&ch4, &counts4, 25, None);
+            assert_eq!(
+                a4,
+                IbuSolver::new(backend).frequencies(&ch4, &counts4, 25, None),
+                "{backend} frequencies drifted with reuse"
+            );
+            assert_eq!(
+                j4,
+                IbuSolver::new(backend).joint(&ch4, &joint4, 10, None, Some(w2(4))),
+                "{backend} joint drifted with reuse"
+            );
+            assert_eq!(
+                a3,
+                IbuSolver::new(backend).frequencies(&ch3, &counts3, 25, None)
+            );
+            assert_eq!(
+                j3,
+                IbuSolver::new(backend).joint(&ch3, &joint3, 10, None, Some(w2(3)))
+            );
+            assert_eq!(a4, a4b, "{backend} shrink-then-grow corrupted scratch");
+        }
+    }
+
+    #[test]
+    fn warm_starts_survive_backend_changes() {
+        // A posterior produced by one backend must be a valid warm start
+        // for any other: the dense n² layout is the interchange format.
+        let ch = toy_channel();
+        let joint_counts: Vec<u64> = (0..16).map(|i| 5 + (i as u64 * 11) % 40).collect();
+        let full = CsrPattern::full(4);
+        let mut dense = IbuSolver::new(EstimatorBackend::Dense);
+        let converged = dense.joint(&ch, &joint_counts, 300, None, None);
+        for backend in [EstimatorBackend::Blocked, EstimatorBackend::SparseW2] {
+            let mut solver = IbuSolver::new(backend);
+            let warm = solver.joint(&ch, &joint_counts, 3, Some(&converged), Some(&full));
+            let drift: f64 = warm
+                .iter()
+                .zip(&converged)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            assert!(drift < 1e-2, "{backend}: fixed point drifted by {drift}");
+        }
+        // And a sparse posterior (zeros off-support) warm-starts the
+        // dense backends without locking cells (the floor re-opens them).
+        let band: Vec<Vec<u32>> = (0..4u32).map(|i| vec![(i + 1) % 4]).collect();
+        let pattern = CsrPattern::from_rows(&band);
+        let mut sparse = IbuSolver::new(EstimatorBackend::SparseW2);
+        let sparse_post = sparse.joint(&ch, &joint_counts, 50, None, Some(&pattern));
+        let mut blocked = IbuSolver::new(EstimatorBackend::Blocked);
+        let resumed = blocked.joint(&ch, &joint_counts, 5, Some(&sparse_post), None);
+        assert!((resumed.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(resumed.iter().all(|&v| v >= 0.0));
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!    per-(region, hour-tile) and per-transition counters
 //!    ([`Aggregator`]),
 //! 3. [`estimate`] — unbiased frequency estimation by inverting the
-//!    Exponential-Mechanism channel ([`EmChannel`]), plus [`norm_sub`]
+//!    Exponential-Mechanism channel ([`EmChannel`]), IBU maximum
+//!    likelihood on pluggable kernel backends ([`EstimatorBackend`]:
+//!    serial dense reference, blocked rayon-parallel, or the `W₂`-aware
+//!    sparse model over [`linalg`]'s CSR kernels), plus [`norm_sub`]
 //!    consistency post-processing,
 //! 4. [`markov`] — the debiased [`MobilityModel`] (start/end/occupancy
 //!    distributions, `W₂`-restricted transition matrix, length model),
@@ -38,6 +41,7 @@
 pub mod estimate;
 pub mod eval;
 pub mod ingest;
+pub mod linalg;
 pub mod markov;
 pub mod pipeline;
 pub mod report;
@@ -47,14 +51,16 @@ pub mod synthesize;
 
 pub use estimate::{
     ibu_frequencies, ibu_frequencies_with_init, ibu_joint, ibu_joint_with_init, norm_sub,
-    ChannelInverse, EmChannel,
+    ChannelInverse, EmChannel, EstimatorBackend, IbuSolver,
 };
 pub use eval::{score_paired, EvalConfig, UtilityScores};
 pub use ingest::{aggregate_reports, region_tiles, AggregateCounts, Aggregator, TILES_PER_DAY};
+pub use linalg::CsrPattern;
 pub use markov::{FrequencyEstimator, MobilityModel};
 pub use pipeline::{
-    aggregate_and_synthesize, aggregate_and_synthesize_matching, collect_reports, user_seed,
-    SynthesisOutcome,
+    aggregate_and_synthesize, aggregate_and_synthesize_matching,
+    aggregate_and_synthesize_matching_with, aggregate_and_synthesize_with, collect_reports,
+    user_seed, SynthesisOutcome,
 };
 pub use report::{DecodeError, Report, StreamDecoder, MAX_FRAME_LEN};
 pub use snapshot::{

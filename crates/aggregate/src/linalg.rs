@@ -1,0 +1,490 @@
+//! The estimation subsystem's linear-algebra kernel layer.
+//!
+//! Everything the IBU estimators do per iteration is one of four shapes,
+//! and this module owns all of them so [`crate::estimate`] can stay pure
+//! orchestration:
+//!
+//! * dense blocked matmul ([`matmul`], [`matmul_nt`]) — row-parallel
+//!   (rayon), with per-element accumulation in ascending-`k` order so the
+//!   `Blocked` backend reproduces the serial reference **bit for bit**
+//!   (parallelism partitions output rows; it never re-associates a sum),
+//! * sparse-times-dense products over an explicit sparsity pattern
+//!   ([`spmm`], [`gather_nt`]) — `O(nnz·n)` instead of `O(n³)`,
+//! * pattern-restricted products ([`restricted_nt`]) that evaluate
+//!   `A·Bᵀ` *only* at the cells of a [`CsrPattern`] — the kernel that
+//!   makes `W₂`-aware joint IBU `O(|W₂|·|R|)` per iteration,
+//! * the one-off feasibility normalizer `Z(x, x′)`
+//!   ([`w2_normalizers`]).
+//!
+//! [`CsrPattern`] is the compressed-sparse-row face of
+//! `RegionGraph::successor_csr` (LDPTrace's observation: real `W₂` sets
+//! are sparse, so the estimator should never touch an infeasible cell),
+//! but it can be built from any adjacency — benches construct synthetic
+//! patterns at `|R|` in the thousands without building a dataset.
+
+use rayon::prelude::*;
+use trajshare_core::RegionGraph;
+
+/// An `n×n` sparsity pattern in compressed-sparse-row form: row `i`'s
+/// column indices are `cols[row_ptr[i]..row_ptr[i + 1]]`. Cell values
+/// live outside the pattern as parallel `nnz`-length slices, so one
+/// pattern can back any number of value vectors (estimate, observation,
+/// normalizer, …) without re-allocating structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrPattern {
+    n: usize,
+    row_ptr: Vec<usize>,
+    cols: Vec<u32>,
+}
+
+impl CsrPattern {
+    /// A pattern from raw CSR arrays (the `RegionGraph::successor_csr`
+    /// shape). Validates structure: monotone `row_ptr` bracketing `cols`,
+    /// and every column index inside the universe.
+    pub fn new(n: usize, row_ptr: Vec<usize>, cols: Vec<u32>) -> Self {
+        assert_eq!(row_ptr.len(), n + 1, "row_ptr must have n + 1 entries");
+        assert_eq!(row_ptr.first(), Some(&0));
+        assert_eq!(row_ptr.last(), Some(&cols.len()));
+        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr monotone");
+        assert!(
+            cols.iter().all(|&c| (c as usize) < n),
+            "column index out of range"
+        );
+        CsrPattern { n, row_ptr, cols }
+    }
+
+    /// A pattern from per-row adjacency lists.
+    pub fn from_rows(rows: &[Vec<u32>]) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut cols = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+        row_ptr.push(0);
+        for r in rows {
+            cols.extend_from_slice(r);
+            row_ptr.push(cols.len());
+        }
+        Self::new(rows.len(), row_ptr, cols)
+    }
+
+    /// The `W₂` pattern of a region graph (rows = tails, columns =
+    /// feasible heads).
+    pub fn from_graph(graph: &RegionGraph) -> Self {
+        let (row_ptr, cols) = graph.successor_csr();
+        Self::new(graph.num_regions(), row_ptr, cols)
+    }
+
+    /// The complete `n×n` pattern (every cell feasible) — with it the
+    /// sparse backend degenerates to the dense model, which is what the
+    /// backend-equivalence tests exploit.
+    pub fn full(n: usize) -> Self {
+        let row_ptr = (0..=n).map(|i| i * n).collect();
+        let cols = (0..n).flat_map(|_| 0..n as u32).collect();
+        CsrPattern { n, row_ptr, cols }
+    }
+
+    /// Universe size `n` (the pattern is square).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the universe is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of cells in the pattern.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Column indices of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.cols[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// The `nnz`-index range of row `i`.
+    #[inline]
+    pub fn range(&self, i: usize) -> std::ops::Range<usize> {
+        self.row_ptr[i]..self.row_ptr[i + 1]
+    }
+
+    /// Whether cell `(i, j)` belongs to the pattern.
+    pub fn contains(&self, i: usize, j: u32) -> bool {
+        self.row(i).contains(&j)
+    }
+
+    /// Scatters `nnz`-indexed `vals` into a dense row-major `n×n` buffer;
+    /// cells outside the pattern are written **exactly** `0.0` (the
+    /// "zero mass on infeasible bigrams" guarantee is this line, not a
+    /// tolerance).
+    pub fn scatter(&self, vals: &[f64], out: &mut [f64]) {
+        assert_eq!(vals.len(), self.nnz());
+        assert_eq!(out.len(), self.n * self.n);
+        out.fill(0.0);
+        for i in 0..self.n {
+            let row = &mut out[i * self.n..(i + 1) * self.n];
+            for k in self.range(i) {
+                row[self.cols[k] as usize] = vals[k];
+            }
+        }
+    }
+
+    /// Gathers a dense row-major `n×n` buffer down to the pattern's
+    /// `nnz`-indexed values (the warm-start projection: a posterior from
+    /// any backend is dense; the sparse backend keeps only its feasible
+    /// cells).
+    pub fn gather(&self, dense: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(dense.len(), self.n * self.n);
+        out.clear();
+        out.reserve(self.nnz());
+        for i in 0..self.n {
+            let row = &dense[i * self.n..(i + 1) * self.n];
+            for k in self.range(i) {
+                out.push(row[self.cols[k] as usize]);
+            }
+        }
+    }
+}
+
+/// Writes `Aᵀ` into `out` (row-major `n×n`). The estimators transpose
+/// the channel once per solve so every later kernel reads contiguous
+/// rows instead of strided columns.
+pub fn transpose(a: &[f64], n: usize, out: &mut [f64]) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(out.len(), n * n);
+    out.par_chunks_mut(n).enumerate().for_each(|(x, row)| {
+        for (y, v) in row.iter_mut().enumerate() {
+            *v = a[y * n + x];
+        }
+    });
+}
+
+/// `out = A·B` (row-major `n×n`), parallel over output rows. Each output
+/// element accumulates over `k` in ascending order with the same
+/// skip-zero rule as the serial reference, so the result is bit-identical
+/// to the naive triple loop — threads partition rows, they never split a
+/// sum.
+pub fn matmul(a: &[f64], b: &[f64], n: usize, out: &mut [f64]) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    assert_eq!(out.len(), n * n);
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        row.fill(0.0);
+        for k in 0..n {
+            let aik = a[i * n + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[k * n..(k + 1) * n];
+            for (o, &bv) in row.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    });
+}
+
+/// `out = A·Bᵀ` (row-major `n×n`): `out[i][j] = dot(a_row_i, b_row_j)`,
+/// parallel over output rows, dot products in ascending index order
+/// (bit-identical to the serial reference).
+pub fn matmul_nt(a: &[f64], b: &[f64], n: usize, out: &mut [f64]) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    assert_eq!(out.len(), n * n);
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let arow = &a[i * n..(i + 1) * n];
+        for (j, o) in row.iter_mut().enumerate() {
+            let brow = &b[j * n..(j + 1) * n];
+            let mut s = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                s += av * bv;
+            }
+            *o = s;
+        }
+    });
+}
+
+/// `out = M·G` where `G` is `pattern` carrying `vals` — dense `n×n`
+/// output, `O(nnz·n)` work, parallel over output rows. Accumulation per
+/// element runs over `x` in ascending order, matching what a dense
+/// matmul against the scattered `G` would do.
+pub fn spmm(m: &[f64], pattern: &CsrPattern, vals: &[f64], out: &mut [f64]) {
+    let n = pattern.len();
+    assert_eq!(m.len(), n * n);
+    assert_eq!(vals.len(), pattern.nnz());
+    assert_eq!(out.len(), n * n);
+    out.par_chunks_mut(n).enumerate().for_each(|(y, row)| {
+        row.fill(0.0);
+        let mrow = &m[y * n..(y + 1) * n];
+        for (x, &c) in mrow.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            for k in pattern.range(x) {
+                row[pattern.cols[k] as usize] += c * vals[k];
+            }
+        }
+    });
+}
+
+/// `out[i][j] = Σ_{j′ ∈ pattern.row(j)} a[i][j′]` — `A·Pᵀ` for the 0/1
+/// pattern matrix, `O(nnz·n)`, parallel over output rows. The building
+/// block of the `W₂` normalizer.
+pub fn gather_nt(a: &[f64], pattern: &CsrPattern, out: &mut [f64]) {
+    let n = pattern.len();
+    assert_eq!(a.len(), n * n);
+    assert_eq!(out.len(), n * n);
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let arow = &a[i * n..(i + 1) * n];
+        for (j, o) in row.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for k in pattern.range(j) {
+                s += arow[pattern.cols[k] as usize];
+            }
+            *o = s;
+        }
+    });
+}
+
+/// The pattern-restricted `A·Bᵀ`: for every pattern cell `(i, j)`,
+/// `out[k] = dot(a_row_i, b_row_j)`. This is the `O(|W₂|·|R|)` kernel —
+/// it never evaluates a cell outside the pattern. Parallel over pattern
+/// rows (each row's value range is a disjoint slice of `out`).
+pub fn restricted_nt(a: &[f64], b: &[f64], pattern: &CsrPattern, out: &mut [f64]) {
+    let n = pattern.len();
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    assert_eq!(out.len(), pattern.nnz());
+    let mut rows: Vec<(usize, &mut [f64])> = Vec::with_capacity(n);
+    let mut rest = out;
+    for i in 0..n {
+        let (head, tail) = rest.split_at_mut(pattern.range(i).len());
+        rows.push((i, head));
+        rest = tail;
+    }
+    rows.par_iter_mut().for_each(|(i, row_vals)| {
+        let i = *i;
+        let arow = &a[i * n..(i + 1) * n];
+        for (slot, &j) in row_vals.iter_mut().zip(pattern.row(i)) {
+            let brow = &b[j as usize * n..(j as usize + 1) * n];
+            let mut s = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                s += av * bv;
+            }
+            *slot = s;
+        }
+    });
+}
+
+/// The feasibility normalizers of the `W₂`-restricted product channel:
+/// `z[k] = Z(x, x′) = Σ_{(y,y′) ∈ W₂} M[y|x]·M[y′|x′]` for every pattern
+/// cell `k = (x, x′)`. `mt` is the channel transpose (`mt[x][y] =
+/// M[y|x]`), `ct` an `n²` scratch. `O(nnz·n)` — computed once per solve,
+/// not per iteration. With the full pattern every `Z` is 1 (column
+/// stochasticity), which is exactly why the dense model is the
+/// full-product special case.
+pub fn w2_normalizers(mt: &[f64], pattern: &CsrPattern, ct: &mut [f64], z: &mut [f64]) {
+    // ct[x′][y] = Σ_{y′ ∈ succ(y)} M[y′|x′]
+    gather_nt(mt, pattern, ct);
+    // z[(x, x′)] = Σ_y M[y|x] · ct[x′][y]
+    restricted_nt(mt, ct, pattern, z);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(n: usize, rng: &mut StdRng) -> Vec<f64> {
+        (0..n * n).map(|_| rng.random::<f64>()).collect()
+    }
+
+    /// The serial references the parallel kernels must match bit for bit.
+    fn naive_matmul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let aik = a[i * n + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += aik * b[k * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn naive_nt(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += a[i * n + k] * b[j * n + k];
+                }
+                out[i * n + j] = s;
+            }
+        }
+        out
+    }
+
+    /// A banded pattern with wraparound (what the benches use too).
+    fn band_pattern(n: usize, width: u32) -> CsrPattern {
+        let rows: Vec<Vec<u32>> = (0..n as u32)
+            .map(|i| (0..=width).map(|d| (i + d) % n as u32).collect())
+            .collect();
+        CsrPattern::from_rows(&rows)
+    }
+
+    #[test]
+    fn matmul_kernels_match_serial_bitwise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [1usize, 2, 7, 33] {
+            let a = random_matrix(n, &mut rng);
+            let b = random_matrix(n, &mut rng);
+            let mut out = vec![1.0; n * n];
+            matmul(&a, &b, n, &mut out);
+            assert_eq!(out, naive_matmul(&a, &b, n), "matmul n={n}");
+            matmul_nt(&a, &b, n, &mut out);
+            assert_eq!(out, naive_nt(&a, &b, n), "matmul_nt n={n}");
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 13;
+        let a = random_matrix(n, &mut rng);
+        let mut t = vec![0.0; n * n];
+        let mut back = vec![0.0; n * n];
+        transpose(&a, n, &mut t);
+        transpose(&t, n, &mut back);
+        assert_eq!(a, back);
+        assert_eq!(t[3 * n + 7], a[7 * n + 3]);
+    }
+
+    #[test]
+    fn pattern_structure_and_scatter_gather() {
+        let p = band_pattern(6, 2);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.nnz(), 18);
+        assert!(p.contains(0, 2) && !p.contains(0, 3));
+        assert_eq!(p.row(5), &[5, 0, 1]);
+        let vals: Vec<f64> = (0..p.nnz()).map(|k| k as f64 + 1.0).collect();
+        let mut dense = vec![f64::NAN; 36];
+        p.scatter(&vals, &mut dense);
+        for i in 0..6 {
+            for j in 0..6u32 {
+                if !p.contains(i, j) {
+                    assert_eq!(dense[i * 6 + j as usize], 0.0, "exact zeros outside");
+                }
+            }
+        }
+        let mut back = Vec::new();
+        p.gather(&dense, &mut back);
+        assert_eq!(back, vals);
+
+        let full = CsrPattern::full(4);
+        assert_eq!(full.nnz(), 16);
+        assert!((0..4).all(|i| (0..4u32).all(|j| full.contains(i, j))));
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of range")]
+    fn pattern_rejects_out_of_range_columns() {
+        CsrPattern::from_rows(&[vec![0, 2]]);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul_of_scattered_operand() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 19;
+        let p = band_pattern(n, 4);
+        let m = random_matrix(n, &mut rng);
+        let vals: Vec<f64> = (0..p.nnz()).map(|_| rng.random::<f64>()).collect();
+        let mut g = vec![0.0; n * n];
+        p.scatter(&vals, &mut g);
+        let mut sparse = vec![0.0; n * n];
+        spmm(&m, &p, &vals, &mut sparse);
+        let dense = naive_matmul(&m, &g, n);
+        for (s, d) in sparse.iter().zip(&dense) {
+            assert!((s - d).abs() < 1e-12, "{s} vs {d}");
+        }
+    }
+
+    #[test]
+    fn restricted_nt_matches_dense_at_pattern_cells() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 17;
+        let p = band_pattern(n, 3);
+        let a = random_matrix(n, &mut rng);
+        let b = random_matrix(n, &mut rng);
+        let mut vals = vec![0.0; p.nnz()];
+        restricted_nt(&a, &b, &p, &mut vals);
+        let dense = naive_nt(&a, &b, n);
+        for i in 0..n {
+            for (k, &j) in p.range(i).zip(p.row(i)) {
+                assert_eq!(vals[k], dense[i * n + j as usize], "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_nt_matches_dense_definition() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 11;
+        let p = band_pattern(n, 2);
+        let a = random_matrix(n, &mut rng);
+        let mut out = vec![0.0; n * n];
+        gather_nt(&a, &p, &mut out);
+        for i in 0..n {
+            for j in 0..n {
+                let expect: f64 = p.row(j).iter().map(|&c| a[i * n + c as usize]).sum();
+                assert!((out[i * n + j] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn full_pattern_normalizers_are_one_for_stochastic_columns() {
+        // Column-stochastic M ⇒ Z(x, x′) over the full product is 1·1.
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 9;
+        let mut m = vec![0.0; n * n];
+        for x in 0..n {
+            let col: Vec<f64> = (0..n).map(|_| rng.random::<f64>() + 0.01).collect();
+            let s: f64 = col.iter().sum();
+            for y in 0..n {
+                m[y * n + x] = col[y] / s;
+            }
+        }
+        let mut mt = vec![0.0; n * n];
+        transpose(&m, n, &mut mt);
+        let full = CsrPattern::full(n);
+        let mut ct = vec![0.0; n * n];
+        let mut z = vec![0.0; full.nnz()];
+        w2_normalizers(&mt, &full, &mut ct, &mut z);
+        assert!(z.iter().all(|&v| (v - 1.0).abs() < 1e-12), "{z:?}");
+
+        // And a brute-force check on a genuinely sparse pattern.
+        let p = band_pattern(n, 2);
+        let mut zp = vec![0.0; p.nnz()];
+        w2_normalizers(&mt, &p, &mut ct, &mut zp);
+        for x in 0..n {
+            for (k, &xp) in p.range(x).zip(p.row(x)) {
+                let mut expect = 0.0;
+                for y in 0..n {
+                    for &yp in p.row(y) {
+                        expect += m[y * n + x] * m[yp as usize * n + xp as usize];
+                    }
+                }
+                assert!((zp[k] - expect).abs() < 1e-12, "Z({x},{xp})");
+            }
+        }
+    }
+}

@@ -7,8 +7,9 @@
 //! ([`crate::estimate`]) and made consistent with
 //! [`crate::estimate::norm_sub`].
 
-use crate::estimate::{ibu_frequencies, ibu_joint, norm_sub, EmChannel};
+use crate::estimate::{norm_sub, EmChannel, EstimatorBackend, IbuSolver};
 use crate::ingest::AggregateCounts;
+use crate::linalg::CsrPattern;
 use trajshare_core::{RegionGraph, RegionId};
 
 /// How population frequencies are recovered from the EM channel.
@@ -23,19 +24,36 @@ pub enum FrequencyEstimator {
     /// construction and dramatically lower variance on flat channels —
     /// the right choice for driving a synthesizer.
     Ibu {
-        /// EM iterations. Convergence is slow on flat channels, and each
-        /// joint iteration costs three |R|³ matrix products, so this
-        /// trades estimate sharpness against model-fit time.
+        /// EM iterations. Convergence is slow on flat channels, so this
+        /// trades estimate sharpness against model-fit time; what one
+        /// iteration *costs* is the backend's business.
         iters: usize,
+        /// Which kernel implementation runs the iterations: the serial
+        /// `Dense` reference, the parallel `Blocked` kernels, or the
+        /// `W₂`-aware `SparseW2` model (`O(|W₂|·|R|)` per joint
+        /// iteration, exact zeros on infeasible bigrams).
+        backend: EstimatorBackend,
     },
+}
+
+impl FrequencyEstimator {
+    /// The default IBU estimator on an explicit backend.
+    pub fn ibu(backend: EstimatorBackend) -> Self {
+        FrequencyEstimator::Ibu {
+            iters: 600,
+            backend,
+        }
+    }
 }
 
 impl Default for FrequencyEstimator {
     fn default() -> Self {
         // Sharp enough to recover cluster-level structure at ε′ ≈ 1 on
         // region universes in the low hundreds; ~|R|³·iters work for the
-        // joint estimate (a few seconds at |R| ≈ 150).
-        FrequencyEstimator::Ibu { iters: 600 }
+        // joint estimate (a few seconds at |R| ≈ 150). The serial dense
+        // backend stays the default so historical results are bit-stable;
+        // large universes should flip to `Blocked` or `SparseW2`.
+        FrequencyEstimator::ibu(EstimatorBackend::Dense)
     }
 }
 
@@ -93,10 +111,26 @@ impl MobilityModel {
             FrequencyEstimator::Ibu { .. } => channel.is_some(),
             FrequencyEstimator::Inversion => inverse.is_some(),
         };
+        // One solver serves all four estimates, so the kernel scratch is
+        // allocated once per fit; the W₂ pattern is exported only when
+        // the sparse backend will consume it.
+        let mut solver = match estimator {
+            FrequencyEstimator::Ibu { backend, .. } => IbuSolver::new(backend),
+            FrequencyEstimator::Inversion => IbuSolver::default(),
+        };
+        let w2 = match estimator {
+            FrequencyEstimator::Ibu {
+                backend: EstimatorBackend::SparseW2,
+                ..
+            } => Some(CsrPattern::from_graph(graph)),
+            _ => None,
+        };
 
-        let debias_vec = |c: &[u64]| -> Vec<f64> {
+        let debias_vec = |solver: &mut IbuSolver, c: &[u64]| -> Vec<f64> {
             let mut est = match (estimator, &channel, &inverse) {
-                (FrequencyEstimator::Ibu { iters }, Some(ch), _) => ibu_frequencies(ch, c, iters),
+                (FrequencyEstimator::Ibu { iters, .. }, Some(ch), _) => {
+                    solver.frequencies(ch, c, iters, None)
+                }
                 (FrequencyEstimator::Inversion, _, Some(inv)) => inv.debias_frequencies(c),
                 _ => normalize_counts(c),
             };
@@ -104,20 +138,20 @@ impl MobilityModel {
             est
         };
 
-        let start = debias_vec(&counts.starts);
-        let end = debias_vec(&counts.ends);
+        let start = debias_vec(&mut solver, &counts.starts);
+        let end = debias_vec(&mut solver, &counts.ends);
         // Prefer the exact-channel occupancy; bigram-window observations
         // follow a successor-mass-weighted marginal the unigram channel
         // does not model, so they only feed the raw analytics counters.
         let occupancy = if counts.occupancy_exact.iter().any(|&c| c > 0) {
-            debias_vec(&counts.occupancy_exact)
+            debias_vec(&mut solver, &counts.occupancy_exact)
         } else {
-            debias_vec(&counts.occupancy)
+            debias_vec(&mut solver, &counts.occupancy)
         };
 
         let mut joint = match (estimator, &channel, &inverse) {
-            (FrequencyEstimator::Ibu { iters }, Some(ch), _) => {
-                ibu_joint(ch, &counts.transitions, iters)
+            (FrequencyEstimator::Ibu { iters, .. }, Some(ch), _) => {
+                solver.joint(ch, &counts.transitions, iters, None, w2.as_ref())
             }
             (FrequencyEstimator::Inversion, _, Some(inv)) => inv.debias_matrix(&counts.transitions),
             _ => normalize_counts(&counts.transitions),
@@ -275,6 +309,59 @@ mod tests {
         // Length model: all mass on |τ| = 3.
         assert!((model.length[3] - 1.0).abs() < 1e-12);
         assert_eq!(model.sample_length(&mut rng), Some(3));
+    }
+
+    #[test]
+    fn sparse_backend_model_is_feasible_and_tracks_dense_marginals() {
+        let (ds, rs, g) = world();
+        let mut rng = StdRng::seed_from_u64(3);
+        let traj = Trajectory::from_pairs(&[(0, 60), (7, 62), (14, 65)]);
+        let mech = NGramMechanism::build(&ds, &MechanismConfig::default().with_epsilon(4.0));
+        let reports: Vec<Report> = (0..400)
+            .map(|_| Report::from_perturbed(&mech.perturb_raw(&traj, &mut rng)))
+            .collect();
+        let mut agg = Aggregator::new(&rs);
+        agg.ingest_batch(&reports);
+        let counts = agg.counts();
+
+        let dense = MobilityModel::estimate_with(
+            counts,
+            &g,
+            FrequencyEstimator::Ibu {
+                iters: 150,
+                backend: EstimatorBackend::Dense,
+            },
+        );
+        let sparse = MobilityModel::estimate_with(
+            counts,
+            &g,
+            FrequencyEstimator::Ibu {
+                iters: 150,
+                backend: EstimatorBackend::SparseW2,
+            },
+        );
+        assert!(sparse.debiased);
+        // Unigram marginals run the same model on parallel kernels:
+        // they must track the dense backend to numerical noise.
+        let l1 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
+        assert!(l1(&sparse.start, &dense.start) < 1e-6);
+        assert!(l1(&sparse.end, &dense.end) < 1e-6);
+        assert!(l1(&sparse.occupancy, &dense.occupancy) < 1e-6);
+        // The W₂-normalized joint model yields row-stochastic transition
+        // rows supported exactly on the feasible successor sets.
+        for tail in rs.ids() {
+            let row = sparse.transition_row(tail);
+            let mass: f64 = row.iter().sum();
+            if !g.successors(tail).is_empty() {
+                assert!((mass - 1.0).abs() < 1e-9, "row {tail:?} mass {mass}");
+            }
+            for (h, &p) in row.iter().enumerate() {
+                if p > 0.0 {
+                    assert!(g.is_feasible(tail, RegionId(h as u32)));
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! report set is independent of worker count and scheduling.
 
 use crate::ingest::{AggregateCounts, Aggregator};
-use crate::markov::MobilityModel;
+use crate::markov::{FrequencyEstimator, MobilityModel};
 use crate::report::Report;
 use crate::synthesize::Synthesizer;
 use rand::rngs::StdRng;
@@ -59,10 +59,31 @@ pub fn aggregate_and_synthesize(
     count_out: usize,
     seed: u64,
 ) -> SynthesisOutcome {
+    aggregate_and_synthesize_with(
+        dataset,
+        mech,
+        reports,
+        count_out,
+        seed,
+        FrequencyEstimator::default(),
+    )
+}
+
+/// [`aggregate_and_synthesize`] with an explicit estimator — the hook
+/// that threads an [`crate::estimate::EstimatorBackend`] choice through
+/// the whole batch pipeline.
+pub fn aggregate_and_synthesize_with(
+    dataset: &Dataset,
+    mech: &NGramMechanism,
+    reports: &[Report],
+    count_out: usize,
+    seed: u64,
+    estimator: FrequencyEstimator,
+) -> SynthesisOutcome {
     let mut aggregator = Aggregator::new(mech.regions());
     aggregator.ingest_batch(reports);
     let counts = aggregator.into_counts();
-    let model = MobilityModel::estimate(&counts, mech.graph());
+    let model = MobilityModel::estimate_with(&counts, mech.graph(), estimator);
     let synthesizer = Synthesizer::new(dataset, mech.regions(), mech.graph(), &model);
     let mut rng = StdRng::seed_from_u64(seed);
     let synthetic = synthesizer.synthesize(count_out, &mut rng);
@@ -82,10 +103,27 @@ pub fn aggregate_and_synthesize_matching(
     reports: &[Report],
     seed: u64,
 ) -> SynthesisOutcome {
+    aggregate_and_synthesize_matching_with(
+        dataset,
+        mech,
+        reports,
+        seed,
+        FrequencyEstimator::default(),
+    )
+}
+
+/// [`aggregate_and_synthesize_matching`] with an explicit estimator.
+pub fn aggregate_and_synthesize_matching_with(
+    dataset: &Dataset,
+    mech: &NGramMechanism,
+    reports: &[Report],
+    seed: u64,
+    estimator: FrequencyEstimator,
+) -> SynthesisOutcome {
     let mut aggregator = Aggregator::new(mech.regions());
     aggregator.ingest_batch(reports);
     let counts = aggregator.into_counts();
-    let model = MobilityModel::estimate(&counts, mech.graph());
+    let model = MobilityModel::estimate_with(&counts, mech.graph(), estimator);
     let synthesizer = Synthesizer::new(dataset, mech.regions(), mech.graph(), &model);
     let lens: Vec<usize> = reports.iter().map(|r| r.len as usize).collect();
     let mut rng = StdRng::seed_from_u64(seed);

@@ -22,14 +22,18 @@
 //! (property-tested below). That is also why crash recovery can rebuild
 //! the ring from per-shard snapshots plus WAL tails in any merge order.
 //!
-//! Timestamps are *client-declared*: a hostile far-future timestamp
-//! advances `newest` and evicts the ring early (bounded trust, same as
-//! trusting a device clock). Deployments that cannot trust client clocks
-//! should stamp `t` at the collector edge from the server clock — a
-//! documented follow-on.
+//! Timestamps are *client-declared* at this layer: a hostile far-future
+//! timestamp advances `newest` and evicts the ring early (bounded trust,
+//! same as trusting a device clock). The ingestion service mitigates
+//! both sides of that trust at the collector edge —
+//! `StreamServerConfig::server_clock` stamps `t` from the server clock,
+//! and `StreamServerConfig::max_conn_advance` budgets how many windows a
+//! single connection may advance the watermark (see
+//! `trajshare_service::server`).
 
-use crate::estimate::{ibu_frequencies_with_init, ibu_joint_with_init, norm_sub, EmChannel};
+use crate::estimate::{norm_sub, EmChannel, EstimatorBackend, IbuSolver};
 use crate::ingest::{accumulate, AggregateCounts};
+use crate::linalg::CsrPattern;
 use crate::markov::{joint_to_feasible_rows, normalize_counts, MobilityModel};
 use crate::report::Report;
 use crate::snapshot::{crc32, SnapshotError};
@@ -387,6 +391,15 @@ struct Posterior {
 pub struct StreamingEstimator {
     cold_iters: usize,
     warm_iters: usize,
+    /// Backend dispatch plus the kernel scratch, which persists across
+    /// ticks — a warm tick allocates no matrix-sized buffers beyond its
+    /// outputs.
+    solver: IbuSolver,
+    /// Cached `W₂` pattern (SparseW₂ backend only), rebuilt when the
+    /// universe size changes — same invalidation rule as the posterior.
+    /// Like the posterior cache, a caller that swaps to a *different*
+    /// graph of identical size must call [`StreamingEstimator::reset`].
+    w2: Option<CsrPattern>,
     posterior: Option<Posterior>,
 }
 
@@ -401,20 +414,38 @@ impl StreamingEstimator {
         Self::with_iters(Self::DEFAULT_COLD_ITERS, Self::DEFAULT_WARM_ITERS)
     }
 
-    /// An estimator with explicit cold/warm iteration budgets.
+    /// An estimator with explicit cold/warm iteration budgets on the
+    /// default (dense) backend.
     pub fn with_iters(cold_iters: usize, warm_iters: usize) -> Self {
+        Self::with_backend(cold_iters, warm_iters, EstimatorBackend::default())
+    }
+
+    /// An estimator with explicit iteration budgets on an explicit
+    /// kernel backend. Warm starts survive the backend choice: the
+    /// carried posterior is always the dense layout, and every backend
+    /// both consumes and produces it (the sparse backend projects it
+    /// onto `W₂`).
+    pub fn with_backend(cold_iters: usize, warm_iters: usize, backend: EstimatorBackend) -> Self {
         assert!(cold_iters >= 1 && warm_iters >= 1);
         StreamingEstimator {
             cold_iters,
             warm_iters,
+            solver: IbuSolver::new(backend),
+            w2: None,
             posterior: None,
         }
+    }
+
+    /// The kernel backend ticks run on.
+    pub fn backend(&self) -> EstimatorBackend {
+        self.solver.backend()
     }
 
     /// Drops the carried posterior; the next tick is a cold solve (use
     /// after a gap long enough that the previous window is uninformative).
     pub fn reset(&mut self) {
         self.posterior = None;
+        self.w2 = None;
     }
 
     /// Whether the next tick will warm-start.
@@ -442,8 +473,15 @@ impl StreamingEstimator {
             self.cold_iters
         };
 
-        let raw_vec = |c: &[u64], p: Option<&[f64]>| match &channel {
-            Some(ch) => ibu_frequencies_with_init(ch, c, iters, p),
+        if matches!(self.solver.backend(), EstimatorBackend::SparseW2)
+            && self.w2.as_ref().map(CsrPattern::len) != Some(n)
+        {
+            self.w2 = Some(CsrPattern::from_graph(graph));
+        }
+        let w2 = self.w2.as_ref();
+        let solver = &mut self.solver;
+        let mut raw_vec = |c: &[u64], p: Option<&[f64]>| match &channel {
+            Some(ch) => solver.frequencies(ch, c, iters, p),
             None => normalize_counts(c),
         };
         let start = raw_vec(&counts.starts, prior.as_ref().map(|p| p.start.as_slice()));
@@ -455,11 +493,12 @@ impl StreamingEstimator {
         };
         let occupancy = raw_vec(occ_counts, prior.as_ref().map(|p| p.occupancy.as_slice()));
         let joint = match &channel {
-            Some(ch) => ibu_joint_with_init(
+            Some(ch) => solver.joint(
                 ch,
                 &counts.transitions,
                 iters,
                 prior.as_ref().map(|p| p.joint.as_slice()),
+                w2,
             ),
             None => normalize_counts(&counts.transitions),
         };
@@ -721,6 +760,83 @@ mod tests {
                 .filter(|r| self.config.window_of(r.t) < oldest)
                 .count() as u64
                 - self.late
+        }
+    }
+
+    #[test]
+    fn streaming_warm_starts_survive_backend_choice() {
+        use trajshare_core::{decompose, MechanismConfig, RegionGraph};
+        use trajshare_geo::{DistanceMetric, GeoPoint};
+        use trajshare_hierarchy::builders::campus;
+        use trajshare_model::{Dataset, Poi, PoiId, TimeDomain};
+
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..30)
+            .map(|i| {
+                Poi::new(
+                    PoiId(i),
+                    format!("p{i}"),
+                    origin.offset_m((i % 5) as f64 * 400.0, (i / 5) as f64 * 400.0),
+                    leaves[i as usize % leaves.len()],
+                )
+            })
+            .collect();
+        let ds = Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        );
+        let regions = decompose(&ds, &MechanismConfig::default());
+        let graph = RegionGraph::build(&ds, &regions);
+        let nr = regions.len();
+        let window = |wseed: u32| -> AggregateCounts {
+            let mut agg = Aggregator::new(&regions);
+            for i in 0..300u32 {
+                let a = ((i.wrapping_mul(17).wrapping_add(wseed)) % 5) % nr as u32;
+                let b = (a + 1) % nr as u32;
+                agg.ingest(&Report {
+                    t: 0,
+                    eps_prime: 2.0,
+                    len: 2,
+                    unigrams: vec![(0, a), (1, b)],
+                    exact: vec![(0, a), (1, b)],
+                    transitions: vec![(a, b)],
+                });
+            }
+            agg.into_counts()
+        };
+        let w1 = window(1);
+        let w2 = window(2);
+
+        // Same tick sequence on every backend: all must be warm on tick
+        // 2, produce feasible stochastic rows, and agree with the dense
+        // reference on the unigram marginals. The sparse backend's joint
+        // additionally carries exactly zero infeasible mass.
+        let l1 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
+        let mut dense_est = StreamingEstimator::with_backend(200, 8, EstimatorBackend::Dense);
+        let _ = dense_est.tick(&w1, &graph);
+        let dense2 = dense_est.tick(&w2, &graph);
+        for backend in [EstimatorBackend::Blocked, EstimatorBackend::SparseW2] {
+            let mut est = StreamingEstimator::with_backend(200, 8, backend);
+            assert_eq!(est.backend(), backend);
+            let _ = est.tick(&w1, &graph);
+            assert!(est.is_warm(), "{backend}: posterior must carry over");
+            let m2 = est.tick(&w2, &graph);
+            assert!(m2.debiased);
+            assert!(
+                l1(&m2.occupancy, &dense2.occupancy) < 1e-6,
+                "{backend} occupancy diverged from dense"
+            );
+            for tail in 0..nr {
+                let row = &m2.transition[tail * nr..(tail + 1) * nr];
+                let mass: f64 = row.iter().sum();
+                assert!(mass.abs() < 1e-9 || (mass - 1.0).abs() < 1e-9);
+            }
         }
     }
 

@@ -7,7 +7,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
-use trajshare_aggregate::{collect_reports, Aggregator, MobilityModel, Report, Synthesizer};
+use trajshare_aggregate::{
+    collect_reports, Aggregator, CsrPattern, EmChannel, EstimatorBackend, IbuSolver, MobilityModel,
+    Report, Synthesizer,
+};
 use trajshare_bench::report::{write_json, Reported};
 use trajshare_bench::scenario::{build_scenario, Scenario, ScenarioConfig};
 use trajshare_core::{MechanismConfig, NGramMechanism};
@@ -101,5 +104,129 @@ fn bench_model_and_synthesis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingestion_scale, bench_model_and_synthesis);
+/// Synthetic EM-style channel over a ring geometry: `P(y|x) ∝
+/// exp(−α·d_ring(x, y))` — non-uniform like a real unigram channel, but
+/// constructible at any `|R|` without building a dataset.
+fn ring_channel(n: usize) -> EmChannel {
+    let alpha = 8.0 / n as f64;
+    let cols: Vec<Vec<f64>> = (0..n)
+        .map(|x| {
+            let col: Vec<f64> = (0..n)
+                .map(|y| {
+                    let d = (x as i64 - y as i64).unsigned_abs();
+                    let d = d.min(n as u64 - d) as f64;
+                    (-alpha * d).exp()
+                })
+                .collect();
+            let s: f64 = col.iter().sum();
+            col.into_iter().map(|v| v / s).collect()
+        })
+        .collect();
+    EmChannel::from_columns(&cols)
+}
+
+/// A banded `W₂` with wraparound: every region reaches itself and the
+/// next `degree` ring neighbors — `|W₂| = |R|·(degree + 1)`, the sparse
+/// regime LDPTrace exploits.
+fn band_w2(n: usize, degree: u32) -> CsrPattern {
+    let rows: Vec<Vec<u32>> = (0..n as u32)
+        .map(|i| (0..=degree).map(|d| (i + d) % n as u32).collect())
+        .collect();
+    CsrPattern::from_rows(&rows)
+}
+
+/// Joint counts concentrated on the feasible band (what a real
+/// aggregation produces), deterministic in `n`.
+fn band_counts(n: usize, pattern: &CsrPattern) -> Vec<u64> {
+    let mut counts = vec![0u64; n * n];
+    for x in 0..n {
+        for (j, &xp) in pattern.row(x).iter().enumerate() {
+            counts[x * n + xp as usize] = 1 + ((x as u64 * 31 + j as u64 * 7) % 97);
+        }
+    }
+    counts
+}
+
+/// The |R| × backend sweep the tentpole acceptance tracks: per-iteration
+/// joint-IBU cost for `Dense` vs `Blocked` vs `SparseW2` as the region
+/// universe grows. Emits a JSON record with the per-iteration times and
+/// the speedup over dense (`results/bench_estimate_backends.json`).
+fn bench_estimate_backends(c: &mut Criterion) {
+    let quick = std::env::var("QUICK_BENCH")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let sizes: &[usize] = if quick { &[120] } else { &[200, 500, 1000] };
+    let degree: u32 = 16;
+    let iters = if quick { 2 } else { 3 };
+
+    // Criterion group at a small size (kept cheap enough to sample).
+    let n0 = 150usize;
+    let ch0 = ring_channel(n0);
+    let w2_0 = band_w2(n0, degree);
+    let counts0 = band_counts(n0, &w2_0);
+    let mut group = c.benchmark_group("estimate_backend");
+    group.sample_size(10);
+    for backend in EstimatorBackend::ALL {
+        group.bench_function(BenchmarkId::new(backend.name(), n0), |b| {
+            let mut solver = IbuSolver::new(backend);
+            b.iter(|| {
+                std::hint::black_box(solver.joint(&ch0, &counts0, iters, None, Some(&w2_0)).len())
+            });
+        });
+    }
+    group.finish();
+
+    // The sweep itself: one timed pass per (|R|, backend) for the JSON
+    // trajectory. Per-iteration cost is what the acceptance criterion
+    // (`SparseW2 ≥ 5× dense at |R| ≥ 500`) is stated over.
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &n in sizes {
+        let channel = ring_channel(n);
+        let w2 = band_w2(n, degree);
+        let counts = band_counts(n, &w2);
+        let mut dense_per_iter = f64::NAN;
+        for backend in EstimatorBackend::ALL {
+            let mut solver = IbuSolver::new(backend);
+            // One untimed iteration warms scratch + page cache.
+            let _ = solver.joint(&channel, &counts, 1, None, Some(&w2));
+            let t0 = Instant::now();
+            let est = solver.joint(&channel, &counts, iters, None, Some(&w2));
+            let per_iter = t0.elapsed().as_secs_f64() / iters as f64;
+            assert_eq!(est.len(), n * n);
+            if backend == EstimatorBackend::Dense {
+                dense_per_iter = per_iter;
+            }
+            rows.push(vec![
+                n.to_string(),
+                backend.name().to_string(),
+                w2.nnz().to_string(),
+                format!("{:.2}", per_iter * 1e3),
+                format!("{:.1}", dense_per_iter / per_iter),
+            ]);
+        }
+    }
+    let report = Reported {
+        id: "bench_estimate_backends".into(),
+        settings: format!(
+            "ring channel, banded W₂ degree {degree} (|W₂| = (degree+1)·|R|), joint IBU, \
+             {iters} measured iterations"
+        ),
+        headers: vec![
+            "|R|".into(),
+            "backend".into(),
+            "|W2|".into(),
+            "per_iter_ms".into(),
+            "speedup_vs_dense".into(),
+        ],
+        rows,
+    };
+    let _ = write_json(&report, std::path::Path::new("results"));
+}
+
+criterion_group!(
+    benches,
+    bench_ingestion_scale,
+    bench_model_and_synthesis,
+    bench_estimate_backends
+);
 criterion_main!(benches);

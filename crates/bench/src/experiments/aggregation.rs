@@ -3,13 +3,21 @@
 //! `trajshare_aggregate`, and score the published synthetic set against
 //! ground truth next to the per-user baselines — the server-side
 //! counterpart of the per-user tables.
+//!
+//! Runs on **two** dataset families (Taxi-Foursquare and Safegraph, the
+//! first slice of the cross-dataset roadmap item) and publishes one
+//! synthetic row per estimator backend (`dense` product-channel IBU vs
+//! the `sparse-w2` feasibility-normalized IBU), so the backend
+//! comparison is not tied to a single hierarchy.
 
 use super::ExpParams;
 use crate::report::Reported;
 use crate::runner::run_method;
 use crate::scenario::{build_scenario, Scenario, ScenarioConfig};
+use std::time::Instant;
 use trajshare_aggregate::{
-    aggregate_and_synthesize_matching, collect_reports, score_paired, EvalConfig, UtilityScores,
+    aggregate_and_synthesize_matching_with, collect_reports, score_paired, EstimatorBackend,
+    EvalConfig, FrequencyEstimator, UtilityScores,
 };
 use trajshare_core::baselines::IndependentMechanism;
 use trajshare_core::{MechanismConfig, NGramMechanism};
@@ -24,73 +32,100 @@ fn fmt_scores(s: &UtilityScores) -> Vec<String> {
     ]
 }
 
-/// Runs the aggregation-synthesis experiment on the Taxi-Foursquare
-/// scenario: one row for the synthetic set, one per per-user baseline.
+/// Runs the aggregation-synthesis experiment on the Taxi-Foursquare and
+/// Safegraph scenarios: one synthetic row per estimator backend, one row
+/// per per-user baseline, per dataset.
 pub fn run(params: &ExpParams) -> Reported {
-    let cfg = ScenarioConfig {
-        num_pois: params.num_pois,
-        num_trajectories: params.num_trajectories,
-        traj_len: Some(3),
-        seed: params.seed,
-        ..Default::default()
-    };
-    let (dataset, real) = build_scenario(Scenario::TaxiFoursquare, &cfg);
-    let mech_cfg = MechanismConfig::default().with_epsilon(params.epsilon);
     let eval = EvalConfig::default();
-
-    let mech = NGramMechanism::build(&dataset, &mech_cfg);
-    let reports = collect_reports(&mech, &real, params.seed ^ 0xA66);
-    let outcome = aggregate_and_synthesize_matching(&dataset, &mech, &reports, params.seed ^ 0x517);
-    let bytes: usize = reports.iter().map(|r| r.encoded_len()).sum();
-
+    let mech_cfg = MechanismConfig::default().with_epsilon(params.epsilon);
     let mut rows = Vec::new();
-    rows.push({
-        let mut row = vec!["Synthetic (aggregate)".to_string()];
-        row.extend(fmt_scores(&score_paired(
-            &dataset,
-            &real,
-            outcome.synthetic.all(),
-            &eval,
-        )));
-        row
-    });
-    for (name, baseline) in [
-        (
-            "IndNoReach",
-            IndependentMechanism::build(&dataset, params.epsilon, false),
-        ),
-        (
-            "IndReach",
-            IndependentMechanism::build(&dataset, params.epsilon, true),
-        ),
-    ] {
-        let run = run_method(&baseline, &real, params.seed ^ 0xB0, params.workers);
-        let mut row = vec![name.to_string()];
-        row.extend(fmt_scores(&score_paired(
-            &dataset,
-            &real,
-            &run.perturbed,
-            &eval,
-        )));
-        rows.push(row);
+    let mut settings_bits = Vec::new();
+
+    for scenario in [Scenario::TaxiFoursquare, Scenario::Safegraph] {
+        let cfg = ScenarioConfig {
+            num_pois: params.num_pois,
+            num_trajectories: params.num_trajectories,
+            traj_len: Some(3),
+            seed: params.seed,
+            ..Default::default()
+        };
+        let (dataset, real) = build_scenario(scenario, &cfg);
+        let mech = NGramMechanism::build(&dataset, &mech_cfg);
+        let reports = collect_reports(&mech, &real, params.seed ^ 0xA66);
+        let bytes: usize = reports.iter().map(|r| r.encoded_len()).sum();
+        settings_bits.push(format!(
+            "{}: {} users, |R| = {}, |W₂| = {}, {} report bytes",
+            scenario.name(),
+            real.len(),
+            mech.regions().len(),
+            mech.graph().num_bigrams(),
+            bytes,
+        ));
+
+        // Always compare the dense reference against the W₂-aware model,
+        // plus whatever `--backend` asked for (e.g. `blocked`).
+        let mut backends = vec![EstimatorBackend::Dense, EstimatorBackend::SparseW2];
+        if !backends.contains(&params.backend) {
+            backends.insert(1, params.backend);
+        }
+        for backend in backends {
+            let t0 = Instant::now();
+            let outcome = aggregate_and_synthesize_matching_with(
+                &dataset,
+                &mech,
+                &reports,
+                params.seed ^ 0x517,
+                FrequencyEstimator::ibu(backend),
+            );
+            let fit_s = t0.elapsed().as_secs_f64();
+            let mut row = vec![
+                scenario.name().to_string(),
+                format!("Synthetic (IBU {backend})"),
+            ];
+            row.extend(fmt_scores(&score_paired(
+                &dataset,
+                &real,
+                outcome.synthetic.all(),
+                &eval,
+            )));
+            row.push(format!("{fit_s:.2}"));
+            rows.push(row);
+        }
+        for (name, baseline) in [
+            (
+                "IndNoReach",
+                IndependentMechanism::build(&dataset, params.epsilon, false),
+            ),
+            (
+                "IndReach",
+                IndependentMechanism::build(&dataset, params.epsilon, true),
+            ),
+        ] {
+            let run = run_method(&baseline, &real, params.seed ^ 0xB0, params.workers);
+            let mut row = vec![scenario.name().to_string(), name.to_string()];
+            row.extend(fmt_scores(&score_paired(
+                &dataset,
+                &real,
+                &run.perturbed,
+                &eval,
+            )));
+            row.push("—".into());
+            rows.push(row);
+        }
     }
 
     Reported {
         id: "aggregation_synthesis".into(),
-        settings: format!(
-            "Taxi-Foursquare, {} users, ε = {}, |R| = {}, {} report bytes total, estimator = IBU",
-            real.len(),
-            params.epsilon,
-            mech.regions().len(),
-            bytes,
-        ),
+        settings: format!("ε = {}; {}", params.epsilon, settings_bits.join("; ")),
         headers: vec![
+            "Dataset".into(),
             "Method".into(),
             "PRQ space %".into(),
             "PRQ time %".into(),
             "PRQ category %".into(),
             "Hotspot AHD (h)".into(),
             "OD L1".into(),
+            "fit+synthesis s".into(),
         ],
         rows,
     }

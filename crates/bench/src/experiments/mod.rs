@@ -12,6 +12,7 @@ pub mod table3;
 pub mod table4;
 
 use crate::report::Reported;
+use trajshare_aggregate::EstimatorBackend;
 
 /// Common experiment knobs (scaled-down defaults; see DESIGN.md §3).
 #[derive(Debug, Clone)]
@@ -26,6 +27,9 @@ pub struct ExpParams {
     pub workers: usize,
     /// Seed.
     pub seed: u64,
+    /// Estimation kernel backend for the aggregation/streaming
+    /// experiments (`--backend dense|blocked|sparse-w2`).
+    pub backend: EstimatorBackend,
 }
 
 impl Default for ExpParams {
@@ -38,13 +42,14 @@ impl Default for ExpParams {
                 .map(|n| n.get())
                 .unwrap_or(4),
             seed: 7,
+            backend: EstimatorBackend::default(),
         }
     }
 }
 
 impl ExpParams {
     /// Builds params from CLI args (`--pois`, `--trajectories`,
-    /// `--epsilon`, `--workers`, `--seed`).
+    /// `--epsilon`, `--workers`, `--seed`, `--backend`).
     pub fn from_args(args: &crate::Args) -> Self {
         let d = Self::default();
         Self {
@@ -53,6 +58,10 @@ impl ExpParams {
             epsilon: args.get_or("epsilon", d.epsilon),
             workers: args.get_or("workers", d.workers),
             seed: args.get_or("seed", d.seed),
+            backend: args
+                .get("backend")
+                .and_then(EstimatorBackend::parse)
+                .unwrap_or(d.backend),
         }
     }
 }

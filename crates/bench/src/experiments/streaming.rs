@@ -55,7 +55,7 @@ pub fn run(params: &ExpParams) -> Reported {
     };
     let mut ring =
         WindowedAggregator::new(trajshare_aggregate::region_tiles(mech.regions()), window);
-    let mut estimator = StreamingEstimator::with_iters(400, 12);
+    let mut estimator = StreamingEstimator::with_backend(400, 12, params.backend);
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0x117);
 
     let mut rows = Vec::new();
@@ -102,10 +102,11 @@ pub fn run(params: &ExpParams) -> Reported {
         id: "streaming_synthesis".into(),
         settings: format!(
             "Taxi-Foursquare, {} users over {TOTAL_WINDOWS} windows (ring {NUM_WINDOWS}), \
-             ε = {}, |R| = {}, warm IBU 12 iters",
+             ε = {}, |R| = {}, warm IBU 12 iters, backend = {}",
             real.len(),
             params.epsilon,
             mech.regions().len(),
+            params.backend,
         ),
         headers: vec![
             "window".into(),

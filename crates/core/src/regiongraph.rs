@@ -102,6 +102,32 @@ impl RegionGraph {
     pub fn is_feasible(&self, a: RegionId, b: RegionId) -> bool {
         self.succ[a.index()].contains(&(b.0))
     }
+
+    /// Exports the successor adjacency (`W₂` rows = tails) in CSR form:
+    /// `(row_ptr, cols)` with `cols[row_ptr[r]..row_ptr[r + 1]]` the
+    /// feasible heads of region `r`. This is the zero-copy-friendly shape
+    /// sparse estimation kernels consume
+    /// (`trajshare_aggregate::linalg::CsrPattern`).
+    pub fn successor_csr(&self) -> (Vec<usize>, Vec<u32>) {
+        Self::adjacency_csr(&self.succ)
+    }
+
+    /// Exports the predecessor adjacency (`W₂` rows = heads) in CSR form —
+    /// the transpose of [`RegionGraph::successor_csr`].
+    pub fn predecessor_csr(&self) -> (Vec<usize>, Vec<u32>) {
+        Self::adjacency_csr(&self.pred)
+    }
+
+    fn adjacency_csr(rows: &[Vec<u32>]) -> (Vec<usize>, Vec<u32>) {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut cols = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+        row_ptr.push(0);
+        for r in rows {
+            cols.extend_from_slice(r);
+            row_ptr.push(cols.len());
+        }
+        (row_ptr, cols)
+    }
 }
 
 /// Whether any POI pair across the two regions is within `theta` meters.
@@ -232,6 +258,37 @@ mod tests {
             assert!(g.is_feasible(RegionId(a), RegionId(b)));
             assert!(g.successors(RegionId(a)).contains(&b));
             assert!(g.predecessors(RegionId(b)).contains(&a));
+        }
+    }
+
+    #[test]
+    fn csr_exports_match_adjacency_lists() {
+        let ds = dataset(Some(8.0));
+        let rs = decompose(&ds, &MechanismConfig::default());
+        let g = RegionGraph::build(&ds, &rs);
+        let n = g.num_regions();
+        let (srow, scols) = g.successor_csr();
+        assert_eq!(srow.len(), n + 1);
+        assert_eq!(srow[0], 0);
+        assert_eq!(*srow.last().unwrap(), g.num_bigrams());
+        assert_eq!(scols.len(), g.num_bigrams());
+        for r in rs.ids() {
+            assert_eq!(
+                &scols[srow[r.index()]..srow[r.index() + 1]],
+                g.successors(r)
+            );
+        }
+        // The predecessor export is the successor export's transpose.
+        let (prow, pcols) = g.predecessor_csr();
+        assert_eq!(pcols.len(), g.num_bigrams());
+        let mut transposed: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for a in 0..n {
+            for &b in &scols[srow[a]..srow[a + 1]] {
+                transposed[b as usize].push(a as u32);
+            }
+        }
+        for b in 0..n {
+            assert_eq!(&pcols[prow[b]..prow[b + 1]], &transposed[b]);
         }
     }
 

@@ -7,7 +7,8 @@
 //!         [--fsync-records N] [--fsync-ms MS]         # group-commit fsync
 //!         [--wal-max-bytes B]                         # online compaction
 //!         [--window-len U --windows W]                # streaming windows
-//!         [--publish-every-ms MS]
+//!         [--publish-every-ms MS] [--server-clock]
+//!         [--max-conn-advance N] [--backend dense|blocked|sparse-w2]
 //!         [--dump-counts]
 //! ```
 //!
@@ -21,11 +22,18 @@
 //! With `--window-len`/`--windows` the server runs the streaming
 //! workload: timestamped reports land in a sliding window ring and every
 //! `--publish-every-ms` the daemon prints one `published ...` line with
-//! the merged window view.
+//! the merged window view. `--server-clock` stamps timestamps at the
+//! collector edge (seconds since the Unix epoch; for deployments that
+//! cannot trust device clocks), `--max-conn-advance N` bounds how many
+//! windows a single connection may advance the watermark, and
+//! `--backend` picks the estimation kernels used by embedded
+//! deployments calling `ServerHandle::estimate_window_model` (a
+//! dataset-less daemon has no region graph, so the flag is recorded for
+//! them rather than exercised here).
 
 use std::net::SocketAddr;
 use std::time::Duration;
-use trajshare_aggregate::WindowConfig;
+use trajshare_aggregate::{EstimatorBackend, WindowConfig};
 use trajshare_service::{
     CountsSummary, IngestServer, ServerConfig, StreamServerConfig, SyncPolicy,
 };
@@ -35,7 +43,8 @@ fn usage() -> ! {
         "usage: ingestd --data-dir DIR --regions N [--addr HOST:PORT] [--workers W] \
          [--snapshot-every K] [--wal-flush-every F] [--read-timeout-ms MS] \
          [--fsync-records N] [--fsync-ms MS] [--wal-max-bytes B] \
-         [--window-len U --windows W] [--publish-every-ms MS] [--dump-counts]"
+         [--window-len U --windows W] [--publish-every-ms MS] [--server-clock] \
+         [--max-conn-advance N] [--backend dense|blocked|sparse-w2] [--dump-counts]"
     );
     std::process::exit(2)
 }
@@ -76,6 +85,9 @@ fn main() {
     let mut window_len: Option<u64> = None;
     let mut windows: Option<usize> = None;
     let mut publish_every_ms: u64 = 1_000;
+    let mut server_clock = false;
+    let mut max_conn_advance: Option<u64> = None;
+    let mut backend = EstimatorBackend::default();
     let mut dump_counts = false;
 
     let mut args = std::env::args().skip(1);
@@ -98,6 +110,11 @@ fn main() {
             "--window-len" => window_len = Some(parsed(value(&mut args))),
             "--windows" => windows = Some(parsed(value(&mut args))),
             "--publish-every-ms" => publish_every_ms = parsed(value(&mut args)),
+            "--server-clock" => server_clock = true,
+            "--max-conn-advance" => max_conn_advance = Some(parsed(value(&mut args))),
+            "--backend" => {
+                backend = EstimatorBackend::parse(&value(&mut args)).unwrap_or_else(|| usage())
+            }
             "--dump-counts" => dump_counts = true,
             _ => usage(),
         }
@@ -173,21 +190,37 @@ fn main() {
     config.stream = window.map(|w| StreamServerConfig {
         window: w,
         publish_every: Duration::from_millis(publish_every_ms.max(10)),
+        server_clock,
+        max_conn_advance: max_conn_advance.unwrap_or(u64::MAX),
+        backend,
     });
 
     let streaming = config.stream.is_some();
+    let stream_desc = config.stream.as_ref().map(|s| {
+        format!(
+            ", streaming: clock={} advance-budget={} backend={}",
+            if s.server_clock { "server" } else { "client" },
+            if s.max_conn_advance == u64::MAX {
+                "unlimited".to_string()
+            } else {
+                s.max_conn_advance.to_string()
+            },
+            s.backend,
+        )
+    });
     let handle = IngestServer::start(config).unwrap_or_else(|e| {
         eprintln!("ingestd: cannot start: {e}");
         std::process::exit(1)
     });
     let rec = handle.recovery();
     println!(
-        "ingestd listening on {} (gen {}, recovered {} reports, {} replayed from log, {} windows restored)",
+        "ingestd listening on {} (gen {}, recovered {} reports, {} replayed from log, {} windows restored{})",
         handle.addr(),
         rec.generation,
         rec.recovered_reports,
         rec.replayed_reports,
         rec.restored_windows,
+        stream_desc.as_deref().unwrap_or(""),
     );
     // Park; SIGTERM/SIGKILL is the stop signal, and recovery is the
     // restart path — that asymmetry is exactly what the durability

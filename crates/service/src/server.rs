@@ -56,8 +56,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use trajshare_aggregate::snapshot::crc32;
 use trajshare_aggregate::{
-    AggregateCounts, Aggregator, Report, StreamDecoder, WindowConfig, WindowedAggregator,
+    AggregateCounts, Aggregator, EstimatorBackend, MobilityModel, Report, StreamDecoder,
+    StreamingEstimator, WindowConfig, WindowedAggregator,
 };
+use trajshare_core::RegionGraph;
 
 /// Streaming (sliding-window) options for a server instance.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +68,51 @@ pub struct StreamServerConfig {
     pub window: WindowConfig,
     /// How often the maintenance thread publishes the merged window view.
     pub publish_every: Duration,
+    /// Stamp report timestamps at the collector edge (server clock,
+    /// seconds since the Unix epoch) instead of trusting the
+    /// client-declared `t`. The stamped encoding is what reaches the WAL,
+    /// so recovery reproduces the stamped windows. For deployments that
+    /// cannot trust device clocks; `window_len` is then in seconds.
+    pub server_clock: bool,
+    /// How many windows a single connection may advance the shard's
+    /// watermark in total. A hostile far-future timestamp would otherwise
+    /// evict every live window in one report; with a budget, reports that
+    /// would overdraw it are refused (counted in
+    /// [`ServerStats::watermark_throttled`], never acked, never logged).
+    /// `u64::MAX` (the historical behavior) disables the limit. Polices
+    /// *client-declared* timestamps only — with `server_clock` the stamp
+    /// is the server's own and bypasses the budget — and only while the
+    /// shard's ring holds live reports: advancing an empty ring evicts
+    /// nothing and is free, so epoch-stamping clients can reach "now"
+    /// from a cold start. The budget bounds eviction of live data; it
+    /// cannot authenticate absolute time (that is `server_clock`'s job).
+    pub max_conn_advance: u64,
+    /// Kernel backend for window-model estimation
+    /// ([`ServerHandle::estimate_window_model`]); embedded deployments
+    /// with a region graph flip the whole estimation chain here.
+    pub backend: EstimatorBackend,
+}
+
+impl StreamServerConfig {
+    /// Streaming options with the historical defaults: client-declared
+    /// timestamps, no advance limit, dense estimation.
+    pub fn new(window: WindowConfig, publish_every: Duration) -> Self {
+        StreamServerConfig {
+            window,
+            publish_every,
+            server_clock: false,
+            max_conn_advance: u64::MAX,
+            backend: EstimatorBackend::default(),
+        }
+    }
+}
+
+/// The per-connection slice of the streaming options `handle_conn`
+/// enforces (everything else is the maintenance thread's business).
+#[derive(Debug, Clone, Copy)]
+struct StreamIngestPolicy {
+    server_clock: bool,
+    max_conn_advance: u64,
 }
 
 /// Tunables for one server instance.
@@ -140,6 +187,11 @@ pub struct ServerStats {
     pub disconnected_protocol: AtomicU64,
     /// Reports validated, logged, and counted.
     pub reports_ingested: AtomicU64,
+    /// Reports refused because accepting them would advance the window
+    /// watermark past the connection's advance budget (streaming only;
+    /// see [`StreamServerConfig::max_conn_advance`]). Not logged, not
+    /// counted, not acked.
+    pub watermark_throttled: AtomicU64,
     /// Connections dropped by I/O errors (socket or WAL).
     pub io_errors: AtomicU64,
     /// Sliding-window publications emitted by the maintenance thread.
@@ -234,6 +286,9 @@ pub struct ServerHandle {
     base: Arc<Mutex<BaseState>>,
     shards: Vec<Arc<Mutex<Shard>>>,
     latest_publication: Arc<Mutex<Option<StreamPublication>>>,
+    /// Warm-started window-model estimator on the configured backend
+    /// (streaming servers only).
+    estimator: Option<Mutex<StreamingEstimator>>,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
     recovery: RecoverySummary,
@@ -295,12 +350,19 @@ impl IngestServer {
         let (tx, rx) = channel::bounded::<TcpStream>(config.queue_depth);
 
         // Fresh shard rings start at the recovered watermark, so late
-        // reports are judged against where the stream actually is.
+        // reports are judged against where the stream actually is. A
+        // server-clock deployment additionally starts at *now*: its
+        // window key is wall time, and a fresh ring at window 0 would
+        // make the first stamped report look like a multi-million-window
+        // jump.
         let fresh_ring = |base_ring: &Option<WindowedAggregator>| {
             window.map(|w| {
                 let mut ring = WindowedAggregator::new(config.region_tiles.clone(), w);
                 if let Some(base) = base_ring {
                     ring.advance_to(base.newest_window());
+                }
+                if config.stream.as_ref().is_some_and(|s| s.server_clock) {
+                    ring.advance_to(w.window_of(server_clock_now()));
                 }
                 ring
             })
@@ -326,8 +388,12 @@ impl IngestServer {
             let stats = Arc::clone(&stats);
             let stop = Arc::clone(&stop);
             let read_timeout = config.read_timeout;
+            let policy = config.stream.as_ref().map(|s| StreamIngestPolicy {
+                server_clock: s.server_clock,
+                max_conn_advance: s.max_conn_advance,
+            });
             threads.push(std::thread::spawn(move || {
-                worker_loop(rx, shard, stats, stop, read_timeout)
+                worker_loop(rx, shard, stats, stop, read_timeout, policy)
             }));
         }
         drop(rx);
@@ -365,12 +431,21 @@ impl IngestServer {
             }));
         }
 
+        let estimator = config.stream.as_ref().map(|s| {
+            Mutex::new(StreamingEstimator::with_backend(
+                StreamingEstimator::DEFAULT_COLD_ITERS,
+                StreamingEstimator::DEFAULT_WARM_ITERS,
+                s.backend,
+            ))
+        });
+
         Ok(ServerHandle {
             addr,
             stats,
             base,
             shards,
             latest_publication,
+            estimator,
             stop,
             threads,
             recovery,
@@ -428,6 +503,22 @@ impl ServerHandle {
     /// The most recent sliding-window publication, if any.
     pub fn latest_publication(&self) -> Option<StreamPublication> {
         self.latest_publication.lock().unwrap().clone()
+    }
+
+    /// Estimates the mobility model over the merged live window on the
+    /// configured [`StreamServerConfig::backend`], warm-starting from the
+    /// previous call's posterior — the embedded-deployment hook that
+    /// makes the backend flag flip the whole service-side estimation
+    /// chain. `None` when the server is not streaming or `graph` does not
+    /// match the server's region universe (a dataset-less `ingestd` has
+    /// no graph to offer).
+    pub fn estimate_window_model(&self, graph: &RegionGraph) -> Option<MobilityModel> {
+        let estimator = self.estimator.as_ref()?;
+        let view = self.windowed_counts()?;
+        if view.merged().num_regions != graph.num_regions() {
+            return None;
+        }
+        Some(estimator.lock().unwrap().tick(view.merged(), graph))
     }
 
     /// The current file generation (bumps on online compaction).
@@ -489,10 +580,11 @@ fn worker_loop(
     stats: Arc<ServerStats>,
     stop: Arc<AtomicBool>,
     read_timeout: Duration,
+    policy: Option<StreamIngestPolicy>,
 ) {
     loop {
         match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(stream) => handle_conn(stream, &shard, &stats, &stop, read_timeout),
+            Ok(stream) => handle_conn(stream, &shard, &stats, &stop, read_timeout, policy),
             Err(RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::SeqCst) {
                     return;
@@ -674,6 +766,15 @@ fn compact_online(
     Ok(())
 }
 
+/// The collector-edge clock: seconds since the Unix epoch (saturating
+/// at 0 on a pre-epoch system clock rather than panicking).
+fn server_clock_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
 /// Reads one client stream to EOF, ingesting every framed report, then
 /// flushes the WAL and acks. Any protocol violation or stall drops the
 /// connection without an ack.
@@ -683,6 +784,7 @@ fn handle_conn(
     stats: &ServerStats,
     stop: &AtomicBool,
     read_timeout: Duration,
+    policy: Option<StreamIngestPolicy>,
 ) {
     if stream.set_read_timeout(Some(read_timeout)).is_err() || stream.set_nodelay(true).is_err() {
         stats.bump(&stats.io_errors);
@@ -691,6 +793,8 @@ fn handle_conn(
     let mut decoder = StreamDecoder::new();
     let mut chunk = [0u8; 64 * 1024];
     let mut accepted = 0u64;
+    // Windows this connection may still advance the shard watermark.
+    let mut advance_budget = policy.map_or(u64::MAX, |p| p.max_conn_advance);
     loop {
         if stop.load(Ordering::SeqCst) {
             let _ = shard.lock().unwrap().wal.flush();
@@ -723,11 +827,55 @@ fn handle_conn(
                 decoder.extend(&chunk[..n]);
                 loop {
                     match decoder.next_frame() {
-                        Ok(Some((report, payload))) => {
-                            if shard.lock().unwrap().ingest(&report, payload).is_err() {
+                        Ok(Some((mut report, payload))) => {
+                            // Collector-edge stamping: the *stamped*
+                            // encoding is what the WAL persists, so a
+                            // replayed report lands in the same window.
+                            let stamped;
+                            let payload: &[u8] = if policy.is_some_and(|p| p.server_clock) {
+                                report.t = server_clock_now();
+                                stamped = report.encode();
+                                &stamped
+                            } else {
+                                payload
+                            };
+                            let mut guard = shard.lock().unwrap();
+                            // The advance budget polices *client-declared*
+                            // timestamps; an edge-stamped `t` is the
+                            // server's own clock and is trusted by
+                            // construction (it can only advance the
+                            // watermark at wall-time rate).
+                            if !policy.is_some_and(|p| p.server_clock) {
+                                if let Some(ring) = &guard.ring {
+                                    let w = ring.config().window_of(report.t);
+                                    let newest = ring.newest_window();
+                                    // The budget protects *live data* from
+                                    // eviction; advancing an empty ring
+                                    // evicts nothing and is free — which is
+                                    // also what lets clients stamping
+                                    // epoch seconds reach "now" from a
+                                    // cold start's watermark 0.
+                                    let has_live = ring.merged().num_reports > 0;
+                                    if w > newest && has_live {
+                                        let delta = w - newest;
+                                        if delta > advance_budget {
+                                            // Refusing (not clamping) keeps
+                                            // the report's LDP payload intact
+                                            // and the watermark honest; the
+                                            // client sees a smaller ack.
+                                            drop(guard);
+                                            stats.bump(&stats.watermark_throttled);
+                                            continue;
+                                        }
+                                        advance_budget -= delta;
+                                    }
+                                }
+                            }
+                            if guard.ingest(&report, payload).is_err() {
                                 stats.bump(&stats.io_errors);
                                 return;
                             }
+                            drop(guard);
                             accepted += 1;
                             stats.bump(&stats.reports_ingested);
                         }

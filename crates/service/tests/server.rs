@@ -247,10 +247,7 @@ fn windowed_server_publishes_and_recovers_the_ring() {
         window_len: 60,
         num_windows: 3,
     };
-    cfg.stream = Some(StreamServerConfig {
-        window,
-        publish_every: Duration::from_millis(50),
-    });
+    cfg.stream = Some(StreamServerConfig::new(window, Duration::from_millis(50)));
     let server = IngestServer::start(cfg.clone()).unwrap();
 
     // Windows 0, 1, 2 live; then window 3 evicts window 0.
@@ -319,13 +316,13 @@ fn online_compaction_bounds_wal_size_and_keeps_counters_exact() {
     cfg.workers = 2;
     // Tiny WAL budget: a few dozen records trip compaction.
     cfg.wal_max_bytes = 2_048;
-    cfg.stream = Some(StreamServerConfig {
-        window: WindowConfig {
+    cfg.stream = Some(StreamServerConfig::new(
+        WindowConfig {
             window_len: 60,
             num_windows: 3,
         },
-        publish_every: Duration::from_millis(100),
-    });
+        Duration::from_millis(100),
+    ));
     let server = IngestServer::start(cfg.clone()).unwrap();
     let reports: Vec<Report> = (0..3_000)
         .map(|i| toy_report_at(i, (i as u64 / 1_500) * 60))
@@ -424,6 +421,161 @@ fn full_queue_refuses_connections_instead_of_buffering() {
             server.stats().refused.load(Ordering::Relaxed) >= 1
         }),
         "no connection was refused under a full queue"
+    );
+    server.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn watermark_advance_is_rate_limited_per_connection() {
+    let (mut cfg, dir) = config("throttle");
+    cfg.workers = 1; // one shard: the ring watermark is global
+    let mut stream_cfg = StreamServerConfig::new(
+        WindowConfig {
+            window_len: 60,
+            num_windows: 3,
+        },
+        Duration::from_millis(50),
+    );
+    stream_cfg.max_conn_advance = 2;
+    cfg.stream = Some(stream_cfg);
+    let server = IngestServer::start(cfg.clone()).unwrap();
+
+    // One connection: windows 0, 1, 2 (advance budget 2 consumed), then
+    // a hostile far-future jump that would wipe the whole ring — the
+    // budget is spent, so the jump is refused and the ring stands.
+    let reports = vec![
+        toy_report_at(0, 0),
+        toy_report_at(1, 60),
+        toy_report_at(2, 120),
+        toy_report_at(3, 1_000_000),
+        toy_report_at(4, 125), // still in-window: accepted after the refusal
+    ];
+    let acked = stream_reports(server.addr(), &reports, 1).unwrap();
+    assert_eq!(acked, 4, "the far-future report must not be acked");
+    assert_eq!(
+        server.stats().watermark_throttled.load(Ordering::Relaxed),
+        1
+    );
+    let view = server.windowed_counts().unwrap();
+    assert_eq!(view.newest_window(), 2, "watermark must not jump");
+    assert_eq!(view.merged().num_reports, 4);
+
+    // A fresh connection gets a fresh budget: it may advance (by ≤ 2).
+    assert_eq!(
+        stream_reports(server.addr(), &[toy_report_at(5, 180)], 1).unwrap(),
+        1
+    );
+    let view = server.windowed_counts().unwrap();
+    assert_eq!(view.newest_window(), 3);
+
+    // Restart: throttled reports never reached the WAL, so recovery
+    // reproduces exactly the accepted set.
+    server.crash();
+    let server2 = IngestServer::start(cfg).unwrap();
+    assert_eq!(server2.counts().num_reports, 5);
+    server2.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn server_clock_stamps_reports_at_the_collector_edge() {
+    let (mut cfg, dir) = config("server-clock");
+    let mut stream_cfg = StreamServerConfig::new(
+        WindowConfig {
+            window_len: 60,
+            num_windows: 4,
+        },
+        Duration::from_millis(50),
+    );
+    stream_cfg.server_clock = true;
+    // Regression: a tight advance budget must not refuse edge-stamped
+    // reports — the stamp is the server's own clock, trusted by
+    // construction (a fresh ring starts at the "now" window, and the
+    // budget only polices client-declared timestamps).
+    stream_cfg.max_conn_advance = 2;
+    cfg.stream = Some(stream_cfg);
+    let before = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_secs()
+        / 60;
+    let server = IngestServer::start(cfg.clone()).unwrap();
+
+    // Clients declare absurd timestamps in both directions; the collector
+    // overrides them all with its own clock, so everything lands in the
+    // "now" window and nothing is late or evicted.
+    let reports = vec![
+        toy_report_at(0, 0),
+        toy_report_at(1, u64::MAX / 2),
+        toy_report_at(2, 7),
+    ];
+    assert_eq!(stream_reports(server.addr(), &reports, 1).unwrap(), 3);
+    assert_eq!(
+        server.stats().watermark_throttled.load(Ordering::Relaxed),
+        0,
+        "server-clock stamps must bypass the advance budget"
+    );
+    let view = server.windowed_counts().unwrap();
+    assert_eq!(view.merged().num_reports, 3);
+    assert_eq!(view.late(), 0);
+    assert!(
+        view.newest_window() >= before,
+        "stamped window {} must be the server's clock, not the client's",
+        view.newest_window()
+    );
+    assert!(view.windows().len() <= 2, "all reports land around now");
+
+    // The *stamped* timestamps are what the WAL holds: recovery lands
+    // the reports back in the server-clock windows, not window 0.
+    server.crash();
+    let server2 = IngestServer::start(cfg).unwrap();
+    let restored = server2.windowed_counts().unwrap();
+    assert_eq!(restored.merged().num_reports, 3);
+    assert!(restored.newest_window() >= before);
+    server2.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn advance_budget_is_free_on_an_empty_ring() {
+    // Clients stamping epoch seconds must be able to reach "now" from a
+    // cold start's watermark 0 even under a tight budget: advancing an
+    // empty ring evicts nothing, so it costs nothing. Once live data
+    // exists, the budget bites.
+    let (mut cfg, dir) = config("cold-start-budget");
+    cfg.workers = 1;
+    let mut stream_cfg = StreamServerConfig::new(
+        WindowConfig {
+            window_len: 60,
+            num_windows: 3,
+        },
+        Duration::from_millis(50),
+    );
+    stream_cfg.max_conn_advance = 1;
+    cfg.stream = Some(stream_cfg);
+    let server = IngestServer::start(cfg).unwrap();
+
+    let epoch = 1_700_000_000u64;
+    assert_eq!(
+        stream_reports(server.addr(), &[toy_report_at(0, epoch)], 1).unwrap(),
+        1,
+        "first epoch-stamped report must be free on the empty ring"
+    );
+    let view = server.windowed_counts().unwrap();
+    assert_eq!(view.newest_window(), epoch / 60);
+    // Now the ring holds live data: a 100-window jump overdraws budget 1.
+    assert_eq!(
+        stream_reports(server.addr(), &[toy_report_at(1, epoch + 6_000)], 1).unwrap(),
+        0
+    );
+    assert_eq!(
+        server.stats().watermark_throttled.load(Ordering::Relaxed),
+        1
+    );
+    assert_eq!(
+        server.windowed_counts().unwrap().newest_window(),
+        epoch / 60
     );
     server.crash();
     let _ = std::fs::remove_dir_all(&dir);

@@ -10,8 +10,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
 use trajshare_aggregate::{
-    aggregate_reports, collect_reports, region_tiles, Aggregator, FrequencyEstimator,
-    MobilityModel, Report, WindowConfig, WindowedAggregator,
+    aggregate_reports, collect_reports, region_tiles, Aggregator, EstimatorBackend,
+    FrequencyEstimator, MobilityModel, Report, WindowConfig, WindowedAggregator,
 };
 use trajshare_core::{MechanismConfig, NGramMechanism};
 use trajshare_datagen::{
@@ -167,10 +167,11 @@ fn streaming_windows_match_batch_and_survive_midwindow_kill() {
     cfg.snapshot_every = 700; // several ring-bearing snapshots mid-stream
     cfg.wal_flush_every = 32;
     cfg.read_timeout = Duration::from_secs(10);
-    cfg.stream = Some(StreamServerConfig {
-        window,
-        publish_every: Duration::from_millis(100),
-    });
+    let mut stream_cfg = StreamServerConfig::new(window, Duration::from_millis(100));
+    // The whole service-side estimation chain runs on the sparse
+    // W₂-aware kernels — one config flag.
+    stream_cfg.backend = EstimatorBackend::SparseW2;
+    cfg.stream = Some(stream_cfg);
 
     let server = IngestServer::start(cfg.clone()).unwrap();
     assert_eq!(
@@ -198,13 +199,36 @@ fn streaming_windows_match_batch_and_survive_midwindow_kill() {
     // on identical counters).
     let merged_batch = aggregate_reports(mech.regions(), &streamed);
     assert_eq!(view.merged(), &merged_batch);
-    let est = FrequencyEstimator::Ibu { iters: 60 };
+    let est = FrequencyEstimator::Ibu {
+        iters: 60,
+        backend: EstimatorBackend::default(),
+    };
     let m_live = MobilityModel::estimate_with(view.merged(), mech.graph(), est);
     let m_batch = MobilityModel::estimate_with(&merged_batch, mech.graph(), est);
     let l1 = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
     assert!(l1(&m_live.occupancy, &m_batch.occupancy) < 1e-9);
     assert!(l1(&m_live.start, &m_batch.start) < 1e-9);
     assert!(l1(&m_live.transition, &m_batch.transition) < 1e-9);
+    // The server's own estimation hook runs the configured SparseW2
+    // backend over the live window: feasible support only, and the
+    // unigram marginals track the reference estimate.
+    let m_server = server
+        .estimate_window_model(mech.graph())
+        .expect("streaming server estimates");
+    assert!(m_server.debiased);
+    for (tail, head) in
+        (0..m_server.num_regions).flat_map(|a| (0..m_server.num_regions).map(move |b| (a, b)))
+    {
+        if m_server.transition[tail * m_server.num_regions + head] > 0.0 {
+            assert!(
+                mech.graph().is_feasible(
+                    trajshare_core::RegionId(tail as u32),
+                    trajshare_core::RegionId(head as u32)
+                ),
+                "server estimate put mass on infeasible bigram {tail}->{head}"
+            );
+        }
+    }
 
     // Kill mid-window (no clean shutdown), restart re-sharded: the ring
     // must come back bit-identically from ring blobs + WAL tails.
