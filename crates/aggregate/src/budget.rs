@@ -1,0 +1,880 @@
+//! Streaming privacy-budget accounting for continuous publication.
+//!
+//! The paper's accountant ([`trajshare_mech::PrivacyBudget`]) covers the
+//! one-shot setting: a user shares one trajectory, ε composes over its
+//! n-gram windows, done. The streaming service is not one-shot — it
+//! publishes sliding-window models forever, and a user who reports in
+//! every window spends ε *per window*, without bound, unless someone
+//! accounts for it. RetraSyn (Hu et al., 2024) frames the sound contract
+//! for that setting as a **`w`-window budget**: over any `w` consecutive
+//! windows, a participating user's total spend must stay within ε.
+//!
+//! [`WindowBudgetAccountant`] enforces exactly that invariant, in the
+//! same integer nano-ε discipline as the wire format (`Report::eps_nano`)
+//! — the ledger sums `u64` nano-ε, so no sequence of grants, settlements,
+//! encodes, replays, or merges can drift the accounting by even one
+//! nano-ε. The companion [`AllocationPolicy`] decides how much of the
+//! window budget each new window may spend:
+//!
+//! * [`AllocationPolicy::Uniform`] — the static baseline: every window
+//!   gets `total / w`.
+//! * [`AllocationPolicy::Adaptive`] — RetraSyn-style: measure how much
+//!   the published distribution *moved* since the previous window
+//!   ([`count_divergence`] / [`l1_divergence`]) and allocate
+//!   proportionally — a stable stream gets a small probe share (its
+//!   unspent budget is *recycled*, i.e. stays available inside the
+//!   horizon), and a shifting stream gets the whole recycled pool when
+//!   fresh data is actually worth buying.
+//!
+//! The accountant is the *decision* ledger; the durable mirror is the
+//! window ring ([`crate::stream::WindowedAggregator::record_spend`]), and
+//! the ingestion service persists the ledger itself
+//! (`WindowBudgetAccountant::encode`) so the invariant survives
+//! kill/restart — see `trajshare_service::server`.
+
+use crate::snapshot::{crc32, SnapshotError};
+use std::collections::VecDeque;
+
+/// Nano-ε per ε — the integer grid shared with the report wire format.
+pub const NANO_PER_EPS: u64 = 1_000_000_000;
+
+/// Single rounding ε → nano-ε (the wire-format grid). Non-finite and
+/// non-positive inputs map to 0.
+#[inline]
+pub fn eps_to_nano(eps: f64) -> u64 {
+    if eps.is_finite() && eps > 0.0 {
+        // `as` saturates at u64::MAX for absurdly large ε (rejected at
+        // ingestion anyway, which caps ε′ at `MAX_EPS_PRIME`).
+        (eps * NANO_PER_EPS as f64).round() as u64
+    } else {
+        0
+    }
+}
+
+/// Exact nano-ε → ε (every nano-ε integer is representable in an `f64`
+/// mantissa up to ~9.0e6 ε, far beyond any plausible budget).
+#[inline]
+pub fn nano_to_eps(nano: u64) -> f64 {
+    nano as f64 / NANO_PER_EPS as f64
+}
+
+/// Total-variation distance `½·Σ|a−b|` between two distributions.
+/// Slices must have equal length; mismatched lengths (a universe change)
+/// count as a full shift (1.0).
+pub fn l1_divergence(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() {
+        return 1.0;
+    }
+    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+/// Total-variation distance between two *count* vectors, each normalized
+/// to a distribution first — the divergence signal a collector can
+/// compute without any estimation (raw per-window occupancy counters).
+/// An empty side (sum 0) counts as a full shift: with nothing to compare
+/// against, the policy should buy fresh data.
+pub fn count_divergence(a: &[u64], b: &[u64]) -> f64 {
+    let (sa, sb) = (a.iter().sum::<u64>() as f64, b.iter().sum::<u64>() as f64);
+    if sa <= 0.0 || sb <= 0.0 || a.len() != b.len() {
+        return 1.0;
+    }
+    0.5 * a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 / sa - y as f64 / sb).abs())
+        .sum::<f64>()
+}
+
+/// How the accountant allocates each window's share of the `w`-window
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AllocationPolicy {
+    /// Every window gets `total / w` — the static baseline. Simple,
+    /// oblivious, and wasteful when the distribution barely moves.
+    Uniform,
+    /// Divergence-proportional allocation with a probe floor. The grant
+    /// for a window with divergence signal `d` is
+    /// `floor + min(1, max(0, d − threshold) · gain) · (available −
+    /// floor)` where `floor = (total/w)/4` is the always-on probe share
+    /// (you need *some* fresh signal to detect the next shift) and
+    /// `available` is everything the horizon allows — including budget
+    /// recycled from quiet windows. A stable stream therefore banks
+    /// `total/w − floor` per window, and the first shifting window can
+    /// spend close to the whole total at once.
+    Adaptive {
+        /// Scales the divergence signal onto `[0, 1]`; larger = more
+        /// trigger-happy. `d·gain ≥ 1` grants everything available.
+        gain: f64,
+        /// Divergence below this is treated as sampling noise (no
+        /// allocation above the probe floor).
+        threshold: f64,
+    },
+}
+
+impl AllocationPolicy {
+    /// Default adaptive gain.
+    pub const DEFAULT_GAIN: f64 = 4.0;
+    /// Default adaptive noise deadband.
+    pub const DEFAULT_THRESHOLD: f64 = 0.05;
+
+    /// The adaptive policy with default gain/threshold.
+    pub fn adaptive() -> Self {
+        AllocationPolicy::Adaptive {
+            gain: Self::DEFAULT_GAIN,
+            threshold: Self::DEFAULT_THRESHOLD,
+        }
+    }
+
+    /// CLI / experiment-flag name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AllocationPolicy::Uniform => "uniform",
+            AllocationPolicy::Adaptive { .. } => "adaptive",
+        }
+    }
+
+    /// Parses `uniform` / `adaptive` (default gain) — the `--budget-policy`
+    /// flag vocabulary.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "uniform" => Some(AllocationPolicy::Uniform),
+            "adaptive" => Some(AllocationPolicy::adaptive()),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AllocationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The `w`-window budget contract: over any `horizon` consecutive
+/// windows, total recorded spend must stay ≤ `total_nano`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowBudgetConfig {
+    /// Per-user budget over the horizon, in nano-ε.
+    pub total_nano: u64,
+    /// The `w` of "any `w` consecutive windows". Must be ≥ 1.
+    pub horizon: usize,
+    /// How each window's share is chosen.
+    pub policy: AllocationPolicy,
+}
+
+impl WindowBudgetConfig {
+    /// A validated config. Panics on a zero budget or horizon — both
+    /// would make every allocation degenerate.
+    pub fn new(total_nano: u64, horizon: usize, policy: AllocationPolicy) -> Self {
+        assert!(total_nano > 0, "budget must be positive");
+        assert!(horizon >= 1, "horizon must be >= 1");
+        WindowBudgetConfig {
+            total_nano,
+            horizon,
+            policy,
+        }
+    }
+
+    /// The uniform per-window share `total / w` (integer division — the
+    /// remainder is never granted, which keeps the invariant safe).
+    #[inline]
+    pub fn uniform_share(&self) -> u64 {
+        self.total_nano / self.horizon as u64
+    }
+
+    /// The adaptive probe floor (a quarter of the uniform share).
+    #[inline]
+    pub fn probe_floor(&self) -> u64 {
+        self.uniform_share() / 4
+    }
+}
+
+/// One decided window in the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowDecision {
+    /// Absolute window id.
+    pub window: u64,
+    /// Nano-ε the policy granted the window.
+    pub granted_nano: u64,
+    /// Nano-ε actually recorded as spent (≤ granted; 0 when refused).
+    pub spent_nano: u64,
+    /// Whether the window's observed spend was refused as over-grant
+    /// (its data must then be excluded from publication).
+    pub refused: bool,
+}
+
+/// What [`WindowBudgetAccountant::allocate`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowGrant {
+    /// The window the grant is for.
+    pub window: u64,
+    /// Nano-ε granted.
+    pub granted_nano: u64,
+    /// Nano-ε that was available before granting (total minus the
+    /// horizon's recorded spends) — `granted ≤ available` always.
+    pub available_nano: u64,
+}
+
+/// The sliding-window spend ledger.
+///
+/// Windows are decided in ascending order ([`WindowBudgetAccountant::allocate`]
+/// is monotonic in the window id); each decision clamps its grant to what
+/// the horizon still allows, and a later settlement
+/// ([`WindowBudgetAccountant::settle`]) can only *reduce* a window's
+/// recorded spend — so the invariant
+///
+/// > for every `w` consecutive window ids, Σ recorded spend ≤ `total_nano`
+///
+/// holds by construction at every point in time (property-tested below,
+/// including across [`WindowBudgetAccountant::encode`] round-trips).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowBudgetAccountant {
+    config: WindowBudgetConfig,
+    /// Decided windows with id in `(decided − horizon, decided]`,
+    /// ascending. Windows absent from the deque spent 0.
+    ledger: VecDeque<WindowDecision>,
+    /// Highest window id ever decided.
+    decided: Option<u64>,
+    /// Lifetime Σ granted (saturating; monitoring only).
+    lifetime_granted_nano: u64,
+    /// Lifetime Σ settled spend (saturating; monitoring only).
+    lifetime_spent_nano: u64,
+    /// Windows refused at settlement (observed spend exceeded the grant).
+    refused_windows: u64,
+}
+
+impl WindowBudgetAccountant {
+    /// A fresh ledger under `config`.
+    pub fn new(config: WindowBudgetConfig) -> Self {
+        WindowBudgetAccountant {
+            config,
+            ledger: VecDeque::new(),
+            decided: None,
+            lifetime_granted_nano: 0,
+            lifetime_spent_nano: 0,
+            refused_windows: 0,
+        }
+    }
+
+    /// The budget contract this ledger enforces.
+    #[inline]
+    pub fn config(&self) -> WindowBudgetConfig {
+        self.config
+    }
+
+    /// Highest window id decided so far.
+    #[inline]
+    pub fn decided(&self) -> Option<u64> {
+        self.decided
+    }
+
+    /// Windows refused at settlement so far.
+    #[inline]
+    pub fn refused_windows(&self) -> u64 {
+        self.refused_windows
+    }
+
+    /// Lifetime Σ settled spend, nano-ε (saturating).
+    #[inline]
+    pub fn lifetime_spent_nano(&self) -> u64 {
+        self.lifetime_spent_nano
+    }
+
+    /// Lifetime Σ granted minus Σ spent — the budget the adaptive policy
+    /// left unspent ("recycled" back into later horizons), nano-ε.
+    #[inline]
+    pub fn recycled_nano(&self) -> u64 {
+        self.lifetime_granted_nano
+            .saturating_sub(self.lifetime_spent_nano)
+    }
+
+    /// The decided windows still inside the horizon, ascending.
+    pub fn decisions(&self) -> impl Iterator<Item = &WindowDecision> {
+        self.ledger.iter()
+    }
+
+    /// The recorded decision for `window`, if it is still in the horizon.
+    pub fn decision(&self, window: u64) -> Option<WindowDecision> {
+        self.ledger.iter().find(|d| d.window == window).copied()
+    }
+
+    /// Σ recorded spend over the trailing horizon `(decided − w, decided]`.
+    pub fn sliding_spend_nano(&self) -> u64 {
+        self.ledger.iter().map(|d| d.spent_nano).sum()
+    }
+
+    /// Nano-ε still grantable to `window`: `total` minus every recorded
+    /// spend in `[window − w + 1, window − 1]` — the rest of the worst
+    /// `w`-window range containing `window`. Entries at or before
+    /// `window − w` no longer constrain it.
+    pub fn available_nano(&self, window: u64) -> u64 {
+        let horizon = self.config.horizon as u64;
+        let spent: u64 = self
+            .ledger
+            .iter()
+            .filter(|d| d.window < window && window - d.window < horizon)
+            .map(|d| d.spent_nano)
+            .sum();
+        self.config.total_nano.saturating_sub(spent)
+    }
+
+    /// Decides the grant for `window` given a divergence signal in
+    /// `[0, 1]` (use `1.0` when there is nothing to compare against —
+    /// a cold start buys data). Re-asking for an already-decided window
+    /// returns the recorded grant unchanged (idempotent, so publication
+    /// retries cannot double-spend); asking for a window *older* than
+    /// the ledger's horizon grants 0.
+    ///
+    /// The grant is recorded as the window's provisional spend — callers
+    /// that observe a smaller actual spend settle it down with
+    /// [`WindowBudgetAccountant::settle`]. Recording the full grant
+    /// first keeps the invariant safe even if the caller never settles.
+    pub fn allocate(&mut self, window: u64, divergence: f64) -> WindowGrant {
+        if let Some(decided) = self.decided {
+            if window <= decided {
+                let granted = self.decision(window).map_or(0, |d| d.granted_nano);
+                return WindowGrant {
+                    window,
+                    granted_nano: granted,
+                    available_nano: self.available_nano(window),
+                };
+            }
+        }
+        let available = self.available_nano(window);
+        let share = self.config.uniform_share();
+        let granted = match self.config.policy {
+            AllocationPolicy::Uniform => share.min(available),
+            AllocationPolicy::Adaptive { gain, threshold } => {
+                let floor = self.config.probe_floor().min(available);
+                let d = if divergence.is_finite() {
+                    ((divergence - threshold).max(0.0) * gain).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                let extra = ((available - floor) as f64 * d).round() as u64;
+                floor + extra.min(available - floor)
+            }
+        };
+        debug_assert!(granted <= available);
+        self.ledger.push_back(WindowDecision {
+            window,
+            granted_nano: granted,
+            spent_nano: granted,
+            refused: false,
+        });
+        self.decided = Some(window);
+        self.lifetime_granted_nano = self.lifetime_granted_nano.saturating_add(granted);
+        self.lifetime_spent_nano = self.lifetime_spent_nano.saturating_add(granted);
+        self.trim();
+        WindowGrant {
+            window,
+            granted_nano: granted,
+            available_nano: available,
+        }
+    }
+
+    /// Settles `window`'s actual observed per-user spend against its
+    /// grant. `observed ≤ granted` records the observed value (the
+    /// difference is recycled — it becomes available to later windows in
+    /// the same horizon); `observed > granted` **refuses** the window:
+    /// its recorded spend drops to 0 and the caller must exclude the
+    /// window's data from publication (published spend is what the
+    /// ledger accounts). Settling is idempotent and may be repeated as a
+    /// window's observation refines — but only the *newest* decided
+    /// window may move freely within its grant: the caller decides a
+    /// window before publishing anything from it, so the latest entry is
+    /// pre-release and adjustable (a refusal there records 0 because
+    /// nothing was released). Once a later window has been allocated,
+    /// the entry **freezes**: its recorded spend is irrevocable — prior
+    /// releases consumed it, and its recycled slack may already have
+    /// been re-granted, so neither lowering (would recycle consumed
+    /// budget) nor raising (would retro-violate grants computed from the
+    /// old value) is sound. A frozen window whose observed mean *rises*
+    /// above its recorded spend (late reports claiming more ε′) is
+    /// refused — excluded from future releases — while its spend stays
+    /// on the books; a frozen refusal is sticky. This is what makes the
+    /// sliding invariant immune to settle/allocate/publish
+    /// interleavings. Returns the resulting decision, or `None` if the
+    /// window is not in the horizon.
+    pub fn settle(&mut self, window: u64, observed_nano: u64) -> Option<WindowDecision> {
+        let is_latest = self.decided == Some(window);
+        let entry = self.ledger.iter_mut().find(|d| d.window == window)?;
+        let was_refused = entry.refused;
+        let old_spent = entry.spent_nano;
+        if is_latest {
+            if observed_nano > entry.granted_nano {
+                entry.spent_nano = 0;
+                entry.refused = true;
+            } else {
+                entry.spent_nano = observed_nano;
+                entry.refused = false;
+            }
+        } else if !entry.refused && observed_nano > entry.spent_nano {
+            // Frozen, and the cohort now claims more than the books
+            // show: the unaccounted surplus must never be published.
+            entry.refused = true;
+        }
+        debug_assert!(entry.spent_nano <= entry.granted_nano);
+        let entry = *entry;
+        self.lifetime_spent_nano = self
+            .lifetime_spent_nano
+            .saturating_sub(old_spent)
+            .saturating_add(entry.spent_nano);
+        if entry.refused && !was_refused {
+            self.refused_windows += 1;
+        } else if !entry.refused && was_refused {
+            self.refused_windows = self.refused_windows.saturating_sub(1);
+        }
+        Some(entry)
+    }
+
+    /// Imports a historical spend (ring-recovered state from before this
+    /// ledger existed). Monotonic like `allocate`; the spend is clamped
+    /// to what the horizon allows, so a restored ledger can never start
+    /// life in violation of the invariant.
+    pub fn restore_spend(&mut self, window: u64, spent_nano: u64) {
+        if self.decided.is_some_and(|d| window <= d) {
+            return;
+        }
+        let spent = spent_nano.min(self.available_nano(window));
+        self.ledger.push_back(WindowDecision {
+            window,
+            granted_nano: spent,
+            spent_nano: spent,
+            refused: false,
+        });
+        self.decided = Some(window);
+        self.lifetime_granted_nano = self.lifetime_granted_nano.saturating_add(spent);
+        self.lifetime_spent_nano = self.lifetime_spent_nano.saturating_add(spent);
+        self.trim();
+    }
+
+    /// Drops ledger entries that can no longer constrain any future
+    /// window: entry `v` constrains allocations up to `v + horizon`, and
+    /// allocations are strictly above `decided`, so `v + horizon ≤
+    /// decided` is dead weight.
+    fn trim(&mut self) {
+        let Some(decided) = self.decided else { return };
+        let horizon = self.config.horizon as u64;
+        while self
+            .ledger
+            .front()
+            .is_some_and(|d| d.window.saturating_add(horizon) <= decided)
+        {
+            self.ledger.pop_front();
+        }
+    }
+
+    // ---- persistence ----------------------------------------------------
+
+    /// Ledger blob magic ("TrajShare Budget Accountant").
+    pub const MAGIC: [u8; 4] = *b"TSBA";
+    /// Ledger blob version.
+    pub const VERSION: u16 = 1;
+
+    /// Serializes the ledger (config, decided watermark, horizon
+    /// entries, lifetime stats) into a self-validating blob with a
+    /// trailing CRC-32 — what the ingestion service persists next to the
+    /// window ring so the `w`-window invariant survives kill/restart.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&Self::MAGIC);
+        out.extend_from_slice(&Self::VERSION.to_le_bytes());
+        out.extend_from_slice(&self.config.total_nano.to_le_bytes());
+        out.extend_from_slice(&(self.config.horizon as u64).to_le_bytes());
+        match self.config.policy {
+            AllocationPolicy::Uniform => {
+                out.push(0);
+                out.extend_from_slice(&0f64.to_le_bytes());
+                out.extend_from_slice(&0f64.to_le_bytes());
+            }
+            AllocationPolicy::Adaptive { gain, threshold } => {
+                out.push(1);
+                out.extend_from_slice(&gain.to_le_bytes());
+                out.extend_from_slice(&threshold.to_le_bytes());
+            }
+        }
+        match self.decided {
+            Some(d) => {
+                out.push(1);
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+            None => {
+                out.push(0);
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.lifetime_granted_nano.to_le_bytes());
+        out.extend_from_slice(&self.lifetime_spent_nano.to_le_bytes());
+        out.extend_from_slice(&self.refused_windows.to_le_bytes());
+        out.extend_from_slice(&(self.ledger.len() as u64).to_le_bytes());
+        for d in &self.ledger {
+            out.extend_from_slice(&d.window.to_le_bytes());
+            out.extend_from_slice(&d.granted_nano.to_le_bytes());
+            out.extend_from_slice(&d.spent_nano.to_le_bytes());
+            out.push(d.refused as u8);
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes [`WindowBudgetAccountant::encode`] output, refusing
+    /// corruption and internal inconsistency (spend above grant,
+    /// non-ascending ids, entries outside the horizon) rather than
+    /// restoring a ledger that could over-grant.
+    pub fn decode(buf: &[u8]) -> Result<WindowBudgetAccountant, SnapshotError> {
+        const HEADER: usize = 4 + 2 + 8 + 8 + (1 + 8 + 8) + (1 + 8) + 8 + 8 + 8 + 8;
+        if buf.len() < HEADER + 4 {
+            return Err(SnapshotError::Truncated);
+        }
+        let (payload, crc_bytes) = buf.split_at(buf.len() - 4);
+        if crc32(payload) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+            return Err(SnapshotError::BadCrc);
+        }
+        if payload[0..4] != Self::MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u16::from_le_bytes(payload[4..6].try_into().unwrap());
+        if version != Self::VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let mut off = 6;
+        let take_u64 = |off: &mut usize| -> Result<u64, SnapshotError> {
+            if payload.len() < *off + 8 {
+                return Err(SnapshotError::Truncated);
+            }
+            let v = u64::from_le_bytes(payload[*off..*off + 8].try_into().unwrap());
+            *off += 8;
+            Ok(v)
+        };
+        let take_u8 = |off: &mut usize| -> Result<u8, SnapshotError> {
+            if payload.len() < *off + 1 {
+                return Err(SnapshotError::Truncated);
+            }
+            let v = payload[*off];
+            *off += 1;
+            Ok(v)
+        };
+        let total_nano = take_u64(&mut off)?;
+        let horizon = take_u64(&mut off)? as usize;
+        if total_nano == 0 || horizon == 0 {
+            return Err(SnapshotError::Inconsistent);
+        }
+        let policy_tag = take_u8(&mut off)?;
+        let gain = f64::from_le_bytes(payload[off..off + 8].try_into().unwrap());
+        off += 8;
+        let threshold = f64::from_le_bytes(payload[off..off + 8].try_into().unwrap());
+        off += 8;
+        let policy = match policy_tag {
+            0 => AllocationPolicy::Uniform,
+            1 if gain.is_finite() && threshold.is_finite() => {
+                AllocationPolicy::Adaptive { gain, threshold }
+            }
+            _ => return Err(SnapshotError::Inconsistent),
+        };
+        let has_decided = take_u8(&mut off)?;
+        let decided_raw = take_u64(&mut off)?;
+        let decided = match has_decided {
+            0 => None,
+            1 => Some(decided_raw),
+            _ => return Err(SnapshotError::Inconsistent),
+        };
+        let lifetime_granted_nano = take_u64(&mut off)?;
+        let lifetime_spent_nano = take_u64(&mut off)?;
+        let refused_windows = take_u64(&mut off)?;
+        let n = take_u64(&mut off)? as usize;
+        if n > horizon {
+            return Err(SnapshotError::Inconsistent);
+        }
+        let mut ledger = VecDeque::with_capacity(n);
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let window = take_u64(&mut off)?;
+            let granted_nano = take_u64(&mut off)?;
+            let spent_nano = take_u64(&mut off)?;
+            let refused = match take_u8(&mut off)? {
+                0 => false,
+                1 => true,
+                _ => return Err(SnapshotError::Inconsistent),
+            };
+            let in_horizon = decided.is_some_and(|d| window <= d && d - window < horizon as u64);
+            if spent_nano > granted_nano || prev.is_some_and(|p| window <= p) || !in_horizon {
+                return Err(SnapshotError::Inconsistent);
+            }
+            prev = Some(window);
+            ledger.push_back(WindowDecision {
+                window,
+                granted_nano,
+                spent_nano,
+                refused,
+            });
+        }
+        if off != payload.len() {
+            return Err(SnapshotError::Inconsistent);
+        }
+        let acct = WindowBudgetAccountant {
+            config: WindowBudgetConfig {
+                total_nano,
+                horizon,
+                policy,
+            },
+            ledger,
+            decided,
+            lifetime_granted_nano,
+            lifetime_spent_nano,
+            refused_windows,
+        };
+        // Final gate: a ledger whose horizon already over-spends must
+        // never be restored.
+        if acct.sliding_spend_nano() > total_nano {
+            return Err(SnapshotError::Inconsistent);
+        }
+        Ok(acct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg(total: u64, horizon: usize, policy: AllocationPolicy) -> WindowBudgetConfig {
+        WindowBudgetConfig::new(total, horizon, policy)
+    }
+
+    /// The invariant the tentpole is about: Σ spend over every `w`-window
+    /// range of a full spend map never exceeds the total.
+    fn assert_sliding_invariant(spends: &[(u64, u64)], total: u64, horizon: usize) {
+        if spends.is_empty() {
+            return;
+        }
+        let max_w = spends.iter().map(|&(w, _)| w).max().unwrap();
+        for start in 0..=max_w {
+            let end = start + horizon as u64; // range [start+1, end]
+            let sum: u64 = spends
+                .iter()
+                .filter(|&&(w, _)| w > start && w <= end)
+                .map(|&(_, s)| s)
+                .sum();
+            assert!(
+                sum <= total,
+                "windows ({start}, {end}] spend {sum} > total {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn nano_conversions_roundtrip_on_the_grid() {
+        for eps in [0.000_000_001, 0.5, 1.25, 5.0, 63.999_999_999] {
+            let nano = eps_to_nano(eps);
+            assert_eq!(eps_to_nano(nano_to_eps(nano)), nano, "eps={eps}");
+        }
+        assert_eq!(eps_to_nano(f64::NAN), 0);
+        assert_eq!(eps_to_nano(-1.0), 0);
+        assert_eq!(eps_to_nano(0.0), 0);
+    }
+
+    #[test]
+    fn divergence_measures() {
+        assert_eq!(l1_divergence(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(l1_divergence(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert_eq!(l1_divergence(&[1.0], &[0.5, 0.5]), 1.0, "length mismatch");
+        assert_eq!(count_divergence(&[10, 10], &[1, 1]), 0.0, "scale-free");
+        assert_eq!(count_divergence(&[10, 0], &[0, 7]), 1.0);
+        assert_eq!(count_divergence(&[0, 0], &[1, 1]), 1.0, "empty side");
+    }
+
+    #[test]
+    fn uniform_grants_the_share_and_never_more_than_available() {
+        let mut acct = WindowBudgetAccountant::new(cfg(900, 3, AllocationPolicy::Uniform));
+        for w in 0..10 {
+            let g = acct.allocate(w, 1.0);
+            assert_eq!(g.granted_nano, 300, "window {w}");
+        }
+        assert_eq!(acct.sliding_spend_nano(), 900);
+        // With every share spent, a horizon is exactly full — the next
+        // window is only affordable because the oldest entry expires.
+        assert_eq!(acct.available_nano(10), 300);
+        // Settling one window down frees budget inside the horizon.
+        acct.settle(9, 100).unwrap();
+        assert_eq!(acct.available_nano(10), 500);
+    }
+
+    #[test]
+    fn allocate_is_idempotent_and_monotonic() {
+        let mut acct = WindowBudgetAccountant::new(cfg(1000, 4, AllocationPolicy::Uniform));
+        let first = acct.allocate(5, 1.0);
+        let again = acct.allocate(5, 0.0);
+        assert_eq!(first.granted_nano, again.granted_nano);
+        assert_eq!(acct.sliding_spend_nano(), 250, "no double record");
+        // An older-than-decided window gets 0, not a fresh grant.
+        assert_eq!(acct.allocate(3, 1.0).granted_nano, 0);
+        assert_eq!(acct.decided(), Some(5));
+    }
+
+    #[test]
+    fn settle_recycles_and_refuses() {
+        let mut acct = WindowBudgetAccountant::new(cfg(1200, 3, AllocationPolicy::Uniform));
+        let g = acct.allocate(0, 1.0);
+        assert_eq!(g.granted_nano, 400);
+        // Observed under grant: spend settles down, remainder recycled.
+        let d = acct.settle(0, 150).unwrap();
+        assert_eq!(d.spent_nano, 150);
+        assert!(!d.refused);
+        assert_eq!(acct.available_nano(1), 1050);
+        assert_eq!(acct.recycled_nano(), 250);
+        // Observed over grant: refused, spend zeroed.
+        acct.allocate(1, 1.0);
+        let d = acct.settle(1, 500).unwrap();
+        assert!(d.refused);
+        assert_eq!(d.spent_nano, 0);
+        assert_eq!(acct.refused_windows(), 1);
+        // Re-settling within grant un-refuses.
+        let d = acct.settle(1, 399).unwrap();
+        assert!(!d.refused);
+        assert_eq!(d.spent_nano, 399);
+        assert_eq!(acct.refused_windows(), 0);
+        // Settling an expired/undecided window is a no-op.
+        assert!(acct.settle(99, 1).is_none());
+    }
+
+    #[test]
+    fn frozen_windows_keep_their_books() {
+        let mut acct = WindowBudgetAccountant::new(cfg(1200, 3, AllocationPolicy::Uniform));
+        acct.allocate(0, 1.0); // grant 400
+        acct.settle(0, 300).unwrap(); // latest: settle to the observed 300
+        acct.allocate(1, 1.0); // freezes window 0
+                               // Lowering a frozen spend is ignored: the 300 was published and
+                               // is irrevocable (recycling it could be re-granted and spent
+                               // twice).
+        let d = acct.settle(0, 100).unwrap();
+        assert_eq!(d.spent_nano, 300);
+        assert!(!d.refused);
+        // An observation *above* the books refuses the window (the
+        // surplus is unaccounted, so its data must stop being
+        // published) while the spend stays on the ledger.
+        let d = acct.settle(0, 350).unwrap();
+        assert!(d.refused);
+        assert_eq!(d.spent_nano, 300, "published spend is irrevocable");
+        assert_eq!(acct.refused_windows(), 1);
+        // A frozen refusal is sticky.
+        let d = acct.settle(0, 300).unwrap();
+        assert!(d.refused);
+        // And the kept spend still constrains the horizon.
+        assert_eq!(acct.available_nano(2), 1200 - 300 - 400);
+    }
+
+    #[test]
+    fn adaptive_banks_quiet_windows_and_spends_on_shift() {
+        let policy = AllocationPolicy::Adaptive {
+            gain: 4.0,
+            threshold: 0.05,
+        };
+        let total = 4_000u64;
+        let mut acct = WindowBudgetAccountant::new(cfg(total, 4, policy));
+        let share = acct.config().uniform_share(); // 1000
+        let floor = acct.config().probe_floor(); // 250
+                                                 // Quiet stream: only the probe floor is spent.
+        for w in 0..4 {
+            let g = acct.allocate(w, 0.01);
+            assert_eq!(g.granted_nano, floor, "window {w}");
+        }
+        // Shift: the whole recycled pool is grantable at once — far more
+        // than the uniform share.
+        let g = acct.allocate(4, 0.9);
+        assert_eq!(g.available_nano, total - 3 * floor);
+        assert_eq!(g.granted_nano, g.available_nano, "full-shift grant");
+        assert!(g.granted_nano > share);
+        // Right after the burst the horizon is nearly exhausted: the next
+        // quiet window still gets its (clamped) probe.
+        let g = acct.allocate(5, 0.0);
+        assert!(g.granted_nano <= floor);
+    }
+
+    #[test]
+    fn codec_roundtrips_and_refuses_corruption() {
+        let mut acct =
+            WindowBudgetAccountant::new(cfg(5_000_000_000, 4, AllocationPolicy::adaptive()));
+        for w in 0..7 {
+            acct.allocate(w, if w == 3 { 1.0 } else { 0.02 });
+            acct.settle(w, 300_000_000 * (w % 3)).unwrap();
+        }
+        let blob = acct.encode();
+        let back = WindowBudgetAccountant::decode(&blob).unwrap();
+        assert_eq!(back, acct);
+        // Corruption is refused.
+        let mut bad = blob.clone();
+        bad[9] ^= 0x10;
+        assert!(WindowBudgetAccountant::decode(&bad).is_err());
+        assert!(WindowBudgetAccountant::decode(&blob[..20]).is_err());
+        // A hand-built over-spent ledger is refused even with a valid CRC.
+        let mut evil = WindowBudgetAccountant::new(cfg(100, 2, AllocationPolicy::Uniform));
+        evil.allocate(0, 1.0);
+        evil.allocate(1, 1.0);
+        evil.ledger[0].spent_nano = 90;
+        evil.ledger[0].granted_nano = 90;
+        evil.ledger[1].spent_nano = 90;
+        evil.ledger[1].granted_nano = 90;
+        assert!(WindowBudgetAccountant::decode(&evil.encode()).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        /// The tentpole property: under any interleaving of allocations
+        /// (arbitrary divergences, arbitrary window gaps), settlements
+        /// (arbitrary observed spends), policies, and encode/decode
+        /// round-trips mid-stream, the full spend map never exceeds the
+        /// total over ANY `w` consecutive windows.
+        #[test]
+        fn sliding_spend_never_exceeds_total(
+            total in 1u64..5_000,
+            horizon in 1usize..6,
+            adaptive in 0u32..2,
+            steps in proptest::collection::vec(
+                (0u64..4, 0u64..2_000, 0u32..100, 0u32..2),
+                1..60
+            ),
+        ) {
+            let policy = if adaptive == 1 {
+                AllocationPolicy::Adaptive { gain: 4.0, threshold: 0.05 }
+            } else {
+                AllocationPolicy::Uniform
+            };
+            let mut acct = WindowBudgetAccountant::new(cfg(total, horizon, policy));
+            // The externally visible spend map: every window's final
+            // recorded spend (expired entries keep their last value —
+            // expiry only stops them constraining *future* windows, it
+            // does not un-spend them).
+            let mut spend_map: Vec<(u64, u64)> = Vec::new();
+            let mut next_window = 0u64;
+            for (gap, observed, div_pct, roundtrip) in steps {
+                let w = next_window + gap;
+                next_window = w + 1;
+                let divergence = div_pct as f64 / 100.0;
+                let grant = acct.allocate(w, divergence);
+                prop_assert!(grant.granted_nano <= grant.available_nano);
+                let settled = acct.settle(w, observed).map(|d| d.spent_nano);
+                let spent = settled.unwrap_or(grant.granted_nano);
+                spend_map.push((w, spent));
+                assert_sliding_invariant(&spend_map, total, horizon);
+                // Interleaved re-settle of a frozen window exercises the
+                // only-downward rule — the re-granted slack of a settled
+                // window must never be spendable twice.
+                if let Some(d) = acct.settle(w.saturating_sub(2), observed) {
+                    if let Some(e) = spend_map.iter_mut().find(|e| e.0 == w.saturating_sub(2)) {
+                        e.1 = d.spent_nano;
+                    }
+                    assert_sliding_invariant(&spend_map, total, horizon);
+                }
+                if roundtrip == 1 {
+                    let back = WindowBudgetAccountant::decode(&acct.encode()).unwrap();
+                    prop_assert_eq!(&back, &acct, "codec must be lossless");
+                    acct = back;
+                }
+            }
+            // The ledger's own view agrees with the external map's tail.
+            prop_assert!(acct.sliding_spend_nano() <= total);
+        }
+    }
+}

@@ -190,6 +190,16 @@ impl AggregateCounts {
         self.eps_nano_sum as f64 * 1e-9 / self.num_reports as f64
     }
 
+    /// Mean per-report ε′ on the nano-ε integer grid, rounded to
+    /// nearest — the observed per-user window spend the streaming budget
+    /// accountant settles ([`crate::budget`]). 0 for empty counters.
+    pub fn mean_eps_nano(&self) -> u64 {
+        self.eps_nano_sum
+            .saturating_add(self.num_reports / 2)
+            .checked_div(self.num_reports)
+            .unwrap_or(0)
+    }
+
     /// Whether reports with more than one trajectory length were ingested
     /// (in which case [`AggregateCounts::mean_eps_prime`] is approximate).
     pub fn mixed_lengths(&self) -> bool {

@@ -38,6 +38,7 @@
 //! outputs, so the published synthetic set inherits each user's ε
 //! guarantee unchanged.
 
+pub mod budget;
 pub mod estimate;
 pub mod eval;
 pub mod ingest;
@@ -49,6 +50,10 @@ pub mod snapshot;
 pub mod stream;
 pub mod synthesize;
 
+pub use budget::{
+    count_divergence, eps_to_nano, l1_divergence, nano_to_eps, AllocationPolicy,
+    WindowBudgetAccountant, WindowBudgetConfig, WindowDecision, WindowGrant,
+};
 pub use estimate::{
     ibu_frequencies, ibu_frequencies_with_init, ibu_joint, ibu_joint_with_init, norm_sub,
     ChannelInverse, EmChannel, EstimatorBackend, IbuSolver,

@@ -123,18 +123,9 @@ fn quantize_eps(eps: f64) -> f64 {
     eps_to_nano(eps) as f64 / 1e9
 }
 
-/// Single rounding ε → nano-ε. Non-finite and non-positive inputs map to
-/// 0 nano-ε (which ingestion rejects as hostile).
-#[inline]
-fn eps_to_nano(eps: f64) -> u64 {
-    if eps.is_finite() && eps > 0.0 {
-        // `as` saturates at u64::MAX for absurdly large ε (also rejected
-        // at ingestion, which caps ε′ at MAX_EPS_PRIME).
-        (eps * 1e9).round() as u64
-    } else {
-        0
-    }
-}
+// The single-rounding ε → nano-ε conversion lives next to the
+// streaming-budget accountant now that both share the grid.
+use crate::budget::eps_to_nano;
 
 impl Report {
     /// Wire-format magic ("TrajShare Report v3" — v3 prefixes the v2

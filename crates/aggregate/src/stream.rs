@@ -66,12 +66,19 @@ pub enum WindowIngest {
     Late,
 }
 
-/// One ring slot: the absolute window id it holds (if any) plus that
-/// window's counters. Counters are kept allocated across evictions.
+/// One ring slot: the absolute window id it holds (if any), that
+/// window's counters, and the per-window privacy-budget spend recorded
+/// by the accountant (see [`crate::budget`]). Counters are kept
+/// allocated across evictions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Slot {
     id: Option<u64>,
     counts: AggregateCounts,
+    /// Nano-ε the budget accountant recorded as this window's published
+    /// per-user spend. Purely an annotation — it rides along through
+    /// codec, merge, and recovery so `--dump-counts` and a restarted
+    /// accountant can see it, but never affects the counters.
+    spent_nano: u64,
 }
 
 /// A sliding window of [`AggregateCounts`] with exact, report-free
@@ -110,6 +117,7 @@ impl WindowedAggregator {
             .map(|_| Slot {
                 id: None,
                 counts: AggregateCounts::new(num_regions),
+                spent_nano: 0,
             })
             .collect();
         WindowedAggregator {
@@ -167,6 +175,62 @@ impl WindowedAggregator {
         (slot.id == Some(id)).then_some(&slot.counts)
     }
 
+    /// Records the privacy-budget spend the accountant settled for a
+    /// live window (overwriting any earlier value — the accountant is
+    /// the authority, the ring is its durable mirror). Returns `false`
+    /// when the window is outside the live span or holds no data (a
+    /// dataless window's settled spend is 0 anyway, and claiming an
+    /// empty slot for an annotation would make phantom windows appear in
+    /// publications).
+    pub fn record_spend(&mut self, id: u64, nano: u64) -> bool {
+        if id > self.newest || id < self.oldest_window() {
+            return false;
+        }
+        let slot = &mut self.slots[(id % self.config.num_windows as u64) as usize];
+        if slot.id != Some(id) {
+            return false;
+        }
+        slot.spent_nano = nano;
+        true
+    }
+
+    /// The recorded budget spend of one live window (0 when absent).
+    pub fn window_spend(&self, id: u64) -> u64 {
+        let slot = &self.slots[(id % self.config.num_windows as u64) as usize];
+        if slot.id == Some(id) {
+            slot.spent_nano
+        } else {
+            0
+        }
+    }
+
+    /// Live `(window id, recorded spend)` pairs with a nonzero spend,
+    /// ascending — what recovery feeds back into a fresh accountant.
+    pub fn window_spends(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.id.map(|id| (id, s.spent_nano)))
+            .filter(|&(_, spent)| spent > 0)
+            .collect();
+        out.sort_unstable_by_key(|&(id, _)| id);
+        out
+    }
+
+    /// Sums the counters of every live window whose id passes `keep` —
+    /// the budget-filtered alternative to [`WindowedAggregator::merged`]:
+    /// a window the accountant refused is excluded from the published
+    /// estimate without touching the ring itself.
+    pub fn merged_where(&self, keep: impl Fn(u64) -> bool) -> AggregateCounts {
+        let mut total = AggregateCounts::new(self.region_tile.len());
+        for (id, counts) in self.windows() {
+            if keep(id) {
+                total.merge(counts);
+            }
+        }
+        total
+    }
+
     /// Live `(window id, counters)` pairs in ascending window order.
     pub fn windows(&self) -> Vec<(u64, &AggregateCounts)> {
         let mut out: Vec<(u64, &AggregateCounts)> = self
@@ -211,6 +275,7 @@ impl WindowedAggregator {
                 if slot.id.take().is_some() {
                     self.merged.subtract(&slot.counts);
                     slot.counts.clear();
+                    slot.spent_nano = 0;
                     self.evicted_windows += 1;
                 }
             }
@@ -220,6 +285,7 @@ impl WindowedAggregator {
                 if slot.id.take().is_some() {
                     self.merged.subtract(&slot.counts);
                     slot.counts.clear();
+                    slot.spent_nano = 0;
                     self.evicted_windows += 1;
                 }
             }
@@ -258,6 +324,17 @@ impl WindowedAggregator {
         for (id, counts) in other.windows() {
             self.merge_window(id, counts);
         }
+        // Spend annotations are global facts recorded by whichever ring
+        // the budget-holder wrote them to (ordinarily only the base
+        // ring), so a merge takes the max rather than summing.
+        for (id, spent) in other.window_spends() {
+            if id <= self.newest && id >= self.oldest_window() {
+                let slot = &mut self.slots[(id % self.config.num_windows as u64) as usize];
+                if slot.id == Some(id) {
+                    slot.spent_nano = slot.spent_nano.max(spent);
+                }
+            }
+        }
         self.late += other.late;
     }
 
@@ -266,14 +343,16 @@ impl WindowedAggregator {
     /// Ring snapshot magic ("TrajShare Window Ring").
     pub const RING_MAGIC: [u8; 4] = *b"TSWR";
 
-    /// Ring snapshot format version.
-    pub const RING_VERSION: u16 = 1;
+    /// Current ring snapshot format version: v2 adds a per-window
+    /// budget-spend field. v1 blobs (pre-budget) still decode, with
+    /// every spend 0.
+    pub const RING_VERSION: u16 = 2;
 
-    /// Serializes the ring (config, watermark, live windows) into a
-    /// self-validating blob: header + one embedded counts snapshot per
-    /// live window + trailing CRC-32. The merged view is *not* stored —
-    /// it is recomputed on decode as the sum of the live slots, which is
-    /// bit-identical by construction.
+    /// Serializes the ring (config, watermark, live windows with their
+    /// recorded budget spends) into a self-validating blob: header + one
+    /// embedded counts snapshot per live window + trailing CRC-32. The
+    /// merged view is *not* stored — it is recomputed on decode as the
+    /// sum of the live slots, which is bit-identical by construction.
     pub fn encode_ring(&self) -> Vec<u8> {
         let live = self.windows();
         let mut out = Vec::new();
@@ -288,6 +367,7 @@ impl WindowedAggregator {
         for (id, counts) in live {
             let snap = counts.encode_snapshot();
             out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&self.window_spend(id).to_le_bytes());
             out.extend_from_slice(&(snap.len() as u64).to_le_bytes());
             out.extend_from_slice(&snap);
         }
@@ -317,7 +397,7 @@ impl WindowedAggregator {
             return Err(SnapshotError::BadMagic);
         }
         let version = u16::from_le_bytes(payload[4..6].try_into().unwrap());
-        if version != Self::RING_VERSION {
+        if version != 1 && version != Self::RING_VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let mut off = 6;
@@ -347,6 +427,11 @@ impl WindowedAggregator {
         ring.evicted_windows = evicted;
         for _ in 0..n_live {
             let id = next_u64(payload, &mut off)?;
+            let spent_nano = if version >= 2 {
+                next_u64(payload, &mut off)?
+            } else {
+                0
+            };
             let len = next_u64(payload, &mut off)? as usize;
             if payload.len() < off + len {
                 return Err(SnapshotError::Truncated);
@@ -360,6 +445,9 @@ impl WindowedAggregator {
                 return Err(SnapshotError::Inconsistent);
             }
             ring.merge_window(id, &counts);
+            if spent_nano > 0 {
+                ring.record_spend(id, spent_nano);
+            }
         }
         if off != payload.len() {
             return Err(SnapshotError::Inconsistent);
@@ -679,12 +767,46 @@ mod tests {
     }
 
     #[test]
+    fn spend_annotations_follow_the_ring_lifecycle() {
+        let config = cfg(10, 3);
+        let mut ring = fresh(config);
+        ring.ingest(&toy_report(1, 0)); // window 0
+        ring.ingest(&toy_report(2, 10)); // window 1
+        assert!(ring.record_spend(0, 500), "live window with data");
+        assert!(ring.record_spend(1, 700));
+        assert!(!ring.record_spend(2, 9), "window 2 holds no data");
+        assert!(!ring.record_spend(99, 9), "future window");
+        assert_eq!(ring.window_spend(0), 500);
+        assert_eq!(ring.window_spends(), vec![(0, 500), (1, 700)]);
+        // The budget-filtered view excludes refused windows exactly.
+        let only_w1 = ring.merged_where(|id| id != 0);
+        assert_eq!(&only_w1, ring.window_counts(1).unwrap());
+        assert!(ring.merged_where(|_| true) == *ring.merged());
+        // Eviction clears the annotation with the slot.
+        ring.advance_to(3); // window 0 slides out
+        assert_eq!(ring.window_spend(0), 0);
+        assert_eq!(ring.window_spends(), vec![(1, 700)]);
+        // Codec carries spends; merge takes the max (base ring is the
+        // budget-holder, shard rings carry none).
+        let blob = ring.encode_ring();
+        let back = WindowedAggregator::decode_ring(&blob, &[0u16; REGIONS], config).unwrap();
+        assert_eq!(back.window_spends(), vec![(1, 700)]);
+        let mut shard = fresh(config);
+        shard.ingest(&toy_report(3, 10));
+        let mut total = fresh(config);
+        total.merge_ring(&back);
+        total.merge_ring(&shard);
+        assert_eq!(total.window_spend(1), 700, "merge keeps the max spend");
+    }
+
+    #[test]
     fn ring_snapshot_roundtrips_bit_identically() {
         let config = cfg(10, 3);
         let mut ring = fresh(config);
         for i in 0..50u32 {
             ring.ingest(&toy_report(i, (i as u64 % 5) * 10));
         }
+        ring.record_spend(ring.newest_window(), 1_250_000_000);
         let blob = ring.encode_ring();
         let back = WindowedAggregator::decode_ring(&blob, &[0u16; REGIONS], config).unwrap();
         assert_eq!(back.merged(), ring.merged());

@@ -1,0 +1,60 @@
+//! Generates a region-graph file (`TSRG` blob — see
+//! `trajshare_core::graphcodec`) from a synthetic scenario, for
+//! configuring a **dataset-less** `ingestd --region-graph` deployment:
+//! the daemon gets the public universe (distance matrix, hour tiles,
+//! `W₂`) in one file and can then run live model estimation without the
+//! dataset ever leaving the trusted side.
+//!
+//! ```text
+//! region_graph_gen --out FILE [--scenario taxi|safegraph|campus]
+//!                  [--pois N] [--seed S] [--epsilon E]
+//! ```
+//!
+//! Prints one `region graph written … regions=N bigrams=M` line; the CI
+//! smoke parses `regions=` to drive `loadgen` against the same universe.
+
+use trajshare_bench::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_bench::Args;
+use trajshare_core::{decompose, write_region_graph_file, MechanismConfig, RegionGraph};
+
+fn main() {
+    let args = Args::from_env();
+    let Some(out) = args.get("out") else {
+        eprintln!(
+            "usage: region_graph_gen --out FILE [--scenario taxi|safegraph|campus] \
+             [--pois N] [--seed S]"
+        );
+        std::process::exit(2)
+    };
+    let scenario = match args.get("scenario").unwrap_or("taxi") {
+        "taxi" => Scenario::TaxiFoursquare,
+        "safegraph" => Scenario::Safegraph,
+        "campus" => Scenario::Campus,
+        other => {
+            eprintln!("region_graph_gen: unknown scenario {other}");
+            std::process::exit(2)
+        }
+    };
+    let cfg = ScenarioConfig {
+        num_pois: args.get_or("pois", 150),
+        num_trajectories: 1, // the universe needs POIs, not trajectories
+        seed: args.get_or("seed", 7),
+        ..Default::default()
+    };
+    let (dataset, _) = build_scenario(scenario, &cfg);
+    let regions = decompose(&dataset, &MechanismConfig::default());
+    let graph = RegionGraph::build(&dataset, &regions);
+    let tiles = trajshare_aggregate::region_tiles(&regions);
+    let path = std::path::Path::new(out);
+    write_region_graph_file(path, &graph, &tiles).unwrap_or_else(|e| {
+        eprintln!("region_graph_gen: cannot write {out}: {e}");
+        std::process::exit(1)
+    });
+    println!(
+        "region graph written file={out} scenario={} regions={} bigrams={} bytes={}",
+        scenario.name(),
+        graph.num_regions(),
+        graph.num_bigrams(),
+        std::fs::metadata(path).map(|m| m.len()).unwrap_or(0),
+    );
+}

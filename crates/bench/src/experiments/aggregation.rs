@@ -4,11 +4,11 @@
 //! ground truth next to the per-user baselines — the server-side
 //! counterpart of the per-user tables.
 //!
-//! Runs on **two** dataset families (Taxi-Foursquare and Safegraph, the
-//! first slice of the cross-dataset roadmap item) and publishes one
-//! synthetic row per estimator backend (`dense` product-channel IBU vs
-//! the `sparse-w2` feasibility-normalized IBU), so the backend
-//! comparison is not tied to a single hierarchy.
+//! Runs on **all three** dataset families (Taxi-Foursquare, Safegraph,
+//! and the fixed-size Campus — closing the cross-dataset roadmap item)
+//! and publishes one synthetic row per estimator backend (`dense`
+//! product-channel IBU vs the `sparse-w2` feasibility-normalized IBU),
+//! so the backend comparison is not tied to a single hierarchy.
 
 use super::ExpParams;
 use crate::report::Reported;
@@ -32,16 +32,16 @@ fn fmt_scores(s: &UtilityScores) -> Vec<String> {
     ]
 }
 
-/// Runs the aggregation-synthesis experiment on the Taxi-Foursquare and
-/// Safegraph scenarios: one synthetic row per estimator backend, one row
-/// per per-user baseline, per dataset.
+/// Runs the aggregation-synthesis experiment on every §6.1 scenario
+/// (Taxi-Foursquare, Safegraph, Campus): one synthetic row per estimator
+/// backend, one row per per-user baseline, per dataset.
 pub fn run(params: &ExpParams) -> Reported {
     let eval = EvalConfig::default();
     let mech_cfg = MechanismConfig::default().with_epsilon(params.epsilon);
     let mut rows = Vec::new();
     let mut settings_bits = Vec::new();
 
-    for scenario in [Scenario::TaxiFoursquare, Scenario::Safegraph] {
+    for scenario in Scenario::all() {
         let cfg = ScenarioConfig {
             num_pois: params.num_pois,
             num_trajectories: params.num_trajectories,

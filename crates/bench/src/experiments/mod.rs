@@ -12,7 +12,7 @@ pub mod table3;
 pub mod table4;
 
 use crate::report::Reported;
-use trajshare_aggregate::EstimatorBackend;
+use trajshare_aggregate::{AllocationPolicy, EstimatorBackend};
 
 /// Common experiment knobs (scaled-down defaults; see DESIGN.md §3).
 #[derive(Debug, Clone)]
@@ -30,6 +30,9 @@ pub struct ExpParams {
     /// Estimation kernel backend for the aggregation/streaming
     /// experiments (`--backend dense|blocked|sparse-w2`).
     pub backend: EstimatorBackend,
+    /// Per-window budget allocation policy for the streaming experiment
+    /// (`--policy uniform|adaptive`).
+    pub policy: AllocationPolicy,
 }
 
 impl Default for ExpParams {
@@ -43,6 +46,7 @@ impl Default for ExpParams {
                 .unwrap_or(4),
             seed: 7,
             backend: EstimatorBackend::default(),
+            policy: AllocationPolicy::Uniform,
         }
     }
 }
@@ -62,6 +66,10 @@ impl ExpParams {
                 .get("backend")
                 .and_then(EstimatorBackend::parse)
                 .unwrap_or(d.backend),
+            policy: args
+                .get("policy")
+                .and_then(AllocationPolicy::parse)
+                .unwrap_or(d.policy),
         }
     }
 }

@@ -11,9 +11,11 @@ use crate::report::Reported;
 use crate::scenario::{build_scenario, Scenario, ScenarioConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeSet;
 use std::time::Instant;
 use trajshare_aggregate::{
-    collect_reports, score_paired, EvalConfig, StreamingEstimator, Synthesizer, WindowConfig,
+    collect_reports, eps_to_nano, l1_divergence, nano_to_eps, score_paired, EvalConfig,
+    StreamingEstimator, Synthesizer, WindowBudgetAccountant, WindowBudgetConfig, WindowConfig,
     WindowedAggregator,
 };
 use trajshare_core::{MechanismConfig, NGramMechanism};
@@ -27,7 +29,9 @@ const NUM_WINDOWS: usize = 3;
 const TOTAL_WINDOWS: usize = 6;
 
 /// Runs the sliding-window publication loop on the Taxi-Foursquare
-/// scenario: one row per tick.
+/// scenario: one row per tick, with the `w`-window privacy budget
+/// accounted per tick under `--policy` (the total is the experiment's ε
+/// over the ring span; refused windows are excluded from estimation).
 pub fn run(params: &ExpParams) -> Reported {
     let cfg = ScenarioConfig {
         num_pois: params.num_pois,
@@ -58,6 +62,16 @@ pub fn run(params: &ExpParams) -> Reported {
     let mut estimator = StreamingEstimator::with_backend(400, 12, params.backend);
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0x117);
 
+    // The continuous-publication budget: the experiment's ε over any
+    // `NUM_WINDOWS` consecutive windows, allocated per tick by
+    // `--policy`. Divergence is measured between consecutive published
+    // occupancy estimates (lagged one tick, like a real collector).
+    let budget_cfg =
+        WindowBudgetConfig::new(eps_to_nano(params.epsilon), NUM_WINDOWS, params.policy);
+    let mut accountant = WindowBudgetAccountant::new(budget_cfg);
+    let mut refused: BTreeSet<u64> = BTreeSet::new();
+    let mut occ_history: Vec<Vec<f64>> = Vec::new();
+
     let mut rows = Vec::new();
     for w in 0..TOTAL_WINDOWS {
         // The window's cohort streams in...
@@ -68,45 +82,92 @@ pub fn run(params: &ExpParams) -> Reported {
             ring.ingest(r);
         }
         let ingest_s = t0.elapsed().as_secs_f64();
+        // Budget decision for the newly completed window before anything
+        // is published from it.
+        let divergence = match &occ_history[..] {
+            [.., a, b] => l1_divergence(a, b),
+            _ => 1.0,
+        };
+        let grant = accountant.allocate(w as u64, divergence);
+        // A tiny run can leave a window with no cohort at all — that is
+        // a legal (empty) window: it settles zero spend.
+        let observed = ring
+            .window_counts(w as u64)
+            .map_or(0, |c| c.mean_eps_nano());
+        let decision = accountant.settle(w as u64, observed).expect("just decided");
+        if decision.refused {
+            refused.insert(w as u64);
+        }
+        refused.retain(|&id| id >= ring.oldest_window());
         // ...then the publication tick runs: model + synthetic batch for
-        // the merged live span.
+        // the merged live span, excluding windows the accountant refused.
         let t1 = Instant::now();
         let warm = estimator.is_warm();
-        let model = estimator.tick(ring.merged(), mech.graph());
+        let within_budget;
+        let tick_counts = if refused.is_empty() {
+            ring.merged()
+        } else {
+            within_budget = ring.merged_where(|id| !refused.contains(&id));
+            &within_budget
+        };
+        let has_data = tick_counts.num_reports > 0;
+        let model = estimator.tick(tick_counts, mech.graph());
+        occ_history.push(model.occupancy.clone());
         let live_lo = (ring.oldest_window() as usize) * per_window;
         let live_hi = hi;
         let lens: Vec<usize> = real.all()[live_lo..live_hi]
             .iter()
             .map(|t| t.len())
             .collect();
-        let synthesizer = Synthesizer::new(&dataset, mech.regions(), mech.graph(), &model);
-        let synthetic = synthesizer.synthesize_matching(&lens, &mut rng);
+        // A tick whose every live window was refused publishes nothing —
+        // enforcement, not failure; scores are blank for that tick.
+        let scores = has_data.then(|| {
+            let synthesizer = Synthesizer::new(&dataset, mech.regions(), mech.graph(), &model);
+            let synthetic = synthesizer.synthesize_matching(&lens, &mut rng);
+            let live_real = TrajectorySet::new(real.all()[live_lo..live_hi].to_vec());
+            score_paired(&dataset, &live_real, synthetic.all(), &eval)
+        });
         let tick_s = t1.elapsed().as_secs_f64();
 
-        let live_real = TrajectorySet::new(real.all()[live_lo..live_hi].to_vec());
-        let scores = score_paired(&dataset, &live_real, synthetic.all(), &eval);
+        let fmt1 = |v: Option<f64>| v.map_or("—".to_string(), |v| format!("{v:.1}"));
         rows.push(vec![
             w.to_string(),
             ring.merged().num_reports.to_string(),
             if warm { "warm" } else { "cold" }.to_string(),
             format!("{:.1}", ingest_s * 1e3),
             format!("{:.1}", tick_s * 1e3),
-            format!("{:.1}", scores.prq_space),
-            format!("{:.1}", scores.prq_time),
-            format!("{:.3}", scores.od_l1),
+            fmt1(scores.as_ref().map(|s| s.prq_space)),
+            fmt1(scores.as_ref().map(|s| s.prq_time)),
+            scores
+                .as_ref()
+                .map_or("—".to_string(), |s| format!("{:.3}", s.od_l1)),
+            params.policy.name().into(),
+            format!("{:.2}", nano_to_eps(grant.granted_nano)),
+            if decision.refused {
+                "refused".to_string()
+            } else {
+                format!("{:.2}", nano_to_eps(decision.spent_nano))
+            },
         ]);
     }
     assert!(ring.evicted_windows() > 0, "run must exercise eviction");
+    assert!(
+        accountant.sliding_spend_nano() <= budget_cfg.total_nano,
+        "the w-window contract must hold at the end of the run"
+    );
 
     Reported {
         id: "streaming_synthesis".into(),
         settings: format!(
             "Taxi-Foursquare, {} users over {TOTAL_WINDOWS} windows (ring {NUM_WINDOWS}), \
-             ε = {}, |R| = {}, warm IBU 12 iters, backend = {}",
+             ε = {}, |R| = {}, warm IBU 12 iters, backend = {}, budget {}ε/{}w {}",
             real.len(),
             params.epsilon,
             mech.regions().len(),
             params.backend,
+            params.epsilon,
+            NUM_WINDOWS,
+            params.policy,
         ),
         headers: vec![
             "window".into(),
@@ -117,6 +178,9 @@ pub fn run(params: &ExpParams) -> Reported {
             "PRQ space %".into(),
             "PRQ time %".into(),
             "OD L1".into(),
+            "policy".into(),
+            "ε grant".into(),
+            "ε spent".into(),
         ],
         rows,
     }

@@ -44,6 +44,23 @@ impl RegionDistance {
         Self { n, matrix, dmax }
     }
 
+    /// Rebuilds a distance matrix from its serialized parts (the
+    /// region-graph codec, [`crate::graphcodec`]). `matrix` is the
+    /// row-major `n × n` stored-`f32` matrix; `dmax` is recomputed from
+    /// the stored values, so the sensitivity bound holds by construction
+    /// exactly as in [`RegionDistance::build`].
+    pub fn from_parts(n: usize, matrix: Vec<f32>) -> Self {
+        assert_eq!(matrix.len(), n * n, "matrix must be n x n");
+        let dmax = matrix.iter().fold(0.0f64, |m, &d| m.max(d as f64));
+        Self { n, matrix, dmax }
+    }
+
+    /// The raw stored `f32` matrix, row-major — what the codec writes.
+    #[inline]
+    pub fn raw_matrix(&self) -> &[f32] {
+        &self.matrix
+    }
+
     /// Combined distance between two regions.
     #[inline]
     pub fn get(&self, a: RegionId, b: RegionId) -> f64 {

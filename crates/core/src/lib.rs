@@ -52,6 +52,7 @@ pub mod config;
 pub mod continuous;
 pub mod decomposition;
 pub mod distances;
+pub mod graphcodec;
 pub mod mechanism;
 pub mod ngram_mech;
 pub mod perturb;
@@ -64,6 +65,10 @@ pub use attack::WindowAdversary;
 pub use config::{MechanismConfig, MergeDimension, ReconstructionSolver};
 pub use continuous::ContinuousSharer;
 pub use decomposition::decompose;
+pub use graphcodec::{
+    decode_region_graph, encode_region_graph, read_region_graph_file, write_region_graph_file,
+    GraphCodecError,
+};
 pub use mechanism::{Mechanism, MechanismOutput, StageTimings};
 pub use ngram_mech::{NGramMechanism, PerturbedTrajectory};
 pub use region::{RegionId, RegionSet, StcRegion};

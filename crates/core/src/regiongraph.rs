@@ -74,6 +74,27 @@ impl RegionGraph {
         }
     }
 
+    /// Rebuilds a graph from its serialized parts (the region-graph
+    /// codec, [`crate::graphcodec`]): a distance matrix plus the `W₂`
+    /// bigram list, from which the adjacency lists are re-derived. Every
+    /// bigram index must be within the distance matrix's universe.
+    pub fn from_parts(distance: RegionDistance, bigrams: Vec<(u32, u32)>) -> Self {
+        let n = distance.len();
+        let mut succ = vec![Vec::new(); n];
+        let mut pred = vec![Vec::new(); n];
+        for &(a, b) in &bigrams {
+            assert!((a as usize) < n && (b as usize) < n, "bigram out of range");
+            succ[a as usize].push(b);
+            pred[b as usize].push(a);
+        }
+        Self {
+            distance,
+            bigrams,
+            succ,
+            pred,
+        }
+    }
+
     /// Number of regions.
     #[inline]
     pub fn num_regions(&self) -> usize {

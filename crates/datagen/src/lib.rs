@@ -8,7 +8,7 @@
 //!   hierarchy, per-category opening hours,
 //! * [`taxi_foursquare`] — check-in-style trajectories over the city
 //!   (popularity- and reachability-biased walks),
-//! * [`safegraph`] — the §6.1.2 semi-synthetic recipe (uniform |τ| ∈ [3,8],
+//! * [`safegraph`] — the §6.1.2 semi-synthetic recipe (uniform |τ| ∈ \[3,8\],
 //!   start ∈ [6am, 10pm], dwell-time sampling, popularity-weighted hops),
 //! * [`campus`] — the §6.1.3 campus generator with 262 buildings, nine
 //!   categories, and the three induced popular events,

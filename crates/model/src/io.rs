@@ -6,7 +6,8 @@
 //! * POIs: `id,name,lat,lon,category,popularity,open_start_h,open_end_h`
 //!   (`open_start_h == open_end_h == 0` means always open),
 //! * Trajectories: `user,poi_id,timestep` rows, grouped by `user` in file
-//!   order; timesteps are indices into the dataset's [`TimeDomain`].
+//!   order; timesteps are indices into the dataset's
+//!   [`TimeDomain`](crate::TimeDomain).
 
 use crate::opening::OpeningHours;
 use crate::poi::{Poi, PoiId};

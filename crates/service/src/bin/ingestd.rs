@@ -1,7 +1,8 @@
 //! The ingestion daemon.
 //!
 //! ```text
-//! ingestd --data-dir DIR --regions N [--addr 127.0.0.1:7070]
+//! ingestd --data-dir DIR (--regions N | --region-graph FILE)
+//!         [--addr 127.0.0.1:7070]
 //!         [--workers W] [--snapshot-every K] [--wal-flush-every F]
 //!         [--read-timeout-ms MS]
 //!         [--fsync-records N] [--fsync-ms MS]         # group-commit fsync
@@ -9,42 +10,58 @@
 //!         [--window-len U --windows W]                # streaming windows
 //!         [--publish-every-ms MS] [--server-clock]
 //!         [--max-conn-advance N] [--backend dense|blocked|sparse-w2]
+//!         [--budget-eps E] [--budget-window W]        # w-window ε budget
+//!         [--budget-policy uniform|adaptive]
 //!         [--dump-counts]
 //! ```
 //!
-//! Without a dataset at hand the universe is given as `--regions N`
-//! (tiles default to hour 0); embedded deployments construct
-//! `ServerConfig` with real `region_tiles` instead. `--dump-counts` runs
-//! recovery only and prints a JSON fingerprint of the restored counters
-//! (including the restored window ring when `--window-len`/`--windows`
-//! are given) — the CI smoke test's verification hook.
+//! The region universe comes from either `--regions N` (bare universe,
+//! tiles default to hour 0 — aggregation only) or `--region-graph FILE`
+//! (a `TSRG` blob from `trajshare_core::write_region_graph_file`,
+//! carrying the public distance matrix, hour tiles, and `W₂`). With a
+//! graph the daemon is a *complete* dataset-less deployment: every
+//! publication tick it also runs `ServerHandle::estimate_window_model`
+//! on the configured `--backend` and prints one `model …` line with the
+//! live per-window estimate summary.
 //!
 //! With `--window-len`/`--windows` the server runs the streaming
 //! workload: timestamped reports land in a sliding window ring and every
 //! `--publish-every-ms` the daemon prints one `published ...` line with
 //! the merged window view. `--server-clock` stamps timestamps at the
-//! collector edge (seconds since the Unix epoch; for deployments that
-//! cannot trust device clocks), `--max-conn-advance N` bounds how many
-//! windows a single connection may advance the watermark, and
-//! `--backend` picks the estimation kernels used by embedded
-//! deployments calling `ServerHandle::estimate_window_model` (a
-//! dataset-less daemon has no region graph, so the flag is recorded for
-//! them rather than exercised here).
+//! collector edge, and `--max-conn-advance N` bounds how many windows a
+//! single connection may advance the watermark.
+//!
+//! `--budget-eps E` enforces the continuous-publication privacy budget:
+//! over any `--budget-window` (default: the ring depth) consecutive
+//! windows, published per-user spend stays ≤ E, with per-window shares
+//! chosen by `--budget-policy` (RetraSyn-style `adaptive` reallocates
+//! unspent budget from quiet windows to shifting ones). Refused windows
+//! are excluded from model estimates and visible in the `published`
+//! lines.
+//!
+//! `--dump-counts` runs recovery only and prints a JSON fingerprint of
+//! the restored state: counters, the window ring (with per-window budget
+//! spends), and the restored budget ledger.
 
 use std::net::SocketAddr;
 use std::time::Duration;
-use trajshare_aggregate::{EstimatorBackend, WindowConfig};
+use trajshare_aggregate::{
+    eps_to_nano, nano_to_eps, AllocationPolicy, EstimatorBackend, WindowBudgetConfig, WindowConfig,
+};
+use trajshare_core::{read_region_graph_file, RegionGraph};
 use trajshare_service::{
     CountsSummary, IngestServer, ServerConfig, StreamServerConfig, SyncPolicy,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ingestd --data-dir DIR --regions N [--addr HOST:PORT] [--workers W] \
-         [--snapshot-every K] [--wal-flush-every F] [--read-timeout-ms MS] \
+        "usage: ingestd --data-dir DIR (--regions N | --region-graph FILE) [--addr HOST:PORT] \
+         [--workers W] [--snapshot-every K] [--wal-flush-every F] [--read-timeout-ms MS] \
          [--fsync-records N] [--fsync-ms MS] [--wal-max-bytes B] \
          [--window-len U --windows W] [--publish-every-ms MS] [--server-clock] \
-         [--max-conn-advance N] [--backend dense|blocked|sparse-w2] [--dump-counts]"
+         [--max-conn-advance N] [--backend dense|blocked|sparse-w2] \
+         [--budget-eps E] [--budget-window W] [--budget-policy uniform|adaptive] \
+         [--dump-counts]"
     );
     std::process::exit(2)
 }
@@ -59,21 +76,67 @@ fn parsed<T: std::str::FromStr>(v: String) -> T {
 #[derive(serde::Serialize)]
 struct DumpSummary {
     counts: CountsSummary,
-    /// `(window id, reports)` of every restored live window (streaming
-    /// deployments only).
+    /// Restored live windows (streaming deployments only).
     windows: Option<Vec<WindowSummary>>,
     newest_window: Option<u64>,
+    /// Restored budget ledger (budgeted deployments only).
+    budget: Option<BudgetDump>,
 }
 
 #[derive(serde::Serialize)]
 struct WindowSummary {
     window: u64,
     reports: u64,
+    /// Budget spend recorded for the window, ε (0 when unbudgeted).
+    spent_eps: f64,
+}
+
+#[derive(serde::Serialize)]
+struct BudgetDump {
+    total_eps: f64,
+    horizon: usize,
+    policy: String,
+    sliding_spent_eps: f64,
+    refused_windows: u64,
+    recycled_eps: f64,
+    decisions: Vec<DecisionDump>,
+}
+
+#[derive(serde::Serialize)]
+struct DecisionDump {
+    window: u64,
+    granted_eps: f64,
+    spent_eps: f64,
+    refused: bool,
+}
+
+/// One-line live summary of a freshly estimated window model: the top
+/// occupancy regions plus how much feasible transition mass the model
+/// carries — enough for an operator (or the CI smoke) to see estimation
+/// working end to end without a dataset anywhere near the daemon.
+fn model_summary(model: &trajshare_aggregate::MobilityModel) -> String {
+    let mut top: Vec<(usize, f64)> = model
+        .occupancy
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, p)| p > 0.0)
+        .collect();
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
+    top.truncate(3);
+    let top: Vec<String> = top.iter().map(|(r, p)| format!("{r}:{:.3}", p)).collect();
+    let trans_nnz = model.transition.iter().filter(|&&p| p > 0.0).count();
+    format!(
+        "debiased={} occ_top=[{}] trans_nnz={trans_nnz}",
+        model.debiased,
+        top.join(" ")
+    )
 }
 
 fn main() {
     let mut data_dir: Option<String> = None;
     let mut regions: Option<usize> = None;
+    let mut region_graph: Option<String> = None;
     let mut addr: SocketAddr = "127.0.0.1:7070".parse().unwrap();
     let mut workers: Option<usize> = None;
     let mut snapshot_every: Option<u64> = None;
@@ -88,6 +151,9 @@ fn main() {
     let mut server_clock = false;
     let mut max_conn_advance: Option<u64> = None;
     let mut backend = EstimatorBackend::default();
+    let mut budget_eps: Option<f64> = None;
+    let mut budget_window: Option<usize> = None;
+    let mut budget_policy = AllocationPolicy::Uniform;
     let mut dump_counts = false;
 
     let mut args = std::env::args().skip(1);
@@ -99,6 +165,7 @@ fn main() {
         match flag.as_str() {
             "--data-dir" => data_dir = Some(value(&mut args)),
             "--regions" => regions = Some(parsed(value(&mut args))),
+            "--region-graph" => region_graph = Some(value(&mut args)),
             "--addr" => addr = parsed(value(&mut args)),
             "--workers" => workers = Some(parsed(value(&mut args))),
             "--snapshot-every" => snapshot_every = Some(parsed(value(&mut args))),
@@ -115,17 +182,50 @@ fn main() {
             "--backend" => {
                 backend = EstimatorBackend::parse(&value(&mut args)).unwrap_or_else(|| usage())
             }
+            "--budget-eps" => budget_eps = Some(parsed(value(&mut args))),
+            "--budget-window" => budget_window = Some(parsed(value(&mut args))),
+            "--budget-policy" => {
+                budget_policy =
+                    AllocationPolicy::parse(&value(&mut args)).unwrap_or_else(|| usage())
+            }
             "--dump-counts" => dump_counts = true,
             _ => usage(),
         }
     }
-    let (Some(data_dir), Some(regions)) = (data_dir, regions) else {
-        usage()
-    };
-    if regions == 0 {
-        usage()
+    let Some(data_dir) = data_dir else { usage() };
+
+    // The public universe: a bare `--regions N` (tiles default to hour
+    // 0), or the full region-graph file, which also enables live model
+    // estimation. Given both, they must agree.
+    let graph: Option<RegionGraph>;
+    let tiles: Vec<u16>;
+    match &region_graph {
+        Some(path) => {
+            let (g, t) = read_region_graph_file(std::path::Path::new(path)).unwrap_or_else(|e| {
+                eprintln!("ingestd: cannot load region graph: {e}");
+                std::process::exit(1)
+            });
+            if regions.is_some_and(|n| n != t.len()) {
+                eprintln!(
+                    "ingestd: --regions {} disagrees with the graph's universe of {}",
+                    regions.unwrap(),
+                    t.len()
+                );
+                std::process::exit(1)
+            }
+            tiles = t;
+            graph = Some(g);
+        }
+        None => {
+            let Some(n) = regions else { usage() };
+            if n == 0 {
+                usage()
+            }
+            tiles = vec![0u16; n];
+            graph = None;
+        }
     }
-    let tiles = vec![0u16; regions];
+
     let window = match (window_len, windows) {
         (Some(len), Some(n)) if len >= 1 && n >= 1 => Some(WindowConfig {
             window_len: len,
@@ -133,6 +233,21 @@ fn main() {
         }),
         (None, None) => None,
         _ => usage(), // both or neither
+    };
+    let budget = match (budget_eps, window) {
+        (Some(eps), Some(w)) => {
+            let total_nano = eps_to_nano(eps);
+            if total_nano == 0 {
+                usage()
+            }
+            Some(WindowBudgetConfig::new(
+                total_nano,
+                budget_window.unwrap_or(w.num_windows).max(1),
+                budget_policy,
+            ))
+        }
+        (Some(_), None) => usage(), // budget needs the streaming workload
+        (None, _) => None,
     };
 
     if dump_counts {
@@ -152,10 +267,28 @@ fn main() {
                     .map(|(id, c)| WindowSummary {
                         window: *id,
                         reports: c.num_reports,
+                        spent_eps: nano_to_eps(r.window_spend(*id)),
                     })
                     .collect()
             }),
             newest_window: rec.ring.as_ref().map(|r| r.newest_window()),
+            budget: rec.budget.as_ref().map(|acct| BudgetDump {
+                total_eps: nano_to_eps(acct.config().total_nano),
+                horizon: acct.config().horizon,
+                policy: acct.config().policy.name().to_string(),
+                sliding_spent_eps: nano_to_eps(acct.sliding_spend_nano()),
+                refused_windows: acct.refused_windows(),
+                recycled_eps: nano_to_eps(acct.recycled_nano()),
+                decisions: acct
+                    .decisions()
+                    .map(|d| DecisionDump {
+                        window: d.window,
+                        granted_eps: nano_to_eps(d.granted_nano),
+                        spent_eps: nano_to_eps(d.spent_nano),
+                        refused: d.refused,
+                    })
+                    .collect(),
+            }),
         };
         println!(
             "{}",
@@ -193,12 +326,16 @@ fn main() {
         server_clock,
         max_conn_advance: max_conn_advance.unwrap_or(u64::MAX),
         backend,
+        budget,
     });
 
     let streaming = config.stream.is_some();
     let stream_desc = config.stream.as_ref().map(|s| {
+        let budget_desc = s.budget.map_or("off".to_string(), |b| {
+            format!("{}ε/{}w {}", nano_to_eps(b.total_nano), b.horizon, b.policy)
+        });
         format!(
-            ", streaming: clock={} advance-budget={} backend={}",
+            ", streaming: clock={} advance-budget={} backend={} budget={}",
             if s.server_clock { "server" } else { "client" },
             if s.max_conn_advance == u64::MAX {
                 "unlimited".to_string()
@@ -206,6 +343,7 @@ fn main() {
                 s.max_conn_advance.to_string()
             },
             s.backend,
+            budget_desc,
         )
     });
     let handle = IngestServer::start(config).unwrap_or_else(|e| {
@@ -214,18 +352,24 @@ fn main() {
     });
     let rec = handle.recovery();
     println!(
-        "ingestd listening on {} (gen {}, recovered {} reports, {} replayed from log, {} windows restored{})",
+        "ingestd listening on {} (gen {}, recovered {} reports, {} replayed from log, {} windows restored{}{})",
         handle.addr(),
         rec.generation,
         rec.recovered_reports,
         rec.replayed_reports,
         rec.restored_windows,
         stream_desc.as_deref().unwrap_or(""),
+        if graph.is_some() {
+            ", region graph loaded"
+        } else {
+            ""
+        },
     );
     // Park; SIGTERM/SIGKILL is the stop signal, and recovery is the
     // restart path — that asymmetry is exactly what the durability
     // design is for. When streaming, relay each publication to stdout
-    // so operators (and the CI smoke test) see the live window view.
+    // so operators (and the CI smoke test) see the live window view —
+    // and, with a region graph, the live model estimate.
     let mut printed_seq = 0u64;
     loop {
         if streaming {
@@ -237,15 +381,35 @@ fn main() {
                         .iter()
                         .map(|(id, n)| format!("{id}:{n}"))
                         .collect();
+                    let budget_desc = p.budget.as_ref().map_or(String::new(), |b| {
+                        format!(
+                            " budget[spent={:.3}/{}ε grant={:.3} refused={}]",
+                            nano_to_eps(b.sliding_spent_nano),
+                            nano_to_eps(b.total_nano),
+                            nano_to_eps(b.newest_granted_nano),
+                            b.refused_windows,
+                        )
+                    });
                     println!(
-                        "published seq={} newest={} oldest={} merged_reports={} late={} windows=[{}]",
+                        "published seq={} newest={} oldest={} merged_reports={} late={} windows=[{}]{}",
                         p.seq,
                         p.newest_window,
                         p.oldest_window,
                         p.merged_reports,
                         p.late_reports,
-                        windows.join(" ")
+                        windows.join(" "),
+                        budget_desc,
                     );
+                    if let Some(graph) = &graph {
+                        if let Some(model) = handle.estimate_window_model(graph) {
+                            println!(
+                                "model seq={} newest={} {}",
+                                p.seq,
+                                p.newest_window,
+                                model_summary(&model)
+                            );
+                        }
+                    }
                 }
             }
             std::thread::sleep(Duration::from_millis(50));

@@ -31,8 +31,8 @@ pub mod storage;
 
 pub use client::{stream_once, stream_reports};
 pub use server::{
-    CountsSummary, IngestServer, RecoverySummary, ServerConfig, ServerHandle, ServerStats,
-    StreamPublication, StreamServerConfig,
+    BudgetPublication, CountsSummary, IngestServer, RecoverySummary, ServerConfig, ServerHandle,
+    ServerStats, StreamPublication, StreamServerConfig,
 };
 pub use storage::{
     load, lock_dir, recover, replay_wal, Recovery, ReplayStats, SyncPolicy, WalWriter,

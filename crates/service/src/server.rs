@@ -38,6 +38,14 @@
 //!   next generation's base, fresh logs are started, the manifest flip
 //!   commits, and the old generation is deleted; WAL disk usage between
 //!   restarts is therefore bounded instead of unbounded.
+//! * **Budget accounting** (optional, [`StreamServerConfig::budget`]):
+//!   the maintenance thread runs a
+//!   [`trajshare_aggregate::WindowBudgetAccountant`] over the published
+//!   windows — every window gets an ε grant under the configured
+//!   allocation policy, over-claiming windows are refused (excluded from
+//!   [`ServerHandle::estimate_window_model`]), and the ledger is
+//!   persisted on every decision so *"Σ published spend over any `w`
+//!   consecutive windows ≤ ε"* holds across kill/restart.
 //!
 //! Protocol: the client streams [`Report::encode_frame`] frames, then
 //! shuts down its write half; the server ingests to EOF, flushes the
@@ -47,6 +55,7 @@
 use crate::storage::{self, Recovery, SyncPolicy, WalWriter};
 use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
 use serde::Serialize;
+use std::collections::BTreeSet;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -56,8 +65,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use trajshare_aggregate::snapshot::crc32;
 use trajshare_aggregate::{
-    AggregateCounts, Aggregator, EstimatorBackend, MobilityModel, Report, StreamDecoder,
-    StreamingEstimator, WindowConfig, WindowedAggregator,
+    count_divergence, AggregateCounts, Aggregator, EstimatorBackend, MobilityModel, Report,
+    StreamDecoder, StreamingEstimator, WindowBudgetAccountant, WindowBudgetConfig, WindowConfig,
+    WindowedAggregator,
 };
 use trajshare_core::RegionGraph;
 
@@ -91,11 +101,24 @@ pub struct StreamServerConfig {
     /// ([`ServerHandle::estimate_window_model`]); embedded deployments
     /// with a region graph flip the whole estimation chain here.
     pub backend: EstimatorBackend,
+    /// Streaming privacy-budget enforcement: a `w`-window ε contract the
+    /// publication thread accounts per window
+    /// ([`trajshare_aggregate::WindowBudgetAccountant`]). Each window is
+    /// granted a share under the configured allocation policy; a window
+    /// whose cohort's observed mean ε′ exceeds its grant is **refused**
+    /// — excluded from [`ServerHandle::estimate_window_model`] and
+    /// counted in [`ServerStats::budget_refusals`]. The ledger is
+    /// persisted (`BUDGET` file) on every decision, so the invariant
+    /// *"over any `w` consecutive windows, published spend ≤ ε"*
+    /// survives kill/restart. `None` (the historical behavior) publishes
+    /// without accounting.
+    pub budget: Option<WindowBudgetConfig>,
 }
 
 impl StreamServerConfig {
     /// Streaming options with the historical defaults: client-declared
-    /// timestamps, no advance limit, dense estimation.
+    /// timestamps, no advance limit, dense estimation, no budget
+    /// accounting.
     pub fn new(window: WindowConfig, publish_every: Duration) -> Self {
         StreamServerConfig {
             window,
@@ -103,6 +126,7 @@ impl StreamServerConfig {
             server_clock: false,
             max_conn_advance: u64::MAX,
             backend: EstimatorBackend::default(),
+            budget: None,
         }
     }
 }
@@ -196,6 +220,13 @@ pub struct ServerStats {
     pub io_errors: AtomicU64,
     /// Sliding-window publications emitted by the maintenance thread.
     pub publications: AtomicU64,
+    /// Per-window budget allocations decided by the publication thread
+    /// (streaming deployments with [`StreamServerConfig::budget`]).
+    pub budget_decisions: AtomicU64,
+    /// Windows refused by the budget accountant (observed cohort spend
+    /// exceeded the window's grant); their data is excluded from
+    /// published model estimates.
+    pub budget_refusals: AtomicU64,
     /// Online WAL compactions (generation bumps while live).
     pub compactions: AtomicU64,
     /// Online compactions that failed (retried after a backoff).
@@ -262,6 +293,63 @@ struct BaseState {
     gen: u64,
 }
 
+/// The budget-holder's state: the ledger plus the derived accept/refuse
+/// sets the estimation path filters by. One mutex; lock order on any
+/// path that holds several is base → shards → budget (compaction and
+/// the decision pass both follow it).
+struct BudgetState {
+    accountant: WindowBudgetAccountant,
+    /// Live windows whose spend is on the ledger's books — the only
+    /// windows published model estimates may use. (A window absent from
+    /// both sets is not yet decided, or arrived into an already-passed
+    /// gap; either way its spend is unaccounted and it must not be
+    /// published.)
+    accepted: BTreeSet<u64>,
+    /// Live windows explicitly refused (over-grant or unaccountable).
+    refused: BTreeSet<u64>,
+    /// Ledger bytes last persisted, to skip no-op BUDGET rewrites.
+    persisted: Vec<u8>,
+}
+
+/// The budget slice of a [`StreamPublication`].
+#[derive(Debug, Clone, Serialize)]
+pub struct BudgetPublication {
+    /// Configured ε over the horizon, nano-ε.
+    pub total_nano: u64,
+    /// The `w` of the `w`-window contract.
+    pub horizon: usize,
+    /// Σ recorded spend over the trailing horizon, nano-ε.
+    pub sliding_spent_nano: u64,
+    /// Grant of the newest decided window, nano-ε.
+    pub newest_granted_nano: u64,
+    /// Settled spend of the newest decided window, nano-ε.
+    pub newest_spent_nano: u64,
+    /// Whether the newest decided window is currently refused.
+    pub newest_refused: bool,
+    /// Lifetime refused-window count.
+    pub refused_windows: u64,
+    /// Lifetime granted-but-unspent nano-ε (recycled into later
+    /// horizons).
+    pub recycled_nano: u64,
+}
+
+impl BudgetPublication {
+    fn of(state: &BudgetState) -> Self {
+        let acct = &state.accountant;
+        let newest = acct.decided().and_then(|w| acct.decision(w));
+        BudgetPublication {
+            total_nano: acct.config().total_nano,
+            horizon: acct.config().horizon,
+            sliding_spent_nano: acct.sliding_spend_nano(),
+            newest_granted_nano: newest.map_or(0, |d| d.granted_nano),
+            newest_spent_nano: newest.map_or(0, |d| d.spent_nano),
+            newest_refused: newest.is_some_and(|d| d.refused),
+            refused_windows: acct.refused_windows(),
+            recycled_nano: acct.recycled_nano(),
+        }
+    }
+}
+
 /// One sliding-window publication (what `ingestd` prints per tick).
 #[derive(Debug, Clone, Serialize)]
 pub struct StreamPublication {
@@ -277,6 +365,9 @@ pub struct StreamPublication {
     pub merged_reports: u64,
     /// Reports dropped as older than the ring span.
     pub late_reports: u64,
+    /// Budget accounting for this publication (deployments with
+    /// [`StreamServerConfig::budget`] only).
+    pub budget: Option<BudgetPublication>,
 }
 
 /// The running server: owns its threads; query or stop it through this.
@@ -289,6 +380,9 @@ pub struct ServerHandle {
     /// Warm-started window-model estimator on the configured backend
     /// (streaming servers only).
     estimator: Option<Mutex<StreamingEstimator>>,
+    /// The privacy-budget ledger + refusal set (streaming servers with a
+    /// budget config only).
+    budget: Option<Arc<Mutex<BudgetState>>>,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
     recovery: RecoverySummary,
@@ -326,6 +420,7 @@ impl IngestServer {
         let Recovery {
             counts: base_counts,
             ring: base_ring,
+            budget: stored_budget,
             gen,
             replayed_reports,
             torn_tails,
@@ -406,6 +501,42 @@ impl IngestServer {
             }));
         }
 
+        // The budget ledger: restore the persisted one when its contract
+        // matches the configured one; otherwise (fresh deployment or an
+        // operator changed the contract) start a new ledger seeded from
+        // the ring's per-window spend annotations, so already-published
+        // spend keeps constraining the new horizon.
+        let budget = config.stream.as_ref().and_then(|s| s.budget).map(|bcfg| {
+            let accountant = match stored_budget {
+                Some(acct) if acct.config() == bcfg => acct,
+                _ => {
+                    let mut acct = WindowBudgetAccountant::new(bcfg);
+                    if let Some(ring) = &base_ring {
+                        for (id, spent) in ring.window_spends() {
+                            acct.restore_spend(id, spent);
+                        }
+                    }
+                    acct
+                }
+            };
+            let refused = accountant
+                .decisions()
+                .filter(|d| d.refused)
+                .map(|d| d.window)
+                .collect();
+            let accepted = accountant
+                .decisions()
+                .filter(|d| !d.refused)
+                .map(|d| d.window)
+                .collect();
+            Arc::new(Mutex::new(BudgetState {
+                accountant,
+                accepted,
+                refused,
+                persisted: Vec::new(),
+            }))
+        });
+
         let base = Arc::new(Mutex::new(BaseState {
             counts: base_counts,
             ring: base_ring,
@@ -426,8 +557,9 @@ impl IngestServer {
             let stop = Arc::clone(&stop);
             let latest = Arc::clone(&latest_publication);
             let cfg = config.clone();
+            let budget = budget.clone();
             threads.push(std::thread::spawn(move || {
-                maintenance_loop(cfg, base, shards, stats, stop, latest)
+                maintenance_loop(cfg, base, shards, stats, stop, latest, budget)
             }));
         }
 
@@ -446,6 +578,7 @@ impl IngestServer {
             shards,
             latest_publication,
             estimator,
+            budget,
             stop,
             threads,
             recovery,
@@ -509,16 +642,54 @@ impl ServerHandle {
     /// configured [`StreamServerConfig::backend`], warm-starting from the
     /// previous call's posterior — the embedded-deployment hook that
     /// makes the backend flag flip the whole service-side estimation
-    /// chain. `None` when the server is not streaming or `graph` does not
-    /// match the server's region universe (a dataset-less `ingestd` has
-    /// no graph to offer).
+    /// chain. With a budget configured, only windows the accountant has
+    /// *accepted* contribute — refused, not-yet-decided, and
+    /// unaccountable gap windows are excluded, so publication only ever
+    /// uses data whose spend the ledger accounts. `None` when the
+    /// server is not streaming, `graph` does not match the server's
+    /// region universe (a graph-less `ingestd` has no graph to offer —
+    /// see `--region-graph`), or the budget-filtered view is empty — a
+    /// tick over zero counts would both publish a meaningless model and
+    /// poison the warm-start posterior for the next real tick.
     pub fn estimate_window_model(&self, graph: &RegionGraph) -> Option<MobilityModel> {
         let estimator = self.estimator.as_ref()?;
         let view = self.windowed_counts()?;
         if view.merged().num_regions != graph.num_regions() {
             return None;
         }
-        Some(estimator.lock().unwrap().tick(view.merged(), graph))
+        let accepted: Option<BTreeSet<u64>> = self
+            .budget
+            .as_ref()
+            .map(|state| state.lock().unwrap().accepted.clone());
+        let within;
+        let counts = match &accepted {
+            Some(accepted) => {
+                within = view.merged_where(|id| accepted.contains(&id));
+                &within
+            }
+            None => view.merged(),
+        };
+        if counts.num_reports == 0 {
+            return None;
+        }
+        Some(estimator.lock().unwrap().tick(counts, graph))
+    }
+
+    /// A snapshot of the privacy-budget ledger, when the server runs
+    /// with [`StreamServerConfig::budget`].
+    pub fn budget_ledger(&self) -> Option<WindowBudgetAccountant> {
+        self.budget
+            .as_ref()
+            .map(|state| state.lock().unwrap().accountant.clone())
+    }
+
+    /// The live windows currently excluded from published estimates by
+    /// the budget accountant (empty when no budget is configured).
+    pub fn budget_refused_windows(&self) -> Vec<u64> {
+        self.budget
+            .as_ref()
+            .map(|state| state.lock().unwrap().refused.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// The current file generation (bumps on online compaction).
@@ -595,8 +766,96 @@ fn worker_loop(
     }
 }
 
+/// Runs the per-window budget decisions over the current merged view:
+/// allocate every newly seen window (divergence measured on consecutive
+/// windows' raw occupancy counters — no estimation needed), settle each
+/// live window's observed mean ε′ against its grant, maintain the
+/// accept/refuse sets, mirror spends into the base ring, and persist
+/// the ledger when it changed. Returns whether persistence failed.
+///
+/// Lock order: base, then budget (shards are not touched) — the same
+/// base-before-budget order online compaction uses.
+fn run_budget_decisions(
+    config: &ServerConfig,
+    view: &WindowedAggregator,
+    state: &Mutex<BudgetState>,
+    base: &Mutex<BaseState>,
+    stats: &ServerStats,
+) -> std::io::Result<()> {
+    let mut base_guard = base.lock().unwrap();
+    let mut guard = state.lock().unwrap();
+    let windows = view.windows();
+    for (i, &(id, counts)) in windows.iter().enumerate() {
+        // Per-user (mean) spend this window's cohort claims, nano-ε.
+        let observed = counts.mean_eps_nano();
+        if guard.accountant.decided().is_none_or(|d| id > d) {
+            // Divergence signal: this window's occupancy vs the previous
+            // live window's. A cold start (nothing to compare) counts as
+            // a full shift — the policy buys data when it knows nothing.
+            let divergence = match i.checked_sub(1).map(|j| windows[j]) {
+                Some((prev_id, prev)) if prev_id + 1 == id => {
+                    count_divergence(&prev.occupancy, &counts.occupancy)
+                }
+                _ => 1.0,
+            };
+            guard.accountant.allocate(id, divergence);
+            stats.bump(&stats.budget_decisions);
+        }
+        match guard.accountant.settle(id, observed) {
+            Some(decision) => {
+                if decision.refused {
+                    guard.accepted.remove(&id);
+                    if guard.refused.insert(id) {
+                        stats.bump(&stats.budget_refusals);
+                    }
+                } else {
+                    guard.refused.remove(&id);
+                    guard.accepted.insert(id);
+                }
+            }
+            // No ledger entry: the window appeared *behind* the decided
+            // watermark (data landed in a still-live gap window after a
+            // newer one was decided — client-declared timestamps arrive
+            // in any order). It can never be granted retroactively, so
+            // its spend is unaccountable and its data must not be
+            // published. Windows whose entry merely *expired* from the
+            // horizon keep whatever accept/refuse state they earned.
+            None => {
+                let decided = guard.accountant.decided().unwrap_or(0);
+                let horizon = guard.accountant.config().horizon as u64;
+                let expired = id < decided && decided - id >= horizon;
+                if !expired && !guard.accepted.contains(&id) && guard.refused.insert(id) {
+                    stats.bump(&stats.budget_refusals);
+                }
+            }
+        }
+    }
+    // Decisions for windows that slid out no longer gate anything.
+    let oldest = view.oldest_window();
+    guard.refused.retain(|&id| id >= oldest);
+    guard.accepted.retain(|&id| id >= oldest);
+    // Mirror settled spends onto the base ring (they persist with the
+    // next ring snapshot) and persist the ledger itself if it moved.
+    if let Some(ring) = &mut base_guard.ring {
+        for d in guard.accountant.decisions() {
+            if d.spent_nano > 0 {
+                ring.record_spend(d.window, d.spent_nano);
+            }
+        }
+    }
+    drop(base_guard);
+    let encoded = guard.accountant.encode();
+    if encoded != guard.persisted {
+        storage::write_blob_atomic(&storage::budget_path(&config.data_dir), &encoded)?;
+        guard.persisted = encoded;
+    }
+    Ok(())
+}
+
 /// The maintenance thread: publishes the merged sliding-window view
-/// every `publish_every`, and runs size-triggered online WAL compaction.
+/// every `publish_every`, runs the per-window budget decisions, and
+/// runs size-triggered online WAL compaction.
+#[allow(clippy::too_many_arguments)]
 fn maintenance_loop(
     config: ServerConfig,
     base: Arc<Mutex<BaseState>>,
@@ -604,6 +863,7 @@ fn maintenance_loop(
     stats: Arc<ServerStats>,
     stop: Arc<AtomicBool>,
     latest: Arc<Mutex<Option<StreamPublication>>>,
+    budget: Option<Arc<Mutex<BudgetState>>>,
 ) {
     let publish_every = config.stream.as_ref().map(|s| s.publish_every);
     let group_commit = matches!(config.sync_policy, SyncPolicy::GroupCommit { .. });
@@ -626,6 +886,15 @@ fn maintenance_loop(
             if last_publish.elapsed() >= every {
                 last_publish = Instant::now();
                 if let Some(view) = merged_ring(&base, &shards) {
+                    // Budget decisions run against the same view the
+                    // publication describes, so the published accounting
+                    // is never ahead of or behind the window list.
+                    let budget_pub = budget.as_ref().map(|state| {
+                        if run_budget_decisions(&config, &view, state, &base, &stats).is_err() {
+                            stats.bump(&stats.io_errors);
+                        }
+                        BudgetPublication::of(&state.lock().unwrap())
+                    });
                     seq += 1;
                     let publication = StreamPublication {
                         seq,
@@ -638,6 +907,7 @@ fn maintenance_loop(
                             .collect(),
                         merged_reports: view.merged().num_reports,
                         late_reports: view.late(),
+                        budget: budget_pub,
                     };
                     *latest.lock().unwrap() = Some(publication);
                     stats.bump(&stats.publications);
@@ -649,7 +919,7 @@ fn maintenance_loop(
                 .iter()
                 .any(|s| s.lock().unwrap().wal.offset() >= config.wal_max_bytes);
             if over_limit {
-                match compact_online(&config, &base, &shards) {
+                match compact_online(&config, &base, &shards, budget.as_deref()) {
                     Ok(()) => stats.bump(&stats.compactions),
                     // A failing compaction (e.g. disk full) pauses every
                     // shard for its duration; back off instead of
@@ -695,6 +965,7 @@ fn compact_online(
     config: &ServerConfig,
     base: &Mutex<BaseState>,
     shards: &[Arc<Mutex<Shard>>],
+    budget: Option<&Mutex<BudgetState>>,
 ) -> std::io::Result<()> {
     let mut base_guard = base.lock().unwrap();
     let mut guards: Vec<_> = shards.iter().map(|s| s.lock().unwrap()).collect();
@@ -713,6 +984,19 @@ fn compact_online(
         for g in guards.iter() {
             if let Some(shard_ring) = &g.ring {
                 ring.merge_ring(shard_ring);
+            }
+        }
+        // Stamp the ledger's settled spends onto the folded ring: the
+        // per-window data only just arrived here from the shard rings
+        // (which never carry spend annotations), and the compacted ring
+        // file is what recovery seeds a fresh accountant from when the
+        // BUDGET ledger is absent or superseded.
+        if let Some(state) = budget {
+            let guard = state.lock().unwrap();
+            for d in guard.accountant.decisions() {
+                if d.spent_nano > 0 {
+                    ring.record_spend(d.window, d.spent_nano);
+                }
             }
         }
         ring

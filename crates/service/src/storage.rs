@@ -45,6 +45,16 @@
 //! `ring-<gen>.bin` next to the compacted base. Per-shard ring blobs +
 //! timestamped WAL-tail replay restore the global ring bit-identically
 //! (ring content is order-independent — see the stream module docs).
+//!
+//! ## Budget ledger
+//!
+//! Deployments enforcing a streaming privacy budget additionally keep a
+//! generation-free `BUDGET` file: the
+//! [`trajshare_aggregate::WindowBudgetAccountant`] ledger, rewritten
+//! atomically on every allocation decision. Recovery restores it (and
+//! stamps its spends back onto the restored ring's per-window
+//! annotations); a corrupt ledger aborts recovery rather than risk
+//! over-granting past the `w`-window invariant.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
@@ -53,7 +63,9 @@ use std::time::{Duration, Instant};
 use trajshare_aggregate::snapshot::{
     crc32, read_snapshot_file, write_snapshot_file, SnapshotError,
 };
-use trajshare_aggregate::{AggregateCounts, Aggregator, Report, WindowConfig, WindowedAggregator};
+use trajshare_aggregate::{
+    AggregateCounts, Aggregator, Report, WindowBudgetAccountant, WindowConfig, WindowedAggregator,
+};
 
 /// Manifest magic ("TrajShare ManiFest").
 const MANIFEST_MAGIC: [u8; 4] = *b"TSMF";
@@ -87,6 +99,15 @@ pub fn base_path(dir: &Path, gen: u64) -> PathBuf {
 /// (streaming deployments only).
 pub fn ring_path(dir: &Path, gen: u64) -> PathBuf {
     dir.join(format!("ring-{gen}.bin"))
+}
+
+/// Path of the persisted privacy-budget ledger (streaming deployments
+/// with a [`trajshare_aggregate::WindowBudgetConfig`] only). Generation-
+/// free on purpose: the ledger is tiny, rewritten atomically on every
+/// decision, and must survive compaction sweeps — forgetting spends
+/// across a generation bump could over-grant.
+pub fn budget_path(dir: &Path) -> PathBuf {
+    dir.join("BUDGET")
 }
 
 fn manifest_path(dir: &Path) -> PathBuf {
@@ -493,6 +514,10 @@ pub struct Recovery {
     /// merged from the base ring, every shard's ring blob, and the
     /// timestamped log tails — bit-identical to the pre-crash ring.
     pub ring: Option<WindowedAggregator>,
+    /// The restored privacy-budget ledger, when a `BUDGET` file exists.
+    /// A corrupt ledger aborts recovery — restoring a guessed ledger
+    /// could over-grant past the `w`-window invariant.
+    pub budget: Option<WindowBudgetAccountant>,
     /// The fresh generation new server files must use.
     pub gen: u64,
     /// Reports replayed from log tails (not covered by any snapshot).
@@ -680,6 +705,15 @@ fn reconstruct(
         }
     }
 
+    let budget = match std::fs::read(budget_path(dir)) {
+        Ok(bytes) => Some(
+            WindowBudgetAccountant::decode(&bytes)
+                .map_err(|e| std::io::Error::other(format!("BUDGET ledger: {e}")))?,
+        ),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e),
+    };
+
     let mut replayed_reports = 0u64;
     let mut torn_tails = 0u64;
     for shard in shard_indices(dir, gen)? {
@@ -720,9 +754,21 @@ fn reconstruct(
         torn_tails += stats.torn_tail as u64;
     }
 
+    // The ledger is authoritative over the ring's spend annotations: the
+    // ring mirror is only stamped at compaction, while the BUDGET file is
+    // rewritten on every decision, so after a kill the ledger is ahead.
+    if let (Some(ring), Some(acct)) = (&mut ring_total, &budget) {
+        for d in acct.decisions() {
+            if d.spent_nano > 0 {
+                ring.record_spend(d.window, d.spent_nano);
+            }
+        }
+    }
+
     Ok(Recovery {
         counts: total,
         ring: ring_total,
+        budget,
         gen: gen + 1,
         replayed_reports,
         torn_tails,

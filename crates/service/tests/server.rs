@@ -9,7 +9,10 @@ use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
-use trajshare_aggregate::{Aggregator, Report, WindowConfig, WindowedAggregator};
+use trajshare_aggregate::{
+    eps_to_nano, Aggregator, AllocationPolicy, Report, WindowBudgetConfig, WindowConfig,
+    WindowedAggregator,
+};
 use trajshare_service::{
     stream_reports, IngestServer, ServerConfig, StreamServerConfig, SyncPolicy,
 };
@@ -578,5 +581,171 @@ fn advance_budget_is_free_on_an_empty_ring() {
         epoch / 60
     );
     server.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_accountant_enforces_the_sliding_invariant_across_restart() {
+    let (mut cfg, dir) = config("budget");
+    let window = WindowConfig {
+        window_len: 60,
+        num_windows: 4,
+    };
+    let mut stream_cfg = StreamServerConfig::new(window, Duration::from_millis(30));
+    // Reports claim ε′ = 0.75; a 3ε / 3-window contract grants each
+    // window 1.0ε uniform, so every window is accepted with 0.25ε
+    // recycled.
+    let budget_cfg = WindowBudgetConfig::new(eps_to_nano(3.0), 3, AllocationPolicy::Uniform);
+    stream_cfg.budget = Some(budget_cfg);
+    cfg.stream = Some(stream_cfg);
+    let server = IngestServer::start(cfg.clone()).unwrap();
+
+    // Four windows of reports: the 3-window sliding sum must stay ≤ 3ε
+    // while windows enter and leave the horizon.
+    for w in 0..4u64 {
+        let reports: Vec<Report> = (0..200).map(|i| toy_report_at(i, w * 60)).collect();
+        assert_eq!(stream_reports(server.addr(), &reports, 2).unwrap(), 200);
+        assert!(
+            wait_until(Duration::from_secs(5), || server
+                .budget_ledger()
+                .and_then(|a| a.decided())
+                .is_some_and(|d| d >= w)),
+            "window {w} never decided"
+        );
+    }
+    let ledger = server.budget_ledger().unwrap();
+    let per_window = eps_to_nano(0.75);
+    // Every live decision settled to the observed cohort mean; nothing
+    // refused; the sliding sum is within the contract.
+    for d in ledger.decisions() {
+        assert!(!d.refused, "window {} refused", d.window);
+        assert_eq!(d.spent_nano, per_window, "window {}", d.window);
+    }
+    assert!(ledger.sliding_spend_nano() <= budget_cfg.total_nano);
+    assert_eq!(ledger.sliding_spend_nano(), 3 * per_window);
+    assert!(server.budget_refused_windows().is_empty());
+    let p = server.latest_publication().unwrap();
+    let b = p.budget.expect("budgeted publication");
+    assert_eq!(b.sliding_spent_nano, 3 * per_window);
+    assert_eq!(b.newest_spent_nano, per_window);
+    assert!(!b.newest_refused);
+
+    // Kill (no graceful snapshot) → restart: the ledger must come back
+    // from the BUDGET blob with the same decisions and sliding sum.
+    server.crash();
+    let server2 = IngestServer::start(cfg.clone()).unwrap();
+    let restored = server2.budget_ledger().unwrap();
+    assert_eq!(restored.decided(), ledger.decided());
+    assert_eq!(restored.sliding_spend_nano(), ledger.sliding_spend_nano());
+    assert!(restored.sliding_spend_nano() <= budget_cfg.total_nano);
+    // The restored ring carries the spend annotations too.
+    let view = server2.windowed_counts().unwrap();
+    for d in restored.decisions() {
+        if d.window >= view.oldest_window() && view.window_counts(d.window).is_some() {
+            assert_eq!(
+                view.window_spend(d.window),
+                d.spent_nano,
+                "window {}",
+                d.window
+            );
+        }
+    }
+    // A fifth window keeps the invariant rolling post-restart.
+    let reports: Vec<Report> = (0..200).map(|i| toy_report_at(i, 4 * 60)).collect();
+    assert_eq!(stream_reports(server2.addr(), &reports, 2).unwrap(), 200);
+    assert!(wait_until(Duration::from_secs(5), || server2
+        .budget_ledger()
+        .and_then(|a| a.decided())
+        == Some(4)));
+    let after = server2.budget_ledger().unwrap();
+    assert!(after.sliding_spend_nano() <= budget_cfg.total_nano);
+    server2.crash();
+
+    // Read-only inspection surfaces the ledger as well.
+    let rec = trajshare_service::load(&dir, &[0u16; REGIONS], Some(window)).unwrap();
+    let dumped = rec.budget.expect("BUDGET blob restored");
+    assert_eq!(dumped.decided(), after.decided());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn over_budget_windows_are_refused_and_excluded_from_estimates() {
+    let (mut cfg, dir) = config("budget-refuse");
+    let window = WindowConfig {
+        window_len: 60,
+        num_windows: 3,
+    };
+    let mut stream_cfg = StreamServerConfig::new(window, Duration::from_millis(30));
+    // 1ε over 2 windows ⇒ 0.5ε per-window grant, but the cohort claims
+    // ε′ = 0.75 — every decided window must be refused.
+    let budget_cfg = WindowBudgetConfig::new(eps_to_nano(1.0), 2, AllocationPolicy::Uniform);
+    stream_cfg.budget = Some(budget_cfg);
+    cfg.stream = Some(stream_cfg);
+    let server = IngestServer::start(cfg).unwrap();
+
+    let reports: Vec<Report> = (0..300)
+        .map(|i| toy_report_at(i, (i as u64 % 2) * 60))
+        .collect();
+    assert_eq!(stream_reports(server.addr(), &reports, 3).unwrap(), 300);
+    assert!(
+        wait_until(Duration::from_secs(5), || server
+            .stats()
+            .budget_refusals
+            .load(Ordering::Relaxed)
+            >= 2),
+        "refusals never recorded"
+    );
+    let refused = server.budget_refused_windows();
+    assert_eq!(refused, vec![0, 1], "both windows over budget");
+    let ledger = server.budget_ledger().unwrap();
+    for d in ledger.decisions() {
+        assert!(d.refused);
+        assert_eq!(d.spent_nano, 0, "refused windows account zero spend");
+    }
+    assert_eq!(ledger.sliding_spend_nano(), 0);
+    let p = server.latest_publication().unwrap();
+    let b = p.budget.unwrap();
+    assert!(b.newest_refused);
+    assert_eq!(b.refused_windows, 2);
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gap_windows_behind_the_watermark_are_unaccountable() {
+    let (mut cfg, dir) = config("budget-gap");
+    let window = WindowConfig {
+        window_len: 60,
+        num_windows: 6,
+    };
+    let mut stream_cfg = StreamServerConfig::new(window, Duration::from_millis(30));
+    let budget_cfg = WindowBudgetConfig::new(eps_to_nano(3.0), 3, AllocationPolicy::Uniform);
+    stream_cfg.budget = Some(budget_cfg);
+    cfg.stream = Some(stream_cfg);
+    let server = IngestServer::start(cfg).unwrap();
+
+    // Window 3 arrives first and is decided...
+    let ahead: Vec<Report> = (0..100).map(|i| toy_report_at(i, 3 * 60)).collect();
+    assert_eq!(stream_reports(server.addr(), &ahead, 2).unwrap(), 100);
+    assert!(wait_until(Duration::from_secs(5), || server
+        .budget_ledger()
+        .and_then(|a| a.decided())
+        == Some(3)));
+    // ...then reports land in the still-live gap window 1. It can never
+    // be granted retroactively (allocation is monotonic), so its spend
+    // is unaccountable: it must be refused, never silently published.
+    let behind: Vec<Report> = (0..100).map(|i| toy_report_at(i, 60)).collect();
+    assert_eq!(stream_reports(server.addr(), &behind, 2).unwrap(), 100);
+    assert!(
+        wait_until(Duration::from_secs(5), || server
+            .budget_refused_windows()
+            .contains(&1)),
+        "gap window was never refused"
+    );
+    let ledger = server.budget_ledger().unwrap();
+    assert!(ledger.decision(1).is_none(), "no retroactive grant");
+    assert!(!ledger.decision(3).unwrap().refused, "window 3 unaffected");
+    assert!(server.stats().budget_refusals.load(Ordering::Relaxed) >= 1);
+    server.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -10,7 +10,8 @@
 //! * [`aggregate`] — population-scale report ingestion, unbiased frequency
 //!   estimation, and Markov trajectory synthesis,
 //! * [`query`] — utility measures,
-//! * [`datagen`] / [`bench`] — synthetic data and the evaluation harness.
+//! * [`datagen`] / [`bench`](mod@crate::bench) — synthetic data and the
+//!   evaluation harness.
 
 pub use trajshare_aggregate as aggregate;
 pub use trajshare_bench as bench;
