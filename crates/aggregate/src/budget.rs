@@ -13,7 +13,20 @@
 //! same integer nano-ε discipline as the wire format (`Report::eps_nano`)
 //! — the ledger sums `u64` nano-ε, so no sequence of grants, settlements,
 //! encodes, replays, or merges can drift the accounting by even one
-//! nano-ε. The companion [`AllocationPolicy`] decides how much of the
+//! nano-ε. Scope of the guarantee: in the local model ε is consumed at
+//! **randomization** time, so the ledger bounds every user who
+//! randomizes within the broadcast grants (a refused window keeps its
+//! full grant on the books — refusing publication cannot un-spend it).
+//! A reporter who self-randomizes *above* the grant has spent
+//! off-contract ε no collector can retro-bound; the accountant's
+//! guarantee for such cohorts is that the surplus is never published
+//! (settlement is against the cohort's worst-case per-report ε′ and
+//! refuses the window). Settlement also assumes the RetraSyn reporting
+//! model of **at most one report per user per window**: reports are
+//! anonymous by design, so a client that reports k times in one window
+//! multiplies its own spend k-fold invisibly — deduplicating would
+//! require authenticated identities the LDP threat model deliberately
+//! excludes. The companion [`AllocationPolicy`] decides how much of the
 //! window budget each new window may spend:
 //!
 //! * [`AllocationPolicy::Uniform`] — the static baseline: every window
@@ -196,7 +209,12 @@ pub struct WindowDecision {
     pub window: u64,
     /// Nano-ε the policy granted the window.
     pub granted_nano: u64,
-    /// Nano-ε actually recorded as spent (≤ granted; 0 when refused).
+    /// Nano-ε actually recorded as spent (≤ granted; the *full grant*
+    /// when refused — in the local model users randomize against the
+    /// broadcast grant before the collector sees anything, so that ε is
+    /// consumed at randomization time whether or not the window is ever
+    /// published, and zeroing it would recycle budget users actually
+    /// spent).
     pub spent_nano: u64,
     /// Whether the window's observed spend was refused as over-grant
     /// (its data must then be excluded from publication).
@@ -377,19 +395,25 @@ impl WindowBudgetAccountant {
     /// grant. `observed ≤ granted` records the observed value (the
     /// difference is recycled — it becomes available to later windows in
     /// the same horizon); `observed > granted` **refuses** the window:
-    /// its recorded spend drops to 0 and the caller must exclude the
-    /// window's data from publication (published spend is what the
-    /// ledger accounts). Settling is idempotent and may be repeated as a
+    /// the caller must exclude the window's data from publication, and
+    /// the *full grant* stays on the books — in the local model the
+    /// cohort randomized against the broadcast grant before the
+    /// collector saw a byte, so that ε was consumed at randomization
+    /// time and refusing publication cannot un-spend it. (The surplus a
+    /// rogue reporter claimed *above* the grant is off-contract: no
+    /// server-side ledger can bound a user who self-randomizes at an ε′
+    /// they were never granted; refusal keeps that surplus out of every
+    /// release.) Settling is idempotent and may be repeated as a
     /// window's observation refines — but only the *newest* decided
     /// window may move freely within its grant: the caller decides a
     /// window before publishing anything from it, so the latest entry is
-    /// pre-release and adjustable (a refusal there records 0 because
-    /// nothing was released). Once a later window has been allocated,
+    /// pre-release and adjustable. Once a later window has been allocated,
     /// the entry **freezes**: its recorded spend is irrevocable — prior
     /// releases consumed it, and its recycled slack may already have
     /// been re-granted, so neither lowering (would recycle consumed
     /// budget) nor raising (would retro-violate grants computed from the
-    /// old value) is sound. A frozen window whose observed mean *rises*
+    /// old value) is sound. A frozen window whose observed worst-case
+    /// (max) per-report ε′ *rises*
     /// above its recorded spend (late reports claiming more ε′) is
     /// refused — excluded from future releases — while its spend stays
     /// on the books; a frozen refusal is sticky. This is what makes the
@@ -403,7 +427,7 @@ impl WindowBudgetAccountant {
         let old_spent = entry.spent_nano;
         if is_latest {
             if observed_nano > entry.granted_nano {
-                entry.spent_nano = 0;
+                entry.spent_nano = entry.granted_nano;
                 entry.refused = true;
             } else {
                 entry.spent_nano = observed_nano;
@@ -650,16 +674,19 @@ mod tests {
             return;
         }
         let max_w = spends.iter().map(|&(w, _)| w).max().unwrap();
+        // Half-open [start, start + w) so that start = 0 checks the
+        // range containing window 0 — an exclusive lower bound would
+        // leave every range with window 0 in it unverified.
         for start in 0..=max_w {
-            let end = start + horizon as u64; // range [start+1, end]
+            let end = start + horizon as u64; // range [start, end)
             let sum: u64 = spends
                 .iter()
-                .filter(|&&(w, _)| w > start && w <= end)
+                .filter(|&&(w, _)| w >= start && w < end)
                 .map(|&(_, s)| s)
                 .sum();
             assert!(
                 sum <= total,
-                "windows ({start}, {end}] spend {sum} > total {total}"
+                "windows [{start}, {end}) spend {sum} > total {total}"
             );
         }
     }
@@ -724,11 +751,13 @@ mod tests {
         assert!(!d.refused);
         assert_eq!(acct.available_nano(1), 1050);
         assert_eq!(acct.recycled_nano(), 250);
-        // Observed over grant: refused, spend zeroed.
+        // Observed over grant: refused, but the full grant stays on the
+        // books — the cohort randomized against the broadcast grant, so
+        // that ε is spent whether or not the window is published.
         acct.allocate(1, 1.0);
         let d = acct.settle(1, 500).unwrap();
         assert!(d.refused);
-        assert_eq!(d.spent_nano, 0);
+        assert_eq!(d.spent_nano, 400, "refusal keeps the grant accounted");
         assert_eq!(acct.refused_windows(), 1);
         // Re-settling within grant un-refuses.
         let d = acct.settle(1, 399).unwrap();

@@ -54,6 +54,14 @@ pub struct AggregateCounts {
     /// Σ ε′ over reports, in nano-ε units (integer so that parallel merge
     /// order cannot perturb the value).
     pub eps_nano_sum: u64,
+    /// Max per-report ε′ over reports, nano-ε — the worst single user's
+    /// claimed spend, which is what the streaming budget accountant
+    /// settles per window (the `w`-window contract is *per user*, so it
+    /// must bound the worst reporter, not the cohort average). A max is
+    /// not invertible, so [`AggregateCounts::subtract`] keeps it as a
+    /// high-water mark; the window ring recomputes its merged view's max
+    /// from the surviving slots after eviction.
+    pub eps_nano_max: u64,
 }
 
 impl AggregateCounts {
@@ -72,6 +80,7 @@ impl AggregateCounts {
             num_unigrams: 0,
             rejected: 0,
             eps_nano_sum: 0,
+            eps_nano_max: 0,
         }
     }
 
@@ -106,6 +115,7 @@ impl AggregateCounts {
         self.num_unigrams += other.num_unigrams;
         self.rejected += other.rejected;
         self.eps_nano_sum = self.eps_nano_sum.saturating_add(other.eps_nano_sum);
+        self.eps_nano_max = self.eps_nano_max.max(other.eps_nano_max);
     }
 
     /// Element-wise retirement of counters previously [`AggregateCounts::merge`]d
@@ -116,7 +126,11 @@ impl AggregateCounts {
     /// that is a caller bug, not a data condition. `eps_nano_sum` uses
     /// saturating subtraction to mirror the saturating merge — exact
     /// until the accountant has actually saturated (~2.9×10⁸ maximal
-    /// reports).
+    /// reports). `eps_nano_max` is **not** subtracted — a max cannot be
+    /// undone from counters alone — so it survives as a conservative
+    /// high-water mark; callers that need the exact max of a shrunken
+    /// set recompute it from the surviving parts (the window ring does
+    /// exactly that after eviction).
     pub fn subtract(&mut self, other: &AggregateCounts) {
         assert_eq!(self.num_regions, other.num_regions, "universe mismatch");
         let take = |a: &mut u64, b: &u64| {
@@ -174,6 +188,7 @@ impl AggregateCounts {
         self.num_unigrams = 0;
         self.rejected = 0;
         self.eps_nano_sum = 0;
+        self.eps_nano_max = 0;
     }
 
     /// Mean ε′ across ingested reports — the debiasing channel parameter.
@@ -191,13 +206,28 @@ impl AggregateCounts {
     }
 
     /// Mean per-report ε′ on the nano-ε integer grid, rounded to
-    /// nearest — the observed per-user window spend the streaming budget
-    /// accountant settles ([`crate::budget`]). 0 for empty counters.
+    /// nearest. Monitoring only — budget settlement uses
+    /// [`AggregateCounts::max_eps_nano`], because the `w`-window
+    /// contract is per user and a single high-ε′ reporter hiding under a
+    /// low cohort mean would blow it. 0 for empty counters.
     pub fn mean_eps_nano(&self) -> u64 {
         self.eps_nano_sum
             .saturating_add(self.num_reports / 2)
             .checked_div(self.num_reports)
             .unwrap_or(0)
+    }
+
+    /// Worst (maximum) per-report ε′ on the nano-ε grid — the observed
+    /// per-user window spend the streaming budget accountant settles
+    /// ([`crate::budget`]): no individual *report* in this counter set
+    /// claimed more than this, which bounds the worst user under the
+    /// one-report-per-user-per-window reporting model (reports carry no
+    /// identity, so a repeat reporter multiplies its own spend
+    /// invisibly — see the scope notes in [`crate::budget`]). 0 for
+    /// empty counters.
+    #[inline]
+    pub fn max_eps_nano(&self) -> u64 {
+        self.eps_nano_max
     }
 
     /// Whether reports with more than one trajectory length were ingested
@@ -384,6 +414,7 @@ pub(crate) fn accumulate(counts: &mut AggregateCounts, region_tile: &[u16], repo
     // re-encoded or replayed. (ε′ ≤ MAX_EPS_PRIME, so the sum saturates
     // only after ~2.9×10⁸ maximal reports; saturating keeps that sane.)
     counts.eps_nano_sum = counts.eps_nano_sum.saturating_add(report.eps_nano());
+    counts.eps_nano_max = counts.eps_nano_max.max(report.eps_nano());
 }
 
 /// A convenience: builds the aggregator and ingests in one call.
@@ -523,16 +554,42 @@ mod tests {
         let mut merged = a.clone();
         merged.merge(&b);
         merged.subtract(&b);
-        assert_eq!(merged, a, "merge then subtract is the identity");
+        // Every counter is restored exactly; eps_nano_max alone stays at
+        // its high-water mark (a max cannot be un-merged — see the
+        // subtract docs).
+        let mut expected = a.clone();
+        expected.eps_nano_max = b.eps_nano_max;
+        assert_eq!(merged, expected, "merge then subtract is the identity");
         merged.subtract(&a);
+        let mut pristine = AggregateCounts::new(3);
+        pristine.eps_nano_max = b.eps_nano_max;
         assert_eq!(
-            merged,
-            AggregateCounts::new(3),
-            "subtracting everything leaves pristine zeros"
+            merged, pristine,
+            "subtracting everything leaves pristine zeros (modulo the max high-water mark)"
         );
         let mut cleared = a.clone();
         cleared.clear();
         assert_eq!(cleared, AggregateCounts::new(3), "clear zeroes in place");
+    }
+
+    #[test]
+    fn eps_nano_max_tracks_the_worst_reporter() {
+        // One high-ε′ report hiding among low ones: the mean stays low,
+        // the max pins the worst user — which is what budget settlement
+        // must see.
+        let mut reports: Vec<Report> = (0..100).map(|_| toy_report(&[0, 1], 0.01)).collect();
+        reports.push(toy_report(&[1, 2], 32.0));
+        let c = ingest_all(3, &reports);
+        assert_eq!(c.eps_nano_max, 32_000_000_000);
+        assert_eq!(c.max_eps_nano(), 32_000_000_000);
+        assert!(c.mean_eps_nano() < 1_000_000_000, "mean hides the outlier");
+        // Merge takes the max of maxes; rejected reports never touch it.
+        let clean = ingest_all(3, &[toy_report(&[0, 1], 0.5)]);
+        let hostile = ingest_all(3, &[toy_report(&[0, 1], MAX_EPS_PRIME * 2.0)]);
+        assert_eq!(hostile.eps_nano_max, 0, "rejected report leaves no max");
+        let mut m = clean.clone();
+        m.merge(&c);
+        assert_eq!(m.eps_nano_max, 32_000_000_000);
     }
 
     #[test]

@@ -14,13 +14,14 @@
 //!
 //! ```text
 //! magic "TSC1"            4 bytes
-//! version                 u16   (currently 1)
+//! version                 u16   (currently 2)
 //! num_regions             u64
 //! length_hist length      u64
 //! num_reports             u64
 //! num_unigrams            u64
 //! rejected                u64
 //! eps_nano_sum            u64
+//! eps_nano_max            u64   (v2+; absent in v1)
 //! occupancy               num_regions × u64
 //! tile_occupancy          num_regions × 24 × u64
 //! starts                  num_regions × u64
@@ -30,6 +31,18 @@
 //! length_hist             hist_len × u64
 //! crc32                   u32   (IEEE, over every preceding byte)
 //! ```
+//!
+//! v1 snapshots (pre-budget-settlement) carry no `eps_nano_max`; they
+//! decode with `eps_nano_max = min(eps_nano_sum, 64ε)` — a sound upper
+//! bound on the max (Σ ≥ max over non-negative terms, and ingestion
+//! rejects any report above `MAX_EPS_PRIME` = 64ε), so a ledger settled
+//! against a restored v1 window can only over-refuse, never under-count
+//! a user's spend. **Upgrade transient:** restarting a budgeted
+//! streaming deployment over v1 blobs therefore conservatively refuses
+//! the restored multi-report windows (their true per-report max is
+//! unknowable from v1 counters) until they slide out of the ring — at
+//! most one ring depth of pre-upgrade data; fresh windows are
+//! unaffected.
 
 use crate::ingest::{AggregateCounts, TILES_PER_DAY};
 use std::io::Write;
@@ -38,11 +51,22 @@ use std::path::Path;
 /// Snapshot magic ("TrajShare Counts v1").
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"TSC1";
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Current snapshot format version: v2 adds `eps_nano_max`. v1 blobs
+/// still decode (their max falls back to `eps_nano_sum`, a sound upper
+/// bound).
+pub const SNAPSHOT_VERSION: u16 = 2;
 
-/// Fixed-size portion: magic + version + six u64 scalars.
-const SNAPSHOT_HEADER_LEN: usize = 4 + 2 + 6 * 8;
+/// Fixed-size portion of a v2 snapshot: magic + version + seven u64
+/// scalars. (v1 carried six.)
+const SNAPSHOT_HEADER_LEN: usize = 4 + 2 + 7 * 8;
+
+/// Fixed-size portion of a v1 snapshot — the minimum any snapshot can be.
+const SNAPSHOT_HEADER_LEN_V1: usize = 4 + 2 + 6 * 8;
+
+/// Ceiling for the v1 `eps_nano_max` fallback: ingestion rejects any
+/// report above [`crate::ingest::MAX_EPS_PRIME`], so no true per-report
+/// max can exceed this many nano-ε.
+const V1_MAX_EPS_NANO_CEILING: u64 = (crate::ingest::MAX_EPS_PRIME as u64) * 1_000_000_000;
 
 /// Why reading a snapshot failed. As with report decoding, every variant
 /// other than `Io` means the bytes can never become a valid snapshot.
@@ -86,34 +110,10 @@ impl From<std::io::Error> for SnapshotError {
     }
 }
 
-/// IEEE CRC-32 lookup table, built at compile time.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            bit += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-/// IEEE CRC-32 (the zlib/PNG polynomial) of `data`. Shared by snapshots
-/// and the service's write-ahead log records.
-pub fn crc32(data: &[u8]) -> u32 {
-    !data.iter().fold(!0u32, |crc, &b| {
-        (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize]
-    })
-}
+/// The workspace-shared IEEE CRC-32 (defined once in
+/// [`trajshare_core::crc`], re-exported here for snapshots, the window
+/// ring, the budget ledger, and the service's write-ahead log records).
+pub use trajshare_core::crc32;
 
 fn push_u64s(out: &mut Vec<u8>, values: &[u64]) {
     for v in values {
@@ -136,7 +136,7 @@ impl AggregateCounts {
     /// Serializes the counters into the self-validating snapshot format.
     pub fn encode_snapshot(&self) -> Vec<u8> {
         let nr = self.num_regions as u64;
-        let words = 6
+        let words = 7
             + self.occupancy.len()
             + self.tile_occupancy.len()
             + self.starts.len()
@@ -156,6 +156,7 @@ impl AggregateCounts {
                 self.num_unigrams,
                 self.rejected,
                 self.eps_nano_sum,
+                self.eps_nano_max,
             ],
         );
         push_u64s(&mut out, &self.occupancy);
@@ -174,7 +175,7 @@ impl AggregateCounts {
     /// CRC, magic, version, and size consistency before any allocation is
     /// sized from the declared fields.
     pub fn decode_snapshot(buf: &[u8]) -> Result<AggregateCounts, SnapshotError> {
-        if buf.len() < SNAPSHOT_HEADER_LEN + 4 {
+        if buf.len() < SNAPSHOT_HEADER_LEN_V1 + 4 {
             return Err(SnapshotError::Truncated);
         }
         let (payload, crc_bytes) = buf.split_at(buf.len() - 4);
@@ -186,11 +187,19 @@ impl AggregateCounts {
             return Err(SnapshotError::BadMagic);
         }
         let version = u16::from_le_bytes(payload[4..6].try_into().unwrap());
-        if version != SNAPSHOT_VERSION {
+        if version != 1 && version != SNAPSHOT_VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
+        let (scalars, header_len) = if version == 1 {
+            (6, SNAPSHOT_HEADER_LEN_V1)
+        } else {
+            (7, SNAPSHOT_HEADER_LEN)
+        };
+        if payload.len() < header_len {
+            return Err(SnapshotError::Truncated);
+        }
         let mut off = 6;
-        let header = read_u64s(payload, &mut off, 6);
+        let header = read_u64s(payload, &mut off, scalars);
         let (nr, hist_len) = (header[0], header[1]);
         // Expected payload size, computed with checked arithmetic so a
         // hostile num_regions cannot overflow (nr² alone can exceed u64).
@@ -204,7 +213,7 @@ impl AggregateCounts {
             .and_then(|w| w.checked_add(hist_len));
         let expect = vec_words
             .and_then(|w| w.checked_mul(8))
-            .and_then(|b| b.checked_add(SNAPSHOT_HEADER_LEN as u64));
+            .and_then(|b| b.checked_add(header_len as u64));
         match expect {
             Some(e) if e == payload.len() as u64 => {}
             _ => return Err(SnapshotError::Inconsistent),
@@ -218,6 +227,17 @@ impl AggregateCounts {
             num_unigrams: header[3],
             rejected: header[4],
             eps_nano_sum: header[5],
+            // v1 predates the max: fall back to the sum clamped to the
+            // ingestion ceiling (no accepted report can exceed
+            // MAX_EPS_PRIME, and for single-report windows the sum IS
+            // the max). Still a sound upper bound — over-refusing,
+            // never under-counting, at settlement; see the module docs
+            // for the upgrade transient this implies.
+            eps_nano_max: if version == 1 {
+                header[5].min(V1_MAX_EPS_NANO_CEILING)
+            } else {
+                header[6]
+            },
             occupancy: read_u64s(payload, &mut off, nr),
             tile_occupancy: read_u64s(payload, &mut off, nr * TILES_PER_DAY),
             starts: read_u64s(payload, &mut off, nr),
@@ -347,6 +367,40 @@ mod tests {
     }
 
     #[test]
+    fn v1_snapshots_decode_with_a_sound_max_fallback() {
+        // A pre-v2 snapshot has six header scalars and no eps_nano_max;
+        // decoding must fall back to eps_nano_sum (Σ ≥ max, so the
+        // restored counters can only over-state the worst reporter).
+        let counts = toy_counts(3);
+        let v2 = counts.encode_snapshot();
+        let mut v1: Vec<u8> = Vec::new();
+        v1.extend_from_slice(&SNAPSHOT_MAGIC);
+        v1.extend_from_slice(&1u16.to_le_bytes());
+        // Copy the six v1 scalars, skipping the seventh (eps_nano_max)…
+        v1.extend_from_slice(&v2[6..6 + 6 * 8]);
+        // …then the vector payload verbatim (everything after the v2
+        // header, minus the trailing CRC).
+        v1.extend_from_slice(&v2[6 + 7 * 8..v2.len() - 4]);
+        let crc = crc32(&v1);
+        v1.extend_from_slice(&crc.to_le_bytes());
+        let back = AggregateCounts::decode_snapshot(&v1).unwrap();
+        assert_eq!(back.eps_nano_sum, counts.eps_nano_sum);
+        assert_eq!(back.eps_nano_max, counts.eps_nano_sum, "sum as upper bound");
+        assert_eq!(back.occupancy, counts.occupancy);
+        assert_eq!(back.num_reports, counts.num_reports);
+        // A sum above the ingestion ceiling clamps: no real report can
+        // have claimed more than MAX_EPS_PRIME.
+        let huge = 1_000u64 * 1_000_000_000;
+        v1[6 + 5 * 8..6 + 6 * 8].copy_from_slice(&huge.to_le_bytes());
+        let n = v1.len();
+        let crc = crc32(&v1[..n - 4]);
+        v1[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        let back = AggregateCounts::decode_snapshot(&v1).unwrap();
+        assert_eq!(back.eps_nano_sum, huge);
+        assert_eq!(back.eps_nano_max, 64 * 1_000_000_000, "ceiling clamp");
+    }
+
+    #[test]
     fn hostile_num_regions_cannot_overflow() {
         // Forge a minimal buffer claiming u64::MAX regions with a valid
         // CRC: the checked size arithmetic must reject it rather than
@@ -354,7 +408,7 @@ mod tests {
         let mut forged = Vec::new();
         forged.extend_from_slice(&SNAPSHOT_MAGIC);
         forged.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-        for v in [u64::MAX, 0, 0, 0, 0, 0] {
+        for v in [u64::MAX, 0, 0, 0, 0, 0, 0] {
             forged.extend_from_slice(&v.to_le_bytes());
         }
         let crc = crc32(&forged);
@@ -392,12 +446,5 @@ mod tests {
         );
         assert!(merge_snapshot_files::<&Path>(&[]).is_err());
         let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn crc32_matches_known_vectors() {
-        // Standard IEEE CRC-32 check values.
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
     }
 }

@@ -290,6 +290,18 @@ impl WindowedAggregator {
                 }
             }
         }
+        // `subtract` keeps eps_nano_max as a high-water mark (a max is
+        // not invertible from counters); the live slots still hold their
+        // exact per-window maxes, so the merged view's max is recomputed
+        // here — keeping `merged` bit-identical to a from-scratch
+        // aggregation of the surviving reports.
+        self.merged.eps_nano_max = self
+            .slots
+            .iter()
+            .filter(|s| s.id.is_some())
+            .map(|s| s.counts.eps_nano_max)
+            .max()
+            .unwrap_or(0);
         self.newest = w;
     }
 
@@ -324,9 +336,10 @@ impl WindowedAggregator {
         for (id, counts) in other.windows() {
             self.merge_window(id, counts);
         }
-        // Spend annotations are global facts recorded by whichever ring
-        // the budget-holder wrote them to (ordinarily only the base
-        // ring), so a merge takes the max rather than summing.
+        // Spend annotations are global facts recorded by whichever rings
+        // the budget-holder mirrored them to (the base ring and any
+        // shard ring holding the window's data), so a merge takes the
+        // max rather than summing.
         for (id, spent) in other.window_spends() {
             if id <= self.newest && id >= self.oldest_window() {
                 let slot = &mut self.slots[(id % self.config.num_windows as u64) as usize];

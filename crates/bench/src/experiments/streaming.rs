@@ -90,10 +90,10 @@ pub fn run(params: &ExpParams) -> Reported {
         };
         let grant = accountant.allocate(w as u64, divergence);
         // A tiny run can leave a window with no cohort at all — that is
-        // a legal (empty) window: it settles zero spend.
-        let observed = ring
-            .window_counts(w as u64)
-            .map_or(0, |c| c.mean_eps_nano());
+        // a legal (empty) window: it settles zero spend. Settlement is
+        // against the cohort's worst (max) per-report ε′ — the contract
+        // is per user, so the worst reporter is what must fit the grant.
+        let observed = ring.window_counts(w as u64).map_or(0, |c| c.max_eps_nano());
         let decision = accountant.settle(w as u64, observed).expect("just decided");
         if decision.refused {
             refused.insert(w as u64);
@@ -111,8 +111,6 @@ pub fn run(params: &ExpParams) -> Reported {
             &within_budget
         };
         let has_data = tick_counts.num_reports > 0;
-        let model = estimator.tick(tick_counts, mech.graph());
-        occ_history.push(model.occupancy.clone());
         let live_lo = (ring.oldest_window() as usize) * per_window;
         let live_hi = hi;
         let lens: Vec<usize> = real.all()[live_lo..live_hi]
@@ -120,8 +118,14 @@ pub fn run(params: &ExpParams) -> Reported {
             .map(|t| t.len())
             .collect();
         // A tick whose every live window was refused publishes nothing —
-        // enforcement, not failure; scores are blank for that tick.
+        // enforcement, not failure; scores are blank for that tick, the
+        // estimator is *not* ticked (a zero-count tick would poison the
+        // warm-start posterior, exactly what the service avoids), and
+        // the previous published occupancy stands for the divergence
+        // signal.
         let scores = has_data.then(|| {
+            let model = estimator.tick(tick_counts, mech.graph());
+            occ_history.push(model.occupancy.clone());
             let synthesizer = Synthesizer::new(&dataset, mech.regions(), mech.graph(), &model);
             let synthetic = synthesizer.synthesize_matching(&lens, &mut rng);
             let live_real = TrajectorySet::new(real.all()[live_lo..live_hi].to_vec());

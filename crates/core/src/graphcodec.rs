@@ -31,6 +31,7 @@
 //! matrix finiteness/non-negativity, and bigram bounds before any graph
 //! is built — a corrupt or hostile file is refused, never mis-indexed.
 
+use crate::crc::crc32;
 use crate::distances::RegionDistance;
 use crate::regiongraph::RegionGraph;
 use std::path::Path;
@@ -76,20 +77,6 @@ impl std::fmt::Display for GraphCodecError {
 }
 
 impl std::error::Error for GraphCodecError {}
-
-/// CRC-32 (IEEE, reflected) — bitwise, table-free; the blob is written
-/// once and read at daemon startup, so simplicity beats speed here.
-fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
 
 /// Serializes a region graph plus its public hour-tile table into the
 /// self-validating `TSRG` blob. `region_tiles` must cover the graph's

@@ -50,6 +50,7 @@ pub mod attack;
 pub mod baselines;
 pub mod config;
 pub mod continuous;
+pub mod crc;
 pub mod decomposition;
 pub mod distances;
 pub mod graphcodec;
@@ -64,6 +65,7 @@ pub mod regiongraph;
 pub use attack::WindowAdversary;
 pub use config::{MechanismConfig, MergeDimension, ReconstructionSolver};
 pub use continuous::ContinuousSharer;
+pub use crc::crc32;
 pub use decomposition::decompose;
 pub use graphcodec::{
     decode_region_graph, encode_region_graph, read_region_graph_file, write_region_graph_file,

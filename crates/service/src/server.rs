@@ -105,8 +105,8 @@ pub struct StreamServerConfig {
     /// publication thread accounts per window
     /// ([`trajshare_aggregate::WindowBudgetAccountant`]). Each window is
     /// granted a share under the configured allocation policy; a window
-    /// whose cohort's observed mean ε′ exceeds its grant is **refused**
-    /// — excluded from [`ServerHandle::estimate_window_model`] and
+    /// whose cohort's worst (max) per-report ε′ exceeds its grant is
+    /// **refused** — excluded from [`ServerHandle::estimate_window_model`] and
     /// counted in [`ServerStats::budget_refusals`]. The ledger is
     /// persisted (`BUDGET` file) on every decision, so the invariant
     /// *"over any `w` consecutive windows, published spend ≤ ε"*
@@ -307,6 +307,21 @@ struct BudgetState {
     accepted: BTreeSet<u64>,
     /// Live windows explicitly refused (over-grant or unaccountable).
     refused: BTreeSet<u64>,
+    /// Last settled spend per live window, kept even after the ledger's
+    /// horizon trims the entry — the books the expired-but-live guard
+    /// settles late reports against. Rebuilt across restarts from the
+    /// rings' spend annotations (mirrored to base *and* shard rings at
+    /// settlement, so they persist with shard snapshots); a hard kill
+    /// before any snapshot loses the annotation, in which case the
+    /// window is conservatively excluded from publication (it is not in
+    /// `accepted`) rather than misreported as refused.
+    settled: std::collections::BTreeMap<u64, u64>,
+    /// Spends already mirrored onto the shard rings *this process
+    /// lifetime* — starts empty so the first decision pass after a
+    /// restart re-annotates recovered windows, then gates the mirror
+    /// writes so the steady state (no spend moved) takes no shard
+    /// locks.
+    mirrored: std::collections::BTreeMap<u64, u64>,
     /// Ledger bytes last persisted, to skip no-op BUDGET rewrites.
     persisted: Vec<u8>,
 }
@@ -529,10 +544,22 @@ impl IngestServer {
                 .filter(|d| !d.refused)
                 .map(|d| d.window)
                 .collect();
+            // Books for the expired-but-live guard: the restored ring's
+            // spend annotations (they outlive the ledger horizon),
+            // overlaid by the ledger itself where it still has entries.
+            let mut settled: std::collections::BTreeMap<u64, u64> = base_ring
+                .as_ref()
+                .map(|r| r.window_spends().into_iter().collect())
+                .unwrap_or_default();
+            for d in accountant.decisions() {
+                settled.insert(d.window, d.spent_nano);
+            }
             Arc::new(Mutex::new(BudgetState {
                 accountant,
                 accepted,
                 refused,
+                settled,
+                mirrored: std::collections::BTreeMap::new(),
                 persisted: Vec::new(),
             }))
         });
@@ -769,25 +796,37 @@ fn worker_loop(
 /// Runs the per-window budget decisions over the current merged view:
 /// allocate every newly seen window (divergence measured on consecutive
 /// windows' raw occupancy counters — no estimation needed), settle each
-/// live window's observed mean ε′ against its grant, maintain the
-/// accept/refuse sets, mirror spends into the base ring, and persist
-/// the ledger when it changed. Returns whether persistence failed.
+/// live window's observed worst-case (max) per-report ε′ against its
+/// grant, maintain the accept/refuse sets, mirror spends into the base
+/// ring, and persist the ledger when it changed. Returns whether
+/// persistence failed.
 ///
-/// Lock order: base, then budget (shards are not touched) — the same
-/// base-before-budget order online compaction uses.
+/// Lock order: base, then budget, then (briefly, per mirrored spend)
+/// individual shards. Taking a shard lock while holding base + budget
+/// cannot deadlock: every other multi-lock path (compaction, counts,
+/// merged views) acquires *base first* — which this thread holds — and
+/// workers take exactly one shard lock and nothing else under it.
 fn run_budget_decisions(
     config: &ServerConfig,
     view: &WindowedAggregator,
     state: &Mutex<BudgetState>,
     base: &Mutex<BaseState>,
+    shards: &[Arc<Mutex<Shard>>],
     stats: &ServerStats,
 ) -> std::io::Result<()> {
     let mut base_guard = base.lock().unwrap();
     let mut guard = state.lock().unwrap();
     let windows = view.windows();
+    // Settled spends to mirror onto the shard rings, applied in one
+    // lock round-trip per shard after the loop.
+    let mut mirrors: Vec<(u64, u64)> = Vec::with_capacity(windows.len());
     for (i, &(id, counts)) in windows.iter().enumerate() {
-        // Per-user (mean) spend this window's cohort claims, nano-ε.
-        let observed = counts.mean_eps_nano();
+        // Worst-case per-user spend this window's cohort claims, nano-ε:
+        // the *max* per-report ε′, not the mean — the `w`-window
+        // contract is per user, so settlement must bound the worst
+        // reporter (one ε′ = 64 report hiding among thousands at 0.01
+        // must still refuse the window).
+        let observed = counts.max_eps_nano();
         if guard.accountant.decided().is_none_or(|d| id > d) {
             // Divergence signal: this window's occupancy vs the previous
             // live window's. A cold start (nothing to compare) counts as
@@ -812,6 +851,26 @@ fn run_budget_decisions(
                     guard.refused.remove(&id);
                     guard.accepted.insert(id);
                 }
+                // Record the settled spend in the live books and mirror
+                // it onto the base ring *and* every shard ring holding
+                // the window — base-ring slots hold no data until
+                // compaction, so the shard mirrors are what actually
+                // persist (with the next shard snapshot) and what
+                // recovery's `window_spends()` reseeds the books from.
+                // All writes are unconditional — a window settled down
+                // to 0 must overwrite any stale nonzero value — and are
+                // captured *inside* the loop from the returned decision:
+                // deciding several windows in one pass can trim the
+                // oldest ledger entry before a post-loop ledger sweep
+                // would see it.
+                guard.settled.insert(id, decision.spent_nano);
+                if let Some(ring) = &mut base_guard.ring {
+                    ring.record_spend(id, decision.spent_nano);
+                }
+                if guard.mirrored.get(&id) != Some(&decision.spent_nano) {
+                    guard.mirrored.insert(id, decision.spent_nano);
+                    mirrors.push((id, decision.spent_nano));
+                }
             }
             // No ledger entry: the window appeared *behind* the decided
             // watermark (data landed in a still-live gap window after a
@@ -819,12 +878,41 @@ fn run_budget_decisions(
             // in any order). It can never be granted retroactively, so
             // its spend is unaccountable and its data must not be
             // published. Windows whose entry merely *expired* from the
-            // horizon keep whatever accept/refuse state they earned.
+            // horizon (a ring deeper than the budget horizon keeps them
+            // live) are held to the frozen-window rule against the books
+            // recorded when they settled.
             None => {
                 let decided = guard.accountant.decided().unwrap_or(0);
                 let horizon = guard.accountant.config().horizon as u64;
                 let expired = id < decided && decided - id >= horizon;
-                if !expired && !guard.accepted.contains(&id) && guard.refused.insert(id) {
+                if expired {
+                    // Late reports raising the cohort's claim above the
+                    // recorded spend are unaccounted surplus: refuse the
+                    // window, exactly as settle() refuses a frozen
+                    // in-horizon window. At or below the books the
+                    // window is fully accounted and stays (or, after a
+                    // restart rebuilt `accepted` from the trimmed
+                    // ledger, becomes again) accepted — unless it
+                    // carries a sticky frozen refusal, which only the
+                    // over-claim path sets and whose books are the
+                    // grant its observed max already exceeds. Books
+                    // unknown (a hard kill lost the annotation before
+                    // any snapshot): the window is conservatively
+                    // excluded from publication — it cannot be in
+                    // `accepted` post-restart — and refusing it would
+                    // misreport a fully-accounted window, so it keeps
+                    // its earned status.
+                    if let Some(&recorded) = guard.settled.get(&id) {
+                        if observed > recorded {
+                            guard.accepted.remove(&id);
+                            if guard.refused.insert(id) {
+                                stats.bump(&stats.budget_refusals);
+                            }
+                        } else if !guard.refused.contains(&id) {
+                            guard.accepted.insert(id);
+                        }
+                    }
+                } else if !guard.accepted.contains(&id) && guard.refused.insert(id) {
                     stats.bump(&stats.budget_refusals);
                 }
             }
@@ -834,12 +922,14 @@ fn run_budget_decisions(
     let oldest = view.oldest_window();
     guard.refused.retain(|&id| id >= oldest);
     guard.accepted.retain(|&id| id >= oldest);
-    // Mirror settled spends onto the base ring (they persist with the
-    // next ring snapshot) and persist the ledger itself if it moved.
-    if let Some(ring) = &mut base_guard.ring {
-        for d in guard.accountant.decisions() {
-            if d.spent_nano > 0 {
-                ring.record_spend(d.window, d.spent_nano);
+    guard.settled.retain(|&id, _| id >= oldest);
+    guard.mirrored.retain(|&id, _| id >= oldest);
+    if !mirrors.is_empty() {
+        for shard in shards {
+            if let Some(ring) = &mut shard.lock().unwrap().ring {
+                for &(id, spent) in &mirrors {
+                    ring.record_spend(id, spent);
+                }
             }
         }
     }
@@ -890,7 +980,9 @@ fn maintenance_loop(
                     // publication describes, so the published accounting
                     // is never ahead of or behind the window list.
                     let budget_pub = budget.as_ref().map(|state| {
-                        if run_budget_decisions(&config, &view, state, &base, &stats).is_err() {
+                        if run_budget_decisions(&config, &view, state, &base, &shards, &stats)
+                            .is_err()
+                        {
                             stats.bump(&stats.io_errors);
                         }
                         BudgetPublication::of(&state.lock().unwrap())
@@ -993,10 +1085,10 @@ fn compact_online(
         // BUDGET ledger is absent or superseded.
         if let Some(state) = budget {
             let guard = state.lock().unwrap();
+            // Unconditional: a window settled to 0 must overwrite any
+            // stale nonzero annotation merged in from the old base ring.
             for d in guard.accountant.decisions() {
-                if d.spent_nano > 0 {
-                    ring.record_spend(d.window, d.spent_nano);
-                }
+                ring.record_spend(d.window, d.spent_nano);
             }
         }
         ring
@@ -1206,6 +1298,8 @@ pub struct CountsSummary {
     pub rejected: u64,
     /// Σ ε′ over reports, nano-ε.
     pub eps_nano_sum: u64,
+    /// Max per-report ε′, nano-ε (what budget settlement bounds).
+    pub eps_nano_max: u64,
     /// Σ occupancy counters.
     pub total_occupancy: u64,
     /// Σ transition counters.
@@ -1229,6 +1323,7 @@ impl CountsSummary {
             num_unigrams: counts.num_unigrams,
             rejected: counts.rejected,
             eps_nano_sum: counts.eps_nano_sum,
+            eps_nano_max: counts.eps_nano_max,
             total_occupancy: counts.occupancy.iter().sum(),
             total_transitions: counts.transitions.iter().sum(),
             snapshot_crc32: crc32(payload),

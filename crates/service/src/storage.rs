@@ -757,11 +757,12 @@ fn reconstruct(
     // The ledger is authoritative over the ring's spend annotations: the
     // ring mirror is only stamped at compaction, while the BUDGET file is
     // rewritten on every decision, so after a kill the ledger is ahead.
+    // Unconditional overwrite: a window the ledger settled to 0 must not
+    // keep a stale nonzero ring annotation (recovery after a budget
+    // config change would seed a phantom spend from it).
     if let (Some(ring), Some(acct)) = (&mut ring_total, &budget) {
         for d in acct.decisions() {
-            if d.spent_nano > 0 {
-                ring.record_spend(d.window, d.spent_nano);
-            }
+            ring.record_spend(d.window, d.spent_nano);
         }
     }
 

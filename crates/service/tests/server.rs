@@ -24,11 +24,15 @@ fn toy_report(i: u32) -> Report {
 }
 
 fn toy_report_at(i: u32, t: u64) -> Report {
+    toy_report_eps(i, t, 0.75)
+}
+
+fn toy_report_eps(i: u32, t: u64, eps_prime: f64) -> Report {
     let a = i % REGIONS as u32;
     let b = (a + 1) % REGIONS as u32;
     Report {
         t,
-        eps_prime: 0.75,
+        eps_prime,
         len: 2,
         unigrams: vec![(0, a), (1, b)],
         exact: vec![(0, a), (1, b)],
@@ -615,8 +619,9 @@ fn budget_accountant_enforces_the_sliding_invariant_across_restart() {
     }
     let ledger = server.budget_ledger().unwrap();
     let per_window = eps_to_nano(0.75);
-    // Every live decision settled to the observed cohort mean; nothing
-    // refused; the sliding sum is within the contract.
+    // Every live decision settled to the observed worst-case (max)
+    // per-report ε′ — here every report claims 0.75, so max == mean;
+    // nothing refused; the sliding sum is within the contract.
     for d in ledger.decisions() {
         assert!(!d.refused, "window {} refused", d.window);
         assert_eq!(d.spent_nano, per_window, "window {}", d.window);
@@ -698,16 +703,125 @@ fn over_budget_windows_are_refused_and_excluded_from_estimates() {
     let refused = server.budget_refused_windows();
     assert_eq!(refused, vec![0, 1], "both windows over budget");
     let ledger = server.budget_ledger().unwrap();
+    // Refusal keeps the full grant on the books: the cohort randomized
+    // against the broadcast grant, so that ε is consumed whether or not
+    // the window is published — zeroing it would recycle spent budget.
+    let grant = eps_to_nano(0.5);
     for d in ledger.decisions() {
         assert!(d.refused);
-        assert_eq!(d.spent_nano, 0, "refused windows account zero spend");
+        assert_eq!(d.spent_nano, grant, "refused windows keep their grant");
     }
-    assert_eq!(ledger.sliding_spend_nano(), 0);
+    assert_eq!(ledger.sliding_spend_nano(), 2 * grant);
+    assert!(ledger.sliding_spend_nano() <= eps_to_nano(1.0));
     let p = server.latest_publication().unwrap();
     let b = p.budget.unwrap();
     assert!(b.newest_refused);
     assert_eq!(b.refused_windows, 2);
     server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn one_over_claiming_reporter_refuses_the_window_despite_a_low_mean() {
+    let (mut cfg, dir) = config("budget-max");
+    let window = WindowConfig {
+        window_len: 60,
+        num_windows: 3,
+    };
+    let mut stream_cfg = StreamServerConfig::new(window, Duration::from_millis(30));
+    // 1ε over 2 windows ⇒ 0.5ε grant. 200 reports at ε′ = 0.01 keep the
+    // cohort mean ≈ 0.014 — far under the grant — but one reporter
+    // claims ε′ = 0.9: that user alone blows the per-user contract, so
+    // the window must be refused. (Settling against the mean would have
+    // accepted it.)
+    let budget_cfg = WindowBudgetConfig::new(eps_to_nano(1.0), 2, AllocationPolicy::Uniform);
+    stream_cfg.budget = Some(budget_cfg);
+    cfg.stream = Some(stream_cfg);
+    let server = IngestServer::start(cfg).unwrap();
+
+    let mut reports: Vec<Report> = (0..200).map(|i| toy_report_eps(i, 0, 0.01)).collect();
+    reports.push(toy_report_eps(7, 0, 0.9));
+    assert_eq!(stream_reports(server.addr(), &reports, 2).unwrap(), 201);
+    assert!(
+        wait_until(Duration::from_secs(5), || server
+            .budget_refused_windows()
+            .contains(&0)),
+        "the over-claiming reporter's window was never refused"
+    );
+    let d = server.budget_ledger().unwrap().decision(0).unwrap();
+    assert!(d.refused);
+    assert_eq!(d.spent_nano, eps_to_nano(0.5), "grant stays on the books");
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn expired_but_live_windows_stay_frozen_against_late_over_claims() {
+    let (mut cfg, dir) = config("budget-expired");
+    // Ring deeper than the budget horizon: window 0 is still live when
+    // its ledger entry expires from the 3-window horizon.
+    let window = WindowConfig {
+        window_len: 60,
+        num_windows: 5,
+    };
+    let mut stream_cfg = StreamServerConfig::new(window, Duration::from_millis(30));
+    let budget_cfg = WindowBudgetConfig::new(eps_to_nano(3.0), 3, AllocationPolicy::Uniform);
+    stream_cfg.budget = Some(budget_cfg);
+    cfg.stream = Some(stream_cfg);
+    let server = IngestServer::start(cfg.clone()).unwrap();
+
+    // Windows 0..=3 at ε′ = 0.75 against a 1ε uniform grant: all
+    // accepted. Once window 3 is decided, window 0's ledger entry has
+    // expired (3 − 0 ≥ horizon 3) while the 5-deep ring keeps it live.
+    for w in 0..4u64 {
+        let reports: Vec<Report> = (0..50).map(|i| toy_report_at(i, w * 60)).collect();
+        assert_eq!(stream_reports(server.addr(), &reports, 2).unwrap(), 50);
+        assert!(
+            wait_until(Duration::from_secs(5), || server
+                .budget_ledger()
+                .and_then(|a| a.decided())
+                .is_some_and(|d| d >= w)),
+            "window {w} never decided"
+        );
+    }
+    assert!(wait_until(Duration::from_secs(5), || !server
+        .budget_refused_windows()
+        .contains(&0)));
+    assert!(
+        server.budget_ledger().unwrap().decision(0).is_none(),
+        "window 0 must have expired from the ledger for this test to bite"
+    );
+    // Late reports raise window 0's worst-case ε′ above its settled
+    // 0.75: the surplus is unaccounted (the entry is gone, so nothing
+    // can re-settle it), and the frozen-window rule must refuse the
+    // window instead of letting it keep publishing.
+    let late: Vec<Report> = (0..5).map(|i| toy_report_eps(i, 0, 0.9)).collect();
+    assert_eq!(stream_reports(server.addr(), &late, 1).unwrap(), 5);
+    assert!(
+        wait_until(Duration::from_secs(5), || server
+            .budget_refused_windows()
+            .contains(&0)),
+        "expired-but-live window escaped the frozen-refusal guard"
+    );
+    assert!(
+        !server.budget_refused_windows().contains(&3),
+        "in-horizon windows unaffected"
+    );
+
+    // Restart (graceful, so shard snapshots persist the spend mirrors):
+    // the recovered books must re-refuse window 0 — its over-claiming
+    // cohort is still in the ring — while in-horizon windows come back
+    // unrefused.
+    server.shutdown().unwrap();
+    let server2 = IngestServer::start(cfg).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(5), || server2
+            .budget_refused_windows()
+            .contains(&0)),
+        "recovered books lost the frozen refusal across restart"
+    );
+    assert!(!server2.budget_refused_windows().contains(&3));
+    server2.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
 
