@@ -32,13 +32,17 @@
 //! 7. [`stream`] — the real-time workload: a sliding window of counters
 //!    over timestamped reports ([`WindowedAggregator`]) with exact
 //!    subtraction-based eviction, plus warm-started per-tick estimation
-//!    ([`StreamingEstimator`]).
+//!    ([`StreamingEstimator`]),
+//! 8. [`clusterproto`] — the `TSCL` snapshot-shipping frames a
+//!    distributed deployment uses to pull per-worker counter/ring state
+//!    into one exactly-merged global view (`crates/cluster`).
 //!
 //! Everything downstream of the reports is post-processing of ε-LDP
 //! outputs, so the published synthetic set inherits each user's ε
 //! guarantee unchanged.
 
 pub mod budget;
+pub mod clusterproto;
 pub mod estimate;
 pub mod eval;
 pub mod ingest;
@@ -53,6 +57,10 @@ pub mod synthesize;
 pub use budget::{
     count_divergence, eps_to_nano, l1_divergence, nano_to_eps, AllocationPolicy,
     WindowBudgetAccountant, WindowBudgetConfig, WindowDecision, WindowGrant,
+};
+pub use clusterproto::{
+    decode_cluster_frame, encode_cluster_frame, read_cluster_frame, write_cluster_frame,
+    ClusterFrame, WorkerSnapshot, CLUSTER_MAGIC, CLUSTER_VERSION, MAX_CLUSTER_FRAME_LEN,
 };
 pub use estimate::{
     ibu_frequencies, ibu_frequencies_with_init, ibu_joint, ibu_joint_with_init, norm_sub,

@@ -1,0 +1,231 @@
+//! Cluster-tier soak (ISSUE 6 acceptance): the same mechanism-report
+//! stream ingested under three topologies — one node, two workers fed
+//! directly by a partitioning client, and two workers behind `routerd`'s
+//! consistent-hash router — measuring aggregate durable-ack ingest
+//! throughput plus the end-to-end publication latency of one
+//! coordinator round (TSCL pull from every worker + fresh fold +
+//! fingerprint). Every topology must converge to the *identical* merged
+//! ring fingerprint, so the bench doubles as a cross-topology exactness
+//! check. Emits `results/bench_cluster.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use trajshare_aggregate::{collect_reports, region_tiles, EstimatorBackend, Report, WindowConfig};
+use trajshare_bench::report::{write_json, Reported};
+use trajshare_bench::scenario::{build_scenario, Scenario, ScenarioConfig};
+use trajshare_cluster::{CoordConfig, Coordinator, Router, RouterConfig};
+use trajshare_core::{MechanismConfig, NGramMechanism};
+use trajshare_service::{stream_reports, IngestServer, ServerConfig, ServerHandle};
+
+const WINDOW: WindowConfig = WindowConfig {
+    window_len: 10,
+    num_windows: 8,
+};
+
+fn report_population(base: &[Report], users: usize) -> Vec<Report> {
+    (0..users)
+        .map(|i| {
+            let mut r = base[i % base.len()].clone();
+            // Spread across live windows (0..=6 stays inside the ring).
+            r.t = (i % 70) as u64;
+            r
+        })
+        .collect()
+}
+
+fn fresh_worker(tiles: Vec<u16>, tag: &str) -> (ServerHandle, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "trajshare-bench-cluster-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = ServerConfig::new(&dir, tiles);
+    cfg.workers = 4;
+    // Measure the streaming path, not periodic snapshot writes.
+    cfg.snapshot_every = u64::MAX;
+    cfg.wal_flush_every = 1024;
+    cfg.export_addr = Some("127.0.0.1:0".parse().unwrap());
+    cfg.stream = Some(trajshare_service::StreamServerConfig {
+        window: WINDOW,
+        publish_every: std::time::Duration::from_millis(200),
+        server_clock: false,
+        max_conn_advance: u64::MAX,
+        backend: EstimatorBackend::default(),
+        budget: None,
+    });
+    let handle = IngestServer::start(cfg).expect("worker start");
+    (handle, dir)
+}
+
+/// One coordinator round over the given workers; returns (latency_s,
+/// merged ring fingerprint, merged reports).
+fn publication_round(exports: Vec<std::net::SocketAddr>, tiles: Vec<u16>) -> (f64, u32, u64) {
+    let mut ccfg = CoordConfig::new(exports, tiles);
+    ccfg.window = Some(WINDOW);
+    let mut coord = Coordinator::new(ccfg);
+    let t0 = Instant::now();
+    let view = coord.tick();
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(view.workers_up, view.workers_total, "pull failed");
+    (
+        secs,
+        view.ring_crc32.expect("streaming ring"),
+        view.merged_reports,
+    )
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let quick = std::env::var("QUICK_BENCH")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let stream_reports_n: usize = if quick { 6_000 } else { 40_000 };
+
+    let cfg = ScenarioConfig {
+        num_pois: 150,
+        num_trajectories: 2_000,
+        traj_len: Some(3),
+        ..Default::default()
+    };
+    let (dataset, set) = build_scenario(Scenario::TaxiFoursquare, &cfg);
+    let mech = NGramMechanism::build(&dataset, &MechanismConfig::default());
+    let base = collect_reports(&mech, &set, 7);
+    let reports = report_population(&base, stream_reports_n);
+    let n = reports.len() as u64;
+    let tiles = region_tiles(mech.regions());
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut crcs: Vec<u32> = Vec::new();
+
+    // Topology 1: one node — the baseline both cluster shapes must
+    // match bit-for-bit and are allowed to beat on throughput.
+    {
+        let (w, dir) = fresh_worker(tiles.clone(), "single");
+        let t0 = Instant::now();
+        let acked = stream_reports(w.addr(), &reports, 8).expect("stream");
+        let ingest_s = t0.elapsed().as_secs_f64();
+        assert_eq!(acked, n);
+        let (pub_s, crc, merged) = publication_round(vec![w.export_addr().unwrap()], tiles.clone());
+        assert_eq!(merged, n);
+        crcs.push(crc);
+        rows.push(vec![
+            "single".into(),
+            n.to_string(),
+            format!("{ingest_s:.3}"),
+            format!("{:.0}", n as f64 / ingest_s.max(1e-9)),
+            format!("{:.1}", pub_s * 1e3),
+            format!("{crc:08x}"),
+        ]);
+        w.crash();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Topology 2: two workers, the client partitioning the stream
+    // itself (no router hop) — the upper bound the router chases.
+    {
+        let (wa, dir_a) = fresh_worker(tiles.clone(), "direct-a");
+        let (wb, dir_b) = fresh_worker(tiles.clone(), "direct-b");
+        let (half_a, half_b) = reports.split_at(reports.len() / 2);
+        let t0 = Instant::now();
+        let (ra, rb) = std::thread::scope(|s| {
+            let ha = s.spawn(|| stream_reports(wa.addr(), half_a, 4).expect("stream a"));
+            let hb = s.spawn(|| stream_reports(wb.addr(), half_b, 4).expect("stream b"));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        let ingest_s = t0.elapsed().as_secs_f64();
+        assert_eq!(ra + rb, n);
+        let (pub_s, crc, merged) = publication_round(
+            vec![wa.export_addr().unwrap(), wb.export_addr().unwrap()],
+            tiles.clone(),
+        );
+        assert_eq!(merged, n);
+        crcs.push(crc);
+        rows.push(vec![
+            "direct-2w".into(),
+            n.to_string(),
+            format!("{ingest_s:.3}"),
+            format!("{:.0}", n as f64 / ingest_s.max(1e-9)),
+            format!("{:.1}", pub_s * 1e3),
+            format!("{crc:08x}"),
+        ]);
+        wa.crash();
+        wb.crash();
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    // Topology 3: router + two workers — the deployment shape, paying
+    // one extra hop and the re-framing for placement-free clients.
+    {
+        let (wa, dir_a) = fresh_worker(tiles.clone(), "routed-a");
+        let (wb, dir_b) = fresh_worker(tiles.clone(), "routed-b");
+        let router = Router::start(RouterConfig::new(
+            "127.0.0.1:0".parse().unwrap(),
+            vec![wa.addr(), wb.addr()],
+        ))
+        .expect("router start");
+        let t0 = Instant::now();
+        let acked = stream_reports(router.addr(), &reports, 8).expect("stream");
+        let ingest_s = t0.elapsed().as_secs_f64();
+        assert_eq!(acked, n);
+        let exports = vec![wa.export_addr().unwrap(), wb.export_addr().unwrap()];
+        let (pub_s, crc, merged) = publication_round(exports.clone(), tiles.clone());
+        assert_eq!(merged, n);
+        crcs.push(crc);
+        rows.push(vec![
+            "router-2w".into(),
+            n.to_string(),
+            format!("{ingest_s:.3}"),
+            format!("{:.0}", n as f64 / ingest_s.max(1e-9)),
+            format!("{:.1}", pub_s * 1e3),
+            format!("{crc:08x}"),
+        ]);
+
+        // Every topology merged to the same bits — the property that
+        // makes the throughput numbers comparable at all.
+        assert!(
+            crcs.iter().all(|&c| c == crcs[0]),
+            "topologies diverged: {crcs:08x?}"
+        );
+
+        // Criterion group: the publication round (pull + fold +
+        // fingerprint) against two live loaded workers.
+        let mut ccfg = CoordConfig::new(exports, tiles.clone());
+        ccfg.window = Some(WINDOW);
+        let mut coord = Coordinator::new(ccfg);
+        let mut group = c.benchmark_group("cluster");
+        group.sample_size(10);
+        group.bench_function("coordinator_tick_2w", |b| {
+            b.iter(|| std::hint::black_box(coord.tick().merged_reports))
+        });
+        group.finish();
+
+        drop(router);
+        wa.crash();
+        wb.crash();
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    let report = Reported {
+        id: "bench_cluster".into(),
+        settings: format!(
+            "|R|={}, windows={}x{}, worker shards=4, loopback TCP, wal_flush_every=1024",
+            tiles.len(),
+            WINDOW.num_windows,
+            WINDOW.window_len
+        ),
+        headers: vec![
+            "topology".into(),
+            "reports".into(),
+            "ingest_s".into(),
+            "reports_per_s".into(),
+            "publication_ms".into(),
+            "ring_crc".into(),
+        ],
+        rows,
+    };
+    let _ = write_json(&report, std::path::Path::new("results"));
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

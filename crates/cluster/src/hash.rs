@@ -1,0 +1,179 @@
+//! Consistent hashing of reports onto workers.
+//!
+//! The ring maps a `u64` key to one of N workers through `vnodes`
+//! virtual points per worker, so adding or removing a worker moves only
+//! `~1/N` of the key space — reports keep landing on the same worker
+//! across cluster reconfigurations, which keeps per-worker WALs and
+//! window rings warm. Correctness never depends on placement: the
+//! cluster's merge is exact and partition-independent, so the key is
+//! purely a balance/locality lever (which is also why the router may
+//! fail a batch over to another live worker when its home is down).
+//!
+//! **Routing key.** The TSR3 wire format is deliberately anonymous —
+//! there is no user id to hash (the LDP threat model excludes
+//! authenticated identities). [`report_key`] therefore uses the
+//! report's full content hash as a user-key proxy (distinct users'
+//! perturbed reports collide only cosmically), falling back to the
+//! report's single region for one-point reports, so the sparse
+//! single-check-in traffic of one region co-locates on one worker.
+
+use trajshare_aggregate::Report;
+
+/// Splitmix64 finalizer — the workspace's deterministic mixing idiom
+/// (`loadgen`, `user_seed`).
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte slice, 64-bit — cheap, allocation-free, and good
+/// enough for load spreading (adversarial collisions only let a client
+/// self-concentrate its *own* reports, which plain TCP already allows).
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The routing key of one report: content hash (user-key proxy), or the
+/// region id for single-point reports. `payload` is the report's exact
+/// wire payload (already validated by decode), so the hash costs one
+/// pass over bytes the router just read.
+pub fn report_key(report: &Report, payload: &[u8]) -> u64 {
+    let single_region = match report.unigrams.as_slice() {
+        [(_, r)] => Some(*r),
+        _ => None,
+    };
+    match single_region {
+        // Region-affine fallback: every one-point report for region r
+        // shares a key regardless of its ε′ or timestamp.
+        Some(r) => mix64(0x5265_6769_6F6E_0000 ^ r as u64),
+        None => fnv1a(payload),
+    }
+}
+
+/// A consistent-hash ring over `num_workers` workers with `vnodes`
+/// virtual points each. Points are derived purely from (worker index,
+/// vnode index), so every router instance with the same worker list
+/// computes the identical ring.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, worker)` sorted by point.
+    points: Vec<(u64, usize)>,
+    num_workers: usize,
+}
+
+impl HashRing {
+    /// Builds the ring. `vnodes` is clamped to at least 1.
+    pub fn new(num_workers: usize, vnodes: usize) -> Self {
+        assert!(num_workers > 0, "need at least one worker");
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(num_workers * vnodes);
+        for w in 0..num_workers {
+            for v in 0..vnodes {
+                points.push((mix64((w as u64) << 32 | v as u64), w));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            num_workers,
+        }
+    }
+
+    /// Workers on the ring.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// The worker owning `key`: the first ring point at or after
+    /// `mix64(key)`, wrapping.
+    pub fn worker_for(&self, key: u64) -> usize {
+        let h = mix64(key);
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        self.points[idx % self.points.len()].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_workers() {
+        let a = HashRing::new(4, 64);
+        let b = HashRing::new(4, 64);
+        let mut hits = [0usize; 4];
+        for key in 0..20_000u64 {
+            let w = a.worker_for(key);
+            assert_eq!(w, b.worker_for(key), "identical rings disagree");
+            hits[w] += 1;
+        }
+        // Every worker owns a healthy share (loose bound: ≥ half of the
+        // uniform share — consistent hashing with 64 vnodes is well
+        // inside this).
+        for (w, &n) in hits.iter().enumerate() {
+            assert!(n >= 20_000 / 4 / 2, "worker {w} got only {n} of 20000");
+        }
+    }
+
+    #[test]
+    fn removing_a_worker_moves_only_its_keys() {
+        let four = HashRing::new(4, 64);
+        let three = HashRing::new(3, 64);
+        let mut moved = 0usize;
+        let mut total = 0usize;
+        for key in 0..20_000u64 {
+            let w4 = four.worker_for(key);
+            let w3 = three.worker_for(key);
+            total += 1;
+            if w4 < 3 && w3 != w4 {
+                moved += 1;
+            }
+        }
+        // Keys owned by surviving workers mostly stay put: the point of
+        // consistent hashing over modulo hashing. (Modulo would move
+        // ~2/3 of them; allow up to half of the removed worker's share
+        // in churn.)
+        assert!(
+            moved < total / 8,
+            "{moved}/{total} keys moved among surviving workers"
+        );
+    }
+
+    #[test]
+    fn single_point_reports_are_region_affine() {
+        let ring = HashRing::new(8, 64);
+        let report = |r: u32, t: u64, eps: f64| Report {
+            t,
+            eps_prime: eps,
+            len: 1,
+            unigrams: vec![(0, r)],
+            exact: vec![(0, r)],
+            transitions: vec![],
+        };
+        // Same region, different timestamps/budgets → same worker.
+        let a = report(7, 0, 0.5);
+        let b = report(7, 999, 2.0);
+        let ka = report_key(&a, &a.encode());
+        let kb = report_key(&b, &b.encode());
+        assert_eq!(ka, kb);
+        assert_eq!(ring.worker_for(ka), ring.worker_for(kb));
+        // Multi-point reports key on content: two distinct trajectories
+        // (almost surely) hash apart.
+        let mut c = report(7, 0, 0.5);
+        c.unigrams.push((1, 9));
+        c.exact.push((1, 9));
+        let mut d = c.clone();
+        d.unigrams[1].1 = 10;
+        d.exact[1].1 = 10;
+        assert_ne!(report_key(&c, &c.encode()), report_key(&d, &d.encode()));
+    }
+}

@@ -1,0 +1,609 @@
+//! `routerd`'s front door: TSR3 in, per-worker uplinks out.
+//!
+//! ```text
+//!            ┌──────────┐ conn queue ┌─────────────┐ per-worker  ┌─────────┐
+//!  clients ─▶│ acceptor │──(bounded)▶│ client      │──(bounded)─▶│ uplink  │──▶ ingestd w
+//!            └──────────┘  full ⇒    │ handlers    │  report     │ threads │    (TSR3)
+//!                          refuse    │ (route by   │  queues     └─────────┘
+//!                                    │  hash ring) │  full ⇒ shed
+//!                                    └─────────────┘
+//! ```
+//!
+//! Clients speak the unchanged single-node protocol: stream
+//! `Report::encode_frame` frames, half-close, read a `u64` ack. The
+//! router validates each frame, picks its worker by consistent hash,
+//! and enqueues it on that worker's bounded queue; uplink threads drain
+//! the queues in batches, each batch shipped over one fresh worker
+//! connection (the worker's ack protocol is stream-to-EOF), and worker
+//! acks propagate back to the originating client connections in batch
+//! order. A client's ack therefore certifies exactly what the
+//! single-node ack certifies: that many reports validated, logged, and
+//! flushed by a worker.
+//!
+//! **Failure semantics — the double-count rule.** A worker keeps every
+//! report it ingested from a stream that later failed (each frame is an
+//! independent LDP message), so the router must never resend a batch
+//! whose write already started — those reports are simply reported
+//! un-acked ([`RouterStats::routed_failed`]) and the client decides, as
+//! it would against a single node. Only *connecting* retries: with
+//! exponential backoff on the home worker, then failover to the next
+//! live worker on the ring — placement is a balance decision, not a
+//! correctness one, because the cluster merge is exact under any
+//! partition.
+
+use crate::hash::{report_key, HashRing};
+use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use trajshare_aggregate::StreamDecoder;
+
+/// Router deployment shape.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Client-facing listen address; port 0 picks a free port.
+    pub addr: SocketAddr,
+    /// Worker ingest addresses (the `ingestd --addr` of each worker).
+    pub workers: Vec<SocketAddr>,
+    /// Client-handler threads.
+    pub client_threads: usize,
+    /// Pending-connection queue depth; full ⇒ connections refused.
+    pub conn_queue_depth: usize,
+    /// Per-worker routed-report queue depth; full past
+    /// `enqueue_timeout` ⇒ the report is shed (un-acked).
+    pub worker_queue_depth: usize,
+    /// Max reports per uplink batch (= per worker connection).
+    pub batch_max: usize,
+    /// How long an uplink waits to top up a non-full batch.
+    pub linger: Duration,
+    /// How long a client handler waits for queue room before shedding.
+    pub enqueue_timeout: Duration,
+    /// How long a client connection waits at EOF for its routed
+    /// reports' worker acks before acking what it has.
+    pub ack_timeout: Duration,
+    /// Socket read timeout (client reads and uplink ack reads).
+    pub read_timeout: Duration,
+    /// Uplink reconnect backoff: first retry delay, doubling per
+    /// failure up to `reconnect_backoff_max`.
+    pub reconnect_backoff: Duration,
+    /// Backoff ceiling.
+    pub reconnect_backoff_max: Duration,
+    /// Connect attempts per candidate worker per batch (1 when the
+    /// worker is already marked down — fast failover).
+    pub connect_attempts: u32,
+    /// Virtual nodes per worker on the hash ring.
+    pub vnodes: usize,
+}
+
+impl RouterConfig {
+    /// Sensible defaults for loopback clusters and tests.
+    pub fn new(addr: SocketAddr, workers: Vec<SocketAddr>) -> Self {
+        RouterConfig {
+            addr,
+            workers,
+            client_threads: 4,
+            conn_queue_depth: 64,
+            worker_queue_depth: 8192,
+            batch_max: 512,
+            linger: Duration::from_millis(5),
+            enqueue_timeout: Duration::from_secs(2),
+            ack_timeout: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(30),
+            reconnect_backoff: Duration::from_millis(50),
+            reconnect_backoff_max: Duration::from_secs(1),
+            connect_attempts: 3,
+            vnodes: 64,
+        }
+    }
+}
+
+/// Monotonic event counters, shared across all router threads.
+#[derive(Debug, Default)]
+pub struct RouterStats {
+    /// Client connections handed to a handler.
+    pub accepted: AtomicU64,
+    /// Client connections shed because the conn queue was full.
+    pub refused: AtomicU64,
+    /// Client connections that streamed to EOF and were acked.
+    pub completed: AtomicU64,
+    /// Client connections dropped for protocol violations.
+    pub disconnected_protocol: AtomicU64,
+    /// Socket errors (client or uplink side).
+    pub io_errors: AtomicU64,
+    /// Reports routed to a worker **and** worker-acked durable.
+    pub cluster_routed: AtomicU64,
+    /// Reports shed (queue full) or lost to an uplink failure —
+    /// un-acked toward their clients, never silently retried.
+    pub routed_failed: AtomicU64,
+    /// Batches failed over to a non-home worker because the home
+    /// worker was unreachable.
+    pub rerouted_batches: AtomicU64,
+    /// Uplink connect failures (each marks the worker down until a
+    /// connect succeeds again).
+    pub worker_down: AtomicU64,
+}
+
+impl RouterStats {
+    fn bump(&self, field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-client-connection ack bookkeeping, shared with every batch that
+/// carries one of the connection's reports.
+#[derive(Debug, Default)]
+struct ConnTally {
+    /// Reports worker-acked durable.
+    acked: AtomicU64,
+    /// Reports whose fate is decided (acked or failed).
+    done: AtomicU64,
+}
+
+/// One report in flight to a worker: the re-framed wire bytes plus the
+/// originating connection's tally.
+struct RoutedReport {
+    /// `u32` length prefix + the validated payload, ready to write.
+    frame: Vec<u8>,
+    tally: Arc<ConnTally>,
+}
+
+/// Marker type for [`Router::start`].
+pub struct Router;
+
+/// The running router: owns its threads; query or stop it through this.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    stats: Arc<RouterStats>,
+    workers_up: Arc<Vec<AtomicBool>>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds the client listener and spawns the acceptor, client
+    /// handlers, and one uplink thread per worker.
+    pub fn start(config: RouterConfig) -> std::io::Result<RouterHandle> {
+        assert!(!config.workers.is_empty(), "need at least one worker");
+        let listener = TcpListener::bind(config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let stats = Arc::new(RouterStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers_up: Arc<Vec<AtomicBool>> = Arc::new(
+            config
+                .workers
+                .iter()
+                .map(|_| AtomicBool::new(true))
+                .collect(),
+        );
+        let ring = Arc::new(HashRing::new(config.workers.len(), config.vnodes));
+
+        let mut threads = Vec::new();
+        let mut uplink_txs = Vec::with_capacity(config.workers.len());
+        for (w, &worker_addr) in config.workers.iter().enumerate() {
+            let (tx, rx) = channel::bounded::<RoutedReport>(config.worker_queue_depth.max(1));
+            uplink_txs.push(tx);
+            let cfg = config.clone();
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let workers_up = Arc::clone(&workers_up);
+            threads.push(std::thread::spawn(move || {
+                uplink_loop(w, worker_addr, rx, cfg, stats, stop, workers_up)
+            }));
+        }
+
+        let (conn_tx, conn_rx) = channel::bounded::<TcpStream>(config.conn_queue_depth.max(1));
+        for _ in 0..config.client_threads.max(1) {
+            let rx = conn_rx.clone();
+            let txs = uplink_txs.clone();
+            let ring = Arc::clone(&ring);
+            let cfg = config.clone();
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                client_loop(rx, txs, ring, cfg, stats, stop)
+            }));
+        }
+        drop(conn_rx);
+        drop(uplink_txs);
+
+        {
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                acceptor_loop(listener, conn_tx, stats, stop)
+            }));
+        }
+
+        Ok(RouterHandle {
+            addr,
+            stats,
+            workers_up,
+            stop,
+            threads,
+        })
+    }
+}
+
+impl RouterHandle {
+    /// The bound client-facing address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live event counters.
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// Per-worker up/down flags as last observed by the uplinks (a
+    /// worker is "down" after a failed connect, until one succeeds).
+    pub fn workers_up(&self) -> Vec<bool> {
+        self.workers_up
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Stops accepting, drains the uplink queues, joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    tx: channel::Sender<TcpStream>,
+    stats: Arc<RouterStats>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => match tx.try_send(stream) {
+                Ok(()) => stats.bump(&stats.accepted),
+                // Full queue: shed, exactly like ingestd's front door.
+                Err(TrySendError::Full(_)) => stats.bump(&stats.refused),
+                Err(TrySendError::Disconnected(_)) => break,
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn client_loop(
+    rx: channel::Receiver<TcpStream>,
+    txs: Vec<channel::Sender<RoutedReport>>,
+    ring: Arc<HashRing>,
+    config: RouterConfig,
+    stats: Arc<RouterStats>,
+    stop: Arc<AtomicBool>,
+) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(stream) => handle_client(stream, &txs, &ring, &config, &stats, &stop),
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Reads one client stream to EOF, routing every validated frame to its
+/// worker's queue, then waits for the worker acks and acks the client.
+fn handle_client(
+    mut stream: TcpStream,
+    txs: &[channel::Sender<RoutedReport>],
+    ring: &HashRing,
+    config: &RouterConfig,
+    stats: &RouterStats,
+    stop: &AtomicBool,
+) {
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        stats.bump(&stats.io_errors);
+        return;
+    }
+    let tally = Arc::new(ConnTally::default());
+    let mut decoder = StreamDecoder::new();
+    let mut chunk = [0u8; 64 * 1024];
+    // Reports enqueued toward workers (the denominator the EOF wait
+    // compares `done` against).
+    let mut sent = 0u64;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // Mid-frame EOF is a protocol violation: no ack (routed
+                // reports stand — each is an independent LDP message,
+                // same rule as the single-node server).
+                if decoder.pending() > 0 {
+                    stats.bump(&stats.disconnected_protocol);
+                    return;
+                }
+                // Wait for every routed report's fate, then ack the
+                // worker-confirmed count. On timeout, ack what is
+                // confirmed so far — under-acking is safe (the client
+                // treats it as a shortfall), over-acking never happens.
+                let deadline = Instant::now() + config.ack_timeout;
+                while tally.done.load(Ordering::Acquire) < sent
+                    && Instant::now() < deadline
+                    && !stop.load(Ordering::SeqCst)
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let acked = tally.acked.load(Ordering::Acquire);
+                if stream.write_all(&acked.to_le_bytes()).is_err() {
+                    stats.bump(&stats.io_errors);
+                    return;
+                }
+                let _ = stream.shutdown(Shutdown::Both);
+                stats.bump(&stats.completed);
+                return;
+            }
+            Ok(n) => {
+                decoder.extend(&chunk[..n]);
+                loop {
+                    match decoder.next_frame() {
+                        Ok(Some((report, payload))) => {
+                            let worker = ring.worker_for(report_key(&report, payload));
+                            let mut frame = Vec::with_capacity(4 + payload.len());
+                            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                            frame.extend_from_slice(payload);
+                            let routed = RoutedReport {
+                                frame,
+                                tally: Arc::clone(&tally),
+                            };
+                            if enqueue(&txs[worker], routed, config.enqueue_timeout, stop) {
+                                sent += 1;
+                            } else {
+                                // Shed: queue stayed full past the
+                                // timeout (worker stalled and its queue
+                                // backed up). Not counted in `sent`, so
+                                // the client sees the shortfall.
+                                stats.bump(&stats.routed_failed);
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            stats.bump(&stats.disconnected_protocol);
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                stats.bump(&stats.io_errors);
+                return;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                stats.bump(&stats.io_errors);
+                return;
+            }
+        }
+    }
+}
+
+/// Bounded enqueue: `try_send` + short sleeps up to `timeout` (the
+/// compat channel has no `send_timeout`). Returns whether the report
+/// was enqueued.
+fn enqueue(
+    tx: &channel::Sender<RoutedReport>,
+    mut routed: RoutedReport,
+    timeout: Duration,
+    stop: &AtomicBool,
+) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match tx.try_send(routed) {
+            Ok(()) => return true,
+            Err(TrySendError::Full(r)) => {
+                if Instant::now() >= deadline || stop.load(Ordering::SeqCst) {
+                    return false;
+                }
+                routed = r;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(TrySendError::Disconnected(_)) => return false,
+        }
+    }
+}
+
+/// One worker's uplink: drain the queue in batches, ship each batch
+/// over a fresh worker connection, propagate acks. Exits when every
+/// client handler is gone (channel disconnected) or on stop with an
+/// empty queue.
+fn uplink_loop(
+    home: usize,
+    home_addr: SocketAddr,
+    rx: channel::Receiver<RoutedReport>,
+    config: RouterConfig,
+    stats: Arc<RouterStats>,
+    stop: Arc<AtomicBool>,
+    workers_up: Arc<Vec<AtomicBool>>,
+) {
+    loop {
+        // First report of the next batch.
+        let first = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::SeqCst) && rx.is_empty() {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut batch = vec![first];
+        let linger_deadline = Instant::now() + config.linger;
+        while batch.len() < config.batch_max.max(1) {
+            let now = Instant::now();
+            if now >= linger_deadline {
+                break;
+            }
+            match rx.recv_timeout(linger_deadline - now) {
+                Ok(r) => batch.push(r),
+                Err(_) => break,
+            }
+        }
+        ship_batch(home, home_addr, batch, &config, &stats, &stop, &workers_up);
+    }
+}
+
+/// Ships one batch: home worker first (reconnect with exponential
+/// backoff), then failover around the ring. Exactly one write attempt
+/// ever happens — once bytes go out, a failure fails the batch.
+#[allow(clippy::too_many_arguments)]
+fn ship_batch(
+    home: usize,
+    home_addr: SocketAddr,
+    batch: Vec<RoutedReport>,
+    config: &RouterConfig,
+    stats: &RouterStats,
+    stop: &AtomicBool,
+    workers_up: &[AtomicBool],
+) {
+    // Candidate order: home, then the rest by index (any deterministic
+    // order works — placement does not affect the merged result).
+    let n = config.workers.len();
+    for i in 0..n {
+        let w = (home + i) % n;
+        let addr = if w == home {
+            home_addr
+        } else {
+            config.workers[w]
+        };
+        // A worker already marked down gets one quick probe; the home
+        // worker (presumed up) gets the full backoff sequence.
+        let attempts = if workers_up[w].load(Ordering::Relaxed) {
+            config.connect_attempts.max(1)
+        } else {
+            1
+        };
+        match connect_with_backoff(addr, attempts, config, stop) {
+            Some(stream) => {
+                workers_up[w].store(true, Ordering::Relaxed);
+                if w != home {
+                    stats.bump(&stats.rerouted_batches);
+                }
+                match write_and_ack(stream, &batch, config.read_timeout) {
+                    Ok(acked) => settle_batch(&batch, acked, stats),
+                    Err(_) => {
+                        // The write started: the worker may hold any
+                        // prefix of the batch durable without having
+                        // acked. Never resend — fail the whole batch
+                        // (un-acked toward clients) and mark the worker
+                        // down so the next batch probes fresh.
+                        stats.bump(&stats.io_errors);
+                        workers_up[w].store(false, Ordering::Relaxed);
+                        stats.bump(&stats.worker_down);
+                        settle_batch(&batch, 0, stats);
+                    }
+                }
+                return;
+            }
+            None => {
+                if workers_up[w].swap(false, Ordering::Relaxed) {
+                    stats.bump(&stats.worker_down);
+                }
+            }
+        }
+    }
+    // Every worker unreachable: fail the batch.
+    settle_batch(&batch, 0, stats);
+}
+
+/// Resolves every report in the batch: the first `acked` (worker acks
+/// attribute FIFO — the worker ingests frames in write order, and its
+/// ack is a single count) are confirmed, the rest failed.
+fn settle_batch(batch: &[RoutedReport], acked: u64, stats: &RouterStats) {
+    for (i, r) in batch.iter().enumerate() {
+        if (i as u64) < acked {
+            r.tally.acked.fetch_add(1, Ordering::AcqRel);
+            stats.bump(&stats.cluster_routed);
+        } else {
+            stats.bump(&stats.routed_failed);
+        }
+        r.tally.done.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Tries to connect up to `attempts` times with doubling backoff.
+fn connect_with_backoff(
+    addr: SocketAddr,
+    attempts: u32,
+    config: &RouterConfig,
+    stop: &AtomicBool,
+) -> Option<TcpStream> {
+    let mut backoff = config.reconnect_backoff;
+    for attempt in 0..attempts.max(1) {
+        if stop.load(Ordering::SeqCst) && attempt > 0 {
+            return None;
+        }
+        match TcpStream::connect_timeout(&addr, config.read_timeout) {
+            Ok(stream) => return Some(stream),
+            Err(_) => {
+                if attempt + 1 < attempts {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(config.reconnect_backoff_max);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Streams the batch's frames over one connection, half-closes, reads
+/// the worker's `u64` ack.
+fn write_and_ack(
+    mut stream: TcpStream,
+    batch: &[RoutedReport],
+    read_timeout: Duration,
+) -> std::io::Result<u64> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    // Coalesce frames into large writes, same as the client library.
+    let mut buf = Vec::with_capacity(256 * 1024);
+    for r in batch {
+        buf.extend_from_slice(&r.frame);
+        if buf.len() >= 192 * 1024 {
+            stream.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        stream.write_all(&buf)?;
+    }
+    stream.shutdown(Shutdown::Write)?;
+    let mut ack = [0u8; 8];
+    stream.read_exact(&mut ack)?;
+    Ok(u64::from_le_bytes(ack))
+}

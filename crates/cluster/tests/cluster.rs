@@ -1,0 +1,245 @@
+//! Cluster-tier integration over loopback: router partitioning with
+//! worker-confirmed acks, the coordinator's bit-exact merge against a
+//! single-node ground truth, stale-snapshot behavior while a worker is
+//! down, epoch-bumping re-merge after a worker restart, and batch
+//! failover to a live worker. (The full mechanism-driven run lives in
+//! the root `tests/cluster_e2e.rs`.)
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+use trajshare_aggregate::{EstimatorBackend, Report, WindowConfig};
+use trajshare_cluster::{snapshot_fingerprint, CoordConfig, Coordinator, Router, RouterConfig};
+use trajshare_service::{stream_reports, IngestServer, ServerConfig, StreamServerConfig};
+
+const REGIONS: usize = 24;
+const WINDOW: WindowConfig = WindowConfig {
+    window_len: 10,
+    num_windows: 8,
+};
+
+/// Toy report `i`: a two-point trajectory whose regions and window both
+/// derive from `i`. Timestamps stay inside the ring depth
+/// (`i % 70 → windows 0..=6`), so no report is ever dropped as late and
+/// the merged ring must account for every single one.
+fn toy_report(i: u32) -> Report {
+    let a = i % REGIONS as u32;
+    let b = (a + 1) % REGIONS as u32;
+    Report {
+        t: (i % 70) as u64,
+        eps_prime: 0.5 + f64::from(i % 5) * 0.25,
+        len: 2,
+        unigrams: vec![(0, a), (1, b)],
+        exact: vec![(0, a), (1, b)],
+        transitions: vec![(a, b)],
+    }
+}
+
+fn worker_config(tag: &str) -> (ServerConfig, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "trajshare-cluster-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = ServerConfig::new(&dir, vec![0u16; REGIONS]);
+    cfg.workers = 2;
+    cfg.read_timeout = Duration::from_secs(5);
+    cfg.export_addr = Some("127.0.0.1:0".parse().unwrap());
+    cfg.stream = Some(StreamServerConfig {
+        window: WINDOW,
+        publish_every: Duration::from_millis(50),
+        server_clock: false,
+        max_conn_advance: u64::MAX,
+        backend: EstimatorBackend::default(),
+        budget: None,
+    });
+    (cfg, dir)
+}
+
+fn router_config(workers: Vec<std::net::SocketAddr>) -> RouterConfig {
+    let mut cfg = RouterConfig::new("127.0.0.1:0".parse().unwrap(), workers);
+    cfg.connect_attempts = 2;
+    cfg.reconnect_backoff = Duration::from_millis(10);
+    cfg.read_timeout = Duration::from_secs(5);
+    cfg
+}
+
+fn ring_summary(ring: &trajshare_aggregate::WindowedAggregator) -> Vec<(u64, u64)> {
+    ring.windows()
+        .into_iter()
+        .map(|(id, c)| (id, c.num_reports))
+        .collect()
+}
+
+#[test]
+fn cluster_merge_is_bit_identical_and_survives_worker_restart() {
+    let reports: Vec<Report> = (0..4_000).map(toy_report).collect();
+    let n = reports.len() as u64;
+
+    let (cfg_a, dir_a) = worker_config("merge-a");
+    let (cfg_b, dir_b) = worker_config("merge-b");
+    let (cfg_s, dir_s) = worker_config("merge-single");
+    let a = IngestServer::start(cfg_a.clone()).unwrap();
+    let b = IngestServer::start(cfg_b).unwrap();
+    let single = IngestServer::start(cfg_s).unwrap();
+
+    // Same stream through the router (partitioned) and into the single
+    // node (unpartitioned ground truth).
+    let router = Router::start(router_config(vec![a.addr(), b.addr()])).unwrap();
+    assert_eq!(stream_reports(router.addr(), &reports, 6).unwrap(), n);
+    assert_eq!(stream_reports(single.addr(), &reports, 6).unwrap(), n);
+
+    // The partition is real (both workers own a share) and lossless.
+    let (na, nb) = (a.counts().num_reports, b.counts().num_reports);
+    assert!(na > 0 && nb > 0, "degenerate partition: {na}/{nb}");
+    assert_eq!(na + nb, n);
+    assert_eq!(
+        router.stats().cluster_routed.load(Ordering::Relaxed),
+        n,
+        "every report must be worker-acked"
+    );
+
+    // Coordinator pull + merge: bit-identical to the single node.
+    let mut ccfg = CoordConfig::new(
+        vec![a.export_addr().unwrap(), b.export_addr().unwrap()],
+        vec![0u16; REGIONS],
+    );
+    ccfg.window = Some(WINDOW);
+    let mut coord = Coordinator::new(ccfg);
+    let view = coord.tick();
+    assert_eq!((view.workers_up, view.workers_total), (2, 2));
+    assert_eq!(view.merged_reports, n);
+
+    let single_ring = single.windowed_counts().unwrap();
+    assert_eq!(view.watermark, single_ring.newest_window());
+    assert_eq!(view.counts_crc32, snapshot_fingerprint(&single.counts()));
+    assert_eq!(
+        view.ring_crc32.unwrap(),
+        snapshot_fingerprint(single_ring.merged()),
+        "merged ring must fingerprint identically to the single node"
+    );
+    assert_eq!(
+        ring_summary(coord.merged_ring().unwrap()),
+        ring_summary(&single_ring)
+    );
+
+    // Kill worker A. The coordinator keeps publishing from its cached
+    // snapshot — stale is conservative (nothing unshipped existed), so
+    // the merged view must not move.
+    let export_a = a.export_addr().unwrap();
+    a.crash();
+    let down = coord.tick();
+    assert_eq!((down.workers_up, down.workers_total), (1, 2));
+    assert_eq!(down.merged_reports, n);
+    assert_eq!(down.ring_crc32, view.ring_crc32);
+    let status = coord.worker_status();
+    assert!(!status[0].up && status[1].up);
+
+    // Restart A on the same data dir (WAL replay) and the same export
+    // port. The re-pulled snapshot replaces the cached one under a
+    // bumped epoch, and the merged view is bit-identical again.
+    let mut cfg_a2 = cfg_a;
+    cfg_a2.export_addr = Some(export_a);
+    let a2 = IngestServer::start(cfg_a2).unwrap();
+    assert_eq!(a2.recovery().recovered_reports, na);
+    let back = coord.tick();
+    assert_eq!((back.workers_up, back.workers_total), (2, 2));
+    assert_eq!(back.merged_reports, n);
+    assert_eq!(back.ring_crc32, view.ring_crc32);
+    assert_eq!(back.counts_crc32, view.counts_crc32);
+    assert!(
+        back.epochs[0] > view.epochs[0],
+        "recovery must bump the worker epoch ({} → {})",
+        view.epochs[0],
+        back.epochs[0]
+    );
+    assert_eq!(coord.worker_status()[0].restarts, 1);
+    assert_eq!(coord.worker_status()[0].regressions, 0);
+
+    drop(router);
+    let _ = (a2.shutdown(), b.shutdown(), single.shutdown());
+    for d in [dir_a, dir_b, dir_s] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
+#[test]
+fn router_fails_over_batches_to_a_live_worker() {
+    let (cfg_a, dir_a) = worker_config("fo-a");
+    let (cfg_b, dir_b) = worker_config("fo-b");
+    let a = IngestServer::start(cfg_a).unwrap();
+    let b = IngestServer::start(cfg_b).unwrap();
+
+    let router = Router::start(router_config(vec![a.addr(), b.addr()])).unwrap();
+
+    // Warm both paths, then kill B.
+    let warm: Vec<Report> = (0..200).map(toy_report).collect();
+    assert_eq!(stream_reports(router.addr(), &warm, 2).unwrap(), 200);
+    let warm_a = a.counts().num_reports;
+    assert!(warm_a > 0 && warm_a < 200, "warm split degenerate");
+    b.crash();
+
+    // Every report still gets durably acked: batches homed on the dead
+    // worker fail their connect (never a write) and move to A — exact
+    // merge makes placement free.
+    let reports: Vec<Report> = (0..1_000).map(|i| toy_report(i + 7)).collect();
+    assert_eq!(stream_reports(router.addr(), &reports, 4).unwrap(), 1_000);
+    assert_eq!(a.counts().num_reports, warm_a + 1_000);
+    let stats = router.stats();
+    assert_eq!(stats.cluster_routed.load(Ordering::Relaxed), 1_200);
+    assert_eq!(stats.routed_failed.load(Ordering::Relaxed), 0);
+    assert!(stats.worker_down.load(Ordering::Relaxed) > 0);
+    assert!(stats.rerouted_batches.load(Ordering::Relaxed) > 0);
+    assert_eq!(router.workers_up(), vec![true, false]);
+
+    drop(router);
+    let _ = a.shutdown();
+    for d in [dir_a, dir_b] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
+#[test]
+fn router_refuses_malformed_streams_without_acking() {
+    use std::io::{Read, Write};
+
+    let (cfg_a, dir_a) = worker_config("hostile");
+    let a = IngestServer::start(cfg_a).unwrap();
+    let router = Router::start(router_config(vec![a.addr()])).unwrap();
+
+    // Garbage that parses as an oversized length prefix: the router
+    // must drop the connection without an ack (same contract as
+    // ingestd's front door).
+    let mut conn = std::net::TcpStream::connect(router.addr()).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    conn.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    conn.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut buf = [0u8; 8];
+    assert!(
+        conn.read_exact(&mut buf).is_err(),
+        "hostile stream must not be acked"
+    );
+
+    // A mid-frame EOF is a protocol violation too: routed frames stand,
+    // but no ack is issued for the truncated stream.
+    let good = toy_report(3).encode();
+    let mut conn = std::net::TcpStream::connect(router.addr()).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    conn.write_all(&(good.len() as u32).to_le_bytes()).unwrap();
+    conn.write_all(&good).unwrap();
+    conn.write_all(&(good.len() as u32).to_le_bytes()).unwrap();
+    conn.write_all(&good[..good.len() / 2]).unwrap();
+    conn.shutdown(std::net::Shutdown::Write).unwrap();
+    assert!(
+        conn.read_exact(&mut buf).is_err(),
+        "truncated stream must not be acked"
+    );
+
+    // The router still serves well-formed clients afterwards.
+    let reports: Vec<Report> = (0..50).map(toy_report).collect();
+    assert_eq!(stream_reports(router.addr(), &reports, 1).unwrap(), 50);
+    assert!(router.stats().disconnected_protocol.load(Ordering::Relaxed) >= 2);
+
+    drop(router);
+    let _ = a.shutdown();
+    let _ = std::fs::remove_dir_all(&dir_a);
+}

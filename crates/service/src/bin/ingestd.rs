@@ -12,6 +12,7 @@
 //!         [--max-conn-advance N] [--backend dense|blocked|sparse-w2]
 //!         [--budget-eps E] [--budget-window W]        # w-window ε budget
 //!         [--budget-policy uniform|adaptive]
+//!         [--export-addr HOST:PORT]                   # cluster snapshot export
 //!         [--dump-counts]
 //! ```
 //!
@@ -39,9 +40,17 @@
 //! are excluded from model estimates and visible in the `published`
 //! lines.
 //!
+//! `--export-addr` opens the cluster snapshot-export listener: a
+//! `routerd` coordinator connects there and pulls this worker's merged
+//! counter + ring state over the `TSCL` protocol
+//! (`trajshare_aggregate::clusterproto`), which is what lets N workers
+//! behind a router publish as one exactly-merged cluster.
+//!
 //! `--dump-counts` runs recovery only and prints a JSON fingerprint of
 //! the restored state: counters, the window ring (with per-window budget
-//! spends), and the restored budget ledger.
+//! spends), and the restored budget ledger. Windows and budget decisions
+//! are sorted by window id, so two workers' dumps (or one worker's dump
+//! before and after a restart) diff cleanly.
 
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -61,7 +70,7 @@ fn usage() -> ! {
          [--window-len U --windows W] [--publish-every-ms MS] [--server-clock] \
          [--max-conn-advance N] [--backend dense|blocked|sparse-w2] \
          [--budget-eps E] [--budget-window W] [--budget-policy uniform|adaptive] \
-         [--dump-counts]"
+         [--export-addr HOST:PORT] [--dump-counts]"
     );
     std::process::exit(2)
 }
@@ -154,6 +163,7 @@ fn main() {
     let mut budget_eps: Option<f64> = None;
     let mut budget_window: Option<usize> = None;
     let mut budget_policy = AllocationPolicy::Uniform;
+    let mut export_addr: Option<SocketAddr> = None;
     let mut dump_counts = false;
 
     let mut args = std::env::args().skip(1);
@@ -188,6 +198,7 @@ fn main() {
                 budget_policy =
                     AllocationPolicy::parse(&value(&mut args)).unwrap_or_else(|| usage())
             }
+            "--export-addr" => export_addr = Some(parsed(value(&mut args))),
             "--dump-counts" => dump_counts = true,
             _ => usage(),
         }
@@ -262,14 +273,20 @@ fn main() {
         let summary = DumpSummary {
             counts: CountsSummary::of(&rec.counts),
             windows: rec.ring.as_ref().map(|r| {
-                r.windows()
+                // Sorted by window id here, not by trusting the ring's
+                // internal iteration order: cluster CI diffs worker
+                // dumps, so the output ordering is part of the contract.
+                let mut rows: Vec<WindowSummary> = r
+                    .windows()
                     .iter()
                     .map(|(id, c)| WindowSummary {
                         window: *id,
                         reports: c.num_reports,
                         spent_eps: nano_to_eps(r.window_spend(*id)),
                     })
-                    .collect()
+                    .collect();
+                rows.sort_by_key(|w| w.window);
+                rows
             }),
             newest_window: rec.ring.as_ref().map(|r| r.newest_window()),
             budget: rec.budget.as_ref().map(|acct| BudgetDump {
@@ -279,15 +296,21 @@ fn main() {
                 sliding_spent_eps: nano_to_eps(acct.sliding_spend_nano()),
                 refused_windows: acct.refused_windows(),
                 recycled_eps: nano_to_eps(acct.recycled_nano()),
-                decisions: acct
-                    .decisions()
-                    .map(|d| DecisionDump {
-                        window: d.window,
-                        granted_eps: nano_to_eps(d.granted_nano),
-                        spent_eps: nano_to_eps(d.spent_nano),
-                        refused: d.refused,
-                    })
-                    .collect(),
+                decisions: {
+                    // Same contract as the window list: sorted by
+                    // window id regardless of ledger iteration order.
+                    let mut rows: Vec<DecisionDump> = acct
+                        .decisions()
+                        .map(|d| DecisionDump {
+                            window: d.window,
+                            granted_eps: nano_to_eps(d.granted_nano),
+                            spent_eps: nano_to_eps(d.spent_nano),
+                            refused: d.refused,
+                        })
+                        .collect();
+                    rows.sort_by_key(|d| d.window);
+                    rows
+                },
             }),
         };
         println!(
@@ -320,6 +343,7 @@ fn main() {
     if let Some(b) = wal_max_bytes {
         config.wal_max_bytes = b.max(1);
     }
+    config.export_addr = export_addr;
     config.stream = window.map(|w| StreamServerConfig {
         window: w,
         publish_every: Duration::from_millis(publish_every_ms.max(10)),
@@ -365,6 +389,9 @@ fn main() {
             ""
         },
     );
+    if let Some(export) = handle.export_addr() {
+        println!("ingestd exporting cluster snapshots on {export}");
+    }
     // Park; SIGTERM/SIGKILL is the stop signal, and recovery is the
     // restart path — that asymmetry is exactly what the durability
     // design is for. When streaming, relay each publication to stdout

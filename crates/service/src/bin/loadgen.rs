@@ -1,7 +1,7 @@
 //! Deterministic load generator for the ingestion service.
 //!
 //! ```text
-//! loadgen --addr HOST:PORT --reports N --regions R
+//! loadgen (--addr HOST:PORT | --connect HOST:PORT ...) --reports N --regions R
 //!         [--connections C] [--len L] [--eps E] [--seed S]
 //!         [--t-base T] [--t-step S]
 //! ```
@@ -12,6 +12,11 @@
 //! reports/s. Exits non-zero if any report went un-acked — which makes
 //! it a durability assertion, not just a traffic source.
 //!
+//! `--connect` is repeatable: connections are assigned round-robin
+//! across every given target, which drives N `ingestd` workers directly
+//! — the no-router baseline the cluster soak compares `routerd`
+//! against. `--addr` is a synonym for a single `--connect`.
+//!
 //! Report `i` carries timestamp `t-base + i · t-step` (both default 0),
 //! so a streaming server's window ring can be driven deterministically:
 //! `--t-base 60` with a 60-unit window puts the whole batch in window 1.
@@ -19,12 +24,12 @@
 use std::net::SocketAddr;
 use std::time::Instant;
 use trajshare_aggregate::Report;
-use trajshare_service::stream_reports;
+use trajshare_service::stream_reports_multi;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen --addr HOST:PORT --reports N --regions R [--connections C] \
-         [--len L] [--eps E] [--seed S] [--t-base T] [--t-step S]"
+        "usage: loadgen (--addr HOST:PORT | --connect HOST:PORT ...) --reports N --regions R \
+         [--connections C] [--len L] [--eps E] [--seed S] [--t-base T] [--t-step S]"
     );
     std::process::exit(2)
 }
@@ -56,7 +61,7 @@ fn toy_report(i: u64, regions: u32, len: u16, eps: f64, seed: u64, t: u64) -> Re
 }
 
 fn main() {
-    let mut addr: Option<SocketAddr> = None;
+    let mut targets: Vec<SocketAddr> = Vec::new();
     let mut reports: Option<usize> = None;
     let mut regions: Option<u32> = None;
     let mut connections = 4usize;
@@ -70,7 +75,7 @@ fn main() {
     while let Some(flag) = args.next() {
         let Some(v) = args.next() else { usage() };
         match flag.as_str() {
-            "--addr" => addr = v.parse().ok(),
+            "--addr" | "--connect" => targets.push(v.parse().unwrap_or_else(|_| usage())),
             "--reports" => reports = v.parse().ok(),
             "--regions" => regions = v.parse().ok(),
             "--connections" => connections = v.parse().unwrap_or_else(|_| usage()),
@@ -82,10 +87,10 @@ fn main() {
             _ => usage(),
         }
     }
-    let (Some(addr), Some(n), Some(regions)) = (addr, reports, regions) else {
+    let (Some(n), Some(regions)) = (reports, regions) else {
         usage()
     };
-    if regions == 0 || len == 0 {
+    if targets.is_empty() || regions == 0 || len == 0 {
         usage()
     }
 
@@ -102,7 +107,8 @@ fn main() {
         })
         .collect();
     let t0 = Instant::now();
-    let acked = stream_reports(addr, &batch, connections.max(1)).expect("streaming failed");
+    let acked =
+        stream_reports_multi(&targets, &batch, connections.max(1)).expect("streaming failed");
     let secs = t0.elapsed().as_secs_f64();
     println!(
         "{{\"sent\": {n}, \"acked\": {acked}, \"secs\": {secs:.3}, \"reports_per_s\": {:.0}}}",

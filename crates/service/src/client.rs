@@ -45,12 +45,35 @@ pub fn stream_reports(
     reports: &[Report],
     connections: usize,
 ) -> std::io::Result<u64> {
-    let connections = connections.clamp(1, reports.len().max(1));
+    stream_reports_multi(&[addr], reports, connections)
+}
+
+/// Streams `reports` across `connections` parallel connections spread
+/// round-robin over `addrs` (connection `i` targets `addrs[i % N]`) and
+/// returns the summed acks. With one address this is exactly
+/// [`stream_reports`]; with several it drives N workers directly — the
+/// no-router baseline a cluster soak compares `routerd` against. At
+/// least one connection per address is opened so every target sees
+/// traffic even when `connections < addrs.len()`.
+pub fn stream_reports_multi(
+    addrs: &[SocketAddr],
+    reports: &[Report],
+    connections: usize,
+) -> std::io::Result<u64> {
+    assert!(!addrs.is_empty(), "need at least one target address");
+    let connections = connections
+        .max(addrs.len())
+        .clamp(1, reports.len().max(1))
+        .max(1);
     let per = reports.len().div_ceil(connections);
     std::thread::scope(|scope| {
         let handles: Vec<_> = reports
             .chunks(per.max(1))
-            .map(|slice| scope.spawn(move || stream_once(addr, slice)))
+            .enumerate()
+            .map(|(i, slice)| {
+                let addr = addrs[i % addrs.len()];
+                scope.spawn(move || stream_once(addr, slice))
+            })
             .collect();
         let mut total = 0u64;
         for h in handles {

@@ -29,7 +29,7 @@ pub mod client;
 pub mod server;
 pub mod storage;
 
-pub use client::{stream_once, stream_reports};
+pub use client::{stream_once, stream_reports, stream_reports_multi};
 pub use server::{
     BudgetPublication, CountsSummary, IngestServer, RecoverySummary, ServerConfig, ServerHandle,
     ServerStats, StreamPublication, StreamServerConfig,

@@ -63,6 +63,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use trajshare_aggregate::clusterproto::{
+    read_cluster_frame, write_cluster_frame, ClusterFrame, WorkerSnapshot,
+};
 use trajshare_aggregate::snapshot::crc32;
 use trajshare_aggregate::{
     count_divergence, AggregateCounts, Aggregator, EstimatorBackend, MobilityModel, Report,
@@ -171,6 +174,11 @@ pub struct ServerConfig {
     pub stream: Option<StreamServerConfig>,
     /// Socket read timeout — a client stalling longer is disconnected.
     pub read_timeout: Duration,
+    /// Cluster snapshot-export listener (`TSCL` protocol): a coordinator
+    /// connects here and pulls the worker's merged counter + ring state
+    /// (see `trajshare_aggregate::clusterproto`). `None` (the default)
+    /// runs no export listener — single-node deployments ship nothing.
+    pub export_addr: Option<SocketAddr>,
 }
 
 impl ServerConfig {
@@ -191,6 +199,7 @@ impl ServerConfig {
             wal_max_bytes: 1 << 30,
             stream: None,
             read_timeout: Duration::from_secs(30),
+            export_addr: None,
         }
     }
 }
@@ -227,6 +236,9 @@ pub struct ServerStats {
     /// exceeded the window's grant); their data is excluded from
     /// published model estimates.
     pub budget_refusals: AtomicU64,
+    /// Cluster snapshots served over the `TSCL` export listener
+    /// ([`ServerConfig::export_addr`]).
+    pub snapshots_shipped: AtomicU64,
     /// Online WAL compactions (generation bumps while live).
     pub compactions: AtomicU64,
     /// Online compactions that failed (retried after a backoff).
@@ -388,6 +400,7 @@ pub struct StreamPublication {
 /// The running server: owns its threads; query or stop it through this.
 pub struct ServerHandle {
     addr: SocketAddr,
+    export_addr: Option<SocketAddr>,
     stats: Arc<ServerStats>,
     base: Arc<Mutex<BaseState>>,
     shards: Vec<Arc<Mutex<Shard>>>,
@@ -571,6 +584,28 @@ impl IngestServer {
         }));
         let latest_publication = Arc::new(Mutex::new(None));
 
+        // The cluster snapshot-export listener: a coordinator pulls the
+        // worker's merged counter + ring state over the TSCL protocol.
+        // One serving thread is enough — the only legitimate client is
+        // a coordinator polling every publication interval.
+        let export_addr = match config.export_addr {
+            Some(requested) => {
+                let listener = TcpListener::bind(requested)?;
+                listener.set_nonblocking(true)?;
+                let bound = listener.local_addr()?;
+                let base = Arc::clone(&base);
+                let shards = shards.clone();
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                let read_timeout = config.read_timeout;
+                threads.push(std::thread::spawn(move || {
+                    export_loop(listener, base, shards, stats, stop, read_timeout)
+                }));
+                Some(bound)
+            }
+            None => None,
+        };
+
         // Maintenance thread: periodic window publication, size-triggered
         // online WAL compaction, and the group-commit time bound (a WAL
         // receiving no appends gets no flushes, so the max_delay half of
@@ -600,6 +635,7 @@ impl IngestServer {
 
         Ok(ServerHandle {
             addr,
+            export_addr,
             stats,
             base,
             shards,
@@ -618,6 +654,12 @@ impl ServerHandle {
     /// The bound listen address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound cluster snapshot-export address (resolves port 0);
+    /// `None` when [`ServerConfig::export_addr`] was not set.
+    pub fn export_addr(&self) -> Option<SocketAddr> {
+        self.export_addr
     }
 
     /// Live event counters.
@@ -1043,6 +1085,89 @@ fn merged_ring(
         }
     }
     Some(total)
+}
+
+/// Builds the worker's shippable snapshot: merged totals, merged ring,
+/// and the current generation as the epoch — all captured under one
+/// base-then-shards lock pass (the standard order), so the counts and
+/// the ring describe the *same* instant and a concurrent compaction
+/// cannot be observed mid-move.
+fn export_snapshot(base: &Mutex<BaseState>, shards: &[Arc<Mutex<Shard>>]) -> WorkerSnapshot {
+    let base = base.lock().unwrap();
+    let mut counts = base.counts.clone();
+    let mut ring = base.ring.clone();
+    for shard in shards {
+        let guard = shard.lock().unwrap();
+        counts.merge(guard.agg.counts());
+        if let (Some(total), Some(shard_ring)) = (&mut ring, &guard.ring) {
+            total.merge_ring(shard_ring);
+        }
+    }
+    WorkerSnapshot {
+        epoch: base.gen,
+        watermark: ring.as_ref().map_or(0, |r| r.newest_window()),
+        reports: counts.num_reports,
+        counts: counts.encode_snapshot(),
+        ring: ring.map(|r| r.encode_ring()),
+    }
+}
+
+/// The cluster snapshot-export listener: serves `TSCL` `SnapshotPull`
+/// requests with the worker's current merged state. Connections are
+/// handled serially (the only expected client is one coordinator); a
+/// connection may issue any number of pulls before closing.
+fn export_loop(
+    listener: TcpListener,
+    base: Arc<Mutex<BaseState>>,
+    shards: Vec<Arc<Mutex<Shard>>>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    read_timeout: Duration,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if stream.set_read_timeout(Some(read_timeout)).is_err()
+                    || stream.set_nodelay(true).is_err()
+                {
+                    stats.bump(&stats.io_errors);
+                    continue;
+                }
+                loop {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match read_cluster_frame(&mut stream) {
+                        Ok(ClusterFrame::SnapshotPull) => {
+                            let snapshot = export_snapshot(&base, &shards);
+                            if write_cluster_frame(&mut stream, &ClusterFrame::Snapshot(snapshot))
+                                .is_err()
+                            {
+                                stats.bump(&stats.io_errors);
+                                break;
+                            }
+                            stats.bump(&stats.snapshots_shipped);
+                        }
+                        // A worker never accepts snapshots; anything but
+                        // a pull is a protocol violation.
+                        Ok(_) => {
+                            stats.bump(&stats.disconnected_protocol);
+                            break;
+                        }
+                        // EOF shows up as an Io error from read_exact —
+                        // the normal end of a pull session. Real socket
+                        // errors land here too; either way the next
+                        // coordinator connect starts clean.
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
 }
 
 /// Online WAL compaction: fold the base and every live shard into the

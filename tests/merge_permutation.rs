@@ -1,0 +1,162 @@
+//! Property sweep (ISSUE 6 satellite): the cluster tier's whole
+//! correctness story is that merging is *exact* — so pin it as a
+//! property, not an example. For every swept case: reports are
+//! partitioned across ≥3 shards, each shard aggregates independently
+//! (counter snapshot files + window rings with overlapping windows and
+//! per-shard budget-spend annotations), and
+//!
+//! * `merge_snapshot_files` over the shard files equals single-shard
+//!   aggregation of the whole stream, under **any permutation** of the
+//!   file list;
+//! * ring-v2 merge (`merge_ring`) over the shard rings is bit-identical
+//!   (`encode_ring` bytes) under any merge order, equals the
+//!   single-shard ring, sums window counters, and takes the **max** of
+//!   spend annotations and per-window `eps_nano_max` — the rules the
+//!   coordinator's fresh-fold relies on every tick.
+
+use proptest::prelude::*;
+use trajshare_aggregate::{
+    eps_to_nano, merge_snapshot_files, write_snapshot_file, Aggregator, Report, WindowConfig,
+    WindowedAggregator,
+};
+
+const REGIONS: usize = 12;
+
+/// Deterministic report `i` of sweep `case`: region pair, window, and
+/// ε′ all move with both indices, covering multi-window overlap across
+/// every shard partition the sweep picks.
+fn report(case: u64, i: u64) -> Report {
+    let a = ((i * 7 + case) % REGIONS as u64) as u32;
+    let b = ((a as u64 + 1 + case % 3) % REGIONS as u64) as u32;
+    Report {
+        // Windows 0..=5 under window_len 10 (ring depth 8 below): every
+        // report stays live, so the merge must account for all of them.
+        t: (i * 13 + case * 5) % 60,
+        eps_prime: 0.25 + ((i + case) % 8) as f64 * 0.25,
+        len: 2,
+        unigrams: vec![(0, a), (1, b)],
+        exact: vec![(0, a), (1, b)],
+        transitions: vec![(a, b)],
+    }
+}
+
+/// The case's shard for report `i` — an arbitrary, case-varying
+/// partition (the property must hold for *every* partition).
+fn shard_of(case: u64, i: u64, shards: u64) -> usize {
+    ((i.wrapping_mul(2 * case + 3) ^ (i >> 3)) % shards) as usize
+}
+
+/// A case-derived permutation of `0..n` (rotate + conditional reverse —
+/// enough to exercise non-identity orders in every case).
+fn permutation(case: u64, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.rotate_left((case as usize) % n);
+    if case % 2 == 1 {
+        order.reverse();
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn prop_shard_merges_are_exact_and_permutation_invariant(case in 0u64..240) {
+        let shards = 3 + (case % 3) as usize; // 3, 4, or 5 shards
+        let n_reports = 120 + (case % 50) * 7;
+        let window = WindowConfig { window_len: 10, num_windows: 8 };
+
+        // Single-shard ground truth: every report through one
+        // aggregator and one ring.
+        let mut truth_agg = Aggregator::from_region_tiles(vec![0u16; REGIONS]);
+        let mut truth_ring = WindowedAggregator::new(vec![0u16; REGIONS], window);
+        // Per-shard independent aggregation.
+        let mut shard_aggs: Vec<Aggregator> = (0..shards)
+            .map(|_| Aggregator::from_region_tiles(vec![0u16; REGIONS]))
+            .collect();
+        let mut shard_rings: Vec<WindowedAggregator> = (0..shards)
+            .map(|_| WindowedAggregator::new(vec![0u16; REGIONS], window))
+            .collect();
+        for i in 0..n_reports {
+            let r = report(case, i);
+            truth_agg.ingest(&r);
+            truth_ring.ingest(&r);
+            let s = shard_of(case, i, shards as u64);
+            shard_aggs[s].ingest(&r);
+            shard_rings[s].ingest(&r);
+        }
+        let truth = truth_agg.into_counts();
+        prop_assert_eq!(truth.num_reports, n_reports);
+
+        // Budget-spend annotations: each shard records a different
+        // spend on windows it holds; merge must keep the max per
+        // window. (Spends are books *about* a window, not counters —
+        // summing them would double-account a cluster-wide decision.)
+        for (s, ring) in shard_rings.iter_mut().enumerate() {
+            let ids: Vec<u64> = ring.windows().iter().map(|&(id, _)| id).collect();
+            for id in ids {
+                ring.record_spend(id, eps_to_nano(0.1) * (s as u64 + 1 + id % 2));
+            }
+        }
+        let expected_spends: Vec<(u64, u64)> = truth_ring
+            .windows()
+            .iter()
+            .map(|&(id, _)| {
+                let max = (0..shards)
+                    .map(|s| shard_rings[s].window_spend(id))
+                    .max()
+                    .unwrap();
+                (id, max)
+            })
+            .collect();
+
+        // Snapshot files, merged in two different permutations.
+        let dir = std::env::temp_dir().join(format!(
+            "trajshare-merge-prop-{}-{case}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths: Vec<std::path::PathBuf> = shard_aggs
+            .iter()
+            .enumerate()
+            .map(|(s, agg)| {
+                let p = dir.join(format!("shard-{s}.counts"));
+                write_snapshot_file(&p, agg.counts()).unwrap();
+                p
+            })
+            .collect();
+        let merged_fwd = merge_snapshot_files(&paths).unwrap();
+        let order = permutation(case, shards);
+        let permuted: Vec<std::path::PathBuf> =
+            order.iter().map(|&s| paths[s].clone()).collect();
+        let merged_perm = merge_snapshot_files(&permuted).unwrap();
+        prop_assert_eq!(&merged_fwd, &truth);
+        prop_assert_eq!(&merged_perm, &truth);
+        // Bit-exact, not just structurally equal.
+        prop_assert_eq!(merged_fwd.encode_snapshot(), truth.encode_snapshot());
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Ring merge: forward order vs permuted order vs ground truth.
+        let merge_in = |order: &[usize]| {
+            let mut total = WindowedAggregator::new(vec![0u16; REGIONS], window);
+            for &s in order {
+                total.merge_ring(&shard_rings[s]);
+            }
+            total
+        };
+        let fwd: Vec<usize> = (0..shards).collect();
+        let merged_a = merge_in(&fwd);
+        let merged_b = merge_in(&order);
+        // Permutation invariance, bit-exact on the wire encoding.
+        prop_assert_eq!(merged_a.encode_ring(), merged_b.encode_ring());
+        // Counter exactness vs the single shard: same windows, same
+        // per-window counts, same merged totals, same per-window worst
+        // reporter (eps_nano_max rides inside AggregateCounts equality).
+        let summarize = |ring: &WindowedAggregator| -> Vec<(u64, trajshare_aggregate::AggregateCounts)> {
+            ring.windows().into_iter().map(|(id, c)| (id, c.clone())).collect()
+        };
+        prop_assert_eq!(summarize(&merged_a), summarize(&truth_ring));
+        prop_assert_eq!(merged_a.merged(), truth_ring.merged());
+        // Spend annotations merged as max.
+        prop_assert_eq!(merged_a.window_spends(), expected_spends);
+    }
+}
