@@ -12,6 +12,7 @@
 //! hundreds even for city-scale datasets, so the transition matrix is a few
 //! MB — far cheaper than anything per-user.
 
+use crate::batch::ReportBatch;
 use crate::report::Report;
 use rayon::prelude::*;
 use trajshare_core::RegionSet;
@@ -307,6 +308,14 @@ impl Aggregator {
         accumulate(&mut self.counts, &self.region_tile, report);
     }
 
+    /// Folds a decoded `TSR4` batch column-wise — exactly equivalent to
+    /// `for r in batch.reports() { self.ingest(&r) }` with the
+    /// per-report work hoisted (see `accumulate_columns`). The hot path
+    /// of the batched ingest service.
+    pub fn ingest_columnar(&mut self, batch: &ReportBatch) {
+        accumulate_columns(&mut self.counts, &self.region_tile, &BatchCols::full(batch));
+    }
+
     /// Folds a batch of reports, sharded across rayon workers. Exactly
     /// equivalent to `for r in reports { self.ingest(r) }` — counters are
     /// `u64` sums, so the parallel merge is order-insensitive.
@@ -415,6 +424,114 @@ pub(crate) fn accumulate(counts: &mut AggregateCounts, region_tile: &[u16], repo
     // only after ~2.9×10⁸ maximal reports; saturating keeps that sane.)
     counts.eps_nano_sum = counts.eps_nano_sum.saturating_add(report.eps_nano());
     counts.eps_nano_max = counts.eps_nano_max.max(report.eps_nano());
+}
+
+/// A view of a [`ReportBatch`]'s columns (or any contiguous sub-range of
+/// reports within one — the window ring accumulates per-window runs).
+/// The shared batch key (ε′, |τ|) is what makes column accumulation
+/// report-independent: one ε-grid check and one length bound cover every
+/// observation, so the loops below never dispatch per report.
+pub(crate) struct BatchCols<'a> {
+    pub eps_nano: u64,
+    pub len: u16,
+    pub num_reports: u64,
+    pub uni_pos: &'a [u16],
+    pub uni_region: &'a [u32],
+    pub exact_pos: &'a [u16],
+    pub exact_region: &'a [u32],
+    pub trans_tail: &'a [u32],
+    pub trans_head: &'a [u32],
+}
+
+impl<'a> BatchCols<'a> {
+    /// The whole batch as one column view.
+    pub fn full(batch: &'a ReportBatch) -> Self {
+        BatchCols {
+            eps_nano: batch.eps_nano,
+            len: batch.len,
+            num_reports: batch.num_reports() as u64,
+            uni_pos: &batch.uni_pos,
+            uni_region: &batch.uni_region,
+            exact_pos: &batch.exact_pos,
+            exact_region: &batch.exact_region,
+            trans_tail: &batch.trans_tail,
+            trans_head: &batch.trans_head,
+        }
+    }
+}
+
+/// The columnar accumulation kernel: exactly equivalent to calling
+/// [`accumulate`] on each report of the batch in order, but with the
+/// per-report work hoisted — one hostile-ε check, one `length_hist`
+/// bump, one ε-sum multiply for the whole run, and tight per-column
+/// loops over the observation arrays.
+pub(crate) fn accumulate_columns(
+    counts: &mut AggregateCounts,
+    region_tile: &[u16],
+    cols: &BatchCols<'_>,
+) {
+    if cols.num_reports == 0 {
+        debug_assert!(cols.uni_pos.is_empty() && cols.exact_pos.is_empty());
+        return;
+    }
+    // One shared-key check replaces the per-report hostile-ε test:
+    // every report in the batch claimed the same ε′ by construction.
+    let eps_prime = cols.eps_nano as f64 / 1e9;
+    if !eps_prime.is_finite() || eps_prime <= 0.0 || eps_prime > MAX_EPS_PRIME {
+        counts.rejected += cols.num_reports
+            + cols.uni_pos.len() as u64
+            + cols.exact_pos.len() as u64
+            + cols.trans_tail.len() as u64;
+        return;
+    }
+    let nr = counts.num_regions;
+    let len = cols.len;
+    let last_pos = len.saturating_sub(1);
+    for (&pos, &region) in cols.uni_pos.iter().zip(cols.uni_region) {
+        let r = region as usize;
+        if r >= nr || pos >= len {
+            counts.rejected += 1;
+            continue;
+        }
+        counts.occupancy[r] += 1;
+        counts.tile_occupancy[r * TILES_PER_DAY + region_tile[r] as usize] += 1;
+        counts.num_unigrams += 1;
+    }
+    for (&pos, &region) in cols.exact_pos.iter().zip(cols.exact_region) {
+        let r = region as usize;
+        if r >= nr || pos >= len {
+            counts.rejected += 1;
+            continue;
+        }
+        counts.occupancy_exact[r] += 1;
+        if pos == 0 {
+            counts.starts[r] += 1;
+        }
+        if pos == last_pos {
+            counts.ends[r] += 1;
+        }
+    }
+    for (&tail, &head) in cols.trans_tail.iter().zip(cols.trans_head) {
+        let (t, h) = (tail as usize, head as usize);
+        if t >= nr || h >= nr {
+            counts.rejected += 1;
+            continue;
+        }
+        counts.transitions[t * nr + h] += 1;
+    }
+    let l = len as usize;
+    if counts.length_hist.len() <= l {
+        counts.length_hist.resize(l + 1, 0);
+    }
+    counts.length_hist[l] += cols.num_reports;
+    counts.num_reports += cols.num_reports;
+    // n repeated saturating adds of one nano-ε value e from s₀ give
+    // min(s₀ + n·e, u64::MAX) (induction on n: once saturated, stays
+    // saturated) — so the widened one-shot sum below is bit-identical
+    // to the serial loop.
+    let add = (cols.num_reports as u128) * (cols.eps_nano as u128);
+    counts.eps_nano_sum = (counts.eps_nano_sum as u128 + add).min(u64::MAX as u128) as u64;
+    counts.eps_nano_max = counts.eps_nano_max.max(cols.eps_nano);
 }
 
 /// A convenience: builds the aggregator and ingests in one call.
@@ -590,6 +707,57 @@ mod tests {
         let mut m = clean.clone();
         m.merge(&c);
         assert_eq!(m.eps_nano_max, 32_000_000_000);
+    }
+
+    #[test]
+    fn columnar_accumulation_equals_serial() {
+        // Shared-key batch including out-of-range observations: the
+        // columnar kernel must reject exactly what serial rejects.
+        let reports: Vec<Report> = (0..50u32)
+            .map(|i| {
+                let mut r = toy_report(&[i % 5, (i + 1) % 5, i % 9], 1.25);
+                r.t = 100 + i as u64;
+                r
+            })
+            .collect();
+        let batch = ReportBatch::from_reports(&reports).unwrap();
+        let serial = ingest_all(5, &reports);
+        let mut agg = Aggregator::from_region_tiles(vec![0u16; 5]);
+        agg.ingest_columnar(&batch);
+        assert_eq!(agg.counts(), &serial);
+    }
+
+    #[test]
+    fn columnar_accumulation_rejects_hostile_eps_wholesale() {
+        let reports = vec![toy_report(&[0, 1], MAX_EPS_PRIME * 2.0)];
+        let batch = ReportBatch::from_reports(&reports).unwrap();
+        let serial = ingest_all(4, &reports);
+        let mut agg = Aggregator::from_region_tiles(vec![0u16; 4]);
+        agg.ingest_columnar(&batch);
+        assert_eq!(agg.counts(), &serial);
+        assert_eq!(agg.counts().num_reports, 0);
+        assert!(agg.counts().rejected > 0);
+    }
+
+    #[test]
+    fn columnar_eps_sum_saturates_like_serial() {
+        // Near the u64 ceiling the widened multiply must clamp exactly
+        // where the serial saturating loop does.
+        let reports: Vec<Report> = (0..4).map(|_| toy_report(&[0], MAX_EPS_PRIME)).collect();
+        let batch = ReportBatch::from_reports(&reports).unwrap();
+        let mut serial = ingest_all(2, &reports);
+        let mut agg = Aggregator::from_region_tiles(vec![0u16; 2]);
+        agg.ingest_columnar(&batch);
+        assert_eq!(agg.counts(), &serial);
+        // Force saturation: pre-load both sides to the brink.
+        serial.eps_nano_sum = u64::MAX - 1;
+        let mut col = serial.clone();
+        for r in &reports {
+            accumulate(&mut serial, &[0u16, 0], r);
+        }
+        accumulate_columns(&mut col, &[0u16, 0], &BatchCols::full(&batch));
+        assert_eq!(col, serial);
+        assert_eq!(col.eps_nano_sum, u64::MAX);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!
 //! 1. [`report`] — a compact, serializable per-user [`Report`] extracted
 //!    from `NGramMechanism::perturb_raw` (window multiset `Z`) or
-//!    `ContinuousSharer::share_region`,
+//!    `ContinuousSharer::share_region`, and [`batch`] — the columnar
+//!    `TSR4` batch frame ([`ReportBatch`]) that carries N reports with
+//!    shared header fields hoisted, the unit of work on the hot ingest
+//!    path,
 //! 2. [`ingest`] — sharded, rayon-parallel accumulation into dense
 //!    per-(region, hour-tile) and per-transition counters
 //!    ([`Aggregator`]),
@@ -41,6 +44,7 @@
 //! outputs, so the published synthetic set inherits each user's ε
 //! guarantee unchanged.
 
+pub mod batch;
 pub mod budget;
 pub mod clusterproto;
 pub mod estimate;
@@ -54,6 +58,7 @@ pub mod snapshot;
 pub mod stream;
 pub mod synthesize;
 
+pub use batch::{BatchEncoder, ReportBatch};
 pub use budget::{
     count_divergence, eps_to_nano, l1_divergence, nano_to_eps, AllocationPolicy,
     WindowBudgetAccountant, WindowBudgetConfig, WindowDecision, WindowGrant,
@@ -75,7 +80,7 @@ pub use pipeline::{
     aggregate_and_synthesize_matching_with, aggregate_and_synthesize_with, collect_reports,
     user_seed, SynthesisOutcome,
 };
-pub use report::{DecodeError, Report, StreamDecoder, MAX_FRAME_LEN};
+pub use report::{DecodeError, Report, StreamDecoder, WireFrame, MAX_FRAME_LEN};
 pub use snapshot::{
     crc32, merge_snapshot_files, read_snapshot_file, write_snapshot_file, SnapshotError,
 };

@@ -76,6 +76,9 @@ pub enum DecodeError {
     /// declared counts (payload too short or trailing garbage inside the
     /// frame).
     FrameMismatch,
+    /// A `TSR4` batch frame's trailing CRC-32 does not match its payload
+    /// (see [`crate::batch`]); single-report frames carry no checksum.
+    BadCrc,
 }
 
 impl DecodeError {
@@ -101,6 +104,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::FrameMismatch => {
                 write!(f, "frame length disagrees with report's declared counts")
             }
+            DecodeError::BadCrc => write!(f, "batch frame CRC-32 mismatch"),
         }
     }
 }
@@ -367,11 +371,37 @@ impl Report {
     }
 }
 
+/// One complete wire frame pulled off a connection by
+/// [`StreamDecoder::next_wire_frame`]: either a single-report frame
+/// (`TSR2`/`TSR3`), already decoded, or a `TSR4` batch frame whose raw
+/// payload the caller decodes into its scratch
+/// [`crate::batch::ReportBatch`]. The split keeps the batch path
+/// single-pass: the stream decoder only checks framing and magic, and
+/// the one full validation (sizes, CRC, column sums) happens in
+/// [`crate::batch::ReportBatch::decode_payload_into`].
+#[derive(Debug)]
+pub enum WireFrame<'a> {
+    /// A single-report frame; `payload` is the raw `Report::encode`
+    /// bytes (what a write-ahead log persists verbatim).
+    Single {
+        /// The decoded report.
+        report: Report,
+        /// The frame payload, without the length prefix.
+        payload: &'a [u8],
+    },
+    /// A `TSR4` batch frame, framing-checked but not yet validated.
+    Batch {
+        /// The frame payload, without the length prefix.
+        payload: &'a [u8],
+    },
+}
+
 /// Incremental decoder over a length-prefixed frame stream: feed it raw
 /// socket (or log) bytes with [`StreamDecoder::extend`], pull complete
-/// reports with [`StreamDecoder::next_report`]. Consumed bytes are
-/// compacted away lazily, so the buffer stays proportional to one frame
-/// plus one read chunk.
+/// reports with [`StreamDecoder::next_report`] (single-report streams)
+/// or mixed single/batch frames with [`StreamDecoder::next_wire_frame`].
+/// Consumed bytes are compacted away lazily, so the buffer stays
+/// proportional to one frame plus one read chunk.
 #[derive(Debug, Default)]
 pub struct StreamDecoder {
     buf: Vec<u8>,
@@ -419,10 +449,66 @@ impl StreamDecoder {
         self.next_frame().map(|f| f.map(|(report, _)| report))
     }
 
+    /// Decodes the next complete frame of *any* kind — single-report
+    /// (`TSR2`/`TSR3`, decoded here) or batch (`TSR4`, returned as raw
+    /// payload for the caller's scratch [`crate::batch::ReportBatch`]).
+    /// Same contract as [`StreamDecoder::next_frame`] otherwise.
+    pub fn next_wire_frame(&mut self) -> Result<Option<WireFrame<'_>>, DecodeError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[0..4].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(DecodeError::FrameTooLarge { len: len as u64 });
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let (start, end) = (self.pos + 4, self.pos + total);
+        if self.buf[start..end].starts_with(&crate::batch::ReportBatch::MAGIC) {
+            self.pos += total;
+            return Ok(Some(WireFrame::Batch {
+                payload: &self.buf[start..end],
+            }));
+        }
+        match Report::decode(&self.buf[start..end]) {
+            Ok(report) => {
+                self.pos += total;
+                Ok(Some(WireFrame::Single {
+                    report,
+                    payload: &self.buf[start..end],
+                }))
+            }
+            Err(DecodeError::BadMagic) => Err(DecodeError::BadMagic),
+            // The frame is complete, so in-payload incompleteness or
+            // excess is corruption — mirror `decode_frame`.
+            Err(DecodeError::Truncated { .. }) | Err(DecodeError::TrailingBytes) => {
+                Err(DecodeError::FrameMismatch)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Bytes buffered but not yet consumed by a decoded frame.
     pub fn pending(&self) -> usize {
         self.buf.len() - self.pos
     }
+}
+
+/// Hand-builds a length-prefixed v2 (`TSR2`) frame for `report` — the v3
+/// bytes minus the timestamp field, under the old magic. Tests only: v2
+/// is never emitted by production code.
+#[cfg(test)]
+pub(crate) fn tests_v2_frame(report: &Report) -> Vec<u8> {
+    let v3 = report.encode();
+    let mut v2 = Vec::with_capacity(v3.len() - 8);
+    v2.extend_from_slice(&Report::MAGIC_V2);
+    v2.extend_from_slice(&v3[12..]);
+    let mut frame = (v2.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&v2);
+    frame
 }
 
 #[cfg(test)]

@@ -31,8 +31,9 @@
 //! single connection may advance the watermark (see
 //! `trajshare_service::server`).
 
+use crate::batch::ReportBatch;
 use crate::estimate::{norm_sub, EmChannel, EstimatorBackend, IbuSolver};
-use crate::ingest::{accumulate, AggregateCounts};
+use crate::ingest::{accumulate, accumulate_columns, AggregateCounts, BatchCols};
 use crate::linalg::CsrPattern;
 use crate::markov::{joint_to_feasible_rows, normalize_counts, MobilityModel};
 use crate::report::Report;
@@ -258,6 +259,61 @@ impl WindowedAggregator {
         accumulate(&mut slot.counts, &self.region_tile, report);
         accumulate(&mut self.merged, &self.region_tile, report);
         WindowIngest::Accepted
+    }
+
+    /// Folds a decoded `TSR4` batch into the ring, column-wise: the
+    /// batch is walked as runs of consecutive reports sharing a window
+    /// id, and each run is accumulated with one pair of
+    /// `accumulate_columns` calls (slot + merged view) instead of
+    /// per-report dispatch. Bit-identical to
+    /// `for r in batch.reports() { self.ingest(&r) }` — the ring
+    /// advances at the same points, counters are order-insensitive
+    /// sums, and late reports are dropped per run exactly as serial
+    /// ingest drops them per report. Returns `(accepted, late)` report
+    /// counts.
+    pub fn ingest_batch(&mut self, batch: &ReportBatch) -> (u64, u64) {
+        let n = batch.num_reports();
+        let span = self.config.num_windows as u64;
+        let (mut accepted, mut late) = (0u64, 0u64);
+        let (mut i, mut u0, mut e0, mut t0) = (0usize, 0usize, 0usize, 0usize);
+        while i < n {
+            let w = self.config.window_of(batch.t_of(i));
+            let (mut j, mut u1, mut e1, mut t1) = (i, u0, e0, t0);
+            while j < n && self.config.window_of(batch.t_of(j)) == w {
+                u1 += batch.n_uni[j] as usize;
+                e1 += batch.n_exact[j] as usize;
+                t1 += batch.n_trans[j] as usize;
+                j += 1;
+            }
+            let run = (j - i) as u64;
+            if w > self.newest {
+                self.advance_to(w);
+            } else if w < self.oldest_window() {
+                self.late += run;
+                late += run;
+                (i, u0, e0, t0) = (j, u1, e1, t1);
+                continue;
+            }
+            let cols = BatchCols {
+                eps_nano: batch.eps_nano,
+                len: batch.len,
+                num_reports: run,
+                uni_pos: &batch.uni_pos[u0..u1],
+                uni_region: &batch.uni_region[u0..u1],
+                exact_pos: &batch.exact_pos[e0..e1],
+                exact_region: &batch.exact_region[e0..e1],
+                trans_tail: &batch.trans_tail[t0..t1],
+                trans_head: &batch.trans_head[t0..t1],
+            };
+            let slot = &mut self.slots[(w % span) as usize];
+            debug_assert!(slot.id.is_none() || slot.id == Some(w), "stale slot");
+            slot.id = Some(w);
+            accumulate_columns(&mut slot.counts, &self.region_tile, &cols);
+            accumulate_columns(&mut self.merged, &self.region_tile, &cols);
+            accepted += run;
+            (i, u0, e0, t0) = (j, u1, e1, t1);
+        }
+        (accepted, late)
     }
 
     /// Advances the ring to `newest = w`, retiring every window that
@@ -718,6 +774,84 @@ mod tests {
         assert_eq!(ring.ingest(&toy_report(7, 5)), WindowIngest::Late);
         assert_eq!(ring.late(), 1);
         assert_eq!(ring.merged(), &recount(&all, config, 3));
+    }
+
+    #[test]
+    fn batched_ring_ingest_is_bit_identical_to_serial() {
+        // One batch mixing windows (with an in-batch advance), then a
+        // far jump, then a batch whose first run is late: the batched
+        // path must land byte-identically on the serial ring.
+        let config = cfg(10, 3);
+        let fixed = |i: u32, t: u64| {
+            let mut r = toy_report(i, t);
+            r.eps_prime = 0.75; // shared batch key
+            r
+        };
+        let chunks: Vec<Vec<Report>> = vec![
+            vec![
+                fixed(0, 0),
+                fixed(1, 5),
+                fixed(2, 12),
+                fixed(3, 25),
+                fixed(4, 8),
+            ],
+            vec![fixed(5, 35), fixed(6, 40)],
+            vec![fixed(7, 2), fixed(8, 41)],
+        ];
+        let mut serial = fresh(config);
+        for r in chunks.iter().flatten() {
+            serial.ingest(r);
+        }
+        let mut batched = fresh(config);
+        let (mut accepted, mut late) = (0u64, 0u64);
+        for chunk in &chunks {
+            let batch = ReportBatch::from_reports(chunk).unwrap();
+            let (a, l) = batched.ingest_batch(&batch);
+            accepted += a;
+            late += l;
+        }
+        assert_eq!(accepted, 8);
+        assert_eq!(late, 1);
+        assert_eq!(batched.late(), serial.late());
+        assert_eq!(batched.evicted_windows(), serial.evicted_windows());
+        assert_eq!(batched.merged(), serial.merged());
+        assert_eq!(batched.encode_ring(), serial.encode_ring());
+    }
+
+    proptest! {
+        #[test]
+        fn batched_ring_ingest_matches_serial_on_random_streams(
+            ts in proptest::collection::vec(0u64..120, 1..200),
+            chunk in 1usize..9,
+        ) {
+            // Chunks are sorted so each satisfies the batch contract
+            // (first report holds the minimum t); the serial reference
+            // ingests the identical re-ordered stream.
+            let config = cfg(10, 4);
+            let mut serial = fresh(config);
+            let mut batched = fresh(config);
+            for (ci, ts) in ts.chunks(chunk).enumerate() {
+                let mut ts = ts.to_vec();
+                ts.sort_unstable();
+                let reports: Vec<Report> = ts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| {
+                        let mut r = toy_report((ci * 31 + i) as u32, t);
+                        r.eps_prime = 1.25;
+                        r
+                    })
+                    .collect();
+                for r in &reports {
+                    serial.ingest(r);
+                }
+                let batch = ReportBatch::from_reports(&reports).unwrap();
+                batched.ingest_batch(&batch);
+            }
+            prop_assert_eq!(batched.merged(), serial.merged());
+            prop_assert_eq!(batched.late(), serial.late());
+            prop_assert_eq!(batched.encode_ring(), serial.encode_ring());
+        }
     }
 
     #[test]

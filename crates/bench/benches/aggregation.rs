@@ -74,7 +74,7 @@ fn bench_ingestion_scale(c: &mut Criterion) {
         headers: vec!["users".into(), "ingest_s".into(), "reports_per_s".into()],
         rows,
     };
-    let _ = write_json(&report, std::path::Path::new("results"));
+    let _ = write_json(&report, &trajshare_bench::report::results_dir());
 }
 
 fn bench_model_and_synthesis(c: &mut Criterion) {
@@ -220,7 +220,7 @@ fn bench_estimate_backends(c: &mut Criterion) {
         ],
         rows,
     };
-    let _ = write_json(&report, std::path::Path::new("results"));
+    let _ = write_json(&report, &trajshare_bench::report::results_dir());
 }
 
 criterion_group!(

@@ -224,7 +224,7 @@ fn bench_cluster(c: &mut Criterion) {
         ],
         rows,
     };
-    let _ = write_json(&report, std::path::Path::new("results"));
+    let _ = write_json(&report, &trajshare_bench::report::results_dir());
 }
 
 criterion_group!(benches, bench_cluster);

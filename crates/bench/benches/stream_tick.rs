@@ -169,7 +169,7 @@ fn bench_stream_tick(c: &mut Criterion) {
             ],
         ],
     };
-    let _ = write_json(&report, std::path::Path::new("results"));
+    let _ = write_json(&report, &trajshare_bench::report::results_dir());
 }
 
 criterion_group!(benches, bench_stream_tick);

@@ -76,10 +76,10 @@ impl ExpParams {
 
 /// Prints and persists a batch of reports.
 pub fn emit(reports: &[Reported]) {
-    let dir = std::path::Path::new("results");
+    let dir = crate::report::results_dir();
     for r in reports {
         r.print();
-        if let Err(e) = crate::report::write_json(r, dir) {
+        if let Err(e) = crate::report::write_json(r, &dir) {
             eprintln!("warning: could not write results JSON: {e}");
         }
     }

@@ -54,6 +54,15 @@ impl Reported {
     }
 }
 
+/// The workspace-level `results/` directory, resolved from this crate's
+/// manifest rather than the process CWD — `cargo bench` runs bench
+/// binaries from the package directory while `cargo run` uses the
+/// invocation directory, and result artifacts must land in one place
+/// either way (they are checked in).
+pub fn results_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
 /// Writes the report as JSON under `results/<id>.json` (creating the
 /// directory), so `run_all` can assemble EXPERIMENTS.md.
 pub fn write_json(report: &Reported, results_dir: &Path) -> std::io::Result<()> {

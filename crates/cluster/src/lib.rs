@@ -16,11 +16,12 @@
 //!   is partition-independent, the key only shapes load balance and
 //!   locality, and a router may freely fail a batch over to another
 //!   live worker.
-//! * [`router`] — `routerd`'s front door: accepts the existing TSR3
-//!   client protocol unchanged, routes each report to its worker over
-//!   per-worker bounded queues (backpressure by shedding, exactly like
-//!   `ingestd`'s accept queue), batches uplink writes, reconnects with
-//!   backoff, and acks clients only with worker-confirmed durable
+//! * [`router`] — `routerd`'s front door: accepts the existing
+//!   single-report client protocol unchanged plus `TSR4` batch frames,
+//!   routes each report to its worker over per-worker bounded queues
+//!   (backpressure by shedding, exactly like `ingestd`'s accept
+//!   queue), re-frames uplink writes as `TSR4` batches, reconnects
+//!   with backoff, and acks clients only with worker-confirmed durable
 //!   counts. A batch whose write already started is **never retried**
 //!   (the worker keeps everything it ingested before a failure, so a
 //!   retry would double-count; the affected reports simply go un-acked

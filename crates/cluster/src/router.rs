@@ -1,24 +1,36 @@
-//! `routerd`'s front door: TSR3 in, per-worker uplinks out.
+//! `routerd`'s front door: TSR2/TSR3/TSR4 in, batched per-worker
+//! uplinks out.
 //!
 //! ```text
 //!            ┌──────────┐ conn queue ┌─────────────┐ per-worker  ┌─────────┐
 //!  clients ─▶│ acceptor │──(bounded)▶│ client      │──(bounded)─▶│ uplink  │──▶ ingestd w
-//!            └──────────┘  full ⇒    │ handlers    │  report     │ threads │    (TSR3)
+//!            └──────────┘  full ⇒    │ handlers    │  report     │ threads │    (TSR4)
 //!                          refuse    │ (route by   │  queues     └─────────┘
 //!                                    │  hash ring) │  full ⇒ shed
 //!                                    └─────────────┘
 //! ```
 //!
 //! Clients speak the unchanged single-node protocol: stream
-//! `Report::encode_frame` frames, half-close, read a `u64` ack. The
-//! router validates each frame, picks its worker by consistent hash,
+//! `Report::encode_frame` frames (or `TSR4` batch frames), half-close,
+//! read `u64` acks — the last one is the durable total. The router
+//! validates each frame, picks each report's worker by consistent hash,
 //! and enqueues it on that worker's bounded queue; uplink threads drain
-//! the queues in batches, each batch shipped over one fresh worker
-//! connection (the worker's ack protocol is stream-to-EOF), and worker
-//! acks propagate back to the originating client connections in batch
-//! order. A client's ack therefore certifies exactly what the
-//! single-node ack certifies: that many reports validated, logged, and
-//! flushed by a worker.
+//! the queues in batches, each batch re-framed as `TSR4` batch frames
+//! and shipped over one fresh worker connection (the worker's ack
+//! protocol is stream-to-EOF, last ack wins), and worker acks propagate
+//! back to the originating client connections in batch order. A
+//! client's ack therefore certifies exactly what the single-node ack
+//! certifies: that many reports validated, logged, and flushed by a
+//! worker.
+//!
+//! A connection that sends `TSR4` frames additionally receives
+//! *cumulative* acks opportunistically mid-stream (written between
+//! reads, whenever more of its reports have settled durable), so a
+//! batching client that loses the router mid-upload still holds a
+//! worker-certified floor — a crash costs it the in-flight batches, not
+//! the whole connection's progress. Connections that only ever send
+//! single-report frames see the classic wire exchange, byte for byte:
+//! one ack at EOF.
 //!
 //! **Failure semantics — the double-count rule.** A worker keeps every
 //! report it ingested from a stream that later failed (each frame is an
@@ -39,7 +51,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use trajshare_aggregate::StreamDecoder;
+use trajshare_aggregate::{BatchEncoder, Report, ReportBatch, StreamDecoder, WireFrame};
 
 /// Router deployment shape.
 #[derive(Debug, Clone)]
@@ -142,11 +154,12 @@ struct ConnTally {
     done: AtomicU64,
 }
 
-/// One report in flight to a worker: the re-framed wire bytes plus the
-/// originating connection's tally.
+/// One report in flight to a worker: the validated report plus the
+/// originating connection's tally. The uplink re-frames queue drains as
+/// `TSR4` batch frames, so the queue carries decoded reports, not wire
+/// bytes.
 struct RoutedReport {
-    /// `u32` length prefix + the validated payload, ready to write.
-    frame: Vec<u8>,
+    report: Report,
     tally: Arc<ConnTally>,
 }
 
@@ -329,9 +342,19 @@ fn handle_client(
     let tally = Arc::new(ConnTally::default());
     let mut decoder = StreamDecoder::new();
     let mut chunk = [0u8; 64 * 1024];
+    // Batch-frame decode scratch (reused across frames) and a reusable
+    // buffer for re-encoding a batched report's payload, which the
+    // routing key hashes for multi-point reports.
+    let mut batch_scratch = ReportBatch::new();
+    let mut key_buf = Vec::new();
     // Reports enqueued toward workers (the denominator the EOF wait
     // compares `done` against).
     let mut sent = 0u64;
+    // Batch-frame connections get cumulative acks opportunistically
+    // mid-stream; single-frame connections keep the classic one-ack-at-
+    // EOF exchange byte for byte.
+    let mut saw_batch = false;
+    let mut last_ack = 0u64;
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
@@ -368,14 +391,11 @@ fn handle_client(
             Ok(n) => {
                 decoder.extend(&chunk[..n]);
                 loop {
-                    match decoder.next_frame() {
-                        Ok(Some((report, payload))) => {
+                    match decoder.next_wire_frame() {
+                        Ok(Some(WireFrame::Single { report, payload })) => {
                             let worker = ring.worker_for(report_key(&report, payload));
-                            let mut frame = Vec::with_capacity(4 + payload.len());
-                            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-                            frame.extend_from_slice(payload);
                             let routed = RoutedReport {
-                                frame,
+                                report,
                                 tally: Arc::clone(&tally),
                             };
                             if enqueue(&txs[worker], routed, config.enqueue_timeout, stop) {
@@ -388,9 +408,44 @@ fn handle_client(
                                 stats.bump(&stats.routed_failed);
                             }
                         }
+                        Ok(Some(WireFrame::Batch { payload })) => {
+                            saw_batch = true;
+                            if batch_scratch.decode_payload_into(payload).is_err() {
+                                stats.bump(&stats.disconnected_protocol);
+                                return;
+                            }
+                            for i in 0..batch_scratch.num_reports() {
+                                let report = batch_scratch.report_at(i);
+                                key_buf.clear();
+                                report.encode_frame_into(&mut key_buf);
+                                let worker = ring.worker_for(report_key(&report, &key_buf[4..]));
+                                let routed = RoutedReport {
+                                    report,
+                                    tally: Arc::clone(&tally),
+                                };
+                                if enqueue(&txs[worker], routed, config.enqueue_timeout, stop) {
+                                    sent += 1;
+                                } else {
+                                    stats.bump(&stats.routed_failed);
+                                }
+                            }
+                        }
                         Ok(None) => break,
                         Err(_) => {
                             stats.bump(&stats.disconnected_protocol);
+                            return;
+                        }
+                    }
+                }
+                // Opportunistic mid-stream ack for batching clients:
+                // cumulative, monotone, never ahead of worker acks —
+                // the client takes the last one it reads.
+                if saw_batch {
+                    let acked = tally.acked.load(Ordering::Acquire);
+                    if acked > last_ack {
+                        last_ack = acked;
+                        if stream.write_all(&acked.to_le_bytes()).is_err() {
+                            stats.bump(&stats.io_errors);
                             return;
                         }
                     }
@@ -514,7 +569,7 @@ fn ship_batch(
                 if w != home {
                     stats.bump(&stats.rerouted_batches);
                 }
-                match write_and_ack(stream, &batch, config.read_timeout) {
+                match write_and_ack(stream, &batch, config) {
                     Ok(acked) => settle_batch(&batch, acked, stats),
                     Err(_) => {
                         // The write started: the worker may hold any
@@ -543,7 +598,8 @@ fn ship_batch(
 
 /// Resolves every report in the batch: the first `acked` (worker acks
 /// attribute FIFO — the worker ingests frames in write order, and its
-/// ack is a single count) are confirmed, the rest failed.
+/// last cumulative ack counts the stream prefix it made durable) are
+/// confirmed, the rest failed.
 fn settle_batch(batch: &[RoutedReport], acked: u64, stats: &RouterStats) {
     for (i, r) in batch.iter().enumerate() {
         if (i as u64) < acked {
@@ -581,29 +637,99 @@ fn connect_with_backoff(
     None
 }
 
-/// Streams the batch's frames over one connection, half-closes, reads
-/// the worker's `u64` ack.
+/// Re-frames the batch as `TSR4` batch frames (one frame per run of
+/// reports sharing an ε′/|τ| key, capped at `batch_max`), streams them
+/// over one connection, half-closes, and returns the worker's *last*
+/// cumulative `u64` ack. Per-frame acks arriving mid-write are drained
+/// without blocking so a large batch can't deadlock against the
+/// worker's ack writes.
 fn write_and_ack(
     mut stream: TcpStream,
     batch: &[RoutedReport],
-    read_timeout: Duration,
+    config: &RouterConfig,
 ) -> std::io::Result<u64> {
     stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(read_timeout))?;
-    // Coalesce frames into large writes, same as the client library.
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    let mut enc = BatchEncoder::new(config.batch_max.max(1));
     let mut buf = Vec::with_capacity(256 * 1024);
+    let mut acks = UplinkAcks::default();
     for r in batch {
-        buf.extend_from_slice(&r.frame);
+        enc.push(&r.report, &mut buf);
         if buf.len() >= 192 * 1024 {
             stream.write_all(&buf)?;
             buf.clear();
+            acks.drain_nonblocking(&mut stream)?;
         }
     }
+    enc.flush(&mut buf);
     if !buf.is_empty() {
         stream.write_all(&buf)?;
     }
     stream.shutdown(Shutdown::Write)?;
-    let mut ack = [0u8; 8];
-    stream.read_exact(&mut ack)?;
-    Ok(u64::from_le_bytes(ack))
+    acks.read_to_eof(&mut stream)
+}
+
+/// Reassembles the worker's 8-byte cumulative acks from however the
+/// socket fragments them, keeping the last complete one (the acks are
+/// cumulative, so the last is the durable total).
+#[derive(Default)]
+struct UplinkAcks {
+    partial: [u8; 8],
+    have: usize,
+    last: u64,
+    seen: bool,
+}
+
+impl UplinkAcks {
+    fn feed(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.partial[self.have] = b;
+            self.have += 1;
+            if self.have == 8 {
+                self.have = 0;
+                self.last = u64::from_le_bytes(self.partial);
+                self.seen = true;
+            }
+        }
+    }
+
+    fn drain_nonblocking(&mut self, stream: &mut TcpStream) -> std::io::Result<()> {
+        stream.set_nonblocking(true)?;
+        let mut buf = [0u8; 1024];
+        let res = loop {
+            match stream.read(&mut buf) {
+                // Early close surfaces on the next write or final read.
+                Ok(0) => break Ok(()),
+                Ok(n) => self.feed(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => break Err(e),
+            }
+        };
+        stream.set_nonblocking(false)?;
+        res
+    }
+
+    /// Blocks to EOF (bounded by the socket read timeout) and returns
+    /// the last cumulative ack. A worker that closed without ever
+    /// acking is an error — the caller settles the batch at zero, the
+    /// under-ack-safe direction.
+    fn read_to_eof(mut self, stream: &mut TcpStream) -> std::io::Result<u64> {
+        let mut buf = [0u8; 1024];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => self.feed(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if !self.seen {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "worker closed before any ack",
+            ));
+        }
+        Ok(self.last)
+    }
 }

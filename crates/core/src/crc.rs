@@ -1,13 +1,25 @@
 //! The one CRC-32 implementation every self-validating blob in the
 //! workspace shares (counts snapshots, WAL records, window rings, the
-//! budget ledger, and `TSRG` region-graph blobs). Keeping a single
-//! definition here — the crate everything else depends on — means a
-//! polynomial or reflection tweak can never silently diverge between
-//! codecs.
+//! budget ledger, `TSR4` batch frames, and `TSRG` region-graph blobs).
+//! Keeping a single definition here — the crate everything else depends
+//! on — means a polynomial or reflection tweak can never silently
+//! diverge between codecs.
+//!
+//! The kernel is slice-by-8: eight derived tables let the hot loop fold
+//! eight input bytes per iteration instead of one. On the batched
+//! ingest path the CRC is computed over every payload byte up to three
+//! times (client frame encode, server decode validation, WAL record
+//! header), so the byte-at-a-time fold was the single largest per-report
+//! cost; slice-by-8 is worth ~4-6x on it. [`crc32_extend`] additionally
+//! lets a caller who already verified a prefix continue the checksum
+//! over a few more bytes instead of rescanning the whole buffer.
 
-/// IEEE CRC-32 lookup table, built at compile time.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// IEEE CRC-32 slice-by-8 lookup tables, built at compile time. Table 0
+/// is the classic byte-at-a-time table; table `k` advances a byte `k`
+/// positions further through the shift register, so one iteration can
+/// consume eight bytes with eight independent lookups.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut t = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -20,27 +32,93 @@ const CRC_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
-        table[i] = c;
+        t[0][i] = c;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            t[k][i] = (t[k - 1][i] >> 8) ^ t[0][(t[k - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
 };
+
+/// Folds `data` into a raw (pre-inversion) CRC register state.
+fn update(mut crc: u32, data: &[u8]) -> u32 {
+    let t = &CRC_TABLES;
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
 
 /// IEEE CRC-32 (the zlib/PNG polynomial, reflected) of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
-    !data.iter().fold(!0u32, |crc, &b| {
-        (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize]
-    })
+    !update(!0, data)
+}
+
+/// Continues a finished [`crc32`] over more bytes:
+/// `crc32_extend(crc32(a), b) == crc32(a ++ b)`. Lets the batch decoder
+/// hand the WAL a whole-payload CRC after verifying the payload's own
+/// trailing checksum, without a third full pass over the bytes.
+pub fn crc32_extend(crc: u32, data: &[u8]) -> u32 {
+    !update(!crc, data)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The reference byte-at-a-time fold the slice-by-8 kernel replaced.
+    fn crc32_reference(data: &[u8]) -> u32 {
+        !data.iter().fold(!0u32, |crc, &b| {
+            (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize]
+        })
+    }
+
     #[test]
     fn crc32_matches_known_vectors() {
         // Standard IEEE CRC-32 check values.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn slice_by_8_matches_reference_at_every_length() {
+        // Exercise every alignment of the 8-byte inner loop plus the
+        // scalar remainder, on non-trivial data.
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(0x9E37) >> 3) as u8)
+            .collect();
+        for n in 0..data.len() {
+            assert_eq!(crc32(&data[..n]), crc32_reference(&data[..n]), "len {n}");
+        }
+    }
+
+    #[test]
+    fn extend_continues_a_finished_crc() {
+        let data: Vec<u8> = (0..100u8).collect();
+        for split in 0..data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(crc32_extend(crc32(a), b), crc32(&data), "split {split}");
+        }
+        assert_eq!(crc32_extend(crc32(b"abc"), b""), crc32(b"abc"));
     }
 }

@@ -65,7 +65,7 @@ pub mod regiongraph;
 pub use attack::WindowAdversary;
 pub use config::{MechanismConfig, MergeDimension, ReconstructionSolver};
 pub use continuous::ContinuousSharer;
-pub use crc::crc32;
+pub use crc::{crc32, crc32_extend};
 pub use decomposition::decompose;
 pub use graphcodec::{
     decode_region_graph, encode_region_graph, read_region_graph_file, write_region_graph_file,

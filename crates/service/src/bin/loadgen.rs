@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! loadgen (--addr HOST:PORT | --connect HOST:PORT ...) --reports N --regions R
-//!         [--connections C] [--len L] [--eps E] [--seed S]
+//!         [--connections C] [--batch B] [--len L] [--eps E] [--seed S]
 //!         [--t-base T] [--t-step S]
 //! ```
 //!
@@ -11,6 +11,12 @@
 //! `C` parallel connections, and prints a JSON summary with achieved
 //! reports/s. Exits non-zero if any report went un-acked — which makes
 //! it a durability assertion, not just a traffic source.
+//!
+//! `--batch B` packs up to `B` reports per `TSR4` batch frame (default 1
+//! = classic single-report frames). Either way each connection
+//! pre-encodes its whole slice once before the first byte hits the
+//! socket, so the measured rate is the wire + server path, not client
+//! serialization.
 //!
 //! `--connect` is repeatable: connections are assigned round-robin
 //! across every given target, which drives N `ingestd` workers directly
@@ -24,12 +30,12 @@
 use std::net::SocketAddr;
 use std::time::Instant;
 use trajshare_aggregate::Report;
-use trajshare_service::stream_reports_multi;
+use trajshare_service::{encode_wire_multi, stream_wires};
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen (--addr HOST:PORT | --connect HOST:PORT ...) --reports N --regions R \
-         [--connections C] [--len L] [--eps E] [--seed S] [--t-base T] [--t-step S]"
+         [--connections C] [--batch B] [--len L] [--eps E] [--seed S] [--t-base T] [--t-step S]"
     );
     std::process::exit(2)
 }
@@ -65,6 +71,7 @@ fn main() {
     let mut reports: Option<usize> = None;
     let mut regions: Option<u32> = None;
     let mut connections = 4usize;
+    let mut batch = 1usize;
     let mut len = 3u16;
     let mut eps = 1.0f64;
     let mut seed = 7u64;
@@ -79,6 +86,7 @@ fn main() {
             "--reports" => reports = v.parse().ok(),
             "--regions" => regions = v.parse().ok(),
             "--connections" => connections = v.parse().unwrap_or_else(|_| usage()),
+            "--batch" => batch = v.parse().unwrap_or_else(|_| usage()),
             "--len" => len = v.parse().unwrap_or_else(|_| usage()),
             "--eps" => eps = v.parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = v.parse().unwrap_or_else(|_| usage()),
@@ -94,7 +102,7 @@ fn main() {
         usage()
     }
 
-    let batch: Vec<Report> = (0..n as u64)
+    let stream: Vec<Report> = (0..n as u64)
         .map(|i| {
             toy_report(
                 i,
@@ -106,12 +114,15 @@ fn main() {
             )
         })
         .collect();
+    let t_enc = Instant::now();
+    let wires = encode_wire_multi(&targets, &stream, connections.max(1), batch);
+    let encode_s = t_enc.elapsed().as_secs_f64();
     let t0 = Instant::now();
-    let acked =
-        stream_reports_multi(&targets, &batch, connections.max(1)).expect("streaming failed");
+    let acked = stream_wires(&wires).expect("streaming failed");
     let secs = t0.elapsed().as_secs_f64();
     println!(
-        "{{\"sent\": {n}, \"acked\": {acked}, \"secs\": {secs:.3}, \"reports_per_s\": {:.0}}}",
+        "{{\"sent\": {n}, \"acked\": {acked}, \"encode_s\": {encode_s:.3}, \"secs\": {secs:.3}, \
+         \"reports_per_s\": {:.0}}}",
         acked as f64 / secs.max(1e-9)
     );
     if acked != n as u64 {

@@ -8,7 +8,7 @@
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
-use trajshare_aggregate::Report;
+use trajshare_aggregate::{BatchEncoder, Report};
 
 /// Streams one report slice over a single connection and returns the
 /// server's ack (reports accepted and made durable).
@@ -81,4 +81,185 @@ pub fn stream_reports_multi(
         }
         Ok(total)
     })
+}
+
+/// Pre-encodes `reports` as wire bytes: `TSR4` batch frames of up to
+/// `batch` reports when `batch > 1` (a frame flushes early whenever the
+/// next report's ε′/|τ| key differs — see
+/// `trajshare_aggregate::BatchEncoder`), plain single-report frames when
+/// `batch <= 1`. Encoding once up front keeps serialization out of the
+/// timed send path entirely.
+pub fn encode_wire(reports: &[Report], batch: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(reports.len() * 64);
+    if batch <= 1 {
+        for r in reports {
+            r.encode_frame_into(&mut out);
+        }
+    } else {
+        let mut enc = BatchEncoder::new(batch);
+        for r in reports {
+            enc.push(r, &mut out);
+        }
+        enc.flush(&mut out);
+    }
+    out
+}
+
+/// Streams pre-encoded wire bytes over one connection, half-closes, and
+/// returns the server's *last* cumulative ack (the total accepted and
+/// durable). Batch-frame acks arriving mid-stream are drained
+/// opportunistically between writes — they are cumulative, so the last
+/// one wins — which also keeps a long upload from deadlocking against
+/// the server's per-batch ack writes on a full socket buffer.
+pub fn stream_bytes_once(addr: SocketAddr, wire: &[u8]) -> std::io::Result<u64> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut acks = AckReader::default();
+    for chunk in wire.chunks(256 * 1024) {
+        stream.write_all(chunk)?;
+        acks.drain_nonblocking(&mut stream)?;
+    }
+    stream.shutdown(Shutdown::Write)?;
+    acks.read_to_eof(&mut stream)
+}
+
+/// [`stream_once`] with `TSR4` batch frames: one connection, batches of
+/// up to `batch` reports, returns the server's final cumulative ack.
+pub fn stream_once_batched(
+    addr: SocketAddr,
+    reports: &[Report],
+    batch: usize,
+) -> std::io::Result<u64> {
+    stream_bytes_once(addr, &encode_wire(reports, batch))
+}
+
+/// [`stream_reports`] with `TSR4` batch frames.
+pub fn stream_reports_batched(
+    addr: SocketAddr,
+    reports: &[Report],
+    connections: usize,
+    batch: usize,
+) -> std::io::Result<u64> {
+    stream_reports_multi_batched(&[addr], reports, connections, batch)
+}
+
+/// [`stream_reports_multi`] with `TSR4` batch frames: each connection's
+/// slice is pre-encoded once (off the socket), then streamed, taking
+/// the last cumulative ack. `batch <= 1` sends classic single-report
+/// frames (still pre-encoded). Callers that want serialization out of
+/// their timing entirely use [`encode_wire_multi`] + [`stream_wires`]
+/// directly — this is just the two glued together.
+pub fn stream_reports_multi_batched(
+    addrs: &[SocketAddr],
+    reports: &[Report],
+    connections: usize,
+    batch: usize,
+) -> std::io::Result<u64> {
+    stream_wires(&encode_wire_multi(addrs, reports, connections, batch))
+}
+
+/// Splits `reports` into one contiguous slice per connection (round-
+/// robin over `addrs`, at least one connection per address) and
+/// pre-encodes each slice with [`encode_wire`]. The returned
+/// `(target, wire)` pairs are everything [`stream_wires`] needs, so the
+/// one-time serialization cost is fully separated from the send path —
+/// `loadgen` and the ingest bench encode first, start the clock, then
+/// stream.
+pub fn encode_wire_multi(
+    addrs: &[SocketAddr],
+    reports: &[Report],
+    connections: usize,
+    batch: usize,
+) -> Vec<(SocketAddr, Vec<u8>)> {
+    assert!(!addrs.is_empty(), "need at least one target address");
+    let connections = connections
+        .max(addrs.len())
+        .clamp(1, reports.len().max(1))
+        .max(1);
+    let per = reports.len().div_ceil(connections);
+    reports
+        .chunks(per.max(1))
+        .enumerate()
+        .map(|(i, slice)| (addrs[i % addrs.len()], encode_wire(slice, batch)))
+        .collect()
+}
+
+/// Streams pre-encoded wires ([`encode_wire_multi`]) in parallel, one
+/// connection per entry, and returns the summed final cumulative acks.
+pub fn stream_wires(wires: &[(SocketAddr, Vec<u8>)]) -> std::io::Result<u64> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = wires
+            .iter()
+            .map(|(addr, wire)| scope.spawn(move || stream_bytes_once(*addr, wire)))
+            .collect();
+        let mut total = 0u64;
+        for h in handles {
+            total += h.join().expect("client thread panicked")?;
+        }
+        Ok(total)
+    })
+}
+
+/// Reassembles the server's 8-byte cumulative acks from however the
+/// socket fragments them, remembering the last complete one.
+#[derive(Default)]
+struct AckReader {
+    partial: [u8; 8],
+    have: usize,
+    last: u64,
+    seen: bool,
+}
+
+impl AckReader {
+    fn feed(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.partial[self.have] = b;
+            self.have += 1;
+            if self.have == 8 {
+                self.have = 0;
+                self.last = u64::from_le_bytes(self.partial);
+                self.seen = true;
+            }
+        }
+    }
+
+    /// Reads whatever acks are already buffered, without blocking.
+    fn drain_nonblocking(&mut self, stream: &mut TcpStream) -> std::io::Result<()> {
+        stream.set_nonblocking(true)?;
+        let mut buf = [0u8; 1024];
+        let res = loop {
+            match stream.read(&mut buf) {
+                // Early close surfaces on the next write or final read.
+                Ok(0) => break Ok(()),
+                Ok(n) => self.feed(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => break Err(e),
+            }
+        };
+        stream.set_nonblocking(false)?;
+        res
+    }
+
+    /// Blocks to EOF and returns the last cumulative ack; a connection
+    /// the server closed without ever acking is an error (the client
+    /// must not mistake a refused upload for zero durable reports).
+    fn read_to_eof(mut self, stream: &mut TcpStream) -> std::io::Result<u64> {
+        let mut buf = [0u8; 1024];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => self.feed(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if !self.seen {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before any ack",
+            ));
+        }
+        Ok(self.last)
+    }
 }

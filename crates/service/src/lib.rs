@@ -29,7 +29,11 @@ pub mod client;
 pub mod server;
 pub mod storage;
 
-pub use client::{stream_once, stream_reports, stream_reports_multi};
+pub use client::{
+    encode_wire, encode_wire_multi, stream_bytes_once, stream_once, stream_once_batched,
+    stream_reports, stream_reports_batched, stream_reports_multi, stream_reports_multi_batched,
+    stream_wires,
+};
 pub use server::{
     BudgetPublication, CountsSummary, IngestServer, RecoverySummary, ServerConfig, ServerHandle,
     ServerStats, StreamPublication, StreamServerConfig,

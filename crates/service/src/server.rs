@@ -47,10 +47,15 @@
 //!   persisted on every decision so *"Σ published spend over any `w`
 //!   consecutive windows ≤ ε"* holds across kill/restart.
 //!
-//! Protocol: the client streams [`Report::encode_frame`] frames, then
-//! shuts down its write half; the server ingests to EOF, flushes the
-//! WAL, and replies with the number of accepted reports as a `u64` LE
-//! ack before closing.
+//! Protocol: the client streams [`Report::encode_frame`] frames (and/or
+//! `TSR4` batch frames, [`trajshare_aggregate::batch`]), then shuts down
+//! its write half; the server ingests to EOF, flushes the WAL, and
+//! replies with the number of accepted reports as a `u64` LE ack before
+//! closing. Batch frames are additionally acked *per frame* with the
+//! same cumulative `u64` — each written after that batch's WAL flush, so
+//! an acked batch is durable and a client that dies mid-stream re-sends
+//! at most one batch. Connections carrying only single-report frames
+//! stay byte-identical to the pre-batch protocol: one ack, at EOF.
 
 use crate::storage::{self, Recovery, SyncPolicy, WalWriter};
 use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
@@ -69,8 +74,8 @@ use trajshare_aggregate::clusterproto::{
 use trajshare_aggregate::snapshot::crc32;
 use trajshare_aggregate::{
     count_divergence, AggregateCounts, Aggregator, EstimatorBackend, MobilityModel, Report,
-    StreamDecoder, StreamingEstimator, WindowBudgetAccountant, WindowBudgetConfig, WindowConfig,
-    WindowedAggregator,
+    ReportBatch, StreamDecoder, StreamingEstimator, WindowBudgetAccountant, WindowBudgetConfig,
+    WindowConfig, WindowedAggregator, WireFrame,
 };
 use trajshare_core::RegionGraph;
 
@@ -278,6 +283,30 @@ impl Shard {
             self.snapshot()?;
         }
         Ok(())
+    }
+
+    /// WAL-then-count ingestion of one validated `TSR4` batch: the whole
+    /// batch payload becomes a single group-commit-aligned WAL record
+    /// (reusing the CRC frame validation already computed), the counters
+    /// are fed column-wise, and the WAL is flushed before returning —
+    /// the caller acks the batch right after, and an acked batch must be
+    /// durable.
+    fn ingest_batch(
+        &mut self,
+        batch: &ReportBatch,
+        payload: &[u8],
+        payload_crc: u32,
+    ) -> std::io::Result<()> {
+        self.wal.append_with_crc(payload, payload_crc)?;
+        self.agg.ingest_columnar(batch);
+        if let Some(ring) = &mut self.ring {
+            ring.ingest_batch(batch);
+        }
+        self.since_snapshot += batch.num_reports() as u64;
+        if self.since_snapshot >= self.snapshot_every {
+            self.snapshot()?;
+        }
+        self.wal.flush()
     }
 
     /// Flushes the WAL and atomically persists the shard counters (and
@@ -1292,6 +1321,10 @@ fn handle_conn(
         return;
     }
     let mut decoder = StreamDecoder::new();
+    // Per-connection scratch for `TSR4` batch frames: decoded column
+    // storage is reused across batches, so the hot path allocates
+    // nothing per report once the columns have grown to working size.
+    let mut batch_scratch = ReportBatch::new();
     let mut chunk = [0u8; 64 * 1024];
     let mut accepted = 0u64;
     // Windows this connection may still advance the shard watermark.
@@ -1327,8 +1360,83 @@ fn handle_conn(
             Ok(n) => {
                 decoder.extend(&chunk[..n]);
                 loop {
-                    match decoder.next_frame() {
-                        Ok(Some((mut report, payload))) => {
+                    match decoder.next_wire_frame() {
+                        Ok(Some(WireFrame::Batch { payload })) => {
+                            // One ack per batch. TSR2/TSR3-only clients
+                            // never see these mid-stream acks — their
+                            // connections stay byte-identical to the
+                            // pre-batch protocol (final ack at EOF only).
+                            let Ok(mut payload_crc) = batch_scratch.decode_payload_into(payload)
+                            else {
+                                stats.bump(&stats.disconnected_protocol);
+                                return;
+                            };
+                            let n = batch_scratch.num_reports() as u64;
+                            let stamped;
+                            let payload: &[u8] = if policy.is_some_and(|p| p.server_clock) {
+                                // Edge-stamp the whole batch; the stamped
+                                // encoding is what the WAL persists.
+                                batch_scratch.stamp_t(server_clock_now());
+                                stamped = batch_scratch.encode_payload();
+                                payload_crc = crc32(&stamped);
+                                &stamped
+                            } else {
+                                payload
+                            };
+                            let mut guard = shard.lock().unwrap();
+                            if !policy.is_some_and(|p| p.server_clock) {
+                                if let Some(ring) = &guard.ring {
+                                    // Police the batch's furthest window:
+                                    // window_of is monotone in t, so this
+                                    // is the full advance the batch would
+                                    // cause. Refusal is batch-wide — one
+                                    // frame, one decision, one ack.
+                                    let w = ring.config().window_of(batch_scratch.max_t());
+                                    let newest = ring.newest_window();
+                                    let has_live = ring.merged().num_reports > 0;
+                                    if w > newest && has_live {
+                                        let delta = w - newest;
+                                        if delta > advance_budget {
+                                            drop(guard);
+                                            stats
+                                                .watermark_throttled
+                                                .fetch_add(n, Ordering::Relaxed);
+                                            // Unchanged cumulative ack:
+                                            // the client sees the batch
+                                            // was not accepted.
+                                            if stream.write_all(&accepted.to_le_bytes()).is_err() {
+                                                stats.bump(&stats.io_errors);
+                                                return;
+                                            }
+                                            continue;
+                                        }
+                                        advance_budget -= delta;
+                                    }
+                                }
+                            }
+                            if guard
+                                .ingest_batch(&batch_scratch, payload, payload_crc)
+                                .is_err()
+                            {
+                                stats.bump(&stats.io_errors);
+                                return;
+                            }
+                            drop(guard);
+                            accepted += n;
+                            stats.reports_ingested.fetch_add(n, Ordering::Relaxed);
+                            // Cumulative ack, written after the batch's
+                            // WAL flush: an acked batch survives any
+                            // process kill, so a client that dies
+                            // mid-stream re-sends at most one batch.
+                            if stream.write_all(&accepted.to_le_bytes()).is_err() {
+                                stats.bump(&stats.io_errors);
+                                return;
+                            }
+                        }
+                        Ok(Some(WireFrame::Single {
+                            mut report,
+                            payload,
+                        })) => {
                             // Collector-edge stamping: the *stamped*
                             // encoding is what the WAL persists, so a
                             // replayed report lands in the same window.

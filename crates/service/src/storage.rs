@@ -14,7 +14,9 @@
 //!   recovery.
 //! * `shard-<gen>-<i>.log` — shard `i`'s write-ahead log. Each record is
 //!   `u32` payload length, `u32` CRC-32 of the payload, then the payload
-//!   ([`Report::encode`] bytes). A torn tail (crash mid-write) is
+//!   ([`Report::encode`] bytes, or a whole `TSR4` batch payload — one
+//!   batch frame ingests as one group-commit-aligned record; replay
+//!   dispatches on the payload magic). A torn tail (crash mid-write) is
 //!   detected by the length/CRC pair and cleanly ignored.
 //! * `shard-<gen>-<i>.counts` — shard `i`'s periodic counter snapshot:
 //!   `"TSSH"`, `u16` version, `u64` WAL byte offset covered, `u32`
@@ -64,7 +66,8 @@ use trajshare_aggregate::snapshot::{
     crc32, read_snapshot_file, write_snapshot_file, SnapshotError,
 };
 use trajshare_aggregate::{
-    AggregateCounts, Aggregator, Report, WindowBudgetAccountant, WindowConfig, WindowedAggregator,
+    AggregateCounts, Aggregator, Report, ReportBatch, WindowBudgetAccountant, WindowConfig,
+    WindowedAggregator,
 };
 
 /// Manifest magic ("TrajShare ManiFest").
@@ -254,13 +257,24 @@ impl WalWriter {
     /// any failure the writer is poisoned and every later call fails —
     /// see the `failed` field for why continuing would be worse.
     pub fn append(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        self.append_with_crc(payload, crc32(payload))
+    }
+
+    /// [`WalWriter::append`] with the payload's CRC-32 already in hand.
+    /// The batch ingest path gets it for free from frame validation
+    /// ([`trajshare_aggregate::ReportBatch::decode_payload_into`]), so
+    /// the WAL never rescans a multi-kilobyte batch payload it just
+    /// checksummed. `crc` must equal `crc32(payload)` — a wrong value
+    /// writes a record replay will reject.
+    pub fn append_with_crc(&mut self, payload: &[u8], crc: u32) -> std::io::Result<()> {
+        debug_assert_eq!(crc, crc32(payload));
         if self.failed {
             return Err(wal_poisoned());
         }
         let write = (|| {
             self.inner
                 .write_all(&(payload.len() as u32).to_le_bytes())?;
-            self.inner.write_all(&crc32(payload).to_le_bytes())?;
+            self.inner.write_all(&crc.to_le_bytes())?;
             self.inner.write_all(payload)
         })();
         if let Err(e) = write {
@@ -389,6 +403,9 @@ pub fn replay_wal(
     let mut remaining = len - from;
     let mut header = [0u8; WAL_RECORD_HEADER];
     let mut payload = Vec::new();
+    // Scratch for `TSR4` batch records (one record = one whole batch
+    // payload); reused across records.
+    let mut batch = ReportBatch::new();
     loop {
         if remaining < WAL_RECORD_HEADER as u64 {
             stats.torn_tail = remaining != 0;
@@ -409,18 +426,38 @@ pub fn replay_wal(
             stats.torn_tail = true;
             return Ok(stats);
         }
-        match Report::decode(&payload) {
-            Ok(report) => on_report(report),
-            Err(_) => {
-                // CRC-valid but undecodable should not happen (the server
-                // validates before logging); treat as a tail to drop
-                // rather than poisoning recovery.
-                stats.torn_tail = true;
-                return Ok(stats);
+        // Dispatch on the payload magic: a record is either one report
+        // (TSR2/TSR3) or one whole batch (TSR4), replayed report by
+        // report so recovery's per-report fold is representation-blind.
+        if payload.starts_with(&ReportBatch::MAGIC) {
+            match batch.decode_payload_into(&payload) {
+                Ok(_crc) => {
+                    for report in batch.reports() {
+                        on_report(report);
+                    }
+                    stats.reports += batch.num_reports() as u64;
+                }
+                Err(_) => {
+                    stats.torn_tail = true;
+                    return Ok(stats);
+                }
+            }
+        } else {
+            match Report::decode(&payload) {
+                Ok(report) => {
+                    on_report(report);
+                    stats.reports += 1;
+                }
+                Err(_) => {
+                    // CRC-valid but undecodable should not happen (the
+                    // server validates before logging); treat as a tail
+                    // to drop rather than poisoning recovery.
+                    stats.torn_tail = true;
+                    return Ok(stats);
+                }
             }
         }
         let consumed = WAL_RECORD_HEADER as u64 + plen;
-        stats.reports += 1;
         stats.bytes += consumed;
         remaining -= consumed;
     }

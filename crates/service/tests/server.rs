@@ -10,11 +10,12 @@ use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 use trajshare_aggregate::{
-    eps_to_nano, Aggregator, AllocationPolicy, Report, WindowBudgetConfig, WindowConfig,
-    WindowedAggregator,
+    eps_to_nano, Aggregator, AllocationPolicy, Report, ReportBatch, WindowBudgetConfig,
+    WindowConfig, WindowedAggregator,
 };
 use trajshare_service::{
-    stream_reports, IngestServer, ServerConfig, StreamServerConfig, SyncPolicy,
+    stream_reports, stream_reports_batched, IngestServer, ServerConfig, StreamServerConfig,
+    SyncPolicy,
 };
 
 const REGIONS: usize = 6;
@@ -822,6 +823,124 @@ fn expired_but_live_windows_stay_frozen_against_late_over_claims() {
     );
     assert!(!server2.budget_refused_windows().contains(&3));
     server2.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batched_frames_match_single_ingestion_and_recover_from_the_wal() {
+    let (mut cfg, dir) = config("batched");
+    let window = WindowConfig {
+        window_len: 60,
+        num_windows: 4,
+    };
+    cfg.stream = Some(StreamServerConfig::new(window, Duration::from_millis(50)));
+    let server = IngestServer::start(cfg.clone()).unwrap();
+
+    // Timestamps cycle across windows so TSR4 frames straddle window
+    // boundaries; the batched path must still aggregate bit-identically
+    // to serial ingestion of the same stream.
+    let reports: Vec<Report> = (0..2_000)
+        .map(|i| toy_report_at(i, (i as u64 % 3) * 60))
+        .collect();
+    let acked = stream_reports_batched(server.addr(), &reports, 4, 128).unwrap();
+    assert_eq!(acked, reports.len() as u64);
+    assert_eq!(server.counts(), direct_counts(&reports));
+    let mut expected = WindowedAggregator::new(vec![0u16; REGIONS], window);
+    for r in &reports {
+        expected.ingest(r);
+    }
+    assert_eq!(
+        server.windowed_counts().unwrap().merged(),
+        expected.merged()
+    );
+
+    // Crash without a final snapshot: recovery replays whole-batch WAL
+    // records (one record per TSR4 frame) across a reshard.
+    server.crash();
+    let mut cfg2 = cfg.clone();
+    cfg2.workers = 1;
+    let server2 = IngestServer::start(cfg2).unwrap();
+    assert_eq!(server2.recovery().recovered_reports, 2_000);
+    assert_eq!(server2.counts(), direct_counts(&reports));
+    assert_eq!(
+        server2.windowed_counts().unwrap().merged(),
+        expected.merged()
+    );
+
+    // And the recovered server keeps taking batches.
+    let more: Vec<Report> = (0..300).map(|i| toy_report_at(i, 3 * 60)).collect();
+    assert_eq!(
+        stream_reports_batched(server2.addr(), &more, 2, 64).unwrap(),
+        300
+    );
+    for r in &more {
+        expected.ingest(r);
+    }
+    assert_eq!(
+        server2.windowed_counts().unwrap().merged(),
+        expected.merged()
+    );
+    server2.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hostile_batch_frames_get_no_ack_and_keep_prior_batches() {
+    let (cfg, dir) = config("batch-hostile");
+    let server = IngestServer::start(cfg.clone()).unwrap();
+
+    // A valid TSR4 frame is acked per-frame (cumulative count)...
+    let good: Vec<Report> = (0..10).map(toy_report).collect();
+    let batch = ReportBatch::from_reports(&good).unwrap();
+    let mut frame = Vec::new();
+    batch.encode_frame_into(&mut frame);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(&frame).unwrap();
+    let mut ack = [0u8; 8];
+    stream.read_exact(&mut ack).unwrap();
+    assert_eq!(u64::from_le_bytes(ack), 10, "per-frame cumulative ack");
+
+    // ...then the same frame with one flipped column byte: the CRC (or
+    // column-sum) check rejects it, the connection drops, and no ack —
+    // not even a repeated cumulative one — follows.
+    let mut evil = frame.clone();
+    let mid = evil.len() / 2;
+    evil[mid] ^= 0x41;
+    stream.write_all(&evil).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            server.stats().disconnected_protocol.load(Ordering::Relaxed) >= 1
+        }),
+        "corrupt batch frame did not drop the connection"
+    );
+    let mut byte = [0u8; 1];
+    assert!(matches!(stream.read(&mut byte), Ok(0) | Err(_)));
+
+    // A batch frame truncated by a clean half-close is mid-frame EOF:
+    // protocol violation, no ack.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(&frame[..frame.len() / 2]).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    assert!(matches!(stream.read(&mut ack), Ok(0) | Err(_)));
+    assert!(wait_until(Duration::from_secs(5), || {
+        server.stats().disconnected_protocol.load(Ordering::Relaxed) >= 2
+    }));
+
+    // The acked batch survived both hostile connections, exactly.
+    assert_eq!(server.counts(), direct_counts(&good));
+    server.crash();
+    // The WAL holds exactly the acked batch (corrupt frames were never
+    // appended): recovery reproduces it.
+    let server2 = IngestServer::start(cfg).unwrap();
+    assert_eq!(server2.recovery().recovered_reports, 10);
+    assert_eq!(server2.counts(), direct_counts(&good));
+    server2.crash();
     let _ = std::fs::remove_dir_all(&dir);
 }
 

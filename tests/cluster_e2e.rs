@@ -7,6 +7,9 @@
 //! which must re-merge to the identical fingerprint under a bumped
 //! epoch. The live cluster model estimate must also match the single
 //! node's float-for-float (same counts, same deterministic estimator).
+//! A fourth node ingests the identical stream over `TSR4` batch frames
+//! and must land on the same counts, ring bytes, and model floats —
+//! the batched path is an encoding, not a different aggregation.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,7 +22,9 @@ use trajshare_datagen::{
 };
 use trajshare_hierarchy::builders::foursquare;
 use trajshare_model::{Dataset, TrajectorySet};
-use trajshare_service::{stream_reports, IngestServer, ServerConfig, StreamServerConfig};
+use trajshare_service::{
+    stream_reports, stream_reports_batched, IngestServer, ServerConfig, StreamServerConfig,
+};
 
 const NUM_USERS: usize = 4_000;
 const EPSILON: f64 = 5.0;
@@ -147,6 +152,34 @@ fn routed_two_worker_cluster_merges_bit_identical_to_single_node() {
     assert_eq!(model_cluster.debiased, model_single.debiased);
     assert_eq!(model_cluster.occupancy, model_single.occupancy);
     assert_eq!(model_cluster.transition, model_single.transition);
+
+    // Batched-frame ingestion is equivalence-checked against the
+    // single-report path: a fourth node takes the same stream as TSR4
+    // batch frames (batches straddle the t-wrap at i % 70, so frames
+    // split across ε′/|τ|-key runs and windows) and must reproduce the
+    // single node's counts, ring bytes, and model floats exactly.
+    let (cfg_q, dir_q) = node_config(tiles.clone(), "batched");
+    let batched = IngestServer::start(cfg_q).unwrap();
+    assert_eq!(
+        stream_reports_batched(batched.addr(), &reports, 8, 256).unwrap(),
+        n
+    );
+    let batched_counts = batched.counts();
+    let batched_ring = batched.windowed_counts().unwrap();
+    assert_eq!(batched_counts, single_counts);
+    assert_eq!(
+        batched_ring.encode_ring(),
+        single_ring.encode_ring(),
+        "batched-path ring must be bit-identical to the single-report path"
+    );
+    let model_batched = batched
+        .estimate_window_model(mech.graph())
+        .expect("batched-node model");
+    assert_eq!(model_batched.debiased, model_single.debiased);
+    assert_eq!(model_batched.occupancy, model_single.occupancy);
+    assert_eq!(model_batched.transition, model_single.transition);
+    let _ = batched.shutdown();
+    let _ = std::fs::remove_dir_all(&dir_q);
 
     // Kill worker A without a clean shutdown; the coordinator keeps
     // publishing the cached snapshot (stale is conservative — nothing
