@@ -688,6 +688,7 @@ mod tests {
                         scratch.decode_payload_into(payload).unwrap();
                         got.extend(scratch.reports());
                     }
+                    Some(WireFrame::Hello { .. }) => panic!("no hello on this wire"),
                 }
             }
         }

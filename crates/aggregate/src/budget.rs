@@ -45,8 +45,11 @@
 //! (`WindowBudgetAccountant::encode`) so the invariant survives
 //! kill/restart — see `trajshare_service::server`.
 
+use crate::estimate::{ibu_frequencies, EmChannel};
+use crate::ingest::AggregateCounts;
 use crate::snapshot::{crc32, SnapshotError};
 use std::collections::VecDeque;
+use trajshare_core::RegionGraph;
 
 /// Nano-ε per ε — the integer grid shared with the report wire format.
 pub const NANO_PER_EPS: u64 = 1_000_000_000;
@@ -96,6 +99,100 @@ pub fn count_divergence(a: &[u64], b: &[u64]) -> f64 {
         .zip(b)
         .map(|(&x, &y)| (x as f64 / sa - y as f64 / sb).abs())
         .sum::<f64>()
+}
+
+/// RetraSyn-style *significance-tested* divergence between two debiased
+/// per-window distributions. Raw [`count_divergence`] is channel-dependent
+/// — when consecutive cohorts randomize at different ε′ the occupancy
+/// vectors differ even over a perfectly stationary population, so an
+/// adaptive policy driven by it buys budget to chase its own noise. This
+/// signal instead compares *estimates* (already normalized posteriors, or
+/// any non-negative vectors — they are re-normalized defensively) and
+/// subtracts the expected sampling noise floor for the reported cohort
+/// sizes before anything counts as movement: for an empirical
+/// distribution over `k` occupied cells from `n` reports,
+/// `E[TV from truth] ≤ ½·√((k−1)/n)`, so two independent cohorts sit
+/// `½·(√((k−1)/nₐ) + √((k−1)/n_b))` apart in expectation even when the
+/// underlying stream has not moved at all. Only the excess above that
+/// floor is returned (clamped to `[0, 1]`); a cohort too small to
+/// distinguish anything reads as 0 — *not significant* — and an empty or
+/// mismatched side reads as 1 (nothing to compare against ⇒ buy data).
+/// The channel inversion inflates variance beyond the multinomial floor;
+/// the policy's `threshold` deadband absorbs that residue.
+pub fn significance_divergence(prev: &[f64], cur: &[f64], n_prev: u64, n_cur: u64) -> f64 {
+    if prev.len() != cur.len() || prev.is_empty() || n_prev == 0 || n_cur == 0 {
+        return 1.0;
+    }
+    let sp: f64 = prev.iter().filter(|v| v.is_finite() && **v > 0.0).sum();
+    let sc: f64 = cur.iter().filter(|v| v.is_finite() && **v > 0.0).sum();
+    if sp <= 0.0 || sc <= 0.0 {
+        return 1.0;
+    }
+    let mut tv = 0.0;
+    let mut support = 0usize;
+    for (&a, &b) in prev.iter().zip(cur) {
+        let a = if a.is_finite() && a > 0.0 {
+            a / sp
+        } else {
+            0.0
+        };
+        let b = if b.is_finite() && b > 0.0 {
+            b / sc
+        } else {
+            0.0
+        };
+        if a > 0.0 || b > 0.0 {
+            support += 1;
+        }
+        tv += (a - b).abs();
+    }
+    tv *= 0.5;
+    let k = support.saturating_sub(1) as f64;
+    let floor = 0.5 * ((k / n_prev as f64).sqrt() + (k / n_cur as f64).sqrt());
+    (tv - floor).clamp(0.0, 1.0)
+}
+
+/// The allocator's change-detection signal between two consecutive
+/// windows: RetraSyn-style significance testing, on *debiased*
+/// per-window posteriors when a region graph is supplied, on normalized
+/// raw occupancy otherwise. Either way the measured total-variation
+/// distance is gated on the sampling-noise floor the two cohort sizes
+/// imply ([`significance_divergence`]), so a quiet-but-small window no
+/// longer reads as a population shift. Shared by the single-node
+/// maintenance thread and the cluster coordinator so a deployment gets
+/// one consistent signal at either enforcement point.
+///
+/// Debiasing inverts the EM channel at the window's *mean* ε′ (a
+/// cohort-level frequency correction — the max that settlement polices
+/// would over-sharpen honest mixed cohorts) with a short fixed IBU run:
+/// the signal needs ordering fidelity, not a converged estimate, and a
+/// bounded iteration count keeps the per-tick cost O(|R|²)-ish.
+pub fn window_divergence(
+    graph: Option<&RegionGraph>,
+    prev: &AggregateCounts,
+    cur: &AggregateCounts,
+) -> f64 {
+    /// IBU iterations per window for the divergence signal only.
+    const SIGNAL_ITERS: usize = 25;
+    let debias = |graph: &RegionGraph, counts: &AggregateCounts| -> Option<Vec<f64>> {
+        if counts.num_reports == 0 || counts.occupancy.len() != graph.num_regions() {
+            return None;
+        }
+        let mean_eps = nano_to_eps(counts.eps_nano_sum / counts.num_reports);
+        if mean_eps <= 0.0 {
+            return None;
+        }
+        let channel = EmChannel::unigram(graph, mean_eps);
+        Some(ibu_frequencies(&channel, &counts.occupancy, SIGNAL_ITERS))
+    };
+    if let Some(graph) = graph {
+        if let (Some(p), Some(c)) = (debias(graph, prev), debias(graph, cur)) {
+            return significance_divergence(&p, &c, prev.num_reports, cur.num_reports);
+        }
+    }
+    let p: Vec<f64> = prev.occupancy.iter().map(|&v| v as f64).collect();
+    let c: Vec<f64> = cur.occupancy.iter().map(|&v| v as f64).collect();
+    significance_divergence(&p, &c, prev.num_reports, cur.num_reports)
 }
 
 /// How the accountant allocates each window's share of the `w`-window
@@ -226,11 +323,41 @@ pub struct WindowDecision {
 pub struct WindowGrant {
     /// The window the grant is for.
     pub window: u64,
+    /// Allocation epoch of the decision (see [`GrantRecord::epoch`]); on
+    /// an idempotent re-ask, the epoch originally assigned.
+    pub epoch: u64,
     /// Nano-ε granted.
     pub granted_nano: u64,
     /// Nano-ε that was available before granting (total minus the
     /// horizon's recorded spends) — `granted ≤ available` always.
     pub available_nano: u64,
+}
+
+/// One entry of the accountant's **grant history** — the monitoring and
+/// broadcast record, deliberately decoupled from both the enforcement
+/// ledger (which trims at the horizon because older entries no longer
+/// constrain anything) and the data ring (whose retention is a storage
+/// choice): the history keeps the last [`WindowBudgetAccountant::GRANT_HISTORY_CAP`]
+/// decisions regardless of either, so `--dump-counts` can show what was
+/// granted and settled long after the windows themselves expired, and so
+/// the budget horizon `w` may exceed the ring depth without the books
+/// silently forgetting live spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantRecord {
+    /// Absolute window id.
+    pub window: u64,
+    /// Allocation epoch: a counter that increments on every decision the
+    /// ledger makes (wrapping at `u64::MAX`), stamped into `TSGB`
+    /// broadcasts so clients can order grants without trusting arrival
+    /// order.
+    pub epoch: u64,
+    /// Nano-ε granted at allocation.
+    pub granted_nano: u64,
+    /// Latest settled spend (the observed worst-case per-report ε′,
+    /// clamped to the grant) — equals the grant until first settled.
+    pub settled_nano: u64,
+    /// Whether the window stands refused.
+    pub refused: bool,
 }
 
 /// The sliding-window spend ledger.
@@ -259,9 +386,19 @@ pub struct WindowBudgetAccountant {
     lifetime_spent_nano: u64,
     /// Windows refused at settlement (observed spend exceeded the grant).
     refused_windows: u64,
+    /// Epoch of the most recent decision (0 = none yet).
+    epoch: u64,
+    /// Trailing decision history for broadcast/monitoring
+    /// ([`GrantRecord`]); capped at
+    /// [`WindowBudgetAccountant::GRANT_HISTORY_CAP`], independent of the
+    /// horizon and of any data-retention window.
+    history: VecDeque<GrantRecord>,
 }
 
 impl WindowBudgetAccountant {
+    /// Most recent grant-history entries kept (per accountant).
+    pub const GRANT_HISTORY_CAP: usize = 1024;
+
     /// A fresh ledger under `config`.
     pub fn new(config: WindowBudgetConfig) -> Self {
         WindowBudgetAccountant {
@@ -271,6 +408,8 @@ impl WindowBudgetAccountant {
             lifetime_granted_nano: 0,
             lifetime_spent_nano: 0,
             refused_windows: 0,
+            epoch: 0,
+            history: VecDeque::new(),
         }
     }
 
@@ -304,6 +443,22 @@ impl WindowBudgetAccountant {
     pub fn recycled_nano(&self) -> u64 {
         self.lifetime_granted_nano
             .saturating_sub(self.lifetime_spent_nano)
+    }
+
+    /// Epoch of the most recent decision (0 when nothing is decided).
+    #[inline]
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The trailing grant history, oldest first (see [`GrantRecord`]).
+    pub fn grant_history(&self) -> impl Iterator<Item = &GrantRecord> {
+        self.history.iter()
+    }
+
+    /// The newest grant on the books, as the broadcastable record.
+    pub fn latest_grant(&self) -> Option<GrantRecord> {
+        self.history.back().copied()
     }
 
     /// The decided windows still inside the horizon, ascending.
@@ -351,8 +506,15 @@ impl WindowBudgetAccountant {
         if let Some(decided) = self.decided {
             if window <= decided {
                 let granted = self.decision(window).map_or(0, |d| d.granted_nano);
+                let epoch = self
+                    .history
+                    .iter()
+                    .rev()
+                    .find(|r| r.window == window)
+                    .map_or(self.epoch, |r| r.epoch);
                 return WindowGrant {
                     window,
+                    epoch,
                     granted_nano: granted,
                     available_nano: self.available_nano(window),
                 };
@@ -383,12 +545,31 @@ impl WindowBudgetAccountant {
         self.decided = Some(window);
         self.lifetime_granted_nano = self.lifetime_granted_nano.saturating_add(granted);
         self.lifetime_spent_nano = self.lifetime_spent_nano.saturating_add(granted);
+        let epoch = self.record_decision(window, granted);
         self.trim();
         WindowGrant {
             window,
+            epoch,
             granted_nano: granted,
             available_nano: available,
         }
+    }
+
+    /// Stamps a fresh decision into the grant history under the next
+    /// epoch, enforcing the history cap.
+    fn record_decision(&mut self, window: u64, granted_nano: u64) -> u64 {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.history.push_back(GrantRecord {
+            window,
+            epoch: self.epoch,
+            granted_nano,
+            settled_nano: granted_nano,
+            refused: false,
+        });
+        while self.history.len() > Self::GRANT_HISTORY_CAP {
+            self.history.pop_front();
+        }
+        self.epoch
     }
 
     /// Settles `window`'s actual observed per-user spend against its
@@ -449,6 +630,10 @@ impl WindowBudgetAccountant {
         } else if !entry.refused && was_refused {
             self.refused_windows = self.refused_windows.saturating_sub(1);
         }
+        if let Some(r) = self.history.iter_mut().rev().find(|r| r.window == window) {
+            r.settled_nano = entry.spent_nano;
+            r.refused = entry.refused;
+        }
         Some(entry)
     }
 
@@ -470,6 +655,7 @@ impl WindowBudgetAccountant {
         self.decided = Some(window);
         self.lifetime_granted_nano = self.lifetime_granted_nano.saturating_add(spent);
         self.lifetime_spent_nano = self.lifetime_spent_nano.saturating_add(spent);
+        self.record_decision(window, spent);
         self.trim();
     }
 
@@ -493,8 +679,10 @@ impl WindowBudgetAccountant {
 
     /// Ledger blob magic ("TrajShare Budget Accountant").
     pub const MAGIC: [u8; 4] = *b"TSBA";
-    /// Ledger blob version.
-    pub const VERSION: u16 = 1;
+    /// Ledger blob version. v2 appends the allocation epoch and the
+    /// grant history to the v1 body; v1 blobs (pre-grant-session
+    /// ledgers) still decode, with epoch 0 and an empty history.
+    pub const VERSION: u16 = 2;
 
     /// Serializes the ledger (config, decided watermark, horizon
     /// entries, lifetime stats) into a self-validating blob with a
@@ -538,6 +726,16 @@ impl WindowBudgetAccountant {
             out.extend_from_slice(&d.spent_nano.to_le_bytes());
             out.push(d.refused as u8);
         }
+        // v2 tail: allocation epoch + grant history.
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.history.len() as u64).to_le_bytes());
+        for r in &self.history {
+            out.extend_from_slice(&r.window.to_le_bytes());
+            out.extend_from_slice(&r.epoch.to_le_bytes());
+            out.extend_from_slice(&r.granted_nano.to_le_bytes());
+            out.extend_from_slice(&r.settled_nano.to_le_bytes());
+            out.push(r.refused as u8);
+        }
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
         out
@@ -560,7 +758,7 @@ impl WindowBudgetAccountant {
             return Err(SnapshotError::BadMagic);
         }
         let version = u16::from_le_bytes(payload[4..6].try_into().unwrap());
-        if version != Self::VERSION {
+        if version != 1 && version != Self::VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let mut off = 6;
@@ -634,6 +832,42 @@ impl WindowBudgetAccountant {
                 refused,
             });
         }
+        let (epoch, history) = if version >= 2 {
+            let epoch = take_u64(&mut off)?;
+            let hn = take_u64(&mut off)? as usize;
+            if hn > Self::GRANT_HISTORY_CAP {
+                return Err(SnapshotError::Inconsistent);
+            }
+            let mut history = VecDeque::with_capacity(hn);
+            let mut prev_w: Option<u64> = None;
+            for _ in 0..hn {
+                let window = take_u64(&mut off)?;
+                let r_epoch = take_u64(&mut off)?;
+                let granted_nano = take_u64(&mut off)?;
+                let settled_nano = take_u64(&mut off)?;
+                let refused = match take_u8(&mut off)? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(SnapshotError::Inconsistent),
+                };
+                // History is append-ordered by (monotonic) allocation,
+                // and settlement only clamps within the grant.
+                if settled_nano > granted_nano || prev_w.is_some_and(|p| window <= p) {
+                    return Err(SnapshotError::Inconsistent);
+                }
+                prev_w = Some(window);
+                history.push_back(GrantRecord {
+                    window,
+                    epoch: r_epoch,
+                    granted_nano,
+                    settled_nano,
+                    refused,
+                });
+            }
+            (epoch, history)
+        } else {
+            (0, VecDeque::new())
+        };
         if off != payload.len() {
             return Err(SnapshotError::Inconsistent);
         }
@@ -648,6 +882,8 @@ impl WindowBudgetAccountant {
             lifetime_granted_nano,
             lifetime_spent_nano,
             refused_windows,
+            epoch,
+            history,
         };
         // Final gate: a ledger whose horizon already over-spends must
         // never be restored.
@@ -819,6 +1055,97 @@ mod tests {
         // quiet window still gets its (clamped) probe.
         let g = acct.allocate(5, 0.0);
         assert!(g.granted_nano <= floor);
+    }
+
+    #[test]
+    fn significance_divergence_gates_on_sampling_noise() {
+        let stationary = vec![0.25, 0.25, 0.25, 0.25];
+        // Big cohorts, identical distributions: no significant movement.
+        assert_eq!(
+            significance_divergence(&stationary, &stationary, 10_000, 10_000),
+            0.0
+        );
+        // A genuine shift with big cohorts clears the floor.
+        let shifted = vec![0.70, 0.10, 0.10, 0.10];
+        assert!(significance_divergence(&stationary, &shifted, 10_000, 10_000) > 0.3);
+        // The same shift from cohorts of 3 reports is indistinguishable
+        // from sampling noise: not significant.
+        assert_eq!(significance_divergence(&stationary, &shifted, 3, 3), 0.0);
+        // Nothing to compare against ⇒ full shift (buy data).
+        assert_eq!(significance_divergence(&[], &[], 10, 10), 1.0);
+        assert_eq!(significance_divergence(&stationary, &shifted, 0, 10), 1.0);
+        assert_eq!(
+            significance_divergence(&[0.0, 0.0], &[0.5, 0.5], 10, 10),
+            1.0
+        );
+        // Non-finite mass is ignored, not propagated.
+        let dirty = vec![f64::NAN, 0.5, 0.5, f64::INFINITY];
+        let d = significance_divergence(&dirty, &stationary, 1000, 1000);
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn grant_history_records_epochs_and_settlements() {
+        let mut acct = WindowBudgetAccountant::new(cfg(1200, 3, AllocationPolicy::Uniform));
+        assert_eq!(acct.current_epoch(), 0);
+        assert!(acct.latest_grant().is_none());
+        let g0 = acct.allocate(0, 1.0);
+        let g1 = acct.allocate(1, 1.0);
+        assert_eq!((g0.epoch, g1.epoch), (1, 2));
+        // Idempotent re-ask returns the original epoch, no new entry.
+        assert_eq!(acct.allocate(0, 1.0).epoch, 1);
+        assert_eq!(acct.grant_history().count(), 2);
+        // Settlement updates the record in place.
+        acct.settle(1, 123).unwrap();
+        let latest = acct.latest_grant().unwrap();
+        assert_eq!(latest.window, 1);
+        assert_eq!(latest.granted_nano, 400);
+        assert_eq!(latest.settled_nano, 123);
+        assert!(!latest.refused);
+        // History outlives the enforcement ledger's horizon: after many
+        // more windows, window 0 is long out of the ledger but still in
+        // the history with its settled books.
+        for w in 2..20 {
+            acct.allocate(w, 1.0);
+        }
+        assert!(acct.decision(0).is_none(), "ledger trimmed at horizon");
+        assert!(acct.grant_history().any(|r| r.window == 0));
+        // The cap bounds the history independently of the horizon.
+        let mut acct = WindowBudgetAccountant::new(cfg(u64::MAX / 2, 2, AllocationPolicy::Uniform));
+        for w in 0..(WindowBudgetAccountant::GRANT_HISTORY_CAP as u64 + 40) {
+            acct.allocate(w, 0.5);
+        }
+        assert_eq!(
+            acct.grant_history().count(),
+            WindowBudgetAccountant::GRANT_HISTORY_CAP
+        );
+        assert_eq!(
+            acct.current_epoch(),
+            WindowBudgetAccountant::GRANT_HISTORY_CAP as u64 + 40
+        );
+    }
+
+    #[test]
+    fn v1_ledger_blobs_still_decode() {
+        let mut acct = WindowBudgetAccountant::new(cfg(5_000, 4, AllocationPolicy::adaptive()));
+        for w in 0..6 {
+            acct.allocate(w, 0.5);
+            acct.settle(w, 100 * w).unwrap();
+        }
+        let blob = acct.encode();
+        // Strip the v2 tail (epoch + history) and restamp as v1.
+        let tail = 8 + 8 + 33 * acct.grant_history().count();
+        let mut v1 = blob[..blob.len() - 4 - tail].to_vec();
+        v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let crc = crc32(&v1);
+        v1.extend_from_slice(&crc.to_le_bytes());
+        let back = WindowBudgetAccountant::decode(&v1).unwrap();
+        assert_eq!(back.decided(), acct.decided());
+        assert_eq!(back.sliding_spend_nano(), acct.sliding_spend_nano());
+        assert_eq!(back.current_epoch(), 0, "v1 carries no epoch");
+        assert_eq!(back.grant_history().count(), 0, "v1 carries no history");
+        // And its decisions match entry for entry.
+        assert!(back.decisions().eq(acct.decisions()));
     }
 
     #[test]

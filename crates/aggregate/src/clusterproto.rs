@@ -19,7 +19,14 @@
 //! -- payload --
 //! magic "TSCL"            4 bytes
 //! version                 u16   (currently 1)
-//! kind                    u8    (0 = SnapshotPull, 1 = Snapshot)
+//! kind                    u8    (0 = SnapshotPull, 1 = Snapshot,
+//!                                2 = GrantAnnounce)
+//! [GrantAnnounce only]
+//!   epoch                 u64   · window u64 · granted ε′ u64 (nano-ε)
+//!                               (the coordinator's `TSGB` grant, relayed
+//!                                worker-ward so directly-connected
+//!                                clients hear the same ε′ the router
+//!                                fans out; fire-and-forget, no reply)
 //! [Snapshot only]
 //!   epoch                 u64   (worker file generation — bumps on
 //!                                recovery and online compaction, so a
@@ -63,6 +70,7 @@ const FRAME_HEADER_LEN: usize = 4 + 2 + 1;
 
 const KIND_SNAPSHOT_PULL: u8 = 0;
 const KIND_SNAPSHOT: u8 = 1;
+const KIND_GRANT_ANNOUNCE: u8 = 2;
 
 /// One worker's shipped state: identity (epoch, watermark) plus the
 /// embedded counter blobs. The blobs stay encoded here — the
@@ -122,6 +130,11 @@ pub enum ClusterFrame {
     SnapshotPull,
     /// Worker → coordinator: the full current state.
     Snapshot(WorkerSnapshot),
+    /// Coordinator → worker: the cluster's current ε′ grant, to be
+    /// installed on the worker's grant board (and pushed to any clients
+    /// subscribed directly to the worker). Fire-and-forget: the sender
+    /// closes after writing, the worker sends no reply.
+    GrantAnnounce(crate::grant::GrantFrame),
 }
 
 /// Encodes one frame's *payload* (everything after the u32 length
@@ -132,6 +145,7 @@ pub fn encode_cluster_frame(frame: &ClusterFrame) -> Vec<u8> {
             + 4
             + match frame {
                 ClusterFrame::SnapshotPull => 0,
+                ClusterFrame::GrantAnnounce(_) => 3 * 8,
                 ClusterFrame::Snapshot(s) => {
                     3 * 8 + 8 + s.counts.len() + 1 + s.ring.as_ref().map_or(0, |r| 8 + r.len())
                 }
@@ -141,6 +155,12 @@ pub fn encode_cluster_frame(frame: &ClusterFrame) -> Vec<u8> {
     out.extend_from_slice(&CLUSTER_VERSION.to_le_bytes());
     match frame {
         ClusterFrame::SnapshotPull => out.push(KIND_SNAPSHOT_PULL),
+        ClusterFrame::GrantAnnounce(g) => {
+            out.push(KIND_GRANT_ANNOUNCE);
+            out.extend_from_slice(&g.epoch.to_le_bytes());
+            out.extend_from_slice(&g.window.to_le_bytes());
+            out.extend_from_slice(&g.granted_nano.to_le_bytes());
+        }
         ClusterFrame::Snapshot(s) => {
             out.push(KIND_SNAPSHOT);
             out.extend_from_slice(&s.epoch.to_le_bytes());
@@ -202,6 +222,16 @@ pub fn decode_cluster_frame(buf: &[u8]) -> Result<ClusterFrame, SnapshotError> {
     let mut off = FRAME_HEADER_LEN;
     let frame = match kind {
         KIND_SNAPSHOT_PULL => ClusterFrame::SnapshotPull,
+        KIND_GRANT_ANNOUNCE => {
+            let epoch = take_u64(payload, &mut off)?;
+            let window = take_u64(payload, &mut off)?;
+            let granted_nano = take_u64(payload, &mut off)?;
+            ClusterFrame::GrantAnnounce(crate::grant::GrantFrame {
+                epoch,
+                window,
+                granted_nano,
+            })
+        }
         KIND_SNAPSHOT => {
             let epoch = take_u64(payload, &mut off)?;
             let watermark = take_u64(payload, &mut off)?;
@@ -308,6 +338,23 @@ mod tests {
             decode_cluster_frame(&buf).unwrap(),
             ClusterFrame::SnapshotPull
         );
+    }
+
+    #[test]
+    fn grant_announce_roundtrips_and_rejects_truncation() {
+        let frame = ClusterFrame::GrantAnnounce(crate::grant::GrantFrame {
+            epoch: u64::MAX,
+            window: 42,
+            granted_nano: 1_250_000_000,
+        });
+        let buf = encode_cluster_frame(&frame);
+        assert_eq!(decode_cluster_frame(&buf).unwrap(), frame);
+        for i in 0..buf.len() {
+            assert!(decode_cluster_frame(&buf[..i]).is_err(), "prefix {i}");
+        }
+        let mut bad = buf.clone();
+        bad[9] ^= 0x04;
+        assert_eq!(decode_cluster_frame(&bad), Err(SnapshotError::BadCrc));
     }
 
     #[test]

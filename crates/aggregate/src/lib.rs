@@ -49,6 +49,7 @@ pub mod budget;
 pub mod clusterproto;
 pub mod estimate;
 pub mod eval;
+pub mod grant;
 pub mod ingest;
 pub mod linalg;
 pub mod markov;
@@ -60,8 +61,9 @@ pub mod synthesize;
 
 pub use batch::{BatchEncoder, ReportBatch};
 pub use budget::{
-    count_divergence, eps_to_nano, l1_divergence, nano_to_eps, AllocationPolicy,
-    WindowBudgetAccountant, WindowBudgetConfig, WindowDecision, WindowGrant,
+    count_divergence, eps_to_nano, l1_divergence, nano_to_eps, significance_divergence,
+    window_divergence, AllocationPolicy, GrantRecord, WindowBudgetAccountant, WindowBudgetConfig,
+    WindowDecision, WindowGrant,
 };
 pub use clusterproto::{
     decode_cluster_frame, encode_cluster_frame, read_cluster_frame, write_cluster_frame,
@@ -72,6 +74,9 @@ pub use estimate::{
     ChannelInverse, EmChannel, EstimatorBackend, IbuSolver,
 };
 pub use eval::{score_paired, EvalConfig, UtilityScores};
+pub use grant::{
+    ControlDecoder, ControlFrame, GrantBoard, GrantFrame, GrantSubscriber, HelloFrame,
+};
 pub use ingest::{aggregate_reports, region_tiles, AggregateCounts, Aggregator, TILES_PER_DAY};
 pub use linalg::CsrPattern;
 pub use markov::{FrequencyEstimator, MobilityModel};

@@ -394,6 +394,14 @@ pub enum WireFrame<'a> {
         /// The frame payload, without the length prefix.
         payload: &'a [u8],
     },
+    /// A `TSGH` grant-session hello (fully validated here — it is nine
+    /// bytes). A subscribing hello switches the connection's
+    /// server→client direction to framed control frames
+    /// ([`crate::grant`]).
+    Hello {
+        /// The validated hello.
+        hello: crate::grant::HelloFrame,
+    },
 }
 
 /// Incremental decoder over a length-prefixed frame stream: feed it raw
@@ -472,6 +480,20 @@ impl StreamDecoder {
             return Ok(Some(WireFrame::Batch {
                 payload: &self.buf[start..end],
             }));
+        }
+        if self.buf[start..end].starts_with(&crate::grant::HelloFrame::MAGIC) {
+            // Hellos are tiny and fixed-size: validate in place. Within
+            // a complete frame, wrong-size payloads are corruption.
+            let hello = crate::grant::HelloFrame::decode_payload(&self.buf[start..end]).map_err(
+                |e| match e {
+                    DecodeError::Truncated { .. } | DecodeError::TrailingBytes => {
+                        DecodeError::FrameMismatch
+                    }
+                    e => e,
+                },
+            )?;
+            self.pos += total;
+            return Ok(Some(WireFrame::Hello { hello }));
         }
         match Report::decode(&self.buf[start..end]) {
             Ok(report) => {

@@ -16,11 +16,21 @@
 //! * **Adaptive** spends a probe floor while the stream is stable
 //!   (republishing its last release, whose quality was bought with a big
 //!   grant) and spends the whole recycled pool the moment the
-//!   distribution shifts. The divergence signal here is the true
-//!   inter-window TV distance (oracle change detection), so the bench
-//!   isolates *allocation* quality at equal total ε; the ingestion
-//!   service computes the signal from raw occupancy counters instead
-//!   (`count_divergence`).
+//!   distribution shifts. The divergence signal in the oracle runs is
+//!   the true inter-window TV distance (oracle change detection), so
+//!   they isolate *allocation* quality at equal total ε; the ingestion
+//!   service measures the signal from the realized windows instead
+//!   (`window_divergence`: significance-tested TV over debiased
+//!   posteriors).
+//!
+//! A second, **closed-loop** pass drops the oracle: the allocator
+//! announces each window's ε′ *before* any of its reports exist (the
+//! grant-session protocol in miniature), its divergence signal is
+//! significance-tested TV between the two previous windows' *realized*
+//! estimates, the cohort randomizes at exactly the announced rate, and
+//! settlement observes spend == grant — so the refusal count is
+//! asserted to be exactly zero while the `w`-window contract still
+//! holds on every window.
 //!
 //! The low-budget regime is where allocation matters: at ε/w per window
 //! the per-window estimate is noise-dominated, while one recycled-pool
@@ -185,6 +195,79 @@ fn run_policy(policy: AllocationPolicy, seed: u64) -> PolicyRun {
     }
 }
 
+struct ClosedLoopRun {
+    rows: Vec<Vec<String>>,
+    mean_tv: f64,
+    sliding_max_nano: u64,
+    refusals: u64,
+}
+
+/// The grant session in miniature: ε′ is announced before the window's
+/// first report, the divergence signal is measured from realized
+/// estimates (no oracle), the cohort follows the announced rate, and
+/// settlement sees spend == grant.
+fn run_closed_loop(policy: AllocationPolicy, seed: u64) -> ClosedLoopRun {
+    let cfg = WindowBudgetConfig::new(trajshare_aggregate::eps_to_nano(TOTAL_EPS), HORIZON, policy);
+    let mut acct = WindowBudgetAccountant::new(cfg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut published: Option<Vec<f64>> = None;
+    // The last two windows' realized (estimate, cohort size) — the
+    // allocator's only view of the stream when it decides window w.
+    let mut realized: [Option<(Vec<f64>, u64)>; 2] = [None, None];
+    let mut rows = Vec::new();
+    let mut tv_sum = 0.0;
+    let mut sliding_max = 0u64;
+    let mut refusals = 0u64;
+    let publish_floor = cfg.uniform_share() / 2;
+    for w in 0..WINDOWS {
+        let divergence = match (&realized[0], &realized[1]) {
+            (Some((a, na)), Some((b, nb))) => {
+                trajshare_aggregate::significance_divergence(a, b, *na, *nb)
+            }
+            // Blind allocator (bootstrap, or a dark window): spend.
+            _ => 1.0,
+        };
+        let grant = acct.allocate(w as u64, divergence);
+        let eps = trajshare_aggregate::nano_to_eps(grant.granted_nano);
+        let fresh = grant.granted_nano >= publish_floor.max(1);
+        let cur = if eps > 0.0 {
+            let users = if fresh { USERS } else { USERS / 4 };
+            let counts = sample_counts(&true_dist(w), eps, users, &mut rng);
+            Some((estimate(&counts, eps), users as u64))
+        } else {
+            None
+        };
+        if fresh {
+            published = cur.as_ref().map(|(est, _)| est.clone());
+        }
+        let err = match &published {
+            Some(est) => l1_divergence(est, &true_dist(w)),
+            None => 1.0,
+        };
+        tv_sum += err;
+        // Honest cohort: observed worst-case spend == the grant.
+        if let Some(decision) = acct.settle(w as u64, grant.granted_nano) {
+            refusals += u64::from(decision.refused);
+        }
+        sliding_max = sliding_max.max(acct.sliding_spend_nano());
+        realized = [realized[1].take(), cur];
+        rows.push(vec![
+            w.to_string(),
+            format!("{}-closed", policy.name()),
+            format!("{divergence:.2}"),
+            format!("{eps:.3}"),
+            if fresh { "fresh" } else { "hold" }.to_string(),
+            format!("{err:.3}"),
+        ]);
+    }
+    ClosedLoopRun {
+        rows,
+        mean_tv: tv_sum / WINDOWS as f64,
+        sliding_max_nano: sliding_max,
+        refusals,
+    }
+}
+
 fn bench_budget_allocation(c: &mut Criterion) {
     // Criterion half: ledger-operation cost (allocate + settle per
     // window) — the accountant must be negligible next to a publication
@@ -221,8 +304,31 @@ fn bench_budget_allocation(c: &mut Criterion) {
         uniform.mean_tv,
     );
 
+    // Closed-loop pass: no oracle, announced-before-data grants, honest
+    // cohorts. Refusal is the exception path and must never fire.
+    let closed_uniform = run_closed_loop(AllocationPolicy::Uniform, 0xC105ED);
+    let closed_adaptive = run_closed_loop(AllocationPolicy::adaptive(), 0xC105ED);
+    for run in [&closed_uniform, &closed_adaptive] {
+        assert_eq!(
+            run.refusals, 0,
+            "honest grant-following cohorts are never refused"
+        );
+        assert!(
+            run.sliding_max_nano <= total_nano,
+            "the w-window contract holds in the closed loop"
+        );
+    }
+    assert!(
+        closed_adaptive.mean_tv <= closed_uniform.mean_tv,
+        "the measured signal must preserve the allocation win: adaptive ({:.3}) vs uniform ({:.3})",
+        closed_adaptive.mean_tv,
+        closed_uniform.mean_tv,
+    );
+
     let mut rows = uniform.rows;
     rows.extend(adaptive.rows);
+    rows.extend(closed_uniform.rows.clone());
+    rows.extend(closed_adaptive.rows.clone());
     rows.push(vec![
         "mean".into(),
         "uniform".into(),
@@ -239,12 +345,26 @@ fn bench_budget_allocation(c: &mut Criterion) {
         "—".into(),
         format!("{:.3}", adaptive.mean_tv),
     ]);
+    for (name, run) in [
+        ("uniform-closed", &closed_uniform),
+        ("adaptive-closed", &closed_adaptive),
+    ] {
+        rows.push(vec![
+            "mean".into(),
+            name.into(),
+            "measured".into(),
+            "—".into(),
+            format!("refusals={}", run.refusals),
+            format!("{:.3}", run.mean_tv),
+        ]);
+    }
     let report = Reported {
         id: "bench_budget_allocation".into(),
         settings: format!(
             "|R|={REGIONS}, {WINDOWS} windows × {USERS} users, k-RR + IBU({IBU_ITERS}), \
              ε = {TOTAL_EPS} over any {HORIZON} windows, shifts at {SHIFTS:?}; \
-             oracle divergence signal"
+             oracle divergence signal + closed-loop (measured-signal, \
+             announced-before-data) pass"
         ),
         headers: vec![
             "window".into(),

@@ -52,6 +52,8 @@ fn fresh_worker(tiles: Vec<u16>, tag: &str) -> (ServerHandle, std::path::PathBuf
         max_conn_advance: u64::MAX,
         backend: EstimatorBackend::default(),
         budget: None,
+        grants: false,
+        graph: None,
     });
     let handle = IngestServer::start(cfg).expect("worker start");
     (handle, dir)

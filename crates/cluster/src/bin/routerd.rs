@@ -6,6 +6,7 @@
 //!                                                         coordinator role
 //!         [--window-len U --windows W] [--pull-every-ms MS]
 //!         [--budget-eps E --budget-window W] [--budget-policy uniform|adaptive]
+//!         [--grants] [--ledger PATH]
 //!         [--backend dense|blocked|sparse-w2]
 //!         [--queue-depth N] [--batch-max N] [--vnodes V]
 //!         [--read-timeout-ms MS] [--connect-attempts N]
@@ -20,9 +21,22 @@
 //! graph, the live merged model). Both roles in one process is the
 //! normal deployment; either alone also works (pure router, pure
 //! coordinator).
+//!
+//! `--grants` (requires the coordinator role with a budget) closes the
+//! ε-budget loop cluster-wide: the coordinator is the **single
+//! allocator**, and every tick its standing grant is (a) announced on
+//! the router's own front door to `TSGH`-subscribed client connections
+//! and (b) relayed to every worker's export endpoint over `TSCL`
+//! `GrantAnnounce`, so clients connected to any tier see one consistent
+//! ε′ per window. `--ledger PATH` makes the coordinator's accountant
+//! durable: it restores the `TSBA` blob at startup and rewrites it
+//! before any announcement, so a routerd restarted mid-horizon
+//! re-announces its earlier decisions instead of re-granting spent
+//! budget.
 
 use std::net::SocketAddr;
 use std::time::Duration;
+use trajshare_aggregate::clusterproto::{write_cluster_frame, ClusterFrame};
 use trajshare_aggregate::{
     eps_to_nano, nano_to_eps, AllocationPolicy, EstimatorBackend, WindowBudgetConfig, WindowConfig,
 };
@@ -35,6 +49,7 @@ fn usage() -> ! {
          [--export HOST:PORT ... (--regions N | --region-graph FILE)] \
          [--window-len U --windows W] [--pull-every-ms MS] \
          [--budget-eps E --budget-window W] [--budget-policy uniform|adaptive] \
+         [--grants] [--ledger PATH] \
          [--backend dense|blocked|sparse-w2] [--queue-depth N] [--batch-max N] \
          [--vnodes V] [--read-timeout-ms MS] [--connect-attempts N]"
     );
@@ -84,9 +99,15 @@ fn main() {
     let mut vnodes: Option<usize> = None;
     let mut read_timeout_ms: Option<u64> = None;
     let mut connect_attempts: Option<u32> = None;
+    let mut grants = false;
+    let mut ledger: Option<std::path::PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
+        if flag == "--grants" {
+            grants = true;
+            continue;
+        }
         let value = |args: &mut dyn Iterator<Item = String>| match args.next() {
             Some(v) => v,
             None => usage(),
@@ -114,6 +135,7 @@ fn main() {
             "--vnodes" => vnodes = Some(parsed(value(&mut args))),
             "--read-timeout-ms" => read_timeout_ms = Some(parsed(value(&mut args))),
             "--connect-attempts" => connect_attempts = Some(parsed(value(&mut args))),
+            "--ledger" => ledger = Some(std::path::PathBuf::from(value(&mut args))),
             _ => usage(),
         }
     }
@@ -152,12 +174,20 @@ fn main() {
         }
         (None, _) => None,
     };
+    if grants && (budget.is_none() || !coordinate) {
+        eprintln!("routerd: --grants requires a coordinator budget (--export + --budget-eps)");
+        usage()
+    }
+    if ledger.is_some() && (budget.is_none() || !coordinate) {
+        eprintln!("routerd: --ledger requires a coordinator budget (--export + --budget-eps)");
+        usage()
+    }
 
     // The coordinator's public universe, mirrored from ingestd: a bare
     // `--regions N` (tiles default to hour 0 — merge + fingerprint
     // only), or the region-graph file, which also enables live model
     // estimation over the merged view.
-    let mut graph: Option<RegionGraph> = None;
+    let mut graph: Option<std::sync::Arc<RegionGraph>> = None;
     let mut tiles: Vec<u16> = Vec::new();
     if coordinate {
         match &region_graph {
@@ -176,7 +206,7 @@ fn main() {
                     std::process::exit(1)
                 }
                 tiles = t;
-                graph = Some(g);
+                graph = Some(std::sync::Arc::new(g));
             }
             None => {
                 let Some(n) = regions else {
@@ -193,6 +223,7 @@ fn main() {
 
     let router = if route {
         let mut config = RouterConfig::new(addr.unwrap(), workers.clone());
+        config.grants = grants;
         if let Some(d) = queue_depth {
             config.worker_queue_depth = d.max(1);
         }
@@ -227,11 +258,13 @@ fn main() {
         config.window = window;
         config.budget = budget;
         config.backend = backend;
+        config.graph = graph.clone();
+        config.ledger_path = ledger.clone();
         if let Some(ms) = read_timeout_ms {
             config.pull_timeout = Duration::from_millis(ms.max(1));
         }
         println!(
-            "routerd coordinating {} workers (universe {} regions{}{})",
+            "routerd coordinating {} workers (universe {} regions{}{}{}{})",
             exports.len(),
             config.region_tiles.len(),
             window.map_or(String::new(), |w| format!(
@@ -244,6 +277,11 @@ fn main() {
                 b.horizon,
                 b.policy
             )),
+            if grants { ", grants on" } else { "" },
+            config
+                .ledger_path
+                .as_ref()
+                .map_or(String::new(), |p| { format!(", ledger {}", p.display()) }),
         );
         Some(Coordinator::new(config))
     } else {
@@ -252,12 +290,46 @@ fn main() {
 
     // Drive: coordinator tick + router stat line every pull interval.
     // SIGTERM/SIGKILL is the stop signal, same as ingestd — workers own
-    // all durable state, so routerd itself has nothing to flush.
+    // all durable state except the coordinator's budget ledger, which
+    // tick() persists before returning any grant we could relay here.
     let tick_every = Duration::from_millis(pull_every_ms.max(10));
+    let relay_timeout = Duration::from_millis(read_timeout_ms.unwrap_or(1_000).max(1));
+    let mut last_grant_epoch: Option<u64> = None;
     loop {
         std::thread::sleep(tick_every);
         if let Some(coord) = &mut coordinator {
             let view = coord.tick();
+            if grants {
+                if let Some(g) = view.grant {
+                    // One allocator, every front door: the router's own
+                    // grant board for clients connected here, and each
+                    // worker's export endpoint (TSCL GrantAnnounce) for
+                    // clients connected straight to a worker. Relayed
+                    // every tick — the boards dedupe, and a restarted
+                    // worker's empty board gets the standing grant back
+                    // on the next tick instead of at the next rollover.
+                    if let Some(handle) = &router {
+                        handle.announce_grant(g);
+                    }
+                    for &export in &exports {
+                        let _ = std::net::TcpStream::connect_timeout(&export, relay_timeout)
+                            .and_then(|mut s| {
+                                s.set_write_timeout(Some(relay_timeout))?;
+                                write_cluster_frame(&mut s, &ClusterFrame::GrantAnnounce(g))
+                            });
+                    }
+                    if last_grant_epoch != Some(g.epoch) {
+                        last_grant_epoch = Some(g.epoch);
+                        println!(
+                            "cluster grant seq={} epoch={} window={} eps={:.3}",
+                            view.seq,
+                            g.epoch,
+                            g.window,
+                            nano_to_eps(g.granted_nano)
+                        );
+                    }
+                }
+            }
             let windows: Vec<String> = view
                 .windows
                 .iter()

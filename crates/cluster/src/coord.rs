@@ -38,22 +38,33 @@
 //! **ε-budget.** The coordinator optionally runs the same sliding
 //! ledger as a single-node server over the merged view (allocate on
 //! first sight ≤ watermark, settle against the cohort's *max* per-report
-//! ε′). The ledger here is in-memory: the durable books live on the
-//! workers, whose own budgets (if configured) are strictly local. A
+//! ε′; the divergence signal is the shared significance-tested
+//! [`window_divergence`]). With [`CoordConfig::ledger_path`] set the
+//! ledger is durable: restored at startup (a corrupt or
+//! config-mismatched blob is a hard error — restoring nothing would
+//! re-grant spent budget) and rewritten atomically inside every tick
+//! that changed a decision, *before* the tick returns. That ordering is
+//! the cluster's persist-before-broadcast rule: a grant `routerd` ever
+//! relayed is already on disk, so a coordinator killed and restarted
+//! mid-horizon re-announces the same ε′ instead of re-deciding it. A
 //! deployment picks one enforcement point — cluster-level accounting on
-//! the coordinator, or per-worker accounting with no coordinator budget
-//! — and the docs recommend the former for exact global `w`-window
-//! guarantees.
+//! the coordinator (the single allocator for the grant session), or
+//! per-worker accounting with no coordinator budget — and the docs
+//! recommend the former for exact global `w`-window guarantees.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 use trajshare_aggregate::clusterproto::{
     read_cluster_frame, write_cluster_frame, ClusterFrame, WorkerSnapshot,
 };
 use trajshare_aggregate::{
-    count_divergence, crc32, AggregateCounts, EstimatorBackend, MobilityModel, StreamingEstimator,
-    WindowBudgetAccountant, WindowBudgetConfig, WindowConfig, WindowedAggregator,
+    crc32, window_divergence, AggregateCounts, EstimatorBackend, GrantFrame, GrantRecord,
+    MobilityModel, StreamingEstimator, WindowBudgetAccountant, WindowBudgetConfig, WindowConfig,
+    WindowedAggregator,
 };
 use trajshare_core::RegionGraph;
 
@@ -74,6 +85,16 @@ pub struct CoordConfig {
     pub budget: Option<WindowBudgetConfig>,
     /// Estimator kernel backend.
     pub backend: EstimatorBackend,
+    /// Durable `TSBA` ledger blob for the cluster accountant. `None`
+    /// keeps the ledger in-memory (tests, ephemeral clusters); set, the
+    /// coordinator restores it in [`Coordinator::new`] and persists it
+    /// atomically after every tick that changed a decision, so a
+    /// restarted coordinator can never re-grant budget an earlier
+    /// incarnation already spent.
+    pub ledger_path: Option<PathBuf>,
+    /// Region universe graph for the debiased divergence signal; `None`
+    /// falls back to significance-testing raw occupancy.
+    pub graph: Option<Arc<RegionGraph>>,
 }
 
 impl CoordConfig {
@@ -87,6 +108,8 @@ impl CoordConfig {
             pull_timeout: Duration::from_secs(5),
             budget: None,
             backend: EstimatorBackend::default(),
+            ledger_path: None,
+            graph: None,
         }
     }
 }
@@ -155,6 +178,11 @@ pub struct ClusterView {
     pub refused_windows: Vec<u64>,
     /// Current sliding-window spend, nano-ε (`None` without a budget).
     pub sliding_spend_nano: Option<u64>,
+    /// The standing grant for the next window — freshly allocated this
+    /// tick or the re-announced latest decision (`None` without a
+    /// budget). Already durable when the view is returned, so relaying
+    /// it is always safe.
+    pub grant: Option<GrantFrame>,
 }
 
 /// Pulls one snapshot from a worker export endpoint: connect, send
@@ -192,16 +220,27 @@ pub struct Coordinator {
     merged_counts: AggregateCounts,
     merged_ring: Option<WindowedAggregator>,
     watermark: u64,
+    /// The ledger encoding as last persisted — skips the disk write on
+    /// ticks that decided nothing new.
+    last_ledger: Vec<u8>,
 }
 
 impl Coordinator {
     /// Builds a coordinator; no network traffic until the first
-    /// [`Coordinator::tick`].
+    /// [`Coordinator::tick`]. With [`CoordConfig::ledger_path`] set and
+    /// the file present, the accountant is restored from it — and a
+    /// blob that fails to decode or was written under a different
+    /// budget config is a **panic**, not a silent fresh start, because
+    /// a coordinator that forgot its spends would re-grant them.
     pub fn new(config: CoordConfig) -> Self {
         assert!(!config.exports.is_empty(), "need at least one worker");
         assert!(
             config.budget.is_none() || config.window.is_some(),
             "a cluster budget requires a window config"
+        );
+        assert!(
+            config.ledger_path.is_none() || config.budget.is_some(),
+            "a ledger path requires a cluster budget"
         );
         let slots = config
             .exports
@@ -222,18 +261,53 @@ impl Coordinator {
             })
             .collect();
         let num_regions = config.region_tiles.len();
+        let mut accountant = config.budget.map(WindowBudgetAccountant::new);
+        let mut accepted = BTreeSet::new();
+        let mut refused = BTreeSet::new();
+        let mut last_ledger = Vec::new();
+        if let (Some(acct), Some(path)) = (accountant.as_mut(), config.ledger_path.as_ref()) {
+            match std::fs::read(path) {
+                Ok(bytes) => {
+                    let restored = WindowBudgetAccountant::decode(&bytes).unwrap_or_else(|e| {
+                        panic!("corrupt cluster ledger {}: {e:?}", path.display())
+                    });
+                    assert!(
+                        restored.config() == acct.config(),
+                        "cluster ledger {} was written under a different budget config",
+                        path.display()
+                    );
+                    // Re-seed publication status from the restored grant
+                    // history, so windows whose ledger entries expired
+                    // from the horizon keep their earned accept/refuse
+                    // status across the restart (the first tick re-settles
+                    // only in-horizon windows).
+                    for r in restored.grant_history() {
+                        if r.refused {
+                            refused.insert(r.window);
+                        } else {
+                            accepted.insert(r.window);
+                        }
+                    }
+                    last_ledger = bytes;
+                    *acct = restored;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => panic!("cannot read cluster ledger {}: {e}", path.display()),
+            }
+        }
         Coordinator {
             estimator: StreamingEstimator::with_backend(
                 StreamingEstimator::DEFAULT_COLD_ITERS,
                 StreamingEstimator::DEFAULT_WARM_ITERS,
                 config.backend,
             ),
-            accountant: config.budget.map(WindowBudgetAccountant::new),
-            accepted: BTreeSet::new(),
-            refused: BTreeSet::new(),
+            accountant,
+            accepted,
+            refused,
             merged_counts: AggregateCounts::new(num_regions),
             merged_ring: None,
             watermark: 0,
+            last_ledger,
             slots,
             seq: 0,
             config,
@@ -306,8 +380,13 @@ impl Coordinator {
 
         // Phase 4: budget decisions over merged windows at or below the
         // watermark — same allocate/settle discipline as a single node,
-        // settling against the merged cohort's worst reporter.
+        // settling against the merged cohort's worst reporter. The
+        // divergence signal is the shared significance-tested one
+        // (debiased when a graph is configured), so the adaptive policy
+        // no longer chases channel noise between ε′ cohorts.
+        let mut grant: Option<GrantFrame> = None;
         if let (Some(accountant), Some(view)) = (&mut self.accountant, &ring) {
+            let graph = self.config.graph.as_deref();
             let windows = view.windows();
             for (i, &(id, w_counts)) in windows.iter().enumerate() {
                 if id > watermark {
@@ -317,7 +396,7 @@ impl Coordinator {
                 if accountant.decided().is_none_or(|d| id > d) {
                     let divergence = match i.checked_sub(1).map(|j| windows[j]) {
                         Some((prev_id, prev)) if prev_id + 1 == id => {
-                            count_divergence(&prev.occupancy, &w_counts.occupancy)
+                            window_divergence(graph, prev, w_counts)
                         }
                         _ => 1.0,
                     };
@@ -342,7 +421,48 @@ impl Coordinator {
                     }
                 }
             }
+            // Grant-session pre-allocation, mirroring the single-node
+            // maintenance thread: decide the *next* window's ε′ before
+            // any of its data exists, so grant-following clients can
+            // randomize at the announced rate and settlement later
+            // observes spend == grant. Bootstrap (no merged data yet)
+            // grants the current newest window — the first one clients
+            // will fill. An already-decided next window (earlier tick,
+            // or a ledger restored after restart) re-announces the
+            // standing decision unchanged; the relays' boards dedupe.
+            let next = if view.merged().num_reports == 0 {
+                view.newest_window()
+            } else {
+                view.newest_window() + 1
+            };
+            let g = if accountant.decided().is_none_or(|d| next > d) {
+                let divergence = match windows.len().checked_sub(2) {
+                    Some(j) if windows[j].0 + 1 == windows[j + 1].0 => {
+                        window_divergence(graph, windows[j].1, windows[j + 1].1)
+                    }
+                    _ => 1.0,
+                };
+                let g = accountant.allocate(next, divergence);
+                Some(GrantFrame {
+                    epoch: g.epoch,
+                    window: g.window,
+                    granted_nano: g.granted_nano,
+                })
+            } else {
+                accountant.latest_grant().map(|r| GrantFrame {
+                    epoch: r.epoch,
+                    window: r.window,
+                    granted_nano: r.granted_nano,
+                })
+            };
+            grant = g;
         }
+
+        // Persist-before-broadcast: the ledger hits disk before the
+        // view (and the grant inside it) is returned to anyone who
+        // could relay it. A coordinator that cannot persist must not
+        // announce — failing fast beats over-granting after a restart.
+        self.persist_ledger();
 
         let windows = ring
             .as_ref()
@@ -372,7 +492,32 @@ impl Coordinator {
             ring_crc32,
             refused_windows: self.refused.iter().copied().collect(),
             sliding_spend_nano: self.accountant.as_ref().map(|a| a.sliding_spend_nano()),
+            grant,
         }
+    }
+
+    /// Atomically rewrites the ledger blob if it changed since the last
+    /// write (tmp + fsync + rename, the workspace's blob discipline).
+    /// Panics on failure: see the persist-before-broadcast note in
+    /// [`Coordinator::tick`].
+    fn persist_ledger(&mut self) {
+        let (Some(acct), Some(path)) = (self.accountant.as_ref(), self.config.ledger_path.as_ref())
+        else {
+            return;
+        };
+        let encoded = acct.encode();
+        if encoded == self.last_ledger {
+            return;
+        }
+        let write = || -> std::io::Result<()> {
+            let tmp = path.with_extension("tsba.tmp");
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&encoded)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        };
+        write().unwrap_or_else(|e| panic!("cannot persist cluster ledger {}: {e}", path.display()));
+        self.last_ledger = encoded;
     }
 
     /// Validates and installs one pulled snapshot into its slot.
@@ -449,6 +594,17 @@ impl Coordinator {
     /// a budget this is empty — every window ≤ watermark publishes.
     pub fn accepted_windows(&self) -> Vec<u64> {
         self.accepted.iter().copied().collect()
+    }
+
+    /// The cluster budget's epoch-stamped grant history, oldest first —
+    /// empty without a budget. Each allocation gets exactly one record,
+    /// so a restart that re-announces instead of re-deciding leaves
+    /// this log's length unchanged (the no-double-grant assertion).
+    pub fn grant_history(&self) -> Vec<GrantRecord> {
+        self.accountant
+            .as_ref()
+            .map(|a| a.grant_history().copied().collect())
+            .unwrap_or_default()
     }
 
     /// The cluster budget's decision log, `window → (granted, spent,

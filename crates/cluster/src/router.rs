@@ -48,10 +48,14 @@ use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use trajshare_aggregate::{BatchEncoder, Report, ReportBatch, StreamDecoder, WireFrame};
+use trajshare_aggregate::grant::encode_ack_frame_into;
+use trajshare_aggregate::{
+    BatchEncoder, GrantBoard, GrantFrame, GrantSubscriber, Report, ReportBatch, StreamDecoder,
+    WireFrame,
+};
 
 /// Router deployment shape.
 #[derive(Debug, Clone)]
@@ -88,6 +92,14 @@ pub struct RouterConfig {
     pub connect_attempts: u32,
     /// Virtual nodes per worker on the hash ring.
     pub vnodes: usize,
+    /// Run the TSGB grant session at the router's front door: client
+    /// connections may subscribe with a `TSGH` hello and receive the
+    /// coordinator's epoch-tagged ε′ announcements
+    /// ([`RouterHandle::announce_grant`], fed by `routerd`'s tick loop)
+    /// pushed mid-stream, with their acks switching to framed `TSAK`.
+    /// Off by default; a subscribe hello is then a protocol violation
+    /// (the client would wait forever for a grant that never comes).
+    pub grants: bool,
 }
 
 impl RouterConfig {
@@ -108,6 +120,7 @@ impl RouterConfig {
             reconnect_backoff_max: Duration::from_secs(1),
             connect_attempts: 3,
             vnodes: 64,
+            grants: false,
         }
     }
 }
@@ -171,6 +184,8 @@ pub struct RouterHandle {
     addr: SocketAddr,
     stats: Arc<RouterStats>,
     workers_up: Arc<Vec<AtomicBool>>,
+    /// The TSGB grant board ([`RouterConfig::grants`] only).
+    board: Option<Arc<GrantBoard>>,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -194,6 +209,10 @@ impl Router {
                 .collect(),
         );
         let ring = Arc::new(HashRing::new(config.workers.len(), config.vnodes));
+        // The grant board: subscribed client connections hang off it;
+        // routerd's tick loop feeds it the coordinator's allocation
+        // through [`RouterHandle::announce_grant`].
+        let board = config.grants.then(|| Arc::new(GrantBoard::new()));
 
         let mut threads = Vec::new();
         let mut uplink_txs = Vec::with_capacity(config.workers.len());
@@ -217,8 +236,9 @@ impl Router {
             let cfg = config.clone();
             let stats = Arc::clone(&stats);
             let stop = Arc::clone(&stop);
+            let board = board.clone();
             threads.push(std::thread::spawn(move || {
-                client_loop(rx, txs, ring, cfg, stats, stop)
+                client_loop(rx, txs, ring, cfg, stats, stop, board)
             }));
         }
         drop(conn_rx);
@@ -236,6 +256,7 @@ impl Router {
             addr,
             stats,
             workers_up,
+            board,
             stop,
             threads,
         })
@@ -251,6 +272,22 @@ impl RouterHandle {
     /// Live event counters.
     pub fn stats(&self) -> &RouterStats {
         &self.stats
+    }
+
+    /// Announces the coordinator's grant to every subscribed client
+    /// connection (no-op unless [`RouterConfig::grants`]). `routerd`
+    /// calls this each tick with the cluster's single-allocator
+    /// decision, which is what makes every client behind the router
+    /// randomize at one consistent ε′ per window.
+    pub fn announce_grant(&self, grant: GrantFrame) {
+        if let Some(board) = &self.board {
+            board.announce(grant);
+        }
+    }
+
+    /// The latest grant announced at this router's front door.
+    pub fn latest_grant(&self) -> Option<GrantFrame> {
+        self.board.as_ref().and_then(|b| b.current())
     }
 
     /// Per-worker up/down flags as last observed by the uplinks (a
@@ -302,6 +339,7 @@ fn acceptor_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn client_loop(
     rx: channel::Receiver<TcpStream>,
     txs: Vec<channel::Sender<RoutedReport>>,
@@ -309,10 +347,19 @@ fn client_loop(
     config: RouterConfig,
     stats: Arc<RouterStats>,
     stop: Arc<AtomicBool>,
+    board: Option<Arc<GrantBoard>>,
 ) {
     loop {
         match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(stream) => handle_client(stream, &txs, &ring, &config, &stats, &stop),
+            Ok(stream) => handle_client(
+                stream,
+                &txs,
+                &ring,
+                &config,
+                &stats,
+                &stop,
+                board.as_deref(),
+            ),
             Err(RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::SeqCst) {
                     return;
@@ -323,8 +370,31 @@ fn client_loop(
     }
 }
 
+/// Writes one cumulative ack to the client: raw `u64` LE until a `TSGH`
+/// hello upgraded the connection, a framed `TSAK` through the shared
+/// writer afterwards (serialized against the grant board's pushes by
+/// the writer's lock).
+fn write_client_ack(stream: &mut TcpStream, framed: &Option<GrantSubscriber>, acked: u64) -> bool {
+    match framed {
+        Some(writer) => {
+            let mut frame = Vec::with_capacity(4 + trajshare_aggregate::grant::ACK_PAYLOAD_LEN);
+            encode_ack_frame_into(acked, &mut frame);
+            match writer.lock() {
+                Ok(mut w) => w.write_all(&frame).and_then(|()| w.flush()).is_ok(),
+                Err(_) => false,
+            }
+        }
+        None => stream.write_all(&acked.to_le_bytes()).is_ok(),
+    }
+}
+
 /// Reads one client stream to EOF, routing every validated frame to its
 /// worker's queue, then waits for the worker acks and acks the client.
+/// A `TSGH` hello upgrades the server→client direction to control
+/// frames (framed acks, pushed grants) exactly as at a worker's front
+/// door — the grant session is transparent to whether a router sits in
+/// between.
+#[allow(clippy::too_many_arguments)]
 fn handle_client(
     mut stream: TcpStream,
     txs: &[channel::Sender<RoutedReport>],
@@ -332,6 +402,7 @@ fn handle_client(
     config: &RouterConfig,
     stats: &RouterStats,
     stop: &AtomicBool,
+    board: Option<&GrantBoard>,
 ) {
     if stream.set_read_timeout(Some(config.read_timeout)).is_err()
         || stream.set_nodelay(true).is_err()
@@ -339,6 +410,7 @@ fn handle_client(
         stats.bump(&stats.io_errors);
         return;
     }
+    let mut framed: Option<GrantSubscriber> = None;
     let tally = Arc::new(ConnTally::default());
     let mut decoder = StreamDecoder::new();
     let mut chunk = [0u8; 64 * 1024];
@@ -380,7 +452,7 @@ fn handle_client(
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 let acked = tally.acked.load(Ordering::Acquire);
-                if stream.write_all(&acked.to_le_bytes()).is_err() {
+                if !write_client_ack(&mut stream, &framed, acked) {
                     stats.bump(&stats.io_errors);
                     return;
                 }
@@ -430,6 +502,31 @@ fn handle_client(
                                 }
                             }
                         }
+                        Ok(Some(WireFrame::Hello { hello })) => {
+                            // Upgrade to the grant session (idempotent
+                            // on repeat hellos): framed acks from here,
+                            // and — when subscribing — the current
+                            // grant immediately plus every future
+                            // announcement pushed mid-stream.
+                            if framed.is_none() {
+                                if hello.subscribes() && board.is_none() {
+                                    stats.bump(&stats.disconnected_protocol);
+                                    return;
+                                }
+                                let Ok(clone) = stream.try_clone() else {
+                                    stats.bump(&stats.io_errors);
+                                    return;
+                                };
+                                let _ = clone.set_write_timeout(Some(Duration::from_secs(1)));
+                                let writer: GrantSubscriber = Arc::new(Mutex::new(clone));
+                                if hello.subscribes() {
+                                    if let Some(board) = board {
+                                        board.subscribe(&writer);
+                                    }
+                                }
+                                framed = Some(writer);
+                            }
+                        }
                         Ok(None) => break,
                         Err(_) => {
                             stats.bump(&stats.disconnected_protocol);
@@ -444,7 +541,7 @@ fn handle_client(
                     let acked = tally.acked.load(Ordering::Acquire);
                     if acked > last_ack {
                         last_ack = acked;
-                        if stream.write_all(&acked.to_le_bytes()).is_err() {
+                        if !write_client_ack(&mut stream, &framed, acked) {
                             stats.bump(&stats.io_errors);
                             return;
                         }

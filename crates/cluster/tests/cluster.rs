@@ -51,6 +51,8 @@ fn worker_config(tag: &str) -> (ServerConfig, std::path::PathBuf) {
         max_conn_advance: u64::MAX,
         backend: EstimatorBackend::default(),
         budget: None,
+        grants: false,
+        graph: None,
     });
     (cfg, dir)
 }
@@ -242,4 +244,222 @@ fn router_refuses_malformed_streams_without_acking() {
     drop(router);
     let _ = a.shutdown();
     let _ = std::fs::remove_dir_all(&dir_a);
+}
+
+/// Toy report at an explicit timestamp and ε′ — the grant-following
+/// cohort member.
+fn grant_report(i: u32, t: u64, eps: f64) -> Report {
+    let a = i % REGIONS as u32;
+    let b = (a + 1) % REGIONS as u32;
+    Report {
+        t,
+        eps_prime: eps,
+        len: 2,
+        unigrams: vec![(0, a), (1, b)],
+        exact: vec![(0, a), (1, b)],
+        transitions: vec![(a, b)],
+    }
+}
+
+/// A toy region graph over the test universe (line distances, ring
+/// adjacency — matches `grant_report`'s a → a+1 transitions).
+fn toy_graph() -> trajshare_core::RegionGraph {
+    let n = REGIONS;
+    let matrix: Vec<f32> = (0..n * n)
+        .map(|k| ((k / n) as f32 - (k % n) as f32).abs())
+        .collect();
+    let distance = trajshare_core::distances::RegionDistance::from_parts(n, matrix);
+    let bigrams: Vec<(u32, u32)> = (0..n as u32).map(|a| (a, (a + 1) % n as u32)).collect();
+    trajshare_core::RegionGraph::from_parts(distance, bigrams)
+}
+
+#[test]
+fn closed_loop_grants_are_durable_across_coordinator_restart() {
+    use trajshare_aggregate::clusterproto::{write_cluster_frame, ClusterFrame};
+    use trajshare_aggregate::{eps_to_nano, nano_to_eps, AllocationPolicy, WindowBudgetConfig};
+    use trajshare_service::{encode_wire, GrantClient};
+
+    const TOTAL_EPS: f64 = 4.0;
+    const HORIZON: usize = 4;
+    const PER_WINDOW: u32 = 120;
+
+    let (mut cfg_a, dir_a) = worker_config("grant-a");
+    let (cfg_b, dir_b) = worker_config("grant-b");
+    // Worker A runs a grant session of its own (board only, no local
+    // budget): relayed coordinator grants must reach clients connected
+    // straight to it. Worker B stays grant-less: a `GrantAnnounce`
+    // relay must be ignored there, never fatal.
+    cfg_a.stream.as_mut().unwrap().grants = true;
+    let a = IngestServer::start(cfg_a).unwrap();
+    let b = IngestServer::start(cfg_b).unwrap();
+
+    let mut rcfg = router_config(vec![a.addr(), b.addr()]);
+    rcfg.grants = true;
+    let router = Router::start(rcfg).unwrap();
+
+    let ledger_path = std::env::temp_dir().join(format!(
+        "trajshare-cluster-test-{}-grant.tsba",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&ledger_path);
+    let mut ccfg = CoordConfig::new(
+        vec![a.export_addr().unwrap(), b.export_addr().unwrap()],
+        vec![0u16; REGIONS],
+    );
+    ccfg.window = Some(WINDOW);
+    ccfg.budget = Some(WindowBudgetConfig::new(
+        eps_to_nano(TOTAL_EPS),
+        HORIZON,
+        AllocationPolicy::Uniform,
+    ));
+    ccfg.ledger_path = Some(ledger_path.clone());
+    let mut coord = Coordinator::new(ccfg.clone());
+
+    // What routerd's tick loop does with a view's grant: one allocator,
+    // every front door.
+    let exports = [a.export_addr().unwrap(), b.export_addr().unwrap()];
+    let relay = |g: trajshare_aggregate::GrantFrame| {
+        router.announce_grant(g);
+        for export in exports {
+            let _ = std::net::TcpStream::connect(export)
+                .and_then(|mut s| write_cluster_frame(&mut s, &ClusterFrame::GrantAnnounce(g)));
+        }
+    };
+
+    // The closed loop, through the router: wait for each window's
+    // announced ε′, randomize the cohort at exactly that rate, stream.
+    let mut client = GrantClient::connect(router.addr()).unwrap();
+    let mut sent = 0u64;
+    let share = eps_to_nano(TOTAL_EPS) / HORIZON as u64;
+    for k in 0..3u64 {
+        let mut grant = None;
+        for _ in 0..250 {
+            let view = coord.tick();
+            // The sliding-sum invariant holds by construction on every
+            // single tick, and refusal stays the never-taken exception
+            // path.
+            assert!(view.sliding_spend_nano.unwrap() <= eps_to_nano(TOTAL_EPS));
+            assert!(
+                view.refused_windows.is_empty(),
+                "refusals must stay the exception path: {:?}",
+                view.refused_windows
+            );
+            if let Some(g) = view.grant {
+                relay(g);
+                if g.window >= k {
+                    grant = Some(g);
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let g = grant.unwrap_or_else(|| panic!("window {k} never granted"));
+        assert_eq!(g.window, k);
+        assert_eq!(
+            g.granted_nano, share,
+            "uniform grants are the per-window share"
+        );
+
+        let got = client
+            .wait_grant(k, Duration::from_secs(5))
+            .unwrap()
+            .expect("router never pushed the relayed grant");
+        assert_eq!(got, g);
+        let eps = nano_to_eps(g.granted_nano);
+        let slice: Vec<Report> = (0..PER_WINDOW)
+            .map(|i| grant_report(i, g.window * 10 + u64::from(i % 10), eps))
+            .collect();
+        client.send(&encode_wire(&slice, 16)).unwrap();
+        sent += u64::from(PER_WINDOW);
+
+        // Drive ticks until the cohort is merged and the window settles
+        // cleanly (spend == grant, not refused).
+        let settled = (0..250).any(|_| {
+            let view = coord.tick();
+            if let Some(g) = view.grant {
+                relay(g);
+            }
+            let ok =
+                view.merged_reports == sent
+                    && coord.budget_decisions().get(&k).is_some_and(
+                        |&(granted, spent, refused)| granted == share && spent == share && !refused,
+                    );
+            if !ok {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            ok
+        });
+        assert!(settled, "window {k} never settled cleanly");
+    }
+    let (acked, client_grants) = client.finish().unwrap();
+    assert_eq!(acked, sent, "every grant-following report worker-acked");
+    assert!(client_grants.len() >= 3);
+
+    // The partition was real, and the grant-less worker B ignored the
+    // TSCL announcements without dropping its export connections.
+    assert!(a.counts().num_reports > 0 && b.counts().num_reports > 0);
+
+    // A late joiner connected straight to grant-running worker A gets
+    // the standing grant from its board (TSCL relay → board catch-up).
+    let mut direct = GrantClient::connect(a.addr()).unwrap();
+    let dg = direct
+        .wait_grant(0, Duration::from_secs(5))
+        .unwrap()
+        .expect("worker board never served the relayed grant");
+    assert!(dg.window >= 2);
+    let (dacked, _) = direct.finish().unwrap();
+    assert_eq!(dacked, 0);
+
+    // ---- kill → restart mid-horizon ----------------------------------
+    // Window 3 is pre-allocated (the standing grant) but unfilled: the
+    // most dangerous restart point — a coordinator that forgot the
+    // ledger would re-decide it under a fresh epoch.
+    let decisions_before = coord.budget_decisions();
+    let history_before = coord.grant_history();
+    let accepted_before = coord.accepted_windows();
+    assert_eq!(decisions_before.len(), 4, "window 3 pre-allocated");
+    assert_eq!(accepted_before, vec![0, 1, 2]);
+    let graph = toy_graph();
+    let model_before = format!(
+        "{:?}",
+        coord.estimate(&graph).expect("model before restart")
+    );
+    drop(coord);
+
+    let mut coord2 = Coordinator::new(ccfg);
+    let view2 = coord2.tick();
+    // Restored, not re-decided: identical history (same epochs — not
+    // one new record), identical decisions, and the same standing
+    // grant re-announced.
+    assert_eq!(coord2.grant_history(), history_before);
+    assert_eq!(coord2.budget_decisions(), decisions_before);
+    assert_eq!(
+        view2.grant.map(|g| (g.window, g.epoch, g.granted_nano)),
+        history_before
+            .last()
+            .map(|r| (r.window, r.epoch, r.granted_nano)),
+        "restart must re-announce the standing grant, not re-grant it"
+    );
+    assert!(view2.refused_windows.is_empty());
+    assert!(view2.sliding_spend_nano.unwrap() <= eps_to_nano(TOTAL_EPS));
+    let accepted_after: Vec<u64> = coord2
+        .accepted_windows()
+        .into_iter()
+        .filter(|&w| w <= view2.watermark)
+        .collect();
+    assert_eq!(accepted_after, accepted_before);
+    // Same merged view, same accepted set, deterministic cold solve:
+    // the published model is bit-identical across the restart.
+    let model_after = format!(
+        "{:?}",
+        coord2.estimate(&graph).expect("model after restart")
+    );
+    assert_eq!(model_before, model_after);
+
+    drop(router);
+    let _ = (a.shutdown(), b.shutdown());
+    let _ = std::fs::remove_file(&ledger_path);
+    for d in [dir_a, dir_b] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
 }

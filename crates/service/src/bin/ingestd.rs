@@ -12,6 +12,7 @@
 //!         [--max-conn-advance N] [--backend dense|blocked|sparse-w2]
 //!         [--budget-eps E] [--budget-window W]        # w-window ε budget
 //!         [--budget-policy uniform|adaptive]
+//!         [--grants]                                  # TSGB grant session
 //!         [--export-addr HOST:PORT]                   # cluster snapshot export
 //!         [--dump-counts]
 //! ```
@@ -39,6 +40,18 @@
 //! unspent budget from quiet windows to shifting ones). Refused windows
 //! are excluded from model estimates and visible in the `published`
 //! lines.
+//!
+//! `--grants` closes that loop: the maintenance thread pre-allocates the
+//! *next* window's ε′ every publication tick and pushes it as a `TSGB`
+//! frame down every connection that subscribed with a `TSGH` hello
+//! (`loadgen --follow-grants`, `GrantClient`). Honest clients randomize
+//! at exactly the granted rate, so settlement observes spend == grant
+//! and refusals become the asserted-near-zero exception path. With a
+//! `--region-graph` the allocator's change detector also upgrades from
+//! raw occupancy to significance-tested *debiased* per-window
+//! posteriors. A cluster worker runs `--grants` without `--budget-eps`:
+//! its grants arrive from the coordinator, relayed by `routerd` over
+//! the `TSCL` export listener.
 //!
 //! `--export-addr` opens the cluster snapshot-export listener: a
 //! `routerd` coordinator connects there and pulls this worker's merged
@@ -70,7 +83,7 @@ fn usage() -> ! {
          [--window-len U --windows W] [--publish-every-ms MS] [--server-clock] \
          [--max-conn-advance N] [--backend dense|blocked|sparse-w2] \
          [--budget-eps E] [--budget-window W] [--budget-policy uniform|adaptive] \
-         [--export-addr HOST:PORT] [--dump-counts]"
+         [--grants] [--export-addr HOST:PORT] [--dump-counts]"
     );
     std::process::exit(2)
 }
@@ -108,7 +121,17 @@ struct BudgetDump {
     sliding_spent_eps: f64,
     refused_windows: u64,
     recycled_eps: f64,
+    /// Refused decisions over the whole grant *history* (outlives the
+    /// ledger horizon) — the closed-loop health number the CI smoke
+    /// asserts stays 0 under `--grants` + `loadgen --follow-grants`.
+    budget_refusals: u64,
+    /// The allocation epoch the next grant will carry.
+    current_epoch: u64,
     decisions: Vec<DecisionDump>,
+    /// The trailing grant history — every allocation the ledger made
+    /// (window, epoch, granted ε′, settled max ε′), oldest first,
+    /// retained past both the ledger horizon and the ring depth.
+    grants: Vec<GrantDump>,
 }
 
 #[derive(serde::Serialize)]
@@ -116,6 +139,15 @@ struct DecisionDump {
     window: u64,
     granted_eps: f64,
     spent_eps: f64,
+    refused: bool,
+}
+
+#[derive(serde::Serialize)]
+struct GrantDump {
+    window: u64,
+    epoch: u64,
+    granted_eps: f64,
+    settled_eps: f64,
     refused: bool,
 }
 
@@ -163,6 +195,7 @@ fn main() {
     let mut budget_eps: Option<f64> = None;
     let mut budget_window: Option<usize> = None;
     let mut budget_policy = AllocationPolicy::Uniform;
+    let mut grants = false;
     let mut export_addr: Option<SocketAddr> = None;
     let mut dump_counts = false;
 
@@ -198,6 +231,7 @@ fn main() {
                 budget_policy =
                     AllocationPolicy::parse(&value(&mut args)).unwrap_or_else(|| usage())
             }
+            "--grants" => grants = true,
             "--export-addr" => export_addr = Some(parsed(value(&mut args))),
             "--dump-counts" => dump_counts = true,
             _ => usage(),
@@ -208,7 +242,7 @@ fn main() {
     // The public universe: a bare `--regions N` (tiles default to hour
     // 0), or the full region-graph file, which also enables live model
     // estimation. Given both, they must agree.
-    let graph: Option<RegionGraph>;
+    let graph: Option<std::sync::Arc<RegionGraph>>;
     let tiles: Vec<u16>;
     match &region_graph {
         Some(path) => {
@@ -225,7 +259,7 @@ fn main() {
                 std::process::exit(1)
             }
             tiles = t;
-            graph = Some(g);
+            graph = Some(std::sync::Arc::new(g));
         }
         None => {
             let Some(n) = regions else { usage() };
@@ -296,6 +330,18 @@ fn main() {
                 sliding_spent_eps: nano_to_eps(acct.sliding_spend_nano()),
                 refused_windows: acct.refused_windows(),
                 recycled_eps: nano_to_eps(acct.recycled_nano()),
+                budget_refusals: acct.grant_history().filter(|r| r.refused).count() as u64,
+                current_epoch: acct.current_epoch(),
+                grants: acct
+                    .grant_history()
+                    .map(|r| GrantDump {
+                        window: r.window,
+                        epoch: r.epoch,
+                        granted_eps: nano_to_eps(r.granted_nano),
+                        settled_eps: nano_to_eps(r.settled_nano),
+                        refused: r.refused,
+                    })
+                    .collect(),
                 decisions: {
                     // Same contract as the window list: sorted by
                     // window id regardless of ledger iteration order.
@@ -351,6 +397,8 @@ fn main() {
         max_conn_advance: max_conn_advance.unwrap_or(u64::MAX),
         backend,
         budget,
+        grants,
+        graph: graph.clone(),
     });
 
     let streaming = config.stream.is_some();
@@ -359,7 +407,7 @@ fn main() {
             format!("{}ε/{}w {}", nano_to_eps(b.total_nano), b.horizon, b.policy)
         });
         format!(
-            ", streaming: clock={} advance-budget={} backend={} budget={}",
+            ", streaming: clock={} advance-budget={} backend={} budget={} grants={}",
             if s.server_clock { "server" } else { "client" },
             if s.max_conn_advance == u64::MAX {
                 "unlimited".to_string()
@@ -368,6 +416,7 @@ fn main() {
             },
             s.backend,
             budget_desc,
+            if s.grants { "on" } else { "off" },
         )
     });
     let handle = IngestServer::start(config).unwrap_or_else(|e| {
@@ -427,6 +476,15 @@ fn main() {
                         windows.join(" "),
                         budget_desc,
                     );
+                    if let Some(g) = handle.latest_grant() {
+                        println!(
+                            "grant seq={} epoch={} window={} eps={:.3}",
+                            p.seq,
+                            g.epoch,
+                            g.window,
+                            nano_to_eps(g.granted_nano),
+                        );
+                    }
                     if let Some(graph) = &graph {
                         if let Some(model) = handle.estimate_window_model(graph) {
                             println!(

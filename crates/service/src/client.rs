@@ -8,7 +8,10 @@
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
-use trajshare_aggregate::{BatchEncoder, Report};
+use std::time::{Duration, Instant};
+use trajshare_aggregate::{
+    BatchEncoder, ControlDecoder, ControlFrame, GrantFrame, HelloFrame, Report,
+};
 
 /// Streams one report slice over a single connection and returns the
 /// server's ack (reports accepted and made durable).
@@ -198,6 +201,213 @@ pub fn stream_wires(wires: &[(SocketAddr, Vec<u8>)]) -> std::io::Result<u64> {
         }
         Ok(total)
     })
+}
+
+/// A grant-session connection: the closed-loop client side of the
+/// adaptive ε-budget protocol.
+///
+/// On connect it sends the `TSGH` subscribe hello, which switches the
+/// server→client direction to length-prefixed control frames: framed
+/// `TSAK` cumulative acks interleaved with pushed `TSGB` grants. The
+/// client then alternates [`GrantClient::wait_grant`] (block until the
+/// allocator announces ε′ for the window it wants to fill) with
+/// [`GrantClient::send`] (stream reports randomized at exactly that
+/// ε′), and [`GrantClient::finish`] half-closes and returns the durable
+/// total — the same completion contract as [`stream_bytes_once`].
+///
+/// Works identically against a single grant-running `ingestd` and
+/// against `routerd` (which relays the cluster coordinator's grants),
+/// because the wire protocol is the same at both front doors.
+pub struct GrantClient {
+    stream: TcpStream,
+    decoder: ControlDecoder,
+    last_ack: u64,
+    seen_ack: bool,
+    eof: bool,
+    latest: Option<GrantFrame>,
+    grants_seen: Vec<GrantFrame>,
+}
+
+impl GrantClient {
+    /// Connects, subscribes to the grant session, and returns the live
+    /// client. The server's current grant (if any) arrives immediately
+    /// — the late-joiner catch-up — and is visible through
+    /// [`GrantClient::latest_grant`] after the first `wait_grant`/pump.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<GrantClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.write_all(&HelloFrame::subscribe().encode_frame())?;
+        Ok(GrantClient {
+            stream,
+            decoder: ControlDecoder::new(),
+            last_ack: 0,
+            seen_ack: false,
+            eof: false,
+            latest: None,
+            grants_seen: Vec::new(),
+        })
+    }
+
+    /// The newest grant received so far.
+    pub fn latest_grant(&self) -> Option<GrantFrame> {
+        self.latest
+    }
+
+    /// Every distinct grant received, in arrival order.
+    pub fn grants_seen(&self) -> &[GrantFrame] {
+        &self.grants_seen
+    }
+
+    /// The last cumulative durable ack received so far.
+    pub fn acked(&self) -> u64 {
+        self.last_ack
+    }
+
+    fn absorb(&mut self, frame: ControlFrame) {
+        match frame {
+            // Cumulative, so the newest wins.
+            ControlFrame::Ack(acked) => {
+                self.last_ack = acked;
+                self.seen_ack = true;
+            }
+            ControlFrame::Grant(g) => {
+                // The board dedupes, but a reconnecting relay may
+                // replay — keep `grants_seen` distinct by epoch.
+                if self.grants_seen.last().map(|p| p.epoch) != Some(g.epoch) {
+                    self.grants_seen.push(g);
+                }
+                self.latest = Some(g);
+            }
+        }
+    }
+
+    /// Decodes every complete buffered control frame.
+    fn drain_decoder(&mut self) -> std::io::Result<()> {
+        loop {
+            match self.decoder.next_control() {
+                Ok(Some(frame)) => self.absorb(frame),
+                Ok(None) => return Ok(()),
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("corrupt control frame from server: {e:?}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Reads whatever the server has already pushed, without blocking.
+    fn pump_nonblocking(&mut self) -> std::io::Result<()> {
+        self.stream.set_nonblocking(true)?;
+        let mut buf = [0u8; 4096];
+        let res = loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    break Ok(());
+                }
+                Ok(n) => self.decoder.extend(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => break Err(e),
+            }
+        };
+        self.stream.set_nonblocking(false)?;
+        res?;
+        self.drain_decoder()
+    }
+
+    /// Blocks until a grant for window ≥ `min_window` arrives (the
+    /// announced grant covers exactly one window, so "at least" is the
+    /// right wait — the allocator never re-grants an older window with
+    /// a newer epoch). Returns `None` on timeout with the loop still
+    /// healthy; the caller decides whether to fall back to
+    /// [`GrantClient::latest_grant`] or give up.
+    pub fn wait_grant(
+        &mut self,
+        min_window: u64,
+        timeout: Duration,
+    ) -> std::io::Result<Option<GrantFrame>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.pump_nonblocking()?;
+            match self.latest {
+                Some(g) if g.window >= min_window => return Ok(Some(g)),
+                _ => {}
+            }
+            if self.eof {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the grant session",
+                ));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            // Short blocking reads so a pushed grant wakes us promptly
+            // without spinning.
+            self.stream
+                .set_read_timeout(Some((deadline - now).min(Duration::from_millis(50))))?;
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.decoder.extend(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))?;
+                    return Err(e);
+                }
+            }
+            self.stream
+                .set_read_timeout(Some(Duration::from_secs(30)))?;
+            self.drain_decoder()?;
+        }
+    }
+
+    /// Streams pre-encoded report/batch wire bytes ([`encode_wire`]),
+    /// draining pushed control frames between chunks so a long upload
+    /// cannot deadlock against the server's ack/grant writes.
+    pub fn send(&mut self, wire: &[u8]) -> std::io::Result<()> {
+        for chunk in wire.chunks(256 * 1024) {
+            self.stream.write_all(chunk)?;
+            self.pump_nonblocking()?;
+        }
+        Ok(())
+    }
+
+    /// Half-closes and reads the session to EOF, returning the final
+    /// cumulative durable ack. Same contract as [`stream_bytes_once`]:
+    /// a server that closes without ever acking is an error.
+    pub fn finish(mut self) -> std::io::Result<(u64, Vec<GrantFrame>)> {
+        self.stream.shutdown(Shutdown::Write)?;
+        let mut buf = [0u8; 4096];
+        while !self.eof {
+            match self.stream.read(&mut buf) {
+                Ok(0) => self.eof = true,
+                Ok(n) => {
+                    self.decoder.extend(&buf[..n]);
+                    self.drain_decoder()?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.drain_decoder()?;
+        if !self.seen_ack {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before any ack",
+            ));
+        }
+        Ok((self.last_ack, self.grants_seen))
+    }
 }
 
 /// Reassembles the server's 8-byte cumulative acks from however the

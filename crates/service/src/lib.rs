@@ -32,7 +32,7 @@ pub mod storage;
 pub use client::{
     encode_wire, encode_wire_multi, stream_bytes_once, stream_once, stream_once_batched,
     stream_reports, stream_reports_batched, stream_reports_multi, stream_reports_multi_batched,
-    stream_wires,
+    stream_wires, GrantClient,
 };
 pub use server::{
     BudgetPublication, CountsSummary, IngestServer, RecoverySummary, ServerConfig, ServerHandle,

@@ -71,16 +71,18 @@ use std::time::{Duration, Instant};
 use trajshare_aggregate::clusterproto::{
     read_cluster_frame, write_cluster_frame, ClusterFrame, WorkerSnapshot,
 };
+use trajshare_aggregate::grant::encode_ack_frame_into;
 use trajshare_aggregate::snapshot::crc32;
 use trajshare_aggregate::{
-    count_divergence, AggregateCounts, Aggregator, EstimatorBackend, MobilityModel, Report,
-    ReportBatch, StreamDecoder, StreamingEstimator, WindowBudgetAccountant, WindowBudgetConfig,
-    WindowConfig, WindowedAggregator, WireFrame,
+    window_divergence, AggregateCounts, Aggregator, EstimatorBackend, GrantBoard, GrantFrame,
+    GrantRecord, GrantSubscriber, MobilityModel, Report, ReportBatch, StreamDecoder,
+    StreamingEstimator, WindowBudgetAccountant, WindowBudgetConfig, WindowConfig,
+    WindowedAggregator, WireFrame,
 };
 use trajshare_core::RegionGraph;
 
 /// Streaming (sliding-window) options for a server instance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct StreamServerConfig {
     /// Window length / ring depth over `Report::t`.
     pub window: WindowConfig,
@@ -121,6 +123,28 @@ pub struct StreamServerConfig {
     /// survives kill/restart. `None` (the historical behavior) publishes
     /// without accounting.
     pub budget: Option<WindowBudgetConfig>,
+    /// Close the budget loop: run the **grant session**. The maintenance
+    /// thread pre-allocates the *next* window's ε′ at every publication
+    /// tick and broadcasts it as a `TSGB` frame down every connection
+    /// that opted in with a `TSGH` hello (late joiners get the current
+    /// grant the moment they subscribe). Honest clients then randomize
+    /// at exactly the granted ε′, so settlement observes spend == grant
+    /// and refusals become the exception path. Requires `budget` on a
+    /// single node (a cluster worker instead relays the coordinator's
+    /// grants arriving over the `TSCL` export listener, so `grants`
+    /// without `budget` is meaningful there). Off by default — existing
+    /// deployments keep the one-way protocol byte for byte.
+    pub grants: bool,
+    /// Region universe for the divergence signal. With a graph, the
+    /// allocator's change detector runs RetraSyn-style significance
+    /// testing over *debiased* per-window posteriors (invert the EM
+    /// channel at the window's mean ε′, then compare IBU frequency
+    /// estimates) instead of raw perturbed occupancy — raw counts are
+    /// flattened toward uniform by the channel, which mutes real shifts
+    /// at small ε and can hallucinate shifts when ε′ itself changes
+    /// between windows. Without a graph the significance test runs on
+    /// normalized raw occupancy (noise-floor-gated, but channel-biased).
+    pub graph: Option<Arc<RegionGraph>>,
 }
 
 impl StreamServerConfig {
@@ -135,6 +159,8 @@ impl StreamServerConfig {
             max_conn_advance: u64::MAX,
             backend: EstimatorBackend::default(),
             budget: None,
+            grants: false,
+            graph: None,
         }
     }
 }
@@ -244,6 +270,14 @@ pub struct ServerStats {
     /// Cluster snapshots served over the `TSCL` export listener
     /// ([`ServerConfig::export_addr`]).
     pub snapshots_shipped: AtomicU64,
+    /// Distinct `TSGB` grants announced on this node's grant board —
+    /// allocated locally by the maintenance thread
+    /// ([`StreamServerConfig::grants`]) or relayed by a coordinator over
+    /// the `TSCL` export listener.
+    pub grants_published: AtomicU64,
+    /// Connections that opted into the grant session with a `TSGH`
+    /// subscribe hello.
+    pub grant_subscriptions: AtomicU64,
     /// Online WAL compactions (generation bumps while live).
     pub compactions: AtomicU64,
     /// Online compactions that failed (retried after a backoff).
@@ -440,6 +474,8 @@ pub struct ServerHandle {
     /// The privacy-budget ledger + refusal set (streaming servers with a
     /// budget config only).
     budget: Option<Arc<Mutex<BudgetState>>>,
+    /// The TSGB grant board ([`StreamServerConfig::grants`] only).
+    board: Option<Arc<GrantBoard>>,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
     recovery: RecoverySummary,
@@ -520,6 +556,18 @@ impl IngestServer {
             })
         };
 
+        // The grant board: fan-out point of the TSGB grant session
+        // ([`StreamServerConfig::grants`]). Fed by the maintenance
+        // thread's allocator when this node holds the budget ledger, or
+        // by a coordinator's `GrantAnnounce` relays over the export
+        // listener when it doesn't (cluster workers). Connection
+        // handlers register subscribers on hello.
+        let board = config
+            .stream
+            .as_ref()
+            .filter(|s| s.grants)
+            .map(|_| Arc::new(GrantBoard::new()));
+
         let mut shards = Vec::with_capacity(config.workers);
         let mut threads = Vec::with_capacity(config.workers + 2);
         for i in 0..config.workers {
@@ -544,8 +592,9 @@ impl IngestServer {
                 server_clock: s.server_clock,
                 max_conn_advance: s.max_conn_advance,
             });
+            let board = board.clone();
             threads.push(std::thread::spawn(move || {
-                worker_loop(rx, shard, stats, stop, read_timeout, policy)
+                worker_loop(rx, shard, stats, stop, read_timeout, policy, board)
             }));
         }
         drop(rx);
@@ -627,8 +676,9 @@ impl IngestServer {
                 let stats = Arc::clone(&stats);
                 let stop = Arc::clone(&stop);
                 let read_timeout = config.read_timeout;
+                let board = board.clone();
                 threads.push(std::thread::spawn(move || {
-                    export_loop(listener, base, shards, stats, stop, read_timeout)
+                    export_loop(listener, base, shards, stats, stop, read_timeout, board)
                 }));
                 Some(bound)
             }
@@ -649,8 +699,9 @@ impl IngestServer {
             let latest = Arc::clone(&latest_publication);
             let cfg = config.clone();
             let budget = budget.clone();
+            let board = board.clone();
             threads.push(std::thread::spawn(move || {
-                maintenance_loop(cfg, base, shards, stats, stop, latest, budget)
+                maintenance_loop(cfg, base, shards, stats, stop, latest, budget, board)
             }));
         }
 
@@ -671,6 +722,7 @@ impl IngestServer {
             latest_publication,
             estimator,
             budget,
+            board,
             stop,
             threads,
             recovery,
@@ -781,6 +833,46 @@ impl ServerHandle {
             .map(|state| state.lock().unwrap().accountant.clone())
     }
 
+    /// The accountant's grant history — (window, epoch, granted ε′,
+    /// settled max ε′) per decision, oldest first. Outlives both the
+    /// ledger horizon and the ring retention (see
+    /// [`trajshare_aggregate::GrantRecord`]); empty when no budget is
+    /// configured.
+    pub fn budget_grant_history(&self) -> Vec<GrantRecord> {
+        self.budget
+            .as_ref()
+            .map(|state| {
+                state
+                    .lock()
+                    .unwrap()
+                    .accountant
+                    .grant_history()
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The latest grant on this node's grant board — what a subscribing
+    /// client connecting right now would be caught up with. `None` when
+    /// the grant session is disabled or nothing has been announced yet.
+    pub fn latest_grant(&self) -> Option<GrantFrame> {
+        self.board.as_ref().and_then(|b| b.current())
+    }
+
+    /// Announces a grant on this node's board, pushing it to every
+    /// subscribed connection — the embedding hook a coordinator-driven
+    /// deployment uses when it relays grants by means other than the
+    /// `TSCL` export listener. No-op when the grant session is disabled.
+    pub fn announce_grant(&self, grant: GrantFrame) {
+        if let Some(board) = &self.board {
+            if board.current() != Some(grant) {
+                self.stats.bump(&self.stats.grants_published);
+            }
+            board.announce(grant);
+        }
+    }
+
     /// The live windows currently excluded from published estimates by
     /// the budget accountant (empty when no budget is configured).
     pub fn budget_refused_windows(&self) -> Vec<u64> {
@@ -850,10 +942,19 @@ fn worker_loop(
     stop: Arc<AtomicBool>,
     read_timeout: Duration,
     policy: Option<StreamIngestPolicy>,
+    board: Option<Arc<GrantBoard>>,
 ) {
     loop {
         match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(stream) => handle_conn(stream, &shard, &stats, &stop, read_timeout, policy),
+            Ok(stream) => handle_conn(
+                stream,
+                &shard,
+                &stats,
+                &stop,
+                read_timeout,
+                policy,
+                board.as_deref(),
+            ),
             Err(RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::SeqCst) {
                     return;
@@ -865,12 +966,15 @@ fn worker_loop(
 }
 
 /// Runs the per-window budget decisions over the current merged view:
-/// allocate every newly seen window (divergence measured on consecutive
-/// windows' raw occupancy counters — no estimation needed), settle each
+/// allocate every newly seen window (divergence via
+/// [`window_divergence`] on consecutive windows), settle each
 /// live window's observed worst-case (max) per-report ε′ against its
 /// grant, maintain the accept/refuse sets, mirror spends into the base
-/// ring, and persist the ledger when it changed. Returns whether
-/// persistence failed.
+/// ring, pre-allocate and return the *next* window's grant when the
+/// grant session is on, and persist the ledger when it changed — the
+/// persist happens before the caller can broadcast the returned grant,
+/// so a grant a client ever saw is always on disk and a restart can
+/// never re-decide it differently.
 ///
 /// Lock order: base, then budget, then (briefly, per mirrored spend)
 /// individual shards. Taking a shard lock while holding base + budget
@@ -884,7 +988,9 @@ fn run_budget_decisions(
     base: &Mutex<BaseState>,
     shards: &[Arc<Mutex<Shard>>],
     stats: &ServerStats,
-) -> std::io::Result<()> {
+) -> std::io::Result<Option<GrantFrame>> {
+    let graph = config.stream.as_ref().and_then(|s| s.graph.as_deref());
+    let grants = config.stream.as_ref().is_some_and(|s| s.grants);
     let mut base_guard = base.lock().unwrap();
     let mut guard = state.lock().unwrap();
     let windows = view.windows();
@@ -904,7 +1010,7 @@ fn run_budget_decisions(
             // a full shift — the policy buys data when it knows nothing.
             let divergence = match i.checked_sub(1).map(|j| windows[j]) {
                 Some((prev_id, prev)) if prev_id + 1 == id => {
-                    count_divergence(&prev.occupancy, &counts.occupancy)
+                    window_divergence(graph, prev, counts)
                 }
                 _ => 1.0,
             };
@@ -989,7 +1095,55 @@ fn run_budget_decisions(
             }
         }
     }
-    // Decisions for windows that slid out no longer gate anything.
+    // Grant-session pre-allocation: decide the *next* window's ε′ now —
+    // before any of its data exists — so subscribed clients can
+    // randomize at the announced rate and settlement later observes
+    // spend == grant. Bootstrap (no data at all) grants the ring's
+    // current newest window, the first one clients will fill. The
+    // signal for the upcoming window is the shift between the two
+    // newest observed windows (a cold start counts as a full shift —
+    // the policy buys data when it knows nothing). When the window was
+    // already decided (an earlier tick, or a restored ledger after
+    // restart), the standing decision is re-announced unchanged — the
+    // board dedupes, and a restarted node's empty board needs the
+    // current grant back for late joiners.
+    let announce = if grants {
+        let next = if view.merged().num_reports == 0 {
+            view.newest_window()
+        } else {
+            view.newest_window() + 1
+        };
+        if guard.accountant.decided().is_none_or(|d| next > d) {
+            let divergence = match windows.len().checked_sub(2) {
+                Some(j) if windows[j].0 + 1 == windows[j + 1].0 => {
+                    window_divergence(graph, windows[j].1, windows[j + 1].1)
+                }
+                _ => 1.0,
+            };
+            let g = guard.accountant.allocate(next, divergence);
+            stats.bump(&stats.budget_decisions);
+            Some(GrantFrame {
+                epoch: g.epoch,
+                window: g.window,
+                granted_nano: g.granted_nano,
+            })
+        } else {
+            guard.accountant.latest_grant().map(|r| GrantFrame {
+                epoch: r.epoch,
+                window: r.window,
+                granted_nano: r.granted_nano,
+            })
+        }
+    } else {
+        None
+    };
+    // Books for windows that slid out of the ring no longer gate
+    // anything: the expired-but-live guard above only consults them for
+    // windows still in the view, and publication only filters live
+    // windows. (The budget *horizon* needs no books at all — the
+    // accountant's ledger and grant history are self-contained and
+    // survive independently of ring retention, which is what lets `w`
+    // exceed the ring depth.)
     let oldest = view.oldest_window();
     guard.refused.retain(|&id| id >= oldest);
     guard.accepted.retain(|&id| id >= oldest);
@@ -1010,7 +1164,7 @@ fn run_budget_decisions(
         storage::write_blob_atomic(&storage::budget_path(&config.data_dir), &encoded)?;
         guard.persisted = encoded;
     }
-    Ok(())
+    Ok(announce)
 }
 
 /// The maintenance thread: publishes the merged sliding-window view
@@ -1025,6 +1179,7 @@ fn maintenance_loop(
     stop: Arc<AtomicBool>,
     latest: Arc<Mutex<Option<StreamPublication>>>,
     budget: Option<Arc<Mutex<BudgetState>>>,
+    board: Option<Arc<GrantBoard>>,
 ) {
     let publish_every = config.stream.as_ref().map(|s| s.publish_every);
     let group_commit = matches!(config.sync_policy, SyncPolicy::GroupCommit { .. });
@@ -1051,10 +1206,22 @@ fn maintenance_loop(
                     // publication describes, so the published accounting
                     // is never ahead of or behind the window list.
                     let budget_pub = budget.as_ref().map(|state| {
-                        if run_budget_decisions(&config, &view, state, &base, &shards, &stats)
-                            .is_err()
-                        {
-                            stats.bump(&stats.io_errors);
+                        match run_budget_decisions(&config, &view, state, &base, &shards, &stats) {
+                            // The grant is broadcast only after the
+                            // decision behind it is persisted (see
+                            // run_budget_decisions): no client ever
+                            // randomizes against a grant a restart
+                            // could re-decide.
+                            Ok(Some(grant)) => {
+                                if let Some(board) = &board {
+                                    if board.current() != Some(grant) {
+                                        stats.bump(&stats.grants_published);
+                                    }
+                                    board.announce(grant);
+                                }
+                            }
+                            Ok(None) => {}
+                            Err(_) => stats.bump(&stats.io_errors),
                         }
                         BudgetPublication::of(&state.lock().unwrap())
                     });
@@ -1142,9 +1309,14 @@ fn export_snapshot(base: &Mutex<BaseState>, shards: &[Arc<Mutex<Shard>>]) -> Wor
 }
 
 /// The cluster snapshot-export listener: serves `TSCL` `SnapshotPull`
-/// requests with the worker's current merged state. Connections are
-/// handled serially (the only expected client is one coordinator); a
-/// connection may issue any number of pulls before closing.
+/// requests with the worker's current merged state, and — when the
+/// grant session is on — installs `GrantAnnounce` relays from the
+/// coordinator onto the worker's grant board, fanning each one out to
+/// this worker's subscribed client connections. Connections are
+/// handled serially (the only expected clients are one coordinator and
+/// its router's relay); a connection may issue any number of frames
+/// before closing.
+#[allow(clippy::too_many_arguments)]
 fn export_loop(
     listener: TcpListener,
     base: Arc<Mutex<BaseState>>,
@@ -1152,6 +1324,7 @@ fn export_loop(
     stats: Arc<ServerStats>,
     stop: Arc<AtomicBool>,
     read_timeout: Duration,
+    board: Option<Arc<GrantBoard>>,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -1177,8 +1350,23 @@ fn export_loop(
                             }
                             stats.bump(&stats.snapshots_shipped);
                         }
+                        // The coordinator's allocation, relayed down to
+                        // this worker's subscribed clients. Fire-and-
+                        // forget (no reply). A worker running no grant
+                        // session ignores the relay — dropping the
+                        // coordinator's connection over it would cost a
+                        // snapshot pull cycle for nothing.
+                        Ok(ClusterFrame::GrantAnnounce(grant)) => {
+                            if let Some(board) = &board {
+                                if board.current() != Some(grant) {
+                                    stats.bump(&stats.grants_published);
+                                }
+                                board.announce(grant);
+                            }
+                        }
                         // A worker never accepts snapshots; anything but
-                        // a pull is a protocol violation.
+                        // a pull or a grant relay is a protocol
+                        // violation.
                         Ok(_) => {
                             stats.bump(&stats.disconnected_protocol);
                             break;
@@ -1305,9 +1493,31 @@ fn server_clock_now() -> u64 {
         .unwrap_or(0)
 }
 
+/// Writes one cumulative ack to the client: the classic raw `u64` LE
+/// until a `TSGH` hello upgraded the connection, a framed `TSAK`
+/// through the shared writer afterwards — serialized against the grant
+/// board's pushes by the writer's own lock, so an ack and a pushed
+/// grant can never interleave mid-frame.
+fn write_ack(stream: &mut TcpStream, framed: &Option<GrantSubscriber>, acked: u64) -> bool {
+    match framed {
+        Some(writer) => {
+            let mut frame = Vec::with_capacity(4 + trajshare_aggregate::grant::ACK_PAYLOAD_LEN);
+            encode_ack_frame_into(acked, &mut frame);
+            match writer.lock() {
+                Ok(mut w) => w.write_all(&frame).and_then(|()| w.flush()).is_ok(),
+                Err(_) => false,
+            }
+        }
+        None => stream.write_all(&acked.to_le_bytes()).is_ok(),
+    }
+}
+
 /// Reads one client stream to EOF, ingesting every framed report, then
 /// flushes the WAL and acks. Any protocol violation or stall drops the
-/// connection without an ack.
+/// connection without an ack. A `TSGH` hello upgrades the server→client
+/// direction to control frames (framed acks, pushed grants — see
+/// [`StreamServerConfig::grants`]); connections that never send one
+/// keep the classic raw-ack exchange byte for byte.
 fn handle_conn(
     mut stream: TcpStream,
     shard: &Mutex<Shard>,
@@ -1315,6 +1525,7 @@ fn handle_conn(
     stop: &AtomicBool,
     read_timeout: Duration,
     policy: Option<StreamIngestPolicy>,
+    board: Option<&GrantBoard>,
 ) {
     if stream.set_read_timeout(Some(read_timeout)).is_err() || stream.set_nodelay(true).is_err() {
         stats.bump(&stats.io_errors);
@@ -1327,6 +1538,9 @@ fn handle_conn(
     let mut batch_scratch = ReportBatch::new();
     let mut chunk = [0u8; 64 * 1024];
     let mut accepted = 0u64;
+    // `Some` once a hello upgraded this connection: the shared writer
+    // the grant board pushes through and every ack goes through.
+    let mut framed: Option<GrantSubscriber> = None;
     // Windows this connection may still advance the shard watermark.
     let mut advance_budget = policy.map_or(u64::MAX, |p| p.max_conn_advance);
     loop {
@@ -1349,7 +1563,7 @@ fn handle_conn(
                     stats.bump(&stats.disconnected_protocol);
                     return;
                 }
-                if stream.write_all(&accepted.to_le_bytes()).is_err() {
+                if !write_ack(&mut stream, &framed, accepted) {
                     stats.bump(&stats.io_errors);
                     return;
                 }
@@ -1404,7 +1618,7 @@ fn handle_conn(
                                             // Unchanged cumulative ack:
                                             // the client sees the batch
                                             // was not accepted.
-                                            if stream.write_all(&accepted.to_le_bytes()).is_err() {
+                                            if !write_ack(&mut stream, &framed, accepted) {
                                                 stats.bump(&stats.io_errors);
                                                 return;
                                             }
@@ -1428,7 +1642,7 @@ fn handle_conn(
                             // WAL flush: an acked batch survives any
                             // process kill, so a client that dies
                             // mid-stream re-sends at most one batch.
-                            if stream.write_all(&accepted.to_le_bytes()).is_err() {
+                            if !write_ack(&mut stream, &framed, accepted) {
                                 stats.bump(&stats.io_errors);
                                 return;
                             }
@@ -1487,6 +1701,44 @@ fn handle_conn(
                             drop(guard);
                             accepted += 1;
                             stats.bump(&stats.reports_ingested);
+                        }
+                        Ok(Some(WireFrame::Hello { hello })) => {
+                            // Upgrade to the grant session. From here
+                            // the server→client direction is framed
+                            // (TSAK acks, pushed TSGB grants). A
+                            // repeated hello is idempotent.
+                            if framed.is_none() {
+                                if hello.subscribes() && board.is_none() {
+                                    // Subscribing against a server that
+                                    // runs no grant session would leave
+                                    // the client waiting forever for a
+                                    // grant; refuse loudly instead.
+                                    stats.bump(&stats.disconnected_protocol);
+                                    return;
+                                }
+                                let Ok(clone) = stream.try_clone() else {
+                                    stats.bump(&stats.io_errors);
+                                    return;
+                                };
+                                // Bound how long a stalled subscriber
+                                // can hold the grant board's push loop
+                                // (the fd is shared with `stream`, so
+                                // this also bounds ack writes — fine,
+                                // they are tens of bytes).
+                                let _ = clone.set_write_timeout(Some(Duration::from_secs(1)));
+                                let writer: GrantSubscriber = Arc::new(Mutex::new(clone));
+                                if hello.subscribes() {
+                                    if let Some(board) = board {
+                                        // Registers *and* writes the
+                                        // current grant to this
+                                        // connection atomically — the
+                                        // late-joiner catch-up.
+                                        board.subscribe(&writer);
+                                        stats.bump(&stats.grant_subscriptions);
+                                    }
+                                }
+                                framed = Some(writer);
+                            }
                         }
                         Ok(None) => break,
                         Err(_) => {

@@ -982,3 +982,153 @@ fn gap_windows_behind_the_watermark_are_unaccountable() {
     server.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn grant_session_closes_the_loop_with_zero_refusals() {
+    let (mut cfg, dir) = config("grant-loop");
+    let window = WindowConfig {
+        window_len: 60,
+        num_windows: 8,
+    };
+    let mut stream_cfg = StreamServerConfig::new(window, Duration::from_millis(30));
+    // Uniform keeps every grant at the deterministic total/horizon
+    // share; the adaptive bootstrap would legally grant window 0 the
+    // whole budget (cold start = full divergence) and the loop would
+    // then follow ε′ = 0 windows — sound, but a weaker assertion.
+    stream_cfg.budget = Some(WindowBudgetConfig::new(
+        eps_to_nano(4.0),
+        4,
+        AllocationPolicy::Uniform,
+    ));
+    stream_cfg.grants = true;
+    cfg.stream = Some(stream_cfg);
+    let server = IngestServer::start(cfg).unwrap();
+
+    // Closed loop: wait for each window's announced ε′, randomize the
+    // cohort at exactly that rate, stream it, move to the next window.
+    let mut client = trajshare_service::GrantClient::connect(server.addr()).unwrap();
+    let mut sent = 0u64;
+    let mut min_window = 0u64;
+    let mut granted = Vec::new();
+    for _ in 0..3 {
+        let g = client
+            .wait_grant(min_window, Duration::from_secs(10))
+            .unwrap()
+            .expect("grant before timeout");
+        assert_eq!(
+            g.granted_nano,
+            eps_to_nano(4.0) / 4,
+            "uniform grants are exactly the per-window share"
+        );
+        let g_eps = trajshare_aggregate::nano_to_eps(g.granted_nano);
+        let slice: Vec<Report> = (0..40)
+            .map(|i| toy_report_eps(i, g.window * 60 + (i as u64 % 60), g_eps))
+            .collect();
+        client
+            .send(&trajshare_service::encode_wire(&slice, 8))
+            .unwrap();
+        sent += 40;
+        granted.push(g);
+        min_window = g.window + 1;
+    }
+    let (acked, grants_seen) = client.finish().unwrap();
+    assert_eq!(acked, sent, "framed TSAK acks certify the same durability");
+    assert!(grants_seen.len() >= 3);
+    for pair in grants_seen.windows(2) {
+        assert!(pair[1].epoch > pair[0].epoch, "epochs strictly increase");
+        assert!(pair[1].window > pair[0].window, "windows strictly increase");
+    }
+
+    // Settlement observes spend == grant for every filled window: the
+    // refusal path is the exception path, asserted exactly zero.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            let h = server.budget_grant_history();
+            granted
+                .iter()
+                .all(|g| h.iter().any(|r| r.window == g.window && !r.refused))
+        }),
+        "filled windows never settled cleanly"
+    );
+    assert!(server.budget_refused_windows().is_empty());
+    assert_eq!(server.stats().budget_refusals.load(Ordering::Relaxed), 0);
+    assert_eq!(
+        server.stats().grant_subscriptions.load(Ordering::Relaxed),
+        1
+    );
+    assert!(server.stats().grants_published.load(Ordering::Relaxed) >= 3);
+    for g in &granted {
+        let r = server
+            .budget_grant_history()
+            .into_iter()
+            .rev()
+            .find(|r| r.window == g.window)
+            .expect("history holds every announced grant");
+        assert_eq!(r.granted_nano, g.granted_nano);
+        assert!(r.settled_nano <= r.granted_nano, "spend bounded by grant");
+    }
+    let ledger = server.budget_ledger().unwrap();
+    assert!(ledger.sliding_spend_nano() <= eps_to_nano(4.0));
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn late_joiner_catches_up_on_the_standing_grant() {
+    let (mut cfg, dir) = config("grant-late");
+    let window = WindowConfig {
+        window_len: 60,
+        num_windows: 4,
+    };
+    let mut stream_cfg = StreamServerConfig::new(window, Duration::from_millis(20));
+    stream_cfg.budget = Some(WindowBudgetConfig::new(
+        eps_to_nano(2.0),
+        4,
+        AllocationPolicy::Uniform,
+    ));
+    stream_cfg.grants = true;
+    cfg.stream = Some(stream_cfg);
+    let server = IngestServer::start(cfg).unwrap();
+
+    // Let the maintenance thread publish the bootstrap grant before any
+    // client exists.
+    assert!(wait_until(Duration::from_secs(5), || server
+        .latest_grant()
+        .is_some()));
+    let standing = server.latest_grant().unwrap();
+
+    // A connection subscribing *after* the announcement still gets the
+    // current grant immediately (the board's catch-up write), not at
+    // the next rollover.
+    let mut client = trajshare_service::GrantClient::connect(server.addr()).unwrap();
+    let g = client
+        .wait_grant(0, Duration::from_secs(5))
+        .unwrap()
+        .expect("late joiner sees the standing grant");
+    assert_eq!(g, standing);
+
+    // A grant session that streams nothing still gets the framed EOF
+    // ack (cumulative 0) on half-close.
+    let (acked, grants_seen) = client.finish().unwrap();
+    assert_eq!(acked, 0);
+    assert!(!grants_seen.is_empty());
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hello_to_a_grantless_server_is_a_protocol_violation() {
+    // Subscribing against a server that runs no grant session must be
+    // refused by dropping the connection — not silently accepted with
+    // grants that will never come.
+    let (cfg, dir) = config("grant-off");
+    let server = IngestServer::start(cfg).unwrap();
+    let mut client = trajshare_service::GrantClient::connect(server.addr()).unwrap();
+    let err = match client.wait_grant(0, Duration::from_secs(5)) {
+        Err(e) => e,
+        Ok(g) => panic!("grantless server produced {g:?}"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

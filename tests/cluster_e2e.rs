@@ -77,6 +77,8 @@ fn node_config(tiles: Vec<u16>, tag: &str) -> (ServerConfig, std::path::PathBuf)
         max_conn_advance: u64::MAX,
         backend: EstimatorBackend::default(),
         budget: None,
+        grants: false,
+        graph: None,
     });
     (cfg, dir)
 }
