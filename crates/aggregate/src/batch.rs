@@ -296,6 +296,76 @@ impl ReportBatch {
         self.encode_payload_into(out);
     }
 
+    /// The frame's length prefix and fixed payload header as stack
+    /// arrays — the non-column bytes `write_frame_vectored` gathers.
+    fn frame_header(&self) -> ([u8; 4], [u8; Self::HEADER_LEN]) {
+        let mut h = [0u8; Self::HEADER_LEN];
+        h[0..4].copy_from_slice(&Self::MAGIC);
+        h[4..8].copy_from_slice(&(self.t_delta.len() as u32).to_le_bytes());
+        h[8..16].copy_from_slice(&self.base_t.to_le_bytes());
+        h[16..24].copy_from_slice(&self.eps_nano.to_le_bytes());
+        h[24..26].copy_from_slice(&self.len.to_le_bytes());
+        h[26..30].copy_from_slice(&(self.uni_pos.len() as u32).to_le_bytes());
+        h[30..34].copy_from_slice(&(self.exact_pos.len() as u32).to_le_bytes());
+        h[34..38].copy_from_slice(&(self.trans_tail.len() as u32).to_le_bytes());
+        ((self.encoded_len() as u32).to_le_bytes(), h)
+    }
+
+    /// Writes the length-prefixed `TSR4` frame as **one scatter-gather
+    /// write**: on little-endian targets the in-memory bytes of the
+    /// column vectors *are* the wire encoding, so the iovec list points
+    /// straight into column storage — prefix, header, ten columns, CRC —
+    /// and the assemble-into-a-contiguous-buffer copy disappears. The
+    /// CRC is chained across the segments with [`crc32_extend`], so the
+    /// bytes on the wire are identical to [`ReportBatch::encode_frame_into`]
+    /// (big-endian targets fall back to exactly that).
+    pub fn write_frame_vectored<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        #[cfg(target_endian = "little")]
+        {
+            use std::io::IoSlice;
+            let (prefix, header) = self.frame_header();
+            let cols: [&[u8]; 10] = [
+                u32s_as_bytes(&self.t_delta),
+                u32s_as_bytes(&self.n_uni),
+                u32s_as_bytes(&self.n_exact),
+                u32s_as_bytes(&self.n_trans),
+                u16s_as_bytes(&self.uni_pos),
+                u32s_as_bytes(&self.uni_region),
+                u16s_as_bytes(&self.exact_pos),
+                u32s_as_bytes(&self.exact_region),
+                u32s_as_bytes(&self.trans_tail),
+                u32s_as_bytes(&self.trans_head),
+            ];
+            let mut crc = crc32(&header);
+            for c in cols {
+                crc = crc32_extend(crc, c);
+            }
+            let crc_bytes = crc.to_le_bytes();
+            let mut io = [
+                IoSlice::new(&prefix),
+                IoSlice::new(&header),
+                IoSlice::new(cols[0]),
+                IoSlice::new(cols[1]),
+                IoSlice::new(cols[2]),
+                IoSlice::new(cols[3]),
+                IoSlice::new(cols[4]),
+                IoSlice::new(cols[5]),
+                IoSlice::new(cols[6]),
+                IoSlice::new(cols[7]),
+                IoSlice::new(cols[8]),
+                IoSlice::new(cols[9]),
+                IoSlice::new(&crc_bytes),
+            ];
+            trajshare_core::vio::write_all_vectored(w, &mut io)
+        }
+        #[cfg(target_endian = "big")]
+        {
+            let mut buf = Vec::with_capacity(4 + self.encoded_len());
+            self.encode_frame_into(&mut buf);
+            w.write_all(&buf)
+        }
+    }
+
     /// Decodes a `TSR4` payload into this batch, reusing column
     /// capacity. On any error the batch is left empty and nothing must
     /// be acked. Validation order: magic, header completeness, exact
@@ -308,6 +378,30 @@ impl ReportBatch {
     /// over the payload needs — continued from the state the validation
     /// pass already computed, so durable callers never rescan the bytes.
     pub fn decode_payload_into(&mut self, buf: &[u8]) -> Result<u32, DecodeError> {
+        self.decode_payload_impl(buf, None)
+    }
+
+    /// [`ReportBatch::decode_payload_into`] with the server's per-stage
+    /// ingest profile hooked in: nanoseconds spent *validating* the
+    /// frame (header checks, CRC, count-column consistency) and
+    /// *decoding* it (column fills) are added to the two counters. Early
+    /// validation failures add nothing — hostile frames are the
+    /// exception path, and the profile measures the accepted-frame cost.
+    pub fn decode_payload_timed(
+        &mut self,
+        buf: &[u8],
+        validate_ns: &mut u64,
+        fill_ns: &mut u64,
+    ) -> Result<u32, DecodeError> {
+        self.decode_payload_impl(buf, Some((validate_ns, fill_ns)))
+    }
+
+    fn decode_payload_impl(
+        &mut self,
+        buf: &[u8],
+        timing: Option<(&mut u64, &mut u64)>,
+    ) -> Result<u32, DecodeError> {
+        let t0 = timing.as_ref().map(|_| std::time::Instant::now());
         self.clear();
         if buf.len() < 4 {
             return Err(DecodeError::Truncated {
@@ -374,6 +468,7 @@ impl ReportBatch {
         {
             return Err(DecodeError::FrameMismatch);
         }
+        let t1 = t0.map(|_| std::time::Instant::now());
         self.base_t = base_t;
         self.eps_nano = eps_nano;
         self.len = len;
@@ -391,6 +486,10 @@ impl ReportBatch {
         fill_u32(&mut self.trans_tail, take(tt * 4));
         fill_u32(&mut self.trans_head, take(tt * 4));
         debug_assert_eq!(off, payload.len());
+        if let (Some((validate_ns, fill_ns)), Some(t0), Some(t1)) = (timing, t0, t1) {
+            *validate_ns += t1.duration_since(t0).as_nanos() as u64;
+            *fill_ns += t1.elapsed().as_nanos() as u64;
+        }
         Ok(whole_crc)
     }
 }
@@ -409,6 +508,23 @@ fn fill_u16(dst: &mut Vec<u16>, bytes: &[u8]) {
             .chunks_exact(2)
             .map(|c| u16::from_le_bytes(c.try_into().unwrap())),
     );
+}
+
+/// Column storage viewed as wire bytes. Sound for any `#[repr(Rust)]`
+/// primitive-integer slice (no padding, every bit pattern valid); only
+/// *correct* as the wire encoding on little-endian targets, which is why
+/// every caller sits behind `#[cfg(target_endian = "little")]`.
+#[cfg(target_endian = "little")]
+fn u32s_as_bytes(vals: &[u32]) -> &[u8] {
+    // SAFETY: u32 has no padding bytes or invalid values, and the length
+    // in bytes cannot overflow because the slice already exists.
+    unsafe { std::slice::from_raw_parts(vals.as_ptr() as *const u8, vals.len() * 4) }
+}
+
+#[cfg(target_endian = "little")]
+fn u16s_as_bytes(vals: &[u16]) -> &[u8] {
+    // SAFETY: as `u32s_as_bytes`.
+    unsafe { std::slice::from_raw_parts(vals.as_ptr() as *const u8, vals.len() * 2) }
 }
 
 fn put_u32s(out: &mut Vec<u8>, vals: &[u32]) {
@@ -465,6 +581,39 @@ impl BatchEncoder {
             self.batch.encode_frame_into(out);
             self.batch.clear();
         }
+    }
+
+    /// Adds `report`, writing any completed frame straight to `w` with
+    /// [`ReportBatch::write_frame_vectored`] — the zero-copy sibling of
+    /// [`BatchEncoder::push`] for callers holding a socket. Returns
+    /// whether a frame was written (at most one per call), so callers
+    /// can interleave ack draining with frame writes.
+    pub fn push_to<W: std::io::Write>(
+        &mut self,
+        report: &Report,
+        w: &mut W,
+    ) -> std::io::Result<bool> {
+        let mut wrote = false;
+        if self.batch.num_reports() >= self.max_reports {
+            wrote |= self.flush_to(w)?;
+        }
+        if !self.batch.try_push(report) {
+            wrote |= self.flush_to(w)?;
+            let pushed = self.batch.try_push(report);
+            debug_assert!(pushed, "a report always fits an empty batch");
+        }
+        Ok(wrote)
+    }
+
+    /// Writes the in-progress frame (if any) to `w`; returns whether a
+    /// frame went out.
+    pub fn flush_to<W: std::io::Write>(&mut self, w: &mut W) -> std::io::Result<bool> {
+        if self.batch.is_empty() {
+            return Ok(false);
+        }
+        self.batch.write_frame_vectored(w)?;
+        self.batch.clear();
+        Ok(true)
     }
 }
 
@@ -701,6 +850,61 @@ mod tests {
         want.push(v2_single);
         want.extend(batched[..2].iter().cloned());
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn vectored_frame_writer_is_byte_identical_to_encode() {
+        // Batches of several shapes, including empty column classes and
+        // non-lane-multiple column lengths.
+        for (n, len, seed) in [(1usize, 1u16, 9u32), (3, 5, 1), (17, 2, 4), (64, 7, 0)] {
+            let reports: Vec<Report> = (0..n)
+                .map(|i| toy_report(i as u64, 0.5, len, seed + i as u32))
+                .collect();
+            let batch = ReportBatch::from_reports(&reports).unwrap();
+            let mut want = Vec::new();
+            batch.encode_frame_into(&mut want);
+            let mut got = Vec::new();
+            batch.write_frame_vectored(&mut got).unwrap();
+            assert_eq!(got, want, "n={n} len={len}");
+        }
+    }
+
+    #[test]
+    fn push_to_streams_the_same_bytes_as_push() {
+        let reports: Vec<Report> = (0..40)
+            .map(|i| toy_report(i, if i % 2 == 0 { 0.5 } else { 0.25 }, 3, i as u32))
+            .collect();
+        let mut want = Vec::new();
+        let mut enc = BatchEncoder::new(8);
+        for r in &reports {
+            enc.push(r, &mut want);
+        }
+        enc.flush(&mut want);
+        let mut got = Vec::new();
+        let mut enc = BatchEncoder::new(8);
+        let mut frames = 0;
+        for r in &reports {
+            frames += enc.push_to(r, &mut got).unwrap() as usize;
+        }
+        frames += enc.flush_to(&mut got).unwrap() as usize;
+        assert_eq!(got, want);
+        assert!(frames > 1, "the alternating keys must have split frames");
+    }
+
+    #[test]
+    fn timed_decode_matches_untimed() {
+        let reports: Vec<Report> = (0..12).map(|i| toy_report(i, 0.5, 4, i as u32)).collect();
+        let batch = ReportBatch::from_reports(&reports).unwrap();
+        let payload = batch.encode_payload();
+        let mut a = ReportBatch::new();
+        let mut b = ReportBatch::new();
+        let (mut validate_ns, mut fill_ns) = (0u64, 0u64);
+        let crc_a = a.decode_payload_into(&payload).unwrap();
+        let crc_b = b
+            .decode_payload_timed(&payload, &mut validate_ns, &mut fill_ns)
+            .unwrap();
+        assert_eq!(crc_a, crc_b);
+        assert_eq!(a, b);
     }
 
     proptest::proptest! {

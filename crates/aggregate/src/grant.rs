@@ -88,6 +88,20 @@ impl GrantFrame {
         out
     }
 
+    /// The frame payload (no length prefix) as a stack array — what
+    /// [`write_control_frame`] scatter-gathers onto a socket without a
+    /// heap allocation.
+    pub fn payload(&self) -> [u8; Self::PAYLOAD_LEN] {
+        let mut p = [0u8; Self::PAYLOAD_LEN];
+        p[0..4].copy_from_slice(&Self::MAGIC);
+        p[4..12].copy_from_slice(&self.epoch.to_le_bytes());
+        p[12..20].copy_from_slice(&self.window.to_le_bytes());
+        p[20..28].copy_from_slice(&self.granted_nano.to_le_bytes());
+        let crc = crc32(&p[..28]);
+        p[28..32].copy_from_slice(&crc.to_le_bytes());
+        p
+    }
+
     /// Decodes one payload (no length prefix). Validation order: magic,
     /// exact size, CRC — corruption never yields a frame.
     pub fn decode_payload(buf: &[u8]) -> Result<GrantFrame, DecodeError> {
@@ -205,6 +219,34 @@ pub fn encode_ack_frame_into(acked: u64, out: &mut Vec<u8>) {
     out.extend_from_slice(&acked.to_le_bytes());
     let crc = crc32(&out[start..]);
     out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// The `TSAK` payload for a cumulative ack as a stack array — the hot
+/// ack path builds this and [`write_control_frame`]s it: no heap
+/// allocation, one scatter-gather write.
+pub fn ack_payload(acked: u64) -> [u8; ACK_PAYLOAD_LEN] {
+    let mut p = [0u8; ACK_PAYLOAD_LEN];
+    p[0..4].copy_from_slice(&ACK_MAGIC);
+    p[4..12].copy_from_slice(&acked.to_le_bytes());
+    let crc = crc32(&p[..12]);
+    p[12..16].copy_from_slice(&crc.to_le_bytes());
+    p
+}
+
+/// Writes one length-prefixed control frame (`TSAK`/`TSGB`) as a single
+/// vectored write — the (length-prefix, payload) iovec pair, replacing
+/// the assemble-then-`write_all` copy on every control-frame writer
+/// (server acks, router client acks, grant broadcasts).
+pub fn write_control_frame<W: std::io::Write + ?Sized>(
+    w: &mut W,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let prefix = (payload.len() as u32).to_le_bytes();
+    let mut io = [
+        std::io::IoSlice::new(&prefix),
+        std::io::IoSlice::new(payload),
+    ];
+    trajshare_core::vio::write_all_vectored(w, &mut io)
 }
 
 /// Decodes one `TSAK` payload (no length prefix) into the cumulative
@@ -366,7 +408,7 @@ impl GrantBoard {
         let mut inner = self.inner.lock().unwrap();
         if let Some(g) = inner.current {
             if let Ok(mut w) = sub.lock() {
-                let _ = w.write_all(&g.encode_frame());
+                let _ = write_control_frame(&mut *w, &g.payload());
                 let _ = w.flush();
             }
         }
@@ -384,10 +426,12 @@ impl GrantBoard {
             return;
         }
         inner.current = Some(grant);
-        let frame = grant.encode_frame();
+        let payload = grant.payload();
         inner.subs.retain(|weak| match weak.upgrade() {
             Some(sub) => match sub.lock() {
-                Ok(mut w) => w.write_all(&frame).and_then(|()| w.flush()).is_ok(),
+                Ok(mut w) => write_control_frame(&mut *w, &payload)
+                    .and_then(|()| w.flush())
+                    .is_ok(),
                 Err(_) => false,
             },
             None => false,
@@ -448,6 +492,27 @@ mod tests {
             encode_ack_frame_into(acked, &mut out);
             assert_eq!(decode_ack_payload(&out[4..]).unwrap(), acked);
         }
+    }
+
+    #[test]
+    fn stack_payloads_match_the_vec_encoders() {
+        for acked in [0u64, 1, 123_456, u64::MAX] {
+            let mut want = Vec::new();
+            encode_ack_frame_into(acked, &mut want);
+            let payload = ack_payload(acked);
+            assert_eq!(&want[4..], &payload[..]);
+            let mut got = Vec::new();
+            write_control_frame(&mut got, &payload).unwrap();
+            assert_eq!(got, want);
+        }
+        let g = grant(3, 9, 250_000_000);
+        let mut want = Vec::new();
+        g.encode_frame_into(&mut want);
+        let payload = g.payload();
+        assert_eq!(&want[4..], &payload[..]);
+        let mut got = Vec::new();
+        write_control_frame(&mut got, &payload).unwrap();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::batch::ReportBatch;
 use crate::report::Report;
 use rayon::prelude::*;
-use trajshare_core::RegionSet;
+use trajshare_core::{kernels, RegionSet};
 
 /// Hour tiles per day for the (region, timestep) view.
 pub const TILES_PER_DAY: usize = 24;
@@ -85,33 +85,26 @@ impl AggregateCounts {
         }
     }
 
-    /// Element-wise merge of counters over a disjoint report batch.
+    /// Element-wise merge of counters over a disjoint report batch. The
+    /// array sums run on the dispatched vector kernels
+    /// ([`trajshare_core::kernels`]) — this is the inner loop of the
+    /// window ring's O(1) eviction, executed once per slot per tick over
+    /// the `O(|R|²)` transition matrix.
     pub fn merge(&mut self, other: &AggregateCounts) {
         assert_eq!(self.num_regions, other.num_regions, "universe mismatch");
-        for (a, b) in self.occupancy.iter_mut().zip(&other.occupancy) {
-            *a += b;
-        }
-        for (a, b) in self.tile_occupancy.iter_mut().zip(&other.tile_occupancy) {
-            *a += b;
-        }
-        for (a, b) in self.starts.iter_mut().zip(&other.starts) {
-            *a += b;
-        }
-        for (a, b) in self.ends.iter_mut().zip(&other.ends) {
-            *a += b;
-        }
-        for (a, b) in self.occupancy_exact.iter_mut().zip(&other.occupancy_exact) {
-            *a += b;
-        }
-        for (a, b) in self.transitions.iter_mut().zip(&other.transitions) {
-            *a += b;
-        }
+        kernels::add_assign_u64(&mut self.occupancy, &other.occupancy);
+        kernels::add_assign_u64(&mut self.tile_occupancy, &other.tile_occupancy);
+        kernels::add_assign_u64(&mut self.starts, &other.starts);
+        kernels::add_assign_u64(&mut self.ends, &other.ends);
+        kernels::add_assign_u64(&mut self.occupancy_exact, &other.occupancy_exact);
+        kernels::add_assign_u64(&mut self.transitions, &other.transitions);
         if self.length_hist.len() < other.length_hist.len() {
             self.length_hist.resize(other.length_hist.len(), 0);
         }
-        for (i, b) in other.length_hist.iter().enumerate() {
-            self.length_hist[i] += b;
-        }
+        kernels::add_assign_u64(
+            &mut self.length_hist[..other.length_hist.len()],
+            &other.length_hist,
+        );
         self.num_reports += other.num_reports;
         self.num_unigrams += other.num_unigrams;
         self.rejected += other.rejected;
@@ -134,40 +127,35 @@ impl AggregateCounts {
     /// exactly that after eviction).
     pub fn subtract(&mut self, other: &AggregateCounts) {
         assert_eq!(self.num_regions, other.num_regions, "universe mismatch");
-        let take = |a: &mut u64, b: &u64| {
-            *a = a.checked_sub(*b).expect("subtracting counts never merged");
-        };
-        for (a, b) in self.occupancy.iter_mut().zip(&other.occupancy) {
-            take(a, b);
-        }
-        for (a, b) in self.tile_occupancy.iter_mut().zip(&other.tile_occupancy) {
-            take(a, b);
-        }
-        for (a, b) in self.starts.iter_mut().zip(&other.starts) {
-            take(a, b);
-        }
-        for (a, b) in self.ends.iter_mut().zip(&other.ends) {
-            take(a, b);
-        }
-        for (a, b) in self.occupancy_exact.iter_mut().zip(&other.occupancy_exact) {
-            take(a, b);
-        }
-        for (a, b) in self.transitions.iter_mut().zip(&other.transitions) {
-            take(a, b);
-        }
+        // The checked subtractions run on the dispatched vector kernels;
+        // an underflow verdict is raised here as the same panic the old
+        // element-wise `checked_sub` produced (the counters are a lost
+        // cause either way — this is a caller bug, not a data condition).
+        let mut ok = kernels::sub_assign_u64_checked(&mut self.occupancy, &other.occupancy);
+        ok &= kernels::sub_assign_u64_checked(&mut self.tile_occupancy, &other.tile_occupancy);
+        ok &= kernels::sub_assign_u64_checked(&mut self.starts, &other.starts);
+        ok &= kernels::sub_assign_u64_checked(&mut self.ends, &other.ends);
+        ok &= kernels::sub_assign_u64_checked(&mut self.occupancy_exact, &other.occupancy_exact);
+        ok &= kernels::sub_assign_u64_checked(&mut self.transitions, &other.transitions);
+        assert!(ok, "subtracting counts never merged");
         assert!(
             other.length_hist.len() <= self.length_hist.len() || other.length_hist.is_empty(),
             "subtracting a longer length histogram than ever merged"
         );
-        for (i, b) in other.length_hist.iter().enumerate() {
-            take(&mut self.length_hist[i], b);
-        }
+        let hist_len = other.length_hist.len();
+        assert!(
+            kernels::sub_assign_u64_checked(&mut self.length_hist[..hist_len], &other.length_hist),
+            "subtracting counts never merged"
+        );
         // Trim trailing zeros so the result is bit-identical to counters
         // that never saw the retired lengths (merge only ever grows the
         // histogram to its last non-zero entry).
         while self.length_hist.last() == Some(&0) {
             self.length_hist.pop();
         }
+        let take = |a: &mut u64, b: &u64| {
+            *a = a.checked_sub(*b).expect("subtracting counts never merged");
+        };
         take(&mut self.num_reports, &other.num_reports);
         take(&mut self.num_unigrams, &other.num_unigrams);
         take(&mut self.rejected, &other.rejected);
@@ -487,37 +475,90 @@ pub(crate) fn accumulate_columns(
     let nr = counts.num_regions;
     let len = cols.len;
     let last_pos = len.saturating_sub(1);
-    for (&pos, &region) in cols.uni_pos.iter().zip(cols.uni_region) {
-        let r = region as usize;
-        if r >= nr || pos >= len {
-            counts.rejected += 1;
-            continue;
+    // Vectorized validity prescan: one SIMD max-reduce per column proves
+    // (or disproves) that every element is in range. A clean column runs
+    // a branch-free accumulation loop with the reject test hoisted out
+    // entirely; any out-of-range element falls back to the original
+    // branchy loop, so the counters (including `rejected`) are
+    // bit-identical either way — rejects are the hostile-client
+    // exception, not the common case.
+    let n_uni = cols.uni_pos.len().min(cols.uni_region.len());
+    let uni_clean = n_uni == 0
+        || ((kernels::max_u32(&cols.uni_region[..n_uni]) as usize) < nr
+            && kernels::max_u16(&cols.uni_pos[..n_uni]) < len);
+    if uni_clean {
+        for &region in &cols.uni_region[..n_uni] {
+            let r = region as usize;
+            counts.occupancy[r] += 1;
+            counts.tile_occupancy[r * TILES_PER_DAY + region_tile[r] as usize] += 1;
         }
-        counts.occupancy[r] += 1;
-        counts.tile_occupancy[r * TILES_PER_DAY + region_tile[r] as usize] += 1;
-        counts.num_unigrams += 1;
+        counts.num_unigrams += n_uni as u64;
+    } else {
+        for (&pos, &region) in cols.uni_pos.iter().zip(cols.uni_region) {
+            let r = region as usize;
+            if r >= nr || pos >= len {
+                counts.rejected += 1;
+                continue;
+            }
+            counts.occupancy[r] += 1;
+            counts.tile_occupancy[r * TILES_PER_DAY + region_tile[r] as usize] += 1;
+            counts.num_unigrams += 1;
+        }
     }
-    for (&pos, &region) in cols.exact_pos.iter().zip(cols.exact_region) {
-        let r = region as usize;
-        if r >= nr || pos >= len {
-            counts.rejected += 1;
-            continue;
+    let n_exact = cols.exact_pos.len().min(cols.exact_region.len());
+    let exact_clean = n_exact == 0
+        || ((kernels::max_u32(&cols.exact_region[..n_exact]) as usize) < nr
+            && kernels::max_u16(&cols.exact_pos[..n_exact]) < len);
+    if exact_clean {
+        for (&pos, &region) in cols.exact_pos[..n_exact]
+            .iter()
+            .zip(&cols.exact_region[..n_exact])
+        {
+            let r = region as usize;
+            counts.occupancy_exact[r] += 1;
+            if pos == 0 {
+                counts.starts[r] += 1;
+            }
+            if pos == last_pos {
+                counts.ends[r] += 1;
+            }
         }
-        counts.occupancy_exact[r] += 1;
-        if pos == 0 {
-            counts.starts[r] += 1;
-        }
-        if pos == last_pos {
-            counts.ends[r] += 1;
+    } else {
+        for (&pos, &region) in cols.exact_pos.iter().zip(cols.exact_region) {
+            let r = region as usize;
+            if r >= nr || pos >= len {
+                counts.rejected += 1;
+                continue;
+            }
+            counts.occupancy_exact[r] += 1;
+            if pos == 0 {
+                counts.starts[r] += 1;
+            }
+            if pos == last_pos {
+                counts.ends[r] += 1;
+            }
         }
     }
-    for (&tail, &head) in cols.trans_tail.iter().zip(cols.trans_head) {
-        let (t, h) = (tail as usize, head as usize);
-        if t >= nr || h >= nr {
-            counts.rejected += 1;
-            continue;
+    let n_trans = cols.trans_tail.len().min(cols.trans_head.len());
+    let trans_clean = n_trans == 0
+        || ((kernels::max_u32(&cols.trans_tail[..n_trans]) as usize) < nr
+            && (kernels::max_u32(&cols.trans_head[..n_trans]) as usize) < nr);
+    if trans_clean {
+        for (&tail, &head) in cols.trans_tail[..n_trans]
+            .iter()
+            .zip(&cols.trans_head[..n_trans])
+        {
+            counts.transitions[tail as usize * nr + head as usize] += 1;
         }
-        counts.transitions[t * nr + h] += 1;
+    } else {
+        for (&tail, &head) in cols.trans_tail.iter().zip(cols.trans_head) {
+            let (t, h) = (tail as usize, head as usize);
+            if t >= nr || h >= nr {
+                counts.rejected += 1;
+                continue;
+            }
+            counts.transitions[t * nr + h] += 1;
+        }
     }
     let l = len as usize;
     if counts.length_hist.len() <= l {

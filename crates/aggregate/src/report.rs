@@ -405,31 +405,73 @@ pub enum WireFrame<'a> {
 }
 
 /// Incremental decoder over a length-prefixed frame stream: feed it raw
-/// socket (or log) bytes with [`StreamDecoder::extend`], pull complete
-/// reports with [`StreamDecoder::next_report`] (single-report streams)
-/// or mixed single/batch frames with [`StreamDecoder::next_wire_frame`].
+/// socket (or log) bytes with [`StreamDecoder::extend`] — or let it read
+/// the socket itself with [`StreamDecoder::read_from`], which lands
+/// whole socket reads directly in the decode buffer with no
+/// intermediate stack-chunk copy. Pull complete reports with
+/// [`StreamDecoder::next_report`] (single-report streams) or mixed
+/// single/batch frames with [`StreamDecoder::next_wire_frame`].
 /// Consumed bytes are compacted away lazily, so the buffer stays
 /// proportional to one frame plus one read chunk.
 #[derive(Debug, Default)]
 pub struct StreamDecoder {
+    /// Working storage; only `buf[pos..filled]` is meaningful. The
+    /// vector's *length* is the high-water working size and never
+    /// shrinks, so [`StreamDecoder::read_from`] re-zeroes nothing on the
+    /// steady state — it just hands `buf[filled..]` to the socket.
     buf: Vec<u8>,
+    filled: usize,
     pos: usize,
 }
 
 impl StreamDecoder {
+    /// Read granularity of [`StreamDecoder::read_from`]: the buffer
+    /// always offers the socket at least this much spare room.
+    pub const READ_CHUNK: usize = 256 * 1024;
+
     /// An empty decoder.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Moves the unconsumed tail to the front of the buffer.
+    fn compact(&mut self) {
+        self.buf.copy_within(self.pos..self.filled, 0);
+        self.filled -= self.pos;
+        self.pos = 0;
+    }
+
     /// Appends freshly read bytes to the pending buffer.
     pub fn extend(&mut self, bytes: &[u8]) {
         // Compact before growing: everything before `pos` is consumed.
-        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos >= 64 * 1024) {
-            self.buf.drain(..self.pos);
-            self.pos = 0;
+        if self.pos > 0 && (self.pos >= self.filled || self.pos >= 64 * 1024) {
+            self.compact();
         }
-        self.buf.extend_from_slice(bytes);
+        let end = self.filled + bytes.len();
+        if self.buf.len() < end {
+            self.buf.resize(end, 0);
+        }
+        self.buf[self.filled..end].copy_from_slice(bytes);
+        self.filled = end;
+    }
+
+    /// Reads once from `r` straight into the decode buffer and returns
+    /// the byte count (0 = EOF) — the zero-intermediate-copy ingest
+    /// read: the socket writes where the decoder parses. Offers `r` all
+    /// spare buffered capacity, at least [`StreamDecoder::READ_CHUNK`].
+    pub fn read_from<R: std::io::Read>(&mut self, r: &mut R) -> std::io::Result<usize> {
+        if self.pos > 0 {
+            self.compact();
+        }
+        let want = self.filled + Self::READ_CHUNK;
+        if self.buf.len() < want {
+            // One-time zero-fill per high-water mark; steady-state calls
+            // skip this entirely because `buf.len()` never shrinks.
+            self.buf.resize(want, 0);
+        }
+        let n = r.read(&mut self.buf[self.filled..])?;
+        self.filled += n;
+        Ok(n)
     }
 
     /// Decodes the next complete frame, if one is buffered, returning the
@@ -441,7 +483,7 @@ impl StreamDecoder {
     /// more bytes. `Err(_)` — the stream is corrupt (the decoder is left
     /// positioned at the bad frame; the caller should drop the stream).
     pub fn next_frame(&mut self) -> Result<Option<(Report, &[u8])>, DecodeError> {
-        match Report::decode_frame(&self.buf[self.pos..]) {
+        match Report::decode_frame(&self.buf[self.pos..self.filled]) {
             Ok((report, used)) => {
                 let (start, end) = (self.pos + 4, self.pos + used);
                 self.pos += used;
@@ -462,7 +504,7 @@ impl StreamDecoder {
     /// payload for the caller's scratch [`crate::batch::ReportBatch`]).
     /// Same contract as [`StreamDecoder::next_frame`] otherwise.
     pub fn next_wire_frame(&mut self) -> Result<Option<WireFrame<'_>>, DecodeError> {
-        let avail = &self.buf[self.pos..];
+        let avail = &self.buf[self.pos..self.filled];
         if avail.len() < 4 {
             return Ok(None);
         }
@@ -515,7 +557,7 @@ impl StreamDecoder {
 
     /// Bytes buffered but not yet consumed by a decoded frame.
     pub fn pending(&self) -> usize {
-        self.buf.len() - self.pos
+        self.filled - self.pos
     }
 }
 
@@ -872,5 +914,59 @@ mod tests {
         assert_eq!(r.unigrams, vec![(0, 7)]);
         assert_eq!(r.exact, vec![(0, 7)]);
         assert!(r.transitions.is_empty());
+    }
+
+    #[test]
+    fn read_from_decodes_like_extend_at_any_read_granularity() {
+        // A mixed wire of several frames, delivered by readers that
+        // return 1..=N bytes per call — read_from must land the same
+        // frame sequence extend does, across compactions.
+        let reports: Vec<Report> = (0..9u64)
+            .map(|i| Report {
+                t: i,
+                eps_prime: 0.5,
+                len: 4,
+                unigrams: (0..4u16).map(|p| (p, (i as u32 + p as u32) % 5)).collect(),
+                exact: vec![(0, i as u32 % 5)],
+                transitions: vec![(i as u32 % 5, (i as u32 + 1) % 5)],
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for r in &reports {
+            r.encode_frame_into(&mut wire);
+        }
+        struct Dribble<'a> {
+            data: &'a [u8],
+            at: usize,
+            step: usize,
+        }
+        impl std::io::Read for Dribble<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.step.min(self.data.len() - self.at).min(buf.len());
+                buf[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+                self.at += n;
+                Ok(n)
+            }
+        }
+        for step in [1usize, 3, 7, 64, wire.len()] {
+            let mut reader = Dribble {
+                data: &wire,
+                at: 0,
+                step,
+            };
+            let mut dec = StreamDecoder::new();
+            let mut got = Vec::new();
+            loop {
+                let n = dec.read_from(&mut reader).unwrap();
+                while let Some(r) = dec.next_report().unwrap() {
+                    got.push(r);
+                }
+                if n == 0 {
+                    break;
+                }
+            }
+            assert_eq!(dec.pending(), 0, "step {step}");
+            assert_eq!(got, reports, "step {step}");
+        }
     }
 }

@@ -51,7 +51,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use trajshare_aggregate::grant::encode_ack_frame_into;
+use trajshare_aggregate::grant;
 use trajshare_aggregate::{
     BatchEncoder, GrantBoard, GrantFrame, GrantSubscriber, Report, ReportBatch, StreamDecoder,
     WireFrame,
@@ -377,10 +377,14 @@ fn client_loop(
 fn write_client_ack(stream: &mut TcpStream, framed: &Option<GrantSubscriber>, acked: u64) -> bool {
     match framed {
         Some(writer) => {
-            let mut frame = Vec::with_capacity(4 + trajshare_aggregate::grant::ACK_PAYLOAD_LEN);
-            encode_ack_frame_into(acked, &mut frame);
+            // Stack payload + one writev under the lock: no per-ack
+            // heap allocation, and the (prefix, payload) pair leaves in
+            // a single syscall.
+            let payload = grant::ack_payload(acked);
             match writer.lock() {
-                Ok(mut w) => w.write_all(&frame).and_then(|()| w.flush()).is_ok(),
+                Ok(mut w) => grant::write_control_frame(&mut *w, &payload)
+                    .and_then(|()| w.flush())
+                    .is_ok(),
                 Err(_) => false,
             }
         }
@@ -413,7 +417,6 @@ fn handle_client(
     let mut framed: Option<GrantSubscriber> = None;
     let tally = Arc::new(ConnTally::default());
     let mut decoder = StreamDecoder::new();
-    let mut chunk = [0u8; 64 * 1024];
     // Batch-frame decode scratch (reused across frames) and a reusable
     // buffer for re-encoding a batched report's payload, which the
     // routing key hashes for multi-point reports.
@@ -431,7 +434,7 @@ fn handle_client(
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        match stream.read(&mut chunk) {
+        match decoder.read_from(&mut stream) {
             Ok(0) => {
                 // Mid-frame EOF is a protocol violation: no ack (routed
                 // reports stand — each is an independent LDP message,
@@ -460,8 +463,7 @@ fn handle_client(
                 stats.bump(&stats.completed);
                 return;
             }
-            Ok(n) => {
-                decoder.extend(&chunk[..n]);
+            Ok(_) => {
                 loop {
                     match decoder.next_wire_frame() {
                         Ok(Some(WireFrame::Single { report, payload })) => {
@@ -486,8 +488,10 @@ fn handle_client(
                                 stats.bump(&stats.disconnected_protocol);
                                 return;
                             }
-                            for i in 0..batch_scratch.num_reports() {
-                                let report = batch_scratch.report_at(i);
+                            // The streaming iterator walks the columns
+                            // once (report_at(i) re-sums its offsets
+                            // per call, which is O(N²) over the batch).
+                            for report in batch_scratch.reports() {
                                 key_buf.clear();
                                 report.encode_frame_into(&mut key_buf);
                                 let worker = ring.worker_for(report_key(&report, &key_buf[4..]));
@@ -737,9 +741,12 @@ fn connect_with_backoff(
 /// Re-frames the batch as `TSR4` batch frames (one frame per run of
 /// reports sharing an ε′/|τ| key, capped at `batch_max`), streams them
 /// over one connection, half-closes, and returns the worker's *last*
-/// cumulative `u64` ack. Per-frame acks arriving mid-write are drained
-/// without blocking so a large batch can't deadlock against the
-/// worker's ack writes.
+/// cumulative `u64` ack. Each completed frame leaves as one
+/// scatter-gather write straight from the encoder's column storage
+/// ([`BatchEncoder::push_to`]) — no contiguous re-encode buffer — and
+/// acks arriving mid-write are drained without blocking after every
+/// written frame so a large batch can't deadlock against the worker's
+/// ack writes.
 fn write_and_ack(
     mut stream: TcpStream,
     batch: &[RoutedReport],
@@ -748,20 +755,13 @@ fn write_and_ack(
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(config.read_timeout))?;
     let mut enc = BatchEncoder::new(config.batch_max.max(1));
-    let mut buf = Vec::with_capacity(256 * 1024);
     let mut acks = UplinkAcks::default();
     for r in batch {
-        enc.push(&r.report, &mut buf);
-        if buf.len() >= 192 * 1024 {
-            stream.write_all(&buf)?;
-            buf.clear();
+        if enc.push_to(&r.report, &mut stream)? {
             acks.drain_nonblocking(&mut stream)?;
         }
     }
-    enc.flush(&mut buf);
-    if !buf.is_empty() {
-        stream.write_all(&buf)?;
-    }
+    enc.flush_to(&mut stream)?;
     stream.shutdown(Shutdown::Write)?;
     acks.read_to_eof(&mut stream)
 }

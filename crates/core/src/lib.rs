@@ -54,6 +54,7 @@ pub mod crc;
 pub mod decomposition;
 pub mod distances;
 pub mod graphcodec;
+pub mod kernels;
 pub mod mechanism;
 pub mod ngram_mech;
 pub mod perturb;
@@ -61,6 +62,7 @@ pub mod poi_level;
 pub mod reconstruct;
 pub mod region;
 pub mod regiongraph;
+pub mod vio;
 
 pub use attack::WindowAdversary;
 pub use config::{MechanismConfig, MergeDimension, ReconstructionSolver};

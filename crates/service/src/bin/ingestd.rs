@@ -83,7 +83,7 @@ fn usage() -> ! {
          [--window-len U --windows W] [--publish-every-ms MS] [--server-clock] \
          [--max-conn-advance N] [--backend dense|blocked|sparse-w2] \
          [--budget-eps E] [--budget-window W] [--budget-policy uniform|adaptive] \
-         [--grants] [--export-addr HOST:PORT] [--dump-counts]"
+         [--grants] [--export-addr HOST:PORT] [--profile] [--dump-counts]"
     );
     std::process::exit(2)
 }
@@ -197,6 +197,7 @@ fn main() {
     let mut budget_policy = AllocationPolicy::Uniform;
     let mut grants = false;
     let mut export_addr: Option<SocketAddr> = None;
+    let mut profile = false;
     let mut dump_counts = false;
 
     let mut args = std::env::args().skip(1);
@@ -233,6 +234,7 @@ fn main() {
             }
             "--grants" => grants = true,
             "--export-addr" => export_addr = Some(parsed(value(&mut args))),
+            "--profile" => profile = true,
             "--dump-counts" => dump_counts = true,
             _ => usage(),
         }
@@ -390,6 +392,7 @@ fn main() {
         config.wal_max_bytes = b.max(1);
     }
     config.export_addr = export_addr;
+    config.profile = profile;
     config.stream = window.map(|w| StreamServerConfig {
         window: w,
         publish_every: Duration::from_millis(publish_every_ms.max(10)),
@@ -445,9 +448,31 @@ fn main() {
     // restart path — that asymmetry is exactly what the durability
     // design is for. When streaming, relay each publication to stdout
     // so operators (and the CI smoke test) see the live window view —
-    // and, with a region graph, the live model estimate.
+    // and, with a region graph, the live model estimate. With
+    // `--profile`, a per-stage cost line every couple of seconds while
+    // batches keep arriving.
     let mut printed_seq = 0u64;
+    let mut profiled_batches = 0u64;
+    let mut profile_tick = std::time::Instant::now();
     loop {
+        if profile && profile_tick.elapsed() >= Duration::from_secs(2) {
+            profile_tick = std::time::Instant::now();
+            if let Some(p) = handle.ingest_profile() {
+                if p.batches > profiled_batches && p.reports > 0 {
+                    profiled_batches = p.batches;
+                    println!(
+                        "profile reports={} batches={} per-report ns: decode={} validate={} wal={} accumulate={} ack={}",
+                        p.reports,
+                        p.batches,
+                        p.decode_ns / p.reports,
+                        p.validate_ns / p.reports,
+                        p.wal_ns / p.reports,
+                        p.accumulate_ns / p.reports,
+                        p.ack_ns / p.reports,
+                    );
+                }
+            }
+        }
         if streaming {
             if let Some(p) = handle.latest_publication() {
                 if p.seq > printed_seq {
@@ -498,6 +523,8 @@ fn main() {
                 }
             }
             std::thread::sleep(Duration::from_millis(50));
+        } else if profile {
+            std::thread::sleep(Duration::from_millis(500));
         } else {
             std::thread::sleep(Duration::from_secs(3600));
         }

@@ -6,12 +6,13 @@
 //! and flushed to its write-ahead log, so a caller that sees all acks may
 //! kill the server and still expect exact recovery.
 
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 use trajshare_aggregate::{
     BatchEncoder, ControlDecoder, ControlFrame, GrantFrame, HelloFrame, Report,
 };
+use trajshare_core::vio;
 
 /// Streams one report slice over a single connection and returns the
 /// server's ack (reports accepted and made durable).
@@ -161,19 +162,82 @@ pub fn stream_reports_multi_batched(
     stream_wires(&encode_wire_multi(addrs, reports, connections, batch))
 }
 
+/// One pre-encoded wire frame with its 4-byte length prefix kept
+/// separate from the payload — the scatter-gather unit of
+/// [`stream_frames_once`], which hands (prefix, payload) pairs straight
+/// to `write_vectored` without ever concatenating them.
+pub struct EncodedFrame {
+    prefix: [u8; 4],
+    payload: Vec<u8>,
+}
+
+/// Pre-encodes `reports` exactly like [`encode_wire`] but keeps each
+/// frame as its own [`EncodedFrame`] instead of one contiguous byte
+/// run, so the send path can scatter-gather them. The split reuses
+/// [`encode_wire`]'s bytes, so both paths are byte-identical on the
+/// wire by construction.
+pub fn encode_frames(reports: &[Report], batch: usize) -> Vec<EncodedFrame> {
+    let wire = encode_wire(reports, batch);
+    let mut frames = Vec::new();
+    let mut i = 0;
+    while i < wire.len() {
+        let prefix: [u8; 4] = wire[i..i + 4].try_into().unwrap();
+        let len = u32::from_le_bytes(prefix) as usize;
+        frames.push(EncodedFrame {
+            prefix,
+            payload: wire[i + 4..i + 4 + len].to_vec(),
+        });
+        i += 4 + len;
+    }
+    frames
+}
+
+/// Streams pre-encoded frames over one connection with vectored writes
+/// — each syscall gathers whole (prefix, payload) pairs up to an iovec
+/// and byte budget — half-closes, and returns the server's last
+/// cumulative ack. Wire bytes and ack handling are identical to
+/// [`stream_bytes_once`]; only the syscall shape differs (no
+/// concatenated send buffer is ever built).
+pub fn stream_frames_once(addr: SocketAddr, frames: &[EncodedFrame]) -> std::io::Result<u64> {
+    // writev caps: stay well under IOV_MAX (1024 on Linux) and keep
+    // rounds around the same ~256 KiB granularity as the contiguous
+    // path so ack drains stay as frequent.
+    const MAX_IOVECS: usize = 1024;
+    const GROUP_BYTES: usize = 256 * 1024;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut acks = AckReader::default();
+    let mut i = 0;
+    while i < frames.len() {
+        let mut io: Vec<IoSlice> = Vec::with_capacity(64);
+        let mut bytes = 0usize;
+        while i < frames.len() && io.len() + 2 <= MAX_IOVECS && bytes < GROUP_BYTES {
+            let f = &frames[i];
+            io.push(IoSlice::new(&f.prefix));
+            io.push(IoSlice::new(&f.payload));
+            bytes += 4 + f.payload.len();
+            i += 1;
+        }
+        vio::write_all_vectored(&mut stream, &mut io)?;
+        acks.drain_nonblocking(&mut stream)?;
+    }
+    stream.shutdown(Shutdown::Write)?;
+    acks.read_to_eof(&mut stream)
+}
+
 /// Splits `reports` into one contiguous slice per connection (round-
 /// robin over `addrs`, at least one connection per address) and
-/// pre-encodes each slice with [`encode_wire`]. The returned
-/// `(target, wire)` pairs are everything [`stream_wires`] needs, so the
-/// one-time serialization cost is fully separated from the send path —
-/// `loadgen` and the ingest bench encode first, start the clock, then
-/// stream.
+/// pre-encodes each slice into [`EncodedFrame`]s. The returned
+/// `(target, frames)` pairs are everything [`stream_wires`] needs, so
+/// the one-time serialization cost is fully separated from the send
+/// path — `loadgen` and the ingest bench encode first, start the
+/// clock, then stream.
 pub fn encode_wire_multi(
     addrs: &[SocketAddr],
     reports: &[Report],
     connections: usize,
     batch: usize,
-) -> Vec<(SocketAddr, Vec<u8>)> {
+) -> Vec<(SocketAddr, Vec<EncodedFrame>)> {
     assert!(!addrs.is_empty(), "need at least one target address");
     let connections = connections
         .max(addrs.len())
@@ -183,17 +247,19 @@ pub fn encode_wire_multi(
     reports
         .chunks(per.max(1))
         .enumerate()
-        .map(|(i, slice)| (addrs[i % addrs.len()], encode_wire(slice, batch)))
+        .map(|(i, slice)| (addrs[i % addrs.len()], encode_frames(slice, batch)))
         .collect()
 }
 
 /// Streams pre-encoded wires ([`encode_wire_multi`]) in parallel, one
-/// connection per entry, and returns the summed final cumulative acks.
-pub fn stream_wires(wires: &[(SocketAddr, Vec<u8>)]) -> std::io::Result<u64> {
+/// connection per entry (scatter-gather writes —
+/// [`stream_frames_once`]), and returns the summed final cumulative
+/// acks.
+pub fn stream_wires(wires: &[(SocketAddr, Vec<EncodedFrame>)]) -> std::io::Result<u64> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = wires
             .iter()
-            .map(|(addr, wire)| scope.spawn(move || stream_bytes_once(*addr, wire)))
+            .map(|(addr, frames)| scope.spawn(move || stream_frames_once(*addr, frames)))
             .collect();
         let mut total = 0u64;
         for h in handles {

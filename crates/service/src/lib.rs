@@ -30,13 +30,14 @@ pub mod server;
 pub mod storage;
 
 pub use client::{
-    encode_wire, encode_wire_multi, stream_bytes_once, stream_once, stream_once_batched,
-    stream_reports, stream_reports_batched, stream_reports_multi, stream_reports_multi_batched,
-    stream_wires, GrantClient,
+    encode_frames, encode_wire, encode_wire_multi, stream_bytes_once, stream_frames_once,
+    stream_once, stream_once_batched, stream_reports, stream_reports_batched, stream_reports_multi,
+    stream_reports_multi_batched, stream_wires, EncodedFrame, GrantClient,
 };
 pub use server::{
-    BudgetPublication, CountsSummary, IngestServer, RecoverySummary, ServerConfig, ServerHandle,
-    ServerStats, StreamPublication, StreamServerConfig,
+    BudgetPublication, CountsSummary, IngestProfile, IngestProfileSnapshot, IngestServer,
+    RecoverySummary, ServerConfig, ServerHandle, ServerStats, StreamPublication,
+    StreamServerConfig,
 };
 pub use storage::{
     load, lock_dir, recover, replay_wal, Recovery, ReplayStats, SyncPolicy, WalWriter,

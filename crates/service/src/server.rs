@@ -51,17 +51,19 @@
 //! `TSR4` batch frames, [`trajshare_aggregate::batch`]), then shuts down
 //! its write half; the server ingests to EOF, flushes the WAL, and
 //! replies with the number of accepted reports as a `u64` LE ack before
-//! closing. Batch frames are additionally acked *per frame* with the
-//! same cumulative `u64` — each written after that batch's WAL flush, so
-//! an acked batch is durable and a client that dies mid-stream re-sends
-//! at most one batch. Connections carrying only single-report frames
-//! stay byte-identical to the pre-batch protocol: one ack, at EOF.
+//! closing. Batch frames are additionally acked mid-stream with the
+//! same cumulative `u64` — one ack per drained read round, written
+//! after every batch in the round flushed its WAL record, so an acked
+//! batch is durable and a client that dies mid-stream re-sends at most
+//! one read round's worth of batches. Connections carrying only
+//! single-report frames stay byte-identical to the pre-batch protocol:
+//! one ack, at EOF.
 
 use crate::storage::{self, Recovery, SyncPolicy, WalWriter};
 use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
 use serde::Serialize;
 use std::collections::BTreeSet;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -71,7 +73,7 @@ use std::time::{Duration, Instant};
 use trajshare_aggregate::clusterproto::{
     read_cluster_frame, write_cluster_frame, ClusterFrame, WorkerSnapshot,
 };
-use trajshare_aggregate::grant::encode_ack_frame_into;
+use trajshare_aggregate::grant;
 use trajshare_aggregate::snapshot::crc32;
 use trajshare_aggregate::{
     window_divergence, AggregateCounts, Aggregator, EstimatorBackend, GrantBoard, GrantFrame,
@@ -210,6 +212,11 @@ pub struct ServerConfig {
     /// (see `trajshare_aggregate::clusterproto`). `None` (the default)
     /// runs no export listener — single-node deployments ship nothing.
     pub export_addr: Option<SocketAddr>,
+    /// Per-stage cost profiling of the batched ingest hot path
+    /// ([`ServerHandle::ingest_profile`]). Off (the default) costs
+    /// nothing: the hot path never reads a clock — every timing call
+    /// sits behind this flag's `Option`.
+    pub profile: bool,
 }
 
 impl ServerConfig {
@@ -231,6 +238,7 @@ impl ServerConfig {
             stream: None,
             read_timeout: Duration::from_secs(30),
             export_addr: None,
+            profile: false,
         }
     }
 }
@@ -290,6 +298,66 @@ impl ServerStats {
     }
 }
 
+/// Per-stage wall-clock accounting of the batched (`TSR4`) ingest hot
+/// path, summed across all workers. Only allocated when
+/// [`ServerConfig::profile`] is set — with it off the connection
+/// handlers never read a clock, so profiling support costs the hot path
+/// nothing (one `Option` test per batch, resolved by branch prediction).
+#[derive(Debug, Default)]
+pub struct IngestProfile {
+    /// Filling column scratch from validated payload bytes.
+    pub decode_ns: AtomicU64,
+    /// Frame CRC + header + column-structure validation.
+    pub validate_ns: AtomicU64,
+    /// WAL append + flush (and any counter-snapshot writes they force).
+    pub wal_ns: AtomicU64,
+    /// Counter accumulation: shard totals plus the window ring.
+    pub accumulate_ns: AtomicU64,
+    /// Writing cumulative acks back to clients.
+    pub ack_ns: AtomicU64,
+    /// Batch frames profiled.
+    pub batches: AtomicU64,
+    /// Reports inside those batches.
+    pub reports: AtomicU64,
+}
+
+impl IngestProfile {
+    /// A consistent-enough copy of the live counters (each field is read
+    /// atomically; the set is not a snapshot of one instant, which is
+    /// fine for a monotonically growing profile).
+    pub fn snapshot(&self) -> IngestProfileSnapshot {
+        IngestProfileSnapshot {
+            decode_ns: self.decode_ns.load(Ordering::Relaxed),
+            validate_ns: self.validate_ns.load(Ordering::Relaxed),
+            wal_ns: self.wal_ns.load(Ordering::Relaxed),
+            accumulate_ns: self.accumulate_ns.load(Ordering::Relaxed),
+            ack_ns: self.ack_ns.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            reports: self.reports.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-number view of [`IngestProfile`], serializable for bench
+/// reports and CLI dumps.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct IngestProfileSnapshot {
+    /// See [`IngestProfile::decode_ns`].
+    pub decode_ns: u64,
+    /// See [`IngestProfile::validate_ns`].
+    pub validate_ns: u64,
+    /// See [`IngestProfile::wal_ns`].
+    pub wal_ns: u64,
+    /// See [`IngestProfile::accumulate_ns`].
+    pub accumulate_ns: u64,
+    /// See [`IngestProfile::ack_ns`].
+    pub ack_ns: u64,
+    /// See [`IngestProfile::batches`].
+    pub batches: u64,
+    /// See [`IngestProfile::reports`].
+    pub reports: u64,
+}
+
 /// One worker's mutable state: its counter shard, its window ring (when
 /// streaming), and its WAL. The mutex is held per report by the owning
 /// worker and briefly by merge-on-demand readers
@@ -330,17 +398,30 @@ impl Shard {
         batch: &ReportBatch,
         payload: &[u8],
         payload_crc: u32,
+        profile: Option<&IngestProfile>,
     ) -> std::io::Result<()> {
+        let t0 = profile.map(|_| Instant::now());
         self.wal.append_with_crc(payload, payload_crc)?;
+        let t1 = profile.map(|_| Instant::now());
         self.agg.ingest_columnar(batch);
         if let Some(ring) = &mut self.ring {
             ring.ingest_batch(batch);
         }
+        let t2 = profile.map(|_| Instant::now());
         self.since_snapshot += batch.num_reports() as u64;
         if self.since_snapshot >= self.snapshot_every {
             self.snapshot()?;
         }
-        self.wal.flush()
+        let flushed = self.wal.flush();
+        if let (Some(p), Some(t0), Some(t1), Some(t2)) = (profile, t0, t1, t2) {
+            // WAL time = append + flush (+ any snapshot the flush rode
+            // with); accumulate time = the counter/ring window between.
+            let wal = t1.duration_since(t0) + t2.elapsed();
+            p.wal_ns.fetch_add(wal.as_nanos() as u64, Ordering::Relaxed);
+            p.accumulate_ns
+                .fetch_add(t2.duration_since(t1).as_nanos() as u64, Ordering::Relaxed);
+        }
+        flushed
     }
 
     /// Flushes the WAL and atomically persists the shard counters (and
@@ -476,6 +557,8 @@ pub struct ServerHandle {
     budget: Option<Arc<Mutex<BudgetState>>>,
     /// The TSGB grant board ([`StreamServerConfig::grants`] only).
     board: Option<Arc<GrantBoard>>,
+    /// Per-stage hot-path profile ([`ServerConfig::profile`] only).
+    profile: Option<Arc<IngestProfile>>,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
     recovery: RecoverySummary,
@@ -568,6 +651,8 @@ impl IngestServer {
             .filter(|s| s.grants)
             .map(|_| Arc::new(GrantBoard::new()));
 
+        let profile = config.profile.then(|| Arc::new(IngestProfile::default()));
+
         let mut shards = Vec::with_capacity(config.workers);
         let mut threads = Vec::with_capacity(config.workers + 2);
         for i in 0..config.workers {
@@ -593,8 +678,9 @@ impl IngestServer {
                 max_conn_advance: s.max_conn_advance,
             });
             let board = board.clone();
+            let profile = profile.clone();
             threads.push(std::thread::spawn(move || {
-                worker_loop(rx, shard, stats, stop, read_timeout, policy, board)
+                worker_loop(rx, shard, stats, stop, read_timeout, policy, board, profile)
             }));
         }
         drop(rx);
@@ -723,6 +809,7 @@ impl IngestServer {
             estimator,
             budget,
             board,
+            profile,
             stop,
             threads,
             recovery,
@@ -751,6 +838,12 @@ impl ServerHandle {
     /// What startup recovery reconstructed.
     pub fn recovery(&self) -> &RecoverySummary {
         &self.recovery
+    }
+
+    /// The live per-stage ingest profile; `None` unless
+    /// [`ServerConfig::profile`] was set.
+    pub fn ingest_profile(&self) -> Option<IngestProfileSnapshot> {
+        self.profile.as_deref().map(IngestProfile::snapshot)
     }
 
     /// Merge-on-demand total: recovered base plus every live shard. The
@@ -935,6 +1028,7 @@ fn acceptor_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     rx: channel::Receiver<TcpStream>,
     shard: Arc<Mutex<Shard>>,
@@ -943,6 +1037,7 @@ fn worker_loop(
     read_timeout: Duration,
     policy: Option<StreamIngestPolicy>,
     board: Option<Arc<GrantBoard>>,
+    profile: Option<Arc<IngestProfile>>,
 ) {
     loop {
         match rx.recv_timeout(Duration::from_millis(50)) {
@@ -954,6 +1049,7 @@ fn worker_loop(
                 read_timeout,
                 policy,
                 board.as_deref(),
+                profile.as_deref(),
             ),
             Err(RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::SeqCst) {
@@ -1501,10 +1597,13 @@ fn server_clock_now() -> u64 {
 fn write_ack(stream: &mut TcpStream, framed: &Option<GrantSubscriber>, acked: u64) -> bool {
     match framed {
         Some(writer) => {
-            let mut frame = Vec::with_capacity(4 + trajshare_aggregate::grant::ACK_PAYLOAD_LEN);
-            encode_ack_frame_into(acked, &mut frame);
+            // Stack payload + one writev: no per-ack heap allocation,
+            // and the (prefix, payload) pair leaves in a single syscall.
+            let payload = grant::ack_payload(acked);
             match writer.lock() {
-                Ok(mut w) => w.write_all(&frame).and_then(|()| w.flush()).is_ok(),
+                Ok(mut w) => grant::write_control_frame(&mut *w, &payload)
+                    .and_then(|()| w.flush())
+                    .is_ok(),
                 Err(_) => false,
             }
         }
@@ -1518,6 +1617,7 @@ fn write_ack(stream: &mut TcpStream, framed: &Option<GrantSubscriber>, acked: u6
 /// direction to control frames (framed acks, pushed grants — see
 /// [`StreamServerConfig::grants`]); connections that never send one
 /// keep the classic raw-ack exchange byte for byte.
+#[allow(clippy::too_many_arguments)]
 fn handle_conn(
     mut stream: TcpStream,
     shard: &Mutex<Shard>,
@@ -1526,6 +1626,7 @@ fn handle_conn(
     read_timeout: Duration,
     policy: Option<StreamIngestPolicy>,
     board: Option<&GrantBoard>,
+    profile: Option<&IngestProfile>,
 ) {
     if stream.set_read_timeout(Some(read_timeout)).is_err() || stream.set_nodelay(true).is_err() {
         stats.bump(&stats.io_errors);
@@ -1536,7 +1637,6 @@ fn handle_conn(
     // storage is reused across batches, so the hot path allocates
     // nothing per report once the columns have grown to working size.
     let mut batch_scratch = ReportBatch::new();
-    let mut chunk = [0u8; 64 * 1024];
     let mut accepted = 0u64;
     // `Some` once a hello upgraded this connection: the shared writer
     // the grant board pushes through and every ack goes through.
@@ -1548,7 +1648,11 @@ fn handle_conn(
             let _ = shard.lock().unwrap().wal.flush();
             return;
         }
-        match stream.read(&mut chunk) {
+        // The decoder reads the socket directly into its own buffer
+        // (≥ [`StreamDecoder::READ_CHUNK`] spare per read), so a whole
+        // kernel receive buffer lands in one syscall + one copy instead
+        // of bouncing through a fixed stack chunk.
+        match decoder.read_from(&mut stream) {
             Ok(0) => {
                 // EOF: make everything durable first (already-validated
                 // reports stand regardless of how the stream ended).
@@ -1571,17 +1675,35 @@ fn handle_conn(
                 stats.bump(&stats.completed);
                 return;
             }
-            Ok(n) => {
-                decoder.extend(&chunk[..n]);
+            Ok(_) => {
+                // One cumulative ack per drained read round (not per
+                // batch): every batch's WAL flush happens inside
+                // `ingest_batch`, so the deferred ack still only covers
+                // durable reports — coalescing trades "re-send at most
+                // one batch after a crash" for "at most one read round"
+                // and removes an ack syscall per batch. TSR2/TSR3-only
+                // clients never see mid-stream acks either way — their
+                // connections stay byte-identical to the pre-batch
+                // protocol (final ack at EOF only).
+                let mut ack_due = false;
                 loop {
                     match decoder.next_wire_frame() {
                         Ok(Some(WireFrame::Batch { payload })) => {
-                            // One ack per batch. TSR2/TSR3-only clients
-                            // never see these mid-stream acks — their
-                            // connections stay byte-identical to the
-                            // pre-batch protocol (final ack at EOF only).
-                            let Ok(mut payload_crc) = batch_scratch.decode_payload_into(payload)
-                            else {
+                            let decoded = match profile {
+                                Some(p) => {
+                                    let (mut validate_ns, mut fill_ns) = (0u64, 0u64);
+                                    let r = batch_scratch.decode_payload_timed(
+                                        payload,
+                                        &mut validate_ns,
+                                        &mut fill_ns,
+                                    );
+                                    p.validate_ns.fetch_add(validate_ns, Ordering::Relaxed);
+                                    p.decode_ns.fetch_add(fill_ns, Ordering::Relaxed);
+                                    r
+                                }
+                                None => batch_scratch.decode_payload_into(payload),
+                            };
+                            let Ok(mut payload_crc) = decoded else {
                                 stats.bump(&stats.disconnected_protocol);
                                 return;
                             };
@@ -1615,13 +1737,11 @@ fn handle_conn(
                                             stats
                                                 .watermark_throttled
                                                 .fetch_add(n, Ordering::Relaxed);
-                                            // Unchanged cumulative ack:
-                                            // the client sees the batch
-                                            // was not accepted.
-                                            if !write_ack(&mut stream, &framed, accepted) {
-                                                stats.bump(&stats.io_errors);
-                                                return;
-                                            }
+                                            // The round's unchanged
+                                            // cumulative ack tells the
+                                            // client the batch was not
+                                            // accepted.
+                                            ack_due = true;
                                             continue;
                                         }
                                         advance_budget -= delta;
@@ -1629,7 +1749,7 @@ fn handle_conn(
                                 }
                             }
                             if guard
-                                .ingest_batch(&batch_scratch, payload, payload_crc)
+                                .ingest_batch(&batch_scratch, payload, payload_crc, profile)
                                 .is_err()
                             {
                                 stats.bump(&stats.io_errors);
@@ -1638,14 +1758,11 @@ fn handle_conn(
                             drop(guard);
                             accepted += n;
                             stats.reports_ingested.fetch_add(n, Ordering::Relaxed);
-                            // Cumulative ack, written after the batch's
-                            // WAL flush: an acked batch survives any
-                            // process kill, so a client that dies
-                            // mid-stream re-sends at most one batch.
-                            if !write_ack(&mut stream, &framed, accepted) {
-                                stats.bump(&stats.io_errors);
-                                return;
+                            if let Some(p) = profile {
+                                p.batches.fetch_add(1, Ordering::Relaxed);
+                                p.reports.fetch_add(n, Ordering::Relaxed);
                             }
+                            ack_due = true;
                         }
                         Ok(Some(WireFrame::Single {
                             mut report,
@@ -1748,6 +1865,20 @@ fn handle_conn(
                             stats.bump(&stats.disconnected_protocol);
                             return;
                         }
+                    }
+                }
+                if ack_due {
+                    let t0 = profile.map(|_| Instant::now());
+                    // Written after every batch in the round flushed its
+                    // WAL record, so the ack only ever covers durable
+                    // reports.
+                    if !write_ack(&mut stream, &framed, accepted) {
+                        stats.bump(&stats.io_errors);
+                        return;
+                    }
+                    if let (Some(p), Some(t0)) = (profile, t0) {
+                        p.ack_ns
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     }
                 }
             }
