@@ -38,7 +38,11 @@
 //!    ([`StreamingEstimator`]),
 //! 8. [`clusterproto`] — the `TSCL` snapshot-shipping frames a
 //!    distributed deployment uses to pull per-worker counter/ring state
-//!    into one exactly-merged global view (`crates/cluster`).
+//!    into one exactly-merged global view (`crates/cluster`),
+//! 9. [`publish`] — the *released* surface ([`PublishedStream`]: model +
+//!    synthetic set, never the raw counters), which is what the red-team
+//!    harness (`crates/redteam`) attacks, and [`ldptrace`] — the
+//!    LDPTrace-style k-RR summary baseline it is compared against.
 //!
 //! Everything downstream of the reports is post-processing of ε-LDP
 //! outputs, so the published synthetic set inherits each user's ε
@@ -51,9 +55,11 @@ pub mod estimate;
 pub mod eval;
 pub mod grant;
 pub mod ingest;
+pub mod ldptrace;
 pub mod linalg;
 pub mod markov;
 pub mod pipeline;
+pub mod publish;
 pub mod report;
 pub mod snapshot;
 pub mod stream;
@@ -78,6 +84,9 @@ pub use grant::{
     ControlDecoder, ControlFrame, GrantBoard, GrantFrame, GrantSubscriber, HelloFrame,
 };
 pub use ingest::{aggregate_reports, region_tiles, AggregateCounts, Aggregator, TILES_PER_DAY};
+pub use ldptrace::{
+    debias_krr_counts, ldptrace_collect, ldptrace_model, ldptrace_publish_matching,
+};
 pub use linalg::CsrPattern;
 pub use markov::{FrequencyEstimator, MobilityModel};
 pub use pipeline::{
@@ -85,6 +94,7 @@ pub use pipeline::{
     aggregate_and_synthesize_matching_with, aggregate_and_synthesize_with, collect_reports,
     user_seed, SynthesisOutcome,
 };
+pub use publish::PublishedStream;
 pub use report::{DecodeError, Report, StreamDecoder, WireFrame, MAX_FRAME_LEN};
 pub use snapshot::{
     crc32, merge_snapshot_files, read_snapshot_file, write_snapshot_file, SnapshotError,

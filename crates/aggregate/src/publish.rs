@@ -1,0 +1,118 @@
+//! The collector-side publication view — exactly what an adversary sees.
+//!
+//! The batch pipeline's [`SynthesisOutcome`] is a *server-internal* value:
+//! it still carries the raw aggregation counters, which are never released.
+//! What actually leaves the aggregator is the debiased [`MobilityModel`]
+//! and the synthetic trajectory set (plus public metadata: the advertised
+//! ε and how many reports went in). [`PublishedStream`] is that released
+//! surface as a type, so the red-team harness (`crates/redteam`) can be
+//! *structurally* prevented from touching anything a real adversary could
+//! not: its attack entry points accept a `PublishedStream` — or the raw
+//! client uploads, which the collector sees by definition — and nothing
+//! else.
+//!
+//! Everything in here is post-processing of ε-LDP reports, so publishing
+//! it costs no additional budget.
+
+use crate::markov::MobilityModel;
+use crate::pipeline::SynthesisOutcome;
+use trajshare_model::TrajectorySet;
+
+/// One published release: model + synthetic data + public metadata, and
+/// deliberately **not** the aggregation counters.
+#[derive(Debug, Clone)]
+pub struct PublishedStream {
+    /// The advertised per-user budget ε (public protocol metadata).
+    pub eps: f64,
+    /// How many client reports the release aggregates (public: the
+    /// collector's throughput is observable anyway).
+    pub num_reports: usize,
+    /// The debiased population model.
+    pub model: MobilityModel,
+    /// The synthetic trajectory set driven by `model`.
+    pub synthetic: TrajectorySet,
+}
+
+impl PublishedStream {
+    /// Extracts the released surface from a server-side outcome, dropping
+    /// the raw counters on the floor.
+    pub fn from_outcome(eps: f64, outcome: &SynthesisOutcome) -> Self {
+        PublishedStream {
+            eps,
+            num_reports: outcome.counts.num_reports as usize,
+            model: outcome.model.clone(),
+            synthetic: outcome.synthetic.clone(),
+        }
+    }
+
+    /// Log-likelihood of a region path under the published model — the
+    /// canonical membership-inference score (higher = "looks like it was
+    /// in the training stream"). Zero-mass entries are floored so the
+    /// score is always finite.
+    pub fn path_log_likelihood(&self, path: &[trajshare_core::RegionId]) -> f64 {
+        const FLOOR: f64 = 1e-12;
+        assert!(!path.is_empty());
+        let n = self.model.num_regions;
+        let mut ll = self.model.start[path[0].index()].max(FLOOR).ln();
+        for w in path.windows(2) {
+            ll += self.model.transition[w[0].index() * n + w[1].index()]
+                .max(FLOOR)
+                .ln();
+        }
+        ll
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::AggregateCounts;
+    use crate::markov::MobilityModel;
+    use trajshare_core::RegionId;
+    use trajshare_model::TrajectorySet;
+
+    fn toy_model(n: usize) -> MobilityModel {
+        MobilityModel {
+            num_regions: n,
+            start: vec![1.0 / n as f64; n],
+            end: vec![1.0 / n as f64; n],
+            occupancy: vec![1.0 / n as f64; n],
+            transition: vec![1.0 / n as f64; n * n],
+            length: vec![0.0, 0.0, 1.0],
+            debiased: true,
+        }
+    }
+
+    #[test]
+    fn from_outcome_drops_counters() {
+        let counts = AggregateCounts::new(3);
+        let outcome = crate::pipeline::SynthesisOutcome {
+            synthetic: TrajectorySet::new(Vec::new()),
+            model: toy_model(3),
+            counts,
+        };
+        let p = PublishedStream::from_outcome(2.5, &outcome);
+        assert_eq!(p.eps, 2.5);
+        assert_eq!(p.num_reports, 0);
+        assert_eq!(p.model.num_regions, 3);
+        // The type has no counters field — this test is the compile-time
+        // witness plus a behavioral sanity check.
+    }
+
+    #[test]
+    fn path_log_likelihood_is_finite_and_orders_paths() {
+        let mut model = toy_model(2);
+        model.start = vec![0.9, 0.1];
+        model.transition = vec![0.8, 0.2, 0.0, 1.0];
+        let p = PublishedStream {
+            eps: 1.0,
+            num_reports: 10,
+            model,
+            synthetic: TrajectorySet::new(Vec::new()),
+        };
+        let likely = p.path_log_likelihood(&[RegionId(0), RegionId(0)]);
+        let unlikely = p.path_log_likelihood(&[RegionId(1), RegionId(0)]);
+        assert!(likely.is_finite() && unlikely.is_finite());
+        assert!(likely > unlikely);
+    }
+}

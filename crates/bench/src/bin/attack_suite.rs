@@ -1,0 +1,14 @@
+//! Runs the red-team attack suite against the published streams and
+//! prints the per-ε reconstruction / empirical-ε / utility table.
+//!
+//! ```text
+//! cargo run --release --bin attack_suite -- --seed 7
+//! QUICK_BENCH=1 cargo run --release --bin attack_suite   # CI smoke
+//! ```
+
+use trajshare_bench::experiments::{attack, emit, ExpParams};
+
+fn main() {
+    let params = ExpParams::from_args(&trajshare_bench::Args::from_env());
+    emit(&[attack::run(&params)]);
+}

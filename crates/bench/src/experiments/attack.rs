@@ -1,0 +1,286 @@
+//! The red-team attack suite: reconstruction + membership inference
+//! against the *published* streams, per ε row, with an LDPTrace-style
+//! baseline and a k-RR calibration anchor.
+//!
+//! Threat-model discipline (enforced by the `trajshare_redteam` API): the
+//! reconstruction attacker consumes wire uploads + public knowledge + the
+//! published model as a prior; the membership attacker consumes
+//! [`PublishedStream`]s only. Every number in the table is derived from
+//! what a collector-side adversary can actually observe — ground truth
+//! appears only in the grading.
+//!
+//! Row semantics:
+//! * **NGram** — the paper's mechanism end-to-end: Viterbi MAP
+//!   reconstruction of whole trajectories from uploads (published model
+//!   as prior), membership-inference empirical ε against the published
+//!   model, PRQ-space utility of the published synthetic set.
+//! * **LDPTrace** — the summary-report baseline. Its uploads carry no
+//!   per-position windows, so the reconstruction attack degrades to
+//!   recovering the *start region* from the k-RR report (MAP = identity
+//!   for a uniform prior): `recon exact %` for this row is start-region
+//!   recovery and `dist m` the start-centroid error. Same membership
+//!   attacker, same utility measure.
+//! * **kRR anchor** — plain k-ary randomized response at the row's ε with
+//!   the *optimal* (likelihood-ratio) attacker: a calibration point whose
+//!   true ε is exactly the theoretical column, pinning the estimator
+//!   sound (see the `attack_calibration` proptest).
+//!
+//! The `empirical ε` column is a DKW-corrected lower bound (δ = 0.05): it
+//! must sit at or below `theoretical ε` on every row — asserted here and
+//! re-checked from the JSON by the CI smoke. No timing columns: the JSON
+//! is byte-identical for a fixed `--seed` (regression-tested), so CI can
+//! diff attack results across PRs.
+
+use super::ExpParams;
+use crate::report::Reported;
+use crate::scenario::{build_scenario, Scenario, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajshare_aggregate::{
+    aggregate_and_synthesize_matching_with, collect_reports, ldptrace_publish_matching,
+    score_paired, user_seed, EstimatorBackend, EvalConfig, FrequencyEstimator, PublishedStream,
+};
+use trajshare_core::baselines::LdpTraceClient;
+use trajshare_core::{MechanismConfig, NGramMechanism};
+use trajshare_model::{Dataset, TrajectorySet};
+use trajshare_redteam::{
+    krr_empirical_eps, membership_eps_lower_bound, reconstruction_attack, MiEstimate, ReconSummary,
+};
+
+/// Failure probability of every reported empirical-ε bound.
+const MI_DELTA: f64 = 0.05;
+/// Maximum length bucket the LDPTrace clients report.
+const LDPTRACE_MAX_LEN: usize = 8;
+
+fn quick() -> bool {
+    std::env::var("QUICK_BENCH")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Start-region recovery against LDPTrace uploads: the baseline exposes
+/// no window structure, so this is the strongest trajectory-shaped attack
+/// its wire format admits (documented caveat in the module docs).
+fn ldptrace_start_attack(
+    dataset: &Dataset,
+    mech: &NGramMechanism,
+    victims: &TrajectorySet,
+    epsilon: f64,
+    seed: u64,
+) -> ReconSummary {
+    let client = LdpTraceClient::new(mech.graph(), epsilon, LDPTRACE_MAX_LEN);
+    let mut trials = 0usize;
+    let mut exact = 0usize;
+    let mut dist_sum = 0.0;
+    for (i, traj) in victims.all().iter().enumerate() {
+        let Some(truth) = mech.regions().encode(dataset, traj) else {
+            continue;
+        };
+        let mut rng = StdRng::seed_from_u64(user_seed(seed, i as u64));
+        let obs = client.observe(&truth, &mut rng);
+        trials += 1;
+        if obs.start == truth[0].index() {
+            exact += 1;
+        }
+        let guessed = mech
+            .regions()
+            .get(trajshare_core::RegionId(obs.start as u32))
+            .centroid;
+        let real = mech.regions().get(truth[0]).centroid;
+        dist_sum += guessed.haversine_m(&real);
+    }
+    ReconSummary {
+        trials,
+        exact_rate: if trials == 0 {
+            0.0
+        } else {
+            exact as f64 / trials as f64
+        },
+        mean_distance_m: if trials == 0 {
+            0.0
+        } else {
+            dist_sum / trials as f64
+        },
+    }
+}
+
+fn row(
+    method: &str,
+    eps: f64,
+    eps_report: f64,
+    recon: Option<&ReconSummary>,
+    mi: &MiEstimate,
+    prq_space: Option<f64>,
+) -> Vec<String> {
+    vec![
+        method.to_string(),
+        format!("{eps}"),
+        format!("{eps_report:.3}"),
+        recon.map_or("—".into(), |r| format!("{:.1}", r.exact_rate * 100.0)),
+        recon.map_or("—".into(), |r| format!("{:.0}", r.mean_distance_m)),
+        format!("{:.3}", mi.advantage),
+        format!("{:.3}", mi.eps_lower),
+        format!("{eps}"),
+        prq_space.map_or("—".into(), |v| format!("{v:.1}")),
+    ]
+}
+
+/// Runs the attack suite: per ε row, NGram vs LDPTrace vs the k-RR
+/// anchor, each scored on reconstruction, empirical ε, and utility.
+pub fn run(params: &ExpParams) -> Reported {
+    let quick = quick();
+    let eps_rows: &[f64] = if quick { &[2.0, 5.0] } else { &[1.0, 2.0, 5.0] };
+    let mi_trials = if quick { 16 } else { 48 };
+    let num_pois = if quick {
+        params.num_pois.min(150)
+    } else {
+        params.num_pois
+    };
+    let num_traj = if quick {
+        params.num_trajectories.min(40)
+    } else {
+        params.num_trajectories
+    };
+    let eval = EvalConfig::default();
+    // Warm-started sparse estimation keeps the 2·trials pipeline runs per
+    // row affordable; 30 iterations is enough to move the published model
+    // when one user's data moves, which is what the attacker scores.
+    let estimator = FrequencyEstimator::Ibu {
+        iters: 30,
+        backend: EstimatorBackend::SparseW2,
+    };
+
+    let cfg = ScenarioConfig {
+        num_pois,
+        num_trajectories: num_traj,
+        traj_len: Some(3),
+        seed: params.seed,
+        ..Default::default()
+    };
+    let (dataset, real) = build_scenario(Scenario::TaxiFoursquare, &cfg);
+    assert!(real.len() >= 4, "attack suite needs a few victims");
+    let all = real.all();
+    let base = TrajectorySet::new(all[..all.len() - 2].to_vec());
+    let target = all[all.len() - 2].clone();
+    let decoy = all[all.len() - 1].clone();
+
+    let mut rows = Vec::new();
+    let mut settings_bits = Vec::new();
+    for &eps in eps_rows {
+        let mech_cfg = MechanismConfig::default().with_epsilon(eps);
+        let mech = NGramMechanism::build(&dataset, &mech_cfg);
+        if settings_bits.is_empty() {
+            settings_bits.push(format!(
+                "Taxi-Foursquare |τ|=3: {} victims, |R| = {}, |W₂| = {}, {} MI trials, δ = {}",
+                real.len(),
+                mech.regions().len(),
+                mech.graph().num_bigrams(),
+                mi_trials,
+                MI_DELTA,
+            ));
+        }
+
+        // --- NGram: publish once, then attack the publication. ---
+        let reports = collect_reports(&mech, &real, params.seed ^ 0xA77);
+        let outcome = aggregate_and_synthesize_matching_with(
+            &dataset,
+            &mech,
+            &reports,
+            params.seed ^ 0x51E,
+            estimator,
+        );
+        let published = PublishedStream::from_outcome(eps, &outcome);
+        let recon = reconstruction_attack(&dataset, &mech, &real, Some(&published), params.seed);
+        let mi = membership_eps_lower_bound(
+            &dataset,
+            mech.regions(),
+            &base,
+            &target,
+            &decoy,
+            mi_trials,
+            MI_DELTA,
+            params.seed ^ 0x3117,
+            |input, s| {
+                let r = collect_reports(&mech, input, s);
+                let o = aggregate_and_synthesize_matching_with(&dataset, &mech, &r, s, estimator);
+                PublishedStream::from_outcome(eps, &o)
+            },
+        );
+        let prq = score_paired(&dataset, &real, published.synthetic.all(), &eval).prq_space;
+        let eps_prime = mech.eps_prime(3);
+        rows.push(row("NGram", eps, eps_prime, Some(&recon), &mi, Some(prq)));
+
+        // --- LDPTrace baseline: same attacker, same measures. ---
+        let lt_published = ldptrace_publish_matching(
+            &dataset,
+            mech.regions(),
+            mech.graph(),
+            &real,
+            eps,
+            LDPTRACE_MAX_LEN,
+            params.seed ^ 0x1d7,
+        );
+        let lt_recon = ldptrace_start_attack(&dataset, &mech, &real, eps, params.seed);
+        let lt_mi = membership_eps_lower_bound(
+            &dataset,
+            mech.regions(),
+            &base,
+            &target,
+            &decoy,
+            mi_trials,
+            MI_DELTA,
+            params.seed ^ 0x3118,
+            |input, s| {
+                ldptrace_publish_matching(
+                    &dataset,
+                    mech.regions(),
+                    mech.graph(),
+                    input,
+                    eps,
+                    LDPTRACE_MAX_LEN,
+                    s,
+                )
+            },
+        );
+        let lt_prq = score_paired(&dataset, &real, lt_published.synthetic.all(), &eval).prq_space;
+        rows.push(row(
+            "LDPTrace",
+            eps,
+            eps / 4.0,
+            Some(&lt_recon),
+            &lt_mi,
+            Some(lt_prq),
+        ));
+
+        // --- Calibration anchor: k-RR with the optimal attacker. ---
+        let k = mech.regions().len().max(2);
+        let anchor = krr_empirical_eps(eps, k, mi_trials.max(200), MI_DELTA, params.seed ^ 0xACE);
+        rows.push(row("kRR anchor", eps, eps, None, &anchor, None));
+
+        // The soundness gate the CI smoke re-checks from the JSON.
+        for (label, est) in [("NGram", &mi), ("LDPTrace", &lt_mi), ("kRR", &anchor)] {
+            assert!(
+                est.eps_lower <= eps + 1e-9,
+                "{label} ε={eps}: empirical {} exceeds theoretical",
+                est.eps_lower
+            );
+        }
+    }
+
+    Reported {
+        id: "bench_attack".into(),
+        settings: format!("seed = {}; {}", params.seed, settings_bits.join("; ")),
+        headers: vec![
+            "Method".into(),
+            "ε".into(),
+            "ε′/report".into(),
+            "recon exact %".into(),
+            "recon dist m".into(),
+            "MI advantage".into(),
+            "empirical ε ≥".into(),
+            "theoretical ε".into(),
+            "PRQ space %".into(),
+        ],
+        rows,
+    }
+}

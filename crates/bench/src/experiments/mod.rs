@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod aggregation;
+pub mod attack;
 pub mod fig10;
 pub mod fig7;
 pub mod fig89;

@@ -1,0 +1,27 @@
+//! Same `--seed` → byte-identical attack-suite output. The JSON carries
+//! no timing columns, so this holds exactly and CI can diff
+//! `results/bench_attack.json` across runs.
+
+use trajshare_bench::experiments::{attack, ExpParams};
+
+#[test]
+fn same_seed_yields_byte_identical_report() {
+    // Quick mode: the full table is a release-binary workload.
+    std::env::set_var("QUICK_BENCH", "1");
+    let params = ExpParams {
+        num_pois: 90,
+        num_trajectories: 20,
+        seed: 13,
+        ..Default::default()
+    };
+    let a = attack::run(&params);
+    let b = attack::run(&params);
+    let ja = serde_json::to_string(&a).unwrap();
+    let jb = serde_json::to_string(&b).unwrap();
+    assert_eq!(ja, jb);
+    // And a different seed actually changes the measurement — the
+    // determinism above is not the table being constant.
+    let c = attack::run(&ExpParams { seed: 14, ..params });
+    let jc = serde_json::to_string(&c).unwrap();
+    assert_ne!(ja, jc);
+}

@@ -1,0 +1,232 @@
+//! LDPTrace-style client reports (arXiv 2302.06180), adapted to the STC
+//! region lattice.
+//!
+//! LDPTrace perturbs a small set of *categorical summaries* of each
+//! trajectory with k-ary randomized response instead of perturbing the
+//! trajectory itself: the start region, the end region, one transition
+//! drawn from the feasible-bigram set `W₂`, and a length bucket. Each
+//! report gets ε/4, so one [`LdpTraceObservation`] satisfies ε-LDP by
+//! basic composition. The server side (frequency debiasing, model fit,
+//! synthesis) lives in `trajshare_aggregate::ldptrace` — this module is
+//! exactly what leaves the client device.
+//!
+//! Adaptation notes, also surfaced in the bench docs: the original paper
+//! grids space uniformly and reports every adjacent cell pair; here the
+//! categorical domains are the STC regions and the reachability-feasible
+//! bigram set, and a single uniformly-chosen transition is reported so the
+//! budget split stays constant in trajectory length.
+
+use crate::region::RegionId;
+use crate::regiongraph::RegionGraph;
+use rand::Rng;
+use std::collections::HashMap;
+use trajshare_mech::k_randomized_response;
+
+/// Client-side LDPTrace reporter over a fixed region graph.
+#[derive(Debug, Clone)]
+pub struct LdpTraceClient<'a> {
+    graph: &'a RegionGraph,
+    epsilon: f64,
+    max_len: usize,
+    /// `(a, b) → index into graph.bigrams`, the transition report domain.
+    w2_index: HashMap<(u32, u32), usize>,
+}
+
+/// One user's ε-LDP report: four randomized-response draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LdpTraceObservation {
+    /// Perturbed start region index, in `0..|R|`.
+    pub start: usize,
+    /// Perturbed end region index, in `0..|R|`.
+    pub end: usize,
+    /// Perturbed transition index, in `0..|W₂|`.
+    pub transition: usize,
+    /// Perturbed length bucket, in `0..max_len` (bucket `i` ⇔ length `i+1`).
+    pub len_bucket: usize,
+}
+
+impl<'a> LdpTraceClient<'a> {
+    /// Creates a client with total budget `epsilon` (ε/4 per report).
+    /// `max_len` bounds the length-bucket domain.
+    pub fn new(graph: &'a RegionGraph, epsilon: f64, max_len: usize) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite());
+        assert!(max_len >= 1);
+        let w2_index = graph
+            .bigrams
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| ((a, b), i))
+            .collect();
+        Self {
+            graph,
+            epsilon,
+            max_len,
+            w2_index,
+        }
+    }
+
+    /// Budget per randomized-response draw.
+    pub fn eps_per_report(&self) -> f64 {
+        self.epsilon / 4.0
+    }
+
+    /// Perturbs one region path into an [`LdpTraceObservation`].
+    ///
+    /// The transition truth is one uniformly drawn in-`W₂` hop of `path`;
+    /// when the path has no such hop (length 1, or every hop infeasible —
+    /// possible for encoded paths only through upstream bugs, but handled
+    /// anyway) the truth is a uniform `W₂` index. Uniform-truth-then-RR is
+    /// a mixture of ε/4-LDP channels and stays ε/4-LDP.
+    pub fn observe<R: Rng + ?Sized>(&self, path: &[RegionId], rng: &mut R) -> LdpTraceObservation {
+        assert!(!path.is_empty(), "cannot observe an empty path");
+        let nr = self.graph.num_regions();
+        let nw = self.graph.num_bigrams();
+        let eps = self.eps_per_report();
+
+        let start = rr_or_constant(path[0].index(), nr, eps, rng);
+        let end = rr_or_constant(path[path.len() - 1].index(), nr, eps, rng);
+
+        // True transitions that exist in the report domain.
+        let hops: Vec<usize> = path
+            .windows(2)
+            .filter_map(|w| self.w2_index.get(&(w[0].0, w[1].0)).copied())
+            .collect();
+        let true_hop = if hops.is_empty() {
+            rng.random_range(0..nw.max(1))
+        } else {
+            hops[rng.random_range(0..hops.len())]
+        };
+        let transition = rr_or_constant(true_hop, nw, eps, rng);
+
+        let bucket = path.len().min(self.max_len) - 1;
+        let len_bucket = rr_or_constant(bucket, self.max_len, eps, rng);
+
+        LdpTraceObservation {
+            start,
+            end,
+            transition,
+            len_bucket,
+        }
+    }
+}
+
+/// k-RR, degrading gracefully to the only possible answer when the domain
+/// is a single category (k-RR itself requires k ≥ 2).
+fn rr_or_constant<R: Rng + ?Sized>(truth: usize, k: usize, eps: f64, rng: &mut R) -> usize {
+    if k < 2 {
+        0
+    } else {
+        k_randomized_response(truth, k, eps, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MechanismConfig;
+    use crate::decomposition::decompose;
+    use crate::region::RegionSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trajshare_geo::{DistanceMetric, GeoPoint};
+    use trajshare_hierarchy::builders::campus;
+    use trajshare_model::{Dataset, Poi, PoiId, TimeDomain, Trajectory};
+
+    fn graph() -> (Dataset, RegionSet, RegionGraph) {
+        let h = campus();
+        let leaves = h.leaves();
+        let origin = GeoPoint::new(40.7, -74.0);
+        let pois: Vec<Poi> = (0..36)
+            .map(|i| {
+                let loc = origin.offset_m((i % 6) as f64 * 400.0, (i / 6) as f64 * 400.0);
+                Poi::new(
+                    PoiId(i as u32),
+                    format!("p{i}"),
+                    loc,
+                    leaves[i as usize % leaves.len()],
+                )
+            })
+            .collect();
+        let dataset = Dataset::new(
+            pois,
+            h,
+            TimeDomain::new(10),
+            Some(8.0),
+            DistanceMetric::Haversine,
+        );
+        let mut cfg = MechanismConfig::default();
+        cfg.time_interval_min = 240;
+        let regions = decompose(&dataset, &cfg);
+        let graph = RegionGraph::build(&dataset, &regions);
+        (dataset, regions, graph)
+    }
+
+    fn feasible_path(ds: &Dataset, rs: &RegionSet) -> Vec<RegionId> {
+        let traj = Trajectory::from_pairs(&[(0, 60), (7, 63), (14, 66)]);
+        rs.encode(ds, &traj).expect("toy trajectory encodes")
+    }
+
+    #[test]
+    fn observations_stay_in_domain() {
+        let (ds, rs, g) = graph();
+        let path = feasible_path(&ds, &rs);
+        let client = LdpTraceClient::new(&g, 1.0, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let o = client.observe(&path, &mut rng);
+            assert!(o.start < g.num_regions());
+            assert!(o.end < g.num_regions());
+            assert!(o.transition < g.num_bigrams());
+            assert!(o.len_bucket < 8);
+        }
+    }
+
+    #[test]
+    fn huge_epsilon_reports_truth() {
+        let (ds, rs, g) = graph();
+        let path = feasible_path(&ds, &rs);
+        let client = LdpTraceClient::new(&g, 2000.0, 8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let o = client.observe(&path, &mut rng);
+        assert_eq!(o.start, path[0].index());
+        assert_eq!(o.end, path[path.len() - 1].index());
+        assert_eq!(o.len_bucket, path.len() - 1);
+        // The reported transition is one of the path's true hops.
+        let (a, b) = g.bigrams[o.transition];
+        let is_hop = path.windows(2).any(|w| (w[0].0, w[1].0) == (a, b));
+        assert!(is_hop, "ε→∞ transition report must be a real hop");
+    }
+
+    #[test]
+    fn single_region_path_uses_uniform_transition_truth() {
+        let (_, _, g) = graph();
+        let client = LdpTraceClient::new(&g, 1.0, 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let o = client.observe(&[RegionId(0)], &mut rng);
+            assert!(o.transition < g.num_bigrams());
+            assert_eq!(o.len_bucket.min(7), o.len_bucket);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_observation() {
+        let (ds, rs, g) = graph();
+        let path = feasible_path(&ds, &rs);
+        let client = LdpTraceClient::new(&g, 1.0, 8);
+        let a = client.observe(&path, &mut StdRng::seed_from_u64(9));
+        let b = client.observe(&path, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn length_saturates_at_max_bucket() {
+        let (_, _, g) = graph();
+        // ε/4 must stay well under ln(f64::MAX) so e^{ε/4} is finite.
+        let client = LdpTraceClient::new(&g, 100.0, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let long = vec![RegionId(0); 6];
+        let o = client.observe(&long, &mut rng);
+        assert_eq!(o.len_bucket, 1, "length 6 clamps into the top bucket");
+    }
+}

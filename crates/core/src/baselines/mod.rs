@@ -7,12 +7,16 @@
 //!   and `PhysDist` (physical distance only, no external knowledge),
 //! * [`GlobalMechanism`] — exhaustive EM over the full trajectory space,
 //!   feasible only for toy worlds; includes the subsampled-EM and
-//!   Permute-and-Flip variants discussed in §5.1.
+//!   Permute-and-Flip variants discussed in §5.1,
+//! * [`LdpTraceClient`] — LDPTrace-style categorical-summary reports
+//!   (arXiv 2302.06180), the red-team comparison baseline.
 
 mod global;
 mod independent;
+mod ldptrace;
 mod poi_ngram;
 
 pub use global::{GlobalMechanism, GlobalVariant};
 pub use independent::IndependentMechanism;
+pub use ldptrace::{LdpTraceClient, LdpTraceObservation};
 pub use poi_ngram::PoiNgramMechanism;

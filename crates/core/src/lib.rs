@@ -64,7 +64,7 @@ pub mod region;
 pub mod regiongraph;
 pub mod vio;
 
-pub use attack::WindowAdversary;
+pub use attack::{PathPrior, TrajectoryAdversary, WindowAdversary};
 pub use config::{MechanismConfig, MergeDimension, ReconstructionSolver};
 pub use continuous::ContinuousSharer;
 pub use crc::{crc32, crc32_extend};

@@ -31,6 +31,6 @@ pub use em::ExponentialMechanism;
 pub use geoind::{lambert_w_minus1, planar_laplace_displacement};
 pub use noise::laplace_noise;
 pub use pf::permute_and_flip;
-pub use rr::k_randomized_response;
+pub use rr::{k_randomized_response, rr_truth_probability};
 pub use sampling::{gumbel_argmax, sample_from_weights, sample_index_by_cumsum};
 pub use ssem::subsampled_em;

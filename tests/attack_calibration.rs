@@ -1,0 +1,44 @@
+//! The estimator that judges the pipeline must first be judged itself:
+//! against plain k-RR — whose exact privacy loss is the configured ε —
+//! the DKW-corrected membership bound must never certify more than ε,
+//! across mechanisms of every sharpness and domain size, and even with
+//! the *optimal* likelihood-ratio attacker playing the game.
+
+use proptest::prelude::*;
+use trajshare_redteam::krr_empirical_eps;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn empirical_eps_never_exceeds_theoretical(
+        eps in 0.2f64..4.0,
+        k in 2usize..24,
+        seed in 0u64..1000,
+    ) {
+        let est = krr_empirical_eps(eps, k, 700, 0.05, seed);
+        prop_assert!(
+            est.eps_lower <= eps + 1e-9,
+            "ε={eps} k={k} seed={seed}: empirical {} exceeds theoretical",
+            est.eps_lower
+        );
+        prop_assert!(est.eps_lower >= 0.0);
+        prop_assert!(est.advantage >= 0.0 && est.advantage <= 1.0);
+    }
+}
+
+#[test]
+fn bound_grows_with_eps_on_average() {
+    // Not required pointwise (the bound is randomized), but the certified
+    // leakage at a generous ε must dominate the one at a stingy ε when
+    // averaged over seeds — the instrument actually responds to signal.
+    let avg = |eps: f64| -> f64 {
+        (0..8)
+            .map(|s| krr_empirical_eps(eps, 4, 700, 0.05, 100 + s).eps_lower)
+            .sum::<f64>()
+            / 8.0
+    };
+    let low = avg(0.3);
+    let high = avg(3.0);
+    assert!(high > low, "avg bound at ε=3 ({high}) ≤ at ε=0.3 ({low})");
+    assert!(high > 0.5, "ε=3 should certify real leakage, got {high}");
+}

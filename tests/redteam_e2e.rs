@@ -1,0 +1,146 @@
+//! End-to-end red-team drill on a small world: clients perturb, the
+//! server aggregates, estimates, and publishes a synthetic stream — then
+//! the red team attacks exactly what a collector-side adversary would
+//! hold: the wire uploads and the publication. Ground truth grades.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajshare_aggregate::{
+    aggregate_and_synthesize_matching_with, collect_reports, ldptrace_publish_matching,
+    EstimatorBackend, FrequencyEstimator, PublishedStream,
+};
+use trajshare_core::{MechanismConfig, NGramMechanism};
+use trajshare_datagen::{
+    generate_taxi_foursquare, CityConfig, SyntheticCity, TaxiFoursquareConfig,
+};
+use trajshare_hierarchy::builders::foursquare;
+use trajshare_model::{Dataset, TrajectorySet};
+use trajshare_redteam::{membership_eps_lower_bound, reconstruction_attack};
+
+fn world() -> (Dataset, TrajectorySet) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let city = SyntheticCity::generate(
+        &CityConfig {
+            num_pois: 70,
+            speed_kmh: Some(8.0),
+            ..Default::default()
+        },
+        foursquare(),
+        &mut rng,
+    );
+    let set = generate_taxi_foursquare(
+        &city.dataset,
+        &TaxiFoursquareConfig {
+            num_trajectories: 20,
+            len_bounds: (3, 3),
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    (city.dataset, set)
+}
+
+fn mech(ds: &Dataset, eps: f64) -> NGramMechanism {
+    let mut cfg = MechanismConfig::default().with_epsilon(eps);
+    cfg.time_interval_min = 240;
+    NGramMechanism::build(ds, &cfg)
+}
+
+fn publish(ds: &Dataset, m: &NGramMechanism, set: &TrajectorySet, seed: u64) -> PublishedStream {
+    let reports = collect_reports(m, set, seed);
+    let outcome = aggregate_and_synthesize_matching_with(
+        ds,
+        m,
+        &reports,
+        seed,
+        FrequencyEstimator::Ibu {
+            iters: 10,
+            backend: EstimatorBackend::SparseW2,
+        },
+    );
+    PublishedStream::from_outcome(m.config().epsilon, &outcome)
+}
+
+#[test]
+fn published_prior_attack_runs_end_to_end_and_signal_dominates_at_high_eps() {
+    let (ds, set) = world();
+    let m = mech(&ds, 400.0);
+    let published = publish(&ds, &m, &set, 11);
+    // Same uploads (same seed), attacker with vs. without the released
+    // model as a prior. The prior is estimated from 20 noisy users, so it
+    // may reshuffle low-signal decodes either way — but when the upload
+    // signal dominates (ε = 400), its bounded log terms cannot collapse
+    // the attack: both attackers must recover nearly everything.
+    let blind = reconstruction_attack(&ds, &m, &set, None, 11);
+    let informed = reconstruction_attack(&ds, &m, &set, Some(&published), 11);
+    assert_eq!(blind.trials, set.len());
+    assert_eq!(informed.trials, set.len());
+    assert!(blind.exact_rate > 0.8, "blind rate {}", blind.exact_rate);
+    assert!(
+        informed.exact_rate > 0.8,
+        "informed rate {}",
+        informed.exact_rate
+    );
+    // And the informed attack is deterministic in the seed.
+    let again = reconstruction_attack(&ds, &m, &set, Some(&published), 11);
+    assert_eq!(informed.exact_rate, again.exact_rate);
+    assert_eq!(informed.mean_distance_m, again.mean_distance_m);
+}
+
+#[test]
+fn empirical_eps_respects_ledger_eps_for_both_publishers() {
+    let (ds, set) = world();
+    let eps = 2.0;
+    let m = mech(&ds, eps);
+    let all = set.all();
+    let base = TrajectorySet::new(all[..all.len() - 2].to_vec());
+    let target = all[all.len() - 2].clone();
+    let decoy = all[all.len() - 1].clone();
+
+    // The paper's pipeline...
+    let est = membership_eps_lower_bound(
+        &ds,
+        m.regions(),
+        &base,
+        &target,
+        &decoy,
+        8,
+        0.05,
+        31,
+        |input, s| publish(&ds, &m, input, s),
+    );
+    assert!(est.eps_lower <= eps, "ngram: {} > ε", est.eps_lower);
+
+    // ...and the LDPTrace-style baseline, judged by the same attacker.
+    let lt = membership_eps_lower_bound(
+        &ds,
+        m.regions(),
+        &base,
+        &target,
+        &decoy,
+        8,
+        0.05,
+        32,
+        |input, s| ldptrace_publish_matching(&ds, m.regions(), m.graph(), input, eps, 8, s),
+    );
+    assert!(lt.eps_lower <= eps, "ldptrace: {} > ε", lt.eps_lower);
+}
+
+#[test]
+fn reconstruction_weakens_as_eps_shrinks() {
+    let (ds, set) = world();
+    let strong = reconstruction_attack(&ds, &mech(&ds, 80.0), &set, None, 17);
+    let weak = reconstruction_attack(&ds, &mech(&ds, 0.1), &set, None, 17);
+    assert!(
+        strong.exact_rate > weak.exact_rate,
+        "ε=80 rate {} should beat ε=0.1 rate {}",
+        strong.exact_rate,
+        weak.exact_rate
+    );
+    assert!(
+        strong.mean_distance_m < weak.mean_distance_m,
+        "ε=80 dist {} should beat ε=0.1 dist {}",
+        strong.mean_distance_m,
+        weak.mean_distance_m
+    );
+}
